@@ -1,0 +1,87 @@
+//! E1 — Resource utilization (paper Sec. V.B).
+//!
+//! Reproduces: "The VAPRES static region (including the Microblaze
+//! soft-core processor and the inter-module communication architecture)
+//! required 9,421 slices (approximately 86% of the VLX25), of which the
+//! inter-module communication architecture required only 1,020 slices."
+
+use vapres_bench::{banner, compare, row, rule};
+use vapres_fabric::geometry::Device;
+use vapres_fabric::resources::{ResourceBudget, ResourceKind};
+use vapres_floorplan::resources::{
+    comm_arch_slices, controlling_region_slices, static_region_slices, switch_box_slices,
+    FSL_PAIR_SLICES, PRSOCKET_SLICES, STATIC_COMPONENTS,
+};
+use vapres_stream::params::FabricParams;
+
+fn main() {
+    banner("E1", "static region & communication architecture slices");
+    let params = FabricParams::prototype();
+    let device = Device::xc4vlx25();
+    let inventory = ResourceBudget::of_device(&device);
+    let device_slices = inventory.get(ResourceKind::Slice) as f64;
+
+    println!("\n  controlling-region component breakdown:");
+    let widths = [26, 10];
+    row(&[&"component", &"slices"], &widths);
+    rule(&widths);
+    for c in STATIC_COMPONENTS {
+        row(&[&c.name, &c.slices], &widths);
+    }
+    row(
+        &[
+            &format!("prsockets ({}x)", params.nodes),
+            &(params.nodes as u32 * PRSOCKET_SLICES),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            &format!("fsl pairs ({}x)", params.nodes),
+            &(params.nodes as u32 * FSL_PAIR_SLICES),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            &format!("switch boxes ({}x)", params.nodes),
+            &(params.nodes as u32 * switch_box_slices(&params)),
+        ],
+        &widths,
+    );
+    rule(&widths);
+    row(&[&"controlling region", &controlling_region_slices()], &widths);
+    row(&[&"comm architecture", &comm_arch_slices(&params)], &widths);
+    row(&[&"static region total", &static_region_slices(&params)], &widths);
+
+    println!();
+    compare(
+        "static region slices",
+        9_421.0,
+        f64::from(static_region_slices(&params)),
+        "",
+    );
+    compare(
+        "static region / LX25",
+        86.0,
+        100.0 * f64::from(static_region_slices(&params)) / device_slices,
+        "%",
+    );
+    compare(
+        "comm architecture slices",
+        1_020.0,
+        f64::from(comm_arch_slices(&params)),
+        "",
+    );
+    println!(
+        "\n  note: the paper calls 1,020 slices \"approximately 15% of the VLX60\";\n  \
+         1,020 / 26,624 is 3.8% — we report the arithmetic and flag the\n  \
+         inconsistency in EXPERIMENTS.md."
+    );
+    compare(
+        "comm arch / LX60 (arithmetic)",
+        3.8,
+        100.0 * f64::from(comm_arch_slices(&params)) / 26_624.0,
+        "%",
+    );
+}

@@ -1,0 +1,79 @@
+//! E2 — PRR reconfiguration time (paper Sec. V.B).
+//!
+//! Reproduces: `vapres_cf2icap` = 1,043,388,614 cycles (1.043 s), 95.3 %
+//! flash transfer / 4.7 % ICAP write; `vapres_array2icap` = 71,944,572
+//! cycles (71.94 ms). Measured by actually running both API calls on the
+//! simulated prototype and timing them with the simulation clock — the
+//! same method as the paper's `xps_timer`.
+
+use vapres_bench::{banner, compare, row, rule};
+use vapres_core::config::SystemConfig;
+use vapres_core::module::ModuleLibrary;
+use vapres_core::system::VapresSystem;
+use vapres_modules::{register_standard_modules, uids};
+
+fn main() {
+    banner("E2", "PRR reconfiguration time (cf2icap vs array2icap)");
+
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    let mut sys = VapresSystem::new(SystemConfig::prototype(), lib).expect("valid prototype");
+    sys.install_bitstream(0, uids::FIR_A, "fir_a.bit").expect("install");
+
+    // Slow path: bitstream file on CompactFlash.
+    let t0 = sys.now();
+    let slow = sys.vapres_cf2icap("fir_a.bit").expect("cf2icap");
+    let slow_total = (sys.now() - t0).as_secs_f64();
+
+    // Fast path: stage into SDRAM once, then reconfigure from the array.
+    sys.isolate_node(1).expect("isolate");
+    sys.vapres_cf2array("fir_a.bit", "fir_a").expect("cf2array");
+    let t1 = sys.now();
+    let fast = sys.vapres_array2icap("fir_a").expect("array2icap");
+    let fast_total = (sys.now() - t1).as_secs_f64();
+
+    let widths = [18, 16, 16, 16];
+    println!();
+    row(&[&"call", &"transfer", &"icap write", &"total"], &widths);
+    rule(&widths);
+    row(
+        &[
+            &"cf2icap",
+            &format!("{}", slow.transfer),
+            &format!("{}", slow.icap),
+            &format!("{:.4} s", slow_total),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            &"array2icap",
+            &format!("{}", fast.transfer),
+            &format!("{}", fast.icap),
+            &format!("{:.2} ms", fast_total * 1e3),
+        ],
+        &widths,
+    );
+
+    println!();
+    compare("cf2icap total", 1.043, slow_total, "s");
+    compare(
+        "cf2icap flash fraction",
+        95.3,
+        slow.transfer_fraction() * 100.0,
+        "%",
+    );
+    compare(
+        "cf2icap icap fraction",
+        4.7,
+        (1.0 - slow.transfer_fraction()) * 100.0,
+        "%",
+    );
+    compare("array2icap total", 71.94, fast_total * 1e3, "ms");
+    compare("speedup cf->array", 1.043 / 0.07194, slow_total / fast_total, "x");
+
+    // Structural sanity: both calls moved the same bitstream.
+    assert_eq!(slow.prr, 0);
+    assert_eq!(fast.prr, 0);
+    assert_eq!(slow.icap, fast.icap, "icap phase is path-independent");
+}

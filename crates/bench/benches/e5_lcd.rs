@@ -1,0 +1,71 @@
+//! E5 — Local clock domains regulate throughput (paper Sec. III.B.2).
+//!
+//! Each PRR is an independently clocked local clock domain; the paper's
+//! example is a filter chain where some modules need more cycles per
+//! sample and hence a different clock. This harness sweeps the PRR clock
+//! of a filter stage and shows end-to-end throughput scaling linearly
+//! with the module clock while the asynchronous FIFOs keep the stream
+//! lossless across every domain ratio.
+
+use vapres_bench::{banner, row, rule};
+use vapres_core::config::SystemConfig;
+use vapres_core::module::ModuleLibrary;
+use vapres_core::system::VapresSystem;
+use vapres_core::{Freq, PortRef, Ps};
+use vapres_modules::{register_standard_modules, uids};
+
+/// Streams `n` samples through a single scaler PRR clocked at `prr_clock`
+/// and returns (throughput MS/s, lost samples).
+fn run(prr_clock: Freq, n: usize) -> (f64, usize) {
+    let mut cfg = SystemConfig::prototype();
+    cfg.prr_clock_menu = [Freq::mhz(100), prr_clock];
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    let mut sys = VapresSystem::new(cfg, lib).expect("config valid");
+
+    sys.install_bitstream(0, uids::SCALER, "s.bit").expect("install");
+    sys.vapres_cf2icap("s.bit").expect("load");
+    sys.vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))
+        .expect("in");
+    sys.vapres_establish_channel(PortRef::new(1, 0), PortRef::new(0, 0))
+        .expect("out");
+    sys.bring_up_node(0, false).expect("iom");
+    sys.bring_up_node(1, true).expect("prr at menu[1]");
+
+    sys.iom_feed(0, (0..n as u32).map(|i| i % 1_000));
+    let done = sys.run_until(Ps::from_ms(50), |s| s.iom_output(0).len() >= n);
+    assert!(done, "stream stalled at {prr_clock}");
+    let tput = sys.iom_gap(0).throughput_per_s().unwrap_or(0.0) / 1e6;
+    let lost = n - sys.iom_output(0).len().min(n);
+    (tput, lost)
+}
+
+fn main() {
+    banner("E5", "local clock domains: PRR clock vs stream throughput");
+    let widths = [14, 18, 10, 22];
+    println!();
+    row(
+        &[&"PRR clock", &"throughput MS/s", &"lost", &"throughput/clock"],
+        &widths,
+    );
+    rule(&widths);
+
+    let n = 20_000;
+    for &mhz in &[10u64, 25, 50, 100] {
+        let (tput, lost) = run(Freq::mhz(mhz), n);
+        row(
+            &[
+                &format!("{mhz} MHz"),
+                &format!("{tput:.2}"),
+                &lost,
+                &format!("{:.3} samp/cycle", tput / mhz as f64),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\n  expectation: throughput tracks the PRR's local clock (one sample per\n  \
+         module cycle), saturating at the 100 MHz fabric rate; the async FIFOs\n  \
+         lose nothing at any clock ratio."
+    );
+}

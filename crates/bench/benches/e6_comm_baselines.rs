@@ -1,0 +1,174 @@
+//! E6 — Communication architecture vs related work (paper Sec. II).
+//!
+//! Compares three inter-module transports under identical offered load:
+//!
+//! * **VAPRES switch-box fabric** at 100 MHz (this paper);
+//! * **TDM bus** at 50 MHz — Sedcole et al.'s Sonic-on-a-Chip reported
+//!   50 MHz due to long bus routes;
+//! * **processor-routed** — Ullmann et al. route all traffic through the
+//!   MicroBlaze (modelled at 10 CPU cycles per relayed word, 100 MHz).
+//!
+//! Reports per-stream throughput as the number of concurrent streams
+//! grows, and one-way latency vs hop distance for the pipelined fabric.
+
+use vapres_bench::{banner, row, rule};
+use vapres_sim::clock::ClockScheduler;
+use vapres_sim::time::{Freq, Ps};
+use vapres_stream::baseline::{ProcessorRoutedBus, TdmBus};
+use vapres_stream::fabric::{PortRef, StreamFabric};
+use vapres_stream::params::FabricParams;
+use vapres_stream::word::Word;
+
+const RUN: Ps = Ps::from_us(200);
+
+/// Per-stream throughput (Mwords/s) on the VAPRES fabric with `streams`
+/// concurrent channels spanning the whole array.
+fn fabric_throughput(streams: usize) -> f64 {
+    let params = FabricParams {
+        nodes: 4,
+        kr: streams.max(2),
+        kl: streams.max(2),
+        ki: streams,
+        ko: streams,
+        width_bits: 32,
+        fifo_depth: 512,
+    };
+    let mut fabric = StreamFabric::new(params).expect("params");
+    for s in 0..streams {
+        fabric
+            .establish_channel(PortRef::new(0, s), PortRef::new(3, s))
+            .expect("route");
+        fabric.set_fifo_ren(PortRef::new(0, s), true).expect("ren");
+        fabric.set_fifo_wen(PortRef::new(3, s), true).expect("wen");
+    }
+    let mut clocks = ClockScheduler::new();
+    let clk = clocks.add_domain(Freq::mhz(100));
+    let mut delivered = vec![0u64; streams];
+    let mut next = 0u32;
+    while clocks.next_edge_before(RUN).is_some() {
+        let _ = clk;
+        for s in 0..streams {
+            let p = PortRef::new(0, s);
+            if fabric.producer_space(p).unwrap() > 0 {
+                fabric.producer_push(p, Word::data(next)).unwrap();
+            }
+            next = next.wrapping_add(1);
+        }
+        fabric.tick();
+        for (s, d) in delivered.iter_mut().enumerate() {
+            while fabric.consumer_pop(PortRef::new(3, s)).unwrap().is_some() {
+                *d += 1;
+            }
+        }
+    }
+    let total: u64 = delivered.iter().sum();
+    total as f64 / streams as f64 / RUN.as_secs_f64() / 1e6
+}
+
+/// Per-stream throughput on the 50 MHz TDM bus with one slot per stream.
+fn tdm_throughput(streams: usize) -> f64 {
+    let mut bus = TdmBus::new(streams, 512);
+    let ids: Vec<_> = (0..streams).map(|_| bus.add_stream().expect("slot")).collect();
+    let mut clocks = ClockScheduler::new();
+    clocks.add_domain(Freq::mhz(50));
+    let mut delivered = 0u64;
+    while clocks.next_edge_before(RUN).is_some() {
+        for &id in &ids {
+            let _ = bus.push(id, Word::data(1));
+        }
+        bus.tick();
+        for &id in &ids {
+            if bus.pop(id).is_some() {
+                delivered += 1;
+            }
+        }
+    }
+    delivered as f64 / streams as f64 / RUN.as_secs_f64() / 1e6
+}
+
+/// Per-stream throughput with all words relayed by the processor.
+fn cpu_throughput(streams: usize) -> f64 {
+    let mut bus = ProcessorRoutedBus::new(10, 512);
+    let ids: Vec<_> = (0..streams).map(|_| bus.add_stream()).collect();
+    let mut clocks = ClockScheduler::new();
+    clocks.add_domain(Freq::mhz(100));
+    let mut delivered = 0u64;
+    while clocks.next_edge_before(RUN).is_some() {
+        for &id in &ids {
+            let _ = bus.push(id, Word::data(1));
+        }
+        bus.tick();
+        for &id in &ids {
+            if bus.pop(id).is_some() {
+                delivered += 1;
+            }
+        }
+    }
+    delivered as f64 / streams as f64 / RUN.as_secs_f64() / 1e6
+}
+
+/// One-word latency across `hops` switch boxes at 100 MHz, in ns.
+fn fabric_latency_ns(hops: usize) -> f64 {
+    let params = FabricParams {
+        nodes: hops + 1,
+        kr: 2,
+        kl: 2,
+        ki: 1,
+        ko: 1,
+        width_bits: 32,
+        fifo_depth: 512,
+    };
+    let mut fabric = StreamFabric::new(params).expect("params");
+    fabric
+        .establish_channel(PortRef::new(0, 0), PortRef::new(hops, 0))
+        .expect("route");
+    fabric.set_fifo_ren(PortRef::new(0, 0), true).unwrap();
+    fabric.set_fifo_wen(PortRef::new(hops, 0), true).unwrap();
+    fabric.producer_push(PortRef::new(0, 0), Word::data(1)).unwrap();
+    let mut cycles = 0u64;
+    loop {
+        fabric.tick();
+        cycles += 1;
+        if fabric.consumer_pop(PortRef::new(hops, 0)).unwrap().is_some() {
+            return cycles as f64 * 10.0; // 10 ns per 100 MHz cycle
+        }
+        assert!(cycles < 1_000, "word never arrived");
+    }
+}
+
+fn main() {
+    banner("E6", "switch-box fabric vs TDM bus vs processor-routed transport");
+
+    let widths = [10, 18, 18, 20];
+    println!("\n  per-stream throughput (Mwords/s):");
+    row(
+        &[&"streams", &"VAPRES@100MHz", &"TDM bus@50MHz", &"CPU-routed@100MHz"],
+        &widths,
+    );
+    rule(&widths);
+    for &streams in &[1usize, 2, 4] {
+        row(
+            &[
+                &streams,
+                &format!("{:.1}", fabric_throughput(streams)),
+                &format!("{:.1}", tdm_throughput(streams)),
+                &format!("{:.2}", cpu_throughput(streams)),
+            ],
+            &widths,
+        );
+    }
+
+    let widths2 = [8, 16];
+    println!("\n  fabric latency vs hop distance (pipelined, 1 cycle/hop):");
+    row(&[&"hops", &"latency"], &widths2);
+    rule(&widths2);
+    for &h in &[1usize, 2, 4, 7] {
+        row(&[&h, &format!("{:.0} ns", fabric_latency_ns(h))], &widths2);
+    }
+    println!(
+        "\n  expectation: VAPRES sustains one word/cycle per channel regardless of\n  \
+         stream count (dedicated slots); the TDM bus divides 50 MHz among its\n  \
+         slots; the processor relay caps near 10 Mword/s *total* and collapses\n  \
+         as streams multiply. Fabric latency grows one cycle per switch box."
+    );
+}

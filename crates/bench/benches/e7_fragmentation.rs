@@ -1,0 +1,91 @@
+//! E7 — PRR size: fragmentation vs reconfiguration time (paper Sec. V.B
+//! and the stated future work).
+//!
+//! "Since partial bitstream size will directly influence reconfiguration
+//! time ... a focus of our future work includes analyzing the tradeoffs
+//! between resource fragmentation and system performance for large verses
+//! small PRRs." This harness performs that analysis over the standard
+//! module library's slice demands and PRR policies from one to three
+//! clock regions, and validates the model's bitstream sizes against an
+//! actual generated bitstream.
+
+use vapres_bench::{banner, row, rule};
+use vapres_bitstream::stream::{ModuleUid, PartialBitstream};
+use vapres_bitstream::timing::{icap_write_time, sdram_copy_time};
+use vapres_core::module::ModuleLibrary;
+use vapres_fabric::geometry::{ClbRect, Device};
+use vapres_floorplan::fragmentation::{analyze, PrrSizePolicy};
+use vapres_modules::register_standard_modules;
+
+fn main() {
+    banner("E7", "PRR sizing: internal fragmentation vs reconfiguration time");
+
+    // The module mix: slice demand of every standard module (wrapper
+    // included), as the fragmentation analysis input.
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    let mix: Vec<u32> = [
+        vapres_modules::uids::PASSTHROUGH,
+        vapres_modules::uids::SCALER,
+        vapres_modules::uids::THRESHOLD,
+        vapres_modules::uids::DECIMATOR,
+        vapres_modules::uids::UPSAMPLER,
+        vapres_modules::uids::DELTA_ENCODER,
+        vapres_modules::uids::DELTA_DECODER,
+        vapres_modules::uids::MOVING_AVERAGE,
+        vapres_modules::uids::FIR_A,
+        vapres_modules::uids::FIR_B,
+        vapres_modules::uids::IIR_BIQUAD,
+        vapres_modules::uids::HAAR_DWT,
+    ]
+    .iter()
+    .map(|&uid| lib.instantiate(uid).expect("registered").required_slices())
+    .collect();
+    println!("\n  module mix (slices): {mix:?}");
+
+    let widths = [28, 8, 8, 12, 14, 16];
+    println!();
+    row(
+        &[&"PRR policy", &"fits", &"big", &"frag %", &"bitstream", &"array2icap"],
+        &widths,
+    );
+    rule(&widths);
+    for &(bands, cols) in &[(1u32, 4u32), (1, 10), (2, 10), (3, 10), (3, 14)] {
+        let policy = PrrSizePolicy { bands, cols };
+        let report = analyze(&mix, policy);
+        let bytes = report.bitstream_bytes;
+        let words = bytes / 4;
+        let reconfig = sdram_copy_time(bytes) + icap_write_time(words);
+        row(
+            &[
+                &policy.to_string(),
+                &report.fitting_modules,
+                &report.oversized_modules,
+                &format!("{:.1}", report.mean_fragmentation * 100.0),
+                &format!("{} KB", bytes / 1024),
+                &format!("{:.1} ms", reconfig.as_secs_f64() * 1e3),
+            ],
+            &widths,
+        );
+    }
+
+    // Model validation: the policy's payload size tracks a real generated
+    // bitstream (which adds ~0.5 % packet overhead).
+    let dev = Device::xc4vlx25();
+    let rect = ClbRect::new(0, 9, 0, 15);
+    let real = PartialBitstream::generate(&dev, &rect, ModuleUid(1)).expect("generate");
+    let model = PrrSizePolicy { bands: 1, cols: 10 }.bitstream_bytes();
+    let overhead = real.len_bytes() as f64 / model as f64;
+    println!(
+        "\n  model check: 1x10-region policy predicts {model} B payload; a real\n  \
+         bitstream is {} B (packet overhead factor {overhead:.4})",
+        real.len_bytes()
+    );
+    assert!(overhead > 1.0 && overhead < 1.02);
+
+    println!(
+        "\n  expectation: small PRRs -> low fragmentation and fast swaps but some\n  \
+         modules do not fit; large PRRs fit everything at 3x the bitstream and\n  \
+         reconfiguration cost and much higher average waste."
+    );
+}

@@ -1,0 +1,53 @@
+//! Shared helpers for the VAPRES experiment harnesses.
+//!
+//! Each `e*` bench target regenerates one table or figure of the paper's
+//! evaluation (see DESIGN.md's per-experiment index) and prints
+//! paper-vs-measured rows in a uniform format.
+
+use std::fmt::Display;
+
+/// Prints an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("\n=== {id}: {title} ===");
+}
+
+/// Prints one aligned table row.
+pub fn row(cols: &[&dyn Display], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{:<width$}", c.to_string(), width = w));
+    }
+    println!("  {}", line.trim_end());
+}
+
+/// Prints a rule line for a table of the given column widths.
+pub fn rule(widths: &[usize]) {
+    let total: usize = widths.iter().sum();
+    println!("  {}", "-".repeat(total));
+}
+
+/// Formats a paper-vs-measured comparison with relative error.
+pub fn compare(label: &str, paper: f64, measured: f64, unit: &str) {
+    let err = if paper != 0.0 {
+        format!("{:+.1}%", (measured - paper) / paper * 100.0)
+    } else {
+        "n/a".to_string()
+    };
+    println!(
+        "  {label:<34} paper: {paper:>12.4} {unit:<5} measured: {measured:>12.4} {unit:<5} ({err})"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_do_not_panic() {
+        banner("E0", "smoke");
+        row(&[&"a", &1], &[4, 4]);
+        rule(&[4, 4]);
+        compare("x", 1.0, 1.1, "s");
+        compare("z", 0.0, 1.0, "s");
+    }
+}

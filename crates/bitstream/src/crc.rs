@@ -1,0 +1,123 @@
+//! Bitstream CRC.
+//!
+//! Xilinx configuration logic checks a CRC register before activating a
+//! (partial) bitstream; a partial bitstream with a failing CRC is rejected
+//! and the PRR contents are undefined. We model that gate with a standard
+//! reflected CRC-32 (polynomial `0xEDB88320`) over the configuration data
+//! words.
+
+/// Running CRC-32 over 32-bit configuration words.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_bitstream::crc::Crc32;
+///
+/// let mut crc = Crc32::new();
+/// crc.update_word(0xDEAD_BEEF);
+/// let a = crc.value();
+/// crc.reset();
+/// crc.update_word(0xDEAD_BEEF);
+/// assert_eq!(crc.value(), a);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+}
+
+impl Crc32 {
+    /// Creates a reset CRC accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets to the initial state (the bitstream `RCRC` command).
+    pub fn reset(&mut self) {
+        self.state = 0xFFFF_FFFF;
+    }
+
+    /// Feeds one byte.
+    pub fn update_byte(&mut self, byte: u8) {
+        let mut c = (self.state ^ u32::from(byte)) & 0xFF;
+        for _ in 0..8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+        }
+        self.state = (self.state >> 8) ^ c;
+    }
+
+    /// Feeds one 32-bit word, little-endian byte order.
+    pub fn update_word(&mut self, word: u32) {
+        for b in word.to_le_bytes() {
+            self.update_byte(b);
+        }
+    }
+
+    /// Feeds a slice of words.
+    pub fn update_words(&mut self, words: &[u32]) {
+        for &w in words {
+            self.update_word(w);
+        }
+    }
+
+    /// The current CRC value (final XOR applied).
+    pub fn value(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC of a word slice.
+pub fn crc_of_words(words: &[u32]) -> u32 {
+    let mut c = Crc32::new();
+    c.update_words(words);
+    c.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // CRC-32 of the ASCII bytes "123456789" is 0xCBF43926.
+        let mut c = Crc32::new();
+        for b in b"123456789" {
+            c.update_byte(*b);
+        }
+        assert_eq!(c.value(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn word_update_matches_byte_update() {
+        let mut by_word = Crc32::new();
+        by_word.update_word(0x0403_0201);
+        let mut by_byte = Crc32::new();
+        for b in [0x01, 0x02, 0x03, 0x04] {
+            by_byte.update_byte(b);
+        }
+        assert_eq!(by_word.value(), by_byte.value());
+    }
+
+    #[test]
+    fn different_data_different_crc() {
+        assert_ne!(crc_of_words(&[1, 2, 3]), crc_of_words(&[1, 2, 4]));
+        assert_ne!(crc_of_words(&[1, 2, 3]), crc_of_words(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut c = Crc32::new();
+        c.update_words(&[9, 9, 9]);
+        c.reset();
+        assert_eq!(c.value(), Crc32::new().value());
+    }
+}

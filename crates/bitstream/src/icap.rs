@@ -1,0 +1,375 @@
+//! The internal configuration access port (ICAP) and configuration memory.
+//!
+//! The ICAP is the on-die write port into configuration memory. Writing a
+//! partial bitstream through it reconfigures the addressed frames — and
+//! only those frames — while the rest of the device keeps running. The
+//! model enforces the properties the VAPRES switching methodology leans
+//! on:
+//!
+//! * a module "exists" only after its complete bitstream has passed the
+//!   CRC check and desynced;
+//! * a failed (corrupt/truncated) write leaves the touched frames zeroed —
+//!   the PRR contents are undefined, never half-old/half-new;
+//! * writes are timed at the calibrated polled-driver rate.
+
+use crate::stream::{self, ModuleUid, ParseError, ParsedBitstream};
+use crate::timing;
+use std::collections::BTreeMap;
+use vapres_fabric::frame::FrameAddress;
+use vapres_sim::time::Ps;
+
+/// The device's configuration memory: frame address → frame words.
+///
+/// Only frames that have been written (by full or partial reconfiguration)
+/// are present; untouched addresses read as all-zero frames.
+#[derive(Debug, Clone, Default)]
+pub struct ConfigMemory {
+    frames: BTreeMap<u32, Vec<u32>>,
+}
+
+impl ConfigMemory {
+    /// Empty (erased) configuration memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The words of the frame at `far`, if it has ever been written.
+    pub fn frame(&self, far: FrameAddress) -> Option<&[u32]> {
+        self.frames.get(&far.encode()).map(Vec::as_slice)
+    }
+
+    /// Number of distinct frames written.
+    pub fn written_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn write_frame(&mut self, far: FrameAddress, words: Vec<u32>) {
+        self.frames.insert(far.encode(), words);
+    }
+
+    /// Flips one configuration bit — a simulated single-event upset.
+    /// Returns `false` if the frame has never been written or the indices
+    /// are out of range.
+    pub fn inject_upset(&mut self, far: FrameAddress, word: usize, bit: u32) -> bool {
+        if bit >= 32 {
+            return false;
+        }
+        match self.frames.get_mut(&far.encode()) {
+            Some(frame) if word < frame.len() => {
+                frame[word] ^= 1 << bit;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn zero_frame(&mut self, far: FrameAddress) {
+        self.frames.insert(far.encode(), vec![0; 41]);
+    }
+}
+
+/// Result of a successful ICAP write: what was configured and how long the
+/// write took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcapWrite {
+    /// The module now instantiated in the reconfigured frames.
+    pub uid: ModuleUid,
+    /// Frame addresses written, in order.
+    pub frames_written: Vec<FrameAddress>,
+    /// Time the polled driver spent pushing words into the port.
+    pub duration: Ps,
+}
+
+/// The internal configuration access port.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_bitstream::icap::Icap;
+/// use vapres_bitstream::stream::{ModuleUid, PartialBitstream};
+/// use vapres_fabric::geometry::{ClbRect, Device};
+///
+/// let dev = Device::xc4vlx25();
+/// let prr = ClbRect::new(0, 9, 0, 15);
+/// let bs = PartialBitstream::generate(&dev, &prr, ModuleUid(42))?;
+///
+/// let mut icap = Icap::new();
+/// let write = icap.write_stream(bs.words())?;
+/// assert_eq!(write.uid, ModuleUid(42));
+/// assert_eq!(write.frames_written.len(), 220);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Icap {
+    memory: ConfigMemory,
+    writes: u64,
+    failed_writes: u64,
+}
+
+impl Icap {
+    /// A fresh ICAP over erased configuration memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pushes a complete configuration word stream through the port.
+    ///
+    /// On success the addressed frames hold the new configuration and the
+    /// instantiated [`ModuleUid`] is reported. On failure the addressed
+    /// frames are zeroed (contents undefined after an aborted partial
+    /// reconfiguration) and the error is returned; the caller must treat
+    /// the PRR as unconfigured.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ParseError`]: missing sync, truncation, malformed packets,
+    /// CRC mismatch, wrong IDCODE, missing desync.
+    pub fn write_stream(&mut self, words: &[u32]) -> Result<IcapWrite, ParseError> {
+        self.writes += 1;
+        match stream::parse(words) {
+            Ok(parsed) => {
+                if parsed.idcode != stream::IDCODE_XC4VLX25 {
+                    self.failed_writes += 1;
+                    return Err(ParseError::WrongDevice {
+                        found: parsed.idcode,
+                        device: stream::IDCODE_XC4VLX25,
+                    });
+                }
+                let mut written = Vec::with_capacity(parsed.frames.len());
+                for (far, data) in parsed.frames {
+                    self.memory.write_frame(far, data);
+                    written.push(far);
+                }
+                Ok(IcapWrite {
+                    uid: parsed.uid,
+                    frames_written: written,
+                    duration: timing::icap_write_time(words.len() as u64),
+                })
+            }
+            Err(e) => {
+                self.failed_writes += 1;
+                // Best-effort recovery of which frames were touched before
+                // the failure: parse leniently for FAR/Type2 structure and
+                // zero whatever we can attribute. A truncated/corrupt
+                // stream may still have clocked frames in.
+                for far in touched_frames(words) {
+                    self.memory.zero_frame(far);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// The configuration memory behind the port.
+    pub fn memory(&self) -> &ConfigMemory {
+        &self.memory
+    }
+
+    /// Mutable access to configuration memory — for fault-injection
+    /// experiments (single-event upsets), not normal operation.
+    pub fn memory_mut(&mut self) -> &mut ConfigMemory {
+        &mut self.memory
+    }
+
+    /// Reads back the frames a golden bitstream covers and returns the
+    /// addresses whose contents differ — the detection half of
+    /// configuration scrubbing (the paper's fault-tolerance citation,
+    /// Emmert et al.). Also returns the readback time (same driver rate
+    /// as writes).
+    pub fn verify(&self, golden: &ParsedBitstream) -> (Vec<FrameAddress>, Ps) {
+        let mut bad = Vec::new();
+        let mut words = 0u64;
+        for (far, expect) in &golden.frames {
+            words += expect.len() as u64;
+            match self.memory.frame(*far) {
+                Some(actual) if actual == expect.as_slice() => {}
+                _ => bad.push(*far),
+            }
+        }
+        (bad, timing::icap_write_time(words))
+    }
+
+    /// Repairs every mismatched frame from the golden bitstream (the
+    /// rewrite half of scrubbing). Returns the repaired addresses and the
+    /// total time (readback + rewriting only the bad frames).
+    pub fn scrub(&mut self, golden: &ParsedBitstream) -> (Vec<FrameAddress>, Ps) {
+        let (bad, read_time) = self.verify(golden);
+        let mut rewrite_words = 0u64;
+        for far in &bad {
+            if let Some((_, data)) = golden.frames.iter().find(|(f, _)| f == far) {
+                rewrite_words += data.len() as u64;
+                self.memory.write_frame(*far, data.clone());
+            }
+        }
+        (bad, read_time + timing::icap_write_time(rewrite_words))
+    }
+
+    /// Total write attempts.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Write attempts that failed validation.
+    pub fn failed_write_count(&self) -> u64 {
+        self.failed_writes
+    }
+}
+
+/// Lenient scan for the frames a (possibly corrupt) stream addresses:
+/// every decodable FAR write starts a run whose length is bounded by the
+/// following FDRI payload.
+fn touched_frames(words: &[u32]) -> Vec<FrameAddress> {
+    use crate::packet::{self, ConfigReg, Packet};
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut current: Option<FrameAddress> = None;
+    while i < words.len() {
+        match packet::decode(words[i]) {
+            Some(Packet::Type1Write { reg, word_count }) => {
+                let end = (i + 1 + word_count as usize).min(words.len());
+                if reg == ConfigReg::Far {
+                    if let Some(&raw) = words.get(i + 1) {
+                        current = FrameAddress::decode(raw);
+                    }
+                }
+                i = end;
+            }
+            Some(Packet::Type2Write { word_count }) => {
+                let avail = words.len().saturating_sub(i + 1);
+                let payload = (word_count as usize).min(avail);
+                if let Some(mut far) = current {
+                    for _ in 0..payload / 41 {
+                        out.push(far);
+                        far.minor += 1;
+                    }
+                    current = Some(far);
+                }
+                i += 1 + payload;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::PartialBitstream;
+    use vapres_fabric::geometry::{ClbRect, Device};
+
+    fn proto_bitstream(uid: u32) -> PartialBitstream {
+        let dev = Device::xc4vlx25();
+        let prr = ClbRect::new(0, 9, 0, 15);
+        PartialBitstream::generate(&dev, &prr, ModuleUid(uid)).unwrap()
+    }
+
+    #[test]
+    fn successful_write_configures_frames() {
+        let mut icap = Icap::new();
+        let bs = proto_bitstream(0xAB);
+        let w = icap.write_stream(bs.words()).unwrap();
+        assert_eq!(w.uid, ModuleUid(0xAB));
+        assert_eq!(w.frames_written.len(), 220);
+        assert_eq!(icap.memory().written_frames(), 220);
+        assert_eq!(icap.write_count(), 1);
+        assert_eq!(icap.failed_write_count(), 0);
+        // Duration matches the calibrated driver rate.
+        assert_eq!(w.duration, timing::icap_write_time(bs.words().len() as u64));
+    }
+
+    #[test]
+    fn rewrite_replaces_frames() {
+        let mut icap = Icap::new();
+        let a = proto_bitstream(1);
+        let b = proto_bitstream(2);
+        icap.write_stream(a.words()).unwrap();
+        let far0 = icap.write_stream(b.words()).unwrap().frames_written[0];
+        // Frame content now derives from module 2.
+        let frame = icap.memory().frame(far0).unwrap();
+        assert_eq!(frame[0] ^ crate::stream::UID_MASK, 2);
+        assert_eq!(icap.memory().written_frames(), 220);
+    }
+
+    #[test]
+    fn corrupt_write_zeroes_touched_frames() {
+        let mut icap = Icap::new();
+        let bs = proto_bitstream(7);
+        let mut words = bs.words().to_vec();
+        let mid = words.len() / 2;
+        words[mid] ^= 0x10;
+        let err = icap.write_stream(&words).unwrap_err();
+        assert!(matches!(err, ParseError::CrcMismatch { .. }));
+        assert_eq!(icap.failed_write_count(), 1);
+        // Every frame the stream addressed reads as zeros now.
+        let some_far = touched_frames(&words)[0];
+        assert_eq!(icap.memory().frame(some_far).unwrap(), &[0u32; 41]);
+    }
+
+    #[test]
+    fn truncated_write_fails_and_zeroes() {
+        let mut icap = Icap::new();
+        let bs = proto_bitstream(9);
+        let words = &bs.words()[..bs.words().len() * 2 / 3];
+        assert!(icap.write_stream(words).is_err());
+        assert!(icap.memory().written_frames() > 0); // zeroed frames recorded
+    }
+
+    #[test]
+    fn verify_clean_configuration_is_empty() {
+        let mut icap = Icap::new();
+        let bs = proto_bitstream(5);
+        icap.write_stream(bs.words()).unwrap();
+        let golden = crate::stream::parse(bs.words()).unwrap();
+        let (bad, t) = icap.verify(&golden);
+        assert!(bad.is_empty());
+        assert!(t > Ps::new(0));
+    }
+
+    #[test]
+    fn seu_detected_and_scrubbed() {
+        let mut icap = Icap::new();
+        let bs = proto_bitstream(5);
+        let write = icap.write_stream(bs.words()).unwrap();
+        let golden = crate::stream::parse(bs.words()).unwrap();
+        // Flip one bit in the middle of the configuration.
+        let far = write.frames_written[100];
+        assert!(icap.memory_mut().inject_upset(far, 7, 13));
+        let (bad, _) = icap.verify(&golden);
+        assert_eq!(bad, vec![far]);
+        let (repaired, t) = icap.scrub(&golden);
+        assert_eq!(repaired, vec![far]);
+        assert!(t > Ps::new(0));
+        let (bad, _) = icap.verify(&golden);
+        assert!(bad.is_empty(), "scrub must restore the configuration");
+    }
+
+    #[test]
+    fn inject_upset_bounds() {
+        let mut icap = Icap::new();
+        let far = FrameAddress {
+            block: vapres_fabric::frame::BlockType::Clb,
+            band: 0,
+            major: 0,
+            minor: 0,
+        };
+        assert!(!icap.memory_mut().inject_upset(far, 0, 0)); // unwritten
+        let bs = proto_bitstream(1);
+        let w = icap.write_stream(bs.words()).unwrap();
+        let far = w.frames_written[0];
+        assert!(!icap.memory_mut().inject_upset(far, 999, 0));
+        assert!(!icap.memory_mut().inject_upset(far, 0, 32));
+    }
+
+    #[test]
+    fn unwritten_frames_read_none() {
+        let icap = Icap::new();
+        let far = FrameAddress {
+            block: vapres_fabric::frame::BlockType::Clb,
+            band: 0,
+            major: 0,
+            minor: 0,
+        };
+        assert!(icap.memory().frame(far).is_none());
+    }
+}

@@ -1,0 +1,59 @@
+//! # vapres-bitstream
+//!
+//! Partial bitstream format, ICAP model, and timed storage devices for the
+//! VAPRES reproduction (Jara-Berrocal & Gordon-Ross, DATE 2010).
+//!
+//! The paper's quantitative evaluation is dominated by one question: *how
+//! long does it take to move a partial bitstream into configuration
+//! memory?* This crate answers it mechanistically:
+//!
+//! * [`stream`] — generation and parsing of frame-addressed partial
+//!   bitstreams (sync word, type-1/type-2 packets, FAR writes, CRC,
+//!   desync) whose sizes derive from real Virtex-4 frame geometry;
+//! * [`packet`] / [`crc`] — the word-level encoding and the CRC gate;
+//! * [`icap`] — the configuration write port: validated whole-stream
+//!   writes, destructive failure semantics, calibrated write timing;
+//! * [`storage`] — CompactFlash (slow file reads) and SDRAM (fast staged
+//!   arrays), the two bitstream sources the paper compares;
+//! * [`timing`] — the three calibrated constants that reproduce the
+//!   paper's 1.043 s / 71.94 ms / 95.3 %-4.7 % measurements, with their
+//!   derivations.
+//!
+//! # Examples
+//!
+//! Reproduce the paper's `vapres_cf2icap` timing shape:
+//!
+//! ```
+//! use vapres_bitstream::icap::Icap;
+//! use vapres_bitstream::storage::CompactFlash;
+//! use vapres_bitstream::stream::{ModuleUid, PartialBitstream};
+//! use vapres_fabric::geometry::{ClbRect, Device};
+//!
+//! let dev = Device::xc4vlx25();
+//! let prr = ClbRect::new(0, 9, 0, 15); // 640 slices, as in the paper
+//! let bs = PartialBitstream::generate(&dev, &prr, ModuleUid(1))?;
+//!
+//! let mut cf = CompactFlash::new();
+//! cf.store("filter.bit", bs.to_bytes());
+//!
+//! let (bytes, t_read) = cf.read("filter.bit")?;
+//! let parsed = PartialBitstream::from_bytes(&bytes)?;
+//! let mut icap = Icap::new();
+//! let write = icap.write_stream(bs.words())?;
+//!
+//! let total = t_read + write.duration;
+//! assert!((total.as_secs_f64() - 1.043).abs() < 0.03); // paper: 1.043 s
+//! assert_eq!(parsed.uid, ModuleUid(1));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod crc;
+pub mod icap;
+pub mod packet;
+pub mod storage;
+pub mod stream;
+pub mod timing;
+
+pub use icap::{ConfigMemory, Icap, IcapWrite};
+pub use storage::{CompactFlash, Sdram, StorageError};
+pub use stream::{ModuleUid, ParseError, PartialBitstream, ParsedBitstream};

@@ -1,0 +1,254 @@
+//! Configuration packet encoding.
+//!
+//! A (partial) bitstream is a sequence of 32-bit words: a sync word
+//! followed by *type-1* packets (register writes with a 11-bit word count)
+//! and *type-2* packets (a large word count for the frame-data register,
+//! following a zero-length type-1 header). The layout mirrors the Virtex-4
+//! configuration interface closely enough that sizes and write ordering are
+//! faithful.
+
+use std::fmt;
+
+/// The synchronization word that precedes every configuration sequence.
+pub const SYNC_WORD: u32 = 0xAA99_5566;
+/// Dummy padding word.
+pub const DUMMY_WORD: u32 = 0xFFFF_FFFF;
+
+/// Configuration registers addressable by type-1 packets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ConfigReg {
+    /// CRC check register.
+    Crc,
+    /// Frame address register.
+    Far,
+    /// Frame data input register.
+    Fdri,
+    /// Command register.
+    Cmd,
+    /// Device ID register.
+    Idcode,
+}
+
+impl ConfigReg {
+    /// The 5-bit register address.
+    pub fn encode(self) -> u32 {
+        match self {
+            ConfigReg::Crc => 0b00000,
+            ConfigReg::Far => 0b00001,
+            ConfigReg::Fdri => 0b00010,
+            ConfigReg::Cmd => 0b00100,
+            ConfigReg::Idcode => 0b01100,
+        }
+    }
+
+    /// Decodes a 5-bit register address.
+    pub fn decode(bits: u32) -> Option<Self> {
+        match bits {
+            0b00000 => Some(ConfigReg::Crc),
+            0b00001 => Some(ConfigReg::Far),
+            0b00010 => Some(ConfigReg::Fdri),
+            0b00100 => Some(ConfigReg::Cmd),
+            0b01100 => Some(ConfigReg::Idcode),
+            _ => None,
+        }
+    }
+}
+
+/// Commands written to the `CMD` register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Command {
+    /// Null command.
+    Null,
+    /// Write configuration data (precedes FDRI writes).
+    Wcfg,
+    /// Last frame (flush pipeline).
+    Lfrm,
+    /// Reset the CRC register.
+    Rcrc,
+    /// Desynchronize — ends the configuration sequence.
+    Desync,
+}
+
+impl Command {
+    /// The command encoding.
+    pub fn encode(self) -> u32 {
+        match self {
+            Command::Null => 0b00000,
+            Command::Wcfg => 0b00001,
+            Command::Lfrm => 0b00011,
+            Command::Rcrc => 0b00111,
+            Command::Desync => 0b01101,
+        }
+    }
+
+    /// Decodes a command word.
+    pub fn decode(bits: u32) -> Option<Self> {
+        match bits {
+            0b00000 => Some(Command::Null),
+            0b00001 => Some(Command::Wcfg),
+            0b00011 => Some(Command::Lfrm),
+            0b00111 => Some(Command::Rcrc),
+            0b01101 => Some(Command::Desync),
+            _ => None,
+        }
+    }
+}
+
+/// A decoded packet header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Packet {
+    /// Type-1: write `word_count` words to `reg`.
+    Type1Write {
+        /// Destination register.
+        reg: ConfigReg,
+        /// Number of payload words that follow.
+        word_count: u32,
+    },
+    /// Type-2: write `word_count` words to the register named by the
+    /// preceding type-1 header (always FDRI here).
+    Type2Write {
+        /// Number of payload words that follow.
+        word_count: u32,
+    },
+    /// A no-op packet.
+    Noop,
+}
+
+/// Maximum word count expressible in a type-1 header.
+pub const TYPE1_MAX_WORDS: u32 = 0x7FF;
+
+/// Encodes a type-1 write header.
+///
+/// # Panics
+///
+/// Panics if `word_count` exceeds [`TYPE1_MAX_WORDS`].
+pub fn type1_write(reg: ConfigReg, word_count: u32) -> u32 {
+    assert!(
+        word_count <= TYPE1_MAX_WORDS,
+        "type-1 word count {word_count} exceeds 11 bits"
+    );
+    // [31:29]=001 (type1), [28:27]=10 (write), [17:13]=reg, [10:0]=count
+    (0b001 << 29) | (0b10 << 27) | (reg.encode() << 13) | word_count
+}
+
+/// Encodes a type-2 write header (register carried by the preceding
+/// type-1 packet).
+///
+/// # Panics
+///
+/// Panics if `word_count` needs more than 27 bits.
+pub fn type2_write(word_count: u32) -> u32 {
+    assert!(word_count < (1 << 27), "type-2 word count exceeds 27 bits");
+    // [31:29]=010 (type2), [28:27]=10 (write), [26:0]=count
+    (0b010 << 29) | (0b10 << 27) | word_count
+}
+
+/// Encodes a no-op packet.
+pub fn noop() -> u32 {
+    0b001 << 29 // type-1, op=00 (nop)
+}
+
+/// Decodes a packet header word.
+///
+/// Returns `None` for malformed headers (unknown type/opcode/register).
+pub fn decode(word: u32) -> Option<Packet> {
+    let ty = word >> 29;
+    let op = (word >> 27) & 0b11;
+    match (ty, op) {
+        (0b001, 0b00) => Some(Packet::Noop),
+        (0b001, 0b10) => {
+            let reg = ConfigReg::decode((word >> 13) & 0b1_1111)?;
+            Some(Packet::Type1Write {
+                reg,
+                word_count: word & TYPE1_MAX_WORDS,
+            })
+        }
+        (0b010, 0b10) => Some(Packet::Type2Write {
+            word_count: word & 0x07FF_FFFF,
+        }),
+        _ => None,
+    }
+}
+
+impl fmt::Display for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Packet::Type1Write { reg, word_count } => {
+                write!(f, "T1W {reg:?} x{word_count}")
+            }
+            Packet::Type2Write { word_count } => write!(f, "T2W x{word_count}"),
+            Packet::Noop => write!(f, "NOOP"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type1_roundtrip() {
+        for reg in [
+            ConfigReg::Crc,
+            ConfigReg::Far,
+            ConfigReg::Fdri,
+            ConfigReg::Cmd,
+            ConfigReg::Idcode,
+        ] {
+            for count in [0, 1, 5, TYPE1_MAX_WORDS] {
+                let word = type1_write(reg, count);
+                assert_eq!(
+                    decode(word),
+                    Some(Packet::Type1Write {
+                        reg,
+                        word_count: count
+                    })
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn type2_roundtrip() {
+        for count in [0u32, 1, 9_020, (1 << 27) - 1] {
+            assert_eq!(
+                decode(type2_write(count)),
+                Some(Packet::Type2Write { word_count: count })
+            );
+        }
+    }
+
+    #[test]
+    fn noop_roundtrip() {
+        assert_eq!(decode(noop()), Some(Packet::Noop));
+    }
+
+    #[test]
+    fn garbage_does_not_decode() {
+        assert_eq!(decode(0xFFFF_FFFF), None);
+        assert_eq!(decode(SYNC_WORD), None);
+        // Valid type-1 write but reserved register address.
+        let bad_reg = (0b001 << 29) | (0b10 << 27) | (0b11111 << 13);
+        assert_eq!(decode(bad_reg), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds 11 bits")]
+    fn type1_overflow_panics() {
+        type1_write(ConfigReg::Fdri, TYPE1_MAX_WORDS + 1);
+    }
+
+    #[test]
+    fn command_roundtrip() {
+        for cmd in [
+            Command::Null,
+            Command::Wcfg,
+            Command::Lfrm,
+            Command::Rcrc,
+            Command::Desync,
+        ] {
+            assert_eq!(Command::decode(cmd.encode()), Some(cmd));
+        }
+        assert_eq!(Command::decode(0b11111), None);
+    }
+}

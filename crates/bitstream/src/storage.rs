@@ -1,0 +1,210 @@
+//! Timed external storage: CompactFlash and SDRAM.
+//!
+//! The paper stores partial bitstreams either as files on the ML401's
+//! CompactFlash card (read through the SysACE filesystem layer — slow) or
+//! pre-staged as arrays in SDRAM at startup (fast). Both models return the
+//! bytes *and* the time the transfer takes, so callers charge the cost to
+//! the simulation clock.
+
+use crate::timing;
+use std::collections::BTreeMap;
+use std::fmt;
+use vapres_sim::time::Ps;
+
+/// An error from a storage operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// No file/array with the given name.
+    NotFound(String),
+    /// An array with this name already exists.
+    AlreadyExists(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::NotFound(n) => write!(f, "no stored object named {n:?}"),
+            StorageError::AlreadyExists(n) => write!(f, "object {n:?} already exists"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// A CompactFlash card holding named bitstream files.
+///
+/// Reads are charged at the calibrated
+/// [`timing::CF_READ_BYTES_PER_SEC`] rate.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_bitstream::storage::CompactFlash;
+///
+/// let mut cf = CompactFlash::new();
+/// cf.store("filter_a.bit", vec![0u8; 1024]);
+/// let (data, took) = cf.read("filter_a.bit")?;
+/// assert_eq!(data.len(), 1024);
+/// assert!(took.as_ms() >= 28); // 1 KiB at ~36.5 KB/s
+/// # Ok::<(), vapres_bitstream::storage::StorageError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CompactFlash {
+    files: BTreeMap<String, Vec<u8>>,
+}
+
+impl CompactFlash {
+    /// An empty card.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes (or replaces) a file. Host-side provisioning: free.
+    pub fn store(&mut self, name: impl Into<String>, data: Vec<u8>) {
+        self.files.insert(name.into(), data);
+    }
+
+    /// Reads a whole file, returning its contents and the transfer time.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] if the file does not exist.
+    pub fn read(&self, name: &str) -> Result<(Vec<u8>, Ps), StorageError> {
+        let data = self
+            .files
+            .get(name)
+            .ok_or_else(|| StorageError::NotFound(name.to_string()))?;
+        Ok((data.clone(), timing::cf_read_time(data.len() as u64)))
+    }
+
+    /// Size of a file without reading it (directory metadata access).
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] if the file does not exist.
+    pub fn file_size(&self, name: &str) -> Result<u64, StorageError> {
+        self.files
+            .get(name)
+            .map(|d| d.len() as u64)
+            .ok_or_else(|| StorageError::NotFound(name.to_string()))
+    }
+
+    /// Names of stored files in lexical order.
+    pub fn file_names(&self) -> impl Iterator<Item = &str> {
+        self.files.keys().map(String::as_str)
+    }
+}
+
+/// External SDRAM holding named bitstream arrays.
+///
+/// Reads are charged at the calibrated
+/// [`timing::SDRAM_COPY_BYTES_PER_SEC`] rate; writes (staging at startup)
+/// are charged the same way.
+#[derive(Debug, Clone, Default)]
+pub struct Sdram {
+    arrays: BTreeMap<String, Vec<u8>>,
+}
+
+impl Sdram {
+    /// Empty SDRAM.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stages an array into SDRAM, returning the copy time.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::AlreadyExists`] if the name is taken — re-staging is
+    /// almost always an application bug.
+    pub fn stage(&mut self, name: impl Into<String>, data: Vec<u8>) -> Result<Ps, StorageError> {
+        let name = name.into();
+        if self.arrays.contains_key(&name) {
+            return Err(StorageError::AlreadyExists(name));
+        }
+        let t = timing::sdram_copy_time(data.len() as u64);
+        self.arrays.insert(name, data);
+        Ok(t)
+    }
+
+    /// Reads a staged array, returning contents and transfer time.
+    ///
+    /// # Errors
+    ///
+    /// [`StorageError::NotFound`] if the array does not exist.
+    pub fn read(&self, name: &str) -> Result<(Vec<u8>, Ps), StorageError> {
+        let data = self
+            .arrays
+            .get(name)
+            .ok_or_else(|| StorageError::NotFound(name.to_string()))?;
+        Ok((data.clone(), timing::sdram_copy_time(data.len() as u64)))
+    }
+
+    /// Whether an array is staged.
+    pub fn contains(&self, name: &str) -> bool {
+        self.arrays.contains_key(name)
+    }
+
+    /// Total staged bytes.
+    pub fn used_bytes(&self) -> u64 {
+        self.arrays.values().map(|v| v.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cf_read_missing_file() {
+        let cf = CompactFlash::new();
+        assert!(matches!(cf.read("nope"), Err(StorageError::NotFound(_))));
+        assert!(matches!(
+            cf.file_size("nope"),
+            Err(StorageError::NotFound(_))
+        ));
+    }
+
+    #[test]
+    fn cf_store_read_roundtrip() {
+        let mut cf = CompactFlash::new();
+        cf.store("a.bit", vec![1, 2, 3]);
+        let (data, t) = cf.read("a.bit").unwrap();
+        assert_eq!(data, vec![1, 2, 3]);
+        assert!(t > Ps::ZERO);
+        assert_eq!(cf.file_size("a.bit").unwrap(), 3);
+        assert_eq!(cf.file_names().collect::<Vec<_>>(), vec!["a.bit"]);
+    }
+
+    #[test]
+    fn cf_is_much_slower_than_sdram() {
+        let mut cf = CompactFlash::new();
+        cf.store("x", vec![0; 36_300]);
+        let (_, t_cf) = cf.read("x").unwrap();
+        let mut sd = Sdram::new();
+        sd.stage("x", vec![0; 36_300]).unwrap();
+        let (_, t_sd) = sd.read("x").unwrap();
+        let ratio = t_cf.as_secs_f64() / t_sd.as_secs_f64();
+        assert!(ratio > 30.0, "CF/SDRAM ratio {ratio}");
+    }
+
+    #[test]
+    fn sdram_rejects_double_stage() {
+        let mut sd = Sdram::new();
+        sd.stage("a", vec![1]).unwrap();
+        assert!(matches!(
+            sd.stage("a", vec![2]),
+            Err(StorageError::AlreadyExists(_))
+        ));
+        assert!(sd.contains("a"));
+        assert_eq!(sd.used_bytes(), 1);
+    }
+
+    #[test]
+    fn storage_error_display() {
+        assert!(StorageError::NotFound("x".into()).to_string().contains("x"));
+        assert!(StorageError::AlreadyExists("y".into())
+            .to_string()
+            .contains("exists"));
+    }
+}

@@ -1,0 +1,120 @@
+//! Minimal flag parser — `--key value` pairs plus positionals, no
+//! external dependencies.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A command-line parsing error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed arguments: `--key value` options and bare positionals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    options: BTreeMap<String, String>,
+    positionals: Vec<String>,
+}
+
+impl Args {
+    /// Parses a token list (without the program/subcommand names).
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] when a `--flag` has no value.
+    pub fn parse<I, S>(tokens: I) -> Result<Self, ArgError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut out = Args::default();
+        let mut iter = tokens.into_iter().map(Into::into);
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError(format!("--{key} needs a value")))?;
+                out.options.insert(key.to_string(), value);
+            } else {
+                out.positionals.push(tok);
+            }
+        }
+        Ok(out)
+    }
+
+    /// An option's raw value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// An option's value or a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// A required option.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] when absent.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required --{key}")))
+    }
+
+    /// A numeric option with default.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError`] on unparsable values.
+    pub fn get_num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| ArgError(format!("--{key}: cannot parse {v:?}"))),
+        }
+    }
+
+    /// The positional arguments.
+    pub fn positionals(&self) -> &[String] {
+        &self.positionals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = Args::parse(["--device", "lx25", "file.ucf", "--prrs", "640,640"]).unwrap();
+        assert_eq!(a.get("device"), Some("lx25"));
+        assert_eq!(a.get("prrs"), Some("640,640"));
+        assert_eq!(a.positionals(), ["file.ucf"]);
+        assert_eq!(a.get_or("missing", "d"), "d");
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        assert!(Args::parse(["--device"]).is_err());
+    }
+
+    #[test]
+    fn require_and_numbers() {
+        let a = Args::parse(["--n", "7"]).unwrap();
+        assert_eq!(a.require("n").unwrap(), "7");
+        assert!(a.require("m").is_err());
+        assert_eq!(a.get_num("n", 0usize).unwrap(), 7);
+        assert_eq!(a.get_num("m", 3usize).unwrap(), 3);
+        let b = Args::parse(["--n", "x"]).unwrap();
+        assert!(b.get_num::<usize>("n", 0).is_err());
+    }
+}

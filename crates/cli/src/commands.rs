@@ -1,0 +1,407 @@
+//! The `vapres` subcommands, testable against any `Write` sink.
+
+use crate::args::{ArgError, Args};
+use std::fmt;
+use std::io::Write;
+use vapres_bitstream::stream::{ModuleUid, PartialBitstream};
+use vapres_bitstream::timing;
+use vapres_fabric::geometry::{ClbRect, Device};
+use vapres_fabric::resources::{ResourceBudget, ResourceKind};
+use vapres_floorplan::planner::{plan, PrrRequest};
+use vapres_floorplan::resources::{comm_arch_slices, static_region_slices};
+use vapres_floorplan::report::utilization_report;
+use vapres_floorplan::sysdef::{generate_mhs, generate_ucf, parse_ucf};
+use vapres_stream::params::FabricParams;
+
+/// A command failure (message already formatted for the user).
+#[derive(Debug)]
+pub struct CmdError(pub String);
+
+impl fmt::Display for CmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CmdError {}
+
+impl From<ArgError> for CmdError {
+    fn from(e: ArgError) -> Self {
+        CmdError(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CmdError {
+    fn from(e: std::io::Error) -> Self {
+        CmdError(format!("io: {e}"))
+    }
+}
+
+fn device_by_name(name: &str) -> Result<Device, CmdError> {
+    match name {
+        "lx25" | "xc4vlx25" => Ok(Device::xc4vlx25()),
+        "lx60" | "xc4vlx60" => Ok(Device::xc4vlx60()),
+        "lx100" | "xc4vlx100" => Ok(Device::xc4vlx100()),
+        other => Err(CmdError(format!(
+            "unknown device {other:?} (lx25 | lx60 | lx100)"
+        ))),
+    }
+}
+
+fn fabric_params(args: &Args) -> Result<FabricParams, CmdError> {
+    let base = FabricParams::prototype();
+    let params = FabricParams {
+        nodes: args.get_num("nodes", base.nodes)?,
+        kr: args.get_num("kr", base.kr)?,
+        kl: args.get_num("kl", base.kl)?,
+        ki: args.get_num("ki", base.ki)?,
+        ko: args.get_num("ko", base.ko)?,
+        width_bits: args.get_num("width", base.width_bits)?,
+        fifo_depth: args.get_num("fifo-depth", base.fifo_depth)?,
+    };
+    params.validate().map_err(|e| CmdError(e.to_string()))?;
+    Ok(params)
+}
+
+/// `vapres resources` — the E1 slice model for arbitrary parameters.
+pub fn cmd_resources(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    let params = fabric_params(args)?;
+    let device = device_by_name(args.get_or("device", "lx25"))?;
+    let inventory = ResourceBudget::of_device(&device);
+    let device_slices = inventory.get(ResourceKind::Slice);
+    let static_slices = static_region_slices(&params);
+    let comm = comm_arch_slices(&params);
+    writeln!(out, "device           : {device}")?;
+    writeln!(
+        out,
+        "parameters       : N={} w={} kr={} kl={} ki={} ko={}",
+        params.nodes, params.width_bits, params.kr, params.kl, params.ki, params.ko
+    )?;
+    writeln!(out, "comm architecture: {comm} slices")?;
+    writeln!(
+        out,
+        "static region    : {static_slices} slices ({:.1}% of device)",
+        100.0 * f64::from(static_slices) / device_slices as f64
+    )?;
+    if u64::from(static_slices) > device_slices {
+        writeln!(out, "WARNING: static region does not fit this device")?;
+    }
+    Ok(())
+}
+
+/// `vapres floorplan --prrs 640,640 [--device lx25] [--ucf out.ucf] [--art yes]`.
+pub fn cmd_floorplan(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    let device = device_by_name(args.get_or("device", "lx25"))?;
+    let prrs: Vec<u32> = args
+        .require("prrs")?
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| CmdError(format!("bad slice count {s:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let requests: Vec<PrrRequest> = prrs
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| PrrRequest::new(format!("prr{i}"), s))
+        .collect();
+    let outcome = plan(&device, &requests).map_err(|e| CmdError(e.to_string()))?;
+    for (placement, (req, alloc)) in outcome
+        .floorplan
+        .prrs()
+        .iter()
+        .zip(requests.iter().zip(&outcome.allocated))
+    {
+        writeln!(
+            out,
+            "{}: {} ({} requested, {} allocated)",
+            placement.name, placement.rect, req.min_slices, alloc
+        )?;
+    }
+    writeln!(
+        out,
+        "wasted slices: {}",
+        outcome.wasted_slices(&requests)
+    )?;
+    if args.get_or("art", "no") == "yes" {
+        writeln!(out, "{}", outcome.floorplan.ascii_art())?;
+    }
+    if let Some(path) = args.get("ucf") {
+        std::fs::write(path, generate_ucf(&outcome.floorplan))?;
+        writeln!(out, "wrote {path}")?;
+    }
+    if let Some(path) = args.get("mhs") {
+        std::fs::write(path, generate_mhs(&FabricParams::prototype(), &outcome.floorplan))?;
+        writeln!(out, "wrote {path}")?;
+    }
+    Ok(())
+}
+
+/// `vapres report --prrs 640,640 [--device lx25]` — the full
+/// utilization report for a planned base system.
+pub fn cmd_report(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    let device = device_by_name(args.get_or("device", "lx25"))?;
+    let params = fabric_params(args)?;
+    let prrs: Vec<u32> = args
+        .require("prrs")?
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| CmdError(format!("bad slice count {s:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    let requests: Vec<PrrRequest> = prrs
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| PrrRequest::new(format!("prr{i}"), s))
+        .collect();
+    let outcome = plan(&device, &requests).map_err(|e| CmdError(e.to_string()))?;
+    write!(out, "{}", utilization_report(&params, &outcome.floorplan))?;
+    Ok(())
+}
+
+/// `vapres check-ucf <file> [--device lx25]`.
+pub fn cmd_check_ucf(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    let device = device_by_name(args.get_or("device", "lx25"))?;
+    let path = args
+        .positionals()
+        .first()
+        .ok_or_else(|| CmdError("usage: vapres check-ucf <file.ucf>".into()))?;
+    let text = std::fs::read_to_string(path)?;
+    let floorplan = parse_ucf(&device, &text).map_err(|e| CmdError(e.to_string()))?;
+    floorplan.validate().map_err(|e| CmdError(e.to_string()))?;
+    writeln!(
+        out,
+        "{path}: valid ({} PRRs on {})",
+        floorplan.prrs().len(),
+        device.name()
+    )?;
+    Ok(())
+}
+
+fn parse_rect(spec: &str) -> Result<ClbRect, CmdError> {
+    let parts: Vec<u32> = spec
+        .split(':')
+        .map(|s| {
+            s.parse()
+                .map_err(|_| CmdError(format!("bad rect component {s:?}")))
+        })
+        .collect::<Result<_, _>>()?;
+    match parts[..] {
+        [c0, c1, r0, r1] if c0 <= c1 && r0 <= r1 => Ok(ClbRect::new(c0, c1, r0, r1)),
+        _ => Err(CmdError(
+            "rect must be COL_LO:COL_HI:ROW_LO:ROW_HI with lo <= hi".into(),
+        )),
+    }
+}
+
+/// `vapres bitgen --rect 0:9:0:15 --uid 1a2b --out file.bit [--device lx25]`.
+pub fn cmd_bitgen(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    let device = device_by_name(args.get_or("device", "lx25"))?;
+    let rect = parse_rect(args.require("rect")?)?;
+    let uid = u32::from_str_radix(args.require("uid")?, 16)
+        .map_err(|_| CmdError("--uid must be hex".into()))?;
+    let path = args.require("out")?;
+    let bs = PartialBitstream::generate(&device, &rect, ModuleUid(uid))
+        .map_err(|e| CmdError(e.to_string()))?;
+    std::fs::write(path, bs.to_bytes())?;
+    writeln!(
+        out,
+        "wrote {path}: {} bytes, {} slices, module#{uid:08x}",
+        bs.len_bytes(),
+        device.slices_in(&rect)
+    )?;
+    Ok(())
+}
+
+/// `vapres bitinfo <file.bit>` — parse and describe a bitstream file.
+pub fn cmd_bitinfo(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    let path = args
+        .positionals()
+        .first()
+        .ok_or_else(|| CmdError("usage: vapres bitinfo <file.bit>".into()))?;
+    let bytes = std::fs::read(path)?;
+    let parsed = PartialBitstream::from_bytes(&bytes).map_err(|e| CmdError(e.to_string()))?;
+    writeln!(out, "file     : {path} ({} bytes)", bytes.len())?;
+    writeln!(out, "idcode   : {:#010x}", parsed.idcode)?;
+    writeln!(out, "module   : {}", parsed.uid)?;
+    writeln!(out, "frames   : {}", parsed.frames.len())?;
+    let first = parsed.frames.first().map(|(f, _)| *f);
+    let last = parsed.frames.last().map(|(f, _)| *f);
+    if let (Some(a), Some(b)) = (first, last) {
+        writeln!(out, "far range: {a} .. {b}")?;
+    }
+    Ok(())
+}
+
+/// `vapres reconfig-time --bytes N | --rect ...` — predict both API paths.
+pub fn cmd_reconfig_time(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    let bytes: u64 = if let Some(spec) = args.get("rect") {
+        let device = device_by_name(args.get_or("device", "lx25"))?;
+        let rect = parse_rect(spec)?;
+        PartialBitstream::generate(&device, &rect, ModuleUid(0))
+            .map_err(|e| CmdError(e.to_string()))?
+            .len_bytes()
+    } else {
+        args.get_num("bytes", 0u64)?
+    };
+    if bytes == 0 {
+        return Err(CmdError("give --bytes N or --rect C0:C1:R0:R1".into()));
+    }
+    let words = bytes / 4;
+    let icap = timing::icap_write_time(words);
+    let cf = timing::cf_read_time(bytes) + icap;
+    let sdram = timing::sdram_copy_time(bytes) + icap;
+    writeln!(out, "bitstream      : {bytes} bytes")?;
+    writeln!(out, "vapres_cf2icap   : {cf}")?;
+    writeln!(out, "vapres_array2icap: {sdram}")?;
+    writeln!(
+        out,
+        "speedup          : {:.1}x",
+        cf.as_secs_f64() / sdram.as_secs_f64()
+    )?;
+    Ok(())
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "vapres — VAPRES (DATE 2010) design tools\n\
+     \n\
+     subcommands:\n\
+     \x20 resources      [--nodes N --kr K --kl K --ki I --ko O --width W] [--device D]\n\
+     \x20 floorplan      --prrs 640,640 [--device D] [--ucf out.ucf] [--mhs out.mhs] [--art yes]\n\
+     \x20 report         --prrs 640,640 [--device D] [fabric params]\n\
+     \x20 check-ucf      <file.ucf> [--device D]\n\
+     \x20 bitgen         --rect C0:C1:R0:R1 --uid HEX --out file.bit [--device D]\n\
+     \x20 bitinfo        <file.bit>\n\
+     \x20 reconfig-time  --bytes N | --rect C0:C1:R0:R1 [--device D]\n\
+     \n\
+     devices: lx25 (default) | lx60 | lx100\n"
+}
+
+/// Dispatches a subcommand.
+///
+/// # Errors
+///
+/// [`CmdError`] with a user-facing message.
+pub fn dispatch(
+    subcommand: &str,
+    args: &Args,
+    out: &mut dyn Write,
+) -> Result<(), CmdError> {
+    match subcommand {
+        "resources" => cmd_resources(args, out),
+        "report" => cmd_report(args, out),
+        "floorplan" => cmd_floorplan(args, out),
+        "check-ucf" => cmd_check_ucf(args, out),
+        "bitgen" => cmd_bitgen(args, out),
+        "bitinfo" => cmd_bitinfo(args, out),
+        "reconfig-time" => cmd_reconfig_time(args, out),
+        other => Err(CmdError(format!(
+            "unknown subcommand {other:?}\n\n{}",
+            usage()
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(sub: &str, tokens: &[&str]) -> Result<String, CmdError> {
+        let args = Args::parse(tokens.iter().copied())?;
+        let mut out = Vec::new();
+        dispatch(sub, &args, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8"))
+    }
+
+    #[test]
+    fn resources_prototype_matches_paper() {
+        let text = run("resources", &[]).unwrap();
+        assert!(text.contains("comm architecture: 1020 slices"));
+        assert!(text.contains("static region    : 9421 slices"));
+    }
+
+    #[test]
+    fn resources_warns_when_overflowing() {
+        let text = run("resources", &["--nodes", "40", "--kr", "8", "--kl", "8"]).unwrap();
+        assert!(text.contains("WARNING"));
+    }
+
+    #[test]
+    fn floorplan_places_and_reports_waste() {
+        let text = run("floorplan", &["--prrs", "640,100"]).unwrap();
+        assert!(text.contains("prr0: SLICE_X0Y0:SLICE_X9Y15"));
+        assert!(text.contains("wasted slices: 28"));
+    }
+
+    #[test]
+    fn floorplan_rejects_oversize() {
+        assert!(run("floorplan", &["--prrs", "99999"]).is_err());
+    }
+
+    #[test]
+    fn bitgen_and_bitinfo_roundtrip() {
+        let dir = std::env::temp_dir().join("vapres_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.bit");
+        let path_s = path.to_str().unwrap();
+        let text = run(
+            "bitgen",
+            &["--rect", "0:9:0:15", "--uid", "c0ffee", "--out", path_s],
+        )
+        .unwrap();
+        assert!(text.contains("36300 bytes"));
+        let info = run("bitinfo", &[path_s]).unwrap();
+        assert!(info.contains("module#00c0ffee"));
+        assert!(info.contains("frames   : 220"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn check_ucf_accepts_generated_file() {
+        let dir = std::env::temp_dir().join("vapres_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ucf = dir.join("t.ucf");
+        let ucf_s = ucf.to_str().unwrap();
+        run(
+            "floorplan",
+            &["--prrs", "640,640", "--ucf", ucf_s],
+        )
+        .unwrap();
+        let text = run("check-ucf", &[ucf_s]).unwrap();
+        assert!(text.contains("valid (2 PRRs"));
+        std::fs::remove_file(&ucf).ok();
+    }
+
+    #[test]
+    fn reconfig_time_matches_paper_for_prototype_rect() {
+        let text = run("reconfig-time", &["--rect", "0:9:0:15"]).unwrap();
+        assert!(text.contains("1.04"), "cf path: {text}");
+        assert!(text.contains("71.9"), "sdram path: {text}");
+        assert!(text.contains("14.5x"));
+    }
+
+    #[test]
+    fn report_prints_design_summary() {
+        let text = run("report", &["--prrs", "640,640"]).unwrap();
+        assert!(text.contains("Design Summary"));
+        assert!(text.contains("9421"));
+        assert!(text.contains("prr1"));
+    }
+
+    #[test]
+    fn unknown_subcommand_shows_usage() {
+        let err = run("frobnicate", &[]).unwrap_err();
+        assert!(err.0.contains("subcommands:"));
+    }
+
+    #[test]
+    fn bad_rect_rejected() {
+        assert!(run("bitgen", &["--rect", "9:0:0:15", "--uid", "1", "--out", "/tmp/x"]).is_err());
+        assert!(run("reconfig-time", &["--rect", "1:2:3"]).is_err());
+        assert!(run("reconfig-time", &[]).is_err());
+    }
+}

@@ -1,0 +1,16 @@
+//! # vapres-cli
+//!
+//! Command-line design tools for the VAPRES reproduction: the parts of
+//! the base system and application flows a designer runs from a shell.
+//!
+//! ```text
+//! vapres resources --nodes 5 --kr 3 --kl 3      # E1 slice model
+//! vapres floorplan --prrs 640,640 --ucf sys.ucf # automatic floorplanning
+//! vapres check-ucf sys.ucf                      # constraint validation
+//! vapres bitgen --rect 0:9:0:15 --uid c0ffee --out filter.bit
+//! vapres bitinfo filter.bit                     # inspect a bitstream
+//! vapres reconfig-time --rect 0:9:0:15          # paper Sec. V.B numbers
+//! ```
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,32 @@
+//! `vapres` — command-line design tools for the VAPRES reproduction.
+
+use std::process::ExitCode;
+use vapres_cli::args::Args;
+use vapres_cli::commands::{dispatch, usage};
+
+fn main() -> ExitCode {
+    let mut argv = std::env::args().skip(1);
+    let Some(sub) = argv.next() else {
+        eprint!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    if sub == "--help" || sub == "-h" || sub == "help" {
+        print!("{}", usage());
+        return ExitCode::SUCCESS;
+    }
+    let args = match Args::parse(argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut out = std::io::stdout();
+    match dispatch(&sub, &args, &mut out) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

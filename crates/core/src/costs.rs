@@ -1,0 +1,23 @@
+//! Software cycle costs of MicroBlaze control operations.
+//!
+//! Every Table-2 API call executes on the MicroBlaze; the system model
+//! charges these costs to the simulation clock (during which the data
+//! plane keeps running — that concurrency is the heart of the switching
+//! methodology). Values are typical for PLB/DCR/FSL accesses on an
+//! EDK-era 100 MHz MicroBlaze.
+
+/// Cycles to write a PRSocket DCR through the PLB-to-DCR bridge.
+pub const DCR_WRITE_CYCLES: u64 = 10;
+/// Cycles to read a PRSocket DCR.
+pub const DCR_READ_CYCLES: u64 = 10;
+/// Cycles for a blocking FSL put instruction.
+pub const FSL_WRITE_CYCLES: u64 = 5;
+/// Cycles for a blocking FSL get instruction.
+pub const FSL_READ_CYCLES: u64 = 5;
+/// Software bookkeeping in `vapres_establish_channel` (path search over
+/// `comm_state`).
+pub const ESTABLISH_BASE_CYCLES: u64 = 60;
+/// Extra cycles per hop: two DCR writes to program a switch box.
+pub const ESTABLISH_PER_HOP_CYCLES: u64 = 2 * DCR_WRITE_CYCLES;
+/// Polling interval (cycles) used by blocking reads.
+pub const POLL_CYCLES: u64 = 20;

@@ -1,0 +1,294 @@
+//! Hardware modules: the trait, the per-tick I/O view, control words, and
+//! the module library that stands in for synthesized netlists.
+//!
+//! Application designers wrap their logic in module wrappers exposing
+//! FIFO-based consumer/producer ports plus FSL master/slave ports (paper
+//! Sec. III.B.1 and IV.B). Here a hardware module is a Rust object ticked
+//! once per local-clock-domain cycle with access to exactly those ports.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use vapres_bitstream::stream::ModuleUid;
+use vapres_stream::fabric::{PortRef, StreamFabric};
+use vapres_stream::fifo::AsyncFifo;
+use vapres_stream::word::Word;
+
+/// FSL command words the MicroBlaze sends to module wrappers.
+pub mod control {
+    /// Finish processing: drain inputs, emit the end-of-stream word, then
+    /// transfer saved state over the FSL (switching methodology step 5–6).
+    pub const CMD_FINISH: u32 = 0xFFFF_0001;
+    /// The next word is a state-word count, followed by that many state
+    /// words to restore (step 7).
+    pub const CMD_LOAD_STATE: u32 = 0xFFFF_0002;
+    /// Message an IOM writes to the MicroBlaze when the end-of-stream word
+    /// arrives at its consumer interface (step 8).
+    pub const MSG_EOS_SEEN: u32 = 0xFFFF_00E5;
+    /// Header a module sends before its state words (step 6): the low half
+    /// carries the word count.
+    pub const MSG_STATE_HEADER: u32 = 0xFFFF_0003;
+}
+
+/// The port view a hardware module sees during one clock tick: its
+/// consumer/producer module interfaces (gated by the slice macros) and its
+/// FSL pair to the MicroBlaze.
+pub struct ModuleIo<'a> {
+    pub(crate) node: usize,
+    pub(crate) sm_enabled: bool,
+    pub(crate) fabric: &'a mut StreamFabric,
+    pub(crate) fsl_to_mb: &'a mut AsyncFifo,
+    pub(crate) fsl_from_mb: &'a mut AsyncFifo,
+    /// Words written while the slice macros were disabled (lost).
+    pub(crate) isolated_writes: &'a mut u64,
+}
+
+impl<'a> ModuleIo<'a> {
+    /// Words waiting in consumer interface `port` (0 when isolated).
+    pub fn input_len(&self, port: usize) -> usize {
+        if !self.sm_enabled {
+            return 0;
+        }
+        self.fabric
+            .consumer_len(PortRef::new(self.node, port))
+            .unwrap_or(0)
+    }
+
+    /// Reads one word from consumer interface `port` (the KPN
+    /// blocking-read: `None` means stall this cycle).
+    pub fn read_input(&mut self, port: usize) -> Option<Word> {
+        if !self.sm_enabled {
+            return None;
+        }
+        self.fabric
+            .consumer_pop(PortRef::new(self.node, port))
+            .unwrap_or(None)
+    }
+
+    /// Free space in producer interface `port` (0 when isolated — writes
+    /// would vanish, so honest modules stall).
+    pub fn output_space(&self, port: usize) -> usize {
+        if !self.sm_enabled {
+            return 0;
+        }
+        self.fabric
+            .producer_space(PortRef::new(self.node, port))
+            .unwrap_or(0)
+    }
+
+    /// Writes one word to producer interface `port`.
+    ///
+    /// Returns `false` when the FIFO is full (the KPN blocking-write — the
+    /// module must retry next cycle). When the slice macros are disabled
+    /// the word is lost and counted, and `true` is returned: the module
+    /// cannot observe its own isolation.
+    pub fn write_output(&mut self, port: usize, word: Word) -> bool {
+        if !self.sm_enabled {
+            *self.isolated_writes += 1;
+            return true;
+        }
+        self.fabric
+            .producer_push(PortRef::new(self.node, port), word)
+            .is_ok()
+    }
+
+    /// Sends a word to the MicroBlaze over the FSL master port; `false`
+    /// when the FSL FIFO is full.
+    pub fn fsl_send(&mut self, value: u32) -> bool {
+        self.fsl_to_mb.push(Word::data(value)).is_ok()
+    }
+
+    /// Receives a word from the MicroBlaze over the FSL slave port.
+    pub fn fsl_recv(&mut self) -> Option<u32> {
+        self.fsl_from_mb.pop().map(|w| w.data)
+    }
+
+    /// Words waiting on the FSL slave port.
+    pub fn fsl_pending(&self) -> usize {
+        self.fsl_from_mb.len()
+    }
+}
+
+/// A hardware module placeable in a PRR.
+///
+/// Implementations are *behavioural netlists*: ticked once per local clock
+/// cycle, communicating only through [`ModuleIo`], with save/restore state
+/// (the dynamic variables the switching methodology transfers between the
+/// outgoing and incoming module).
+pub trait HardwareModule {
+    /// Human-readable module name.
+    fn name(&self) -> &str;
+
+    /// The UID matching this module's partial bitstream.
+    fn uid(&self) -> ModuleUid;
+
+    /// Slices the synthesized module occupies (for floorplanning and the
+    /// fragmentation analysis).
+    fn required_slices(&self) -> u32;
+
+    /// One local-clock-domain cycle.
+    fn tick(&mut self, io: &mut ModuleIo<'_>);
+
+    /// Captures the module's state registers (step 6 of the switching
+    /// methodology).
+    fn save_state(&self) -> Vec<u32>;
+
+    /// Restores previously captured state (step 7).
+    fn restore_state(&mut self, state: &[u32]);
+
+    /// Synchronous reset (the `PRR_reset` DCR bit).
+    fn reset(&mut self);
+}
+
+impl fmt::Debug for dyn HardwareModule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "HardwareModule({} {})", self.name(), self.uid())
+    }
+}
+
+/// Factory for module instances, keyed by bitstream UID.
+///
+/// In silicon, configuration frames *are* the module; in the simulation
+/// the library maps a validated bitstream's UID to the behavioural model
+/// it instantiates. Registering a module and generating its partial
+/// bitstream are the two halves of "synthesis".
+///
+/// # Examples
+///
+/// ```
+/// use vapres_bitstream::stream::ModuleUid;
+/// use vapres_core::module::{HardwareModule, ModuleLibrary};
+/// # use vapres_core::module::ModuleIo;
+/// # struct Nop;
+/// # impl HardwareModule for Nop {
+/// #     fn name(&self) -> &str { "nop" }
+/// #     fn uid(&self) -> ModuleUid { ModuleUid(1) }
+/// #     fn required_slices(&self) -> u32 { 1 }
+/// #     fn tick(&mut self, _io: &mut ModuleIo<'_>) {}
+/// #     fn save_state(&self) -> Vec<u32> { Vec::new() }
+/// #     fn restore_state(&mut self, _s: &[u32]) {}
+/// #     fn reset(&mut self) {}
+/// # }
+///
+/// let mut lib = ModuleLibrary::new();
+/// lib.register(ModuleUid(1), || Box::new(Nop));
+/// let module = lib.instantiate(ModuleUid(1)).expect("registered");
+/// assert_eq!(module.name(), "nop");
+/// ```
+#[derive(Default)]
+pub struct ModuleLibrary {
+    factories: BTreeMap<u32, Box<dyn Fn() -> Box<dyn HardwareModule>>>,
+}
+
+impl ModuleLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a factory for `uid`, replacing any previous registration.
+    pub fn register<F>(&mut self, uid: ModuleUid, factory: F)
+    where
+        F: Fn() -> Box<dyn HardwareModule> + 'static,
+    {
+        self.factories.insert(uid.0, Box::new(factory));
+    }
+
+    /// Instantiates a fresh module for `uid`.
+    pub fn instantiate(&self, uid: ModuleUid) -> Option<Box<dyn HardwareModule>> {
+        self.factories.get(&uid.0).map(|f| f())
+    }
+
+    /// Whether `uid` is registered.
+    pub fn contains(&self, uid: ModuleUid) -> bool {
+        self.factories.contains_key(&uid.0)
+    }
+
+    /// Number of registered modules.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// Whether the library is empty.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+impl fmt::Debug for ModuleLibrary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModuleLibrary")
+            .field("uids", &self.factories.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        last: u32,
+    }
+
+    impl HardwareModule for Echo {
+        fn name(&self) -> &str {
+            "echo"
+        }
+        fn uid(&self) -> ModuleUid {
+            ModuleUid(0xEC)
+        }
+        fn required_slices(&self) -> u32 {
+            10
+        }
+        fn tick(&mut self, io: &mut ModuleIo<'_>) {
+            if let Some(w) = io.read_input(0) {
+                self.last = w.data;
+                io.write_output(0, w);
+            }
+        }
+        fn save_state(&self) -> Vec<u32> {
+            vec![self.last]
+        }
+        fn restore_state(&mut self, state: &[u32]) {
+            self.last = state[0];
+        }
+        fn reset(&mut self) {
+            self.last = 0;
+        }
+    }
+
+    #[test]
+    fn library_register_and_instantiate() {
+        let mut lib = ModuleLibrary::new();
+        assert!(lib.is_empty());
+        lib.register(ModuleUid(0xEC), || Box::new(Echo { last: 0 }));
+        assert!(lib.contains(ModuleUid(0xEC)));
+        assert!(!lib.contains(ModuleUid(1)));
+        assert_eq!(lib.len(), 1);
+        let m = lib.instantiate(ModuleUid(0xEC)).unwrap();
+        assert_eq!(m.name(), "echo");
+        assert_eq!(m.required_slices(), 10);
+        assert!(lib.instantiate(ModuleUid(5)).is_none());
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let mut e = Echo { last: 7 };
+        let s = e.save_state();
+        e.reset();
+        assert_eq!(e.last, 0);
+        e.restore_state(&s);
+        assert_eq!(e.last, 7);
+    }
+
+    #[test]
+    fn control_words_are_distinct() {
+        use control::*;
+        let all = [CMD_FINISH, CMD_LOAD_STATE, MSG_EOS_SEEN, MSG_STATE_HEADER];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Multiple reconfigurable streaming blocks (paper Sec. III.B: "the data
+//! processing region contains one or more RSBs").
+//!
+//! Each RSB has its own switch-box array and local clock domains, but the
+//! controlling region — MicroBlaze, ICAP, bitstream storage — is shared:
+//! only one reconfiguration can be in flight at a time, and while the
+//! processor is busy with one RSB, the *other* RSBs' data planes keep
+//! streaming. [`MultiRsbSystem`] composes per-RSB [`VapresSystem`]s in
+//! lockstep simulated time to reproduce exactly that: any API call made
+//! on one RSB advances every RSB by the same duration.
+
+use crate::config::SystemConfig;
+use crate::module::ModuleLibrary;
+use crate::system::VapresSystem;
+use std::fmt;
+use vapres_sim::time::Ps;
+
+/// A data processing region with several RSBs sharing one controlling
+/// region.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_core::config::SystemConfig;
+/// use vapres_core::multirsb::MultiRsbSystem;
+/// use vapres_core::Ps;
+///
+/// let mut multi = MultiRsbSystem::new(
+///     vec![SystemConfig::prototype(), SystemConfig::linear(3)?],
+///     |_lib| {},
+/// )?;
+/// assert_eq!(multi.rsb_count(), 2);
+/// multi.run_for(Ps::from_us(5));
+/// assert_eq!(multi.now(), Ps::from_us(5));
+/// # Ok::<(), vapres_core::config::ConfigError>(())
+/// ```
+pub struct MultiRsbSystem {
+    rsbs: Vec<VapresSystem>,
+}
+
+impl fmt::Debug for MultiRsbSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiRsbSystem")
+            .field("rsbs", &self.rsbs.len())
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+impl MultiRsbSystem {
+    /// Builds one system per configuration; `register` populates each
+    /// RSB's module library (factories cannot be cloned, so registration
+    /// runs once per RSB).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::config::ConfigError`] from any configuration.
+    pub fn new(
+        configs: Vec<SystemConfig>,
+        register: impl Fn(&mut ModuleLibrary),
+    ) -> Result<Self, crate::config::ConfigError> {
+        let mut rsbs = Vec::with_capacity(configs.len());
+        for cfg in configs {
+            let mut lib = ModuleLibrary::new();
+            register(&mut lib);
+            rsbs.push(VapresSystem::new(cfg, lib)?);
+        }
+        Ok(MultiRsbSystem { rsbs })
+    }
+
+    /// Number of RSBs.
+    pub fn rsb_count(&self) -> usize {
+        self.rsbs.len()
+    }
+
+    /// Read access to one RSB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rsb` is out of range.
+    pub fn rsb(&self, rsb: usize) -> &VapresSystem {
+        &self.rsbs[rsb]
+    }
+
+    /// The common simulated time (all RSBs stay aligned).
+    pub fn now(&self) -> Ps {
+        self.rsbs.iter().map(VapresSystem::now).max().unwrap_or(Ps::ZERO)
+    }
+
+    /// Runs every RSB for `dur`.
+    pub fn run_for(&mut self, dur: Ps) {
+        let deadline = self.now() + dur;
+        for s in &mut self.rsbs {
+            let delta = deadline
+                .checked_sub(s.now())
+                .expect("RSBs never run ahead of the coordinator");
+            s.run_for(delta);
+        }
+    }
+
+    /// Executes MicroBlaze software against one RSB — any Table-2 calls,
+    /// swaps, deployments — then brings every *other* RSB forward to the
+    /// same instant. This is the single-processor, single-ICAP semantics:
+    /// while RSB `rsb` reconfigures, the others keep streaming through
+    /// the elapsed time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rsb` is out of range.
+    pub fn with_rsb<R>(&mut self, rsb: usize, f: impl FnOnce(&mut VapresSystem) -> R) -> R {
+        // Align everyone first (idempotent), then run the software.
+        let before = self.now();
+        for s in &mut self.rsbs {
+            let delta = before.checked_sub(s.now()).expect("aligned");
+            s.run_for(delta);
+        }
+        let result = f(&mut self.rsbs[rsb]);
+        let after = self.rsbs[rsb].now();
+        for (i, s) in self.rsbs.iter_mut().enumerate() {
+            if i != rsb {
+                let delta = after.checked_sub(s.now()).expect("target ran forward");
+                s.run_for(delta);
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapres_core_test_support::*;
+
+    /// Minimal in-crate support: a trivial wire module for the tests.
+    mod vapres_core_test_support {
+        use crate::module::{HardwareModule, ModuleIo, ModuleLibrary};
+        use vapres_bitstream::stream::ModuleUid;
+
+        pub const WIRE: ModuleUid = ModuleUid(0x77);
+
+        pub struct Wire;
+        impl HardwareModule for Wire {
+            fn name(&self) -> &str {
+                "wire"
+            }
+            fn uid(&self) -> ModuleUid {
+                WIRE
+            }
+            fn required_slices(&self) -> u32 {
+                8
+            }
+            fn tick(&mut self, io: &mut ModuleIo<'_>) {
+                if io.output_space(0) > 0 {
+                    if let Some(w) = io.read_input(0) {
+                        io.write_output(0, w);
+                    }
+                }
+            }
+            fn save_state(&self) -> Vec<u32> {
+                Vec::new()
+            }
+            fn restore_state(&mut self, _s: &[u32]) {}
+            fn reset(&mut self) {}
+        }
+
+        pub fn register(lib: &mut ModuleLibrary) {
+            lib.register(WIRE, || Box::new(Wire));
+        }
+    }
+
+    fn multi() -> MultiRsbSystem {
+        MultiRsbSystem::new(
+            vec![SystemConfig::prototype(), SystemConfig::prototype()],
+            register,
+        )
+        .expect("valid configs")
+    }
+
+    #[test]
+    fn lockstep_time() {
+        let mut m = multi();
+        m.run_for(Ps::from_us(3));
+        assert_eq!(m.rsb(0).now(), Ps::from_us(3));
+        assert_eq!(m.rsb(1).now(), Ps::from_us(3));
+        assert_eq!(m.now(), Ps::from_us(3));
+    }
+
+    #[test]
+    fn with_rsb_advances_the_others() {
+        let mut m = multi();
+        m.with_rsb(0, |s| s.run_for(Ps::from_us(7)));
+        assert_eq!(m.rsb(1).now(), Ps::from_us(7));
+    }
+
+    #[test]
+    fn reconfig_on_one_rsb_does_not_stall_the_other() {
+        let mut m = multi();
+        // Stage the bitstream in SDRAM while everything is idle (the slow
+        // CompactFlash read happens before RSB1 starts streaming).
+        m.with_rsb(0, |s| {
+            s.install_bitstream(0, WIRE, "w.bit").expect("install");
+            s.vapres_cf2array("w.bit", "w").expect("stage");
+        });
+        // RSB1: a streaming loopback at its IOM, one word per microsecond.
+        m.with_rsb(1, |s| {
+            let p = crate::PortRef::new(0, 0);
+            s.vapres_establish_channel(p, p).expect("loopback");
+            s.bring_up_node(0, false).expect("iom up");
+            s.iom_set_input_interval(0, 100);
+            s.iom_feed(0, 0..200_000);
+        });
+        // RSB0: reconfigure from SDRAM (71.9 ms) — the shared processor
+        // and ICAP are busy, but RSB1's data plane must keep moving.
+        m.with_rsb(0, |s| {
+            s.vapres_array2icap("w").expect("reconfig");
+        });
+        // RSB1 streamed through the whole reconfiguration: ~72 ms / 1 us.
+        let out = m.rsb(1).iom_output(0).len();
+        assert!(out > 60_000, "RSB1 only moved {out} words during reconfig");
+        let gap = m.rsb(1).iom_gap(0).max_gap().expect("flowed");
+        assert!(gap < Ps::from_us(2), "RSB1 stream hiccuped: {gap}");
+    }
+}

@@ -1,0 +1,338 @@
+//! Runtime module placement with reuse (configuration caching).
+//!
+//! The paper's introduction frames hardware module switching as "a
+//! technique that dynamically places hardware modules in available PRRs
+//! on demand during runtime". When applications request modules
+//! repeatedly, the dominant cost is reconfiguration — unless a module
+//! already resident in some PRR is *reused*. [`PlacementManager`] manages
+//! a pool of PRRs as a configuration cache: requests hit (free) when the
+//! module is already loaded somewhere, and otherwise evict the least
+//! recently used unpinned PRR and reconfigure it.
+
+use crate::api::ApiError;
+use crate::system::VapresSystem;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use vapres_bitstream::stream::ModuleUid;
+use vapres_sim::time::Ps;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlacementStats {
+    /// Requests served by an already-loaded module.
+    pub hits: u64,
+    /// Requests that required a reconfiguration.
+    pub misses: u64,
+    /// Misses that evicted a loaded module.
+    pub evictions: u64,
+    /// Total time spent reconfiguring, summed over misses.
+    pub reconfig_time: Ps,
+}
+
+impl PlacementStats {
+    /// Hit rate in 0..=1 (0 when no requests yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A placement failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// Underlying API failure.
+    Api(ApiError),
+    /// Every managed PRR is pinned; nothing can be evicted.
+    AllPinned,
+    /// The node is not managed by this placement manager.
+    NotManaged(usize),
+    /// No bitstream staged for this (module, node) pair.
+    NotStaged(ModuleUid, usize),
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::Api(e) => write!(f, "api: {e}"),
+            PlacementError::AllPinned => write!(f, "all managed PRRs are pinned"),
+            PlacementError::NotManaged(n) => write!(f, "node {n} not managed"),
+            PlacementError::NotStaged(uid, n) => {
+                write!(f, "no staged bitstream for {uid} at node {n}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+impl From<ApiError> for PlacementError {
+    fn from(e: ApiError) -> Self {
+        PlacementError::Api(e)
+    }
+}
+
+/// Manages a pool of PRR nodes as an LRU configuration cache.
+#[derive(Debug)]
+pub struct PlacementManager {
+    /// Managed PRR nodes.
+    nodes: Vec<usize>,
+    /// SDRAM array name per (uid, node).
+    staged: BTreeMap<(u32, usize), String>,
+    /// What each managed node currently hosts.
+    resident: BTreeMap<usize, ModuleUid>,
+    /// LRU order: front = least recently used.
+    lru: VecDeque<usize>,
+    pinned: BTreeSet<usize>,
+    stats: PlacementStats,
+}
+
+impl PlacementManager {
+    /// Creates a manager over the given PRR nodes (all initially empty
+    /// and unpinned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<usize>) -> Self {
+        assert!(!nodes.is_empty(), "placement pool must be non-empty");
+        let lru = nodes.iter().copied().collect();
+        PlacementManager {
+            nodes,
+            staged: BTreeMap::new(),
+            resident: BTreeMap::new(),
+            lru,
+            pinned: BTreeSet::new(),
+            stats: PlacementStats::default(),
+        }
+    }
+
+    /// Generates and stages (CompactFlash → SDRAM, once) the bitstreams
+    /// loading each of `uids` into each managed node, so later misses use
+    /// the fast `array2icap` path.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ApiError`] from installation or staging.
+    pub fn stage_all(
+        &mut self,
+        sys: &mut VapresSystem,
+        uids: &[ModuleUid],
+    ) -> Result<(), PlacementError> {
+        for &uid in uids {
+            for &node in &self.nodes {
+                let prr = sys
+                    .config()
+                    .prr_index(node)
+                    .ok_or(PlacementError::Api(ApiError::NotAPrr(node)))?;
+                let file = format!("pm_{:08x}@{node}.bit", uid.0);
+                let array = format!("pm_{:08x}@{node}", uid.0);
+                sys.install_bitstream(prr, uid, &file)?;
+                sys.vapres_cf2array(&file, &array)?;
+                self.staged.insert((uid.0, node), array);
+            }
+        }
+        Ok(())
+    }
+
+    /// Requests a PRR hosting `uid`: a cache hit returns the resident
+    /// node instantly; a miss evicts the least recently used unpinned
+    /// node and reconfigures it (charging the full `array2icap` time).
+    ///
+    /// # Errors
+    ///
+    /// See [`PlacementError`].
+    pub fn request(
+        &mut self,
+        sys: &mut VapresSystem,
+        uid: ModuleUid,
+    ) -> Result<usize, PlacementError> {
+        // Hit?
+        if let Some((&node, _)) = self.resident.iter().find(|(_, &u)| u == uid) {
+            self.touch(node);
+            self.stats.hits += 1;
+            return Ok(node);
+        }
+        // Miss: pick a victim — prefer empty nodes, else LRU unpinned.
+        let victim = self
+            .lru
+            .iter()
+            .copied()
+            .find(|n| !self.resident.contains_key(n) && !self.pinned.contains(n))
+            .or_else(|| {
+                self.lru
+                    .iter()
+                    .copied()
+                    .find(|n| !self.pinned.contains(n))
+            })
+            .ok_or(PlacementError::AllPinned)?;
+        let array = self
+            .staged
+            .get(&(uid.0, victim))
+            .cloned()
+            .ok_or(PlacementError::NotStaged(uid, victim))?;
+        if self.resident.remove(&victim).is_some() {
+            self.stats.evictions += 1;
+        }
+        sys.isolate_node(victim)?;
+        let report = sys.vapres_array2icap(&array)?;
+        self.stats.misses += 1;
+        self.stats.reconfig_time += report.total();
+        self.resident.insert(victim, uid);
+        self.touch(victim);
+        Ok(victim)
+    }
+
+    /// Marks a managed node as in use (never evicted) — set while a
+    /// module is streaming.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::NotManaged`] for foreign nodes.
+    pub fn pin(&mut self, node: usize) -> Result<(), PlacementError> {
+        if !self.nodes.contains(&node) {
+            return Err(PlacementError::NotManaged(node));
+        }
+        self.pinned.insert(node);
+        Ok(())
+    }
+
+    /// Releases a pin.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::NotManaged`] for foreign nodes.
+    pub fn unpin(&mut self, node: usize) -> Result<(), PlacementError> {
+        if !self.nodes.contains(&node) {
+            return Err(PlacementError::NotManaged(node));
+        }
+        self.pinned.remove(&node);
+        Ok(())
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> PlacementStats {
+        self.stats
+    }
+
+    /// What a managed node currently hosts.
+    pub fn resident(&self, node: usize) -> Option<ModuleUid> {
+        self.resident.get(&node).copied()
+    }
+
+    fn touch(&mut self, node: usize) {
+        self.lru.retain(|&n| n != node);
+        self.lru.push_back(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::module::ModuleLibrary;
+
+    mod wires {
+        use crate::module::{HardwareModule, ModuleIo, ModuleLibrary};
+        use vapres_bitstream::stream::ModuleUid;
+
+        pub struct Tag(pub u32);
+        impl HardwareModule for Tag {
+            fn name(&self) -> &str {
+                "tag"
+            }
+            fn uid(&self) -> ModuleUid {
+                ModuleUid(self.0)
+            }
+            fn required_slices(&self) -> u32 {
+                8
+            }
+            fn tick(&mut self, _io: &mut ModuleIo<'_>) {}
+            fn save_state(&self) -> Vec<u32> {
+                Vec::new()
+            }
+            fn restore_state(&mut self, _s: &[u32]) {}
+            fn reset(&mut self) {}
+        }
+
+        pub fn register(lib: &mut ModuleLibrary, uids: &[u32]) {
+            for &u in uids {
+                lib.register(ModuleUid(u), move || Box::new(Tag(u)));
+            }
+        }
+    }
+
+    const A: ModuleUid = ModuleUid(0xA1);
+    const B: ModuleUid = ModuleUid(0xB2);
+    const C: ModuleUid = ModuleUid(0xC3);
+
+    fn system_with_pool() -> (VapresSystem, PlacementManager) {
+        let cfg = SystemConfig::linear(2).expect("2 PRRs");
+        let mut lib = ModuleLibrary::new();
+        wires::register(&mut lib, &[0xA1, 0xB2, 0xC3]);
+        let mut sys = VapresSystem::new(cfg, lib).expect("system");
+        let mut pm = PlacementManager::new(vec![1, 2]);
+        pm.stage_all(&mut sys, &[A, B, C]).expect("stage");
+        (sys, pm)
+    }
+
+    #[test]
+    fn hits_are_free_misses_pay_reconfiguration() {
+        let (mut sys, mut pm) = system_with_pool();
+        let t0 = sys.now();
+        let n1 = pm.request(&mut sys, A).expect("miss loads");
+        let after_miss = sys.now();
+        assert!(after_miss - t0 > Ps::from_ms(70));
+        let n2 = pm.request(&mut sys, A).expect("hit");
+        assert_eq!(n1, n2);
+        assert_eq!(sys.now(), after_miss, "hits cost no reconfiguration");
+        assert_eq!(pm.stats().hits, 1);
+        assert_eq!(pm.stats().misses, 1);
+        assert_eq!(pm.stats().hit_rate(), 0.5);
+    }
+
+    #[test]
+    fn lru_eviction_picks_least_recently_used() {
+        let (mut sys, mut pm) = system_with_pool();
+        let na = pm.request(&mut sys, A).expect("load A");
+        let nb = pm.request(&mut sys, B).expect("load B");
+        assert_ne!(na, nb);
+        // Touch A so B is LRU, then request C: B's node is evicted.
+        pm.request(&mut sys, A).expect("hit A");
+        let nc = pm.request(&mut sys, C).expect("load C");
+        assert_eq!(nc, nb);
+        assert_eq!(pm.stats().evictions, 1);
+        assert_eq!(pm.resident(na), Some(A));
+        assert_eq!(pm.resident(nc), Some(C));
+    }
+
+    #[test]
+    fn pinned_nodes_survive_eviction() {
+        let (mut sys, mut pm) = system_with_pool();
+        let na = pm.request(&mut sys, A).expect("load A");
+        pm.pin(na).expect("pin");
+        let nb = pm.request(&mut sys, B).expect("load B");
+        pm.pin(nb).expect("pin");
+        // Both pinned: C cannot be placed.
+        assert_eq!(pm.request(&mut sys, C), Err(PlacementError::AllPinned));
+        pm.unpin(nb).expect("unpin");
+        let nc = pm.request(&mut sys, C).expect("load C");
+        assert_eq!(nc, nb);
+        assert_eq!(pm.resident(na), Some(A), "pinned A untouched");
+    }
+
+    #[test]
+    fn foreign_nodes_rejected() {
+        let (_sys, mut pm) = system_with_pool();
+        assert_eq!(pm.pin(9), Err(PlacementError::NotManaged(9)));
+        assert_eq!(pm.unpin(9), Err(PlacementError::NotManaged(9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pool_panics() {
+        let _ = PlacementManager::new(Vec::new());
+    }
+}

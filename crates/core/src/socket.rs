@@ -1,0 +1,193 @@
+//! PRSockets and their device control register (paper Table 1, Fig. 3).
+//!
+//! Every switch-box/PRR (or switch-box/IOM) pair carries a PRSocket: one
+//! DCR slave register through which the MicroBlaze controls the slice
+//! macros, resets, FIFO enables, clocking and switch-box multiplexers of
+//! that attachment point.
+
+use std::fmt;
+
+/// The PRSocket device control register, bit-exact to the paper's Table 1.
+///
+/// ```text
+/// bit 0  SM_en      enable slice macros between PRR and static region
+/// bit 1  PRR_reset  reset the hardware module inside the PRR
+/// bit 2  FIFO_reset reset the module-interface FIFOs
+/// bit 3  FSL_reset  reset the FSL FIFOs
+/// bit 4  FIFO_wen   switch box may write to the consumer interface
+/// bit 5  FIFO_ren   switch box may read from the producer interface
+/// bit 6  CLK_en     enable the PRR clock (BUFR enable)
+/// bit 7  CLK_sel    BUFGMUX select for the PRR clock
+/// 8..    MUX_sel    switch-box multiplexer selects
+/// ```
+///
+/// # Examples
+///
+/// ```
+/// use vapres_core::socket::Dcr;
+///
+/// let mut dcr = Dcr::default();
+/// dcr.sm_en = true;
+/// dcr.clk_en = true;
+/// dcr.mux_sel = 0b101;
+/// let word = dcr.encode();
+/// assert_eq!(Dcr::decode(word), dcr);
+/// assert_eq!(word & 1, 1); // SM_en is bit 0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Dcr {
+    /// Bit 0: slice macro enable.
+    pub sm_en: bool,
+    /// Bit 1: hardware module reset.
+    pub prr_reset: bool,
+    /// Bit 2: module-interface FIFO reset.
+    pub fifo_reset: bool,
+    /// Bit 3: FSL FIFO reset.
+    pub fsl_reset: bool,
+    /// Bit 4: consumer-interface write enable.
+    pub fifo_wen: bool,
+    /// Bit 5: producer-interface read enable.
+    pub fifo_ren: bool,
+    /// Bit 6: PRR clock enable.
+    pub clk_en: bool,
+    /// Bit 7: BUFGMUX clock select.
+    pub clk_sel: bool,
+    /// Bits 8..32: switch-box multiplexer selects.
+    pub mux_sel: u32,
+}
+
+impl Dcr {
+    /// Packs the register into its bus representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mux_sel` needs more than 24 bits.
+    pub fn encode(self) -> u32 {
+        assert!(self.mux_sel < (1 << 24), "MUX_sel field overflow");
+        u32::from(self.sm_en)
+            | u32::from(self.prr_reset) << 1
+            | u32::from(self.fifo_reset) << 2
+            | u32::from(self.fsl_reset) << 3
+            | u32::from(self.fifo_wen) << 4
+            | u32::from(self.fifo_ren) << 5
+            | u32::from(self.clk_en) << 6
+            | u32::from(self.clk_sel) << 7
+            | self.mux_sel << 8
+    }
+
+    /// Unpacks a bus word.
+    pub fn decode(word: u32) -> Self {
+        Dcr {
+            sm_en: word & 1 != 0,
+            prr_reset: word & (1 << 1) != 0,
+            fifo_reset: word & (1 << 2) != 0,
+            fsl_reset: word & (1 << 3) != 0,
+            fifo_wen: word & (1 << 4) != 0,
+            fifo_ren: word & (1 << 5) != 0,
+            clk_en: word & (1 << 6) != 0,
+            clk_sel: word & (1 << 7) != 0,
+            mux_sel: word >> 8,
+        }
+    }
+}
+
+impl fmt::Display for Dcr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "DCR[sm={} rst={} frst={} fslrst={} wen={} ren={} clk={} sel={} mux={:#x}]",
+            u8::from(self.sm_en),
+            u8::from(self.prr_reset),
+            u8::from(self.fifo_reset),
+            u8::from(self.fsl_reset),
+            u8::from(self.fifo_wen),
+            u8::from(self.fifo_ren),
+            u8::from(self.clk_en),
+            u8::from(self.clk_sel),
+            self.mux_sel
+        )
+    }
+}
+
+/// A PRSocket: the DCR plus the node it controls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrSocket {
+    /// Attachment-point index this socket controls.
+    pub node: usize,
+    /// Current register contents.
+    pub dcr: Dcr,
+}
+
+impl PrSocket {
+    /// A socket for `node` with all bits clear (module isolated, clocks
+    /// off — the power-on state).
+    pub fn new(node: usize) -> Self {
+        PrSocket {
+            node,
+            dcr: Dcr::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_flag_combinations() {
+        for bits in 0..=0xFFu32 {
+            let dcr = Dcr::decode(bits);
+            assert_eq!(dcr.encode(), bits);
+        }
+    }
+
+    #[test]
+    fn mux_sel_field_position() {
+        let dcr = Dcr {
+            mux_sel: 0xABCD,
+            ..Dcr::default()
+        };
+        assert_eq!(dcr.encode(), 0xABCD << 8);
+        assert_eq!(Dcr::decode(0xABCD << 8).mux_sel, 0xABCD);
+    }
+
+    #[test]
+    fn table1_bit_assignments() {
+        // Spot-check each bit against Table 1.
+        assert_eq!(Dcr { sm_en: true, ..Dcr::default() }.encode(), 1 << 0);
+        assert_eq!(Dcr { prr_reset: true, ..Dcr::default() }.encode(), 1 << 1);
+        assert_eq!(Dcr { fifo_reset: true, ..Dcr::default() }.encode(), 1 << 2);
+        assert_eq!(Dcr { fsl_reset: true, ..Dcr::default() }.encode(), 1 << 3);
+        assert_eq!(Dcr { fifo_wen: true, ..Dcr::default() }.encode(), 1 << 4);
+        assert_eq!(Dcr { fifo_ren: true, ..Dcr::default() }.encode(), 1 << 5);
+        assert_eq!(Dcr { clk_en: true, ..Dcr::default() }.encode(), 1 << 6);
+        assert_eq!(Dcr { clk_sel: true, ..Dcr::default() }.encode(), 1 << 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "MUX_sel field overflow")]
+    fn mux_sel_overflow_panics() {
+        Dcr {
+            mux_sel: 1 << 24,
+            ..Dcr::default()
+        }
+        .encode();
+    }
+
+    #[test]
+    fn power_on_state_is_isolated() {
+        let s = PrSocket::new(2);
+        assert_eq!(s.node, 2);
+        assert!(!s.dcr.sm_en);
+        assert!(!s.dcr.clk_en);
+    }
+
+    #[test]
+    fn display_contains_fields() {
+        let dcr = Dcr {
+            clk_en: true,
+            ..Dcr::default()
+        };
+        assert!(dcr.to_string().contains("clk=1"));
+    }
+}

@@ -1,0 +1,330 @@
+//! The hardware module switching methodology (paper Sec. III.B.3, Fig. 5).
+//!
+//! [`seamless_swap`] implements the paper's nine steps: while the old
+//! module keeps streaming, the new module's bitstream is loaded into a
+//! *spare* PRR; the upstream channel is then re-routed to the spare, the
+//! old module drains its buffered words, emits the end-of-stream word,
+//! ships its state registers to the MicroBlaze (which initializes the new
+//! module with them), and once the IOM reports the end-of-stream word the
+//! downstream channel is reconnected to the new module. Stream output
+//! never stops for longer than the drain-and-reroute window — microseconds,
+//! not the milliseconds a reconfiguration takes.
+//!
+//! [`halt_and_swap`] is the conventional baseline: stop the stream,
+//! reconfigure the same PRR in place, restart. Its output gap is the full
+//! reconfiguration time.
+
+use crate::api::{ApiError, ReconfigReport};
+use crate::module::control;
+use crate::system::VapresSystem;
+use std::fmt;
+use vapres_sim::time::Ps;
+use vapres_stream::fabric::{ChannelId, PortRef};
+
+/// Where the incoming module's bitstream lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BitstreamSource {
+    /// A file on the CompactFlash card (`vapres_cf2icap`).
+    CompactFlash(String),
+    /// A pre-staged SDRAM array (`vapres_array2icap`).
+    Sdram(String),
+}
+
+/// Everything a swap needs to know.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapSpec {
+    /// Node hosting the running (outgoing) module.
+    pub active_node: usize,
+    /// Node whose PRR receives the incoming module (ignored by
+    /// [`halt_and_swap`], which reconfigures `active_node` in place).
+    pub spare_node: usize,
+    /// Bitstream location for the incoming module.
+    pub source: BitstreamSource,
+    /// The channel feeding the active module.
+    pub upstream: ChannelId,
+    /// The channel from the active module toward the sink IOM.
+    pub downstream: ChannelId,
+    /// `CLK_sel` value for the incoming module's clock.
+    pub clk_sel: bool,
+    /// Per-step timeout for the FSL handshakes.
+    pub timeout: Ps,
+}
+
+/// A swap failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwapError {
+    /// An underlying API call failed.
+    Api(ApiError),
+    /// An FSL handshake produced an unexpected word sequence.
+    Protocol(String),
+    /// A referenced channel does not exist.
+    UnknownChannel(ChannelId),
+}
+
+impl fmt::Display for SwapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwapError::Api(e) => write!(f, "api: {e}"),
+            SwapError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            SwapError::UnknownChannel(c) => write!(f, "unknown channel {c}"),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
+impl From<ApiError> for SwapError {
+    fn from(e: ApiError) -> Self {
+        SwapError::Api(e)
+    }
+}
+
+/// What happened during a swap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapReport {
+    /// Simulation time when the swap began.
+    pub started_at: Ps,
+    /// Reconfiguration breakdown for the incoming module.
+    pub reconfig: ReconfigReport,
+    /// When the upstream channel pointed at the new module.
+    pub rerouted_at: Ps,
+    /// State words transferred old → new module.
+    pub state_words: usize,
+    /// When the IOM observed the old module's end-of-stream word.
+    pub eos_at: Ps,
+    /// When the downstream channel to the new module was live.
+    pub completed_at: Ps,
+}
+
+impl SwapReport {
+    /// Wall-clock duration of the whole swap.
+    pub fn total(&self) -> Ps {
+        self.completed_at - self.started_at
+    }
+}
+
+/// Waits for `MSG_STATE_HEADER`-framed state words from `node`, skipping
+/// any interleaved monitoring words.
+fn collect_state(sys: &mut VapresSystem, node: usize, timeout: Ps) -> Result<Vec<u32>, SwapError> {
+    let deadline = sys.now() + timeout;
+    loop {
+        let remaining = deadline
+            .checked_sub(sys.now())
+            .ok_or(SwapError::Api(ApiError::Timeout))?;
+        let w = sys.vapres_module_read_blocking(node, remaining)?;
+        if w == control::MSG_STATE_HEADER {
+            break;
+        }
+        // Monitoring traffic — ignore.
+    }
+    let remaining = deadline
+        .checked_sub(sys.now())
+        .ok_or(SwapError::Api(ApiError::Timeout))?;
+    let count = sys.vapres_module_read_blocking(node, remaining)? as usize;
+    if count > 4_096 {
+        return Err(SwapError::Protocol(format!(
+            "implausible state word count {count}"
+        )));
+    }
+    let mut state = Vec::with_capacity(count);
+    for _ in 0..count {
+        let remaining = deadline
+            .checked_sub(sys.now())
+            .ok_or(SwapError::Api(ApiError::Timeout))?;
+        state.push(sys.vapres_module_read_blocking(node, remaining)?);
+    }
+    Ok(state)
+}
+
+/// Waits until `node`'s FSL delivers `MSG_EOS_SEEN`.
+fn await_eos(sys: &mut VapresSystem, node: usize, timeout: Ps) -> Result<(), SwapError> {
+    let deadline = sys.now() + timeout;
+    loop {
+        let remaining = deadline
+            .checked_sub(sys.now())
+            .ok_or(SwapError::Api(ApiError::Timeout))?;
+        let w = sys.vapres_module_read_blocking(node, remaining)?;
+        if w == control::MSG_EOS_SEEN {
+            return Ok(());
+        }
+    }
+}
+
+/// Pauses a producer node, waits for the channel pipeline to drain, then
+/// releases the channel — so no in-flight word is lost to the multiplexer
+/// change.
+fn drain_and_release(
+    sys: &mut VapresSystem,
+    channel: ChannelId,
+) -> Result<(PortRef, PortRef), SwapError> {
+    let info = sys
+        .fabric()
+        .channel_info(channel)
+        .ok_or(SwapError::UnknownChannel(channel))?;
+    let producer = info.producer;
+    let consumer = info.consumer;
+    let depth = info.hops as u64 + 1;
+
+    let mut dcr = sys.dcr(producer.node);
+    let ren_was = dcr.fifo_ren;
+    dcr.fifo_ren = false;
+    sys.write_dcr(producer.node, dcr)?;
+    // Let in-flight words land (depth registers + 2 slack cycles).
+    let cycle = sys.config().static_clock.period().as_ps();
+    sys.run_for(Ps::new((depth + 2) * cycle));
+    sys.vapres_release_channel(channel)?;
+    // Restore the producer's read enable for its next channel.
+    let mut dcr = sys.dcr(producer.node);
+    dcr.fifo_ren = ren_was;
+    sys.write_dcr(producer.node, dcr)?;
+    Ok((producer, consumer))
+}
+
+/// Runs the paper's nine-step seamless module swap.
+///
+/// Preconditions: the active module is streaming via `spec.upstream` and
+/// `spec.downstream`; the spare PRR is isolated (power-on state); the
+/// incoming bitstream targets the spare PRR and its module UID is
+/// registered in the system's library.
+///
+/// # Errors
+///
+/// Any [`SwapError`]; the system may be left mid-swap on error (as on the
+/// real system — recovery policy belongs to the application).
+pub fn seamless_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapReport, SwapError> {
+    let started_at = sys.now();
+    let downstream_info = sys
+        .fabric()
+        .channel_info(spec.downstream)
+        .ok_or(SwapError::UnknownChannel(spec.downstream))?;
+    let sink = downstream_info.consumer;
+
+    // Step 3: reconfigure the spare PRR while the active module streams.
+    let reconfig = match &spec.source {
+        BitstreamSource::CompactFlash(f) => sys.vapres_cf2icap(f)?,
+        BitstreamSource::Sdram(a) => sys.vapres_array2icap(a)?,
+    };
+
+    // Bring the spare's interfaces up but keep its clock gated: data can
+    // buffer in its consumer FIFO while the old module finishes.
+    let mut dcr = sys.dcr(spec.spare_node);
+    dcr.sm_en = true;
+    dcr.fifo_wen = true;
+    dcr.fifo_ren = true;
+    dcr.clk_sel = spec.clk_sel;
+    dcr.clk_en = false;
+    sys.write_dcr(spec.spare_node, dcr)?;
+
+    // Step 4: re-route the upstream channel to the spare, losslessly.
+    let (src_producer, _old_consumer) = drain_and_release(sys, spec.upstream)?;
+    sys.vapres_establish_channel(src_producer, PortRef::new(spec.spare_node, 0))?;
+    let rerouted_at = sys.now();
+
+    // Step 5–6: tell the old module to finish; it drains its FIFO, emits
+    // the end-of-stream word downstream, and ships its state registers.
+    sys.vapres_module_write(spec.active_node, control::CMD_FINISH)?;
+    let state = collect_state(sys, spec.active_node, spec.timeout)?;
+
+    // Step 7: initialize the new module with the old module's state, then
+    // start its clock.
+    sys.vapres_module_write(spec.spare_node, control::CMD_LOAD_STATE)?;
+    sys.vapres_module_write(spec.spare_node, state.len() as u32)?;
+    for w in &state {
+        sys.vapres_module_write(spec.spare_node, *w)?;
+    }
+    sys.vapres_module_clock(spec.spare_node, true)?;
+
+    // Step 8: the IOM reports the end-of-stream word.
+    await_eos(sys, sink.node, spec.timeout)?;
+    let eos_at = sys.now();
+
+    // Step 9: connect the new module's producer to the sink.
+    sys.vapres_release_channel(spec.downstream)?;
+    sys.vapres_establish_channel(PortRef::new(spec.spare_node, 0), sink)?;
+    let completed_at = sys.now();
+
+    // Decommission the old module's node.
+    sys.isolate_node(spec.active_node)?;
+
+    Ok(SwapReport {
+        started_at,
+        reconfig,
+        rerouted_at,
+        state_words: state.len(),
+        eos_at,
+        completed_at,
+    })
+}
+
+/// The conventional baseline: halt the stream, reconfigure the active PRR
+/// in place, restore state, restart. The stream output gap includes the
+/// whole reconfiguration.
+///
+/// `spec.spare_node` is ignored; the bitstream must target
+/// `spec.active_node`'s PRR.
+///
+/// # Errors
+///
+/// Any [`SwapError`].
+pub fn halt_and_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapReport, SwapError> {
+    let started_at = sys.now();
+    let downstream_info = sys
+        .fabric()
+        .channel_info(spec.downstream)
+        .ok_or(SwapError::UnknownChannel(spec.downstream))?;
+    let sink = downstream_info.consumer;
+
+    // Drain the old module: stop upstream flow, let it finish, capture
+    // state, wait for EOS to clear the downstream path.
+    let (src_producer, _) = drain_and_release(sys, spec.upstream)?;
+    // Pause the source completely while the PRR is down.
+    let mut dcr = sys.dcr(src_producer.node);
+    dcr.fifo_ren = false;
+    sys.write_dcr(src_producer.node, dcr)?;
+
+    sys.vapres_module_write(spec.active_node, control::CMD_FINISH)?;
+    let state = collect_state(sys, spec.active_node, spec.timeout)?;
+    await_eos(sys, sink.node, spec.timeout)?;
+    let eos_at = sys.now();
+    sys.vapres_release_channel(spec.downstream)?;
+
+    // Isolate and reconfigure the same PRR — the stream is fully halted.
+    sys.isolate_node(spec.active_node)?;
+    let reconfig = match &spec.source {
+        BitstreamSource::CompactFlash(f) => sys.vapres_cf2icap(f)?,
+        BitstreamSource::Sdram(a) => sys.vapres_array2icap(a)?,
+    };
+
+    // Bring the new module up with restored state.
+    let mut dcr = sys.dcr(spec.active_node);
+    dcr.sm_en = true;
+    dcr.fifo_wen = true;
+    dcr.fifo_ren = true;
+    dcr.clk_sel = spec.clk_sel;
+    dcr.clk_en = false;
+    sys.write_dcr(spec.active_node, dcr)?;
+    sys.vapres_module_write(spec.active_node, control::CMD_LOAD_STATE)?;
+    sys.vapres_module_write(spec.active_node, state.len() as u32)?;
+    for w in &state {
+        sys.vapres_module_write(spec.active_node, *w)?;
+    }
+    sys.vapres_module_clock(spec.active_node, true)?;
+    let rerouted_at = sys.now();
+
+    // Re-establish both channels and resume the source.
+    sys.vapres_establish_channel(src_producer, PortRef::new(spec.active_node, 0))?;
+    sys.vapres_establish_channel(PortRef::new(spec.active_node, 0), sink)?;
+    let mut dcr = sys.dcr(src_producer.node);
+    dcr.fifo_ren = true;
+    sys.write_dcr(src_producer.node, dcr)?;
+    let completed_at = sys.now();
+
+    Ok(SwapReport {
+        started_at,
+        reconfig,
+        rerouted_at,
+        state_words: state.len(),
+        eos_at,
+        completed_at,
+    })
+}

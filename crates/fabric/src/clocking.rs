@@ -1,0 +1,333 @@
+//! Clocking primitives: DCM, PMCD, BUFGMUX, BUFR.
+//!
+//! VAPRES gives every PRR its own *local clock domain*: a DCM plus PMCD
+//! generate a menu of frequencies from the system oscillator, a BUFGMUX per
+//! PRR selects between two of them under control of the PRSocket `CLK_sel`
+//! DCR bit, and a BUFR drives the clock inside the PRR's local clock
+//! region(s).
+
+use crate::geometry::ClockRegionId;
+use std::fmt;
+use vapres_sim::time::Freq;
+
+/// An error from configuring the clocking network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClockingError {
+    /// A DCM/PMCD multiply or divide parameter was out of range.
+    BadRatio {
+        /// What was attempted.
+        what: &'static str,
+        /// The offending value.
+        value: u32,
+    },
+    /// The derived frequency exceeds the fabric limit.
+    TooFast(Freq),
+}
+
+impl fmt::Display for ClockingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClockingError::BadRatio { what, value } => {
+                write!(f, "{what} ratio {value} out of range")
+            }
+            ClockingError::TooFast(freq) => {
+                write!(f, "derived clock {freq} exceeds the fabric limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClockingError {}
+
+/// Maximum clock the modelled fabric will route (Virtex-4 -10 speed grade
+/// global clocking ballpark).
+pub const MAX_FABRIC_FREQ_HZ: u64 = 500_000_000;
+
+/// A Digital Clock Manager: synthesizes `input * mult / div`.
+///
+/// Virtex-4 DCM CLKFX supports M in 2..=32 and D in 1..=32; we model just
+/// the frequency synthesis (no phase).
+///
+/// # Examples
+///
+/// ```
+/// use vapres_fabric::clocking::Dcm;
+/// use vapres_sim::time::Freq;
+///
+/// let dcm = Dcm::new(Freq::mhz(100));
+/// assert_eq!(dcm.clkfx(2, 1).unwrap(), Freq::mhz(200));
+/// assert_eq!(dcm.clkfx(2, 4).unwrap(), Freq::mhz(50));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dcm {
+    input: Freq,
+}
+
+impl Dcm {
+    /// Creates a DCM fed by `input`.
+    pub fn new(input: Freq) -> Self {
+        Dcm { input }
+    }
+
+    /// The input frequency.
+    pub fn input(&self) -> Freq {
+        self.input
+    }
+
+    /// The synthesized output `input * mult / div`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockingError::BadRatio`] if `mult` is outside 2..=32 or
+    /// `div` outside 1..=32, and [`ClockingError::TooFast`] if the result
+    /// exceeds [`MAX_FABRIC_FREQ_HZ`].
+    pub fn clkfx(&self, mult: u32, div: u32) -> Result<Freq, ClockingError> {
+        if !(2..=32).contains(&mult) {
+            return Err(ClockingError::BadRatio {
+                what: "DCM multiply",
+                value: mult,
+            });
+        }
+        if !(1..=32).contains(&div) {
+            return Err(ClockingError::BadRatio {
+                what: "DCM divide",
+                value: div,
+            });
+        }
+        let hz = self.input.as_hz() * u64::from(mult) / u64::from(div);
+        if hz > MAX_FABRIC_FREQ_HZ {
+            return Err(ClockingError::TooFast(Freq::hz(hz)));
+        }
+        Ok(Freq::hz(hz))
+    }
+
+    /// The pass-through CLK0 output.
+    pub fn clk0(&self) -> Freq {
+        self.input
+    }
+
+    /// The doubled CLK2X output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClockingError::TooFast`] past the fabric limit.
+    pub fn clk2x(&self) -> Result<Freq, ClockingError> {
+        let hz = self.input.as_hz() * 2;
+        if hz > MAX_FABRIC_FREQ_HZ {
+            return Err(ClockingError::TooFast(Freq::hz(hz)));
+        }
+        Ok(Freq::hz(hz))
+    }
+
+    /// The halved CLKDV output with divider 2.
+    pub fn clkdv2(&self) -> Freq {
+        Freq::hz((self.input.as_hz() / 2).max(1))
+    }
+}
+
+/// A Phase Matched Clock Divider: produces `/1, /2, /4, /8` phase-matched
+/// copies of its input.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_fabric::clocking::Pmcd;
+/// use vapres_sim::time::Freq;
+///
+/// let pmcd = Pmcd::new(Freq::mhz(200));
+/// assert_eq!(pmcd.outputs()[3], Freq::mhz(25)); // /8
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pmcd {
+    input: Freq,
+}
+
+impl Pmcd {
+    /// Creates a PMCD fed by `input`.
+    pub fn new(input: Freq) -> Self {
+        Pmcd { input }
+    }
+
+    /// The four divided outputs `[/1, /2, /4, /8]`.
+    pub fn outputs(&self) -> [Freq; 4] {
+        let hz = self.input.as_hz();
+        [
+            Freq::hz(hz),
+            Freq::hz((hz / 2).max(1)),
+            Freq::hz((hz / 4).max(1)),
+            Freq::hz((hz / 8).max(1)),
+        ]
+    }
+}
+
+/// A global clock multiplexer selecting one of two source clocks.
+///
+/// The PRSocket `CLK_sel` DCR bit drives the select input, letting the
+/// MicroBlaze retarget a PRR's frequency at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bufgmux {
+    inputs: [Freq; 2],
+    sel: bool,
+}
+
+impl Bufgmux {
+    /// Creates a mux over two candidate clocks, initially selecting input 0.
+    pub fn new(i0: Freq, i1: Freq) -> Self {
+        Bufgmux {
+            inputs: [i0, i1],
+            sel: false,
+        }
+    }
+
+    /// Sets the select line (`false` = input 0, `true` = input 1). The model
+    /// is glitch-free: the new frequency takes effect from the next edge,
+    /// which [`vapres_sim::clock::ClockScheduler::set_frequency`] realizes.
+    pub fn select(&mut self, sel: bool) {
+        self.sel = sel;
+    }
+
+    /// The currently selected input index as a bool.
+    pub fn selected(&self) -> bool {
+        self.sel
+    }
+
+    /// The two candidate frequencies.
+    pub fn inputs(&self) -> [Freq; 2] {
+        self.inputs
+    }
+
+    /// The output frequency for the current select value.
+    pub fn output(&self) -> Freq {
+        self.inputs[usize::from(self.sel)]
+    }
+}
+
+/// A regional clock buffer (BUFR).
+///
+/// A BUFR can only drive the clock nets of its own local clock region and
+/// the two vertically adjacent regions — this is where the paper's "PRR
+/// height must be no greater than 3x16 = 48 CLBs" rule comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bufr {
+    /// The region the BUFR instance sits in.
+    pub home: ClockRegionId,
+    /// Whether the buffer output is enabled (PRSocket `CLK_en`).
+    pub enabled: bool,
+}
+
+impl Bufr {
+    /// Creates a disabled BUFR in `home`.
+    pub fn new(home: ClockRegionId) -> Self {
+        Bufr {
+            home,
+            enabled: false,
+        }
+    }
+
+    /// Whether this BUFR can drive clock nets in `region`.
+    pub fn can_drive(&self, region: ClockRegionId) -> bool {
+        region.half == self.home.half && region.band.abs_diff(self.home.band) <= 1
+    }
+
+    /// Whether this BUFR can drive every region in `regions`.
+    pub fn can_drive_all<'a>(&self, regions: impl IntoIterator<Item = &'a ClockRegionId>) -> bool {
+        regions.into_iter().all(|r| self.can_drive(*r))
+    }
+}
+
+/// Picks the home band for a BUFR that must drive all of `bands` (within
+/// one device half). Returns `None` if no single BUFR placement reaches all
+/// of them (more than 3 adjacent bands).
+pub fn bufr_home_for(bands: &[u32]) -> Option<u32> {
+    let lo = *bands.iter().min()?;
+    let hi = *bands.iter().max()?;
+    if hi - lo + 1 > 3 {
+        return None;
+    }
+    // The middle band reaches one band either side.
+    Some(lo + (hi - lo) / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dcm_ratios() {
+        let d = Dcm::new(Freq::mhz(100));
+        assert_eq!(d.clk0(), Freq::mhz(100));
+        assert_eq!(d.clk2x().unwrap(), Freq::mhz(200));
+        assert_eq!(d.clkdv2(), Freq::mhz(50));
+        assert_eq!(d.clkfx(3, 2).unwrap(), Freq::mhz(150));
+    }
+
+    #[test]
+    fn dcm_rejects_bad_ratios() {
+        let d = Dcm::new(Freq::mhz(100));
+        assert!(matches!(
+            d.clkfx(1, 1),
+            Err(ClockingError::BadRatio { what: "DCM multiply", .. })
+        ));
+        assert!(matches!(
+            d.clkfx(2, 0),
+            Err(ClockingError::BadRatio { what: "DCM divide", .. })
+        ));
+        assert!(matches!(d.clkfx(32, 1), Err(ClockingError::TooFast(_))));
+    }
+
+    #[test]
+    fn pmcd_divides() {
+        let p = Pmcd::new(Freq::mhz(200));
+        assert_eq!(
+            p.outputs(),
+            [
+                Freq::mhz(200),
+                Freq::mhz(100),
+                Freq::mhz(50),
+                Freq::mhz(25)
+            ]
+        );
+    }
+
+    #[test]
+    fn bufgmux_selects() {
+        let mut m = Bufgmux::new(Freq::mhz(100), Freq::mhz(25));
+        assert_eq!(m.output(), Freq::mhz(100));
+        m.select(true);
+        assert_eq!(m.output(), Freq::mhz(25));
+        assert!(m.selected());
+        assert_eq!(m.inputs(), [Freq::mhz(100), Freq::mhz(25)]);
+    }
+
+    #[test]
+    fn bufr_reach() {
+        let b = Bufr::new(ClockRegionId { half: 0, band: 2 });
+        assert!(b.can_drive(ClockRegionId { half: 0, band: 1 }));
+        assert!(b.can_drive(ClockRegionId { half: 0, band: 2 }));
+        assert!(b.can_drive(ClockRegionId { half: 0, band: 3 }));
+        assert!(!b.can_drive(ClockRegionId { half: 0, band: 4 }));
+        assert!(!b.can_drive(ClockRegionId { half: 1, band: 2 }));
+    }
+
+    #[test]
+    fn bufr_can_drive_all() {
+        let b = Bufr::new(ClockRegionId { half: 0, band: 1 });
+        let ok = [
+            ClockRegionId { half: 0, band: 0 },
+            ClockRegionId { half: 0, band: 2 },
+        ];
+        assert!(b.can_drive_all(&ok));
+        let bad = [ClockRegionId { half: 0, band: 3 }];
+        assert!(!b.can_drive_all(&bad));
+    }
+
+    #[test]
+    fn bufr_home_selection() {
+        assert_eq!(bufr_home_for(&[0]), Some(0));
+        assert_eq!(bufr_home_for(&[0, 1]), Some(0));
+        assert_eq!(bufr_home_for(&[0, 1, 2]), Some(1));
+        assert_eq!(bufr_home_for(&[2, 3, 4]), Some(3));
+        assert_eq!(bufr_home_for(&[0, 1, 2, 3]), None);
+        assert_eq!(bufr_home_for(&[]), None);
+    }
+}

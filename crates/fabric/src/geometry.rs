@@ -1,0 +1,477 @@
+//! Device geometry: CLB grid, rectangles, and local clock regions.
+//!
+//! The VAPRES floorplanning rules (Sec. III.B.2 and IV.A of the paper) are
+//! stated in terms of the Virtex-4 fabric: local clock regions span sixteen
+//! CLB rows vertically and half the device horizontally, PRRs must fit in at
+//! most three vertically adjacent regions (48 CLB rows), and regions used by
+//! different PRRs may not intersect.
+
+use std::fmt;
+
+/// A CLB coordinate on the device grid. Column 0 is leftmost, row 0 is the
+/// bottom row (Xilinx convention).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClbCoord {
+    /// Column index, 0-based from the left edge.
+    pub col: u32,
+    /// Row index, 0-based from the bottom edge.
+    pub row: u32,
+}
+
+impl ClbCoord {
+    /// Creates a coordinate.
+    pub const fn new(col: u32, row: u32) -> Self {
+        ClbCoord { col, row }
+    }
+}
+
+impl fmt::Display for ClbCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}Y{}", self.col, self.row)
+    }
+}
+
+/// A rectangular CLB range, inclusive on both ends — the shape of a PRR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClbRect {
+    /// Leftmost column (inclusive).
+    pub col_lo: u32,
+    /// Rightmost column (inclusive).
+    pub col_hi: u32,
+    /// Bottom row (inclusive).
+    pub row_lo: u32,
+    /// Top row (inclusive).
+    pub row_hi: u32,
+}
+
+impl ClbRect {
+    /// Creates a rectangle from inclusive bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col_lo > col_hi` or `row_lo > row_hi`.
+    pub fn new(col_lo: u32, col_hi: u32, row_lo: u32, row_hi: u32) -> Self {
+        assert!(col_lo <= col_hi, "column range inverted");
+        assert!(row_lo <= row_hi, "row range inverted");
+        ClbRect {
+            col_lo,
+            col_hi,
+            row_lo,
+            row_hi,
+        }
+    }
+
+    /// Width in CLB columns.
+    pub fn width(&self) -> u32 {
+        self.col_hi - self.col_lo + 1
+    }
+
+    /// Height in CLB rows.
+    pub fn height(&self) -> u32 {
+        self.row_hi - self.row_lo + 1
+    }
+
+    /// Number of CLBs covered.
+    pub fn clbs(&self) -> u32 {
+        self.width() * self.height()
+    }
+
+    /// Whether two rectangles share any CLB.
+    pub fn intersects(&self, other: &ClbRect) -> bool {
+        self.col_lo <= other.col_hi
+            && other.col_lo <= self.col_hi
+            && self.row_lo <= other.row_hi
+            && other.row_lo <= self.row_hi
+    }
+
+    /// Whether `self` fully contains `other`.
+    pub fn contains(&self, other: &ClbRect) -> bool {
+        self.col_lo <= other.col_lo
+            && self.col_hi >= other.col_hi
+            && self.row_lo <= other.row_lo
+            && self.row_hi >= other.row_hi
+    }
+}
+
+impl fmt::Display for ClbRect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SLICE_X{}Y{}:SLICE_X{}Y{}",
+            self.col_lo, self.row_lo, self.col_hi, self.row_hi
+        )
+    }
+}
+
+/// Identifies one local clock region: a vertical `band` of sixteen CLB rows
+/// on the left or right `half` of the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClockRegionId {
+    /// Horizontal half: 0 = left, 1 = right.
+    pub half: u8,
+    /// Vertical band index, 0-based from the bottom; each band is
+    /// [`Device::CLOCK_REGION_ROWS`] CLB rows tall.
+    pub band: u32,
+}
+
+impl fmt::Display for ClockRegionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CLKR_X{}Y{}", self.half, self.band)
+    }
+}
+
+/// An error from validating geometry against a [`Device`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GeometryError {
+    /// The rectangle extends past the device edge.
+    OutOfBounds {
+        /// The offending rectangle.
+        rect: ClbRect,
+        /// Device columns and rows.
+        device: (u32, u32),
+    },
+    /// The rectangle straddles the vertical centre line, so it cannot be
+    /// clocked from one set of local clock regions.
+    StraddlesCenter(ClbRect),
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::OutOfBounds { rect, device } => write!(
+                f,
+                "rectangle {rect} exceeds device bounds {}x{} CLBs",
+                device.0, device.1
+            ),
+            GeometryError::StraddlesCenter(r) => {
+                write!(f, "rectangle {r} straddles the device centre line")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// A Virtex-4-style device: a CLB grid partitioned into local clock regions.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_fabric::geometry::{ClbRect, Device};
+///
+/// let dev = Device::xc4vlx25();
+/// assert_eq!(dev.slices(), 10_752);
+/// // A 16-row x 10-column PRR occupies 640 slices (the paper's prototype).
+/// let prr = ClbRect::new(0, 9, 0, 15);
+/// assert_eq!(dev.slices_in(&prr), 640);
+/// assert_eq!(dev.regions_spanned(&prr).unwrap().len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Device {
+    name: String,
+    clb_cols: u32,
+    clb_rows: u32,
+}
+
+impl Device {
+    /// CLB rows per local clock region on Virtex-4.
+    pub const CLOCK_REGION_ROWS: u32 = 16;
+    /// Slices per CLB on Virtex-4.
+    pub const SLICES_PER_CLB: u32 = 4;
+    /// A BUFR drives its own local clock region plus the regions directly
+    /// above and below, so a PRR may span at most this many bands.
+    pub const MAX_PRR_BANDS: u32 = 3;
+
+    /// Creates a custom device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row count is not a multiple of
+    /// [`Self::CLOCK_REGION_ROWS`], if the column count is odd (clock
+    /// regions span exactly half the device), or if either dimension is 0.
+    pub fn new(name: impl Into<String>, clb_cols: u32, clb_rows: u32) -> Self {
+        assert!(clb_cols > 0 && clb_rows > 0, "device must be non-empty");
+        assert!(
+            clb_rows.is_multiple_of(Self::CLOCK_REGION_ROWS),
+            "device rows must be a whole number of clock regions"
+        );
+        assert!(clb_cols.is_multiple_of(2), "device columns must split into halves");
+        Device {
+            name: name.into(),
+            clb_cols,
+            clb_rows,
+        }
+    }
+
+    /// The Virtex-4 XC4VLX25 (the paper's ML401 prototype device):
+    /// 28 x 96 CLBs = 10,752 slices.
+    pub fn xc4vlx25() -> Self {
+        Device::new("xc4vlx25", 28, 96)
+    }
+
+    /// The Virtex-4 XC4VLX60: 52 x 128 CLBs = 26,624 slices.
+    pub fn xc4vlx60() -> Self {
+        Device::new("xc4vlx60", 52, 128)
+    }
+
+    /// The Virtex-4 XC4VLX100: 64 x 192 CLBs = 49,152 slices.
+    pub fn xc4vlx100() -> Self {
+        Device::new("xc4vlx100", 64, 192)
+    }
+
+    /// Device name, e.g. `"xc4vlx25"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// CLB columns.
+    pub fn clb_cols(&self) -> u32 {
+        self.clb_cols
+    }
+
+    /// CLB rows.
+    pub fn clb_rows(&self) -> u32 {
+        self.clb_rows
+    }
+
+    /// Total CLB count.
+    pub fn clbs(&self) -> u32 {
+        self.clb_cols * self.clb_rows
+    }
+
+    /// Total slice count.
+    pub fn slices(&self) -> u32 {
+        self.clbs() * Self::SLICES_PER_CLB
+    }
+
+    /// Slices inside a rectangle.
+    pub fn slices_in(&self, rect: &ClbRect) -> u32 {
+        rect.clbs() * Self::SLICES_PER_CLB
+    }
+
+    /// Number of vertical clock-region bands.
+    pub fn bands(&self) -> u32 {
+        self.clb_rows / Self::CLOCK_REGION_ROWS
+    }
+
+    /// Total number of local clock regions (two halves per band).
+    pub fn clock_regions(&self) -> u32 {
+        self.bands() * 2
+    }
+
+    /// The full device as a rectangle.
+    pub fn bounds(&self) -> ClbRect {
+        ClbRect::new(0, self.clb_cols - 1, 0, self.clb_rows - 1)
+    }
+
+    /// Returns whether `rect` lies within the device.
+    pub fn in_bounds(&self, rect: &ClbRect) -> bool {
+        rect.col_hi < self.clb_cols && rect.row_hi < self.clb_rows
+    }
+
+    /// The clock region containing a CLB coordinate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the device.
+    pub fn region_of(&self, at: ClbCoord) -> ClockRegionId {
+        assert!(
+            at.col < self.clb_cols && at.row < self.clb_rows,
+            "coordinate {at} outside device"
+        );
+        ClockRegionId {
+            half: if at.col < self.clb_cols / 2 { 0 } else { 1 },
+            band: at.row / Self::CLOCK_REGION_ROWS,
+        }
+    }
+
+    /// The CLB rectangle covered by a clock region.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `region` does not exist on this device.
+    pub fn region_rect(&self, region: ClockRegionId) -> ClbRect {
+        assert!(region.half < 2 && region.band < self.bands());
+        let half_cols = self.clb_cols / 2;
+        let col_lo = u32::from(region.half) * half_cols;
+        let row_lo = region.band * Self::CLOCK_REGION_ROWS;
+        ClbRect::new(
+            col_lo,
+            col_lo + half_cols - 1,
+            row_lo,
+            row_lo + Self::CLOCK_REGION_ROWS - 1,
+        )
+    }
+
+    /// The set of clock regions a rectangle touches, bottom-up.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeometryError::OutOfBounds`] if the rectangle exceeds the
+    /// device and [`GeometryError::StraddlesCenter`] if it crosses the
+    /// vertical centre line (a region spans only half the device, so a PRR
+    /// clocked by BUFRs cannot straddle it).
+    pub fn regions_spanned(&self, rect: &ClbRect) -> Result<Vec<ClockRegionId>, GeometryError> {
+        if !self.in_bounds(rect) {
+            return Err(GeometryError::OutOfBounds {
+                rect: *rect,
+                device: (self.clb_cols, self.clb_rows),
+            });
+        }
+        let half_cols = self.clb_cols / 2;
+        let lo_half = rect.col_lo / half_cols;
+        let hi_half = rect.col_hi / half_cols;
+        if lo_half != hi_half {
+            return Err(GeometryError::StraddlesCenter(*rect));
+        }
+        let lo_band = rect.row_lo / Self::CLOCK_REGION_ROWS;
+        let hi_band = rect.row_hi / Self::CLOCK_REGION_ROWS;
+        Ok((lo_band..=hi_band)
+            .map(|band| ClockRegionId {
+                half: lo_half as u8,
+                band,
+            })
+            .collect())
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}x{} CLBs, {} slices, {} clock regions)",
+            self.name,
+            self.clb_cols,
+            self.clb_rows,
+            self.slices(),
+            self.clock_regions()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lx25_inventory_matches_datasheet() {
+        let d = Device::xc4vlx25();
+        assert_eq!(d.clbs(), 2_688);
+        assert_eq!(d.slices(), 10_752);
+        assert_eq!(d.bands(), 6);
+        assert_eq!(d.clock_regions(), 12);
+    }
+
+    #[test]
+    fn lx60_inventory_matches_datasheet() {
+        let d = Device::xc4vlx60();
+        assert_eq!(d.slices(), 26_624);
+        assert_eq!(d.clock_regions(), 16);
+    }
+
+    #[test]
+    fn rect_dimensions() {
+        let r = ClbRect::new(2, 11, 16, 31);
+        assert_eq!(r.width(), 10);
+        assert_eq!(r.height(), 16);
+        assert_eq!(r.clbs(), 160);
+    }
+
+    #[test]
+    fn rect_intersection() {
+        let a = ClbRect::new(0, 9, 0, 15);
+        let b = ClbRect::new(9, 12, 15, 20);
+        let c = ClbRect::new(10, 12, 16, 20);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(a.contains(&ClbRect::new(1, 2, 3, 4)));
+        assert!(!a.contains(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "column range inverted")]
+    fn rect_rejects_inverted_range() {
+        let _ = ClbRect::new(5, 4, 0, 0);
+    }
+
+    #[test]
+    fn region_of_coordinates() {
+        let d = Device::xc4vlx25();
+        assert_eq!(
+            d.region_of(ClbCoord::new(0, 0)),
+            ClockRegionId { half: 0, band: 0 }
+        );
+        assert_eq!(
+            d.region_of(ClbCoord::new(13, 15)),
+            ClockRegionId { half: 0, band: 0 }
+        );
+        assert_eq!(
+            d.region_of(ClbCoord::new(14, 16)),
+            ClockRegionId { half: 1, band: 1 }
+        );
+        assert_eq!(
+            d.region_of(ClbCoord::new(27, 95)),
+            ClockRegionId { half: 1, band: 5 }
+        );
+    }
+
+    #[test]
+    fn region_rect_roundtrip() {
+        let d = Device::xc4vlx25();
+        for half in 0..2u8 {
+            for band in 0..d.bands() {
+                let id = ClockRegionId { half, band };
+                let rect = d.region_rect(id);
+                assert_eq!(rect.height(), Device::CLOCK_REGION_ROWS);
+                assert_eq!(rect.width(), d.clb_cols() / 2);
+                assert_eq!(d.region_of(ClbCoord::new(rect.col_lo, rect.row_lo)), id);
+                assert_eq!(d.region_of(ClbCoord::new(rect.col_hi, rect.row_hi)), id);
+            }
+        }
+    }
+
+    #[test]
+    fn regions_spanned_single_region_prr() {
+        let d = Device::xc4vlx25();
+        // The paper's prototype PRR: 16 rows x 10 cols inside one region.
+        let prr = ClbRect::new(0, 9, 0, 15);
+        let regions = d.regions_spanned(&prr).unwrap();
+        assert_eq!(regions, vec![ClockRegionId { half: 0, band: 0 }]);
+        assert_eq!(d.slices_in(&prr), 640);
+    }
+
+    #[test]
+    fn regions_spanned_three_bands() {
+        let d = Device::xc4vlx25();
+        let tall = ClbRect::new(0, 9, 0, 47);
+        let regions = d.regions_spanned(&tall).unwrap();
+        assert_eq!(regions.len(), 3);
+        assert!(regions.windows(2).all(|w| w[1].band == w[0].band + 1));
+    }
+
+    #[test]
+    fn regions_spanned_rejects_straddle_and_oob() {
+        let d = Device::xc4vlx25();
+        let straddle = ClbRect::new(10, 20, 0, 15);
+        assert!(matches!(
+            d.regions_spanned(&straddle),
+            Err(GeometryError::StraddlesCenter(_))
+        ));
+        let oob = ClbRect::new(0, 30, 0, 15);
+        assert!(matches!(
+            d.regions_spanned(&oob),
+            Err(GeometryError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ClbCoord::new(3, 4).to_string(), "X3Y4");
+        assert_eq!(
+            ClockRegionId { half: 1, band: 2 }.to_string(),
+            "CLKR_X1Y2"
+        );
+        let d = Device::xc4vlx25();
+        assert!(d.to_string().contains("10752 slices"));
+    }
+}

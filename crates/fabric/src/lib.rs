@@ -1,0 +1,44 @@
+//! # vapres-fabric
+//!
+//! A Virtex-4-style FPGA device model for the VAPRES reproduction
+//! (Jara-Berrocal & Gordon-Ross, DATE 2010).
+//!
+//! The paper prototypes VAPRES on a Virtex-4 XC4VLX25 and its floorplanning
+//! rules are consequences of that family's physical structure. This crate
+//! models exactly the pieces those rules depend on:
+//!
+//! * [`geometry`] — CLB grids, rectangles, and *local clock regions*
+//!   (16 CLB rows tall, half the device wide) for the
+//!   [`geometry::Device`] family members the paper references (LX25, LX60).
+//! * [`clocking`] — DCM, PMCD, BUFGMUX and BUFR primitives: the clock menu
+//!   a PRSocket's `CLK_sel` bit chooses from, and the BUFR reach rule that
+//!   caps PRR height at 3 clock regions (48 CLB rows).
+//! * [`frame`] — configuration frame geometry (41-word frames, 22 frames
+//!   per CLB column per region) from which partial bitstream sizes, and
+//!   hence reconfiguration times, are derived.
+//! * [`resources`] — resource kinds and budgets for floorplanning and the
+//!   E1 resource-utilization experiment.
+//!
+//! # Examples
+//!
+//! Compute the partial-bitstream payload for the paper's 640-slice PRR:
+//!
+//! ```
+//! use vapres_fabric::frame::frame_payload_bytes;
+//! use vapres_fabric::geometry::{ClbRect, Device};
+//!
+//! let dev = Device::xc4vlx25();
+//! let prr = ClbRect::new(0, 9, 0, 15);
+//! assert_eq!(dev.slices_in(&prr), 640);
+//! let bytes = frame_payload_bytes(&dev, &prr)?;
+//! assert_eq!(bytes, 36_080); // 220 frames x 164 bytes
+//! # Ok::<(), vapres_fabric::geometry::GeometryError>(())
+//! ```
+
+pub mod clocking;
+pub mod frame;
+pub mod geometry;
+pub mod resources;
+
+pub use geometry::{ClbCoord, ClbRect, ClockRegionId, Device};
+pub use resources::{ResourceBudget, ResourceKind};

@@ -1,0 +1,240 @@
+//! Resource kinds and budgets.
+//!
+//! Floorplanning and the E1 resource experiment account for fabric
+//! resources with a [`ResourceBudget`]: what a device offers, what a
+//! component consumes, and whether a demand fits.
+
+use crate::geometry::Device;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A kind of fabric resource.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ResourceKind {
+    /// Logic slices (4 per CLB on Virtex-4).
+    Slice,
+    /// 18-kbit block RAMs.
+    Bram18,
+    /// DSP48 multiply-accumulate blocks.
+    Dsp48,
+    /// Regional clock buffers.
+    Bufr,
+    /// Global clock multiplexers.
+    Bufgmux,
+    /// Digital clock managers.
+    Dcm,
+    /// Phase-matched clock dividers.
+    Pmcd,
+    /// Internal configuration access ports.
+    Icap,
+}
+
+impl ResourceKind {
+    /// All resource kinds, for iteration.
+    pub const ALL: [ResourceKind; 8] = [
+        ResourceKind::Slice,
+        ResourceKind::Bram18,
+        ResourceKind::Dsp48,
+        ResourceKind::Bufr,
+        ResourceKind::Bufgmux,
+        ResourceKind::Dcm,
+        ResourceKind::Pmcd,
+        ResourceKind::Icap,
+    ];
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ResourceKind::Slice => "SLICE",
+            ResourceKind::Bram18 => "BRAM18",
+            ResourceKind::Dsp48 => "DSP48",
+            ResourceKind::Bufr => "BUFR",
+            ResourceKind::Bufgmux => "BUFGMUX",
+            ResourceKind::Dcm => "DCM",
+            ResourceKind::Pmcd => "PMCD",
+            ResourceKind::Icap => "ICAP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A multiset of resources: device inventory, component cost, or remaining
+/// headroom.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_fabric::resources::{ResourceBudget, ResourceKind};
+///
+/// let mut cost = ResourceBudget::new();
+/// cost.add(ResourceKind::Slice, 1_020);
+/// cost.add(ResourceKind::Bram18, 8);
+/// assert_eq!(cost.get(ResourceKind::Slice), 1_020);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ResourceBudget {
+    counts: BTreeMap<ResourceKind, u64>,
+}
+
+impl ResourceBudget {
+    /// Creates an empty budget.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n` units of `kind`.
+    pub fn add(&mut self, kind: ResourceKind, n: u64) {
+        *self.counts.entry(kind).or_insert(0) += n;
+    }
+
+    /// Units of `kind` in the budget (0 if absent).
+    pub fn get(&self, kind: ResourceKind) -> u64 {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Adds every entry of `other` into `self`.
+    pub fn merge(&mut self, other: &ResourceBudget) {
+        for (&k, &n) in &other.counts {
+            self.add(k, n);
+        }
+    }
+
+    /// Whether `demand` fits entirely inside `self`.
+    pub fn covers(&self, demand: &ResourceBudget) -> bool {
+        demand.counts.iter().all(|(&k, &n)| self.get(k) >= n)
+    }
+
+    /// Subtracts `demand`; `None` if it does not fit.
+    pub fn checked_sub(&self, demand: &ResourceBudget) -> Option<ResourceBudget> {
+        if !self.covers(demand) {
+            return None;
+        }
+        let mut out = self.clone();
+        for (&k, &n) in &demand.counts {
+            let e = out.counts.entry(k).or_insert(0);
+            *e -= n;
+        }
+        Some(out)
+    }
+
+    /// Iterates over `(kind, count)` entries in kind order.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceKind, u64)> + '_ {
+        self.counts.iter().map(|(&k, &n)| (k, n))
+    }
+
+    /// The inventory of a whole device.
+    ///
+    /// BRAM/DSP counts are approximated proportionally to the real Virtex-4
+    /// family members; clocking primitive counts follow the family rules
+    /// (2 BUFRs per clock region, 4 DCMs + 4 PMCDs on LX25-class parts,
+    /// 32 BUFGMUXes, 1 ICAP).
+    pub fn of_device(device: &Device) -> ResourceBudget {
+        let mut b = ResourceBudget::new();
+        b.add(ResourceKind::Slice, u64::from(device.slices()));
+        // LX25 has 72 BRAM18 / 48 DSP48; scale with CLB count for other parts.
+        let scale = f64::from(device.clbs()) / 2_688.0;
+        b.add(ResourceKind::Bram18, (72.0 * scale).round() as u64);
+        b.add(ResourceKind::Dsp48, (48.0 * scale).round() as u64);
+        b.add(ResourceKind::Bufr, u64::from(device.clock_regions()) * 2);
+        b.add(ResourceKind::Bufgmux, 32);
+        b.add(ResourceKind::Dcm, 4.max((4.0 * scale).round() as u64));
+        b.add(ResourceKind::Pmcd, 4);
+        b.add(ResourceKind::Icap, 1);
+        b
+    }
+}
+
+impl FromIterator<(ResourceKind, u64)> for ResourceBudget {
+    fn from_iter<T: IntoIterator<Item = (ResourceKind, u64)>>(iter: T) -> Self {
+        let mut b = ResourceBudget::new();
+        for (k, n) in iter {
+            b.add(k, n);
+        }
+        b
+    }
+}
+
+impl Extend<(ResourceKind, u64)> for ResourceBudget {
+    fn extend<T: IntoIterator<Item = (ResourceKind, u64)>>(&mut self, iter: T) {
+        for (k, n) in iter {
+            self.add(k, n);
+        }
+    }
+}
+
+impl fmt::Display for ResourceBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, n) in self.iter() {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}: {n}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut b = ResourceBudget::new();
+        b.add(ResourceKind::Slice, 100);
+        b.add(ResourceKind::Slice, 20);
+        assert_eq!(b.get(ResourceKind::Slice), 120);
+        assert_eq!(b.get(ResourceKind::Dsp48), 0);
+    }
+
+    #[test]
+    fn covers_and_checked_sub() {
+        let inv: ResourceBudget = [(ResourceKind::Slice, 100), (ResourceKind::Bram18, 4)]
+            .into_iter()
+            .collect();
+        let small: ResourceBudget = [(ResourceKind::Slice, 40)].into_iter().collect();
+        let big: ResourceBudget = [(ResourceKind::Slice, 101)].into_iter().collect();
+        assert!(inv.covers(&small));
+        assert!(!inv.covers(&big));
+        let rest = inv.checked_sub(&small).unwrap();
+        assert_eq!(rest.get(ResourceKind::Slice), 60);
+        assert_eq!(rest.get(ResourceKind::Bram18), 4);
+        assert!(inv.checked_sub(&big).is_none());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a: ResourceBudget = [(ResourceKind::Slice, 10)].into_iter().collect();
+        let b: ResourceBudget = [(ResourceKind::Slice, 5), (ResourceKind::Dcm, 1)]
+            .into_iter()
+            .collect();
+        a.merge(&b);
+        assert_eq!(a.get(ResourceKind::Slice), 15);
+        assert_eq!(a.get(ResourceKind::Dcm), 1);
+    }
+
+    #[test]
+    fn device_inventory_lx25() {
+        let inv = ResourceBudget::of_device(&Device::xc4vlx25());
+        assert_eq!(inv.get(ResourceKind::Slice), 10_752);
+        assert_eq!(inv.get(ResourceKind::Bram18), 72);
+        assert_eq!(inv.get(ResourceKind::Dsp48), 48);
+        assert_eq!(inv.get(ResourceKind::Bufr), 24);
+        assert_eq!(inv.get(ResourceKind::Icap), 1);
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let b: ResourceBudget = [(ResourceKind::Slice, 2), (ResourceKind::Icap, 1)]
+            .into_iter()
+            .collect();
+        assert_eq!(b.to_string(), "SLICE: 2, ICAP: 1");
+        assert_eq!(ResourceBudget::new().to_string(), "(empty)");
+    }
+}

@@ -1,0 +1,147 @@
+//! Fragmentation vs. reconfiguration-time analysis (experiment E7).
+//!
+//! The paper's stated future work: "analyzing the tradeoffs between
+//! resource fragmentation and system performance for large verses small
+//! PRRs". Large PRRs waste slices when hosting small modules (internal
+//! fragmentation) but accommodate any module; small PRRs waste little but
+//! their bitstreams are smaller, so they reconfigure faster — and big
+//! modules simply do not fit.
+//!
+//! This module quantifies both sides for a given module mix and PRR size
+//! policy on a device.
+
+use std::fmt;
+use vapres_fabric::frame::{FRAMES_PER_CLB_COLUMN, FRAME_BYTES};
+use vapres_fabric::geometry::Device;
+
+/// A PRR sizing policy: every PRR spans `bands` whole clock regions and
+/// `cols` CLB columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrrSizePolicy {
+    /// Clock regions per PRR (1–3).
+    pub bands: u32,
+    /// CLB columns per PRR.
+    pub cols: u32,
+}
+
+impl PrrSizePolicy {
+    /// Slice capacity of one PRR under this policy.
+    pub fn slices(&self) -> u32 {
+        self.bands * Device::CLOCK_REGION_ROWS * self.cols * Device::SLICES_PER_CLB
+    }
+
+    /// Partial-bitstream payload bytes for one PRR under this policy
+    /// (frame data only; packet overhead adds ≈0.5 %).
+    pub fn bitstream_bytes(&self) -> u64 {
+        u64::from(self.bands * self.cols * FRAMES_PER_CLB_COLUMN) * u64::from(FRAME_BYTES)
+    }
+}
+
+impl fmt::Display for PrrSizePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{} regions ({} slices)",
+            self.cols,
+            self.bands,
+            self.slices()
+        )
+    }
+}
+
+/// Outcome of analysing a module mix against a PRR size policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FragmentationReport {
+    /// The policy analysed.
+    pub policy: PrrSizePolicy,
+    /// Modules that fit a PRR under this policy.
+    pub fitting_modules: usize,
+    /// Modules too large for one PRR (would need multi-PRR spanning).
+    pub oversized_modules: usize,
+    /// Mean internal fragmentation over fitting modules: wasted slices /
+    /// PRR slices, in 0..=1.
+    pub mean_fragmentation: f64,
+    /// Partial-bitstream payload bytes per swap.
+    pub bitstream_bytes: u64,
+}
+
+/// Analyses `module_slices` (the slice demand of each module in the
+/// application mix) against a PRR size `policy`.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_floorplan::fragmentation::{analyze, PrrSizePolicy};
+///
+/// let small = PrrSizePolicy { bands: 1, cols: 10 }; // 640 slices
+/// let report = analyze(&[400, 600, 640], small);
+/// assert_eq!(report.fitting_modules, 3);
+/// assert_eq!(report.oversized_modules, 0);
+/// assert!(report.mean_fragmentation > 0.0);
+/// ```
+pub fn analyze(module_slices: &[u32], policy: PrrSizePolicy) -> FragmentationReport {
+    let cap = policy.slices();
+    let mut frag_sum = 0.0;
+    let mut fit = 0usize;
+    let mut oversized = 0usize;
+    for &m in module_slices {
+        if m <= cap {
+            fit += 1;
+            frag_sum += f64::from(cap - m) / f64::from(cap);
+        } else {
+            oversized += 1;
+        }
+    }
+    FragmentationReport {
+        policy,
+        fitting_modules: fit,
+        oversized_modules: oversized,
+        mean_fragmentation: if fit > 0 { frag_sum / fit as f64 } else { 0.0 },
+        bitstream_bytes: policy.bitstream_bytes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_slice_math() {
+        let p = PrrSizePolicy { bands: 1, cols: 10 };
+        assert_eq!(p.slices(), 640);
+        let p3 = PrrSizePolicy { bands: 3, cols: 10 };
+        assert_eq!(p3.slices(), 1_920);
+        assert_eq!(p3.bitstream_bytes(), 3 * p.bitstream_bytes());
+    }
+
+    #[test]
+    fn larger_prrs_fit_more_but_waste_more() {
+        let mix = [200u32, 500, 900, 1_500];
+        let small = analyze(&mix, PrrSizePolicy { bands: 1, cols: 10 });
+        let large = analyze(&mix, PrrSizePolicy { bands: 3, cols: 10 });
+        assert!(large.fitting_modules > small.fitting_modules);
+        assert!(large.mean_fragmentation > small.mean_fragmentation);
+        assert!(large.bitstream_bytes > small.bitstream_bytes);
+    }
+
+    #[test]
+    fn perfect_fit_has_zero_fragmentation() {
+        let r = analyze(&[640, 640], PrrSizePolicy { bands: 1, cols: 10 });
+        assert_eq!(r.mean_fragmentation, 0.0);
+        assert_eq!(r.oversized_modules, 0);
+    }
+
+    #[test]
+    fn all_oversized_mix() {
+        let r = analyze(&[5_000], PrrSizePolicy { bands: 1, cols: 10 });
+        assert_eq!(r.fitting_modules, 0);
+        assert_eq!(r.oversized_modules, 1);
+        assert_eq!(r.mean_fragmentation, 0.0);
+    }
+
+    #[test]
+    fn display_policy() {
+        let p = PrrSizePolicy { bands: 2, cols: 5 };
+        assert_eq!(p.to_string(), "5x2 regions (640 slices)");
+    }
+}

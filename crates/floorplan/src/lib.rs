@@ -1,0 +1,52 @@
+//! # vapres-floorplan
+//!
+//! The VAPRES base-system design flow (Jara-Berrocal & Gordon-Ross,
+//! DATE 2010, Sec. IV.A): floorplanning, constraint validation, the slice
+//! cost model, and system definition file generation.
+//!
+//! * [`mod@plan`] — [`plan::Floorplan`] with the paper's validation rules
+//!   (PRR ≤ 3 adjacent clock regions, regions of different PRRs never
+//!   intersect, no rectangle overlaps) plus a Fig.-8-style ASCII view;
+//! * [`planner`] — an automatic floorplanner (the paper's stated future
+//!   work) placing PRRs from slice requirements;
+//! * [`resources`] — the structural slice cost model reproducing the
+//!   paper's 9,421-slice static region and 1,020-slice communication
+//!   architecture (experiment E1);
+//! * [`sysdef`] — MHS/MSS/UCF generation and UCF parsing (the system
+//!   definition files of the base system flow);
+//! * [`fragmentation`] — the large-vs-small PRR fragmentation/
+//!   reconfiguration-time analysis (experiment E7).
+//!
+//! # Examples
+//!
+//! Run the base-system flow end to end:
+//!
+//! ```
+//! use vapres_fabric::geometry::Device;
+//! use vapres_floorplan::planner::{plan, PrrRequest};
+//! use vapres_floorplan::resources::static_region_slices;
+//! use vapres_floorplan::sysdef::{generate_ucf, parse_ucf};
+//! use vapres_stream::params::FabricParams;
+//!
+//! let device = Device::xc4vlx25();
+//! let outcome = plan(
+//!     &device,
+//!     &[PrrRequest::new("prr0", 640), PrrRequest::new("prr1", 640)],
+//! )?;
+//! let ucf = generate_ucf(&outcome.floorplan);
+//! let reparsed = parse_ucf(&device, &ucf)?;
+//! reparsed.validate()?;
+//!
+//! assert_eq!(static_region_slices(&FabricParams::prototype()), 9_421);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod fragmentation;
+pub mod plan;
+pub mod planner;
+pub mod report;
+pub mod resources;
+pub mod sysdef;
+
+pub use plan::{Floorplan, FloorplanError, PrrPlacement};
+pub use planner::{plan, PlanError, PlanOutcome, PrrRequest};

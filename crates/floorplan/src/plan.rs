@@ -1,0 +1,386 @@
+//! Floorplans and their validation (base system flow, Sec. IV.A).
+//!
+//! A floorplan assigns the static region and every PRR a rectangle on the
+//! device. The validation rules are the paper's:
+//!
+//! 1. every rectangle lies on the device;
+//! 2. a PRR spans at most three vertically adjacent local clock regions
+//!    (48 CLB rows) and does not straddle the device centre line — the
+//!    BUFR reach rule;
+//! 3. local clock regions used by different PRRs do not intersect;
+//! 4. PRR rectangles do not overlap each other or the static region.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use vapres_fabric::clocking::{bufr_home_for, Bufr};
+use vapres_fabric::geometry::{ClbRect, ClockRegionId, Device, GeometryError};
+
+/// A placed partially reconfigurable region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrrPlacement {
+    /// Identifier used in constraint files (`prr0`, `prr1`, …).
+    pub name: String,
+    /// The CLB rectangle.
+    pub rect: ClbRect,
+}
+
+impl PrrPlacement {
+    /// Creates a placement.
+    pub fn new(name: impl Into<String>, rect: ClbRect) -> Self {
+        PrrPlacement {
+            name: name.into(),
+            rect,
+        }
+    }
+}
+
+/// A floorplan validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FloorplanError {
+    /// A rectangle violates device geometry (out of bounds / straddles the
+    /// centre line).
+    Geometry {
+        /// Offending PRR (or `"static"`).
+        who: String,
+        /// The underlying geometry error.
+        source: GeometryError,
+    },
+    /// A PRR is taller than the 3-clock-region BUFR reach.
+    TooTall {
+        /// Offending PRR.
+        who: String,
+        /// Bands the PRR would span.
+        bands: u32,
+    },
+    /// Two PRRs' clock regions intersect.
+    RegionConflict {
+        /// First PRR.
+        a: String,
+        /// Second PRR.
+        b: String,
+        /// The shared region.
+        region: ClockRegionId,
+    },
+    /// Two rectangles overlap.
+    Overlap {
+        /// First placement (PRR or `"static"`).
+        a: String,
+        /// Second placement.
+        b: String,
+    },
+    /// No BUFR placement can reach all of a PRR's clock regions.
+    NoBufr {
+        /// Offending PRR.
+        who: String,
+    },
+}
+
+impl fmt::Display for FloorplanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FloorplanError::Geometry { who, source } => write!(f, "{who}: {source}"),
+            FloorplanError::TooTall { who, bands } => {
+                write!(f, "{who} spans {bands} clock regions, max 3")
+            }
+            FloorplanError::RegionConflict { a, b, region } => {
+                write!(f, "{a} and {b} share clock region {region}")
+            }
+            FloorplanError::Overlap { a, b } => write!(f, "{a} overlaps {b}"),
+            FloorplanError::NoBufr { who } => {
+                write!(f, "{who}: no BUFR placement reaches all clock regions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FloorplanError {}
+
+/// A complete system floorplan.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_fabric::geometry::{ClbRect, Device};
+/// use vapres_floorplan::plan::{Floorplan, PrrPlacement};
+///
+/// // The paper's prototype: two 640-slice PRRs in separate clock regions
+/// // on the left half, static region on the right half.
+/// let dev = Device::xc4vlx25();
+/// let plan = Floorplan::new(
+///     dev,
+///     ClbRect::new(14, 27, 0, 95),
+///     vec![
+///         PrrPlacement::new("prr0", ClbRect::new(0, 9, 0, 15)),
+///         PrrPlacement::new("prr1", ClbRect::new(0, 9, 16, 31)),
+///     ],
+/// );
+/// plan.validate()?;
+/// # Ok::<(), vapres_floorplan::plan::FloorplanError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Floorplan {
+    device: Device,
+    static_region: ClbRect,
+    prrs: Vec<PrrPlacement>,
+}
+
+impl Floorplan {
+    /// Assembles a floorplan (not yet validated).
+    pub fn new(device: Device, static_region: ClbRect, prrs: Vec<PrrPlacement>) -> Self {
+        Floorplan {
+            device,
+            static_region,
+            prrs,
+        }
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The static region rectangle.
+    pub fn static_region(&self) -> ClbRect {
+        self.static_region
+    }
+
+    /// The placed PRRs.
+    pub fn prrs(&self) -> &[PrrPlacement] {
+        &self.prrs
+    }
+
+    /// Looks up a PRR by name.
+    pub fn prr(&self, name: &str) -> Option<&PrrPlacement> {
+        self.prrs.iter().find(|p| p.name == name)
+    }
+
+    /// Checks every floorplanning rule.
+    ///
+    /// # Errors
+    ///
+    /// The first violated rule as a [`FloorplanError`].
+    pub fn validate(&self) -> Result<(), FloorplanError> {
+        // Static region must be on-device (it may straddle the centre —
+        // global clocking serves it).
+        if !self.device.in_bounds(&self.static_region) {
+            return Err(FloorplanError::Geometry {
+                who: "static".into(),
+                source: GeometryError::OutOfBounds {
+                    rect: self.static_region,
+                    device: (self.device.clb_cols(), self.device.clb_rows()),
+                },
+            });
+        }
+
+        let mut used_regions: Vec<(String, BTreeSet<ClockRegionId>)> = Vec::new();
+        for prr in &self.prrs {
+            let regions =
+                self.device
+                    .regions_spanned(&prr.rect)
+                    .map_err(|source| FloorplanError::Geometry {
+                        who: prr.name.clone(),
+                        source,
+                    })?;
+            if regions.len() > Device::MAX_PRR_BANDS as usize {
+                return Err(FloorplanError::TooTall {
+                    who: prr.name.clone(),
+                    bands: regions.len() as u32,
+                });
+            }
+            // BUFR feasibility (implied by len <= 3, but check explicitly
+            // via the clocking model).
+            let bands: Vec<u32> = regions.iter().map(|r| r.band).collect();
+            let home = bufr_home_for(&bands).ok_or_else(|| FloorplanError::NoBufr {
+                who: prr.name.clone(),
+            })?;
+            let bufr = Bufr::new(ClockRegionId {
+                half: regions[0].half,
+                band: home,
+            });
+            if !bufr.can_drive_all(regions.iter()) {
+                return Err(FloorplanError::NoBufr {
+                    who: prr.name.clone(),
+                });
+            }
+            let set: BTreeSet<ClockRegionId> = regions.into_iter().collect();
+            for (other, other_set) in &used_regions {
+                if let Some(shared) = set.intersection(other_set).next() {
+                    return Err(FloorplanError::RegionConflict {
+                        a: other.clone(),
+                        b: prr.name.clone(),
+                        region: *shared,
+                    });
+                }
+            }
+            used_regions.push((prr.name.clone(), set));
+        }
+
+        // Rectangle overlaps: PRR vs PRR and PRR vs static.
+        for (i, a) in self.prrs.iter().enumerate() {
+            if a.rect.intersects(&self.static_region) {
+                return Err(FloorplanError::Overlap {
+                    a: a.name.clone(),
+                    b: "static".into(),
+                });
+            }
+            for b in &self.prrs[i + 1..] {
+                if a.rect.intersects(&b.rect) {
+                    return Err(FloorplanError::Overlap {
+                        a: a.name.clone(),
+                        b: b.name.clone(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the floorplan as ASCII art (one character per 2x8 CLB tile),
+    /// the Fig. 8 view: `S` static, digits for PRRs, `.` free fabric.
+    pub fn ascii_art(&self) -> String {
+        let cols = self.device.clb_cols();
+        let rows = self.device.clb_rows();
+        let mut out = String::new();
+        // Top row printed first (highest y).
+        let mut row = rows;
+        while row >= 8 {
+            row -= 8;
+            let mut col = 0;
+            while col < cols {
+                let probe = ClbRect::new(col, col.min(cols - 1), row, row);
+                let ch = if probe.intersects(&self.static_region) {
+                    'S'
+                } else {
+                    self.prrs
+                        .iter()
+                        .enumerate()
+                        .find(|(_, p)| probe.intersects(&p.rect))
+                        .map(|(i, _)| {
+                            char::from_digit((i % 10) as u32, 10).expect("digit")
+                        })
+                        .unwrap_or('.')
+                };
+                out.push(ch);
+                col += 2;
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proto_plan() -> Floorplan {
+        Floorplan::new(
+            Device::xc4vlx25(),
+            ClbRect::new(14, 27, 0, 95),
+            vec![
+                PrrPlacement::new("prr0", ClbRect::new(0, 9, 0, 15)),
+                PrrPlacement::new("prr1", ClbRect::new(0, 9, 16, 31)),
+            ],
+        )
+    }
+
+    #[test]
+    fn prototype_floorplan_is_valid() {
+        proto_plan().validate().unwrap();
+    }
+
+    #[test]
+    fn accessors() {
+        let plan = proto_plan();
+        assert_eq!(plan.prrs().len(), 2);
+        assert!(plan.prr("prr0").is_some());
+        assert!(plan.prr("nope").is_none());
+        assert_eq!(plan.static_region(), ClbRect::new(14, 27, 0, 95));
+        assert_eq!(plan.device().name(), "xc4vlx25");
+    }
+
+    #[test]
+    fn rejects_prr_taller_than_three_regions() {
+        let plan = Floorplan::new(
+            Device::xc4vlx25(),
+            ClbRect::new(14, 27, 0, 95),
+            vec![PrrPlacement::new("big", ClbRect::new(0, 9, 0, 63))],
+        );
+        assert!(matches!(
+            plan.validate(),
+            Err(FloorplanError::TooTall { bands: 4, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_shared_clock_region() {
+        let plan = Floorplan::new(
+            Device::xc4vlx25(),
+            ClbRect::new(14, 27, 0, 95),
+            vec![
+                PrrPlacement::new("a", ClbRect::new(0, 4, 0, 15)),
+                PrrPlacement::new("b", ClbRect::new(6, 9, 0, 15)),
+            ],
+        );
+        assert!(matches!(
+            plan.validate(),
+            Err(FloorplanError::RegionConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_overlap_with_static() {
+        let plan = Floorplan::new(
+            Device::xc4vlx25(),
+            ClbRect::new(8, 27, 0, 95),
+            vec![PrrPlacement::new("a", ClbRect::new(0, 9, 0, 15))],
+        );
+        assert!(matches!(plan.validate(), Err(FloorplanError::Overlap { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_prr() {
+        let plan = Floorplan::new(
+            Device::xc4vlx25(),
+            ClbRect::new(14, 27, 0, 95),
+            vec![PrrPlacement::new("a", ClbRect::new(0, 9, 90, 105))],
+        );
+        assert!(matches!(
+            plan.validate(),
+            Err(FloorplanError::Geometry { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_centre_straddling_prr() {
+        let plan = Floorplan::new(
+            Device::xc4vlx25(),
+            ClbRect::new(20, 27, 0, 95),
+            vec![PrrPlacement::new("a", ClbRect::new(10, 18, 0, 15))],
+        );
+        assert!(matches!(
+            plan.validate(),
+            Err(FloorplanError::Geometry { .. })
+        ));
+    }
+
+    #[test]
+    fn ascii_art_shows_all_zones() {
+        let art = proto_plan().ascii_art();
+        assert!(art.contains('S'));
+        assert!(art.contains('0'));
+        assert!(art.contains('1'));
+        assert!(art.contains('.'));
+        // 96 rows / 8 per char-row = 12 lines.
+        assert_eq!(art.lines().count(), 12);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = FloorplanError::Overlap {
+            a: "x".into(),
+            b: "y".into(),
+        };
+        assert_eq!(e.to_string(), "x overlaps y");
+    }
+}

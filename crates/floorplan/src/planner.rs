@@ -1,0 +1,225 @@
+//! Automatic floorplanner.
+//!
+//! The paper's base-system flow makes the system designer craft the
+//! floorplan by hand (and names "scripting tools for system floorplan
+//! definition" as future work). This module implements that future work:
+//! given a device and per-PRR slice requirements, it places each PRR into
+//! whole local-clock-region-aligned rectangles on the half of the device
+//! not used by the static region, respecting every validation rule of
+//! [`mod@crate::plan`].
+
+use crate::plan::{Floorplan, FloorplanError, PrrPlacement};
+use std::fmt;
+use vapres_fabric::geometry::{ClbRect, Device};
+
+/// A PRR sizing request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrrRequest {
+    /// Name for the placement.
+    pub name: String,
+    /// Minimum slices the PRR must provide.
+    pub min_slices: u32,
+}
+
+impl PrrRequest {
+    /// Creates a request.
+    pub fn new(name: impl Into<String>, min_slices: u32) -> Self {
+        PrrRequest {
+            name: name.into(),
+            min_slices,
+        }
+    }
+}
+
+/// A planning failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// The request cannot fit a single PRR even using the maximum
+    /// 3-clock-region height.
+    RequestTooLarge {
+        /// The offending request name.
+        who: String,
+        /// Requested slices.
+        requested: u32,
+        /// Largest placeable PRR on this device.
+        max: u32,
+    },
+    /// Ran out of clock regions for the remaining requests.
+    OutOfRegions {
+        /// First request that did not fit.
+        who: String,
+    },
+    /// The produced plan failed validation (internal invariant violation).
+    Invalid(FloorplanError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::RequestTooLarge { who, requested, max } => {
+                write!(f, "{who}: {requested} slices exceeds max PRR size {max}")
+            }
+            PlanError::OutOfRegions { who } => {
+                write!(f, "no clock regions left for {who}")
+            }
+            PlanError::Invalid(e) => write!(f, "planner produced invalid plan: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// The outcome of planning: the floorplan plus per-PRR waste metrics.
+#[derive(Debug, Clone)]
+pub struct PlanOutcome {
+    /// The validated floorplan.
+    pub floorplan: Floorplan,
+    /// For each request (same order): allocated slices.
+    pub allocated: Vec<u32>,
+}
+
+impl PlanOutcome {
+    /// Internal fragmentation: allocated-but-unrequested slices summed over
+    /// all PRRs.
+    pub fn wasted_slices(&self, requests: &[PrrRequest]) -> u32 {
+        self.allocated
+            .iter()
+            .zip(requests)
+            .map(|(a, r)| a.saturating_sub(r.min_slices))
+            .sum()
+    }
+}
+
+/// Plans PRR placements on the left half of `device`, reserving the right
+/// half for the static region.
+///
+/// Placement policy: bottom-up, one PRR per group of whole clock regions;
+/// each PRR's height is the smallest number of regions (1–3) whose slice
+/// capacity covers the request, and its width is the smallest column count
+/// that covers the request at that height.
+///
+/// # Errors
+///
+/// See [`PlanError`].
+pub fn plan(device: &Device, requests: &[PrrRequest]) -> Result<PlanOutcome, PlanError> {
+    let half_cols = device.clb_cols() / 2;
+    let region_rows = Device::CLOCK_REGION_ROWS;
+    let slices_per_clb = Device::SLICES_PER_CLB;
+    let max_prr = half_cols * region_rows * 3 * slices_per_clb;
+
+    let mut prrs = Vec::new();
+    let mut allocated = Vec::new();
+    let mut next_band = 0u32;
+    let total_bands = device.bands();
+
+    for req in requests {
+        if req.min_slices > max_prr {
+            return Err(PlanError::RequestTooLarge {
+                who: req.name.clone(),
+                requested: req.min_slices,
+                max: max_prr,
+            });
+        }
+        // Smallest height (in regions) that can host the request within
+        // the half width.
+        let mut chosen = None;
+        for bands in 1..=3u32 {
+            let rows = bands * region_rows;
+            let cols_needed = req.min_slices.div_ceil(rows * slices_per_clb);
+            if cols_needed <= half_cols {
+                chosen = Some((bands, cols_needed.max(1)));
+                break;
+            }
+        }
+        let (bands, cols) = chosen.expect("bounded by max_prr check");
+        if next_band + bands > total_bands {
+            return Err(PlanError::OutOfRegions {
+                who: req.name.clone(),
+            });
+        }
+        let row_lo = next_band * region_rows;
+        let rect = ClbRect::new(0, cols - 1, row_lo, row_lo + bands * region_rows - 1);
+        allocated.push(device.slices_in(&rect));
+        prrs.push(PrrPlacement::new(req.name.clone(), rect));
+        next_band += bands;
+    }
+
+    let static_rect = ClbRect::new(half_cols, device.clb_cols() - 1, 0, device.clb_rows() - 1);
+    let floorplan = Floorplan::new(device.clone(), static_rect, prrs);
+    floorplan.validate().map_err(PlanError::Invalid)?;
+    Ok(PlanOutcome {
+        floorplan,
+        allocated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_prototype_prrs() {
+        let dev = Device::xc4vlx25();
+        let reqs = vec![
+            PrrRequest::new("prr0", 640),
+            PrrRequest::new("prr1", 640),
+        ];
+        let out = plan(&dev, &reqs).unwrap();
+        assert_eq!(out.floorplan.prrs().len(), 2);
+        // 640 slices fit exactly in 10 columns of one region.
+        assert_eq!(out.allocated, vec![640, 640]);
+        assert_eq!(out.wasted_slices(&reqs), 0);
+    }
+
+    #[test]
+    fn large_request_spans_multiple_regions() {
+        let dev = Device::xc4vlx25();
+        // Half width = 14 cols, one region = 14*16*4 = 896 slices max.
+        let reqs = vec![PrrRequest::new("big", 1_500)];
+        let out = plan(&dev, &reqs).unwrap();
+        let rect = out.floorplan.prrs()[0].rect;
+        assert_eq!(rect.height(), 32); // two regions
+        assert!(out.allocated[0] >= 1_500);
+    }
+
+    #[test]
+    fn rejects_oversized_request() {
+        let dev = Device::xc4vlx25();
+        // Max PRR = 14 * 48 * 4 = 2688 slices.
+        let err = plan(&dev, &[PrrRequest::new("huge", 3_000)]).unwrap_err();
+        assert!(matches!(
+            err,
+            PlanError::RequestTooLarge { max: 2_688, .. }
+        ));
+    }
+
+    #[test]
+    fn exhausts_clock_regions() {
+        let dev = Device::xc4vlx25(); // 6 bands on each half
+        let reqs: Vec<PrrRequest> = (0..7)
+            .map(|i| PrrRequest::new(format!("p{i}"), 100))
+            .collect();
+        let err = plan(&dev, &reqs).unwrap_err();
+        assert!(matches!(err, PlanError::OutOfRegions { .. }));
+    }
+
+    #[test]
+    fn fragmentation_accounts_waste() {
+        let dev = Device::xc4vlx25();
+        // 100 slices requested -> 2 columns x 16 rows x 4 = 128 allocated.
+        let reqs = vec![PrrRequest::new("tiny", 100)];
+        let out = plan(&dev, &reqs).unwrap();
+        assert_eq!(out.allocated[0], 128);
+        assert_eq!(out.wasted_slices(&reqs), 28);
+    }
+
+    #[test]
+    fn planned_prrs_never_conflict() {
+        let dev = Device::xc4vlx60();
+        let reqs: Vec<PrrRequest> = (0..4)
+            .map(|i| PrrRequest::new(format!("p{i}"), 640 * (i + 1)))
+            .collect();
+        let out = plan(&dev, &reqs).unwrap();
+        out.floorplan.validate().unwrap();
+    }
+}

@@ -1,0 +1,129 @@
+//! Utilization report generation — the `.mrp`-style summary a mapper
+//! prints, for a VAPRES base system.
+
+use crate::plan::Floorplan;
+use crate::resources::{
+    comm_arch_slices, controlling_region_slices, static_region_slices, switch_box_slices,
+    FSL_PAIR_SLICES, PRSOCKET_SLICES, STATIC_COMPONENTS,
+};
+use std::fmt::Write as _;
+use vapres_fabric::resources::{ResourceBudget, ResourceKind};
+use vapres_stream::params::FabricParams;
+
+/// Renders a full utilization report for a base system.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_floorplan::planner::{plan, PrrRequest};
+/// use vapres_floorplan::report::utilization_report;
+/// use vapres_fabric::geometry::Device;
+/// use vapres_stream::params::FabricParams;
+///
+/// let outcome = plan(&Device::xc4vlx25(), &[PrrRequest::new("prr0", 640)])?;
+/// let text = utilization_report(&FabricParams::prototype(), &outcome.floorplan);
+/// assert!(text.contains("Design Summary"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn utilization_report(params: &FabricParams, plan: &Floorplan) -> String {
+    let device = plan.device();
+    let inventory = ResourceBudget::of_device(device);
+    let device_slices = inventory.get(ResourceKind::Slice);
+    let static_slices = u64::from(static_region_slices(params));
+    let prr_slices: u64 = plan
+        .prrs()
+        .iter()
+        .map(|p| u64::from(device.slices_in(&p.rect)))
+        .sum();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "VAPRES Base System — Design Summary");
+    let _ = writeln!(out, "===================================");
+    let _ = writeln!(out, "Target Device : {device}");
+    let _ = writeln!(
+        out,
+        "Parameters    : N={} w={} kr={} kl={} ki={} ko={}",
+        params.nodes, params.width_bits, params.kr, params.kl, params.ki, params.ko
+    );
+    let _ = writeln!(out);
+    let _ = writeln!(out, "Slice Utilization:");
+    for c in STATIC_COMPONENTS {
+        let _ = writeln!(out, "  {:<24} {:>8}", c.name, c.slices);
+    }
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>8}",
+        format!("prsockets ({}x)", params.nodes),
+        params.nodes as u32 * PRSOCKET_SLICES
+    );
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>8}",
+        format!("fsl pairs ({}x)", params.nodes),
+        params.nodes as u32 * FSL_PAIR_SLICES
+    );
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>8}",
+        format!("switch boxes ({}x)", params.nodes),
+        params.nodes as u32 * switch_box_slices(params)
+    );
+    let _ = writeln!(out, "  {:<24} {:>8}", "-- controlling region", controlling_region_slices());
+    let _ = writeln!(out, "  {:<24} {:>8}", "-- comm architecture", comm_arch_slices(params));
+    let _ = writeln!(out, "  {:<24} {:>8}", "-- static region total", static_slices);
+    let _ = writeln!(out);
+    let _ = writeln!(out, "PRR Fabric:");
+    for p in plan.prrs() {
+        let _ = writeln!(
+            out,
+            "  {:<8} {}  ({} slices)",
+            p.name,
+            p.rect,
+            device.slices_in(&p.rect)
+        );
+    }
+    let total = static_slices + prr_slices;
+    let pct = 100.0 * total as f64 / device_slices as f64;
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "Total         : {total} / {device_slices} slices ({pct:.1}%)"
+    );
+    if total > device_slices {
+        let _ = writeln!(out, "ERROR: design exceeds the device");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::planner::{plan, PrrRequest};
+    use vapres_fabric::geometry::Device;
+
+    #[test]
+    fn prototype_report_matches_paper_numbers() {
+        let outcome = plan(
+            &Device::xc4vlx25(),
+            &[PrrRequest::new("prr0", 640), PrrRequest::new("prr1", 640)],
+        )
+        .unwrap();
+        let text = utilization_report(&FabricParams::prototype(), &outcome.floorplan);
+        assert!(text.contains("-- static region total       9421"));
+        assert!(text.contains("-- comm architecture         1020"));
+        assert!(text.contains("prr0"));
+        assert!(text.contains("prr1"));
+        assert!(!text.contains("ERROR"));
+    }
+
+    #[test]
+    fn oversubscribed_design_flags_error() {
+        let outcome = plan(&Device::xc4vlx25(), &[PrrRequest::new("p", 640)]).unwrap();
+        let mut params = FabricParams::prototype();
+        params.nodes = 30;
+        params.kr = 8;
+        params.kl = 8;
+        let text = utilization_report(&params, &outcome.floorplan);
+        assert!(text.contains("ERROR: design exceeds the device"));
+    }
+}

@@ -1,0 +1,129 @@
+//! Graphviz DOT export for KPN graphs — the visualization a designer
+//! reaches for before committing a mapping.
+
+use crate::graph::{GraphNode, KpnGraph};
+use crate::pipeline::Mapping;
+use std::fmt::Write as _;
+
+/// Renders a [`KpnGraph`] as a Graphviz digraph. Module nodes are boxes
+/// labelled with their UID, IOM endpoints are ellipses.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_core::ModuleUid;
+/// use vapres_kpn::dot::graph_to_dot;
+/// use vapres_kpn::graph::KpnGraph;
+///
+/// let mut g = KpnGraph::new();
+/// let s = g.add_source();
+/// let m = g.add_module(ModuleUid(0xF1), 1, 1);
+/// let d = g.add_sink();
+/// g.connect(s, 0, m, 0);
+/// g.connect(m, 0, d, 0);
+/// let dot = graph_to_dot(&g, "fig4");
+/// assert!(dot.starts_with("digraph fig4 {"));
+/// assert!(dot.contains("n0 -> n1"));
+/// ```
+pub fn graph_to_dot(graph: &KpnGraph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    for (i, n) in graph.nodes().iter().enumerate() {
+        match n {
+            GraphNode::SourceIom => {
+                let _ = writeln!(out, "  n{i} [shape=ellipse, label=\"IOM in\"];");
+            }
+            GraphNode::SinkIom => {
+                let _ = writeln!(out, "  n{i} [shape=ellipse, label=\"IOM out\"];");
+            }
+            GraphNode::Module { uid, .. } => {
+                let _ = writeln!(
+                    out,
+                    "  n{i} [shape=box, label=\"module#{:08x}\"];",
+                    uid.0
+                );
+            }
+        }
+    }
+    for e in graph.edges() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"p{}->c{}\"];",
+            e.from.0, e.to.0, e.from.1, e.to.1
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders a linear pipeline mapping as DOT, labelling each stage with
+/// the fabric node it landed on.
+pub fn pipeline_to_dot(mapping: &Mapping, stage_names: &[&str]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph pipeline {{");
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(
+        out,
+        "  src [shape=ellipse, label=\"IOM@node{}\"];",
+        mapping.source_iom
+    );
+    for (i, (&node, name)) in mapping.stage_nodes.iter().zip(stage_names).enumerate() {
+        let _ = writeln!(out, "  s{i} [shape=box, label=\"{name}@node{node}\"];");
+    }
+    let _ = writeln!(
+        out,
+        "  dst [shape=ellipse, label=\"IOM@node{}\"];",
+        mapping.sink_iom
+    );
+    let mut prev = "src".to_string();
+    for i in 0..mapping.stage_nodes.len() {
+        let _ = writeln!(out, "  {prev} -> s{i};");
+        prev = format!("s{i}");
+    }
+    let _ = writeln!(out, "  {prev} -> dst;");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapres_core::ModuleUid;
+
+    #[test]
+    fn dot_contains_every_node_and_edge() {
+        let mut g = KpnGraph::new();
+        let s = g.add_source();
+        let a = g.add_module(ModuleUid(1), 1, 2);
+        let b = g.add_module(ModuleUid(2), 1, 1);
+        let c = g.add_module(ModuleUid(3), 2, 1);
+        let d = g.add_sink();
+        g.connect(s, 0, a, 0);
+        g.connect(a, 0, b, 0);
+        g.connect(a, 1, c, 1);
+        g.connect(b, 0, c, 0);
+        g.connect(c, 0, d, 0);
+        let dot = graph_to_dot(&g, "t");
+        for i in 0..5 {
+            assert!(dot.contains(&format!("n{i} ")), "node {i} missing");
+        }
+        assert_eq!(dot.matches(" -> ").count(), 5);
+        assert!(dot.contains("p1->c1"));
+    }
+
+    #[test]
+    fn pipeline_dot_chains_stages() {
+        let mapping = Mapping {
+            source_iom: 0,
+            sink_iom: 3,
+            stage_nodes: vec![1, 2],
+        };
+        let dot = pipeline_to_dot(&mapping, &["fir_a", "scaler"]);
+        assert!(dot.contains("src -> s0"));
+        assert!(dot.contains("s0 -> s1"));
+        assert!(dot.contains("s1 -> dst"));
+        assert!(dot.contains("fir_a@node1"));
+        assert!(dot.contains("IOM@node3"));
+    }
+}

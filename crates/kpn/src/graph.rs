@@ -1,0 +1,577 @@
+//! General Kahn process network graphs (paper Fig. 4).
+//!
+//! Beyond the linear [`crate::pipeline`], VAPRES module interfaces
+//! support `ki` input and `ko` output ports per node, so an RSB can host
+//! fork/join topologies: a [`KpnGraph`] is a DAG of IOM endpoints and
+//! hardware modules whose edges each become one circuit-switched
+//! streaming channel. [`execute_reference`] is the software golden model
+//! for such graphs.
+
+use std::collections::VecDeque;
+use std::fmt;
+use vapres_core::api::ApiError;
+use vapres_core::config::{NodeKind, SystemConfig};
+use vapres_core::system::VapresSystem;
+use vapres_core::{ChannelId, ModuleUid, PortRef};
+use vapres_modules::multiport::CombineOp;
+use vapres_modules::StreamKernel;
+
+/// One vertex of a KPN graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphNode {
+    /// External stream entering through an IOM (one output port).
+    SourceIom,
+    /// External stream leaving through an IOM (one input port).
+    SinkIom,
+    /// A hardware module with the given port arity.
+    Module {
+        /// Bitstream UID.
+        uid: ModuleUid,
+        /// Consumer (input) ports used.
+        inputs: usize,
+        /// Producer (output) ports used.
+        outputs: usize,
+    },
+}
+
+impl GraphNode {
+    fn input_ports(&self) -> usize {
+        match self {
+            GraphNode::SourceIom => 0,
+            GraphNode::SinkIom => 1,
+            GraphNode::Module { inputs, .. } => *inputs,
+        }
+    }
+
+    fn output_ports(&self) -> usize {
+        match self {
+            GraphNode::SourceIom => 1,
+            GraphNode::SinkIom => 0,
+            GraphNode::Module { outputs, .. } => *outputs,
+        }
+    }
+}
+
+/// A directed edge: `(from node, output port)` → `(to node, input port)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KpnEdge {
+    /// Producing endpoint.
+    pub from: (usize, usize),
+    /// Consuming endpoint.
+    pub to: (usize, usize),
+}
+
+/// A graph construction or validation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a nonexistent node or port.
+    BadEndpoint(KpnEdge),
+    /// Two edges share a producer or consumer port.
+    PortInUse(KpnEdge),
+    /// The graph has a cycle (KPN deployment needs a DAG here).
+    Cycle,
+    /// A module input/output port count exceeds the fabric's `ki`/`ko`.
+    ArityExceedsFabric {
+        /// Node index at fault.
+        node: usize,
+        /// Required ports.
+        need: usize,
+        /// Fabric limit.
+        have: usize,
+    },
+    /// More IOM endpoints than the system has IOMs, or module nodes than
+    /// PRRs.
+    NotEnoughNodes {
+        /// What ran out: `"iom"` or `"prr"`.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::BadEndpoint(e) => write!(f, "edge {e:?} references a bad endpoint"),
+            GraphError::PortInUse(e) => write!(f, "edge {e:?} reuses an allocated port"),
+            GraphError::Cycle => write!(f, "graph has a cycle"),
+            GraphError::ArityExceedsFabric { node, need, have } => {
+                write!(f, "node {node} needs {need} ports, fabric offers {have}")
+            }
+            GraphError::NotEnoughNodes { what } => write!(f, "not enough {what} nodes"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A Kahn process network as a DAG.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_core::ModuleUid;
+/// use vapres_kpn::graph::KpnGraph;
+///
+/// let mut g = KpnGraph::new();
+/// let src = g.add_source();
+/// let m = g.add_module(ModuleUid(1), 1, 1);
+/// let dst = g.add_sink();
+/// g.connect(src, 0, m, 0);
+/// g.connect(m, 0, dst, 0);
+/// assert!(g.validate().is_ok());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KpnGraph {
+    nodes: Vec<GraphNode>,
+    edges: Vec<KpnEdge>,
+}
+
+impl KpnGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a source IOM endpoint, returning its node index.
+    pub fn add_source(&mut self) -> usize {
+        self.nodes.push(GraphNode::SourceIom);
+        self.nodes.len() - 1
+    }
+
+    /// Adds a sink IOM endpoint.
+    pub fn add_sink(&mut self) -> usize {
+        self.nodes.push(GraphNode::SinkIom);
+        self.nodes.len() - 1
+    }
+
+    /// Adds a hardware module node with the given port arity.
+    pub fn add_module(&mut self, uid: ModuleUid, inputs: usize, outputs: usize) -> usize {
+        self.nodes.push(GraphNode::Module {
+            uid,
+            inputs,
+            outputs,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Connects `(from, from_port)` to `(to, to_port)`.
+    pub fn connect(&mut self, from: usize, from_port: usize, to: usize, to_port: usize) {
+        self.edges.push(KpnEdge {
+            from: (from, from_port),
+            to: (to, to_port),
+        });
+    }
+
+    /// The nodes.
+    pub fn nodes(&self) -> &[GraphNode] {
+        &self.nodes
+    }
+
+    /// The edges.
+    pub fn edges(&self) -> &[KpnEdge] {
+        &self.edges
+    }
+
+    /// Checks endpoints, port exclusivity, and acyclicity.
+    ///
+    /// # Errors
+    ///
+    /// See [`GraphError`].
+    pub fn validate(&self) -> Result<(), GraphError> {
+        let mut out_used = vec![Vec::<bool>::new(); self.nodes.len()];
+        let mut in_used = vec![Vec::<bool>::new(); self.nodes.len()];
+        for (i, n) in self.nodes.iter().enumerate() {
+            out_used[i] = vec![false; n.output_ports()];
+            in_used[i] = vec![false; n.input_ports()];
+        }
+        for e in &self.edges {
+            let ok = e.from.0 < self.nodes.len()
+                && e.to.0 < self.nodes.len()
+                && e.from.1 < self.nodes[e.from.0].output_ports()
+                && e.to.1 < self.nodes[e.to.0].input_ports();
+            if !ok {
+                return Err(GraphError::BadEndpoint(*e));
+            }
+            if out_used[e.from.0][e.from.1] || in_used[e.to.0][e.to.1] {
+                return Err(GraphError::PortInUse(*e));
+            }
+            out_used[e.from.0][e.from.1] = true;
+            in_used[e.to.0][e.to.1] = true;
+        }
+        self.topological_order().map(|_| ())
+    }
+
+    /// Nodes in topological order.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::Cycle`] for cyclic graphs.
+    pub fn topological_order(&self) -> Result<Vec<usize>, GraphError> {
+        let n = self.nodes.len();
+        let mut indegree = vec![0usize; n];
+        for e in &self.edges {
+            if e.to.0 < n {
+                indegree[e.to.0] += 1;
+            }
+        }
+        let mut ready: VecDeque<usize> =
+            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = ready.pop_front() {
+            order.push(i);
+            for e in self.edges.iter().filter(|e| e.from.0 == i) {
+                indegree[e.to.0] -= 1;
+                if indegree[e.to.0] == 0 {
+                    ready.push_back(e.to.0);
+                }
+            }
+        }
+        if order.len() == n {
+            Ok(order)
+        } else {
+            Err(GraphError::Cycle)
+        }
+    }
+}
+
+/// Assignment of graph nodes to fabric attachment points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphMapping {
+    /// `fabric_node[i]` hosts graph node `i`.
+    pub fabric_node: Vec<usize>,
+}
+
+/// Maps a validated graph onto a system: IOM endpoints onto IOM nodes (in
+/// order of appearance), module nodes onto PRR nodes in topological
+/// order.
+///
+/// # Errors
+///
+/// See [`GraphError`].
+pub fn map_graph(cfg: &SystemConfig, graph: &KpnGraph) -> Result<GraphMapping, GraphError> {
+    graph.validate()?;
+    // Arity check against the fabric.
+    for (i, n) in graph.nodes().iter().enumerate() {
+        if n.input_ports() > cfg.params.ki {
+            return Err(GraphError::ArityExceedsFabric {
+                node: i,
+                need: n.input_ports(),
+                have: cfg.params.ki,
+            });
+        }
+        if n.output_ports() > cfg.params.ko {
+            return Err(GraphError::ArityExceedsFabric {
+                node: i,
+                need: n.output_ports(),
+                have: cfg.params.ko,
+            });
+        }
+    }
+    let ioms: Vec<usize> = cfg
+        .node_kinds
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| **k == NodeKind::Iom)
+        .map(|(n, _)| n)
+        .collect();
+    let prrs: Vec<usize> = cfg
+        .node_kinds
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| **k == NodeKind::Prr)
+        .map(|(n, _)| n)
+        .collect();
+
+    let mut fabric_node = vec![usize::MAX; graph.nodes().len()];
+    let mut next_iom = 0usize;
+    // IOM endpoints claim IOMs in node order. The same physical IOM can
+    // serve one source and one sink endpoint (it has both interfaces), so
+    // sinks reuse from the front if the IOMs run out.
+    let mut sink_reuse = 0usize;
+    for (i, n) in graph.nodes().iter().enumerate() {
+        match n {
+            GraphNode::SourceIom => {
+                let Some(&node) = ioms.get(next_iom) else {
+                    return Err(GraphError::NotEnoughNodes { what: "iom" });
+                };
+                fabric_node[i] = node;
+                next_iom += 1;
+            }
+            GraphNode::SinkIom => {
+                if let Some(&node) = ioms.get(next_iom) {
+                    fabric_node[i] = node;
+                    next_iom += 1;
+                } else if sink_reuse < ioms.len() {
+                    fabric_node[i] = ioms[sink_reuse];
+                    sink_reuse += 1;
+                } else {
+                    return Err(GraphError::NotEnoughNodes { what: "iom" });
+                }
+            }
+            GraphNode::Module { .. } => {}
+        }
+    }
+    // Module nodes onto PRRs in topological order.
+    let order = graph.topological_order()?;
+    let mut next_prr = 0usize;
+    for &i in &order {
+        if matches!(graph.nodes()[i], GraphNode::Module { .. }) {
+            let Some(&node) = prrs.get(next_prr) else {
+                return Err(GraphError::NotEnoughNodes { what: "prr" });
+            };
+            fabric_node[i] = node;
+            next_prr += 1;
+        }
+    }
+    Ok(GraphMapping { fabric_node })
+}
+
+/// A deployed graph: one live channel per edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployedGraph {
+    /// The mapping used.
+    pub mapping: GraphMapping,
+    /// Channels, one per graph edge (same order).
+    pub channels: Vec<ChannelId>,
+}
+
+/// Deploys a mapped graph: loads every module's bitstream, establishes a
+/// channel per edge, brings every node up.
+///
+/// # Errors
+///
+/// Any [`ApiError`] from the underlying calls.
+pub fn deploy_graph(
+    sys: &mut VapresSystem,
+    graph: &KpnGraph,
+    mapping: &GraphMapping,
+) -> Result<DeployedGraph, ApiError> {
+    for (i, n) in graph.nodes().iter().enumerate() {
+        if let GraphNode::Module { uid, .. } = n {
+            let node = mapping.fabric_node[i];
+            let prr = sys.config().prr_index(node).ok_or(ApiError::NotAPrr(node))?;
+            let file = format!("kpn_graph_n{i}_{:08x}.bit", uid.0);
+            sys.install_bitstream(prr, *uid, &file)?;
+            sys.vapres_cf2icap(&file)?;
+        }
+    }
+    let mut channels = Vec::with_capacity(graph.edges().len());
+    for e in graph.edges() {
+        let from = PortRef::new(mapping.fabric_node[e.from.0], e.from.1);
+        let to = PortRef::new(mapping.fabric_node[e.to.0], e.to.1);
+        channels.push(sys.vapres_establish_channel(from, to)?);
+    }
+    for (i, _) in graph.nodes().iter().enumerate() {
+        sys.bring_up_node(mapping.fabric_node[i], false)?;
+    }
+    Ok(DeployedGraph {
+        mapping: mapping.clone(),
+        channels,
+    })
+}
+
+/// Software behaviour of one graph node, for the reference executor.
+pub enum RefBehavior {
+    /// A single-input single-output kernel.
+    Kernel(Box<dyn StreamKernel>),
+    /// Duplicate to all output ports.
+    Broadcast,
+    /// Zip two inputs through an operator.
+    Combine(CombineOp),
+}
+
+/// Executes the graph in software with unbounded buffers — the KPN
+/// denotational semantics — and returns the sink's stream.
+///
+/// `behavior` supplies the software model for each module node's UID.
+///
+/// # Panics
+///
+/// Panics if the graph is invalid or has no source/sink.
+pub fn execute_reference(
+    graph: &KpnGraph,
+    mut behavior: impl FnMut(ModuleUid) -> RefBehavior,
+    input: &[u32],
+) -> Vec<u32> {
+    graph.validate().expect("graph must be valid");
+    let order = graph.topological_order().expect("acyclic");
+    // One queue per edge.
+    let mut queues: Vec<VecDeque<u32>> = graph.edges().iter().map(|_| VecDeque::new()).collect();
+    let in_edges = |node: usize| -> Vec<usize> {
+        let mut v: Vec<usize> = (0..graph.edges().len())
+            .filter(|&e| graph.edges()[e].to.0 == node)
+            .collect();
+        v.sort_by_key(|&e| graph.edges()[e].to.1);
+        v
+    };
+    let out_edges = |node: usize| -> Vec<usize> {
+        let mut v: Vec<usize> = (0..graph.edges().len())
+            .filter(|&e| graph.edges()[e].from.0 == node)
+            .collect();
+        v.sort_by_key(|&e| graph.edges()[e].from.1);
+        v
+    };
+
+    let mut sink_out = Vec::new();
+    let mut scratch = Vec::new();
+    for &i in &order {
+        match &graph.nodes()[i] {
+            GraphNode::SourceIom => {
+                let outs = out_edges(i);
+                let e = *outs.first().expect("source must be connected");
+                queues[e].extend(input.iter().copied());
+            }
+            GraphNode::SinkIom => {
+                let ins = in_edges(i);
+                let e = *ins.first().expect("sink must be connected");
+                sink_out.extend(queues[e].drain(..));
+            }
+            GraphNode::Module { uid, .. } => {
+                let ins = in_edges(i);
+                let outs = out_edges(i);
+                match behavior(*uid) {
+                    RefBehavior::Kernel(mut k) => {
+                        let e_in = *ins.first().expect("kernel input connected");
+                        let e_out = outs.first().copied();
+                        while let Some(x) = queues[e_in].pop_front() {
+                            scratch.clear();
+                            k.process(x, &mut scratch);
+                            if let Some(e) = e_out {
+                                queues[e].extend(scratch.iter().copied());
+                            }
+                        }
+                    }
+                    RefBehavior::Broadcast => {
+                        let e_in = *ins.first().expect("broadcast input connected");
+                        while let Some(x) = queues[e_in].pop_front() {
+                            for &e in &outs {
+                                queues[e].push_back(x);
+                            }
+                        }
+                    }
+                    RefBehavior::Combine(op) => {
+                        let (a, b) = (ins[0], ins[1]);
+                        let e_out = *outs.first().expect("combine output connected");
+                        while !queues[a].is_empty() && !queues[b].is_empty() {
+                            let x = queues[a].pop_front().expect("checked");
+                            let y = queues[b].pop_front().expect("checked");
+                            queues[e_out].push_back(op.apply(x, y));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    sink_out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapres_modules::kernels::Scaler;
+    use vapres_modules::uids;
+
+    /// src -> broadcast -> {scaler(2x), identity-ish scaler(1x)} -> add -> sink.
+    fn diamond() -> KpnGraph {
+        let mut g = KpnGraph::new();
+        let src = g.add_source();
+        let bc = g.add_module(uids::BROADCAST2, 1, 2);
+        let s2 = g.add_module(uids::SCALER, 1, 1);
+        let s1 = g.add_module(ModuleUid(0x5151), 1, 1);
+        let add = g.add_module(uids::COMBINE_ADD, 2, 1);
+        let dst = g.add_sink();
+        g.connect(src, 0, bc, 0);
+        g.connect(bc, 0, s2, 0);
+        g.connect(bc, 1, s1, 0);
+        g.connect(s2, 0, add, 0);
+        g.connect(s1, 0, add, 1);
+        g.connect(add, 0, dst, 0);
+        g
+    }
+
+    #[test]
+    fn diamond_validates() {
+        diamond().validate().unwrap();
+        let order = diamond().topological_order().unwrap();
+        assert_eq!(order.len(), 6);
+        // Source first, sink last.
+        assert_eq!(order[0], 0);
+        assert_eq!(*order.last().unwrap(), 5);
+    }
+
+    #[test]
+    fn detects_cycle() {
+        let mut g = KpnGraph::new();
+        let a = g.add_module(ModuleUid(1), 1, 1);
+        let b = g.add_module(ModuleUid(2), 1, 1);
+        g.connect(a, 0, b, 0);
+        g.connect(b, 0, a, 0);
+        assert_eq!(g.validate(), Err(GraphError::Cycle));
+    }
+
+    #[test]
+    fn detects_bad_endpoint_and_port_reuse() {
+        let mut g = KpnGraph::new();
+        let src = g.add_source();
+        let m = g.add_module(ModuleUid(1), 1, 1);
+        g.connect(src, 0, m, 5); // bad port
+        assert!(matches!(g.validate(), Err(GraphError::BadEndpoint(_))));
+
+        let mut g = KpnGraph::new();
+        let src = g.add_source();
+        let a = g.add_module(ModuleUid(1), 1, 1);
+        let b = g.add_module(ModuleUid(2), 1, 1);
+        g.connect(src, 0, a, 0);
+        g.connect(src, 0, b, 0); // source port reused
+        assert!(matches!(g.validate(), Err(GraphError::PortInUse(_))));
+    }
+
+    #[test]
+    fn mapping_respects_arity() {
+        let mut cfg = SystemConfig::linear(4).unwrap();
+        // Default prototype arity is ki=ko=1 — the diamond needs 2.
+        let err = map_graph(&cfg, &diamond()).unwrap_err();
+        assert!(matches!(err, GraphError::ArityExceedsFabric { .. }));
+        cfg.params.ki = 2;
+        cfg.params.ko = 2;
+        let m = map_graph(&cfg, &diamond()).unwrap();
+        // Source and sink share the single IOM at node 0.
+        assert_eq!(m.fabric_node[0], 0);
+        assert_eq!(m.fabric_node[5], 0);
+        // Modules land on distinct PRR nodes.
+        let mut prr_nodes = vec![m.fabric_node[1], m.fabric_node[2], m.fabric_node[3], m.fabric_node[4]];
+        prr_nodes.sort_unstable();
+        prr_nodes.dedup();
+        assert_eq!(prr_nodes.len(), 4);
+    }
+
+    #[test]
+    fn mapping_runs_out_of_prrs() {
+        let mut cfg = SystemConfig::linear(2).unwrap();
+        cfg.params.ki = 2;
+        cfg.params.ko = 2;
+        let err = map_graph(&cfg, &diamond()).unwrap_err();
+        assert_eq!(err, GraphError::NotEnoughNodes { what: "prr" });
+    }
+
+    #[test]
+    fn reference_executor_diamond() {
+        let g = diamond();
+        let out = execute_reference(
+            &g,
+            |uid| {
+                if uid == uids::BROADCAST2 {
+                    RefBehavior::Broadcast
+                } else if uid == uids::COMBINE_ADD {
+                    RefBehavior::Combine(CombineOp::Add)
+                } else if uid == uids::SCALER {
+                    RefBehavior::Kernel(Box::new(Scaler::new(512))) // 2x
+                } else {
+                    RefBehavior::Kernel(Box::new(Scaler::new(256))) // 1x
+                }
+            },
+            &[10, 20, 30],
+        );
+        // 2x + 1x = 3x.
+        assert_eq!(out, vec![30, 60, 90]);
+    }
+}

@@ -1,0 +1,242 @@
+//! KPN pipelines and their mapping onto an RSB (paper Sec. III.B.1,
+//! Fig. 4).
+//!
+//! The paper models a runtime-assembled stream processing system as a Kahn
+//! process network: hardware modules are KPN nodes, module-interface FIFOs
+//! and FSLs are the stream buffers. This module covers the workhorse
+//! topology — a *pipeline* from a source IOM through a chain of hardware
+//! modules back to a sink IOM — with automatic node assignment, channel
+//! establishment, and teardown.
+//!
+//! General DAGs (fan-out/fan-in) would need multi-port module wrappers
+//! (`ki`/`ko` > 1); the mapper reports chains it cannot place rather than
+//! guessing.
+
+use std::fmt;
+use vapres_core::api::ApiError;
+use vapres_core::config::{NodeKind, SystemConfig};
+use vapres_core::system::VapresSystem;
+use vapres_core::{ChannelId, ModuleUid, PortRef};
+
+/// A linear KPN: source IOM → `stages` → sink IOM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    /// Module UIDs in stream order.
+    pub stages: Vec<ModuleUid>,
+}
+
+impl Pipeline {
+    /// Creates a pipeline from stage UIDs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages` is empty — an empty pipeline is an IOM loopback,
+    /// not a KPN.
+    pub fn new(stages: Vec<ModuleUid>) -> Self {
+        assert!(!stages.is_empty(), "pipeline needs at least one stage");
+        Pipeline { stages }
+    }
+
+    /// Number of hardware-module stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether the pipeline has no stages (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+}
+
+/// Where each pipeline element landed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mapping {
+    /// Node of the source IOM.
+    pub source_iom: usize,
+    /// Node of the sink IOM (equals `source_iom` on single-IOM systems).
+    pub sink_iom: usize,
+    /// Node of each stage, in stream order.
+    pub stage_nodes: Vec<usize>,
+}
+
+/// A mapping failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapError {
+    /// More stages than PRRs.
+    NotEnoughPrrs {
+        /// Stages requested.
+        stages: usize,
+        /// PRRs available.
+        prrs: usize,
+    },
+    /// The system has no IOM to source/sink the stream.
+    NoIom,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::NotEnoughPrrs { stages, prrs } => {
+                write!(f, "{stages} stages but only {prrs} PRRs")
+            }
+            MapError::NoIom => write!(f, "system has no IOM"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// Maps pipeline stages onto PRR nodes in array order: the stream enters
+/// at the first IOM and leaves at the last IOM (the same node on
+/// single-IOM systems).
+///
+/// # Errors
+///
+/// See [`MapError`].
+pub fn map_pipeline(cfg: &SystemConfig, pipeline: &Pipeline) -> Result<Mapping, MapError> {
+    let ioms: Vec<usize> = cfg
+        .node_kinds
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| **k == NodeKind::Iom)
+        .map(|(n, _)| n)
+        .collect();
+    let (&source_iom, &sink_iom) = match (ioms.first(), ioms.last()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(MapError::NoIom),
+    };
+    let prr_nodes: Vec<usize> = cfg
+        .node_kinds
+        .iter()
+        .enumerate()
+        .filter(|(_, k)| **k == NodeKind::Prr)
+        .map(|(n, _)| n)
+        .collect();
+    if pipeline.len() > prr_nodes.len() {
+        return Err(MapError::NotEnoughPrrs {
+            stages: pipeline.len(),
+            prrs: prr_nodes.len(),
+        });
+    }
+    Ok(Mapping {
+        source_iom,
+        sink_iom,
+        stage_nodes: prr_nodes[..pipeline.len()].to_vec(),
+    })
+}
+
+/// A deployed pipeline: live channels plus the mapping, ready to stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployedPipeline {
+    /// The mapping used.
+    pub mapping: Mapping,
+    /// Channels in stream order (source→s0, s0→s1, …, sN→sink).
+    pub channels: Vec<ChannelId>,
+}
+
+/// Deploys a pipeline: loads every stage's bitstream (generated, stored
+/// to CompactFlash, and written through the ICAP — the full application
+/// flow), establishes the channel chain, and brings every node up.
+///
+/// # Errors
+///
+/// Any [`ApiError`] from the underlying API calls.
+pub fn deploy(
+    sys: &mut VapresSystem,
+    pipeline: &Pipeline,
+    mapping: &Mapping,
+) -> Result<DeployedPipeline, ApiError> {
+    // Load every stage.
+    for (stage, (&uid, &node)) in pipeline
+        .stages
+        .iter()
+        .zip(&mapping.stage_nodes)
+        .enumerate()
+    {
+        let prr = sys
+            .config()
+            .prr_index(node)
+            .ok_or(ApiError::NotAPrr(node))?;
+        let file = format!("kpn_stage{stage}_{:08x}.bit", uid.0);
+        sys.install_bitstream(prr, uid, &file)?;
+        sys.vapres_cf2icap(&file)?;
+    }
+
+    // Chain the channels: source IOM -> s0 -> s1 -> ... -> sink IOM.
+    let mut channels = Vec::new();
+    let mut from = PortRef::new(mapping.source_iom, 0);
+    for &node in &mapping.stage_nodes {
+        channels.push(sys.vapres_establish_channel(from, PortRef::new(node, 0))?);
+        from = PortRef::new(node, 0);
+    }
+    channels.push(sys.vapres_establish_channel(from, PortRef::new(mapping.sink_iom, 0))?);
+
+    // Bring everything up.
+    sys.bring_up_node(mapping.source_iom, false)?;
+    if mapping.sink_iom != mapping.source_iom {
+        sys.bring_up_node(mapping.sink_iom, false)?;
+    }
+    for &node in &mapping.stage_nodes {
+        sys.bring_up_node(node, false)?;
+    }
+
+    Ok(DeployedPipeline {
+        mapping: mapping.clone(),
+        channels,
+    })
+}
+
+impl DeployedPipeline {
+    /// Releases every channel and isolates every stage node.
+    ///
+    /// # Errors
+    ///
+    /// Any [`ApiError`] from the underlying calls.
+    pub fn teardown(&self, sys: &mut VapresSystem) -> Result<(), ApiError> {
+        for &ch in &self.channels {
+            sys.vapres_release_channel(ch)?;
+        }
+        for &node in &self.mapping.stage_nodes {
+            sys.isolate_node(node)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_onto_prototype() {
+        let cfg = SystemConfig::prototype();
+        let p = Pipeline::new(vec![ModuleUid(1), ModuleUid(2)]);
+        let m = map_pipeline(&cfg, &p).unwrap();
+        assert_eq!(m.source_iom, 0);
+        assert_eq!(m.sink_iom, 0);
+        assert_eq!(m.stage_nodes, vec![1, 2]);
+    }
+
+    #[test]
+    fn rejects_oversubscription() {
+        let cfg = SystemConfig::prototype();
+        let p = Pipeline::new(vec![ModuleUid(1); 3]);
+        assert_eq!(
+            map_pipeline(&cfg, &p),
+            Err(MapError::NotEnoughPrrs { stages: 3, prrs: 2 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one stage")]
+    fn empty_pipeline_panics() {
+        let _ = Pipeline::new(Vec::new());
+    }
+
+    #[test]
+    fn pipeline_len() {
+        let p = Pipeline::new(vec![ModuleUid(9)]);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+}

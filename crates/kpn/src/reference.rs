@@ -1,0 +1,72 @@
+//! Software reference executor.
+//!
+//! A KPN's semantics are independent of scheduling: with unbounded
+//! buffers, any fair execution produces the same streams. That makes a
+//! trivially simple software executor — run each stage to completion over
+//! the whole stream, in order — the *golden model* for the hardware
+//! pipeline: experiment E8 asserts the VAPRES RSB produces byte-identical
+//! output.
+
+use vapres_modules::kernel::StreamKernel;
+
+/// Runs `input` through a chain of kernels sequentially, exactly the
+/// KPN's denotational semantics for a linear network.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_kpn::reference::run_chain;
+/// use vapres_modules::kernels::{Decimator, Scaler};
+///
+/// let mut stages: Vec<Box<dyn vapres_modules::StreamKernel>> = vec![
+///     Box::new(Scaler::new(512)),   // 2x
+///     Box::new(Decimator::new(2)),  // keep every other
+/// ];
+/// let out = run_chain(&mut stages, &[1, 2, 3, 4]);
+/// assert_eq!(out, vec![2, 6]);
+/// ```
+pub fn run_chain(stages: &mut [Box<dyn StreamKernel>], input: &[u32]) -> Vec<u32> {
+    let mut current: Vec<u32> = input.to_vec();
+    let mut scratch = Vec::new();
+    for stage in stages {
+        let mut next = Vec::with_capacity(current.len());
+        for &x in &current {
+            scratch.clear();
+            stage.process(x, &mut scratch);
+            next.extend_from_slice(&scratch);
+        }
+        current = next;
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapres_modules::kernels::{DeltaDecoder, DeltaEncoder, Passthrough, Upsampler};
+
+    #[test]
+    fn empty_chain_is_identity() {
+        let mut stages: Vec<Box<dyn StreamKernel>> = Vec::new();
+        assert_eq!(run_chain(&mut stages, &[5, 6]), vec![5, 6]);
+    }
+
+    #[test]
+    fn inverse_stages_cancel() {
+        let mut stages: Vec<Box<dyn StreamKernel>> = vec![
+            Box::new(DeltaEncoder::new()),
+            Box::new(DeltaDecoder::new()),
+        ];
+        let data: Vec<u32> = (0..50).map(|i| i * 7 % 13).collect();
+        assert_eq!(run_chain(&mut stages, &data), data);
+    }
+
+    #[test]
+    fn rate_changes_compose() {
+        let mut stages: Vec<Box<dyn StreamKernel>> = vec![
+            Box::new(Upsampler::new(3)),
+            Box::new(Passthrough::new()),
+        ];
+        assert_eq!(run_chain(&mut stages, &[1, 2]), vec![1, 1, 1, 2, 2, 2]);
+    }
+}

@@ -1,0 +1,337 @@
+//! The module wrapper: binds a pure [`StreamKernel`] to VAPRES ports.
+//!
+//! The paper (Sec. IV.B) requires application designers to "encapsulate
+//! hardware modules inside special module wrappers to connect the
+//! original module's input and output ports with the external FIFO-based
+//! ports". [`StreamModuleAdapter`] is that wrapper. Besides moving data at
+//! one word per local-clock cycle with blocking-read/blocking-write
+//! semantics, it implements the switching-methodology handshake:
+//!
+//! * on `CMD_FINISH`: drain the consumer FIFO, emit the end-of-stream
+//!   word downstream (step 5), then send `MSG_STATE_HEADER`, a count, and
+//!   the kernel's state words over the FSL (step 6);
+//! * on `CMD_LOAD_STATE` + count + words: restore the kernel state before
+//!   processing (step 7);
+//! * every `monitor_period` processed samples: send the kernel's monitor
+//!   word to the MicroBlaze (the paper's step 2).
+
+use crate::kernel::StreamKernel;
+use std::collections::VecDeque;
+use vapres_core::module::{control, HardwareModule, ModuleIo};
+use vapres_core::{ModuleUid, Word};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadPhase {
+    Idle,
+    AwaitCount,
+    Loading { remaining: usize },
+}
+
+/// Wraps a [`StreamKernel`] into a [`HardwareModule`].
+///
+/// `monitor_period` = 0 disables monitoring traffic.
+#[derive(Debug, Clone)]
+pub struct StreamModuleAdapter<K> {
+    kernel: K,
+    monitor_period: u64,
+    pending: VecDeque<u32>,
+    scratch: Vec<u32>,
+    load: LoadPhase,
+    load_buf: Vec<u32>,
+    state_tx: VecDeque<u32>,
+    finish_requested: bool,
+    finished: bool,
+    eos_to_forward: bool,
+    processed: u64,
+}
+
+impl<K: StreamKernel> StreamModuleAdapter<K> {
+    /// Wraps `kernel`, reporting a monitor word every `monitor_period`
+    /// samples (0 = never).
+    pub fn new(kernel: K, monitor_period: u64) -> Self {
+        StreamModuleAdapter {
+            kernel,
+            monitor_period,
+            pending: VecDeque::new(),
+            scratch: Vec::new(),
+            load: LoadPhase::Idle,
+            load_buf: Vec::new(),
+            state_tx: VecDeque::new(),
+            finish_requested: false,
+            finished: false,
+            eos_to_forward: false,
+            processed: 0,
+        }
+    }
+
+    /// The wrapped kernel.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// Unwraps the kernel.
+    pub fn into_inner(self) -> K {
+        self.kernel
+    }
+
+    /// Whether the wrapper has completed a `CMD_FINISH` handshake.
+    pub fn is_finished(&self) -> bool {
+        self.finished && self.state_tx.is_empty()
+    }
+
+    /// Samples processed since reset.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    fn handle_fsl(&mut self, io: &mut ModuleIo<'_>) {
+        // One FSL word per cycle, like a real wrapper FSM.
+        let Some(w) = io.fsl_recv() else { return };
+        match self.load {
+            LoadPhase::AwaitCount => {
+                let remaining = w as usize;
+                if remaining == 0 {
+                    self.kernel.restore_state(&[]);
+                    self.load = LoadPhase::Idle;
+                } else {
+                    self.load_buf.clear();
+                    self.load = LoadPhase::Loading { remaining };
+                }
+            }
+            LoadPhase::Loading { remaining } => {
+                self.load_buf.push(w);
+                if remaining == 1 {
+                    self.kernel.restore_state(&self.load_buf);
+                    self.load = LoadPhase::Idle;
+                } else {
+                    self.load = LoadPhase::Loading {
+                        remaining: remaining - 1,
+                    };
+                }
+            }
+            LoadPhase::Idle => match w {
+                control::CMD_FINISH => self.finish_requested = true,
+                control::CMD_LOAD_STATE => self.load = LoadPhase::AwaitCount,
+                _ => {} // unknown command: ignore, stay forward-compatible
+            },
+        }
+    }
+}
+
+impl<K: StreamKernel> HardwareModule for StreamModuleAdapter<K> {
+    fn name(&self) -> &str {
+        self.kernel.name()
+    }
+
+    fn uid(&self) -> ModuleUid {
+        self.kernel.uid()
+    }
+
+    fn required_slices(&self) -> u32 {
+        // Wrapper FSM + the kernel itself.
+        32 + self.kernel.required_slices()
+    }
+
+    fn tick(&mut self, io: &mut ModuleIo<'_>) {
+        self.handle_fsl(io);
+
+        // State transfer in progress: one FSL word per cycle, data path
+        // quiesced.
+        if let Some(&w) = self.state_tx.front() {
+            if io.fsl_send(w) {
+                self.state_tx.pop_front();
+            }
+            return;
+        }
+        if self.finished {
+            return;
+        }
+        // A state load is in progress: the data path must not touch the
+        // kernel until the restore completes, or the first samples would
+        // be processed with power-on state.
+        if self.load != LoadPhase::Idle {
+            return;
+        }
+
+        // Consume one input when the previous outputs have drained.
+        if self.pending.is_empty() && !self.eos_to_forward {
+            if let Some(word) = io.read_input(0) {
+                if word.end_of_stream {
+                    self.eos_to_forward = true;
+                } else {
+                    self.scratch.clear();
+                    self.kernel.process(word.data, &mut self.scratch);
+                    self.pending.extend(self.scratch.drain(..));
+                    self.processed += 1;
+                    if self.monitor_period > 0 && self.processed.is_multiple_of(self.monitor_period) {
+                        if let Some(m) = self.kernel.monitor_word() {
+                            // Best-effort: monitoring must never stall data.
+                            let _ = io.fsl_send(m);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Emit one output word per cycle (blocking-write).
+        if let Some(&w) = self.pending.front() {
+            if io.write_output(0, Word::data(w)) {
+                self.pending.pop_front();
+            }
+            return;
+        }
+        if self.eos_to_forward {
+            if io.write_output(0, Word::end_of_stream()) {
+                self.eos_to_forward = false;
+            }
+            return;
+        }
+
+        // Finish handshake: everything drained — emit EOS and queue the
+        // state transfer.
+        if self.finish_requested && io.input_len(0) == 0
+            && io.write_output(0, Word::end_of_stream()) {
+                let state = self.kernel.save_state();
+                self.state_tx.push_back(control::MSG_STATE_HEADER);
+                self.state_tx.push_back(state.len() as u32);
+                self.state_tx.extend(state);
+                self.finished = true;
+            }
+    }
+
+    fn save_state(&self) -> Vec<u32> {
+        self.kernel.save_state()
+    }
+
+    fn restore_state(&mut self, state: &[u32]) {
+        self.kernel.restore_state(state);
+    }
+
+    fn reset(&mut self) {
+        self.kernel.reset();
+        self.pending.clear();
+        self.load = LoadPhase::Idle;
+        self.load_buf.clear();
+        self.state_tx.clear();
+        self.finish_requested = false;
+        self.finished = false;
+        self.eos_to_forward = false;
+        self.processed = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::{Passthrough, Scaler};
+    use vapres_core::config::SystemConfig;
+    use vapres_core::module::ModuleLibrary;
+    use vapres_core::system::VapresSystem;
+    use vapres_core::{PortRef, Ps};
+
+    /// Boots the prototype with a scaler in PRR0 and a loopback route
+    /// IOM -> PRR0 -> IOM.
+    fn scaler_system(gain_q8: i32) -> VapresSystem {
+        let mut lib = ModuleLibrary::new();
+        let uid = ModuleUid(0x8CA1);
+        lib.register(uid, move || {
+            Box::new(StreamModuleAdapter::new(Scaler::new(gain_q8), 0))
+        });
+        let mut sys = VapresSystem::new(SystemConfig::prototype(), lib).unwrap();
+        sys.install_bitstream(0, uid, "scaler.bit").unwrap();
+        sys.vapres_cf2icap("scaler.bit").unwrap();
+        sys.vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))
+            .unwrap();
+        sys.vapres_establish_channel(PortRef::new(1, 0), PortRef::new(0, 0))
+            .unwrap();
+        sys.bring_up_node(0, false).unwrap();
+        sys.bring_up_node(1, false).unwrap();
+        sys
+    }
+
+    #[test]
+    fn adapter_streams_through_system() {
+        let mut sys = scaler_system(512); // 2.0x
+        sys.iom_feed(0, [10, 20, 30]);
+        let done = sys.run_until(Ps::from_us(10), |s| s.iom_output(0).len() == 3);
+        assert!(done);
+        let out: Vec<u32> = sys.iom_output(0).iter().map(|(_, w)| w.data).collect();
+        assert_eq!(out, vec![20, 40, 60]);
+    }
+
+    #[test]
+    fn finish_handshake_emits_eos_and_state() {
+        let mut sys = scaler_system(256);
+        sys.iom_feed(0, [1, 2]);
+        sys.run_until(Ps::from_us(10), |s| s.iom_output(0).len() == 2);
+        sys.vapres_module_write(1, control::CMD_FINISH).unwrap();
+        let done = sys.run_until(Ps::from_us(10), |s| s.iom_eos_seen(0) == 1);
+        assert!(done, "EOS never reached the IOM");
+        // The state transfer follows on the FSL: header, count=0.
+        let h = sys.vapres_module_read_blocking(1, Ps::from_us(10)).unwrap();
+        assert_eq!(h, control::MSG_STATE_HEADER);
+        let n = sys.vapres_module_read_blocking(1, Ps::from_us(10)).unwrap();
+        assert_eq!(n, 0); // a scaler has no dynamic state
+    }
+
+    #[test]
+    fn load_state_before_processing() {
+        // A passthrough adapter fed CMD_LOAD_STATE for a kernel with
+        // state: use a Threshold kernel whose event count is restored.
+        use crate::kernels::Threshold;
+        let mut adapter = StreamModuleAdapter::new(Threshold::new(5), 0);
+        adapter.restore_state(&[41]);
+        assert_eq!(adapter.save_state(), vec![41]);
+    }
+
+    #[test]
+    fn monitor_words_flow_to_microblaze() {
+        let mut lib = ModuleLibrary::new();
+        let uid = ModuleUid(0x3107);
+        lib.register(uid, move || {
+            Box::new(StreamModuleAdapter::new(
+                crate::kernels::Threshold::new(0),
+                4, // monitor every 4 samples
+            ))
+        });
+        let mut sys = VapresSystem::new(SystemConfig::prototype(), lib).unwrap();
+        sys.install_bitstream(0, uid, "t.bit").unwrap();
+        sys.vapres_cf2icap("t.bit").unwrap();
+        sys.vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))
+            .unwrap();
+        sys.vapres_establish_channel(PortRef::new(1, 0), PortRef::new(0, 0))
+            .unwrap();
+        sys.bring_up_node(0, false).unwrap();
+        sys.bring_up_node(1, false).unwrap();
+        sys.iom_feed(0, [9, 9, 9, 9, 9, 9, 9, 9]);
+        sys.run_until(Ps::from_us(10), |s| s.iom_output(0).len() == 8);
+        // Two monitor reports (after samples 4 and 8), each the running
+        // event count.
+        let m1 = sys.vapres_module_read_blocking(1, Ps::from_us(1)).unwrap();
+        let m2 = sys.vapres_module_read_blocking(1, Ps::from_us(1)).unwrap();
+        assert_eq!((m1, m2), (4, 8));
+    }
+
+    #[test]
+    fn reset_clears_wrapper_state() {
+        let mut a = StreamModuleAdapter::new(Passthrough::new(), 0);
+        a.finish_requested = true;
+        a.finished = true;
+        a.pending.push_back(1);
+        a.reset();
+        assert!(!a.is_finished() || a.state_tx.is_empty());
+        assert!(!a.finish_requested);
+        assert_eq!(a.processed(), 0);
+        assert!(a.pending.is_empty());
+    }
+
+    #[test]
+    fn accessors() {
+        let a = StreamModuleAdapter::new(Scaler::new(256), 0);
+        assert_eq!(a.kernel().name(), "scaler");
+        assert_eq!(a.name(), "scaler");
+        assert!(a.required_slices() > Scaler::new(256).required_slices());
+        let k = a.into_inner();
+        assert_eq!(k.name(), "scaler");
+    }
+}

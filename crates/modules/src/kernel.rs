@@ -1,0 +1,79 @@
+//! Stream kernels: the pure DSP behaviour of a hardware module.
+//!
+//! The paper's application flow separates the *original module* (the DSP
+//! logic) from its *module wrapper* (the glue binding it to VAPRES FIFO
+//! ports and FSLs). A [`StreamKernel`] is the original module; the wrapper
+//! is [`crate::adapter::StreamModuleAdapter`]. Kernels double as their own
+//! golden models: [`run_kernel`] applies one directly to a sample vector,
+//! and end-to-end tests compare hardware output against it.
+
+use vapres_core::ModuleUid;
+
+/// Pure, clock-free stream-processing behaviour.
+///
+/// A kernel consumes one input word per call and appends zero or more
+/// output words — rate-changing kernels (decimators, upsamplers, wavelet
+/// stages) are first-class.
+pub trait StreamKernel {
+    /// Module name (as the application flow would name the pcore).
+    fn name(&self) -> &'static str;
+
+    /// The UID its partial bitstream carries.
+    fn uid(&self) -> ModuleUid;
+
+    /// Slices the synthesized module would occupy.
+    fn required_slices(&self) -> u32;
+
+    /// Processes one sample, appending outputs to `out`.
+    fn process(&mut self, input: u32, out: &mut Vec<u32>);
+
+    /// Captures the dynamic state (delay lines, accumulators) the
+    /// switching methodology transfers to a replacement module.
+    fn save_state(&self) -> Vec<u32>;
+
+    /// Restores captured state.
+    fn restore_state(&mut self, state: &[u32]);
+
+    /// Synchronous reset to power-on state.
+    fn reset(&mut self);
+
+    /// Optional monitoring word (the paper's filter sends input-data
+    /// characteristics to the MicroBlaze periodically).
+    fn monitor_word(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// Applies a kernel to a whole sample vector — the golden model.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_modules::kernel::run_kernel;
+/// use vapres_modules::kernels::Scaler;
+///
+/// let out = run_kernel(&mut Scaler::new(512), &[100, 200]); // gain 2.0 in Q8
+/// assert_eq!(out, vec![200, 400]);
+/// ```
+pub fn run_kernel<K: StreamKernel + ?Sized>(kernel: &mut K, input: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(input.len());
+    let mut scratch = Vec::new();
+    for &x in input {
+        scratch.clear();
+        kernel.process(x, &mut scratch);
+        out.extend_from_slice(&scratch);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::Passthrough;
+
+    #[test]
+    fn run_kernel_collects_outputs() {
+        let mut k = Passthrough::new();
+        assert_eq!(run_kernel(&mut k, &[1, 2, 3]), vec![1, 2, 3]);
+    }
+}

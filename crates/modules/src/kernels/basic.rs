@@ -1,0 +1,446 @@
+//! Elementary stream kernels: wires, scalers, rate changers, delta codecs.
+
+use crate::kernel::StreamKernel;
+use crate::uids;
+use std::collections::VecDeque;
+use vapres_core::ModuleUid;
+
+/// The identity module — the simplest possible hardware module, useful for
+/// latency measurement and plumbing tests.
+#[derive(Debug, Clone, Default)]
+pub struct Passthrough;
+
+impl Passthrough {
+    /// Creates a passthrough kernel.
+    pub fn new() -> Self {
+        Passthrough
+    }
+}
+
+impl StreamKernel for Passthrough {
+    fn name(&self) -> &'static str {
+        "passthrough"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::PASSTHROUGH
+    }
+    fn required_slices(&self) -> u32 {
+        16
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        out.push(input);
+    }
+    fn save_state(&self) -> Vec<u32> {
+        Vec::new()
+    }
+    fn restore_state(&mut self, _state: &[u32]) {}
+    fn reset(&mut self) {}
+}
+
+/// Multiplies samples by a Q8 fixed-point gain (`gain_q8` = 256 is 1.0).
+#[derive(Debug, Clone)]
+pub struct Scaler {
+    gain_q8: i32,
+}
+
+impl Scaler {
+    /// Creates a scaler with the given Q8 gain.
+    pub fn new(gain_q8: i32) -> Self {
+        Scaler { gain_q8 }
+    }
+}
+
+impl StreamKernel for Scaler {
+    fn name(&self) -> &'static str {
+        "scaler"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::SCALER
+    }
+    fn required_slices(&self) -> u32 {
+        90
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        let x = input as i32;
+        out.push(((i64::from(x) * i64::from(self.gain_q8)) >> 8) as u32);
+    }
+    fn save_state(&self) -> Vec<u32> {
+        Vec::new() // the gain is structure, not dynamic state
+    }
+    fn restore_state(&mut self, _state: &[u32]) {}
+    fn reset(&mut self) {}
+}
+
+/// Emits 1 when the sample magnitude exceeds the level, else 0 — a
+/// one-bit event detector.
+#[derive(Debug, Clone)]
+pub struct Threshold {
+    level: i32,
+    events: u32,
+}
+
+impl Threshold {
+    /// Creates a detector with the given absolute level.
+    pub fn new(level: i32) -> Self {
+        Threshold { level, events: 0 }
+    }
+}
+
+impl StreamKernel for Threshold {
+    fn name(&self) -> &'static str {
+        "threshold"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::THRESHOLD
+    }
+    fn required_slices(&self) -> u32 {
+        40
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        let hit = (input as i32).saturating_abs() > self.level;
+        if hit {
+            self.events += 1;
+        }
+        out.push(u32::from(hit));
+    }
+    fn save_state(&self) -> Vec<u32> {
+        vec![self.events]
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        self.events = state.first().copied().unwrap_or(0);
+    }
+    fn reset(&mut self) {
+        self.events = 0;
+    }
+    fn monitor_word(&self) -> Option<u32> {
+        Some(self.events)
+    }
+}
+
+/// Keeps one sample in `factor`, dropping the rest.
+#[derive(Debug, Clone)]
+pub struct Decimator {
+    factor: u32,
+    phase: u32,
+}
+
+impl Decimator {
+    /// Creates an `N:1` decimator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn new(factor: u32) -> Self {
+        assert!(factor > 0, "decimation factor must be non-zero");
+        Decimator { factor, phase: 0 }
+    }
+}
+
+impl StreamKernel for Decimator {
+    fn name(&self) -> &'static str {
+        "decimator"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::DECIMATOR
+    }
+    fn required_slices(&self) -> u32 {
+        48
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        if self.phase == 0 {
+            out.push(input);
+        }
+        self.phase = (self.phase + 1) % self.factor;
+    }
+    fn save_state(&self) -> Vec<u32> {
+        vec![self.phase]
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        self.phase = state.first().copied().unwrap_or(0);
+    }
+    fn reset(&mut self) {
+        self.phase = 0;
+    }
+}
+
+/// Repeats every sample `factor` times (zero-order hold upsampler).
+#[derive(Debug, Clone)]
+pub struct Upsampler {
+    factor: u32,
+}
+
+impl Upsampler {
+    /// Creates a `1:N` upsampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is zero.
+    pub fn new(factor: u32) -> Self {
+        assert!(factor > 0, "upsampling factor must be non-zero");
+        Upsampler { factor }
+    }
+}
+
+impl StreamKernel for Upsampler {
+    fn name(&self) -> &'static str {
+        "upsampler"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::UPSAMPLER
+    }
+    fn required_slices(&self) -> u32 {
+        52
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        for _ in 0..self.factor {
+            out.push(input);
+        }
+    }
+    fn save_state(&self) -> Vec<u32> {
+        Vec::new()
+    }
+    fn restore_state(&mut self, _state: &[u32]) {}
+    fn reset(&mut self) {}
+}
+
+/// Emits the difference from the previous sample — a delta encoder.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaEncoder {
+    prev: i32,
+}
+
+impl DeltaEncoder {
+    /// Creates an encoder with zero history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StreamKernel for DeltaEncoder {
+    fn name(&self) -> &'static str {
+        "delta_encoder"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::DELTA_ENCODER
+    }
+    fn required_slices(&self) -> u32 {
+        60
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        let x = input as i32;
+        out.push(x.wrapping_sub(self.prev) as u32);
+        self.prev = x;
+    }
+    fn save_state(&self) -> Vec<u32> {
+        vec![self.prev as u32]
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        self.prev = state.first().copied().unwrap_or(0) as i32;
+    }
+    fn reset(&mut self) {
+        self.prev = 0;
+    }
+}
+
+/// Integrates deltas back into samples — the matching decoder.
+#[derive(Debug, Clone, Default)]
+pub struct DeltaDecoder {
+    acc: i32,
+}
+
+impl DeltaDecoder {
+    /// Creates a decoder with zero accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StreamKernel for DeltaDecoder {
+    fn name(&self) -> &'static str {
+        "delta_decoder"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::DELTA_DECODER
+    }
+    fn required_slices(&self) -> u32 {
+        58
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        self.acc = self.acc.wrapping_add(input as i32);
+        out.push(self.acc as u32);
+    }
+    fn save_state(&self) -> Vec<u32> {
+        vec![self.acc as u32]
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        self.acc = state.first().copied().unwrap_or(0) as i32;
+    }
+    fn reset(&mut self) {
+        self.acc = 0;
+    }
+}
+
+/// Sliding-window mean over the last `window` samples (integer division).
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: usize,
+    buf: VecDeque<i32>,
+    sum: i64,
+}
+
+impl MovingAverage {
+    /// Creates an averager over `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        MovingAverage {
+            window,
+            buf: VecDeque::with_capacity(window),
+            sum: 0,
+        }
+    }
+}
+
+impl StreamKernel for MovingAverage {
+    fn name(&self) -> &'static str {
+        "moving_average"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::MOVING_AVERAGE
+    }
+    fn required_slices(&self) -> u32 {
+        150
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        let x = input as i32;
+        self.buf.push_back(x);
+        self.sum += i64::from(x);
+        if self.buf.len() > self.window {
+            self.sum -= i64::from(self.buf.pop_front().expect("non-empty"));
+        }
+        out.push((self.sum / self.buf.len() as i64) as i32 as u32);
+    }
+    fn save_state(&self) -> Vec<u32> {
+        self.buf.iter().map(|&v| v as u32).collect()
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        self.buf = state.iter().map(|&v| v as i32).collect();
+        self.sum = self.buf.iter().map(|&v| i64::from(v)).sum();
+    }
+    fn reset(&mut self) {
+        self.buf.clear();
+        self.sum = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::run_kernel;
+
+    #[test]
+    fn scaler_applies_q8_gain() {
+        let out = run_kernel(&mut Scaler::new(128), &[100, 200, 0xFFFF_FF9Cu32]); // 0.5x; -100
+        assert_eq!(out, vec![50, 100, (-50i32) as u32]);
+    }
+
+    #[test]
+    fn threshold_detects_and_counts() {
+        let mut t = Threshold::new(10);
+        let out = run_kernel(&mut t, &[5, 11, (-20i32) as u32, 10]);
+        assert_eq!(out, vec![0, 1, 1, 0]);
+        assert_eq!(t.save_state(), vec![2]);
+        assert_eq!(t.monitor_word(), Some(2));
+    }
+
+    #[test]
+    fn decimator_keeps_every_nth() {
+        let out = run_kernel(&mut Decimator::new(3), &[1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(out, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn decimator_state_preserves_phase() {
+        let mut d = Decimator::new(3);
+        let mut scratch = Vec::new();
+        d.process(1, &mut scratch);
+        d.process(2, &mut scratch);
+        let state = d.save_state();
+        let mut d2 = Decimator::new(3);
+        d2.restore_state(&state);
+        let out = run_kernel(&mut d2, &[3, 4, 5, 6]);
+        // Continues the pattern: sample indices 2,3,4,5 -> keeps index 3.
+        assert_eq!(out, vec![4]);
+    }
+
+    #[test]
+    fn upsampler_repeats() {
+        let out = run_kernel(&mut Upsampler::new(2), &[7, 8]);
+        assert_eq!(out, vec![7, 7, 8, 8]);
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let data: Vec<u32> = [0i32, 5, 3, -2, 100, 99]
+            .iter()
+            .map(|&v| v as u32)
+            .collect();
+        let deltas = run_kernel(&mut DeltaEncoder::new(), &data);
+        let back = run_kernel(&mut DeltaDecoder::new(), &deltas);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn delta_state_handoff() {
+        // Encode half with one encoder, hand its state to a second; the
+        // decoder must reconstruct seamlessly — the switching scenario.
+        let data: Vec<u32> = (0..20u32).map(|v| v * 3).collect();
+        let mut e1 = DeltaEncoder::new();
+        let first = run_kernel(&mut e1, &data[..10]);
+        let mut e2 = DeltaEncoder::new();
+        e2.restore_state(&e1.save_state());
+        let second = run_kernel(&mut e2, &data[10..]);
+        let mut all = first;
+        all.extend(second);
+        let back = run_kernel(&mut DeltaDecoder::new(), &all);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn moving_average_warms_up() {
+        let out = run_kernel(&mut MovingAverage::new(4), &[4, 8, 12, 16, 20]);
+        assert_eq!(out, vec![4, 6, 8, 10, 14]);
+    }
+
+    #[test]
+    fn moving_average_state_roundtrip() {
+        let mut a = MovingAverage::new(3);
+        run_kernel(&mut a, &[10, 20]);
+        let mut b = MovingAverage::new(3);
+        b.restore_state(&a.save_state());
+        let out_a = run_kernel(&mut a, &[30]);
+        let out_b = run_kernel(&mut b, &[30]);
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_decimation_panics() {
+        let _ = Decimator::new(0);
+    }
+
+    #[test]
+    fn resets_restore_power_on() {
+        let mut e = DeltaEncoder::new();
+        run_kernel(&mut e, &[9]);
+        e.reset();
+        assert_eq!(e.save_state(), vec![0]);
+        let mut m = MovingAverage::new(2);
+        run_kernel(&mut m, &[5]);
+        m.reset();
+        assert!(m.save_state().is_empty());
+    }
+}

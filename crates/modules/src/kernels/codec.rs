@@ -1,0 +1,211 @@
+//! Run-length codec kernels: variable-rate, heavily stateful — the
+//! stressing case for both the switching methodology's state transfer and
+//! the fabric's handling of rate-changing modules.
+//!
+//! Encoding: each maximal run of equal words becomes `(value, count)`
+//! word pairs. Runs are capped at [`MAX_RUN`] so the decoder's state stays
+//! bounded.
+
+use crate::kernel::StreamKernel;
+use crate::uids;
+use vapres_core::ModuleUid;
+
+/// Longest run one `(value, count)` pair may encode.
+pub const MAX_RUN: u32 = 65_535;
+
+/// Run-length encoder: emits `(value, count)` pairs on run boundaries.
+///
+/// The trailing in-progress run is flushed by the wrapper's finish
+/// handshake via [`StreamKernel::save_state`] — or lost if the stream
+/// simply stops, exactly like a hardware RLE whose last run never closed.
+#[derive(Debug, Clone, Default)]
+pub struct RleEncoder {
+    current: Option<(u32, u32)>,
+}
+
+impl RleEncoder {
+    /// A fresh encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flushes the in-progress run, if any, as a final pair.
+    pub fn flush(&mut self, out: &mut Vec<u32>) {
+        if let Some((v, n)) = self.current.take() {
+            out.push(v);
+            out.push(n);
+        }
+    }
+}
+
+impl StreamKernel for RleEncoder {
+    fn name(&self) -> &'static str {
+        "rle_encoder"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::RLE_ENCODER
+    }
+    fn required_slices(&self) -> u32 {
+        130
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        match self.current {
+            Some((v, n)) if v == input && n < MAX_RUN => {
+                self.current = Some((v, n + 1));
+            }
+            Some((v, n)) => {
+                out.push(v);
+                out.push(n);
+                self.current = Some((input, 1));
+            }
+            None => self.current = Some((input, 1)),
+        }
+    }
+    fn save_state(&self) -> Vec<u32> {
+        match self.current {
+            Some((v, n)) => vec![1, v, n],
+            None => vec![0, 0, 0],
+        }
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        self.current = match state {
+            [1, v, n, ..] => Some((*v, *n)),
+            _ => None,
+        };
+    }
+    fn reset(&mut self) {
+        self.current = None;
+    }
+}
+
+/// Run-length decoder: consumes `(value, count)` pairs, expands runs.
+#[derive(Debug, Clone, Default)]
+pub struct RleDecoder {
+    pending_value: Option<u32>,
+}
+
+impl RleDecoder {
+    /// A fresh decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StreamKernel for RleDecoder {
+    fn name(&self) -> &'static str {
+        "rle_decoder"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::RLE_DECODER
+    }
+    fn required_slices(&self) -> u32 {
+        120
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        match self.pending_value.take() {
+            None => self.pending_value = Some(input),
+            Some(v) => {
+                let count = input.min(MAX_RUN);
+                for _ in 0..count {
+                    out.push(v);
+                }
+            }
+        }
+    }
+    fn save_state(&self) -> Vec<u32> {
+        match self.pending_value {
+            Some(v) => vec![1, v],
+            None => vec![0, 0],
+        }
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        self.pending_value = match state {
+            [1, v, ..] => Some(*v),
+            _ => None,
+        };
+    }
+    fn reset(&mut self) {
+        self.pending_value = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::run_kernel;
+
+    fn encode_all(data: &[u32]) -> Vec<u32> {
+        let mut e = RleEncoder::new();
+        let mut out = run_kernel(&mut e, data);
+        e.flush(&mut out);
+        out
+    }
+
+    #[test]
+    fn encodes_runs() {
+        assert_eq!(encode_all(&[7, 7, 7, 2, 2, 9]), vec![7, 3, 2, 2, 9, 1]);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let data = [1u32, 1, 1, 1, 5, 5, 0, 0, 0, 0, 0, 9];
+        let encoded = encode_all(&data);
+        let decoded = run_kernel(&mut RleDecoder::new(), &encoded);
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<u32> = (0..500).map(|_| rng.gen_range(0..4u32)).collect();
+        let decoded = run_kernel(&mut RleDecoder::new(), &encode_all(&data));
+        assert_eq!(decoded, data);
+    }
+
+    #[test]
+    fn run_cap_respected() {
+        let data = vec![3u32; MAX_RUN as usize + 10];
+        let encoded = encode_all(&data);
+        assert_eq!(encoded, vec![3, MAX_RUN, 3, 10]);
+        let decoded = run_kernel(&mut RleDecoder::new(), &encoded);
+        assert_eq!(decoded.len(), data.len());
+    }
+
+    #[test]
+    fn encoder_state_handoff_continues_run() {
+        let data = [4u32, 4, 4, 4, 4, 4, 8];
+        let mut e1 = RleEncoder::new();
+        let mut out = run_kernel(&mut e1, &data[..3]);
+        let mut e2 = RleEncoder::new();
+        e2.restore_state(&e1.save_state());
+        out.extend(run_kernel(&mut e2, &data[3..]));
+        e2.flush(&mut out);
+        assert_eq!(out, vec![4, 6, 8, 1]);
+    }
+
+    #[test]
+    fn decoder_state_handoff_mid_pair() {
+        let encoded = [5u32, 3, 6, 2];
+        let mut d1 = RleDecoder::new();
+        let mut out = run_kernel(&mut d1, &encoded[..1]); // value read, count pending
+        let mut d2 = RleDecoder::new();
+        d2.restore_state(&d1.save_state());
+        out.extend(run_kernel(&mut d2, &encoded[1..]));
+        assert_eq!(out, vec![5, 5, 5, 6, 6]);
+    }
+
+    #[test]
+    fn reset_discards_partial_state() {
+        let mut e = RleEncoder::new();
+        let mut scratch = Vec::new();
+        e.process(1, &mut scratch);
+        e.reset();
+        assert_eq!(e.save_state(), vec![0, 0, 0]);
+        let mut d = RleDecoder::new();
+        d.process(1, &mut scratch);
+        d.reset();
+        assert_eq!(d.save_state(), vec![0, 0]);
+    }
+}

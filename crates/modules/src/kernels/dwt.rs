@@ -1,0 +1,106 @@
+//! A Haar discrete wavelet transform stage — the systolic-kernel style
+//! workload of PolySAF (Sudarsanam et al.), one of the paper's
+//! related-work comparisons. Rate-preserving but *blocked*: it consumes
+//! samples in pairs and emits (average, detail) pairs.
+
+use crate::kernel::StreamKernel;
+use crate::uids;
+use vapres_core::ModuleUid;
+
+/// One Haar DWT level: for each input pair `(a, b)` emits
+/// `((a+b)/2, (a-b)/2)`.
+#[derive(Debug, Clone, Default)]
+pub struct HaarDwt {
+    held: Option<i32>,
+}
+
+impl HaarDwt {
+    /// Creates a fresh stage.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StreamKernel for HaarDwt {
+    fn name(&self) -> &'static str {
+        "haar_dwt"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::HAAR_DWT
+    }
+    fn required_slices(&self) -> u32 {
+        210
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        let x = input as i32;
+        match self.held.take() {
+            None => self.held = Some(x),
+            Some(a) => {
+                out.push(((a + x) >> 1) as u32);
+                out.push(((a - x) >> 1) as u32);
+            }
+        }
+    }
+    fn save_state(&self) -> Vec<u32> {
+        match self.held {
+            // A presence flag plus the held sample keeps zero distinct
+            // from "nothing held".
+            Some(v) => vec![1, v as u32],
+            None => vec![0, 0],
+        }
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        self.held = match state {
+            [1, v, ..] => Some(*v as i32),
+            _ => None,
+        };
+    }
+    fn reset(&mut self) {
+        self.held = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::run_kernel;
+
+    #[test]
+    fn transforms_pairs() {
+        let out = run_kernel(&mut HaarDwt::new(), &[10, 6, 3, 9]);
+        // (10,6) -> (8, 2); (3,9) -> (6, -3).
+        assert_eq!(out, vec![8, 2, 6, (-3i32) as u32]);
+    }
+
+    #[test]
+    fn odd_sample_is_held() {
+        let mut k = HaarDwt::new();
+        let out = run_kernel(&mut k, &[10, 6, 3]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(k.save_state(), vec![1, 3]);
+    }
+
+    #[test]
+    fn state_handoff_preserves_phase() {
+        let data: Vec<u32> = (0..21).collect();
+        let mut whole = HaarDwt::new();
+        let expect = run_kernel(&mut whole, &data);
+
+        let mut first = HaarDwt::new();
+        let mut out = run_kernel(&mut first, &data[..7]); // odd split point
+        let mut second = HaarDwt::new();
+        second.restore_state(&first.save_state());
+        out.extend(run_kernel(&mut second, &data[7..]));
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn zero_sample_held_is_distinct_from_empty() {
+        let mut k = HaarDwt::new();
+        let mut scratch = Vec::new();
+        k.process(0, &mut scratch);
+        assert_eq!(k.save_state(), vec![1, 0]);
+        k.reset();
+        assert_eq!(k.save_state(), vec![0, 0]);
+    }
+}

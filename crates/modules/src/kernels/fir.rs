@@ -1,0 +1,270 @@
+//! FIR filters — the paper's running example (Fig. 5 swaps "filter A" for
+//! "filter B" when monitoring data says a different precision/power point
+//! fits better).
+
+use crate::kernel::StreamKernel;
+use crate::uids;
+use std::collections::VecDeque;
+use vapres_core::ModuleUid;
+
+/// A direct-form FIR filter with Q15 coefficients.
+#[derive(Debug, Clone)]
+pub struct FirFilter {
+    name: &'static str,
+    uid: ModuleUid,
+    taps: Vec<i32>,
+    delay: VecDeque<i32>,
+    processed: u32,
+}
+
+impl FirFilter {
+    /// Creates a filter from Q15 taps (32768 = 1.0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is empty.
+    pub fn new(name: &'static str, uid: ModuleUid, taps: Vec<i32>) -> Self {
+        assert!(!taps.is_empty(), "fir needs at least one tap");
+        let len = taps.len();
+        FirFilter {
+            name,
+            uid,
+            taps,
+            delay: VecDeque::from(vec![0; len]),
+            processed: 0,
+        }
+    }
+
+    /// "Filter A": a light 5-tap smoother (low power, low precision).
+    pub fn filter_a() -> Self {
+        // Normalized binomial smoother: [1 4 6 4 1]/16 in Q15.
+        FirFilter::new(
+            "fir_a",
+            uids::FIR_A,
+            vec![2_048, 8_192, 12_288, 8_192, 2_048],
+        )
+    }
+
+    /// "Filter B": a sharper 9-tap low-pass (higher precision, more
+    /// resources).
+    pub fn filter_b() -> Self {
+        // Hamming-windowed low-pass, Q15, sums to ~32768.
+        FirFilter::new(
+            "fir_b",
+            uids::FIR_B,
+            vec![-512, 0, 4_096, 9_216, 11_168, 9_216, 4_096, 0, -512],
+        )
+    }
+
+    /// The filter's tap count.
+    pub fn order(&self) -> usize {
+        self.taps.len()
+    }
+
+    /// Designs a low-pass filter by the windowed-sinc method: `taps`
+    /// coefficients, cutoff at `cutoff` (fraction of the sample rate,
+    /// 0 < cutoff < 0.5), Hamming window, normalized to unity DC gain in
+    /// Q15 — the way an application designer would produce a custom
+    /// module for the application flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is 0 or `cutoff` is outside (0, 0.5).
+    pub fn design_low_pass(name: &'static str, uid: ModuleUid, taps: usize, cutoff: f64) -> Self {
+        assert!(taps > 0, "need at least one tap");
+        assert!(
+            cutoff > 0.0 && cutoff < 0.5,
+            "cutoff must be a fraction of fs in (0, 0.5)"
+        );
+        let m = (taps - 1) as f64;
+        let mut coeffs: Vec<f64> = (0..taps)
+            .map(|n| {
+                let x = n as f64 - m / 2.0;
+                let sinc = if x.abs() < 1e-12 {
+                    2.0 * cutoff
+                } else {
+                    (2.0 * std::f64::consts::PI * cutoff * x).sin() / (std::f64::consts::PI * x)
+                };
+                let window =
+                    0.54 - 0.46 * (2.0 * std::f64::consts::PI * n as f64 / m.max(1.0)).cos();
+                sinc * window
+            })
+            .collect();
+        let sum: f64 = coeffs.iter().sum();
+        for c in &mut coeffs {
+            *c /= sum; // unity DC gain
+        }
+        let q15: Vec<i32> = coeffs
+            .iter()
+            .map(|c| (c * 32_768.0).round() as i32)
+            .collect();
+        FirFilter::new(name, uid, q15)
+    }
+}
+
+impl StreamKernel for FirFilter {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn uid(&self) -> ModuleUid {
+        self.uid
+    }
+    fn required_slices(&self) -> u32 {
+        // One MAC per tap plus the delay line.
+        64 + 24 * self.taps.len() as u32
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        self.delay.pop_back();
+        self.delay.push_front(input as i32);
+        let mut acc = 0i64;
+        for (tap, x) in self.taps.iter().zip(&self.delay) {
+            acc += i64::from(*tap) * i64::from(*x);
+        }
+        out.push((acc >> 15) as i32 as u32);
+        self.processed = self.processed.wrapping_add(1);
+    }
+    fn save_state(&self) -> Vec<u32> {
+        self.delay.iter().map(|&v| v as u32).collect()
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        // The delay line carries over; if orders differ, keep the newest
+        // samples and zero-fill the rest (the paper's "new module's
+        // initial operational state must match the replaced module's").
+        let mut delay: VecDeque<i32> = state.iter().map(|&v| v as i32).collect();
+        delay.resize(self.taps.len(), 0);
+        self.delay = delay;
+    }
+    fn reset(&mut self) {
+        self.delay = VecDeque::from(vec![0; self.taps.len()]);
+        self.processed = 0;
+    }
+    fn monitor_word(&self) -> Option<u32> {
+        Some(self.processed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::run_kernel;
+
+    #[test]
+    fn unit_tap_is_identity() {
+        let mut f = FirFilter::new("unit", ModuleUid(0xF0), vec![32_768]);
+        let data: Vec<u32> = [1i32, -5, 100].iter().map(|&v| v as u32).collect();
+        assert_eq!(run_kernel(&mut f, &data), data);
+    }
+
+    #[test]
+    fn dc_gain_of_filter_a_is_unity() {
+        // Feed a DC level; after warm-up the output equals the input
+        // because the taps sum to 32768 (1.0 in Q15).
+        let mut f = FirFilter::filter_a();
+        let out = run_kernel(&mut f, &[1_000u32; 20]);
+        assert_eq!(*out.last().unwrap(), 1_000);
+    }
+
+    #[test]
+    fn filter_b_is_sharper_than_a() {
+        // At fs/4 (period-4 cosine) |H_A| = 0.25 but |H_B| ≈ 0.06: the
+        // 9-tap filter attenuates mid-band content much harder.
+        let pattern = [1_000i32, 0, -1_000, 0];
+        let sig: Vec<u32> = (0..64).map(|i| pattern[i % 4] as u32).collect();
+        let a_out = run_kernel(&mut FirFilter::filter_a(), &sig);
+        let b_out = run_kernel(&mut FirFilter::filter_b(), &sig);
+        let peak = |v: &[u32]| {
+            v.iter()
+                .rev()
+                .take(8)
+                .map(|&w| (w as i32).abs())
+                .max()
+                .unwrap()
+        };
+        let (pa, pb) = (peak(&a_out), peak(&b_out));
+        assert!(pb * 2 < pa, "|B| = {pb} not much below |A| = {pa}");
+    }
+
+    #[test]
+    fn state_handoff_is_seamless() {
+        // Splitting a stream across two instances with state transfer must
+        // equal one continuous instance.
+        let data: Vec<u32> = (0..50u32).map(|i| i * 37 % 211).collect();
+        let mut whole = FirFilter::filter_a();
+        let expect = run_kernel(&mut whole, &data);
+
+        let mut first = FirFilter::filter_a();
+        let mut out = run_kernel(&mut first, &data[..25]);
+        let mut second = FirFilter::filter_a();
+        second.restore_state(&first.save_state());
+        out.extend(run_kernel(&mut second, &data[25..]));
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn cross_order_state_restore_zero_fills() {
+        let mut a = FirFilter::filter_a();
+        run_kernel(&mut a, &[1, 2, 3]);
+        let mut b = FirFilter::filter_b();
+        b.restore_state(&a.save_state());
+        assert_eq!(b.save_state().len(), b.order());
+    }
+
+    #[test]
+    fn monitor_counts_samples() {
+        let mut f = FirFilter::filter_a();
+        run_kernel(&mut f, &[1, 2, 3, 4]);
+        assert_eq!(f.monitor_word(), Some(4));
+        f.reset();
+        assert_eq!(f.monitor_word(), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tap")]
+    fn empty_taps_panic() {
+        let _ = FirFilter::new("x", ModuleUid(1), Vec::new());
+    }
+
+    #[test]
+    fn designed_filter_has_unity_dc_gain() {
+        let mut f = FirFilter::design_low_pass("lp", ModuleUid(0xD1), 21, 0.1);
+        let out = run_kernel(&mut f, &vec![5_000u32; 60]);
+        let settled = *out.last().unwrap() as i32;
+        assert!((settled - 5_000).abs() <= 2, "DC settled at {settled}");
+    }
+
+    #[test]
+    fn designed_filter_attenuates_above_cutoff() {
+        // Cutoff at fs/10; probe with a period-4 (fs/4) tone: well into
+        // the stopband of a 31-tap design.
+        let mut f = FirFilter::design_low_pass("lp", ModuleUid(0xD2), 31, 0.1);
+        let pattern = [10_000i32, 0, -10_000, 0];
+        let sig: Vec<u32> = (0..200).map(|i| pattern[i % 4] as u32).collect();
+        let out = run_kernel(&mut f, &sig);
+        let tail_peak = out
+            .iter()
+            .rev()
+            .take(8)
+            .map(|&w| (w as i32).abs())
+            .max()
+            .unwrap();
+        assert!(tail_peak < 300, "stopband leak {tail_peak}");
+    }
+
+    #[test]
+    fn sharper_design_attenuates_more() {
+        let pattern = [10_000i32, 0, -10_000, 0];
+        let sig: Vec<u32> = (0..200).map(|i| pattern[i % 4] as u32).collect();
+        let peak = |taps: usize| {
+            let mut f = FirFilter::design_low_pass("lp", ModuleUid(0xD3), taps, 0.1);
+            let out = run_kernel(&mut f, &sig);
+            out.iter().rev().take(8).map(|&w| (w as i32).abs()).max().unwrap()
+        };
+        assert!(peak(41) <= peak(11), "more taps must not leak more");
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn design_rejects_bad_cutoff() {
+        let _ = FirFilter::design_low_pass("x", ModuleUid(1), 11, 0.75);
+    }
+}

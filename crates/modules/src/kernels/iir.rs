@@ -1,0 +1,138 @@
+//! An IIR biquad — a kernel with *internal feedback state*, the hardest
+//! case for the switching methodology's state transfer.
+
+use crate::kernel::StreamKernel;
+use crate::uids;
+use vapres_core::ModuleUid;
+
+/// Direct-form-I biquad with Q14 coefficients:
+/// `y[n] = (b0 x[n] + b1 x[n-1] + b2 x[n-2] - a1 y[n-1] - a2 y[n-2]) >> 14`.
+#[derive(Debug, Clone)]
+pub struct IirBiquad {
+    b: [i32; 3],
+    a: [i32; 2],
+    x: [i32; 2],
+    y: [i32; 2],
+}
+
+impl IirBiquad {
+    /// Creates a biquad from Q14 coefficients (16384 = 1.0).
+    pub fn new(b: [i32; 3], a: [i32; 2]) -> Self {
+        IirBiquad {
+            b,
+            a,
+            x: [0; 2],
+            y: [0; 2],
+        }
+    }
+
+    /// A gentle one-pole-style low-pass (cutoff ≈ fs/10).
+    pub fn low_pass() -> Self {
+        // b = [0.067, 0.135, 0.067], a = [-1.143, 0.413] in Q14.
+        IirBiquad::new([1_102, 2_204, 1_102], [-18_727, 6_762])
+    }
+}
+
+impl StreamKernel for IirBiquad {
+    fn name(&self) -> &'static str {
+        "iir_biquad"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::IIR_BIQUAD
+    }
+    fn required_slices(&self) -> u32 {
+        260
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        let xn = input as i32;
+        let acc = i64::from(self.b[0]) * i64::from(xn)
+            + i64::from(self.b[1]) * i64::from(self.x[0])
+            + i64::from(self.b[2]) * i64::from(self.x[1])
+            - i64::from(self.a[0]) * i64::from(self.y[0])
+            - i64::from(self.a[1]) * i64::from(self.y[1]);
+        let yn = (acc >> 14) as i32;
+        self.x = [xn, self.x[0]];
+        self.y = [yn, self.y[0]];
+        out.push(yn as u32);
+    }
+    fn save_state(&self) -> Vec<u32> {
+        vec![
+            self.x[0] as u32,
+            self.x[1] as u32,
+            self.y[0] as u32,
+            self.y[1] as u32,
+        ]
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        if state.len() >= 4 {
+            self.x = [state[0] as i32, state[1] as i32];
+            self.y = [state[2] as i32, state[3] as i32];
+        }
+    }
+    fn reset(&mut self) {
+        self.x = [0; 2];
+        self.y = [0; 2];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::run_kernel;
+
+    #[test]
+    fn dc_settles_near_unity() {
+        let mut f = IirBiquad::low_pass();
+        let out = run_kernel(&mut f, &vec![10_000u32; 400]);
+        let settled = *out.last().unwrap() as i32;
+        // DC gain = sum(b)/ (1 + sum(a)) ≈ 1.0; allow fixed-point error.
+        assert!((settled - 10_000).abs() < 600, "settled at {settled}");
+    }
+
+    #[test]
+    fn attenuates_nyquist() {
+        let sig: Vec<u32> = (0..200)
+            .map(|i| if i % 2 == 0 { 10_000i32 } else { -10_000 } as u32)
+            .collect();
+        let out = run_kernel(&mut IirBiquad::low_pass(), &sig);
+        let tail_peak = out
+            .iter()
+            .rev()
+            .take(10)
+            .map(|&w| (w as i32).abs())
+            .max()
+            .unwrap();
+        assert!(tail_peak < 2_000, "tail peak {tail_peak}");
+    }
+
+    #[test]
+    fn state_handoff_is_seamless() {
+        let data: Vec<u32> = (0..100u32).map(|i| (i * 119) % 4_001).collect();
+        let mut whole = IirBiquad::low_pass();
+        let expect = run_kernel(&mut whole, &data);
+
+        let mut first = IirBiquad::low_pass();
+        let mut out = run_kernel(&mut first, &data[..57]);
+        let mut second = IirBiquad::low_pass();
+        second.restore_state(&first.save_state());
+        out.extend(run_kernel(&mut second, &data[57..]));
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn reset_zeroes_state() {
+        let mut f = IirBiquad::low_pass();
+        run_kernel(&mut f, &[123, 456]);
+        f.reset();
+        assert_eq!(f.save_state(), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn short_state_vector_ignored() {
+        let mut f = IirBiquad::low_pass();
+        run_kernel(&mut f, &[7]);
+        let snapshot = f.save_state();
+        f.restore_state(&[1]); // too short: ignored
+        assert_eq!(f.save_state(), snapshot);
+    }
+}

@@ -1,0 +1,20 @@
+//! The standard kernel library.
+
+mod basic;
+mod codec;
+mod dwt;
+mod fir;
+mod iir;
+mod nco;
+mod nonlinear;
+
+pub use basic::{
+    Decimator, DeltaDecoder, DeltaEncoder, MovingAverage, Passthrough, Scaler, Threshold,
+    Upsampler,
+};
+pub use codec::{RleDecoder, RleEncoder, MAX_RUN};
+pub use dwt::HaarDwt;
+pub use nco::Nco;
+pub use nonlinear::{AbsVal, Clip, PeakHold};
+pub use fir::FirFilter;
+pub use iir::IirBiquad;

@@ -1,0 +1,195 @@
+//! Nonlinear elements: clipping, rectification, peak tracking.
+
+use crate::kernel::StreamKernel;
+use crate::uids;
+use vapres_core::ModuleUid;
+
+/// Clamps samples into `[lo, hi]` (signed).
+#[derive(Debug, Clone)]
+pub struct Clip {
+    lo: i32,
+    hi: i32,
+    clipped: u32,
+}
+
+impl Clip {
+    /// A clipper over the inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(lo: i32, hi: i32) -> Self {
+        assert!(lo <= hi, "clip range inverted");
+        Clip { lo, hi, clipped: 0 }
+    }
+}
+
+impl StreamKernel for Clip {
+    fn name(&self) -> &'static str {
+        "clip"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::CLIP
+    }
+    fn required_slices(&self) -> u32 {
+        70
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        let x = input as i32;
+        let y = x.clamp(self.lo, self.hi);
+        if y != x {
+            self.clipped += 1;
+        }
+        out.push(y as u32);
+    }
+    fn save_state(&self) -> Vec<u32> {
+        vec![self.clipped]
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        self.clipped = state.first().copied().unwrap_or(0);
+    }
+    fn reset(&mut self) {
+        self.clipped = 0;
+    }
+    fn monitor_word(&self) -> Option<u32> {
+        Some(self.clipped)
+    }
+}
+
+/// Full-wave rectifier: `|x|` (saturating at `i32::MAX`).
+#[derive(Debug, Clone, Default)]
+pub struct AbsVal;
+
+impl AbsVal {
+    /// A rectifier.
+    pub fn new() -> Self {
+        AbsVal
+    }
+}
+
+impl StreamKernel for AbsVal {
+    fn name(&self) -> &'static str {
+        "absval"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::ABSVAL
+    }
+    fn required_slices(&self) -> u32 {
+        36
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        out.push((input as i32).saturating_abs() as u32);
+    }
+    fn save_state(&self) -> Vec<u32> {
+        Vec::new()
+    }
+    fn restore_state(&mut self, _state: &[u32]) {}
+    fn reset(&mut self) {}
+}
+
+/// Decaying peak tracker: `p = max(|x|, p - p/decay)` — the envelope
+/// detector a monitoring application would hang off a filter chain.
+#[derive(Debug, Clone)]
+pub struct PeakHold {
+    decay_shift: u32,
+    peak: i32,
+}
+
+impl PeakHold {
+    /// A tracker whose peak decays by `peak >> decay_shift` per sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `decay_shift` is 0 or above 31.
+    pub fn new(decay_shift: u32) -> Self {
+        assert!((1..32).contains(&decay_shift), "decay shift out of range");
+        PeakHold {
+            decay_shift,
+            peak: 0,
+        }
+    }
+}
+
+impl StreamKernel for PeakHold {
+    fn name(&self) -> &'static str {
+        "peak_hold"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::PEAK_HOLD
+    }
+    fn required_slices(&self) -> u32 {
+        85
+    }
+    fn process(&mut self, input: u32, out: &mut Vec<u32>) {
+        let mag = (input as i32).saturating_abs();
+        self.peak = mag.max(self.peak - (self.peak >> self.decay_shift));
+        out.push(self.peak as u32);
+    }
+    fn save_state(&self) -> Vec<u32> {
+        vec![self.peak as u32]
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        self.peak = state.first().copied().unwrap_or(0) as i32;
+    }
+    fn reset(&mut self) {
+        self.peak = 0;
+    }
+    fn monitor_word(&self) -> Option<u32> {
+        Some(self.peak as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::run_kernel;
+
+    #[test]
+    fn clip_clamps_and_counts() {
+        let mut c = Clip::new(-10, 10);
+        let data: Vec<u32> = [5i32, 20, -30, 10].iter().map(|&v| v as u32).collect();
+        let out = run_kernel(&mut c, &data);
+        let want: Vec<u32> = [5i32, 10, -10, 10].iter().map(|&v| v as u32).collect();
+        assert_eq!(out, want);
+        assert_eq!(c.monitor_word(), Some(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "range inverted")]
+    fn clip_rejects_inverted_range() {
+        let _ = Clip::new(5, -5);
+    }
+
+    #[test]
+    fn absval_rectifies() {
+        let data: Vec<u32> = [-3i32, 3, i32::MIN].iter().map(|&v| v as u32).collect();
+        let out = run_kernel(&mut AbsVal::new(), &data);
+        assert_eq!(out, vec![3, 3, i32::MAX as u32]);
+    }
+
+    #[test]
+    fn peak_hold_tracks_and_decays() {
+        let mut p = PeakHold::new(2); // decay 25% per sample
+        let out = run_kernel(&mut p, &[100, 0, 0, 0]);
+        assert_eq!(out[0], 100);
+        assert!(out[1] < out[0]);
+        assert!(out[3] < out[1]);
+        // State carries the envelope.
+        assert_eq!(p.save_state(), vec![*out.last().unwrap()]);
+    }
+
+    #[test]
+    fn peak_hold_state_roundtrip() {
+        let mut a = PeakHold::new(3);
+        run_kernel(&mut a, &[500]);
+        let mut b = PeakHold::new(3);
+        b.restore_state(&a.save_state());
+        assert_eq!(run_kernel(&mut a, &[0]), run_kernel(&mut b, &[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "decay shift")]
+    fn peak_hold_rejects_zero_shift() {
+        let _ = PeakHold::new(0);
+    }
+}

@@ -1,0 +1,152 @@
+//! # vapres-modules
+//!
+//! Hardware module library for the VAPRES reproduction: a set of
+//! stream-processing kernels (filters, codecs, rate changers — the kinds
+//! of modules the paper's reconfigurable stream processing systems swap
+//! at runtime), plus the module wrapper binding them to VAPRES ports.
+//!
+//! * [`kernel`] — the [`kernel::StreamKernel`] trait and the
+//!   [`kernel::run_kernel`] golden-model runner;
+//! * [`kernels`] — the standard library: [`kernels::FirFilter`] (the
+//!   paper's filter A/B pair), [`kernels::IirBiquad`],
+//!   [`kernels::HaarDwt`], decimators, delta codecs, and more;
+//! * [`adapter`] — [`adapter::StreamModuleAdapter`], the module wrapper
+//!   implementing the switching methodology's FSL handshake;
+//! * [`uids`] — stable bitstream UIDs for every standard module.
+//!
+//! # Examples
+//!
+//! Register the standard library and load the paper's filter A:
+//!
+//! ```
+//! use vapres_core::config::SystemConfig;
+//! use vapres_core::module::ModuleLibrary;
+//! use vapres_core::system::VapresSystem;
+//! use vapres_modules::{register_standard_modules, uids};
+//!
+//! let mut lib = ModuleLibrary::new();
+//! register_standard_modules(&mut lib, 256);
+//! let mut sys = VapresSystem::new(SystemConfig::prototype(), lib)?;
+//! sys.install_bitstream(0, uids::FIR_A, "fir_a.bit")?;
+//! sys.vapres_cf2icap("fir_a.bit")?;
+//! assert_eq!(sys.prr_module_name(0), Some("fir_a"));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod adapter;
+pub mod kernel;
+pub mod kernels;
+pub mod multiport;
+pub mod uids;
+
+pub use adapter::StreamModuleAdapter;
+pub use kernel::{run_kernel, StreamKernel};
+pub use multiport::{Broadcast, Combine, CombineOp};
+
+use vapres_core::module::ModuleLibrary;
+
+/// Registers every standard kernel under its [`uids`] UID, each wrapped in
+/// a [`StreamModuleAdapter`] reporting monitor words every
+/// `monitor_period` samples (0 disables monitoring).
+pub fn register_standard_modules(lib: &mut ModuleLibrary, monitor_period: u64) {
+    use kernels::*;
+    lib.register(uids::PASSTHROUGH, move || {
+        Box::new(StreamModuleAdapter::new(Passthrough::new(), monitor_period))
+    });
+    lib.register(uids::SCALER, move || {
+        Box::new(StreamModuleAdapter::new(Scaler::new(256), monitor_period))
+    });
+    lib.register(uids::THRESHOLD, move || {
+        Box::new(StreamModuleAdapter::new(Threshold::new(1_000), monitor_period))
+    });
+    lib.register(uids::DECIMATOR, move || {
+        Box::new(StreamModuleAdapter::new(Decimator::new(2), monitor_period))
+    });
+    lib.register(uids::UPSAMPLER, move || {
+        Box::new(StreamModuleAdapter::new(Upsampler::new(2), monitor_period))
+    });
+    lib.register(uids::DELTA_ENCODER, move || {
+        Box::new(StreamModuleAdapter::new(DeltaEncoder::new(), monitor_period))
+    });
+    lib.register(uids::DELTA_DECODER, move || {
+        Box::new(StreamModuleAdapter::new(DeltaDecoder::new(), monitor_period))
+    });
+    lib.register(uids::MOVING_AVERAGE, move || {
+        Box::new(StreamModuleAdapter::new(MovingAverage::new(8), monitor_period))
+    });
+    lib.register(uids::FIR_A, move || {
+        Box::new(StreamModuleAdapter::new(FirFilter::filter_a(), monitor_period))
+    });
+    lib.register(uids::FIR_B, move || {
+        Box::new(StreamModuleAdapter::new(FirFilter::filter_b(), monitor_period))
+    });
+    lib.register(uids::IIR_BIQUAD, move || {
+        Box::new(StreamModuleAdapter::new(IirBiquad::low_pass(), monitor_period))
+    });
+    lib.register(uids::HAAR_DWT, move || {
+        Box::new(StreamModuleAdapter::new(HaarDwt::new(), monitor_period))
+    });
+    lib.register(uids::RLE_ENCODER, move || {
+        Box::new(StreamModuleAdapter::new(RleEncoder::new(), monitor_period))
+    });
+    lib.register(uids::RLE_DECODER, move || {
+        Box::new(StreamModuleAdapter::new(RleDecoder::new(), monitor_period))
+    });
+    lib.register(uids::CLIP, move || {
+        Box::new(StreamModuleAdapter::new(Clip::new(-20_000, 20_000), monitor_period))
+    });
+    lib.register(uids::ABSVAL, move || {
+        Box::new(StreamModuleAdapter::new(AbsVal::new(), monitor_period))
+    });
+    lib.register(uids::PEAK_HOLD, move || {
+        Box::new(StreamModuleAdapter::new(PeakHold::new(4), monitor_period))
+    });
+    lib.register(uids::NCO_MIXER, move || {
+        Box::new(StreamModuleAdapter::new(Nco::at_fraction(0.1), monitor_period))
+    });
+}
+
+/// Registers the multi-port modules (fan-out / fan-in) under their
+/// [`uids`] UIDs. These need fabric nodes with `ki`/`ko` ≥ 2.
+pub fn register_multiport_modules(lib: &mut ModuleLibrary) {
+    lib.register(uids::BROADCAST2, || Box::new(Broadcast::new(2)));
+    lib.register(uids::COMBINE_ADD, || Box::new(Combine::new(CombineOp::Add)));
+    lib.register(uids::COMBINE_SUB, || Box::new(Combine::new(CombineOp::Sub)));
+    lib.register(uids::COMBINE_MAX, || Box::new(Combine::new(CombineOp::Max)));
+    lib.register(uids::COMBINE_MIN, || Box::new(Combine::new(CombineOp::Min)));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_library_registers_all_uids() {
+        let mut lib = ModuleLibrary::new();
+        register_standard_modules(&mut lib, 0);
+        assert_eq!(lib.len(), 18);
+        for uid in [
+            uids::PASSTHROUGH,
+            uids::SCALER,
+            uids::THRESHOLD,
+            uids::DECIMATOR,
+            uids::UPSAMPLER,
+            uids::DELTA_ENCODER,
+            uids::DELTA_DECODER,
+            uids::MOVING_AVERAGE,
+            uids::FIR_A,
+            uids::FIR_B,
+            uids::IIR_BIQUAD,
+            uids::HAAR_DWT,
+            uids::RLE_ENCODER,
+            uids::RLE_DECODER,
+            uids::CLIP,
+            uids::ABSVAL,
+            uids::PEAK_HOLD,
+            uids::NCO_MIXER,
+        ] {
+            let m = lib.instantiate(uid).expect("registered");
+            assert_eq!(m.uid(), uid, "factory for {uid} builds wrong module");
+        }
+    }
+}

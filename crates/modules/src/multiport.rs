@@ -1,0 +1,255 @@
+//! Multi-port hardware modules: stream fan-out and fan-in.
+//!
+//! The paper's Fig. 4 KPN is a general graph, not a chain; its module
+//! interfaces support `ki` input and `ko` output ports per node. These
+//! modules use more than one port: [`Broadcast`] duplicates a stream to
+//! several consumers, [`Combine`] zips two streams through a binary
+//! operator (the KPN join: it blocks until *both* inputs have a word).
+
+use crate::uids;
+use vapres_core::module::{control, HardwareModule, ModuleIo};
+use vapres_core::{ModuleUid, Word};
+
+/// Duplicates input port 0 onto output ports `0..fanout`.
+///
+/// A word is consumed only when **every** output FIFO has space, so no
+/// branch ever observes a missing word (deterministic KPN fan-out).
+#[derive(Debug, Clone)]
+pub struct Broadcast {
+    fanout: usize,
+    finish_requested: bool,
+    finished: bool,
+}
+
+impl Broadcast {
+    /// A broadcaster with the given fan-out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fanout` is zero.
+    pub fn new(fanout: usize) -> Self {
+        assert!(fanout > 0, "fanout must be non-zero");
+        Broadcast {
+            fanout,
+            finish_requested: false,
+            finished: false,
+        }
+    }
+}
+
+impl HardwareModule for Broadcast {
+    fn name(&self) -> &str {
+        "broadcast"
+    }
+    fn uid(&self) -> ModuleUid {
+        uids::BROADCAST2
+    }
+    fn required_slices(&self) -> u32 {
+        40 + 20 * self.fanout as u32
+    }
+    fn tick(&mut self, io: &mut ModuleIo<'_>) {
+        if let Some(w) = io.fsl_recv() {
+            if w == control::CMD_FINISH {
+                self.finish_requested = true;
+            }
+        }
+        if self.finished {
+            return;
+        }
+        let all_have_space = (0..self.fanout).all(|p| io.output_space(p) > 0);
+        if !all_have_space {
+            return;
+        }
+        if let Some(word) = io.read_input(0) {
+            for p in 0..self.fanout {
+                io.write_output(p, word);
+            }
+        } else if self.finish_requested && io.input_len(0) == 0 {
+            for p in 0..self.fanout {
+                io.write_output(p, Word::end_of_stream());
+            }
+            io.fsl_send(control::MSG_STATE_HEADER);
+            io.fsl_send(0);
+            self.finished = true;
+        }
+    }
+    fn save_state(&self) -> Vec<u32> {
+        Vec::new()
+    }
+    fn restore_state(&mut self, _state: &[u32]) {}
+    fn reset(&mut self) {
+        self.finish_requested = false;
+        self.finished = false;
+    }
+}
+
+/// The binary operator of a [`Combine`] node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineOp {
+    /// Wrapping signed addition.
+    Add,
+    /// Wrapping signed subtraction (port 0 − port 1).
+    Sub,
+    /// Signed maximum.
+    Max,
+    /// Signed minimum.
+    Min,
+}
+
+impl CombineOp {
+    /// Applies the operator.
+    pub fn apply(self, a: u32, b: u32) -> u32 {
+        let (x, y) = (a as i32, b as i32);
+        match self {
+            CombineOp::Add => x.wrapping_add(y) as u32,
+            CombineOp::Sub => x.wrapping_sub(y) as u32,
+            CombineOp::Max => x.max(y) as u32,
+            CombineOp::Min => x.min(y) as u32,
+        }
+    }
+}
+
+/// Zips input ports 0 and 1 through a binary operator onto output port 0.
+///
+/// Blocking-reads both inputs: a word is consumed from each only when
+/// both are non-empty and the output has space — Kahn join semantics.
+/// End-of-stream is forwarded once both inputs have delivered it.
+#[derive(Debug, Clone)]
+pub struct Combine {
+    op: CombineOp,
+    eos: [bool; 2],
+    pairs: u32,
+}
+
+impl Combine {
+    /// A combiner with the given operator.
+    pub fn new(op: CombineOp) -> Self {
+        Combine {
+            op,
+            eos: [false; 2],
+            pairs: 0,
+        }
+    }
+
+    /// The configured operator.
+    pub fn op(&self) -> CombineOp {
+        self.op
+    }
+}
+
+impl HardwareModule for Combine {
+    fn name(&self) -> &str {
+        match self.op {
+            CombineOp::Add => "combine_add",
+            CombineOp::Sub => "combine_sub",
+            CombineOp::Max => "combine_max",
+            CombineOp::Min => "combine_min",
+        }
+    }
+    fn uid(&self) -> ModuleUid {
+        match self.op {
+            CombineOp::Add => uids::COMBINE_ADD,
+            CombineOp::Sub => uids::COMBINE_SUB,
+            CombineOp::Max => uids::COMBINE_MAX,
+            CombineOp::Min => uids::COMBINE_MIN,
+        }
+    }
+    fn required_slices(&self) -> u32 {
+        110
+    }
+    fn tick(&mut self, io: &mut ModuleIo<'_>) {
+        // Forward EOS once both inputs ended.
+        if self.eos == [true, true] {
+            if io.output_space(0) > 0 && io.write_output(0, Word::end_of_stream()) {
+                self.eos = [false; 2];
+            }
+            return;
+        }
+        if io.output_space(0) == 0 {
+            return;
+        }
+        // Peek-style: only consume when both inputs can fire. The
+        // interface FIFO has no peek from the module side, so check
+        // occupancy first (words cannot disappear between checks — only
+        // this module pops them).
+        if io.input_len(0) == 0 || io.input_len(1) == 0 {
+            return;
+        }
+        let a = io.read_input(0).expect("occupancy checked");
+        let b = io.read_input(1).expect("occupancy checked");
+        match (a.end_of_stream, b.end_of_stream) {
+            (false, false) => {
+                io.write_output(0, Word::data(self.op.apply(a.data, b.data)));
+                self.pairs = self.pairs.wrapping_add(1);
+            }
+            (true, true) => {
+                self.eos = [true, true];
+            }
+            // Unbalanced EOS: remember which side ended; the pending data
+            // word of the other side is dropped with the stream (the
+            // stream contract is pairwise).
+            (true, false) => self.eos[0] = true,
+            (false, true) => self.eos[1] = true,
+        }
+    }
+    fn save_state(&self) -> Vec<u32> {
+        vec![self.pairs]
+    }
+    fn restore_state(&mut self, state: &[u32]) {
+        self.pairs = state.first().copied().unwrap_or(0);
+    }
+    fn reset(&mut self) {
+        self.eos = [false; 2];
+        self.pairs = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combine_ops_apply() {
+        assert_eq!(CombineOp::Add.apply(2, 3), 5);
+        assert_eq!(CombineOp::Sub.apply(2, 3), (-1i32) as u32);
+        assert_eq!(CombineOp::Max.apply((-5i32) as u32, 3), 3);
+        assert_eq!(CombineOp::Min.apply((-5i32) as u32, 3), (-5i32) as u32);
+        // Wrapping behaviour.
+        assert_eq!(CombineOp::Add.apply(i32::MAX as u32, 1), i32::MIN as u32);
+    }
+
+    #[test]
+    fn combine_names_and_uids_distinct() {
+        let all = [CombineOp::Add, CombineOp::Sub, CombineOp::Max, CombineOp::Min];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(Combine::new(*a).uid(), Combine::new(*b).uid());
+                assert_ne!(Combine::new(*a).name(), Combine::new(*b).name());
+            }
+        }
+    }
+
+    #[test]
+    fn combine_state_roundtrip() {
+        let mut c = Combine::new(CombineOp::Add);
+        c.pairs = 17;
+        let s = c.save_state();
+        c.reset();
+        assert_eq!(c.save_state(), vec![0]);
+        c.restore_state(&s);
+        assert_eq!(c.save_state(), vec![17]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_fanout_panics() {
+        let _ = Broadcast::new(0);
+    }
+
+    #[test]
+    fn broadcast_metadata() {
+        let b = Broadcast::new(2);
+        assert_eq!(b.name(), "broadcast");
+        assert!(b.required_slices() > Broadcast::new(1).required_slices());
+    }
+}

@@ -1,0 +1,53 @@
+//! Stable module UIDs for the standard kernel library.
+//!
+//! A UID identifies one "synthesized netlist": the partial bitstream
+//! generator embeds it and the module library instantiates by it.
+
+use vapres_core::ModuleUid;
+
+/// The identity wire.
+pub const PASSTHROUGH: ModuleUid = ModuleUid(0x0001_0010);
+/// Q8 gain stage.
+pub const SCALER: ModuleUid = ModuleUid(0x0001_0011);
+/// Magnitude event detector.
+pub const THRESHOLD: ModuleUid = ModuleUid(0x0001_0012);
+/// N:1 decimator.
+pub const DECIMATOR: ModuleUid = ModuleUid(0x0001_0013);
+/// 1:N zero-order-hold upsampler.
+pub const UPSAMPLER: ModuleUid = ModuleUid(0x0001_0014);
+/// Delta encoder.
+pub const DELTA_ENCODER: ModuleUid = ModuleUid(0x0001_0015);
+/// Delta decoder.
+pub const DELTA_DECODER: ModuleUid = ModuleUid(0x0001_0016);
+/// Sliding-window mean.
+pub const MOVING_AVERAGE: ModuleUid = ModuleUid(0x0001_0017);
+/// 5-tap FIR smoother ("filter A" of the paper's Fig. 5).
+pub const FIR_A: ModuleUid = ModuleUid(0x0001_0020);
+/// 9-tap FIR low-pass ("filter B").
+pub const FIR_B: ModuleUid = ModuleUid(0x0001_0021);
+/// Direct-form-I biquad.
+pub const IIR_BIQUAD: ModuleUid = ModuleUid(0x0001_0022);
+/// One Haar wavelet level.
+pub const HAAR_DWT: ModuleUid = ModuleUid(0x0001_0023);
+/// Two-way stream broadcaster (multi-port).
+pub const BROADCAST2: ModuleUid = ModuleUid(0x0001_0030);
+/// Zip-add combiner (multi-port).
+pub const COMBINE_ADD: ModuleUid = ModuleUid(0x0001_0031);
+/// Zip-subtract combiner (multi-port).
+pub const COMBINE_SUB: ModuleUid = ModuleUid(0x0001_0032);
+/// Zip-max combiner (multi-port).
+pub const COMBINE_MAX: ModuleUid = ModuleUid(0x0001_0033);
+/// Zip-min combiner (multi-port).
+pub const COMBINE_MIN: ModuleUid = ModuleUid(0x0001_0034);
+/// Run-length encoder.
+pub const RLE_ENCODER: ModuleUid = ModuleUid(0x0001_0040);
+/// Run-length decoder.
+pub const RLE_DECODER: ModuleUid = ModuleUid(0x0001_0041);
+/// Range clipper.
+pub const CLIP: ModuleUid = ModuleUid(0x0001_0042);
+/// Full-wave rectifier.
+pub const ABSVAL: ModuleUid = ModuleUid(0x0001_0043);
+/// Decaying peak tracker.
+pub const PEAK_HOLD: ModuleUid = ModuleUid(0x0001_0044);
+/// Numerically controlled oscillator / mixer.
+pub const NCO_MIXER: ModuleUid = ModuleUid(0x0001_0045);

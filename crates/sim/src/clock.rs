@@ -1,0 +1,453 @@
+//! Multi-clock-domain scheduler.
+//!
+//! VAPRES runs its static region and every PRR in an independent *local
+//! clock domain* (LCD). The [`ClockScheduler`] owns all domains and hands
+//! back rising edges in global time order; the system model dispatches each
+//! edge to the components clocked by that domain.
+//!
+//! Determinism: simultaneous edges are delivered in ascending
+//! [`DomainId`] order (i.e. registration order), so a run is a pure
+//! function of the inputs.
+
+use crate::time::{Freq, Ps};
+use std::collections::BinaryHeap;
+use std::{cmp, fmt};
+
+/// Identifies a clock domain within one [`ClockScheduler`].
+///
+/// Ids are dense, starting at 0, in registration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId(pub usize);
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "clk{}", self.0)
+    }
+}
+
+/// A rising clock edge delivered by [`ClockScheduler::next_edge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// The domain that ticked.
+    pub domain: DomainId,
+    /// Absolute time of the edge.
+    pub at: Ps,
+    /// The domain's cycle counter *after* this edge (first edge is cycle 1).
+    pub cycle: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Domain {
+    freq: Freq,
+    enabled: bool,
+    /// Time of the next rising edge if enabled.
+    next_edge: Ps,
+    cycles: u64,
+}
+
+/// Entry in the edge heap. Reversed ordering turns `BinaryHeap` (max-heap)
+/// into a min-heap on `(time, domain)`.
+#[derive(Debug, PartialEq, Eq)]
+struct HeapEntry {
+    at: Ps,
+    domain: DomainId,
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> cmp::Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.domain.cmp(&self.domain))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Owns every clock domain of a simulated system and produces rising edges
+/// in deterministic global order.
+///
+/// Frequencies can change at runtime (the BUFGMUX/`CLK_sel` path of a
+/// PRSocket) and domains can be gated on/off (`CLK_en`). A frequency change
+/// or re-enable re-aligns the domain's next edge to one full *new* period
+/// after the current time — matching a glitch-free clock mux that completes
+/// the switch before the next edge.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_sim::clock::ClockScheduler;
+/// use vapres_sim::time::{Freq, Ps};
+///
+/// let mut clocks = ClockScheduler::new();
+/// let fast = clocks.add_domain(Freq::mhz(100));
+/// let slow = clocks.add_domain(Freq::mhz(50));
+///
+/// let e1 = clocks.next_edge().expect("an edge");
+/// assert_eq!(e1.domain, fast);
+/// assert_eq!(e1.at, Ps::from_ns(10));
+///
+/// let e2 = clocks.next_edge().expect("an edge");
+/// // 20 ns: both domains tick; the earlier-registered one is delivered first.
+/// assert_eq!(e2.domain, fast);
+/// let e3 = clocks.next_edge().expect("an edge");
+/// assert_eq!((e3.domain, e3.at), (slow, Ps::from_ns(20)));
+/// ```
+#[derive(Debug, Default)]
+pub struct ClockScheduler {
+    domains: Vec<Domain>,
+    heap: BinaryHeap<HeapEntry>,
+    now: Ps,
+}
+
+impl ClockScheduler {
+    /// Creates an empty scheduler at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new always-enabled clock domain.
+    pub fn add_domain(&mut self, freq: Freq) -> DomainId {
+        let id = DomainId(self.domains.len());
+        let next = self.now + freq.period();
+        self.domains.push(Domain {
+            freq,
+            enabled: true,
+            next_edge: next,
+            cycles: 0,
+        });
+        self.heap.push(HeapEntry {
+            at: next,
+            domain: id,
+        });
+        id
+    }
+
+    /// Current simulation time (the time of the last delivered edge).
+    pub fn now(&self) -> Ps {
+        self.now
+    }
+
+    /// Number of registered domains.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// Whether no domains are registered.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Returns the configured frequency of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a domain of this scheduler.
+    pub fn frequency(&self, id: DomainId) -> Freq {
+        self.domains[id.0].freq
+    }
+
+    /// Returns how many rising edges `id` has delivered so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a domain of this scheduler.
+    pub fn cycles(&self, id: DomainId) -> u64 {
+        self.domains[id.0].cycles
+    }
+
+    /// Returns whether the domain is currently enabled (not clock-gated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a domain of this scheduler.
+    pub fn is_enabled(&self, id: DomainId) -> bool {
+        self.domains[id.0].enabled
+    }
+
+    /// Changes the frequency of a domain at the current time.
+    ///
+    /// The next edge of the domain occurs one full new period after `now`,
+    /// modelling a glitch-free BUFGMUX switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a domain of this scheduler.
+    pub fn set_frequency(&mut self, id: DomainId, freq: Freq) {
+        let dom = &mut self.domains[id.0];
+        dom.freq = freq;
+        if dom.enabled {
+            dom.next_edge = self.now + freq.period();
+            self.heap.push(HeapEntry {
+                at: dom.next_edge,
+                domain: id,
+            });
+        }
+    }
+
+    /// Gates a domain on or off.
+    ///
+    /// Disabling stops future edges; re-enabling schedules the next edge one
+    /// full period after the current time. Enabling an enabled domain or
+    /// disabling a disabled one is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a domain of this scheduler.
+    pub fn set_enabled(&mut self, id: DomainId, enabled: bool) {
+        let dom = &mut self.domains[id.0];
+        if dom.enabled == enabled {
+            return;
+        }
+        dom.enabled = enabled;
+        if enabled {
+            dom.next_edge = self.now + dom.freq.period();
+            self.heap.push(HeapEntry {
+                at: dom.next_edge,
+                domain: id,
+            });
+        }
+    }
+
+    /// Delivers the next rising edge in global time order, advancing `now`.
+    ///
+    /// Returns `None` when no domain is enabled (or none are registered).
+    pub fn next_edge(&mut self) -> Option<Edge> {
+        loop {
+            let entry = self.heap.pop()?;
+            let dom = &mut self.domains[entry.domain.0];
+            // Stale entries arise when a domain was re-scheduled (frequency
+            // change, gating) after this entry was pushed; skip them.
+            if !dom.enabled || dom.next_edge != entry.at {
+                continue;
+            }
+            self.now = entry.at;
+            dom.cycles += 1;
+            let cycle = dom.cycles;
+            dom.next_edge = entry.at + dom.freq.period();
+            let next = dom.next_edge;
+            self.heap.push(HeapEntry {
+                at: next,
+                domain: entry.domain,
+            });
+            return Some(Edge {
+                domain: entry.domain,
+                at: entry.at,
+                cycle,
+            });
+        }
+    }
+
+    /// Advances time to `deadline` without delivering edges, updating every
+    /// enabled domain's cycle counter and next-edge time exactly as if the
+    /// edges had been delivered.
+    ///
+    /// Callers use this to skip over intervals they know to be quiescent
+    /// (no component would do anything on a tick). Does nothing if
+    /// `deadline` is in the past.
+    pub fn fast_forward(&mut self, deadline: Ps) {
+        if deadline <= self.now {
+            return;
+        }
+        for (idx, dom) in self.domains.iter_mut().enumerate() {
+            if !dom.enabled || dom.next_edge > deadline {
+                continue;
+            }
+            let period = dom.freq.period().as_ps();
+            let skipped = (deadline.as_ps() - dom.next_edge.as_ps()) / period + 1;
+            dom.cycles += skipped;
+            dom.next_edge = Ps::new(dom.next_edge.as_ps() + skipped * period);
+            self.heap.push(HeapEntry {
+                at: dom.next_edge,
+                domain: DomainId(idx),
+            });
+        }
+        self.now = deadline;
+    }
+
+    /// Delivers the next edge only if it occurs at or before `deadline`.
+    ///
+    /// If the next edge is later than `deadline`, no edge is consumed and
+    /// `now` is advanced to `deadline`.
+    pub fn next_edge_before(&mut self, deadline: Ps) -> Option<Edge> {
+        // Peek (skipping stale entries) without committing.
+        loop {
+            let Some(top) = self.heap.peek() else {
+                self.now = deadline.max(self.now);
+                return None;
+            };
+            let dom = &self.domains[top.domain.0];
+            if !dom.enabled || dom.next_edge != top.at {
+                self.heap.pop();
+                continue;
+            }
+            if top.at > deadline {
+                self.now = deadline.max(self.now);
+                return None;
+            }
+            return self.next_edge();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edges_come_in_time_order() {
+        let mut s = ClockScheduler::new();
+        let a = s.add_domain(Freq::mhz(100)); // 10 ns
+        let b = s.add_domain(Freq::mhz(40)); // 25 ns
+        let mut order = Vec::new();
+        for _ in 0..7 {
+            let e = s.next_edge().unwrap();
+            order.push((e.domain, e.at.as_ns()));
+        }
+        assert_eq!(
+            order,
+            vec![
+                (a, 10),
+                (a, 20),
+                (b, 25),
+                (a, 30),
+                (a, 40),
+                (a, 50),
+                (b, 50)
+            ]
+        );
+    }
+
+    #[test]
+    fn simultaneous_edges_ordered_by_domain_id() {
+        let mut s = ClockScheduler::new();
+        let a = s.add_domain(Freq::mhz(100));
+        let b = s.add_domain(Freq::mhz(100));
+        let e1 = s.next_edge().unwrap();
+        let e2 = s.next_edge().unwrap();
+        assert_eq!(e1.domain, a);
+        assert_eq!(e2.domain, b);
+        assert_eq!(e1.at, e2.at);
+    }
+
+    #[test]
+    fn cycle_counter_increments() {
+        let mut s = ClockScheduler::new();
+        let a = s.add_domain(Freq::mhz(100));
+        assert_eq!(s.cycles(a), 0);
+        for want in 1..=5 {
+            let e = s.next_edge().unwrap();
+            assert_eq!(e.cycle, want);
+        }
+        assert_eq!(s.cycles(a), 5);
+    }
+
+    #[test]
+    fn gating_stops_and_restarts_edges() {
+        let mut s = ClockScheduler::new();
+        let a = s.add_domain(Freq::mhz(100));
+        s.next_edge().unwrap(); // 10 ns
+        s.set_enabled(a, false);
+        assert!(s.next_edge().is_none());
+        s.set_enabled(a, true);
+        let e = s.next_edge().unwrap();
+        assert_eq!(e.at, Ps::from_ns(20)); // one period after re-enable at 10 ns
+    }
+
+    #[test]
+    fn frequency_change_realigns_next_edge() {
+        let mut s = ClockScheduler::new();
+        let a = s.add_domain(Freq::mhz(100));
+        s.next_edge().unwrap(); // now = 10 ns
+        s.set_frequency(a, Freq::mhz(50));
+        let e = s.next_edge().unwrap();
+        assert_eq!(e.at, Ps::from_ns(30)); // 10 ns + one 20 ns period
+        assert_eq!(s.frequency(a), Freq::mhz(50));
+    }
+
+    #[test]
+    fn next_edge_before_deadline() {
+        let mut s = ClockScheduler::new();
+        let a = s.add_domain(Freq::mhz(100));
+        let e = s.next_edge_before(Ps::from_ns(15));
+        assert_eq!(e.unwrap().domain, a);
+        let e = s.next_edge_before(Ps::from_ns(15));
+        assert!(e.is_none());
+        assert_eq!(s.now(), Ps::from_ns(15));
+        // The 20 ns edge is still there afterwards.
+        let e = s.next_edge().unwrap();
+        assert_eq!(e.at, Ps::from_ns(20));
+    }
+
+    #[test]
+    fn empty_scheduler_has_no_edges() {
+        let mut s = ClockScheduler::new();
+        assert!(s.next_edge().is_none());
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn disable_then_deadline_advances_time() {
+        let mut s = ClockScheduler::new();
+        let a = s.add_domain(Freq::mhz(100));
+        s.set_enabled(a, false);
+        assert!(s.next_edge_before(Ps::from_us(1)).is_none());
+        assert_eq!(s.now(), Ps::from_us(1));
+    }
+
+    #[test]
+    fn fast_forward_matches_delivered_edges() {
+        // Run one scheduler by edges, another by fast_forward; the end
+        // state must be identical.
+        let mut by_edges = ClockScheduler::new();
+        let a1 = by_edges.add_domain(Freq::mhz(100));
+        let b1 = by_edges.add_domain(Freq::mhz(33));
+        while by_edges.next_edge_before(Ps::from_us(3)).is_some() {}
+
+        let mut by_ff = ClockScheduler::new();
+        let a2 = by_ff.add_domain(Freq::mhz(100));
+        let b2 = by_ff.add_domain(Freq::mhz(33));
+        by_ff.fast_forward(Ps::from_us(3));
+
+        assert_eq!(by_edges.cycles(a1), by_ff.cycles(a2));
+        assert_eq!(by_edges.cycles(b1), by_ff.cycles(b2));
+        assert_eq!(by_edges.now(), by_ff.now());
+        // Subsequent edges agree too.
+        let e1 = by_edges.next_edge().unwrap();
+        let e2 = by_ff.next_edge().unwrap();
+        assert_eq!((e1.domain.0, e1.at, e1.cycle), (e2.domain.0, e2.at, e2.cycle));
+    }
+
+    #[test]
+    fn fast_forward_past_deadline_is_noop() {
+        let mut s = ClockScheduler::new();
+        let a = s.add_domain(Freq::mhz(100));
+        s.next_edge().unwrap();
+        s.fast_forward(Ps::from_ns(5)); // in the past
+        assert_eq!(s.now(), Ps::from_ns(10));
+        assert_eq!(s.cycles(a), 1);
+    }
+
+    #[test]
+    fn fast_forward_skips_disabled_domains() {
+        let mut s = ClockScheduler::new();
+        let a = s.add_domain(Freq::mhz(100));
+        s.set_enabled(a, false);
+        s.fast_forward(Ps::from_us(1));
+        assert_eq!(s.cycles(a), 0);
+        assert_eq!(s.now(), Ps::from_us(1));
+    }
+
+    #[test]
+    fn redundant_gating_is_noop() {
+        let mut s = ClockScheduler::new();
+        let a = s.add_domain(Freq::mhz(100));
+        s.set_enabled(a, true); // already enabled
+        let e = s.next_edge().unwrap();
+        assert_eq!(e.at, Ps::from_ns(10));
+    }
+}

@@ -1,0 +1,148 @@
+//! One-shot timed events.
+//!
+//! Clock edges drive synchronous logic; some things in a VAPRES system are
+//! instead modelled as *durations* — a CompactFlash sector read completing,
+//! an ICAP frame commit, a DMA transfer. [`TimerQueue`] holds such one-shot
+//! events and releases them as the clock scheduler advances time.
+
+use crate::time::Ps;
+use std::collections::BinaryHeap;
+use std::cmp;
+
+#[derive(Debug)]
+struct Pending<T> {
+    due: Ps,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Pending<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl<T> Eq for Pending<T> {}
+
+impl<T> Ord for Pending<T> {
+    fn cmp(&self, other: &Self) -> cmp::Ordering {
+        // Reversed: earliest due (then lowest seq) first out of the max-heap.
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic one-shot timer queue.
+///
+/// Events scheduled for the same instant are released in scheduling order.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_sim::event::TimerQueue;
+/// use vapres_sim::time::Ps;
+///
+/// let mut q = TimerQueue::new();
+/// q.schedule_at(Ps::from_ns(30), "icap-done");
+/// q.schedule_at(Ps::from_ns(10), "cf-sector");
+/// assert_eq!(q.pop_due(Ps::from_ns(10)), Some("cf-sector"));
+/// assert_eq!(q.pop_due(Ps::from_ns(10)), None);
+/// assert_eq!(q.pop_due(Ps::from_ns(40)), Some("icap-done"));
+/// ```
+#[derive(Debug)]
+pub struct TimerQueue<T> {
+    heap: BinaryHeap<Pending<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for TimerQueue<T> {
+    fn default() -> Self {
+        TimerQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<T> TimerQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` to become due at absolute time `due`.
+    pub fn schedule_at(&mut self, due: Ps, payload: T) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Pending { due, seq, payload });
+    }
+
+    /// Time of the earliest pending event, if any.
+    pub fn next_due(&self) -> Option<Ps> {
+        self.heap.peek().map(|p| p.due)
+    }
+
+    /// Removes and returns the earliest event due at or before `now`.
+    ///
+    /// Call in a loop to drain everything due.
+    pub fn pop_due(&mut self, now: Ps) -> Option<T> {
+        if self.heap.peek().map(|p| p.due <= now).unwrap_or(false) {
+            Some(self.heap.pop().expect("peeked entry exists").payload)
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_due_order() {
+        let mut q = TimerQueue::new();
+        q.schedule_at(Ps::from_ns(30), 3);
+        q.schedule_at(Ps::from_ns(10), 1);
+        q.schedule_at(Ps::from_ns(20), 2);
+        let mut out = Vec::new();
+        while let Some(v) = q.pop_due(Ps::from_ns(100)) {
+            out.push(v);
+        }
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_pop_in_schedule_order() {
+        let mut q = TimerQueue::new();
+        q.schedule_at(Ps::from_ns(10), "a");
+        q.schedule_at(Ps::from_ns(10), "b");
+        assert_eq!(q.pop_due(Ps::from_ns(10)), Some("a"));
+        assert_eq!(q.pop_due(Ps::from_ns(10)), Some("b"));
+    }
+
+    #[test]
+    fn not_due_yet_stays() {
+        let mut q = TimerQueue::new();
+        q.schedule_at(Ps::from_ns(10), ());
+        assert_eq!(q.pop_due(Ps::from_ns(9)), None);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        assert_eq!(q.next_due(), Some(Ps::from_ns(10)));
+    }
+}

@@ -1,0 +1,49 @@
+//! # vapres-sim
+//!
+//! Deterministic discrete-event simulation kernel underpinning the VAPRES
+//! reproduction (Jara-Berrocal & Gordon-Ross, DATE 2010).
+//!
+//! The kernel is intentionally small and policy-free:
+//!
+//! * [`time`] — integer-picosecond [`time::Ps`] timestamps and [`time::Freq`]
+//!   clock frequencies, exact for every integer-MHz clock.
+//! * [`clock`] — the [`clock::ClockScheduler`]: many independent clock
+//!   domains (VAPRES *local clock domains*), runtime frequency changes and
+//!   clock gating, rising edges delivered in deterministic global order.
+//! * [`event`] — [`event::TimerQueue`] for one-shot duration-style events
+//!   (storage transfers, reconfiguration completion).
+//! * [`stats`] — measurement helpers ([`stats::GapTracker`] measures the
+//!   paper's "stream processing interruption" directly).
+//!
+//! Higher layers (`vapres-stream`, `vapres-core`) pull edges from the
+//! scheduler and tick their components; nothing here spawns threads or uses
+//! wall-clock time, so every experiment is bit-for-bit reproducible.
+//!
+//! # Examples
+//!
+//! Run two clock domains for a microsecond and count edges:
+//!
+//! ```
+//! use vapres_sim::clock::ClockScheduler;
+//! use vapres_sim::time::{Freq, Ps};
+//!
+//! let mut clocks = ClockScheduler::new();
+//! let static_clk = clocks.add_domain(Freq::mhz(100));
+//! let prr_clk = clocks.add_domain(Freq::mhz(25));
+//!
+//! while clocks.next_edge_before(Ps::from_us(1)).is_some() {}
+//!
+//! assert_eq!(clocks.cycles(static_clk), 100);
+//! assert_eq!(clocks.cycles(prr_clk), 25);
+//! ```
+
+pub mod clock;
+pub mod event;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use clock::{ClockScheduler, DomainId, Edge};
+pub use event::TimerQueue;
+pub use time::{Freq, Ps};
+pub use trace::{SignalId, Tracer};

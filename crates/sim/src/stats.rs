@@ -1,0 +1,306 @@
+//! Measurement helpers used by the experiment harnesses.
+//!
+//! These are deliberately simple: the experiments care about *when words
+//! arrive* (stream interruption, Fig. 5), *how many arrive per unit time*
+//! (throughput, LCD regulation), and coarse distributions.
+
+use crate::time::Ps;
+
+/// Records the arrival time of each item in a stream and reports the largest
+/// inter-arrival gap — the paper's "stream processing interruption" metric.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_sim::stats::GapTracker;
+/// use vapres_sim::time::Ps;
+///
+/// let mut g = GapTracker::new();
+/// g.record(Ps::from_ns(10));
+/// g.record(Ps::from_ns(20));
+/// g.record(Ps::from_ns(90)); // a 70 ns stall
+/// assert_eq!(g.max_gap(), Some(Ps::from_ns(70)));
+/// assert_eq!(g.count(), 3);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GapTracker {
+    last: Option<Ps>,
+    max_gap: Option<Ps>,
+    max_gap_at: Option<Ps>,
+    count: u64,
+    first: Option<Ps>,
+}
+
+impl GapTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one arrival at time `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the previous arrival — streams are causal.
+    pub fn record(&mut self, at: Ps) {
+        if let Some(prev) = self.last {
+            let gap = at
+                .checked_sub(prev)
+                .expect("arrivals must be in non-decreasing time order");
+            if self.max_gap.map(|g| gap > g).unwrap_or(true) {
+                self.max_gap = Some(gap);
+                self.max_gap_at = Some(at);
+            }
+        } else {
+            self.first = Some(at);
+        }
+        self.last = Some(at);
+        self.count += 1;
+    }
+
+    /// Largest inter-arrival gap seen, or `None` with fewer than 2 arrivals.
+    pub fn max_gap(&self) -> Option<Ps> {
+        self.max_gap
+    }
+
+    /// Time at which the largest gap ended.
+    pub fn max_gap_at(&self) -> Option<Ps> {
+        self.max_gap_at
+    }
+
+    /// Total number of arrivals recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Time of the first arrival.
+    pub fn first(&self) -> Option<Ps> {
+        self.first
+    }
+
+    /// Time of the most recent arrival.
+    pub fn last(&self) -> Option<Ps> {
+        self.last
+    }
+
+    /// Mean throughput in items/second over the observed span.
+    ///
+    /// Returns `None` with fewer than two arrivals.
+    pub fn throughput_per_s(&self) -> Option<f64> {
+        let (first, last) = (self.first?, self.last?);
+        if last == first {
+            return None;
+        }
+        Some((self.count - 1) as f64 / (last - first).as_secs_f64())
+    }
+}
+
+/// Accumulates samples and reports min/max/mean — enough for the sweep
+/// benches without pulling in a statistics crate.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_sim::stats::Summary;
+///
+/// let mut s = Summary::new();
+/// for v in [1.0, 2.0, 3.0] {
+///     s.add(v);
+/// }
+/// assert_eq!(s.mean(), Some(2.0));
+/// assert_eq!(s.min(), Some(1.0));
+/// assert_eq!(s.max(), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    count: u64,
+    sum: f64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples, `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    /// Minimum sample, `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.min
+    }
+
+    /// Maximum sample, `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.max
+    }
+}
+
+/// A fixed-bucket histogram over `u64` samples (e.g. gap durations in
+/// ps), with overflow counted in the last bucket.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_sim::stats::Histogram;
+///
+/// let mut h = Histogram::new(100, 4); // buckets: [0,100) [100,200) [200,300) [300,..)
+/// h.add(50);
+/// h.add(150);
+/// h.add(1_000);
+/// assert_eq!(h.counts(), &[1, 1, 0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bucket_width: u64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram of `buckets` buckets of `bucket_width` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` or `buckets` is zero.
+    pub fn new(bucket_width: u64, buckets: usize) -> Self {
+        assert!(bucket_width > 0, "bucket width must be non-zero");
+        assert!(buckets > 0, "need at least one bucket");
+        Histogram {
+            bucket_width,
+            counts: vec![0; buckets],
+        }
+    }
+
+    /// Adds one sample.
+    pub fn add(&mut self, value: u64) {
+        let idx = (value / self.bucket_width) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bucket counts (last bucket includes overflow).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The smallest value `v` such that at least `q` (0..=1) of samples
+    /// are below `v`'s bucket end — a bucket-resolution quantile.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        let total = self.total();
+        if total == 0 {
+            return 0;
+        }
+        let need = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut acc = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= need {
+                return (i as u64 + 1) * self.bucket_width;
+            }
+        }
+        self.counts.len() as u64 * self.bucket_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(10, 3);
+        for v in [0, 9, 10, 29, 30, 300] {
+            h.add(v);
+        }
+        assert_eq!(h.counts(), &[2, 1, 3]);
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(10, 10);
+        for v in 0..100 {
+            h.add(v);
+        }
+        assert_eq!(h.quantile_upper_bound(0.5), 50);
+        assert_eq!(h.quantile_upper_bound(1.0), 100);
+        assert_eq!(Histogram::new(1, 1).quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket width")]
+    fn histogram_zero_width_panics() {
+        let _ = Histogram::new(0, 1);
+    }
+
+    #[test]
+    fn gap_tracker_single_arrival_has_no_gap() {
+        let mut g = GapTracker::new();
+        g.record(Ps::from_ns(5));
+        assert_eq!(g.max_gap(), None);
+        assert_eq!(g.count(), 1);
+        assert_eq!(g.first(), Some(Ps::from_ns(5)));
+        assert_eq!(g.last(), Some(Ps::from_ns(5)));
+    }
+
+    #[test]
+    fn gap_tracker_finds_largest_gap_and_location() {
+        let mut g = GapTracker::new();
+        for t in [0u64, 10, 20, 100, 110] {
+            g.record(Ps::from_ns(t));
+        }
+        assert_eq!(g.max_gap(), Some(Ps::from_ns(80)));
+        assert_eq!(g.max_gap_at(), Some(Ps::from_ns(100)));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn gap_tracker_rejects_time_travel() {
+        let mut g = GapTracker::new();
+        g.record(Ps::from_ns(10));
+        g.record(Ps::from_ns(5));
+    }
+
+    #[test]
+    fn gap_tracker_throughput() {
+        let mut g = GapTracker::new();
+        // 11 arrivals over 100 ns -> 10 intervals / 100 ns = 1e8/s.
+        for i in 0..11u64 {
+            g.record(Ps::from_ns(i * 10));
+        }
+        let tput = g.throughput_per_s().unwrap();
+        assert!((tput - 1.0e8).abs() / 1.0e8 < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.count(), 0);
+    }
+}

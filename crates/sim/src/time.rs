@@ -1,0 +1,282 @@
+//! Simulation time and frequency types.
+//!
+//! All simulation time is integer **picoseconds** so that common FPGA clock
+//! periods (10 ns at 100 MHz, 20 ns at 50 MHz, …) are exactly representable
+//! and the simulation is bit-for-bit deterministic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Picoseconds in one nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds in one microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds in one millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds in one second.
+pub const PS_PER_S: u64 = 1_000_000_000_000;
+
+/// An absolute simulation time or a duration, in picoseconds.
+///
+/// `Ps` is a transparent newtype over `u64`; at 1 ps resolution the
+/// simulation can represent about 213 days, far beyond any experiment here.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_sim::time::Ps;
+///
+/// let t = Ps::from_ns(10) + Ps::from_ns(5);
+/// assert_eq!(t, Ps::from_ns(15));
+/// assert_eq!(t.as_ps(), 15_000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Ps(pub u64);
+
+impl Ps {
+    /// Time zero.
+    pub const ZERO: Ps = Ps(0);
+    /// The maximum representable time.
+    pub const MAX: Ps = Ps(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    pub const fn new(ps: u64) -> Self {
+        Ps(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Self {
+        Ps(ns * PS_PER_NS)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Self {
+        Ps(us * PS_PER_US)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_ms(ms: u64) -> Self {
+        Ps(ms * PS_PER_MS)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_s(s: u64) -> Self {
+        Ps(s * PS_PER_S)
+    }
+
+    /// Returns the raw picosecond count.
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the time in nanoseconds, truncating sub-nanosecond precision.
+    pub const fn as_ns(self) -> u64 {
+        self.0 / PS_PER_NS
+    }
+
+    /// Returns the time in microseconds, truncating.
+    pub const fn as_us(self) -> u64 {
+        self.0 / PS_PER_US
+    }
+
+    /// Returns the time in milliseconds, truncating.
+    pub const fn as_ms(self) -> u64 {
+        self.0 / PS_PER_MS
+    }
+
+    /// Returns the time in seconds as a float (for reporting only).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// Saturating addition.
+    pub const fn saturating_add(self, rhs: Ps) -> Ps {
+        Ps(self.0.saturating_add(rhs.0))
+    }
+
+    /// Checked subtraction; `None` if `rhs > self`.
+    pub const fn checked_sub(self, rhs: Ps) -> Option<Ps> {
+        match self.0.checked_sub(rhs.0) {
+            Some(v) => Some(Ps(v)),
+            None => None,
+        }
+    }
+}
+
+impl Add for Ps {
+    type Output = Ps;
+    fn add(self, rhs: Ps) -> Ps {
+        Ps(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Ps {
+    fn add_assign(&mut self, rhs: Ps) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Ps {
+    type Output = Ps;
+    fn sub(self, rhs: Ps) -> Ps {
+        Ps(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for Ps {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= PS_PER_S {
+            write!(f, "{:.6} s", self.as_secs_f64())
+        } else if self.0 >= PS_PER_MS {
+            write!(f, "{:.3} ms", self.0 as f64 / PS_PER_MS as f64)
+        } else if self.0 >= PS_PER_US {
+            write!(f, "{:.3} us", self.0 as f64 / PS_PER_US as f64)
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+/// A clock frequency in hertz.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_sim::time::{Freq, Ps};
+///
+/// let f = Freq::mhz(100);
+/// assert_eq!(f.period(), Ps::from_ns(10));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Freq(u64);
+
+impl Freq {
+    /// Creates a frequency from hertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hz` is zero — a stopped clock is modelled by disabling its
+    /// domain, not by a zero frequency.
+    pub fn hz(hz: u64) -> Self {
+        assert!(hz > 0, "clock frequency must be non-zero");
+        Freq(hz)
+    }
+
+    /// Creates a frequency from kilohertz.
+    pub fn khz(khz: u64) -> Self {
+        Freq::hz(khz * 1_000)
+    }
+
+    /// Creates a frequency from megahertz.
+    pub fn mhz(mhz: u64) -> Self {
+        Freq::hz(mhz * 1_000_000)
+    }
+
+    /// Returns the frequency in hertz.
+    pub const fn as_hz(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the frequency in megahertz as a float (for reporting).
+    pub fn as_mhz_f64(self) -> f64 {
+        self.0 as f64 / 1.0e6
+    }
+
+    /// Returns the clock period.
+    ///
+    /// The period is rounded to the nearest picosecond; for frequencies that
+    /// divide 1 THz (every integer MHz value, in particular) the period is
+    /// exact.
+    pub fn period(self) -> Ps {
+        Ps((PS_PER_S + self.0 / 2) / self.0)
+    }
+
+    /// Number of whole cycles of this clock in `dur`.
+    pub fn cycles_in(self, dur: Ps) -> u64 {
+        dur.as_ps() / self.period().as_ps()
+    }
+}
+
+impl fmt::Display for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000 && self.0.is_multiple_of(1_000_000) {
+            write!(f, "{} MHz", self.0 / 1_000_000)
+        } else if self.0 >= 1_000 && self.0.is_multiple_of(1_000) {
+            write!(f, "{} kHz", self.0 / 1_000)
+        } else {
+            write!(f, "{} Hz", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ps_constructors_scale() {
+        assert_eq!(Ps::from_ns(1).as_ps(), 1_000);
+        assert_eq!(Ps::from_us(1).as_ps(), 1_000_000);
+        assert_eq!(Ps::from_ms(1).as_ps(), 1_000_000_000);
+        assert_eq!(Ps::from_s(1).as_ps(), 1_000_000_000_000);
+    }
+
+    #[test]
+    fn ps_arithmetic() {
+        let a = Ps::from_ns(10);
+        let b = Ps::from_ns(4);
+        assert_eq!(a + b, Ps::from_ns(14));
+        assert_eq!(a - b, Ps::from_ns(6));
+        assert_eq!(b.checked_sub(a), None);
+        assert_eq!(a.checked_sub(b), Some(Ps::from_ns(6)));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Ps::from_ns(14));
+    }
+
+    #[test]
+    fn ps_saturating() {
+        assert_eq!(Ps::MAX.saturating_add(Ps::from_s(1)), Ps::MAX);
+    }
+
+    #[test]
+    fn ps_display_picks_unit() {
+        assert_eq!(Ps::new(500).to_string(), "500 ps");
+        assert_eq!(Ps::from_us(2).to_string(), "2.000 us");
+        assert_eq!(Ps::from_ms(3).to_string(), "3.000 ms");
+        assert_eq!(Ps::from_s(1).to_string(), "1.000000 s");
+    }
+
+    #[test]
+    fn freq_periods_exact_for_common_clocks() {
+        assert_eq!(Freq::mhz(100).period(), Ps::from_ns(10));
+        assert_eq!(Freq::mhz(50).period(), Ps::from_ns(20));
+        assert_eq!(Freq::mhz(200).period(), Ps::new(5_000));
+        assert_eq!(Freq::mhz(25).period(), Ps::from_ns(40));
+    }
+
+    #[test]
+    fn freq_period_rounds() {
+        // 3 Hz -> 333_333_333_333.33 ps, rounds to ...333 ps.
+        assert_eq!(Freq::hz(3).period(), Ps::new(333_333_333_333));
+    }
+
+    #[test]
+    fn freq_cycles_in() {
+        assert_eq!(Freq::mhz(100).cycles_in(Ps::from_us(1)), 100);
+        assert_eq!(Freq::mhz(100).cycles_in(Ps::from_ns(15)), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn freq_zero_panics() {
+        let _ = Freq::hz(0);
+    }
+
+    #[test]
+    fn freq_display() {
+        assert_eq!(Freq::mhz(100).to_string(), "100 MHz");
+        assert_eq!(Freq::khz(32).to_string(), "32 kHz");
+        assert_eq!(Freq::hz(7).to_string(), "7 Hz");
+    }
+}

@@ -1,0 +1,224 @@
+//! Value-change tracing with VCD export.
+//!
+//! Simulated hardware is debugged with waveforms. [`Tracer`] records
+//! value changes of named signals against the picosecond simulation
+//! clock and writes an IEEE-1364 value change dump (VCD) readable by
+//! GTKWave and friends.
+
+use crate::time::Ps;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Handle to a registered signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SignalId(usize);
+
+#[derive(Debug, Clone)]
+struct Signal {
+    name: String,
+    width: u32,
+    last: Option<u64>,
+}
+
+/// Records value changes and serializes them as a VCD.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_sim::time::Ps;
+/// use vapres_sim::trace::Tracer;
+///
+/// let mut t = Tracer::new("vapres");
+/// let clk = t.add_signal("clk", 1);
+/// let data = t.add_signal("data", 32);
+/// t.change(Ps::from_ns(0), clk, 0);
+/// t.change(Ps::from_ns(5), clk, 1);
+/// t.change(Ps::from_ns(5), data, 0xAB);
+/// let mut out = Vec::new();
+/// t.write_vcd(&mut out)?;
+/// let text = String::from_utf8(out)?;
+/// assert!(text.contains("$timescale 1 ps $end"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tracer {
+    module: String,
+    signals: Vec<Signal>,
+    /// `(time, signal index, value)` in record order.
+    changes: Vec<(Ps, usize, u64)>,
+}
+
+impl Tracer {
+    /// Creates a tracer; `module` names the VCD scope.
+    pub fn new(module: impl Into<String>) -> Self {
+        Tracer {
+            module: module.into(),
+            signals: Vec::new(),
+            changes: Vec::new(),
+        }
+    }
+
+    /// Registers a signal of `width` bits (1..=64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or above 64.
+    pub fn add_signal(&mut self, name: impl Into<String>, width: u32) -> SignalId {
+        assert!((1..=64).contains(&width), "signal width out of range");
+        self.signals.push(Signal {
+            name: name.into(),
+            width,
+            last: None,
+        });
+        SignalId(self.signals.len() - 1)
+    }
+
+    /// Records `signal` taking `value` at time `at`. Repeated identical
+    /// values are coalesced (no change recorded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal id is foreign.
+    pub fn change(&mut self, at: Ps, signal: SignalId, value: u64) {
+        let s = &mut self.signals[signal.0];
+        if s.last == Some(value) {
+            return;
+        }
+        s.last = Some(value);
+        self.changes.push((at, signal.0, value));
+    }
+
+    /// Number of recorded changes.
+    pub fn len(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+
+    /// VCD identifier code for signal `i` (printable ASCII, base-94).
+    fn id_code(mut i: usize) -> String {
+        let mut out = String::new();
+        loop {
+            out.push((b'!' + (i % 94) as u8) as char);
+            i /= 94;
+            if i == 0 {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Writes the VCD (1 ps timescale, changes sorted by time; ties keep
+    /// record order).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`. A `&mut Vec<u8>` never fails.
+    pub fn write_vcd<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "$date vapres simulation $end")?;
+        writeln!(w, "$version vapres-sim $end")?;
+        writeln!(w, "$timescale 1 ps $end")?;
+        writeln!(w, "$scope module {} $end", self.module)?;
+        for (i, s) in self.signals.iter().enumerate() {
+            writeln!(
+                w,
+                "$var wire {} {} {} $end",
+                s.width,
+                Self::id_code(i),
+                s.name
+            )?;
+        }
+        writeln!(w, "$upscope $end")?;
+        writeln!(w, "$enddefinitions $end")?;
+
+        let mut sorted: Vec<(usize, &(Ps, usize, u64))> = self.changes.iter().enumerate().collect();
+        sorted.sort_by_key(|(order, (t, _, _))| (*t, *order));
+
+        let mut current = None;
+        let mut line = String::new();
+        for (_, (t, sig, val)) in sorted {
+            if current != Some(*t) {
+                writeln!(w, "#{}", t.as_ps())?;
+                current = Some(*t);
+            }
+            line.clear();
+            let s = &self.signals[*sig];
+            if s.width == 1 {
+                let _ = write!(line, "{}{}", val & 1, Self::id_code(*sig));
+            } else {
+                let _ = write!(line, "b{:b} {}", val, Self::id_code(*sig));
+            }
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vcd_text(t: &Tracer) -> String {
+        let mut out = Vec::new();
+        t.write_vcd(&mut out).expect("vec write");
+        String::from_utf8(out).expect("ascii")
+    }
+
+    #[test]
+    fn header_and_definitions() {
+        let mut t = Tracer::new("top");
+        t.add_signal("clk", 1);
+        t.add_signal("bus", 32);
+        let text = vcd_text(&t);
+        assert!(text.contains("$scope module top $end"));
+        assert!(text.contains("$var wire 1 ! clk $end"));
+        assert!(text.contains("$var wire 32 \" bus $end"));
+        assert!(text.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn changes_sorted_and_formatted() {
+        let mut t = Tracer::new("top");
+        let clk = t.add_signal("clk", 1);
+        let bus = t.add_signal("bus", 8);
+        t.change(Ps::from_ns(10), bus, 0x5);
+        t.change(Ps::from_ns(5), clk, 1);
+        let text = vcd_text(&t);
+        let p5 = text.find("#5000").expect("5 ns stamp");
+        let p10 = text.find("#10000").expect("10 ns stamp");
+        assert!(p5 < p10);
+        assert!(text.contains("1!"));
+        assert!(text.contains("b101 \""));
+    }
+
+    #[test]
+    fn identical_values_coalesce() {
+        let mut t = Tracer::new("top");
+        let s = t.add_signal("x", 4);
+        t.change(Ps::from_ns(1), s, 7);
+        t.change(Ps::from_ns(2), s, 7);
+        t.change(Ps::from_ns(3), s, 8);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..500 {
+            let code = Tracer::id_code(i);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code), "duplicate id code at {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width out of range")]
+    fn zero_width_panics() {
+        let mut t = Tracer::new("top");
+        t.add_signal("bad", 0);
+    }
+}

@@ -1,0 +1,403 @@
+//! Related-work communication baselines (paper Sec. II).
+//!
+//! The paper positions VAPRES's pipelined switch-box fabric against two
+//! prior inter-module communication schemes:
+//!
+//! * **Processor-routed** (Ullmann et al.): every word travels
+//!   module → FSL → MicroBlaze → FSL → module. One CPU serializes all
+//!   streams, spending a fixed relay cost per word. Modelled by
+//!   [`ProcessorRoutedBus`].
+//! * **Time-multiplexed bus** (Sedcole et al., Sonic-on-a-Chip): a shared
+//!   bus grants each stream one slot per rotation; long combinational
+//!   routes limited the reported bus clock to 50 MHz. Modelled by
+//!   [`TdmBus`].
+//!
+//! Both are ticked from their own clock domains by the caller, so the
+//! E6 experiment compares them to the 100 MHz VAPRES fabric fairly.
+
+use crate::fifo::{AsyncFifo, FullError};
+use crate::word::Word;
+use std::fmt;
+
+/// Identifies one stream attached to a baseline interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StreamId(pub usize);
+
+impl fmt::Display for StreamId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stream{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct BusStream {
+    input: AsyncFifo,
+    output: AsyncFifo,
+    delivered: u64,
+}
+
+impl BusStream {
+    fn new(depth: usize) -> Self {
+        BusStream {
+            input: AsyncFifo::new(depth),
+            output: AsyncFifo::new(depth),
+            delivered: 0,
+        }
+    }
+}
+
+/// Ullmann-style interconnect: the processor relays every word.
+///
+/// Each relayed word costs `cycles_per_word` processor cycles (FSL read,
+/// FSL write, loop overhead); streams are served round-robin. Tick once
+/// per processor clock cycle.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_stream::baseline::ProcessorRoutedBus;
+/// use vapres_stream::word::Word;
+///
+/// let mut bus = ProcessorRoutedBus::new(10, 64);
+/// let s = bus.add_stream();
+/// bus.push(s, Word::data(1))?;
+/// for _ in 0..10 {
+///     bus.tick();
+/// }
+/// assert_eq!(bus.pop(s), Some(Word::data(1)));
+/// # Ok::<(), vapres_stream::fifo::FullError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProcessorRoutedBus {
+    cycles_per_word: u64,
+    fifo_depth: usize,
+    streams: Vec<BusStream>,
+    /// Stream currently being relayed and cycles left on it.
+    in_flight: Option<(usize, u64)>,
+    next_rr: usize,
+    ticks: u64,
+}
+
+impl ProcessorRoutedBus {
+    /// Creates a bus where each word costs `cycles_per_word` CPU cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles_per_word` is zero or `fifo_depth` is zero.
+    pub fn new(cycles_per_word: u64, fifo_depth: usize) -> Self {
+        assert!(cycles_per_word > 0, "relay cost must be non-zero");
+        assert!(fifo_depth > 0, "fifo depth must be non-zero");
+        ProcessorRoutedBus {
+            cycles_per_word,
+            fifo_depth,
+            streams: Vec::new(),
+            in_flight: None,
+            next_rr: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Attaches a new stream.
+    pub fn add_stream(&mut self) -> StreamId {
+        self.streams.push(BusStream::new(self.fifo_depth));
+        StreamId(self.streams.len() - 1)
+    }
+
+    /// Producer side: enqueues a word for relay.
+    ///
+    /// # Errors
+    ///
+    /// [`FullError`] if the stream's input FIFO is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn push(&mut self, id: StreamId, word: Word) -> Result<(), FullError> {
+        self.streams[id.0].input.push(word)
+    }
+
+    /// Consumer side: dequeues a relayed word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn pop(&mut self, id: StreamId) -> Option<Word> {
+        
+        self.streams[id.0].output.pop()
+    }
+
+    /// Words fully relayed on `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn delivered(&self, id: StreamId) -> u64 {
+        self.streams[id.0].delivered
+    }
+
+    /// One processor clock cycle.
+    pub fn tick(&mut self) {
+        self.ticks += 1;
+        if self.streams.is_empty() {
+            return;
+        }
+        if self.in_flight.is_none() {
+            // Round-robin scan for a stream with work and output space. The
+            // scheduling decision and the relay's first cycle share a tick,
+            // so a word costs exactly `cycles_per_word` cycles.
+            let n = self.streams.len();
+            for off in 0..n {
+                let idx = (self.next_rr + off) % n;
+                let s = &self.streams[idx];
+                if !s.input.is_empty() && !s.output.is_full() {
+                    self.next_rr = (idx + 1) % n;
+                    self.in_flight = Some((idx, self.cycles_per_word));
+                    break;
+                }
+            }
+        }
+        if let Some((idx, left)) = &mut self.in_flight {
+            *left -= 1;
+            if *left == 0 {
+                let idx = *idx;
+                self.in_flight = None;
+                let s = &mut self.streams[idx];
+                if let Some(w) = s.input.pop() {
+                    // A relay only starts when the output had space, and
+                    // nothing else fills it meanwhile.
+                    s.output
+                        .push(w)
+                        .expect("output space reserved at relay start");
+                    s.delivered += 1;
+                }
+            }
+        }
+    }
+
+    /// Total processor cycles ticked.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+}
+
+/// Sedcole-style time-multiplexed bus: `slot_count` slots rotate; the
+/// stream owning the current slot may move one word end-to-end per bus
+/// cycle.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_stream::baseline::TdmBus;
+/// use vapres_stream::word::Word;
+///
+/// let mut bus = TdmBus::new(4, 64);
+/// let s = bus.add_stream().expect("slot available");
+/// bus.push(s, Word::data(9))?;
+/// for _ in 0..4 {
+///     bus.tick();
+/// }
+/// assert_eq!(bus.pop(s), Some(Word::data(9)));
+/// # Ok::<(), vapres_stream::fifo::FullError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TdmBus {
+    slot_count: usize,
+    fifo_depth: usize,
+    streams: Vec<BusStream>,
+    cycle: u64,
+}
+
+impl TdmBus {
+    /// Creates a bus with `slot_count` time slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot_count` or `fifo_depth` is zero.
+    pub fn new(slot_count: usize, fifo_depth: usize) -> Self {
+        assert!(slot_count > 0, "slot count must be non-zero");
+        assert!(fifo_depth > 0, "fifo depth must be non-zero");
+        TdmBus {
+            slot_count,
+            fifo_depth,
+            streams: Vec::new(),
+            cycle: 0,
+        }
+    }
+
+    /// Attaches a stream to the next free slot; `None` when all slots are
+    /// taken.
+    pub fn add_stream(&mut self) -> Option<StreamId> {
+        if self.streams.len() >= self.slot_count {
+            return None;
+        }
+        self.streams.push(BusStream::new(self.fifo_depth));
+        Some(StreamId(self.streams.len() - 1))
+    }
+
+    /// Producer side: enqueues a word.
+    ///
+    /// # Errors
+    ///
+    /// [`FullError`] if the stream's input FIFO is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn push(&mut self, id: StreamId, word: Word) -> Result<(), FullError> {
+        self.streams[id.0].input.push(word)
+    }
+
+    /// Consumer side: dequeues a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn pop(&mut self, id: StreamId) -> Option<Word> {
+        self.streams[id.0].output.pop()
+    }
+
+    /// Words delivered on `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is unknown.
+    pub fn delivered(&self, id: StreamId) -> u64 {
+        self.streams[id.0].delivered
+    }
+
+    /// One bus clock cycle: the slot owner (if any) moves one word.
+    pub fn tick(&mut self) {
+        let slot = (self.cycle % self.slot_count as u64) as usize;
+        self.cycle += 1;
+        if let Some(s) = self.streams.get_mut(slot) {
+            if !s.output.is_full() {
+                if let Some(w) = s.input.pop() {
+                    s.output.push(w).expect("space checked");
+                    s.delivered += 1;
+                }
+            }
+        }
+    }
+
+    /// Bus cycles elapsed.
+    pub fn cycles(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Number of slots in a rotation.
+    pub fn slot_count(&self) -> usize {
+        self.slot_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn processor_bus_relays_at_fixed_cost() {
+        let mut bus = ProcessorRoutedBus::new(10, 16);
+        let s = bus.add_stream();
+        for i in 0..5 {
+            bus.push(s, Word::data(i)).unwrap();
+        }
+        // 5 words x 10 cycles.
+        for _ in 0..50 {
+            bus.tick();
+        }
+        assert_eq!(bus.delivered(s), 5);
+        for i in 0..5 {
+            assert_eq!(bus.pop(s), Some(Word::data(i)));
+        }
+    }
+
+    #[test]
+    fn processor_bus_shares_cpu_across_streams() {
+        let mut bus = ProcessorRoutedBus::new(10, 64);
+        let a = bus.add_stream();
+        let b = bus.add_stream();
+        for i in 0..10 {
+            bus.push(a, Word::data(i)).unwrap();
+            bus.push(b, Word::data(100 + i)).unwrap();
+        }
+        for _ in 0..100 {
+            bus.tick();
+        }
+        // 100 cycles / 10 per word = 10 relays total, split fairly.
+        assert_eq!(bus.delivered(a) + bus.delivered(b), 10);
+        assert_eq!(bus.delivered(a), 5);
+        assert_eq!(bus.delivered(b), 5);
+    }
+
+    #[test]
+    fn processor_bus_idle_when_empty() {
+        let mut bus = ProcessorRoutedBus::new(10, 4);
+        let s = bus.add_stream();
+        for _ in 0..30 {
+            bus.tick();
+        }
+        assert_eq!(bus.delivered(s), 0);
+        assert_eq!(bus.ticks(), 30);
+    }
+
+    #[test]
+    fn tdm_bus_one_word_per_rotation_per_stream() {
+        let mut bus = TdmBus::new(4, 16);
+        let s = bus.add_stream().unwrap();
+        for i in 0..3 {
+            bus.push(s, Word::data(i)).unwrap();
+        }
+        // 3 rotations x 4 slots = 12 cycles to move 3 words.
+        for _ in 0..12 {
+            bus.tick();
+        }
+        assert_eq!(bus.delivered(s), 3);
+    }
+
+    #[test]
+    fn tdm_bus_slots_exhaust() {
+        let mut bus = TdmBus::new(2, 4);
+        assert!(bus.add_stream().is_some());
+        assert!(bus.add_stream().is_some());
+        assert!(bus.add_stream().is_none());
+        assert_eq!(bus.slot_count(), 2);
+    }
+
+    #[test]
+    fn tdm_bus_parallel_streams_do_not_interfere() {
+        let mut bus = TdmBus::new(2, 16);
+        let a = bus.add_stream().unwrap();
+        let b = bus.add_stream().unwrap();
+        for i in 0..4 {
+            bus.push(a, Word::data(i)).unwrap();
+            bus.push(b, Word::data(i + 100)).unwrap();
+        }
+        for _ in 0..8 {
+            bus.tick();
+        }
+        assert_eq!(bus.delivered(a), 4);
+        assert_eq!(bus.delivered(b), 4);
+        assert_eq!(bus.pop(a), Some(Word::data(0)));
+        assert_eq!(bus.pop(b), Some(Word::data(100)));
+    }
+
+    #[test]
+    fn tdm_output_backpressure_stalls() {
+        let mut bus = TdmBus::new(1, 2);
+        let s = bus.add_stream().unwrap();
+        bus.push(s, Word::data(0)).unwrap();
+        bus.push(s, Word::data(1)).unwrap();
+        for _ in 0..2 {
+            bus.tick();
+        }
+        // Output (depth 2) is now full; further input stalls, not drops.
+        bus.push(s, Word::data(2)).unwrap();
+        for _ in 0..5 {
+            bus.tick();
+        }
+        assert_eq!(bus.delivered(s), 2);
+        assert_eq!(bus.pop(s), Some(Word::data(0)));
+        bus.tick();
+        assert_eq!(bus.delivered(s), 3);
+    }
+}

@@ -1,0 +1,198 @@
+//! Asynchronous FIFOs.
+//!
+//! Every boundary between clock domains in VAPRES — module interfaces and
+//! FSL links — is an asynchronous BRAM FIFO. In the single-threaded
+//! simulation an async FIFO is a bounded queue pushed from one domain's
+//! tick and popped from another's; the empty/full flags implement the
+//! blocking-read / blocking-write synchronization the paper highlights as
+//! the KPN-friendly interface abstraction.
+
+use crate::word::Word;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Error returned when pushing into a full FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FullError;
+
+impl fmt::Display for FullError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fifo full")
+    }
+}
+
+impl std::error::Error for FullError {}
+
+/// A bounded FIFO of stream [`Word`]s with occupancy flags and lifetime
+/// counters.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_stream::fifo::AsyncFifo;
+/// use vapres_stream::word::Word;
+///
+/// let mut f = AsyncFifo::new(2);
+/// f.push(Word::data(1))?;
+/// f.push(Word::data(2))?;
+/// assert!(f.is_full());
+/// assert_eq!(f.pop(), Some(Word::data(1)));
+/// assert_eq!(f.remaining(), 1);
+/// # Ok::<(), vapres_stream::fifo::FullError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsyncFifo {
+    queue: VecDeque<Word>,
+    capacity: usize,
+    pushed: u64,
+    popped: u64,
+}
+
+impl AsyncFifo {
+    /// Creates an empty FIFO holding up to `capacity` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be non-zero");
+        AsyncFifo {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            pushed: 0,
+            popped: 0,
+        }
+    }
+
+    /// Maximum number of words the FIFO can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The empty flag.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The full flag.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() == self.capacity
+    }
+
+    /// Free space in words.
+    pub fn remaining(&self) -> usize {
+        self.capacity - self.queue.len()
+    }
+
+    /// Appends a word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FullError`] (and does not enqueue) if the FIFO is full.
+    pub fn push(&mut self, word: Word) -> Result<(), FullError> {
+        if self.is_full() {
+            return Err(FullError);
+        }
+        self.queue.push_back(word);
+        self.pushed += 1;
+        Ok(())
+    }
+
+    /// Removes and returns the oldest word, `None` if empty.
+    pub fn pop(&mut self) -> Option<Word> {
+        let w = self.queue.pop_front();
+        if w.is_some() {
+            self.popped += 1;
+        }
+        w
+    }
+
+    /// The oldest word without removing it.
+    pub fn peek(&self) -> Option<&Word> {
+        self.queue.front()
+    }
+
+    /// Discards all contents (the `FIFO_reset` DCR bit). Lifetime counters
+    /// are preserved; they count hardware events, not occupancy.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+    }
+
+    /// Total words ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Total words ever popped.
+    pub fn total_popped(&self) -> u64 {
+        self.popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ordering() {
+        let mut f = AsyncFifo::new(4);
+        for i in 0..4 {
+            f.push(Word::data(i)).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(f.pop(), Some(Word::data(i)));
+        }
+        assert_eq!(f.pop(), None);
+    }
+
+    #[test]
+    fn full_flag_and_error() {
+        let mut f = AsyncFifo::new(1);
+        assert!(!f.is_full());
+        f.push(Word::data(0)).unwrap();
+        assert!(f.is_full());
+        assert_eq!(f.push(Word::data(1)), Err(FullError));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn remaining_tracks_space() {
+        let mut f = AsyncFifo::new(3);
+        assert_eq!(f.remaining(), 3);
+        f.push(Word::data(0)).unwrap();
+        assert_eq!(f.remaining(), 2);
+        f.pop();
+        assert_eq!(f.remaining(), 3);
+    }
+
+    #[test]
+    fn reset_clears_but_keeps_counters() {
+        let mut f = AsyncFifo::new(2);
+        f.push(Word::data(1)).unwrap();
+        f.pop();
+        f.push(Word::data(2)).unwrap();
+        f.reset();
+        assert!(f.is_empty());
+        assert_eq!(f.total_pushed(), 2);
+        assert_eq!(f.total_popped(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut f = AsyncFifo::new(2);
+        f.push(Word::data(9)).unwrap();
+        assert_eq!(f.peek(), Some(&Word::data(9)));
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = AsyncFifo::new(0);
+    }
+}

@@ -1,0 +1,59 @@
+//! # vapres-stream
+//!
+//! The VAPRES inter-module communication architecture (Jara-Berrocal &
+//! Gordon-Ross, DATE 2010, Sec. III.B), cycle-level.
+//!
+//! * [`word`] — stream words with the in-band end-of-stream marker the
+//!   switching methodology uses;
+//! * [`fifo`] — asynchronous FIFOs: the clock-domain boundary and the KPN
+//!   blocking-read/blocking-write synchronization primitive;
+//! * [`params`] — the architectural parameters of Fig. 7
+//!   (`N, w, kr, kl, ki, ko`);
+//! * [`fabric`] — the linear switch-box array: channel establishment and
+//!   release (what `vapres_establish_channel` programs via `MUX_sel`),
+//!   one-hop-per-cycle pipelined transport, and the pipelined
+//!   feedback-full back-pressure that makes the channels lossless;
+//! * [`baseline`] — the two related-work interconnects the E6 experiment
+//!   compares against: processor-routed relay (Ullmann) and a
+//!   time-multiplexed bus (Sedcole's Sonic-on-a-Chip).
+//!
+//! # Examples
+//!
+//! Stream ten words across two switch-box hops:
+//!
+//! ```
+//! use vapres_stream::fabric::{PortRef, StreamFabric};
+//! use vapres_stream::params::FabricParams;
+//! use vapres_stream::word::Word;
+//!
+//! let mut fabric = StreamFabric::new(FabricParams::prototype())?;
+//! let src = PortRef::new(0, 0);
+//! let dst = PortRef::new(2, 0);
+//! fabric.establish_channel(src, dst)?;
+//! fabric.set_fifo_ren(src, true)?;
+//! fabric.set_fifo_wen(dst, true)?;
+//!
+//! for i in 0..10 {
+//!     fabric.producer_push(src, Word::data(i))?;
+//! }
+//! let mut received = Vec::new();
+//! while received.len() < 10 {
+//!     fabric.tick();
+//!     while let Some(w) = fabric.consumer_pop(dst)? {
+//!         received.push(w.data);
+//!     }
+//! }
+//! assert_eq!(received, (0..10).collect::<Vec<_>>());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod baseline;
+pub mod fabric;
+pub mod fifo;
+pub mod params;
+pub mod word;
+
+pub use fabric::{ChannelId, ChannelInfo, PortRef, RouteError, StreamFabric};
+pub use fifo::{AsyncFifo, FullError};
+pub use params::FabricParams;
+pub use word::Word;

@@ -1,0 +1,158 @@
+//! Architectural parameters of one RSB's communication fabric (Fig. 7).
+//!
+//! The paper's architectural specialization knobs: number of attachment
+//! points `N` (PRRs + IOMs), channel width `w`, right/left channel counts
+//! `kr`/`kl`, and per-module input/output port counts `ki`/`ko`. The FIFO
+//! depth is the `N` of the feedback-threshold formula (Sec. III.B).
+
+use std::fmt;
+
+/// Parameters describing one reconfigurable streaming block's fabric.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_stream::params::FabricParams;
+///
+/// // The paper's prototype: 1 RSB with 2 PRRs + 1 IOM, two 32-bit channels
+/// // each way, one input and one output port per module.
+/// let p = FabricParams::prototype();
+/// assert_eq!((p.nodes, p.kr, p.kl, p.ki, p.ko), (3, 2, 2, 1, 1));
+/// p.validate().expect("prototype parameters are valid");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FabricParams {
+    /// Attachment points on the switch-box array: PRRs plus IOMs.
+    pub nodes: usize,
+    /// One-way channels flowing right between adjacent switch boxes.
+    pub kr: usize,
+    /// One-way channels flowing left between adjacent switch boxes.
+    pub kl: usize,
+    /// Consumer (module input) ports per node.
+    pub ki: usize,
+    /// Producer (module output) ports per node.
+    pub ko: usize,
+    /// Channel width in bits (`w`). Payloads are carried in `u32`; widths
+    /// other than 32 scale the resource model, not the data model.
+    pub width_bits: u32,
+    /// Words per module-interface FIFO (one 18-kbit BRAM at w=32 → 512).
+    pub fifo_depth: usize,
+}
+
+/// An invalid parameter combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamsError(String);
+
+impl fmt::Display for ParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fabric parameters: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamsError {}
+
+impl FabricParams {
+    /// The paper's prototype configuration (Sec. V.A): 3 nodes (2 PRRs +
+    /// 1 IOM), `w`=32, `kr`=`kl`=2, `ki`=`ko`=1, 512-word BRAM FIFOs.
+    pub fn prototype() -> Self {
+        FabricParams {
+            nodes: 3,
+            kr: 2,
+            kl: 2,
+            ki: 1,
+            ko: 1,
+            width_bits: 32,
+            fifo_depth: 512,
+        }
+    }
+
+    /// Checks internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParamsError`] when any count is zero, the width is zero or
+    /// above 32, or the FIFO depth cannot absorb even a zero-hop channel's
+    /// feedback window.
+    pub fn validate(&self) -> Result<(), ParamsError> {
+        if self.nodes == 0 {
+            return Err(ParamsError("nodes must be >= 1".into()));
+        }
+        if self.nodes > 1 && (self.kr == 0 && self.kl == 0) {
+            return Err(ParamsError(
+                "multi-node fabric needs kr or kl channels".into(),
+            ));
+        }
+        if self.ki == 0 || self.ko == 0 {
+            return Err(ParamsError("ki and ko must be >= 1".into()));
+        }
+        if self.width_bits == 0 || self.width_bits > 32 {
+            return Err(ParamsError("width_bits must be in 1..=32".into()));
+        }
+        if self.fifo_depth < 4 {
+            return Err(ParamsError("fifo_depth must be >= 4".into()));
+        }
+        Ok(())
+    }
+
+    /// Number of switch-box-to-switch-box segments (`nodes - 1`).
+    pub fn segments(&self) -> usize {
+        self.nodes.saturating_sub(1)
+    }
+}
+
+impl Default for FabricParams {
+    fn default() -> Self {
+        Self::prototype()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prototype_is_valid() {
+        FabricParams::prototype().validate().unwrap();
+        assert_eq!(FabricParams::default(), FabricParams::prototype());
+        assert_eq!(FabricParams::prototype().segments(), 2);
+    }
+
+    #[test]
+    fn rejects_zero_nodes() {
+        let mut p = FabricParams::prototype();
+        p.nodes = 0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_channel_less_multinode() {
+        let mut p = FabricParams::prototype();
+        p.kr = 0;
+        p.kl = 0;
+        assert!(p.validate().is_err());
+        p.nodes = 1; // single node needs no inter-box channels
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_width_and_depth() {
+        let mut p = FabricParams::prototype();
+        p.width_bits = 0;
+        assert!(p.validate().is_err());
+        p.width_bits = 33;
+        assert!(p.validate().is_err());
+        p = FabricParams::prototype();
+        p.fifo_depth = 2;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_ports() {
+        let mut p = FabricParams::prototype();
+        p.ki = 0;
+        assert!(p.validate().is_err());
+        p = FabricParams::prototype();
+        p.ko = 0;
+        assert!(p.validate().is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Stream words.
+//!
+//! The paper's communication channels carry `w`-bit data words, bit-extended
+//! by the producer interface with the negated FIFO-empty flag (the validity
+//! MSB). A second in-band control marker — the *end-of-stream* word the
+//! switching methodology relies on (Fig. 5, step 5) — is modelled as a flag
+//! rather than stealing the all-ones data value, so user data is
+//! unrestricted.
+
+use std::fmt;
+
+/// The data value the paper uses for its end-of-stream word
+/// ("(32 bits)" of ones in the text).
+pub const EOS_DATA: u32 = 0xFFFF_FFFF;
+
+/// One 32-bit stream word plus the end-of-stream control marker.
+///
+/// # Examples
+///
+/// ```
+/// use vapres_stream::word::Word;
+///
+/// let w = Word::data(7);
+/// assert_eq!(w.data, 7);
+/// assert!(!w.end_of_stream);
+/// let e = Word::end_of_stream();
+/// assert!(e.end_of_stream);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Word {
+    /// The payload bits.
+    pub data: u32,
+    /// Whether this word is the end-of-stream marker.
+    pub end_of_stream: bool,
+}
+
+impl Word {
+    /// A plain data word.
+    pub const fn data(data: u32) -> Self {
+        Word {
+            data,
+            end_of_stream: false,
+        }
+    }
+
+    /// The end-of-stream marker word.
+    pub const fn end_of_stream() -> Self {
+        Word {
+            data: EOS_DATA,
+            end_of_stream: true,
+        }
+    }
+}
+
+impl From<u32> for Word {
+    fn from(data: u32) -> Self {
+        Word::data(data)
+    }
+}
+
+impl fmt::Display for Word {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.end_of_stream {
+            write!(f, "EOS")
+        } else {
+            write!(f, "{:#010x}", self.data)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        assert_eq!(Word::from(5), Word::data(5));
+        assert_eq!(Word::end_of_stream().data, EOS_DATA);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Word::data(0xAB).to_string(), "0x000000ab");
+        assert_eq!(Word::end_of_stream().to_string(), "EOS");
+    }
+
+    #[test]
+    fn eos_flag_distinguishes_all_ones_data() {
+        // A data word of all ones is NOT end of stream.
+        let w = Word::data(EOS_DATA);
+        assert!(!w.end_of_stream);
+        assert_ne!(w, Word::end_of_stream());
+    }
+}

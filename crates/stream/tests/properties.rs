@@ -1,0 +1,193 @@
+//! Property tests for the streaming fabric's core invariants:
+//! no loss, no duplication, no reordering — for arbitrary topology
+//! distances, FIFO depths, and producer/consumer rate patterns.
+
+use proptest::prelude::*;
+use vapres_stream::fabric::{PortRef, StreamFabric};
+use vapres_stream::params::FabricParams;
+use vapres_stream::word::Word;
+
+/// Drives one channel with randomized producer/consumer behaviour and
+/// checks exact in-order delivery.
+fn run_channel(
+    nodes: usize,
+    fifo_depth: usize,
+    src_node: usize,
+    dst_node: usize,
+    n_words: u32,
+    push_pattern: &[bool],
+    pop_pattern: &[bool],
+) -> Result<(), TestCaseError> {
+    let params = FabricParams {
+        nodes,
+        kr: 2,
+        kl: 2,
+        ki: 1,
+        ko: 1,
+        width_bits: 32,
+        fifo_depth,
+    };
+    let mut fabric = StreamFabric::new(params).unwrap();
+    let src = PortRef::new(src_node, 0);
+    let dst = PortRef::new(dst_node, 0);
+    let ch = match fabric.establish_channel(src, dst) {
+        Ok(ch) => ch,
+        // Depth too shallow for this distance: a legal, reported outcome.
+        Err(vapres_stream::RouteError::FifoTooShallow { .. }) => return Ok(()),
+        Err(e) => panic!("unexpected establish error: {e}"),
+    };
+    fabric.set_fifo_ren(src, true).unwrap();
+    fabric.set_fifo_wen(dst, true).unwrap();
+
+    let mut next = 0u32;
+    let mut got = Vec::new();
+    let mut idle = 0u32;
+    let mut step = 0usize;
+    while (got.len() as u32) < n_words && idle < 10_000 {
+        let before = got.len();
+        if push_pattern[step % push_pattern.len()]
+            && next < n_words
+            && fabric.producer_space(src).unwrap() > 0
+        {
+            fabric.producer_push(src, Word::data(next)).unwrap();
+            next += 1;
+        }
+        fabric.tick();
+        if pop_pattern[step % pop_pattern.len()] {
+            while let Some(w) = fabric.consumer_pop(dst).unwrap() {
+                got.push(w.data);
+            }
+        }
+        idle = if got.len() == before && next == n_words {
+            idle + 1
+        } else {
+            0
+        };
+        step += 1;
+    }
+    // Drain any residue.
+    for _ in 0..fifo_depth * 4 {
+        fabric.tick();
+        while let Some(w) = fabric.consumer_pop(dst).unwrap() {
+            got.push(w.data);
+        }
+    }
+
+    prop_assert_eq!(fabric.consumer_overflow_drops(dst).unwrap(), 0);
+    prop_assert_eq!(got.len() as u32, n_words, "lost or duplicated words");
+    for (i, v) in got.iter().enumerate() {
+        prop_assert_eq!(*v, i as u32, "reordering at {}", i);
+    }
+    fabric.release_channel(ch).unwrap();
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// In-order, lossless delivery holds for any distance, any depth, any
+    /// stop-and-go rate pattern on both ends.
+    #[test]
+    fn lossless_in_order_delivery(
+        nodes in 2usize..8,
+        fifo_depth in 4usize..64,
+        src_sel in 0usize..8,
+        dst_sel in 0usize..8,
+        n_words in 1u32..300,
+        push_pattern in proptest::collection::vec(any::<bool>(), 1..12),
+        pop_pattern in proptest::collection::vec(any::<bool>(), 1..12),
+    ) {
+        let src = src_sel % nodes;
+        let dst = dst_sel % nodes;
+        // Guarantee at least some motion in each pattern.
+        let mut push = push_pattern.clone();
+        push[0] = true;
+        let mut pop = pop_pattern.clone();
+        pop[0] = true;
+        run_channel(nodes, fifo_depth, src, dst, n_words, &push, &pop)?;
+    }
+
+    /// A consumer that never pops still never overflows: the feedback-full
+    /// back-pressure throttles the producer in time.
+    #[test]
+    fn backpressure_never_overflows(
+        nodes in 2usize..8,
+        fifo_depth in 8usize..64,
+        run_ticks in 100usize..2_000,
+    ) {
+        let params = FabricParams {
+            nodes, kr: 1, kl: 1, ki: 1, ko: 1, width_bits: 32, fifo_depth,
+        };
+        let mut fabric = StreamFabric::new(params).unwrap();
+        let src = PortRef::new(0, 0);
+        let dst = PortRef::new(nodes - 1, 0);
+        match fabric.establish_channel(src, dst) {
+            Ok(_) => {}
+            Err(vapres_stream::RouteError::FifoTooShallow { .. }) => return Ok(()),
+            Err(e) => panic!("unexpected: {e}"),
+        }
+        fabric.set_fifo_ren(src, true).unwrap();
+        fabric.set_fifo_wen(dst, true).unwrap();
+        let mut i = 0u32;
+        for _ in 0..run_ticks {
+            if fabric.producer_space(src).unwrap() > 0 {
+                fabric.producer_push(src, Word::data(i)).unwrap();
+                i += 1;
+            }
+            fabric.tick();
+        }
+        prop_assert_eq!(fabric.consumer_overflow_drops(dst).unwrap(), 0);
+        // Conservation: pushed == delivered + still queued in flight.
+        let delivered = fabric.consumer_len(dst).unwrap() as u32;
+        prop_assert!(delivered <= i);
+    }
+
+    /// Two concurrent channels on disjoint slots never interfere.
+    #[test]
+    fn concurrent_channels_are_isolated(
+        n_words in 1u32..120,
+        fifo_depth in 16usize..64,
+    ) {
+        let params = FabricParams {
+            nodes: 4, kr: 2, kl: 2, ki: 2, ko: 2, width_bits: 32, fifo_depth,
+        };
+        let mut fabric = StreamFabric::new(params).unwrap();
+        let a_src = PortRef::new(0, 0);
+        let a_dst = PortRef::new(3, 0);
+        let b_src = PortRef::new(3, 1);
+        let b_dst = PortRef::new(0, 1);
+        fabric.establish_channel(a_src, a_dst).unwrap();
+        fabric.establish_channel(b_src, b_dst).unwrap();
+        for p in [a_src, b_src] {
+            fabric.set_fifo_ren(p, true).unwrap();
+        }
+        for c in [a_dst, b_dst] {
+            fabric.set_fifo_wen(c, true).unwrap();
+        }
+        let mut sent = 0u32;
+        let (mut got_a, mut got_b) = (Vec::new(), Vec::new());
+        for _ in 0..(n_words as usize * 4 + 64) {
+            if sent < n_words
+                && fabric.producer_space(a_src).unwrap() > 0
+                    && fabric.producer_space(b_src).unwrap() > 0
+                {
+                    fabric.producer_push(a_src, Word::data(sent)).unwrap();
+                    fabric.producer_push(b_src, Word::data(sent | 0x8000_0000)).unwrap();
+                    sent += 1;
+                }
+            fabric.tick();
+            while let Some(w) = fabric.consumer_pop(a_dst).unwrap() {
+                got_a.push(w.data);
+            }
+            while let Some(w) = fabric.consumer_pop(b_dst).unwrap() {
+                got_b.push(w.data);
+            }
+        }
+        prop_assert_eq!(got_a.len() as u32, n_words);
+        prop_assert_eq!(got_b.len() as u32, n_words);
+        for (i, (a, b)) in got_a.iter().zip(&got_b).enumerate() {
+            prop_assert_eq!(*a, i as u32);
+            prop_assert_eq!(*b, i as u32 | 0x8000_0000);
+        }
+    }
+}

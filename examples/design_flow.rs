@@ -1,0 +1,71 @@
+//! The VAPRES base system flow (paper Sec. IV.A, Figs. 6-8): specialize
+//! the architectural parameters, floorplan the PRRs automatically, emit
+//! the system definition files (MHS / MSS / UCF), predict resource
+//! utilization, and render the Fig. 8-style floorplan.
+//!
+//! Run with: `cargo run --release --example design_flow`
+
+use vapres::fabric::geometry::Device;
+use vapres::fabric::resources::{ResourceBudget, ResourceKind};
+use vapres::floorplan::planner::{plan, PrrRequest};
+use vapres::floorplan::resources::{comm_arch_slices, static_region_slices};
+use vapres::floorplan::sysdef::{generate_mhs, generate_mss, generate_ucf, parse_ucf};
+use vapres::stream::params::FabricParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Step 1: base system specification — the paper's prototype
+    // parameters (Fig. 7 notation: N=3, w=32, kr=kl=2, ki=ko=1).
+    let params = FabricParams::prototype();
+    let device = Device::xc4vlx25();
+    println!("target device : {device}");
+    println!(
+        "parameters    : N={} w={} kr={} kl={} ki={} ko={}\n",
+        params.nodes, params.width_bits, params.kr, params.kl, params.ki, params.ko
+    );
+
+    // Step 2: floorplan — two 640-slice PRRs, automatically placed (the
+    // paper's future-work "scripting tools for floorplan definition").
+    let outcome = plan(
+        &device,
+        &[PrrRequest::new("prr0", 640), PrrRequest::new("prr1", 640)],
+    )?;
+    let floorplan = &outcome.floorplan;
+    println!("floorplan (S = static, digits = PRRs, . = free):");
+    println!("{}", floorplan.ascii_art());
+
+    // Step 3: system definition files.
+    let mhs = generate_mhs(&params, floorplan);
+    let mss = generate_mss(&params);
+    let ucf = generate_ucf(floorplan);
+    println!("--- system.ucf ---\n{ucf}");
+    println!("mhs: {} lines, mss: {} lines", mhs.lines().count(), mss.lines().count());
+
+    // Round-trip the UCF through the parser (the scripting-tool path).
+    let reparsed = parse_ucf(&device, &ucf)?;
+    reparsed.validate()?;
+    assert_eq!(reparsed.prrs(), floorplan.prrs());
+    println!("ucf round-trip: OK\n");
+
+    // Step 4: resource prediction (experiment E1's model).
+    let inventory = ResourceBudget::of_device(&device);
+    let static_slices = static_region_slices(&params);
+    let comm = comm_arch_slices(&params);
+    println!("resource model:");
+    println!(
+        "  static region          : {static_slices} slices ({:.1}% of {})   [paper: 9,421 / ~86%]",
+        100.0 * f64::from(static_slices) / inventory.get(ResourceKind::Slice) as f64,
+        device.name()
+    );
+    println!("  comm architecture      : {comm} slices            [paper: 1,020]");
+    println!(
+        "  PRR fabric (2 x 640)   : {} slices",
+        outcome.allocated.iter().sum::<u32>()
+    );
+    println!(
+        "  internal fragmentation : {} wasted slices",
+        outcome.wasted_slices(&[PrrRequest::new("prr0", 640), PrrRequest::new("prr1", 640)])
+    );
+
+    println!("\ndesign_flow OK");
+    Ok(())
+}

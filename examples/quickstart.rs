@@ -1,0 +1,62 @@
+//! Quickstart: build the paper's prototype system, load a hardware module
+//! from CompactFlash, stream data through it, and print the
+//! reconfiguration timing the paper reports in Sec. V.B.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use vapres::core::config::SystemConfig;
+use vapres::core::module::ModuleLibrary;
+use vapres::core::system::VapresSystem;
+use vapres::core::{PortRef, Ps};
+use vapres::modules::{register_standard_modules, uids};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Base system flow: the prototype configuration (1 RSB, one IOM +
+    //    two 640-slice PRRs on a Virtex-4 LX25, 100 MHz static clock).
+    let cfg = SystemConfig::prototype();
+    println!("device: {}", cfg.device);
+    println!(
+        "nodes: {} ({} PRRs, {} IOMs)\n",
+        cfg.params.nodes,
+        cfg.prr_count(),
+        cfg.iom_count()
+    );
+
+    // 2. Application flow: register the "synthesized" module library and
+    //    deploy a bitstream file for the scaler onto the CompactFlash.
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    let mut sys = VapresSystem::new(cfg, lib)?;
+    sys.install_bitstream(0, uids::SCALER, "scaler.bit")?;
+
+    // 3. Reconfigure PRR0 through the ICAP, straight from CompactFlash.
+    let report = sys.vapres_cf2icap("scaler.bit")?;
+    println!("vapres_cf2icap(\"scaler.bit\"):");
+    println!("  transfer : {}", report.transfer);
+    println!("  icap     : {}", report.icap);
+    println!(
+        "  total    : {}  ({:.1}% transfer)  [paper: 1.043 s, 95.3%]",
+        report.total(),
+        report.transfer_fraction() * 100.0
+    );
+
+    // 4. Establish streaming channels IOM -> PRR0 -> IOM and bring the
+    //    nodes up.
+    sys.vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))?;
+    sys.vapres_establish_channel(PortRef::new(1, 0), PortRef::new(0, 0))?;
+    sys.bring_up_node(0, false)?;
+    sys.bring_up_node(1, false)?;
+
+    // 5. Stream data through the module (the library scaler has Q8 gain
+    //    256, i.e. 1.0x).
+    let input: Vec<u32> = (1..=10).collect();
+    sys.iom_feed(0, input.iter().copied());
+    sys.run_until(Ps::from_us(10), |s| s.iom_output(0).len() == input.len());
+
+    let output: Vec<u32> = sys.iom_output(0).iter().map(|(_, w)| w.data).collect();
+    println!("\nstreamed {:?}", input);
+    println!("received {:?}", output);
+    assert_eq!(output, input); // unit gain
+    println!("\nquickstart OK");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Waveform capture: trace a streaming channel's activity into a VCD
+//! file viewable with GTKWave — the debugging loop of hardware work.
+//!
+//! Run with: `cargo run --release --example waveform`
+//! Then: `gtkwave /tmp/vapres_waveform.vcd`
+
+use vapres::core::config::SystemConfig;
+use vapres::core::module::ModuleLibrary;
+use vapres::core::system::VapresSystem;
+use vapres::core::{PortRef, Ps};
+use vapres::modules::{register_standard_modules, uids};
+use vapres::sim::trace::Tracer;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    let mut sys = VapresSystem::new(SystemConfig::prototype(), lib)?;
+
+    sys.install_bitstream(0, uids::FIR_A, "fir.bit")?;
+    sys.vapres_cf2icap("fir.bit")?;
+    sys.vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))?;
+    sys.vapres_establish_channel(PortRef::new(1, 0), PortRef::new(0, 0))?;
+    sys.bring_up_node(0, false)?;
+    sys.bring_up_node(1, false)?;
+    sys.iom_set_input_interval(0, 8);
+
+    // A burst-y signal to make the waveform interesting.
+    let input: Vec<u32> = (0..400u32)
+        .map(|i| if (i / 50) % 2 == 0 { 1_000 } else { 0 })
+        .collect();
+    sys.iom_feed(0, input.iter().copied());
+
+    // Sample the system every fabric cycle and trace the interesting
+    // signals.
+    let mut tracer = Tracer::new("vapres");
+    let s_pending = tracer.add_signal("iom_input_pending", 16);
+    let s_out_count = tracer.add_signal("iom_output_count", 16);
+    let s_out_val = tracer.add_signal("iom_output_value", 32);
+    let s_prod = tracer.add_signal("iom_producer_fifo", 16);
+
+    let total = input.len();
+    while sys.iom_output(0).len() < total {
+        sys.run_for(Ps::from_ns(10));
+        let now = sys.now();
+        tracer.change(now, s_pending, sys.iom_pending_input(0) as u64);
+        tracer.change(now, s_out_count, sys.iom_output(0).len() as u64);
+        if let Some((_, w)) = sys.iom_output(0).last() {
+            tracer.change(now, s_out_val, u64::from(w.data));
+        }
+        let fifo = sys.fabric().producer_len(PortRef::new(0, 0)).unwrap_or(0);
+        tracer.change(now, s_prod, fifo as u64);
+    }
+
+    let path = std::env::temp_dir().join("vapres_waveform.vcd");
+    let mut file = std::fs::File::create(&path)?;
+    tracer.write_vcd(&mut file)?;
+    println!(
+        "traced {} value changes over {} into {}",
+        tracer.len(),
+        sys.now(),
+        path.display()
+    );
+    println!("view with: gtkwave {}", path.display());
+    Ok(())
+}

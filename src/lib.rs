@@ -1,0 +1,46 @@
+//! # vapres
+//!
+//! Umbrella crate for the VAPRES reproduction (Jara-Berrocal &
+//! Gordon-Ross, *VAPRES: A Virtual Architecture for Partially
+//! Reconfigurable Embedded Systems*, DATE 2010).
+//!
+//! Re-exports every layer of the workspace:
+//!
+//! * [`sim`] — deterministic multi-clock discrete-event kernel;
+//! * [`fabric`] — Virtex-4-style device model (geometry, clock regions,
+//!   clocking primitives, configuration frames);
+//! * [`bitstream`] — partial bitstreams, ICAP, CompactFlash/SDRAM;
+//! * [`stream`] — switch-box streaming fabric and baselines;
+//! * [`floorplan`] — base-system design flow (floorplanner, slice cost
+//!   model, MHS/MSS/UCF);
+//! * [`core`] — the VAPRES system, Table-2 API, and the seamless module
+//!   switching methodology;
+//! * [`modules`] — hardware module library;
+//! * [`kpn`] — Kahn process network layer.
+//!
+//! # Examples
+//!
+//! ```
+//! use vapres::core::config::SystemConfig;
+//! use vapres::core::module::ModuleLibrary;
+//! use vapres::core::system::VapresSystem;
+//! use vapres::modules::{register_standard_modules, uids};
+//!
+//! let mut lib = ModuleLibrary::new();
+//! register_standard_modules(&mut lib, 0);
+//! let mut sys = VapresSystem::new(SystemConfig::prototype(), lib)?;
+//! sys.install_bitstream(0, uids::PASSTHROUGH, "wire.bit")?;
+//! let report = sys.vapres_cf2icap("wire.bit")?;
+//! // The paper's Sec. V.B headline: ~1.043 s from CompactFlash.
+//! assert!((report.total().as_secs_f64() - 1.043).abs() < 0.03);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use vapres_bitstream as bitstream;
+pub use vapres_core as core;
+pub use vapres_fabric as fabric;
+pub use vapres_floorplan as floorplan;
+pub use vapres_kpn as kpn;
+pub use vapres_modules as modules;
+pub use vapres_sim as sim;
+pub use vapres_stream as stream;

@@ -1,0 +1,131 @@
+//! End-to-end test of a fork/join KPN (Fig. 4 topology) on the VAPRES
+//! fabric: source → broadcast → {FIR-A, scaler} → zip-add → sink, with
+//! every edge a circuit-switched streaming channel, verified against the
+//! software reference executor.
+
+use vapres::core::config::SystemConfig;
+use vapres::core::module::ModuleLibrary;
+use vapres::core::system::VapresSystem;
+use vapres::core::Ps;
+use vapres::kpn::{deploy_graph, execute_reference, map_graph, KpnGraph, RefBehavior};
+use vapres::modules::kernels::{FirFilter, Scaler};
+use vapres::modules::multiport::CombineOp;
+use vapres::modules::{register_multiport_modules, register_standard_modules, uids};
+
+fn diamond() -> KpnGraph {
+    let mut g = KpnGraph::new();
+    let src = g.add_source();
+    let bc = g.add_module(uids::BROADCAST2, 1, 2);
+    let fir = g.add_module(uids::FIR_A, 1, 1);
+    let sc = g.add_module(uids::SCALER, 1, 1);
+    let add = g.add_module(uids::COMBINE_ADD, 2, 1);
+    let dst = g.add_sink();
+    g.connect(src, 0, bc, 0);
+    g.connect(bc, 0, fir, 0);
+    g.connect(bc, 1, sc, 0);
+    g.connect(fir, 0, add, 0);
+    g.connect(sc, 0, add, 1);
+    g.connect(add, 0, dst, 0);
+    g
+}
+
+fn reference(input: &[u32]) -> Vec<u32> {
+    execute_reference(
+        &diamond(),
+        |uid| {
+            if uid == uids::BROADCAST2 {
+                RefBehavior::Broadcast
+            } else if uid == uids::COMBINE_ADD {
+                RefBehavior::Combine(CombineOp::Add)
+            } else if uid == uids::FIR_A {
+                RefBehavior::Kernel(Box::new(FirFilter::filter_a()))
+            } else if uid == uids::SCALER {
+                RefBehavior::Kernel(Box::new(Scaler::new(256)))
+            } else {
+                panic!("unexpected uid {uid}")
+            }
+        },
+        input,
+    )
+}
+
+#[test]
+fn diamond_graph_matches_reference_executor() {
+    let mut cfg = SystemConfig::linear(4).expect("4 PRRs fit");
+    cfg.params.ki = 2;
+    cfg.params.ko = 2;
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    register_multiport_modules(&mut lib);
+    let mut sys = VapresSystem::new(cfg, lib).expect("config valid");
+
+    let graph = diamond();
+    let mapping = map_graph(sys.config(), &graph).expect("maps");
+    let deployed = deploy_graph(&mut sys, &graph, &mapping).expect("deploys");
+    assert_eq!(deployed.channels.len(), 6);
+
+    let input: Vec<u32> = (0..4_000u32).map(|i| (i * 131) % 2_003).collect();
+    let expect = reference(&input);
+    assert_eq!(expect.len(), input.len());
+
+    sys.iom_feed(0, input.iter().copied());
+    let done = sys.run_until(Ps::from_ms(10), |s| {
+        s.iom_output(0).len() >= input.len() && s.iom_pending_input(0) == 0
+    });
+    assert!(done, "graph stalled at {} words", sys.iom_output(0).len());
+
+    let hw: Vec<u32> = sys.iom_output(0).iter().map(|(_, w)| w.data).collect();
+    assert_eq!(hw, expect, "fork/join hardware output diverged");
+}
+
+#[test]
+fn unbalanced_branches_still_join_correctly() {
+    // One branch (moving average) is slower to warm up than the other;
+    // the combine node's blocking join must keep pairs aligned.
+    let mut g = KpnGraph::new();
+    let src = g.add_source();
+    let bc = g.add_module(uids::BROADCAST2, 1, 2);
+    let avg = g.add_module(uids::MOVING_AVERAGE, 1, 1);
+    let sc = g.add_module(uids::SCALER, 1, 1);
+    let sub = g.add_module(uids::COMBINE_SUB, 2, 1);
+    let dst = g.add_sink();
+    g.connect(src, 0, bc, 0);
+    g.connect(bc, 0, avg, 0);
+    g.connect(bc, 1, sc, 0);
+    g.connect(avg, 0, sub, 0);
+    g.connect(sc, 0, sub, 1);
+    g.connect(sub, 0, dst, 0);
+
+    let mut cfg = SystemConfig::linear(4).expect("fits");
+    cfg.params.ki = 2;
+    cfg.params.ko = 2;
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    register_multiport_modules(&mut lib);
+    let mut sys = VapresSystem::new(cfg, lib).expect("valid");
+    let mapping = map_graph(sys.config(), &g).expect("maps");
+    deploy_graph(&mut sys, &g, &mapping).expect("deploys");
+
+    let input: Vec<u32> = (0..1_000u32).map(|i| i * 3).collect();
+    let expect = execute_reference(
+        &g,
+        |uid| {
+            if uid == uids::BROADCAST2 {
+                RefBehavior::Broadcast
+            } else if uid == uids::COMBINE_SUB {
+                RefBehavior::Combine(CombineOp::Sub)
+            } else if uid == uids::MOVING_AVERAGE {
+                RefBehavior::Kernel(Box::new(vapres::modules::kernels::MovingAverage::new(8)))
+            } else {
+                RefBehavior::Kernel(Box::new(Scaler::new(256)))
+            }
+        },
+        &input,
+    );
+
+    sys.iom_feed(0, input.iter().copied());
+    let done = sys.run_until(Ps::from_ms(10), |s| s.iom_output(0).len() >= input.len());
+    assert!(done);
+    let hw: Vec<u32> = sys.iom_output(0).iter().map(|(_, w)| w.data).collect();
+    assert_eq!(hw, expect);
+}

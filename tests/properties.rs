@@ -1,0 +1,177 @@
+//! Cross-crate property tests: bitstream round-trips over arbitrary legal
+//! PRR rectangles, floorplanner output validity over arbitrary request
+//! mixes, DCR encoding, and hardware-vs-reference equivalence for random
+//! module pipelines.
+
+use proptest::prelude::*;
+use vapres::bitstream::stream::{parse, ModuleUid, PartialBitstream};
+use vapres::core::config::SystemConfig;
+use vapres::core::module::ModuleLibrary;
+use vapres::core::socket::Dcr;
+use vapres::core::system::VapresSystem;
+use vapres::core::Ps;
+use vapres::fabric::geometry::{ClbRect, Device};
+use vapres::floorplan::planner::{plan, PrrRequest};
+use vapres::kpn::{deploy, map_pipeline, run_chain, Pipeline};
+use vapres::modules::kernels::{DeltaDecoder, DeltaEncoder, MovingAverage, Scaler};
+use vapres::modules::{register_standard_modules, uids, StreamKernel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any legal PRR rectangle's bitstream parses back to the same module
+    /// UID and the geometrically expected frame count.
+    #[test]
+    fn bitstream_roundtrip_arbitrary_rect(
+        col_lo in 0u32..10,
+        width in 1u32..5,
+        band in 0u32..6,
+        bands in 1u32..4,
+        uid in any::<u32>(),
+    ) {
+        let dev = Device::xc4vlx25();
+        let row_lo = band.min(6 - bands) * 16;
+        let rect = ClbRect::new(col_lo, col_lo + width - 1, row_lo, row_lo + bands * 16 - 1);
+        let bs = PartialBitstream::generate(&dev, &rect, ModuleUid(uid)).expect("legal rect");
+        let parsed = parse(bs.words()).expect("own bitstream parses");
+        prop_assert_eq!(parsed.uid, ModuleUid(uid));
+        prop_assert_eq!(parsed.frames.len() as u32, width * bands * 22);
+        // Byte round-trip agrees with word parse.
+        let reparsed = PartialBitstream::from_bytes(&bs.to_bytes()).expect("bytes parse");
+        prop_assert_eq!(reparsed.frames, parsed.frames);
+    }
+
+    /// Any single-bit corruption of the payload region is caught.
+    #[test]
+    fn bitstream_bitflip_always_detected(
+        word_frac in 0.1f64..0.9,
+        bit in 0u32..32,
+    ) {
+        let dev = Device::xc4vlx25();
+        let rect = ClbRect::new(0, 2, 0, 15);
+        let bs = PartialBitstream::generate(&dev, &rect, ModuleUid(7)).expect("generate");
+        let mut words = bs.words().to_vec();
+        let idx = (words.len() as f64 * word_frac) as usize;
+        words[idx] ^= 1 << bit;
+        prop_assert!(parse(&words).is_err(), "bit flip at word {} bit {} not caught", idx, bit);
+    }
+
+    /// The automatic floorplanner either errors or produces a plan that
+    /// passes full validation with every allocation covering its request.
+    #[test]
+    fn planner_output_always_valid(
+        sizes in proptest::collection::vec(1u32..2_000, 1..7),
+    ) {
+        let dev = Device::xc4vlx25();
+        let requests: Vec<PrrRequest> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| PrrRequest::new(format!("p{i}"), s))
+            .collect();
+        if let Ok(outcome) = plan(&dev, &requests) {
+            outcome.floorplan.validate().expect("planner plans validate");
+            for (alloc, req) in outcome.allocated.iter().zip(&requests) {
+                prop_assert!(*alloc >= req.min_slices);
+            }
+        }
+    }
+
+    /// DCR encode/decode is the identity on its 32-bit space.
+    #[test]
+    fn dcr_roundtrip(word in any::<u32>()) {
+        let dcr = Dcr::decode(word);
+        prop_assert_eq!(dcr.encode(), word);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Combine operators are exact signed arithmetic (zip semantics).
+    #[test]
+    fn combine_ops_match_reference(a in any::<i32>(), b in any::<i32>()) {
+        use vapres::modules::multiport::CombineOp;
+        prop_assert_eq!(
+            CombineOp::Add.apply(a as u32, b as u32),
+            a.wrapping_add(b) as u32
+        );
+        prop_assert_eq!(
+            CombineOp::Sub.apply(a as u32, b as u32),
+            a.wrapping_sub(b) as u32
+        );
+        prop_assert_eq!(CombineOp::Max.apply(a as u32, b as u32), a.max(b) as u32);
+        prop_assert_eq!(CombineOp::Min.apply(a as u32, b as u32), a.min(b) as u32);
+    }
+
+    /// RLE encode∘decode is the identity for arbitrary (run-friendly and
+    /// hostile) inputs, including across a mid-stream state handoff.
+    #[test]
+    fn rle_roundtrip_with_handoff(
+        data in proptest::collection::vec(0u32..6, 1..300),
+        split_frac in 0.0f64..1.0,
+    ) {
+        use vapres::modules::kernels::{RleDecoder, RleEncoder};
+        let split = ((data.len() as f64 * split_frac) as usize).min(data.len());
+        let mut e1 = RleEncoder::new();
+        let mut encoded = vapres::modules::run_kernel(&mut e1, &data[..split]);
+        let mut e2 = RleEncoder::new();
+        e2.restore_state(&e1.save_state());
+        encoded.extend(vapres::modules::run_kernel(&mut e2, &data[split..]));
+        e2.flush(&mut encoded);
+        let decoded = vapres::modules::run_kernel(&mut RleDecoder::new(), &encoded);
+        prop_assert_eq!(decoded, data);
+    }
+}
+
+/// Builds the kernel stack for a stage code (used both in hardware UID
+/// form and as the golden model).
+fn stage_uid(code: u8) -> vapres::core::ModuleUid {
+    match code % 4 {
+        0 => uids::SCALER,
+        1 => uids::DELTA_ENCODER,
+        2 => uids::DELTA_DECODER,
+        _ => uids::MOVING_AVERAGE,
+    }
+}
+
+fn stage_kernel(code: u8) -> Box<dyn StreamKernel> {
+    match code % 4 {
+        0 => Box::new(Scaler::new(256)),
+        1 => Box::new(DeltaEncoder::new()),
+        2 => Box::new(DeltaDecoder::new()),
+        _ => Box::new(MovingAverage::new(8)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random pipelines of library kernels produce hardware output equal
+    /// to the software reference for random inputs.
+    #[test]
+    fn random_pipeline_matches_reference(
+        codes in proptest::collection::vec(any::<u8>(), 1..3),
+        input in proptest::collection::vec(any::<u32>(), 1..200),
+    ) {
+        let stages: Vec<_> = codes.iter().map(|&c| stage_uid(c)).collect();
+        let mut golden: Vec<Box<dyn StreamKernel>> =
+            codes.iter().map(|&c| stage_kernel(c)).collect();
+        let expect = run_chain(&mut golden, &input);
+
+        let mut lib = ModuleLibrary::new();
+        register_standard_modules(&mut lib, 0);
+        let mut sys = VapresSystem::new(SystemConfig::prototype(), lib).expect("proto");
+        let pipeline = Pipeline::new(stages);
+        let mapping = map_pipeline(sys.config(), &pipeline).expect("maps");
+        deploy(&mut sys, &pipeline, &mapping).expect("deploys");
+
+        sys.iom_feed(0, input.iter().copied());
+        let want = expect.len();
+        let done = sys.run_until(Ps::from_ms(1), |s| {
+            s.iom_output(0).len() >= want && s.iom_pending_input(0) == 0
+        });
+        prop_assert!(done, "pipeline stalled");
+        let hw: Vec<u32> = sys.iom_output(0).iter().map(|(_, w)| w.data).collect();
+        prop_assert_eq!(hw, expect);
+    }
+}

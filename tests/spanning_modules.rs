@@ -1,0 +1,140 @@
+//! Multi-PRR spanning modules (paper Sec. IV.A): "hardware modules that
+//! require more resources than a PRR provides can span multiple adjacent
+//! PRRs".
+
+use vapres::core::config::SystemConfig;
+use vapres::core::module::{HardwareModule, ModuleIo, ModuleLibrary};
+use vapres::core::system::VapresSystem;
+use vapres::core::{ApiError, ModuleUid, PortRef, Ps};
+use vapres::modules::{register_standard_modules, uids};
+
+/// A large module that does not fit one 640-slice PRR.
+struct BigFilter;
+
+const BIG: ModuleUid = ModuleUid(0xB16);
+
+impl HardwareModule for BigFilter {
+    fn name(&self) -> &str {
+        "big_filter"
+    }
+    fn uid(&self) -> ModuleUid {
+        BIG
+    }
+    fn required_slices(&self) -> u32 {
+        1_000 // > 640, <= 1280
+    }
+    fn tick(&mut self, io: &mut ModuleIo<'_>) {
+        if io.output_space(0) > 0 {
+            if let Some(w) = io.read_input(0) {
+                io.write_output(0, vapres::core::Word::data(w.data.wrapping_mul(3)));
+            }
+        }
+    }
+    fn save_state(&self) -> Vec<u32> {
+        Vec::new()
+    }
+    fn restore_state(&mut self, _s: &[u32]) {}
+    fn reset(&mut self) {}
+}
+
+fn system() -> VapresSystem {
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    lib.register(BIG, || Box::new(BigFilter));
+    VapresSystem::new(SystemConfig::prototype(), lib).expect("prototype")
+}
+
+#[test]
+fn spanning_bitstream_loads_across_two_prrs() {
+    let mut sys = system();
+    let bs = sys.bitstream_for_span(&[0, 1], BIG).expect("span generates");
+    // Twice the frames of a single-PRR bitstream (plus per-column headers).
+    let single = sys.bitstream_for(0, BIG).expect("single");
+    assert!(bs.len_bytes() > 2 * single.len_bytes() - 1_000);
+    sys.compact_flash_mut().store("big.bit", bs.to_bytes());
+
+    let report = sys.vapres_cf2icap("big.bit").expect("span load");
+    assert_eq!(report.span, vec![0, 1]);
+    assert_eq!(sys.prr_loaded_uid(0), Some(BIG));
+    assert_eq!(sys.prr_span(0), vec![0, 1]);
+    assert_eq!(sys.prr_span(1), vec![0, 1]);
+    // The spanning reconfiguration takes ~2x a single PRR's time.
+    assert!(report.total() > Ps::from_s(2));
+}
+
+#[test]
+fn spanning_module_streams_through_head_prr() {
+    let mut sys = system();
+    let bs = sys.bitstream_for_span(&[0, 1], BIG).expect("generate");
+    sys.compact_flash_mut().store("big.bit", bs.to_bytes());
+    sys.vapres_cf2icap("big.bit").expect("load");
+
+    // Head PRR is PRR0 = node 1.
+    sys.vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))
+        .expect("in");
+    sys.vapres_establish_channel(PortRef::new(1, 0), PortRef::new(0, 0))
+        .expect("out");
+    sys.bring_up_node(0, false).expect("iom");
+    sys.bring_up_node(1, false).expect("head");
+
+    sys.iom_feed(0, [1, 2, 3]);
+    let done = sys.run_until(Ps::from_us(10), |s| s.iom_output(0).len() == 3);
+    assert!(done);
+    let out: Vec<u32> = sys.iom_output(0).iter().map(|(_, w)| w.data).collect();
+    assert_eq!(out, vec![3, 6, 9]);
+}
+
+#[test]
+fn oversized_module_in_single_prr_is_rejected() {
+    let mut sys = system();
+    sys.install_bitstream(0, BIG, "big_single.bit").expect("install");
+    let err = sys.vapres_cf2icap("big_single.bit").expect_err("must refuse");
+    assert_eq!(
+        err,
+        ApiError::ModuleTooLarge {
+            need: 1_000,
+            have: 640
+        }
+    );
+    assert_eq!(sys.prr_loaded_uid(0), None);
+}
+
+#[test]
+fn reconfiguring_one_member_destroys_the_span() {
+    let mut sys = system();
+    let bs = sys.bitstream_for_span(&[0, 1], BIG).expect("generate");
+    sys.compact_flash_mut().store("big.bit", bs.to_bytes());
+    sys.vapres_cf2icap("big.bit").expect("load span");
+    assert_eq!(sys.prr_span(0), vec![0, 1]);
+
+    // Load a small module into PRR1: the span dies, PRR0 is empty again.
+    sys.install_bitstream(1, uids::SCALER, "s.bit").expect("install");
+    sys.vapres_cf2icap("s.bit").expect("load small");
+    assert_eq!(sys.prr_loaded_uid(0), None);
+    assert_eq!(sys.prr_loaded_uid(1), Some(uids::SCALER));
+    assert_eq!(sys.prr_span(1), vec![1]);
+}
+
+#[test]
+fn span_requires_adjacent_prrs_and_isolation() {
+    let mut sys = system();
+    // Single-element span works like bitstream_for.
+    assert!(sys.bitstream_for_span(&[0], BIG).is_ok());
+    // Bad index.
+    assert!(matches!(
+        sys.bitstream_for_span(&[0, 7], BIG),
+        Err(ApiError::BadNode(7))
+    ));
+    // Empty span.
+    assert!(matches!(
+        sys.bitstream_for_span(&[], BIG),
+        Err(ApiError::SpanNotAdjacent)
+    ));
+
+    // A live member PRR blocks the spanning load.
+    let bs = sys.bitstream_for_span(&[0, 1], BIG).expect("generate");
+    sys.compact_flash_mut().store("big.bit", bs.to_bytes());
+    sys.bring_up_node(2, false).expect("bring up PRR1 (node 2)");
+    let err = sys.vapres_cf2icap("big.bit").expect_err("must refuse");
+    assert_eq!(err, ApiError::PrrNotIsolated(2));
+}
