@@ -8,9 +8,8 @@
 //! reports hit rate and total reconfiguration time against the
 //! no-reuse baseline (every request reconfigures).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vapres_bench::{banner, row, rule};
+use vapres_sim::rng::SplitMix64;
 use vapres_core::config::SystemConfig;
 use vapres_core::module::{HardwareModule, ModuleIo, ModuleLibrary};
 use vapres_core::placement::PlacementManager;
@@ -39,14 +38,14 @@ impl HardwareModule for Tag {
 /// A skewed trace over `n_modules` distinct modules: 80 % of requests go
 /// to the first 20 % of modules.
 fn trace(n_modules: u32, len: usize, seed: u64) -> Vec<ModuleUid> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let hot = (n_modules / 5).max(1);
     (0..len)
         .map(|_| {
             let uid = if rng.gen_bool(0.8) {
-                rng.gen_range(0..hot)
+                rng.gen_u32(0..hot)
             } else {
-                rng.gen_range(hot..n_modules.max(hot + 1))
+                rng.gen_u32(hot..n_modules.max(hot + 1))
             };
             ModuleUid(0x9000 + uid)
         })

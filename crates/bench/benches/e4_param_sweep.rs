@@ -6,24 +6,23 @@
 //! architecture (the E1 model) against the probability that a random set
 //! of streaming-channel requests can all be established.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use vapres_bench::{banner, row, rule};
+use vapres_sim::rng::SplitMix64;
 use vapres_floorplan::resources::comm_arch_slices;
 use vapres_stream::fabric::{PortRef, StreamFabric};
 use vapres_stream::params::FabricParams;
 
 /// Fraction of trials in which `requests` random channels all route.
 fn routing_success(params: FabricParams, requests: usize, trials: usize, seed: u64) -> f64 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut ok = 0usize;
     for _ in 0..trials {
         let mut fabric = StreamFabric::new(params).expect("params validated");
         let mut all = true;
         for _ in 0..requests {
             // Random distinct producer/consumer ports.
-            let p = PortRef::new(rng.gen_range(0..params.nodes), rng.gen_range(0..params.ko));
-            let c = PortRef::new(rng.gen_range(0..params.nodes), rng.gen_range(0..params.ki));
+            let p = PortRef::new(rng.gen_usize(0..params.nodes), rng.gen_usize(0..params.ko));
+            let c = PortRef::new(rng.gen_usize(0..params.nodes), rng.gen_usize(0..params.ki));
             use vapres_stream::fabric::RouteError;
             match fabric.establish_channel(p, c) {
                 Ok(_) => {}

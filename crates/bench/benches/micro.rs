@@ -1,10 +1,11 @@
-//! Micro-benchmarks (criterion): the hot paths of the simulator itself.
+//! Micro-benchmarks: the hot paths of the simulator itself.
 //!
 //! These do not correspond to a paper table; they guard the performance
 //! that makes the cycle-level experiments tractable (one fabric tick, one
 //! FIFO operation, bitstream generation/parsing, channel establishment).
+//! Timed with the in-tree harness in [`vapres_bench::bench`].
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use vapres_bench::{banner, bench, black_box};
 use vapres_bitstream::crc::Crc32;
 use vapres_bitstream::stream::{ModuleUid, PartialBitstream};
 use vapres_fabric::geometry::{ClbRect, Device};
@@ -13,18 +14,15 @@ use vapres_stream::fifo::AsyncFifo;
 use vapres_stream::params::FabricParams;
 use vapres_stream::word::Word;
 
-fn bench_fifo(c: &mut Criterion) {
-    c.bench_function("fifo_push_pop", |b| {
-        let mut f = AsyncFifo::new(512);
-        b.iter(|| {
-            f.push(black_box(Word::data(7))).unwrap();
-            black_box(f.pop());
-        });
+fn bench_fifo() {
+    let mut f = AsyncFifo::new(512);
+    bench("fifo_push_pop", || {
+        f.push(black_box(Word::data(7))).unwrap();
+        black_box(f.pop());
     });
 }
 
-fn bench_fabric_tick(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fabric_tick");
+fn bench_fabric_tick() {
     for &routes in &[1usize, 4] {
         let params = FabricParams {
             nodes: 8,
@@ -43,58 +41,45 @@ fn bench_fabric_tick(c: &mut Criterion) {
             fabric.set_fifo_ren(PortRef::new(0, r), true).unwrap();
             fabric.set_fifo_wen(PortRef::new(7, r), true).unwrap();
         }
-        group.throughput(Throughput::Elements(1));
-        group.bench_function(format!("{routes}_routes"), |b| {
-            let mut i = 0u32;
-            b.iter(|| {
-                for r in 0..routes {
-                    let p = PortRef::new(0, r);
-                    if fabric.producer_space(p).unwrap() > 0 {
-                        fabric.producer_push(p, Word::data(i)).unwrap();
-                    }
+        let mut i = 0u32;
+        bench(&format!("fabric_tick/{routes}_routes"), || {
+            for r in 0..routes {
+                let p = PortRef::new(0, r);
+                if fabric.producer_space(p).unwrap() > 0 {
+                    fabric.producer_push(p, Word::data(i)).unwrap();
                 }
-                fabric.tick();
-                for r in 0..routes {
-                    while fabric.consumer_pop(PortRef::new(7, r)).unwrap().is_some() {}
-                }
-                i = i.wrapping_add(1);
-            });
+            }
+            fabric.tick();
+            for r in 0..routes {
+                while fabric.consumer_pop(PortRef::new(7, r)).unwrap().is_some() {}
+            }
+            i = i.wrapping_add(1);
         });
     }
-    group.finish();
 }
 
-fn bench_bitstream(c: &mut Criterion) {
+fn bench_bitstream() {
     let dev = Device::xc4vlx25();
     let rect = ClbRect::new(0, 9, 0, 15);
-    c.bench_function("bitstream_generate_640slice", |b| {
-        b.iter(|| {
-            black_box(PartialBitstream::generate(&dev, &rect, ModuleUid(1)).unwrap());
-        });
+    bench("bitstream_generate_640slice", || {
+        black_box(PartialBitstream::generate(&dev, &rect, ModuleUid(1)).unwrap());
     });
     let bs = PartialBitstream::generate(&dev, &rect, ModuleUid(1)).unwrap();
-    c.bench_function("bitstream_parse_640slice", |b| {
-        b.iter(|| {
-            black_box(vapres_bitstream::stream::parse(bs.words()).unwrap());
-        });
+    bench("bitstream_parse_640slice", || {
+        black_box(vapres_bitstream::stream::parse(bs.words()).unwrap());
     });
 }
 
-fn bench_crc(c: &mut Criterion) {
+fn bench_crc() {
     let words: Vec<u32> = (0..1024u32).collect();
-    let mut group = c.benchmark_group("crc32");
-    group.throughput(Throughput::Bytes(4 * words.len() as u64));
-    group.bench_function("1kword", |b| {
-        b.iter(|| {
-            let mut crc = Crc32::new();
-            crc.update_words(black_box(&words));
-            black_box(crc.value());
-        });
+    bench("crc32_1kword", || {
+        let mut crc = Crc32::new();
+        crc.update_words(black_box(&words));
+        black_box(crc.value());
     });
-    group.finish();
 }
 
-fn bench_channel_establish(c: &mut Criterion) {
+fn bench_channel_establish() {
     let params = FabricParams {
         nodes: 8,
         kr: 4,
@@ -104,23 +89,21 @@ fn bench_channel_establish(c: &mut Criterion) {
         width_bits: 32,
         fifo_depth: 64,
     };
-    c.bench_function("establish_release_channel_7hops", |b| {
-        let mut fabric = StreamFabric::new(params).unwrap();
-        b.iter(|| {
-            let ch = fabric
-                .establish_channel(PortRef::new(0, 0), PortRef::new(7, 0))
-                .unwrap();
-            fabric.release_channel(black_box(ch)).unwrap();
-        });
+    let mut fabric = StreamFabric::new(params).unwrap();
+    bench("establish_release_channel_7hops", || {
+        let ch = fabric
+            .establish_channel(PortRef::new(0, 0), PortRef::new(7, 0))
+            .unwrap();
+        fabric.release_channel(black_box(ch)).unwrap();
     });
 }
 
-criterion_group!(
-    benches,
-    bench_fifo,
-    bench_fabric_tick,
-    bench_bitstream,
-    bench_crc,
-    bench_channel_establish
-);
-criterion_main!(benches);
+fn main() {
+    banner("micro", "simulator hot paths (best-of-3 batches)");
+    println!();
+    bench_fifo();
+    bench_fabric_tick();
+    bench_bitstream();
+    bench_crc();
+    bench_channel_establish();
+}

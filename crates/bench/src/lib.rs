@@ -5,6 +5,38 @@
 //! paper-vs-measured rows in a uniform format.
 
 use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Runs `f` repeatedly and prints the wall-clock time per iteration.
+///
+/// Minimal in-tree stand-in for an external benchmark harness: a short
+/// warmup calibrates the batch size, then the best of several timed
+/// batches is reported — best-of damps scheduler noise the same way
+/// min-based harnesses do. Wrap benchmark inputs and outputs in
+/// [`black_box`] so the compiler cannot elide the measured work.
+pub fn bench(name: &str, mut f: impl FnMut()) {
+    const WARMUP: Duration = Duration::from_millis(20);
+    const TARGET: Duration = Duration::from_millis(50);
+    let mut iters: u64 = 0;
+    let start = Instant::now();
+    while start.elapsed() < WARMUP {
+        f();
+        iters += 1;
+    }
+    let per_ns = (start.elapsed().as_nanos() as u64 / iters.max(1)).max(1);
+    let batch = (TARGET.as_nanos() as u64 / per_ns).max(1);
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / batch as f64);
+    }
+    println!("  {name:<44} {best:>12.1} ns/iter");
+}
 
 /// Prints an experiment banner.
 pub fn banner(id: &str, title: &str) {
@@ -49,5 +81,12 @@ mod tests {
         rule(&[4, 4]);
         compare("x", 1.0, 1.1, "s");
         compare("z", 0.0, 1.0, "s");
+    }
+
+    #[test]
+    fn bench_measures_and_reports() {
+        let mut n = 0u64;
+        bench("noop", || n = black_box(n.wrapping_add(1)));
+        assert!(n > 0, "benchmark closure must have run");
     }
 }

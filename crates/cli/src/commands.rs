@@ -265,6 +265,112 @@ pub fn cmd_reconfig_time(args: &Args, out: &mut dyn Write) -> Result<(), CmdErro
     Ok(())
 }
 
+fn stage_by_name(name: &str) -> Result<vapres_core::ModuleUid, CmdError> {
+    use vapres_modules::uids;
+    match name.trim() {
+        "passthrough" => Ok(uids::PASSTHROUGH),
+        "scaler" => Ok(uids::SCALER),
+        "delta-enc" => Ok(uids::DELTA_ENCODER),
+        "delta-dec" => Ok(uids::DELTA_DECODER),
+        "avg" => Ok(uids::MOVING_AVERAGE),
+        "fir-a" => Ok(uids::FIR_A),
+        "fir-b" => Ok(uids::FIR_B),
+        other => Err(CmdError(format!(
+            "unknown stage {other:?} \
+             (passthrough | scaler | delta-enc | delta-dec | avg | fir-a | fir-b)"
+        ))),
+    }
+}
+
+/// `vapres sim [--stages scaler,avg] [--samples N] [--interval CYCLES]
+/// [--stats yes] [--vcd out.vcd]` — deploy a kernel pipeline on the
+/// prototype system, stream samples through it on the event-driven
+/// executor, and report throughput (plus executor work counters and a
+/// VCD waveform dump on request).
+pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    use vapres_core::config::SystemConfig;
+    use vapres_core::module::ModuleLibrary;
+    use vapres_core::system::VapresSystem;
+    use vapres_core::Ps;
+    use vapres_kpn::{deploy, map_pipeline, Pipeline};
+    use vapres_modules::register_standard_modules;
+
+    let samples: u32 = args.get_num("samples", 1_000u32)?;
+    let interval: u64 = args.get_num("interval", 1u64)?;
+    if interval == 0 {
+        return Err(CmdError("--interval must be >= 1".into()));
+    }
+    let stages = args
+        .get_or("stages", "scaler")
+        .split(',')
+        .map(stage_by_name)
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    let mut sys =
+        VapresSystem::new(SystemConfig::prototype(), lib).map_err(|e| CmdError(e.to_string()))?;
+    if args.get("vcd").is_some() {
+        sys.enable_tracing();
+    }
+    sys.iom_set_input_interval(0, interval);
+
+    let pipeline = Pipeline::new(stages);
+    let mapping = map_pipeline(sys.config(), &pipeline).map_err(|e| CmdError(e.to_string()))?;
+    deploy(&mut sys, &pipeline, &mapping).map_err(|e| CmdError(e.to_string()))?;
+
+    sys.iom_feed(0, 0..samples);
+    let done = sys.run_until(Ps::from_ms(100), |s| {
+        s.iom_pending_input(0) == 0 && !s.iom_output(0).is_empty()
+    });
+    if !done {
+        return Err(CmdError("simulation stalled before consuming input".into()));
+    }
+    // Let in-flight words drain: a variable-rate pipeline may emit fewer
+    // or more words than it consumed, so run a fixed settle window.
+    sys.run_for(Ps::from_us(100));
+
+    writeln!(out, "pipeline   : {}", args.get_or("stages", "scaler"))?;
+    writeln!(out, "samples in : {samples} (1 per {interval} fabric cycles)")?;
+    writeln!(out, "samples out: {}", sys.iom_output(0).len())?;
+    writeln!(out, "sim time   : {}", sys.now())?;
+    if let Some(tput) = sys.iom_gap(0).throughput_per_s() {
+        writeln!(out, "throughput : {:.3} MS/s", tput / 1e6)?;
+    }
+    if let Some(gap) = sys.iom_gap(0).max_gap() {
+        writeln!(out, "max gap    : {gap}")?;
+    }
+
+    if args.get_or("stats", "no") == "yes" {
+        let stats = sys.exec_stats();
+        writeln!(out, "\nexecutor work counters (event-driven scheduling):")?;
+        for (dom, d) in stats.domains() {
+            writeln!(
+                out,
+                "  domain {}: {} edges delivered, {} fast-forwarded, \
+                 {} ticks, {} skips",
+                dom.0, d.edges, d.ff_edges, d.ticks, d.skips
+            )?;
+        }
+        writeln!(
+            out,
+            "  dense-equivalent ticks: {}, dispatched: {} ({:.1}x reduction)",
+            stats.dense_equivalent_ticks(),
+            stats.total_ticks(),
+            stats.tick_reduction()
+        )?;
+    }
+
+    if let Some(path) = args.get("vcd") {
+        let tracer = sys.tracer().expect("tracing was enabled above");
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        tracer.write_vcd(&mut file).map_err(CmdError::from)?;
+        file.flush()?;
+        writeln!(out, "wrote {path}: {} signal changes", tracer.len())?;
+    }
+    Ok(())
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "vapres — VAPRES (DATE 2010) design tools\n\
@@ -277,8 +383,11 @@ pub fn usage() -> &'static str {
      \x20 bitgen         --rect C0:C1:R0:R1 --uid HEX --out file.bit [--device D]\n\
      \x20 bitinfo        <file.bit>\n\
      \x20 reconfig-time  --bytes N | --rect C0:C1:R0:R1 [--device D]\n\
+     \x20 sim            [--stages scaler,avg] [--samples N] [--interval CYCLES]\n\
+     \x20                [--stats yes] [--vcd out.vcd]\n\
      \n\
-     devices: lx25 (default) | lx60 | lx100\n"
+     devices: lx25 (default) | lx60 | lx100\n\
+     stages : passthrough | scaler | delta-enc | delta-dec | avg | fir-a | fir-b\n"
 }
 
 /// Dispatches a subcommand.
@@ -299,6 +408,7 @@ pub fn dispatch(
         "bitgen" => cmd_bitgen(args, out),
         "bitinfo" => cmd_bitinfo(args, out),
         "reconfig-time" => cmd_reconfig_time(args, out),
+        "sim" => cmd_sim(args, out),
         other => Err(CmdError(format!(
             "unknown subcommand {other:?}\n\n{}",
             usage()
@@ -390,6 +500,38 @@ mod tests {
         assert!(text.contains("Design Summary"));
         assert!(text.contains("9421"));
         assert!(text.contains("prr1"));
+    }
+
+    #[test]
+    fn sim_streams_and_reports_stats() {
+        let text = run(
+            "sim",
+            &["--stages", "scaler", "--samples", "200", "--stats", "yes"],
+        )
+        .unwrap();
+        assert!(text.contains("samples out: 200"), "{text}");
+        assert!(text.contains("executor work counters"), "{text}");
+        assert!(text.contains("reduction"), "{text}");
+    }
+
+    #[test]
+    fn sim_dumps_vcd() {
+        let dir = std::env::temp_dir().join("vapres_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let vcd = dir.join("t.vcd");
+        let vcd_s = vcd.to_str().unwrap();
+        let text = run("sim", &["--samples", "50", "--vcd", vcd_s]).unwrap();
+        assert!(text.contains("signal changes"), "{text}");
+        let dump = std::fs::read_to_string(&vcd).unwrap();
+        assert!(dump.starts_with("$date"), "VCD header missing");
+        assert!(dump.contains("$timescale 1 ps $end"));
+        std::fs::remove_file(&vcd).ok();
+    }
+
+    #[test]
+    fn sim_rejects_bad_stage() {
+        assert!(run("sim", &["--stages", "nope"]).is_err());
+        assert!(run("sim", &["--interval", "0"]).is_err());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! vapres bitgen --rect 0:9:0:15 --uid c0ffee --out filter.bit
 //! vapres bitinfo filter.bit                     # inspect a bitstream
 //! vapres reconfig-time --rect 0:9:0:15          # paper Sec. V.B numbers
+//! vapres sim --stages scaler,avg --stats yes --vcd out.vcd
 //! ```
 
 pub mod args;

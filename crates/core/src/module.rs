@@ -128,6 +128,18 @@ pub trait HardwareModule {
     /// One local-clock-domain cycle.
     fn tick(&mut self, io: &mut ModuleIo<'_>);
 
+    /// Whether every further [`tick`](Self::tick) is provably a no-op
+    /// until new input arrives (a consumer-FIFO word or an FSL word).
+    ///
+    /// The activity-tracked executor uses this to stop ticking idle
+    /// modules; returning `true` asserts that skipped ticks cannot change
+    /// any observable state. The default is `false` — a black-box module
+    /// is ticked on every local clock edge, exactly like the dense loop,
+    /// so implementors opt in only when the claim holds.
+    fn is_quiescent(&self) -> bool {
+        false
+    }
+
     /// Captures the module's state registers (step 6 of the switching
     /// methodology).
     fn save_state(&self) -> Vec<u32>;

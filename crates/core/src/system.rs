@@ -21,9 +21,11 @@ use vapres_bitstream::stream::ModuleUid;
 use vapres_fabric::clocking::Bufgmux;
 use vapres_fabric::frame::FrameAddress;
 use vapres_sim::clock::{ClockScheduler, DomainId, Edge};
+use vapres_sim::exec::{Activity, ComponentId, ExecStats, Executor};
 use vapres_sim::stats::GapTracker;
 use vapres_sim::time::Ps;
-use vapres_stream::fabric::StreamFabric;
+use vapres_sim::trace::{SignalId, Tracer};
+use vapres_stream::fabric::{PortRef, StreamFabric};
 use vapres_stream::fifo::AsyncFifo;
 use vapres_stream::word::Word;
 
@@ -80,7 +82,9 @@ pub(crate) struct IomState {
     /// Static-clock cycles between external input samples (an ADC's
     /// sample interval). 1 = one word per fabric cycle.
     pub input_interval: u64,
-    pub input_countdown: u64,
+    /// First static-clock cycle at which the next input word may enter
+    /// the fabric (absolute; compared against [`Edge::cycle`]).
+    pub next_inject_cycle: u64,
 }
 
 impl IomState {
@@ -92,7 +96,79 @@ impl IomState {
             gap: GapTracker::new(),
             eos_seen: 0,
             input_interval: 1,
-            input_countdown: 0,
+            next_inject_cycle: 0,
+        }
+    }
+}
+
+/// What kind of component an executor [`ComponentId`] maps to.
+#[derive(Debug, Clone, Copy)]
+enum CompKind {
+    Fabric,
+    Iom(usize),
+    Prr(usize),
+}
+
+/// System-level waveform capture: channel/route validity, per-node FIFO
+/// occupancy, per-PRR state — sampled once per delivered static edge.
+struct SysTrace {
+    tracer: Tracer,
+    channels: SignalId,
+    routes_active: SignalId,
+    node_cons: Vec<SignalId>,
+    node_prod: Vec<SignalId>,
+    prr_state: Vec<SignalId>,
+}
+
+impl SysTrace {
+    fn new(nodes: usize, n_prrs: usize) -> Self {
+        let mut tracer = Tracer::new("vapres_system");
+        let channels = tracer.add_signal("channels_established", 8);
+        let routes_active = tracer.add_signal("routes_active", 8);
+        let node_cons = (0..nodes)
+            .map(|n| tracer.add_signal(format!("n{n}_cons_len"), 16))
+            .collect();
+        let node_prod = (0..nodes)
+            .map(|n| tracer.add_signal(format!("n{n}_prod_len"), 16))
+            .collect();
+        let prr_state = (0..n_prrs)
+            .map(|p| tracer.add_signal(format!("prr{p}_state"), 4))
+            .collect();
+        SysTrace {
+            tracer,
+            channels,
+            routes_active,
+            node_cons,
+            node_prod,
+            prr_state,
+        }
+    }
+
+    fn sample(
+        &mut self,
+        at: Ps,
+        fabric: &StreamFabric,
+        prrs: &[PrrState],
+        sockets: &[crate::socket::PrSocket],
+    ) {
+        self.tracer
+            .change(at, self.channels, fabric.active_channels().len() as u64);
+        self.tracer
+            .change(at, self.routes_active, fabric.active_route_count() as u64);
+        for (n, (&cons, &prod)) in self.node_cons.iter().zip(&self.node_prod).enumerate() {
+            let port = PortRef::new(n, 0);
+            self.tracer
+                .change(at, cons, fabric.consumer_len(port).unwrap_or(0) as u64);
+            self.tracer
+                .change(at, prod, fabric.producer_len(port).unwrap_or(0) as u64);
+        }
+        for (p, prr) in prrs.iter().enumerate() {
+            let dcr = sockets[prr.node].dcr;
+            let state = (prr.module.is_some() as u64)
+                | ((dcr.clk_en as u64) << 1)
+                | ((dcr.sm_en as u64) << 2)
+                | ((dcr.prr_reset as u64) << 3);
+            self.tracer.change(at, self.prr_state[p], state);
         }
     }
 }
@@ -132,6 +208,18 @@ pub struct VapresSystem {
     pub(crate) sdram: Sdram,
     pub(crate) library: ModuleLibrary,
     pub(crate) isolated_writes: u64,
+    /// The activity-tracked component scheduler (see `vapres_sim::exec`).
+    pub(crate) exec: Executor,
+    /// Executor component id → what it drives.
+    comp_kind: Vec<CompKind>,
+    /// The fabric's executor component.
+    comp_fabric: ComponentId,
+    /// node index → the IOM/PRR component at that node, for wake routing.
+    comp_of_node: Vec<Option<ComponentId>>,
+    /// Dense reference mode: tick every component on every edge (the
+    /// pre-executor execution model, kept for equivalence testing).
+    dense: bool,
+    trace: Option<SysTrace>,
 }
 
 impl fmt::Debug for VapresSystem {
@@ -195,6 +283,25 @@ impl VapresSystem {
             .map(|_| FslPair::new(cfg.fsl_depth))
             .collect();
 
+        // Register executor components in dense dispatch order: fabric
+        // first, then IOMs, on the static clock; each PRR on its own
+        // domain. Registration order is tick order within a domain.
+        let mut exec = Executor::new();
+        let mut comp_kind = Vec::new();
+        let mut comp_of_node = vec![None; cfg.params.nodes];
+        let comp_fabric = exec.register(static_domain);
+        comp_kind.push(CompKind::Fabric);
+        for (i, iom) in ioms.iter().enumerate() {
+            let id = exec.register(static_domain);
+            comp_kind.push(CompKind::Iom(i));
+            comp_of_node[iom.node] = Some(id);
+        }
+        for (i, prr) in prrs.iter().enumerate() {
+            let id = exec.register(prr.domain);
+            comp_kind.push(CompKind::Prr(i));
+            comp_of_node[prr.node] = Some(id);
+        }
+
         Ok(VapresSystem {
             clocks,
             static_domain,
@@ -210,6 +317,12 @@ impl VapresSystem {
             sdram: Sdram::new(),
             library,
             isolated_writes: 0,
+            exec,
+            comp_kind,
+            comp_fabric,
+            comp_of_node,
+            dense: false,
+            trace: None,
             cfg,
         })
     }
@@ -259,124 +372,210 @@ impl VapresSystem {
 
     /// Runs the whole system for `dur` of simulated time.
     ///
-    /// Quiescent intervals — no established channels, idle IOMs, no
-    /// clocked modules — are skipped in O(domains) instead of ticking
-    /// every cycle; the end state (time, cycle counters) is identical.
+    /// Execution is event-driven: components that report themselves
+    /// quiescent (idle IOMs, drained modules, routes with nothing in
+    /// flight) are skipped, and stretches where everything sleeps are
+    /// elided wholesale — while the end state (component states, event
+    /// timestamps, cycle counters) stays bit-for-bit identical to ticking
+    /// every component on every edge. See [`exec_stats`](Self::exec_stats)
+    /// for how much work a run actually dispatched.
     pub fn run_for(&mut self, dur: Ps) {
         let deadline = self.clocks.now() + dur;
-        if self.is_quiescent() {
-            self.clocks.fast_forward(deadline);
-            return;
-        }
-        while let Some(edge) = self.clocks.next_edge_before(deadline) {
-            self.dispatch(edge);
-        }
+        self.revalidate_activity();
+        while self.step_to(deadline) {}
     }
 
-    /// Whether no component would change state on any clock edge.
+    /// Runs until the predicate returns true or `timeout` elapses;
+    /// returns whether the predicate fired.
     ///
-    /// Quiescence is absorbing: it can only end through an API call, so
-    /// skipping a quiescent interval is exact.
-    fn is_quiescent(&self) -> bool {
-        if !self.fabric.active_channels().is_empty() {
-            return false;
-        }
-        for iom in &self.ioms {
-            if !iom.ext_in.is_empty() {
-                return false;
-            }
-            let port = vapres_stream::fabric::PortRef::new(iom.node, 0);
-            if self.fabric.consumer_len(port).unwrap_or(0) > 0 {
-                return false;
-            }
-        }
-        for prr in &self.prrs {
-            if prr.module.is_some() && self.clocks.is_enabled(prr.domain) {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Runs until the predicate returns true (checked after every static
-    /// clock cycle) or `timeout` elapses; returns whether the predicate
-    /// fired.
+    /// The predicate must be a function of system *state* (FIFO contents,
+    /// outputs, module status) — it is evaluated between scheduler steps,
+    /// and state only changes at those points. A predicate on bare
+    /// `now()` may observe time advancing in multi-cycle jumps across
+    /// quiescent stretches.
     pub fn run_until(&mut self, timeout: Ps, mut pred: impl FnMut(&VapresSystem) -> bool) -> bool {
         let deadline = self.clocks.now() + timeout;
+        self.revalidate_activity();
         loop {
             if pred(self) {
                 return true;
             }
-            match self.clocks.next_edge_before(deadline) {
-                Some(edge) => self.dispatch(edge),
-                None => return pred(self),
+            if !self.step_to(deadline) {
+                return pred(self);
             }
         }
     }
 
-    fn dispatch(&mut self, edge: Edge) {
+    /// Re-derives every component's wake state from current system state.
+    ///
+    /// Called on entry to [`run_for`] / [`run_until`]: API calls between
+    /// runs (DCR writes, FSL writes, channel changes, module installs)
+    /// may have created work for components the executor put to sleep.
+    /// O(components), and spurious wakes are harmless, so this is the
+    /// entire wake contract the API layer needs.
+    fn revalidate_activity(&mut self) {
+        if self.dense {
+            return;
+        }
+        if !self.fabric.is_quiescent() {
+            self.exec.wake(self.comp_fabric);
+        }
+        for iom in &self.ioms {
+            let id = self.comp_of_node[iom.node].expect("IOM registered");
+            let port = PortRef::new(iom.node, 0);
+            if !iom.ext_in.is_empty() || self.fabric.consumer_len(port).unwrap_or(0) > 0 {
+                self.exec.wake(id);
+            }
+        }
+        for prr in &self.prrs {
+            let id = self.comp_of_node[prr.node].expect("PRR registered");
+            if prr.module.is_some() && self.clocks.is_enabled(prr.domain) {
+                self.exec.wake(id);
+            } else {
+                // Empty or clock-gated: no edge can reach it, so don't let
+                // it hold the executor out of fast-forward.
+                self.exec.sleep_component(id);
+            }
+        }
+    }
+
+    /// One unit of progress toward `deadline` (one delivered edge, or one
+    /// fast-forward across a fully-asleep stretch). Returns `false` once
+    /// the deadline is reached.
+    fn step_to(&mut self, deadline: Ps) -> bool {
+        if self.dense {
+            match self.clocks.next_edge_before(deadline) {
+                Some(edge) => {
+                    self.dispatch_dense(edge);
+                    true
+                }
+                None => false,
+            }
+        } else {
+            let VapresSystem {
+                clocks,
+                exec,
+                fabric,
+                sockets,
+                fsl,
+                prrs,
+                ioms,
+                comp_kind,
+                comp_fabric,
+                comp_of_node,
+                isolated_writes,
+                trace,
+                cfg,
+                ..
+            } = self;
+            let period_ps = cfg.static_clock.period().as_ps();
+            let ki = cfg.params.ki;
+            let mut host = |waker: &mut vapres_sim::exec::Waker<'_>,
+                            id: ComponentId,
+                            edge: Edge|
+             -> Activity {
+                match comp_kind[id.0] {
+                    CompKind::Fabric => {
+                        let act = tick_fabric(fabric, comp_of_node, &mut |c| waker.wake(c));
+                        if let Some(t) = trace {
+                            t.sample(edge.at, fabric, prrs, sockets);
+                        }
+                        act
+                    }
+                    CompKind::Iom(i) => {
+                        tick_iom(ioms, fabric, fsl, i, edge, period_ps, &mut |c| waker.wake(c), *comp_fabric)
+                    }
+                    CompKind::Prr(i) => tick_prr(
+                        prrs,
+                        sockets,
+                        fsl,
+                        fabric,
+                        isolated_writes,
+                        ki,
+                        i,
+                        &mut |c| waker.wake(c),
+                        *comp_fabric,
+                    ),
+                }
+            };
+            exec.step(clocks, deadline, &mut host)
+        }
+    }
+
+    /// The dense reference dispatch: tick the fabric and every IOM on
+    /// every static edge, and every PRR on every edge of its domain —
+    /// regardless of activity. Kept for golden-trace equivalence testing
+    /// against the event-driven path.
+    fn dispatch_dense(&mut self, edge: Edge) {
+        let mut no_wake = |_c: ComponentId| {};
         if edge.domain == self.static_domain {
-            self.fabric.tick();
+            self.fabric.tick_dense();
+            let period_ps = self.cfg.static_clock.period().as_ps();
             for i in 0..self.ioms.len() {
-                self.tick_iom(i, edge.at);
+                let _ = tick_iom(
+                    &mut self.ioms,
+                    &mut self.fabric,
+                    &mut self.fsl,
+                    i,
+                    edge,
+                    period_ps,
+                    &mut no_wake,
+                    self.comp_fabric,
+                );
+            }
+            if let Some(t) = &mut self.trace {
+                t.sample(edge.at, &self.fabric, &self.prrs, &self.sockets);
             }
         } else if let Some(idx) = self.prrs.iter().position(|p| p.domain == edge.domain) {
-            self.tick_prr(idx);
+            let _ = tick_prr(
+                &mut self.prrs,
+                &self.sockets,
+                &mut self.fsl,
+                &mut self.fabric,
+                &mut self.isolated_writes,
+                self.cfg.params.ki,
+                idx,
+                &mut no_wake,
+                self.comp_fabric,
+            );
         }
     }
 
-    fn tick_prr(&mut self, idx: usize) {
-        let node = self.prrs[idx].node;
-        let socket = self.sockets[node];
-        let Some(mut module) = self.prrs[idx].module.take() else {
-            return;
-        };
-        if socket.dcr.prr_reset {
-            module.reset();
-        } else {
-            let pair = &mut self.fsl[node];
-            let mut io = ModuleIo {
-                node,
-                sm_enabled: socket.dcr.sm_en,
-                fabric: &mut self.fabric,
-                fsl_to_mb: &mut pair.to_mb,
-                fsl_from_mb: &mut pair.from_mb,
-                isolated_writes: &mut self.isolated_writes,
-            };
-            module.tick(&mut io);
-        }
-        self.prrs[idx].module = Some(module);
+    /// Selects the execution model: `true` ticks every component on every
+    /// edge (the dense reference loop), `false` (the default) uses the
+    /// activity-tracked executor. Both produce identical system states
+    /// and timestamps; dense mode exists so tests can prove it.
+    #[doc(hidden)]
+    pub fn set_dense(&mut self, dense: bool) {
+        self.dense = dense;
     }
 
-    fn tick_iom(&mut self, idx: usize, at: Ps) {
-        let node = self.ioms[idx].node;
-        // Pins → producer interface (port 0), one word per sample
-        // interval.
-        if self.ioms[idx].input_countdown > 0 {
-            self.ioms[idx].input_countdown -= 1;
-        } else if let Some(&word) = self.ioms[idx].ext_in.front() {
-            let port = vapres_stream::fabric::PortRef::new(node, 0);
-            if self.fabric.producer_space(port).unwrap_or(0) > 0 {
-                self.fabric
-                    .producer_push(port, word)
-                    .expect("space just checked");
-                self.ioms[idx].ext_in.pop_front();
-                self.ioms[idx].input_countdown = self.ioms[idx].input_interval - 1;
-            }
+    /// Executor work counters (edges delivered/elided, component ticks
+    /// dispatched/skipped) accumulated across runs. All zeros in dense
+    /// mode.
+    pub fn exec_stats(&self) -> &ExecStats {
+        self.exec.stats()
+    }
+
+    /// Zeroes the executor work counters (e.g. between benchmark phases).
+    pub fn reset_exec_stats(&mut self) {
+        self.exec.reset_stats();
+    }
+
+    /// Starts capturing system waveforms — established channels, active
+    /// routes, per-node FIFO occupancy, per-PRR state — sampled once per
+    /// delivered static clock edge, for VCD export via
+    /// [`tracer`](Self::tracer).
+    pub fn enable_tracing(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(SysTrace::new(self.cfg.params.nodes, self.prrs.len()));
         }
-        // Consumer interface (port 0) → pins, with EOS detection.
-        let port = vapres_stream::fabric::PortRef::new(node, 0);
-        if let Ok(Some(word)) = self.fabric.consumer_pop(port) {
-            let iom = &mut self.ioms[idx];
-            iom.ext_out.push((at, word));
-            if word.end_of_stream {
-                iom.eos_seen += 1;
-                // Step 8: tell the MicroBlaze the old module's stream ended.
-                let _ = self.fsl[node].to_mb.push(Word::data(control::MSG_EOS_SEEN));
-            } else {
-                iom.gap.record(at);
-            }
-        }
+    }
+
+    /// The system waveform tracer, if [`enable_tracing`](Self::enable_tracing)
+    /// was called.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.trace.as_ref().map(|t| &t.tracer)
     }
 
     // ------------------------------------------------------------------
@@ -564,6 +763,161 @@ impl VapresSystem {
                 .collect(),
             None => vec![prr],
         }
+    }
+}
+
+/// One fabric tick plus wake propagation: words delivered into a node's
+/// consumer FIFO (or drained from its producer FIFO) wake that node's
+/// component, so it sees the data on this very edge — IOMs tick after the
+/// fabric in the static domain's dispatch order, exactly like the dense
+/// loop.
+fn tick_fabric(
+    fabric: &mut StreamFabric,
+    comp_of_node: &[Option<ComponentId>],
+    wake: &mut dyn FnMut(ComponentId),
+) -> Activity {
+    fabric.tick();
+    for &p in fabric.last_deliveries() {
+        if let Some(c) = comp_of_node[p.node] {
+            wake(c);
+        }
+    }
+    for &p in fabric.last_drains() {
+        if let Some(c) = comp_of_node[p.node] {
+            wake(c);
+        }
+    }
+    if fabric.is_quiescent() {
+        Activity::Quiescent
+    } else {
+        Activity::Active
+    }
+}
+
+/// One IOM tick: pins → producer interface at the sample interval,
+/// consumer interface → pins with EOS detection. Reports how long the
+/// IOM can provably sleep.
+#[allow(clippy::too_many_arguments)]
+fn tick_iom(
+    ioms: &mut [IomState],
+    fabric: &mut StreamFabric,
+    fsl: &mut [FslPair],
+    idx: usize,
+    edge: Edge,
+    static_period_ps: u64,
+    wake: &mut dyn FnMut(ComponentId),
+    comp_fabric: ComponentId,
+) -> Activity {
+    let node = ioms[idx].node;
+    let port = PortRef::new(node, 0);
+    // Pins → producer interface (port 0), one word per sample interval.
+    let mut inject_blocked = false;
+    if edge.cycle >= ioms[idx].next_inject_cycle {
+        if let Some(&word) = ioms[idx].ext_in.front() {
+            if fabric.producer_space(port).unwrap_or(0) > 0 {
+                fabric
+                    .producer_push(port, word)
+                    .expect("space just checked");
+                ioms[idx].ext_in.pop_front();
+                ioms[idx].next_inject_cycle = edge.cycle + ioms[idx].input_interval;
+            } else {
+                inject_blocked = true;
+            }
+        }
+    }
+    // Consumer interface (port 0) → pins, with EOS detection.
+    if let Ok(Some(word)) = fabric.consumer_pop(port) {
+        let iom = &mut ioms[idx];
+        iom.ext_out.push((edge.at, word));
+        if word.end_of_stream {
+            iom.eos_seen += 1;
+            // Step 8: tell the MicroBlaze the old module's stream ended.
+            let _ = fsl[node].to_mb.push(Word::data(control::MSG_EOS_SEEN));
+        } else {
+            iom.gap.record(edge.at);
+        }
+    }
+    // Pushing or popping changed fabric-visible state: keep it ticking.
+    if fabric.active_route_count() > 0 {
+        wake(comp_fabric);
+    }
+
+    let iom = &ioms[idx];
+    if fabric.consumer_len(port).unwrap_or(0) > 0 {
+        return Activity::Active; // more output words to emit, one per cycle
+    }
+    if iom.ext_in.is_empty() {
+        return Activity::Quiescent; // woken by fabric delivery
+    }
+    if inject_blocked {
+        // Producer FIFO full: only a fabric drain can unblock us, and the
+        // drain wake covers exactly that.
+        return Activity::Quiescent;
+    }
+    if iom.next_inject_cycle <= edge.cycle + 1 {
+        Activity::Active
+    } else {
+        // Waiting out the sample interval: every tick before the inject
+        // cycle is a no-op by construction.
+        Activity::IdleUntil(Ps::new(
+            edge.at.as_ps() + (iom.next_inject_cycle - edge.cycle) * static_period_ps,
+        ))
+    }
+}
+
+/// One PRR tick: reset, or one module cycle through its port view.
+/// Quiescent only when the module itself claims it, with no waiting
+/// consumer-FIFO words and no pending FSL commands.
+#[allow(clippy::too_many_arguments)]
+fn tick_prr(
+    prrs: &mut [PrrState],
+    sockets: &[PrSocket],
+    fsl: &mut [FslPair],
+    fabric: &mut StreamFabric,
+    isolated_writes: &mut u64,
+    ki: usize,
+    idx: usize,
+    wake: &mut dyn FnMut(ComponentId),
+    comp_fabric: ComponentId,
+) -> Activity {
+    let node = prrs[idx].node;
+    let socket = sockets[node];
+    let Some(mut module) = prrs[idx].module.take() else {
+        return Activity::Quiescent; // empty PRR; a module install revalidates
+    };
+    if socket.dcr.prr_reset {
+        // Reset is level-sensitive: assert it every cycle, like hardware.
+        module.reset();
+        prrs[idx].module = Some(module);
+        return Activity::Active;
+    }
+    let pair = &mut fsl[node];
+    let mut io = ModuleIo {
+        node,
+        sm_enabled: socket.dcr.sm_en,
+        fabric,
+        fsl_to_mb: &mut pair.to_mb,
+        fsl_from_mb: &mut pair.from_mb,
+        isolated_writes,
+    };
+    module.tick(&mut io);
+    let mut quiescent = module.is_quiescent() && fsl[node].from_mb.is_empty();
+    if quiescent {
+        for p in 0..ki {
+            if fabric.consumer_len(PortRef::new(node, p)).unwrap_or(0) > 0 {
+                quiescent = false;
+                break;
+            }
+        }
+    }
+    prrs[idx].module = Some(module);
+    if fabric.active_route_count() > 0 {
+        wake(comp_fabric);
+    }
+    if quiescent {
+        Activity::Quiescent
+    } else {
+        Activity::Active
     }
 }
 

@@ -199,6 +199,20 @@ impl<K: StreamKernel> HardwareModule for StreamModuleAdapter<K> {
             }
     }
 
+    fn is_quiescent(&self) -> bool {
+        // With no state transfer pending, a finished wrapper is inert; an
+        // unfinished one only acts on buffered work or pending protocol
+        // steps. Waiting input (consumer FIFO, FSL) is the host's check.
+        if !self.state_tx.is_empty() {
+            return false;
+        }
+        self.finished
+            || (self.load == LoadPhase::Idle
+                && self.pending.is_empty()
+                && !self.eos_to_forward
+                && !self.finish_requested)
+    }
+
     fn save_state(&self) -> Vec<u32> {
         self.kernel.save_state()
     }

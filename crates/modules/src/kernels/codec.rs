@@ -156,10 +156,9 @@ mod tests {
 
     #[test]
     fn roundtrip_random() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(9);
-        let data: Vec<u32> = (0..500).map(|_| rng.gen_range(0..4u32)).collect();
+        use vapres_sim::rng::SplitMix64;
+        let mut rng = SplitMix64::new(9);
+        let data: Vec<u32> = (0..500).map(|_| rng.gen_range(0..4) as u32).collect();
         let decoded = run_kernel(&mut RleDecoder::new(), &encode_all(&data));
         assert_eq!(decoded, data);
     }

@@ -3,11 +3,13 @@
 //! Clock edges drive synchronous logic; some things in a VAPRES system are
 //! instead modelled as *durations* — a CompactFlash sector read completing,
 //! an ICAP frame commit, a DMA transfer. [`TimerQueue`] holds such one-shot
-//! events and releases them as the clock scheduler advances time.
+//! events and releases them as the clock scheduler advances time. The
+//! activity-tracked executor ([`crate::exec`]) also uses it for component
+//! wake-ups (`Activity::IdleUntil`).
 
 use crate::time::Ps;
-use std::collections::BinaryHeap;
 use std::cmp;
+use std::collections::{BinaryHeap, HashSet};
 
 #[derive(Debug)]
 struct Pending<T> {
@@ -38,9 +40,21 @@ impl<T> PartialOrd for Pending<T> {
     }
 }
 
+/// Handle to a scheduled event, returned by
+/// [`TimerQueue::schedule_at`] and accepted by [`TimerQueue::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
 /// A deterministic one-shot timer queue.
 ///
-/// Events scheduled for the same instant are released in scheduling order.
+/// # Ordering contract
+///
+/// [`pop_due`](Self::pop_due) releases events in strictly increasing
+/// `(due, schedule-order)` lexicographic order: earlier deadlines first,
+/// and events scheduled for the *same* instant in the order they were
+/// scheduled (FIFO). This holds across interleaved `schedule_at` /
+/// `pop_due` / `cancel` calls and is what makes simultaneous wake-ups
+/// deterministic; it is `debug_assert`ed on every pop.
 ///
 /// # Examples
 ///
@@ -49,16 +63,24 @@ impl<T> PartialOrd for Pending<T> {
 /// use vapres_sim::time::Ps;
 ///
 /// let mut q = TimerQueue::new();
-/// q.schedule_at(Ps::from_ns(30), "icap-done");
+/// let icap = q.schedule_at(Ps::from_ns(30), "icap-done");
 /// q.schedule_at(Ps::from_ns(10), "cf-sector");
 /// assert_eq!(q.pop_due(Ps::from_ns(10)), Some("cf-sector"));
 /// assert_eq!(q.pop_due(Ps::from_ns(10)), None);
-/// assert_eq!(q.pop_due(Ps::from_ns(40)), Some("icap-done"));
+/// assert!(q.cancel(icap));
+/// assert_eq!(q.pop_due(Ps::from_ns(40)), None);
 /// ```
 #[derive(Debug)]
 pub struct TimerQueue<T> {
     heap: BinaryHeap<Pending<T>>,
     next_seq: u64,
+    /// Seqs scheduled and neither popped nor cancelled.
+    live: HashSet<u64>,
+    /// Seqs cancelled but still physically in the heap (lazy deletion).
+    /// Invariant: the heap top is never cancelled.
+    cancelled: HashSet<u64>,
+    /// Last `(due, seq)` released, for the ordering-contract assert.
+    last_released: Option<(Ps, u64)>,
 }
 
 impl<T> Default for TimerQueue<T> {
@@ -66,6 +88,9 @@ impl<T> Default for TimerQueue<T> {
         TimerQueue {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            live: HashSet::new(),
+            cancelled: HashSet::new(),
+            last_released: None,
         }
     }
 }
@@ -76,11 +101,48 @@ impl<T> TimerQueue<T> {
         Self::default()
     }
 
-    /// Schedules `payload` to become due at absolute time `due`.
-    pub fn schedule_at(&mut self, due: Ps, payload: T) {
+    /// Schedules `payload` to become due at absolute time `due`, returning
+    /// a handle that can later [`cancel`](Self::cancel) it.
+    pub fn schedule_at(&mut self, due: Ps, payload: T) -> TimerId {
         let seq = self.next_seq;
         self.next_seq += 1;
+        self.live.insert(seq);
+        // Scheduling behind an already-released deadline restarts the
+        // ordering contract (release order is still (due, seq) among what
+        // remains); without this the debug assert would reject a legal pop.
+        if self.last_released.is_some_and(|(last_due, _)| due < last_due) {
+            self.last_released = None;
+        }
         self.heap.push(Pending { due, seq, payload });
+        TimerId(seq)
+    }
+
+    /// Cancels a pending event. Returns `true` if the event was still
+    /// pending (not yet popped or cancelled); `false` makes the call a
+    /// no-op, so stale handles are harmless.
+    ///
+    /// Cancellation is lazy — the entry stays in the heap until it would
+    /// surface — so it is O(log n) amortized, and `len`/`next_due`/`pop_due`
+    /// all behave as if the entry were gone immediately.
+    pub fn cancel(&mut self, id: TimerId) -> bool {
+        if !self.live.remove(&id.0) {
+            return false;
+        }
+        self.cancelled.insert(id.0);
+        self.purge_cancelled_top();
+        true
+    }
+
+    /// Drops cancelled entries sitting at the heap top, restoring the
+    /// invariant that `peek` always sees a live event.
+    fn purge_cancelled_top(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.remove(&top.seq) {
+                self.heap.pop();
+            } else {
+                break;
+            }
+        }
     }
 
     /// Time of the earliest pending event, if any.
@@ -90,23 +152,35 @@ impl<T> TimerQueue<T> {
 
     /// Removes and returns the earliest event due at or before `now`.
     ///
-    /// Call in a loop to drain everything due.
+    /// Call in a loop to drain everything due. Release order follows the
+    /// [ordering contract](Self#ordering-contract): `(due, schedule-order)`
+    /// lexicographic, same-instant events FIFO.
     pub fn pop_due(&mut self, now: Ps) -> Option<T> {
         if self.heap.peek().map(|p| p.due <= now).unwrap_or(false) {
-            Some(self.heap.pop().expect("peeked entry exists").payload)
+            let p = self.heap.pop().expect("peeked entry exists");
+            debug_assert!(
+                self.last_released
+                    .map(|last| last < (p.due, p.seq))
+                    .unwrap_or(true),
+                "TimerQueue released events out of (due, seq) order"
+            );
+            self.last_released = Some((p.due, p.seq));
+            self.live.remove(&p.seq);
+            self.purge_cancelled_top();
+            Some(p.payload)
         } else {
             None
         }
     }
 
-    /// Number of pending events.
+    /// Number of pending (scheduled, not popped, not cancelled) events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.live.len()
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live.is_empty()
     }
 }
 
@@ -137,6 +211,27 @@ mod tests {
     }
 
     #[test]
+    fn same_timestamp_release_is_deterministic_under_interleaving() {
+        // Many events at the same instant, scheduled across interleaved
+        // pops of earlier events, must still come out in schedule order.
+        let mut q = TimerQueue::new();
+        let t = Ps::from_ns(50);
+        q.schedule_at(Ps::from_ns(1), 100);
+        for i in 0..8 {
+            q.schedule_at(t, i);
+        }
+        assert_eq!(q.pop_due(Ps::from_ns(1)), Some(100));
+        for i in 8..16 {
+            q.schedule_at(t, i);
+        }
+        let mut out = Vec::new();
+        while let Some(v) = q.pop_due(t) {
+            out.push(v);
+        }
+        assert_eq!(out, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
     fn not_due_yet_stays() {
         let mut q = TimerQueue::new();
         q.schedule_at(Ps::from_ns(10), ());
@@ -144,5 +239,51 @@ mod tests {
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
         assert_eq!(q.next_due(), Some(Ps::from_ns(10)));
+    }
+
+    #[test]
+    fn cancel_removes_pending_event() {
+        let mut q = TimerQueue::new();
+        let a = q.schedule_at(Ps::from_ns(10), "a");
+        let b = q.schedule_at(Ps::from_ns(20), "b");
+        assert!(q.cancel(a));
+        assert_eq!(q.len(), 1);
+        // The earliest *live* event is now "b": the cancelled heap top was
+        // purged, so next_due reflects the cancellation immediately.
+        assert_eq!(q.next_due(), Some(Ps::from_ns(20)));
+        assert_eq!(q.pop_due(Ps::from_ns(30)), Some("b"));
+        assert!(q.is_empty());
+        // Stale handles are no-ops.
+        assert!(!q.cancel(a));
+        assert!(!q.cancel(b));
+    }
+
+    #[test]
+    fn cancel_of_buried_entry_is_lazy_but_invisible() {
+        let mut q = TimerQueue::new();
+        q.schedule_at(Ps::from_ns(10), "front");
+        let buried = q.schedule_at(Ps::from_ns(20), "buried");
+        q.schedule_at(Ps::from_ns(30), "back");
+        assert!(q.cancel(buried));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_due(Ps::from_ns(100)), Some("front"));
+        assert_eq!(q.pop_due(Ps::from_ns(100)), Some("back"));
+        assert_eq!(q.pop_due(Ps::from_ns(100)), None);
+    }
+
+    #[test]
+    fn popped_event_cannot_be_cancelled() {
+        let mut q = TimerQueue::new();
+        let a = q.schedule_at(Ps::from_ns(10), "a");
+        assert_eq!(q.pop_due(Ps::from_ns(10)), Some("a"));
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: TimerQueue<u32> = TimerQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.next_due(), None);
     }
 }

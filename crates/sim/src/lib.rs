@@ -12,12 +12,19 @@
 //!   clock gating, rising edges delivered in deterministic global order.
 //! * [`event`] — [`event::TimerQueue`] for one-shot duration-style events
 //!   (storage transfers, reconfiguration completion).
+//! * [`exec`] — the activity-tracked [`exec::Executor`]: merges the clock
+//!   edge stream with the timer queue, maintains per-domain wake sets so
+//!   quiescent components are skipped instead of ticked, and counts
+//!   delivered edges / ticks / skips per domain.
 //! * [`stats`] — measurement helpers ([`stats::GapTracker`] measures the
 //!   paper's "stream processing interruption" directly).
+//! * [`rng`] — [`rng::SplitMix64`], the in-tree deterministic PRNG (no
+//!   external `rand` dependency, so tier-1 verify runs offline).
 //!
 //! Higher layers (`vapres-stream`, `vapres-core`) pull edges from the
-//! scheduler and tick their components; nothing here spawns threads or uses
-//! wall-clock time, so every experiment is bit-for-bit reproducible.
+//! scheduler — directly, or through the executor's activity tracking — and
+//! tick their components; nothing here spawns threads or uses wall-clock
+//! time, so every experiment is bit-for-bit reproducible.
 //!
 //! # Examples
 //!
@@ -39,11 +46,15 @@
 
 pub mod clock;
 pub mod event;
+pub mod exec;
+pub mod rng;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use clock::{ClockScheduler, DomainId, Edge};
-pub use event::TimerQueue;
+pub use event::{TimerId, TimerQueue};
+pub use exec::{Activity, ComponentId, DomainStats, ExecStats, Executor, Waker};
+pub use rng::SplitMix64;
 pub use time::{Freq, Ps};
 pub use trace::{SignalId, Tracer};

@@ -235,6 +235,17 @@ pub struct StreamFabric {
     prod_busy: Vec<Vec<bool>>,
     cons_busy: Vec<Vec<bool>>,
     routes: Vec<Option<Route>>,
+    /// Activity flag per route (parallel to `routes`): set whenever the
+    /// route might do state-changing work on the next tick, cleared by
+    /// `tick` once the route is provably quiescent. `tick` only visits
+    /// active routes.
+    active: Vec<bool>,
+    active_count: usize,
+    /// Consumer ports that received a word during the last `tick`.
+    deliveries: Vec<PortRef>,
+    /// Producer ports whose FIFO was drained by injection during the last
+    /// `tick` (a blocked writer may proceed).
+    drains: Vec<PortRef>,
     ticks: u64,
 }
 
@@ -259,6 +270,10 @@ impl StreamFabric {
             prod_busy: vec![vec![false; params.ko]; params.nodes],
             cons_busy: vec![vec![false; params.ki]; params.nodes],
             routes: Vec::new(),
+            active: Vec::new(),
+            active_count: 0,
+            deliveries: Vec::new(),
+            drains: Vec::new(),
             ticks: 0,
             params,
         })
@@ -272,6 +287,80 @@ impl StreamFabric {
     /// Number of static-clock ticks executed.
     pub fn ticks(&self) -> u64 {
         self.ticks
+    }
+
+    /// Number of routes that may do work on the next tick. Zero means a
+    /// tick is provably a no-op — an event-driven scheduler can skip the
+    /// fabric entirely until a port operation re-activates a route.
+    pub fn active_route_count(&self) -> usize {
+        self.active_count
+    }
+
+    /// Whether the next tick is provably a no-op (no route has in-flight
+    /// words, injectable input, or settling feedback).
+    pub fn is_quiescent(&self) -> bool {
+        self.active_count == 0
+    }
+
+    /// Consumer ports that received a word during the last [`tick`]
+    /// (words actually pushed into consumer FIFOs, not drops). The host
+    /// uses this to wake the components attached to those nodes.
+    ///
+    /// [`tick`]: Self::tick
+    pub fn last_deliveries(&self) -> &[PortRef] {
+        &self.deliveries
+    }
+
+    /// Producer ports whose FIFO was drained by channel injection during
+    /// the last [`tick`] — a writer blocked on FIFO-full may proceed.
+    ///
+    /// [`tick`]: Self::tick
+    pub fn last_drains(&self) -> &[PortRef] {
+        &self.drains
+    }
+
+    fn activate(&mut self, idx: usize) {
+        if !self.active[idx] {
+            self.active[idx] = true;
+            self.active_count += 1;
+        }
+    }
+
+    fn deactivate(&mut self, idx: usize) {
+        if self.active[idx] {
+            self.active[idx] = false;
+            self.active_count -= 1;
+        }
+    }
+
+    fn wake_producer_route(&mut self, port: PortRef) {
+        let hit = self.routes.iter().position(
+            |r| matches!(r, Some(route) if route.producer == port),
+        );
+        if let Some(i) = hit {
+            self.activate(i);
+        }
+    }
+
+    fn wake_consumer_route(&mut self, port: PortRef) {
+        let hit = self.routes.iter().position(
+            |r| matches!(r, Some(route) if route.consumer == port),
+        );
+        if let Some(i) = hit {
+            self.activate(i);
+        }
+    }
+
+    fn wake_node_routes(&mut self, node: usize) {
+        for i in 0..self.routes.len() {
+            let touches = matches!(
+                &self.routes[i],
+                Some(r) if r.producer.node == node || r.consumer.node == node
+            );
+            if touches {
+                self.activate(i);
+            }
+        }
     }
 
     fn check_producer(&self, p: PortRef) -> Result<(), RouteError> {
@@ -373,6 +462,10 @@ impl StreamFabric {
         };
         let id = ChannelId(self.routes.len());
         self.routes.push(Some(route));
+        // New routes start active until their feedback settles (the
+        // consumer FIFO may already sit past the full threshold).
+        self.active.push(true);
+        self.active_count += 1;
         Ok(id)
     }
 
@@ -391,6 +484,7 @@ impl StreamFabric {
             .get_mut(id.0)
             .and_then(Option::take)
             .ok_or(RouteError::UnknownChannel(id))?;
+        self.deactivate(id.0);
         for s in &route.slots {
             match s.dir {
                 Dir::Right => self.right_busy[s.segment][s.channel] = false,
@@ -425,6 +519,8 @@ impl StreamFabric {
             .and_then(Option::as_mut)
             .ok_or(RouteError::UnknownChannel(id))?;
         route.full_threshold = remaining_words;
+        // The feedback decision may change on the next tick.
+        self.activate(id.0);
         Ok(())
     }
 
@@ -504,6 +600,7 @@ impl StreamFabric {
     pub fn set_fifo_ren(&mut self, port: PortRef, enabled: bool) -> Result<(), RouteError> {
         self.check_producer(port)?;
         self.producers[port.node][port.port].enabled = enabled;
+        self.wake_producer_route(port);
         Ok(())
     }
 
@@ -516,6 +613,7 @@ impl StreamFabric {
     pub fn set_fifo_wen(&mut self, port: PortRef, enabled: bool) -> Result<(), RouteError> {
         self.check_consumer(port)?;
         self.consumers[port.node][port.port].enabled = enabled;
+        self.wake_consumer_route(port);
         Ok(())
     }
 
@@ -531,6 +629,9 @@ impl StreamFabric {
         for c in &mut self.consumers[node] {
             c.fifo.reset();
         }
+        // Occupancies changed: feedback decisions on routes touching this
+        // node must be re-evaluated.
+        self.wake_node_routes(node);
     }
 
     /// The module writes one word into its producer-interface FIFO.
@@ -541,7 +642,9 @@ impl StreamFabric {
     /// full flag (the KPN blocking-write).
     pub fn producer_push(&mut self, port: PortRef, word: Word) -> Result<(), FullError> {
         self.check_producer(port).map_err(|_| FullError)?;
-        self.producers[port.node][port.port].fifo.push(word)
+        self.producers[port.node][port.port].fifo.push(word)?;
+        self.wake_producer_route(port);
+        Ok(())
     }
 
     /// Free space in a producer-interface FIFO (for blocking-write
@@ -572,7 +675,12 @@ impl StreamFabric {
     /// [`RouteError::BadPort`] for a nonexistent port.
     pub fn consumer_pop(&mut self, port: PortRef) -> Result<Option<Word>, RouteError> {
         self.check_consumer(port)?;
-        Ok(self.consumers[port.node][port.port].fifo.pop())
+        let word = self.consumers[port.node][port.port].fifo.pop();
+        if word.is_some() {
+            // Freed space may deassert feedback-full on the next tick.
+            self.wake_consumer_route(port);
+        }
+        Ok(word)
     }
 
     /// Occupancy of a consumer-interface FIFO.
@@ -605,11 +713,30 @@ impl StreamFabric {
         Ok(self.consumers[port.node][port.port].gated_drops)
     }
 
-    /// Advances the fabric by one static-clock cycle: every established
-    /// channel's pipeline and feedback registers shift once.
+    /// Advances the fabric by one static-clock cycle: every *active*
+    /// established channel's pipeline and feedback registers shift once.
+    ///
+    /// Routes that are provably quiescent — empty pipeline, feedback
+    /// settled, and nothing injectable — are skipped; a tick of such a
+    /// route is a no-op, so skipping is exact (the E9-style equivalence
+    /// test asserts this against a forced full scan). Every port
+    /// operation that could change the answer re-activates the route, so
+    /// callers that tick unconditionally see identical behavior to the
+    /// old scan-everything loop.
     pub fn tick(&mut self) {
         self.ticks += 1;
-        for route in self.routes.iter_mut().flatten() {
+        self.deliveries.clear();
+        self.drains.clear();
+        if self.active_count == 0 {
+            return;
+        }
+        for idx in 0..self.routes.len() {
+            if !self.active[idx] {
+                continue;
+            }
+            let Some(route) = self.routes[idx].as_mut() else {
+                continue;
+            };
             let depth = route.depth();
 
             // 1. Word arriving at the consumer this cycle.
@@ -621,6 +748,7 @@ impl StreamFabric {
                     cons.overflow_drops += 1;
                 } else {
                     route.delivered += 1;
+                    self.deliveries.push(route.consumer);
                 }
             }
 
@@ -638,7 +766,11 @@ impl StreamFabric {
             let stalled = route.feedback[depth - 1];
             let prod = &mut self.producers[route.producer.node][route.producer.port];
             route.pipe[0] = if prod.enabled && !stalled {
-                prod.fifo.pop()
+                let w = prod.fifo.pop();
+                if w.is_some() {
+                    self.drains.push(route.producer);
+                }
+                w
             } else {
                 None
             };
@@ -648,7 +780,35 @@ impl StreamFabric {
                 route.feedback[i] = route.feedback[i - 1];
             }
             route.feedback[0] = full_now;
+
+            // Quiescence: the next tick is a no-op iff nothing is in
+            // flight, the feedback pipe already carries the value it
+            // would keep re-latching, and no new word can be injected
+            // (feedback-full stalls injection, or the producer side has
+            // nothing to give). Any port operation that could invalidate
+            // this re-activates the route.
+            let prod = &self.producers[route.producer.node][route.producer.port];
+            let quiet = route.pipe.iter().all(Option::is_none)
+                && route.feedback.iter().all(|&b| b == full_now)
+                && (full_now || !prod.enabled || prod.fifo.is_empty());
+            if quiet {
+                self.deactivate(idx);
+            }
         }
+    }
+
+    /// Forces every established route active and ticks: the old dense
+    /// scan-everything cycle. Exists so equivalence tests (and the golden
+    /// E3 trace) can drive the fabric both ways and assert identical
+    /// results; not for production use.
+    #[doc(hidden)]
+    pub fn tick_dense(&mut self) {
+        for idx in 0..self.routes.len() {
+            if self.routes[idx].is_some() {
+                self.activate(idx);
+            }
+        }
+        self.tick();
     }
 }
 

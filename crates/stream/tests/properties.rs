@@ -1,11 +1,25 @@
-//! Property tests for the streaming fabric's core invariants:
-//! no loss, no duplication, no reordering — for arbitrary topology
-//! distances, FIFO depths, and producer/consumer rate patterns.
+//! Randomized tests for the streaming fabric's core invariants: no loss,
+//! no duplication, no reordering — for arbitrary topology distances, FIFO
+//! depths, and producer/consumer rate patterns — plus equivalence of the
+//! activity-tracked `tick` against a forced dense scan.
+//!
+//! These run offline with a fixed-seed in-tree PRNG ([`SplitMix64`]), so
+//! every case is reproducible bit-for-bit; enabling the `proptest` cargo
+//! feature multiplies the case count for a deeper sweep.
 
-use proptest::prelude::*;
+use vapres_sim::rng::SplitMix64;
 use vapres_stream::fabric::{PortRef, StreamFabric};
 use vapres_stream::params::FabricParams;
 use vapres_stream::word::Word;
+
+/// Cases per suite: 64 by default, escalated under `--features proptest`.
+fn cases() -> u64 {
+    if cfg!(feature = "proptest") {
+        512
+    } else {
+        64
+    }
+}
 
 /// Drives one channel with randomized producer/consumer behaviour and
 /// checks exact in-order delivery.
@@ -17,7 +31,7 @@ fn run_channel(
     n_words: u32,
     push_pattern: &[bool],
     pop_pattern: &[bool],
-) -> Result<(), TestCaseError> {
+) {
     let params = FabricParams {
         nodes,
         kr: 2,
@@ -33,7 +47,7 @@ fn run_channel(
     let ch = match fabric.establish_channel(src, dst) {
         Ok(ch) => ch,
         // Depth too shallow for this distance: a legal, reported outcome.
-        Err(vapres_stream::RouteError::FifoTooShallow { .. }) => return Ok(()),
+        Err(vapres_stream::RouteError::FifoTooShallow { .. }) => return,
         Err(e) => panic!("unexpected establish error: {e}"),
     };
     fabric.set_fifo_ren(src, true).unwrap();
@@ -73,57 +87,66 @@ fn run_channel(
         }
     }
 
-    prop_assert_eq!(fabric.consumer_overflow_drops(dst).unwrap(), 0);
-    prop_assert_eq!(got.len() as u32, n_words, "lost or duplicated words");
+    assert_eq!(fabric.consumer_overflow_drops(dst).unwrap(), 0);
+    assert_eq!(got.len() as u32, n_words, "lost or duplicated words");
     for (i, v) in got.iter().enumerate() {
-        prop_assert_eq!(*v, i as u32, "reordering at {}", i);
+        assert_eq!(*v, i as u32, "reordering at {i}");
     }
     fabric.release_channel(ch).unwrap();
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn bool_pattern(rng: &mut SplitMix64, max_len: usize) -> Vec<bool> {
+    let len = rng.gen_usize(1..max_len);
+    let mut p: Vec<bool> = (0..len).map(|_| rng.gen_bool(0.5)).collect();
+    // Guarantee at least some motion in each pattern.
+    p[0] = true;
+    p
+}
 
-    /// In-order, lossless delivery holds for any distance, any depth, any
-    /// stop-and-go rate pattern on both ends.
-    #[test]
-    fn lossless_in_order_delivery(
-        nodes in 2usize..8,
-        fifo_depth in 4usize..64,
-        src_sel in 0usize..8,
-        dst_sel in 0usize..8,
-        n_words in 1u32..300,
-        push_pattern in proptest::collection::vec(any::<bool>(), 1..12),
-        pop_pattern in proptest::collection::vec(any::<bool>(), 1..12),
-    ) {
-        let src = src_sel % nodes;
-        let dst = dst_sel % nodes;
-        // Guarantee at least some motion in each pattern.
-        let mut push = push_pattern.clone();
-        push[0] = true;
-        let mut pop = pop_pattern.clone();
-        pop[0] = true;
-        run_channel(nodes, fifo_depth, src, dst, n_words, &push, &pop)?;
+/// In-order, lossless delivery holds for any distance, any depth, any
+/// stop-and-go rate pattern on both ends.
+#[test]
+fn lossless_in_order_delivery() {
+    let mut rng = SplitMix64::new(0x5ea1_0001);
+    for case in 0..cases() {
+        let nodes = rng.gen_usize(2..8);
+        let fifo_depth = rng.gen_usize(4..64);
+        let src = rng.gen_usize(0..8) % nodes;
+        let dst = rng.gen_usize(0..8) % nodes;
+        let n_words = rng.gen_u32(1..300);
+        let push = bool_pattern(&mut rng, 12);
+        let pop = bool_pattern(&mut rng, 12);
+        eprintln!(
+            "case {case}: nodes={nodes} depth={fifo_depth} {src}->{dst} n={n_words}"
+        );
+        run_channel(nodes, fifo_depth, src, dst, n_words, &push, &pop);
     }
+}
 
-    /// A consumer that never pops still never overflows: the feedback-full
-    /// back-pressure throttles the producer in time.
-    #[test]
-    fn backpressure_never_overflows(
-        nodes in 2usize..8,
-        fifo_depth in 8usize..64,
-        run_ticks in 100usize..2_000,
-    ) {
+/// A consumer that never pops still never overflows: the feedback-full
+/// back-pressure throttles the producer in time.
+#[test]
+fn backpressure_never_overflows() {
+    let mut rng = SplitMix64::new(0x5ea1_0002);
+    for _ in 0..cases() {
+        let nodes = rng.gen_usize(2..8);
+        let fifo_depth = rng.gen_usize(8..64);
+        let run_ticks = rng.gen_usize(100..2_000);
         let params = FabricParams {
-            nodes, kr: 1, kl: 1, ki: 1, ko: 1, width_bits: 32, fifo_depth,
+            nodes,
+            kr: 1,
+            kl: 1,
+            ki: 1,
+            ko: 1,
+            width_bits: 32,
+            fifo_depth,
         };
         let mut fabric = StreamFabric::new(params).unwrap();
         let src = PortRef::new(0, 0);
         let dst = PortRef::new(nodes - 1, 0);
         match fabric.establish_channel(src, dst) {
             Ok(_) => {}
-            Err(vapres_stream::RouteError::FifoTooShallow { .. }) => return Ok(()),
+            Err(vapres_stream::RouteError::FifoTooShallow { .. }) => continue,
             Err(e) => panic!("unexpected: {e}"),
         }
         fabric.set_fifo_ren(src, true).unwrap();
@@ -136,20 +159,28 @@ proptest! {
             }
             fabric.tick();
         }
-        prop_assert_eq!(fabric.consumer_overflow_drops(dst).unwrap(), 0);
+        assert_eq!(fabric.consumer_overflow_drops(dst).unwrap(), 0);
         // Conservation: pushed == delivered + still queued in flight.
         let delivered = fabric.consumer_len(dst).unwrap() as u32;
-        prop_assert!(delivered <= i);
+        assert!(delivered <= i);
     }
+}
 
-    /// Two concurrent channels on disjoint slots never interfere.
-    #[test]
-    fn concurrent_channels_are_isolated(
-        n_words in 1u32..120,
-        fifo_depth in 16usize..64,
-    ) {
+/// Two concurrent channels on disjoint slots never interfere.
+#[test]
+fn concurrent_channels_are_isolated() {
+    let mut rng = SplitMix64::new(0x5ea1_0003);
+    for _ in 0..cases() {
+        let n_words = rng.gen_u32(1..120);
+        let fifo_depth = rng.gen_usize(16..64);
         let params = FabricParams {
-            nodes: 4, kr: 2, kl: 2, ki: 2, ko: 2, width_bits: 32, fifo_depth,
+            nodes: 4,
+            kr: 2,
+            kl: 2,
+            ki: 2,
+            ko: 2,
+            width_bits: 32,
+            fifo_depth,
         };
         let mut fabric = StreamFabric::new(params).unwrap();
         let a_src = PortRef::new(0, 0);
@@ -169,12 +200,14 @@ proptest! {
         for _ in 0..(n_words as usize * 4 + 64) {
             if sent < n_words
                 && fabric.producer_space(a_src).unwrap() > 0
-                    && fabric.producer_space(b_src).unwrap() > 0
-                {
-                    fabric.producer_push(a_src, Word::data(sent)).unwrap();
-                    fabric.producer_push(b_src, Word::data(sent | 0x8000_0000)).unwrap();
-                    sent += 1;
-                }
+                && fabric.producer_space(b_src).unwrap() > 0
+            {
+                fabric.producer_push(a_src, Word::data(sent)).unwrap();
+                fabric
+                    .producer_push(b_src, Word::data(sent | 0x8000_0000))
+                    .unwrap();
+                sent += 1;
+            }
             fabric.tick();
             while let Some(w) = fabric.consumer_pop(a_dst).unwrap() {
                 got_a.push(w.data);
@@ -183,11 +216,137 @@ proptest! {
                 got_b.push(w.data);
             }
         }
-        prop_assert_eq!(got_a.len() as u32, n_words);
-        prop_assert_eq!(got_b.len() as u32, n_words);
+        assert_eq!(got_a.len() as u32, n_words);
+        assert_eq!(got_b.len() as u32, n_words);
         for (i, (a, b)) in got_a.iter().zip(&got_b).enumerate() {
-            prop_assert_eq!(*a, i as u32);
-            prop_assert_eq!(*b, i as u32 | 0x8000_0000);
+            assert_eq!(*a, i as u32);
+            assert_eq!(*b, i as u32 | 0x8000_0000);
         }
+    }
+}
+
+/// The activity-tracked `tick` (which skips quiescent routes) must be
+/// observationally identical to a forced scan of every route, under
+/// randomized stop-and-go traffic with gating and resets thrown in.
+#[test]
+fn active_route_skipping_matches_dense_scan() {
+    let mut rng = SplitMix64::new(0x5ea1_0004);
+    for _ in 0..cases() {
+        let fifo_depth = rng.gen_usize(10..48);
+        let params = FabricParams {
+            nodes: 4,
+            kr: 2,
+            kl: 2,
+            ki: 2,
+            ko: 2,
+            width_bits: 32,
+            fifo_depth,
+        };
+        let mut lazy = StreamFabric::new(params).unwrap();
+        let mut dense = StreamFabric::new(params).unwrap();
+        let a_src = PortRef::new(0, 0);
+        let a_dst = PortRef::new(3, 0);
+        let b_src = PortRef::new(2, 1);
+        let b_dst = PortRef::new(1, 1);
+        for f in [&mut lazy, &mut dense] {
+            f.establish_channel(a_src, a_dst).unwrap();
+            f.establish_channel(b_src, b_dst).unwrap();
+            for p in [a_src, b_src] {
+                f.set_fifo_ren(p, true).unwrap();
+            }
+            for c in [a_dst, b_dst] {
+                f.set_fifo_wen(c, true).unwrap();
+            }
+        }
+        let mut next = 0u32;
+        let steps = rng.gen_usize(50..600);
+        for _ in 0..steps {
+            // Random identical stimulus to both fabrics.
+            if rng.gen_bool(0.4) && lazy.producer_space(a_src).unwrap() > 0 {
+                lazy.producer_push(a_src, Word::data(next)).unwrap();
+                dense.producer_push(a_src, Word::data(next)).unwrap();
+                next += 1;
+            }
+            if rng.gen_bool(0.2) && lazy.producer_space(b_src).unwrap() > 0 {
+                lazy.producer_push(b_src, Word::data(!next)).unwrap();
+                dense.producer_push(b_src, Word::data(!next)).unwrap();
+            }
+            if rng.gen_bool(0.05) {
+                let en = rng.gen_bool(0.7);
+                lazy.set_fifo_ren(a_src, en).unwrap();
+                dense.set_fifo_ren(a_src, en).unwrap();
+            }
+            if rng.gen_bool(0.3) {
+                let la = lazy.consumer_pop(a_dst).unwrap();
+                let da = dense.consumer_pop(a_dst).unwrap();
+                assert_eq!(la, da);
+            }
+            if rng.gen_bool(0.3) {
+                let lb = lazy.consumer_pop(b_dst).unwrap();
+                let db = dense.consumer_pop(b_dst).unwrap();
+                assert_eq!(lb, db);
+            }
+            lazy.tick();
+            dense.tick_dense();
+            assert_eq!(
+                lazy.consumer_len(a_dst).unwrap(),
+                dense.consumer_len(a_dst).unwrap()
+            );
+            assert_eq!(
+                lazy.consumer_len(b_dst).unwrap(),
+                dense.consumer_len(b_dst).unwrap()
+            );
+            assert_eq!(
+                lazy.producer_len(a_src).unwrap(),
+                dense.producer_len(a_src).unwrap()
+            );
+        }
+        // Drain both and compare the full delivered sequences.
+        for _ in 0..200 {
+            lazy.tick();
+            dense.tick_dense();
+        }
+        loop {
+            let l = lazy.consumer_pop(a_dst).unwrap();
+            let d = dense.consumer_pop(a_dst).unwrap();
+            assert_eq!(l, d);
+            if l.is_none() {
+                break;
+            }
+        }
+        loop {
+            let l = lazy.consumer_pop(b_dst).unwrap();
+            let d = dense.consumer_pop(b_dst).unwrap();
+            assert_eq!(l, d);
+            if l.is_none() {
+                break;
+            }
+        }
+        // Popping wakes routes (space opened); let the fabric settle again.
+        for _ in 0..64 {
+            lazy.tick();
+            dense.tick_dense();
+        }
+        loop {
+            let l = lazy.consumer_pop(a_dst).unwrap();
+            assert_eq!(l, dense.consumer_pop(a_dst).unwrap());
+            let lb = lazy.consumer_pop(b_dst).unwrap();
+            assert_eq!(lb, dense.consumer_pop(b_dst).unwrap());
+            if l.is_none() && lb.is_none() {
+                break;
+            }
+        }
+        for _ in 0..64 {
+            lazy.tick();
+        }
+        assert_eq!(
+            lazy.consumer_overflow_drops(a_dst).unwrap(),
+            dense.consumer_overflow_drops(a_dst).unwrap()
+        );
+        assert_eq!(
+            lazy.consumer_gated_drops(a_dst).unwrap(),
+            dense.consumer_gated_drops(a_dst).unwrap()
+        );
+        assert!(lazy.is_quiescent(), "drained fabric must go quiescent");
     }
 }

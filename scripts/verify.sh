@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Full offline verification gate: build, test, lint.
+#
+# Everything runs with --offline — the workspace has no external
+# dependencies and must keep building from a cold cargo registry.
+# Run from anywhere inside the repository.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> verify OK"

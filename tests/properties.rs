@@ -1,9 +1,13 @@
-//! Cross-crate property tests: bitstream round-trips over arbitrary legal
-//! PRR rectangles, floorplanner output validity over arbitrary request
-//! mixes, DCR encoding, and hardware-vs-reference equivalence for random
-//! module pipelines.
+//! Cross-crate randomized tests: bitstream round-trips over arbitrary
+//! legal PRR rectangles, floorplanner output validity over arbitrary
+//! request mixes, DCR encoding, and hardware-vs-reference equivalence for
+//! random module pipelines.
+//!
+//! These run offline with a fixed-seed in-tree PRNG
+//! ([`vapres::sim::rng::SplitMix64`]) so every case is reproducible
+//! bit-for-bit; enabling the `proptest` cargo feature multiplies the case
+//! counts for a deeper sweep.
 
-use proptest::prelude::*;
 use vapres::bitstream::stream::{parse, ModuleUid, PartialBitstream};
 use vapres::core::config::SystemConfig;
 use vapres::core::module::ModuleLibrary;
@@ -15,103 +19,125 @@ use vapres::floorplan::planner::{plan, PrrRequest};
 use vapres::kpn::{deploy, map_pipeline, run_chain, Pipeline};
 use vapres::modules::kernels::{DeltaDecoder, DeltaEncoder, MovingAverage, Scaler};
 use vapres::modules::{register_standard_modules, uids, StreamKernel};
+use vapres::sim::rng::SplitMix64;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// Case multiplier: 1 by default, escalated under `--features proptest`.
+fn cases(base: u64) -> u64 {
+    if cfg!(feature = "proptest") {
+        base * 8
+    } else {
+        base
+    }
+}
 
-    /// Any legal PRR rectangle's bitstream parses back to the same module
-    /// UID and the geometrically expected frame count.
-    #[test]
-    fn bitstream_roundtrip_arbitrary_rect(
-        col_lo in 0u32..10,
-        width in 1u32..5,
-        band in 0u32..6,
-        bands in 1u32..4,
-        uid in any::<u32>(),
-    ) {
-        let dev = Device::xc4vlx25();
+/// Any legal PRR rectangle's bitstream parses back to the same module UID
+/// and the geometrically expected frame count.
+#[test]
+fn bitstream_roundtrip_arbitrary_rect() {
+    let mut rng = SplitMix64::new(0xb17_0001);
+    let dev = Device::xc4vlx25();
+    for _ in 0..cases(48) {
+        let col_lo = rng.gen_u32(0..10);
+        let width = rng.gen_u32(1..5);
+        let band = rng.gen_u32(0..6);
+        let bands = rng.gen_u32(1..4);
+        let uid = rng.next_u32();
         let row_lo = band.min(6 - bands) * 16;
         let rect = ClbRect::new(col_lo, col_lo + width - 1, row_lo, row_lo + bands * 16 - 1);
         let bs = PartialBitstream::generate(&dev, &rect, ModuleUid(uid)).expect("legal rect");
         let parsed = parse(bs.words()).expect("own bitstream parses");
-        prop_assert_eq!(parsed.uid, ModuleUid(uid));
-        prop_assert_eq!(parsed.frames.len() as u32, width * bands * 22);
+        assert_eq!(parsed.uid, ModuleUid(uid));
+        assert_eq!(parsed.frames.len() as u32, width * bands * 22);
         // Byte round-trip agrees with word parse.
         let reparsed = PartialBitstream::from_bytes(&bs.to_bytes()).expect("bytes parse");
-        prop_assert_eq!(reparsed.frames, parsed.frames);
+        assert_eq!(reparsed.frames, parsed.frames);
     }
+}
 
-    /// Any single-bit corruption of the payload region is caught.
-    #[test]
-    fn bitstream_bitflip_always_detected(
-        word_frac in 0.1f64..0.9,
-        bit in 0u32..32,
-    ) {
-        let dev = Device::xc4vlx25();
-        let rect = ClbRect::new(0, 2, 0, 15);
-        let bs = PartialBitstream::generate(&dev, &rect, ModuleUid(7)).expect("generate");
+/// Any single-bit corruption of the payload region is caught.
+#[test]
+fn bitstream_bitflip_always_detected() {
+    let mut rng = SplitMix64::new(0xb17_0002);
+    let dev = Device::xc4vlx25();
+    let rect = ClbRect::new(0, 2, 0, 15);
+    let bs = PartialBitstream::generate(&dev, &rect, ModuleUid(7)).expect("generate");
+    for _ in 0..cases(48) {
         let mut words = bs.words().to_vec();
-        let idx = (words.len() as f64 * word_frac) as usize;
+        // Flip a bit somewhere in the middle 80% of the stream.
+        let lo = words.len() / 10;
+        let hi = words.len() - lo;
+        let idx = rng.gen_usize(lo..hi);
+        let bit = rng.gen_u32(0..32);
         words[idx] ^= 1 << bit;
-        prop_assert!(parse(&words).is_err(), "bit flip at word {} bit {} not caught", idx, bit);
+        assert!(
+            parse(&words).is_err(),
+            "bit flip at word {idx} bit {bit} not caught"
+        );
     }
+}
 
-    /// The automatic floorplanner either errors or produces a plan that
-    /// passes full validation with every allocation covering its request.
-    #[test]
-    fn planner_output_always_valid(
-        sizes in proptest::collection::vec(1u32..2_000, 1..7),
-    ) {
-        let dev = Device::xc4vlx25();
-        let requests: Vec<PrrRequest> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| PrrRequest::new(format!("p{i}"), s))
+/// The automatic floorplanner either errors or produces a plan that
+/// passes full validation with every allocation covering its request.
+#[test]
+fn planner_output_always_valid() {
+    let mut rng = SplitMix64::new(0xb17_0003);
+    let dev = Device::xc4vlx25();
+    for _ in 0..cases(48) {
+        let n = rng.gen_usize(1..7);
+        let requests: Vec<PrrRequest> = (0..n)
+            .map(|i| PrrRequest::new(format!("p{i}"), rng.gen_u32(1..2_000)))
             .collect();
         if let Ok(outcome) = plan(&dev, &requests) {
             outcome.floorplan.validate().expect("planner plans validate");
             for (alloc, req) in outcome.allocated.iter().zip(&requests) {
-                prop_assert!(*alloc >= req.min_slices);
+                assert!(*alloc >= req.min_slices);
             }
         }
     }
+}
 
-    /// DCR encode/decode is the identity on its 32-bit space.
-    #[test]
-    fn dcr_roundtrip(word in any::<u32>()) {
+/// DCR encode/decode is the identity on its 32-bit space.
+#[test]
+fn dcr_roundtrip() {
+    let mut rng = SplitMix64::new(0xb17_0004);
+    for _ in 0..cases(256) {
+        let word = rng.next_u32();
         let dcr = Dcr::decode(word);
-        prop_assert_eq!(dcr.encode(), word);
+        assert_eq!(dcr.encode(), word);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Combine operators are exact signed arithmetic (zip semantics).
-    #[test]
-    fn combine_ops_match_reference(a in any::<i32>(), b in any::<i32>()) {
-        use vapres::modules::multiport::CombineOp;
-        prop_assert_eq!(
+/// Combine operators are exact signed arithmetic (zip semantics).
+#[test]
+fn combine_ops_match_reference() {
+    use vapres::modules::multiport::CombineOp;
+    let mut rng = SplitMix64::new(0xb17_0005);
+    for _ in 0..cases(256) {
+        let a = rng.next_u32() as i32;
+        let b = rng.next_u32() as i32;
+        assert_eq!(
             CombineOp::Add.apply(a as u32, b as u32),
             a.wrapping_add(b) as u32
         );
-        prop_assert_eq!(
+        assert_eq!(
             CombineOp::Sub.apply(a as u32, b as u32),
             a.wrapping_sub(b) as u32
         );
-        prop_assert_eq!(CombineOp::Max.apply(a as u32, b as u32), a.max(b) as u32);
-        prop_assert_eq!(CombineOp::Min.apply(a as u32, b as u32), a.min(b) as u32);
+        assert_eq!(CombineOp::Max.apply(a as u32, b as u32), a.max(b) as u32);
+        assert_eq!(CombineOp::Min.apply(a as u32, b as u32), a.min(b) as u32);
     }
+}
 
-    /// RLE encode∘decode is the identity for arbitrary (run-friendly and
-    /// hostile) inputs, including across a mid-stream state handoff.
-    #[test]
-    fn rle_roundtrip_with_handoff(
-        data in proptest::collection::vec(0u32..6, 1..300),
-        split_frac in 0.0f64..1.0,
-    ) {
-        use vapres::modules::kernels::{RleDecoder, RleEncoder};
-        let split = ((data.len() as f64 * split_frac) as usize).min(data.len());
+/// RLE encode∘decode is the identity for arbitrary (run-friendly and
+/// hostile) inputs, including across a mid-stream state handoff.
+#[test]
+fn rle_roundtrip_with_handoff() {
+    use vapres::modules::kernels::{RleDecoder, RleEncoder};
+    let mut rng = SplitMix64::new(0xb17_0006);
+    for _ in 0..cases(32) {
+        let len = rng.gen_usize(1..300);
+        let data: Vec<u32> = (0..len).map(|_| rng.gen_u32(0..6)).collect();
+        let split = rng.gen_usize(0..len + 1);
         let mut e1 = RleEncoder::new();
         let mut encoded = vapres::modules::run_kernel(&mut e1, &data[..split]);
         let mut e2 = RleEncoder::new();
@@ -119,7 +145,7 @@ proptest! {
         encoded.extend(vapres::modules::run_kernel(&mut e2, &data[split..]));
         e2.flush(&mut encoded);
         let decoded = vapres::modules::run_kernel(&mut RleDecoder::new(), &encoded);
-        prop_assert_eq!(decoded, data);
+        assert_eq!(decoded, data);
     }
 }
 
@@ -143,16 +169,17 @@ fn stage_kernel(code: u8) -> Box<dyn StreamKernel> {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+/// Random pipelines of library kernels produce hardware output equal to
+/// the software reference for random inputs.
+#[test]
+fn random_pipeline_matches_reference() {
+    let mut rng = SplitMix64::new(0xb17_0007);
+    for _ in 0..cases(12) {
+        let n_stages = rng.gen_usize(1..3);
+        let codes: Vec<u8> = (0..n_stages).map(|_| rng.next_u32() as u8).collect();
+        let n_input = rng.gen_usize(1..200);
+        let input: Vec<u32> = (0..n_input).map(|_| rng.next_u32()).collect();
 
-    /// Random pipelines of library kernels produce hardware output equal
-    /// to the software reference for random inputs.
-    #[test]
-    fn random_pipeline_matches_reference(
-        codes in proptest::collection::vec(any::<u8>(), 1..3),
-        input in proptest::collection::vec(any::<u32>(), 1..200),
-    ) {
         let stages: Vec<_> = codes.iter().map(|&c| stage_uid(c)).collect();
         let mut golden: Vec<Box<dyn StreamKernel>> =
             codes.iter().map(|&c| stage_kernel(c)).collect();
@@ -170,8 +197,8 @@ proptest! {
         let done = sys.run_until(Ps::from_ms(1), |s| {
             s.iom_output(0).len() >= want && s.iom_pending_input(0) == 0
         });
-        prop_assert!(done, "pipeline stalled");
+        assert!(done, "pipeline stalled");
         let hw: Vec<u32> = sys.iom_output(0).iter().map(|(_, w)| w.data).collect();
-        prop_assert_eq!(hw, expect);
+        assert_eq!(hw, expect);
     }
 }
