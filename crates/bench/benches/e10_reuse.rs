@@ -9,12 +9,12 @@
 //! no-reuse baseline (every request reconfigures).
 
 use vapres_bench::{banner, row, rule};
-use vapres_sim::rng::SplitMix64;
 use vapres_core::config::SystemConfig;
 use vapres_core::module::{HardwareModule, ModuleIo, ModuleLibrary};
 use vapres_core::placement::PlacementManager;
 use vapres_core::system::VapresSystem;
 use vapres_core::ModuleUid;
+use vapres_sim::rng::SplitMix64;
 
 struct Tag(u32);
 impl HardwareModule for Tag {
@@ -73,7 +73,10 @@ fn run(pool: usize, n_modules: u32, requests: &[ModuleUid]) -> (f64, f64) {
 }
 
 fn main() {
-    banner("E10", "module reuse: placement-cache hit rate vs PRR pool size");
+    banner(
+        "E10",
+        "module reuse: placement-cache hit rate vs PRR pool size",
+    );
     const MODULES: u32 = 12;
     const REQUESTS: usize = 300;
     let requests = trace(MODULES, REQUESTS, 7);
@@ -88,7 +91,13 @@ fn main() {
     );
     println!();
     row(
-        &[&"pool", &"hit rate", &"reconfig spent", &"vs baseline", &"saved"],
+        &[
+            &"pool",
+            &"hit rate",
+            &"reconfig spent",
+            &"vs baseline",
+            &"saved",
+        ],
         &widths,
     );
     rule(&widths);

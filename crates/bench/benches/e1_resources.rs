@@ -50,9 +50,15 @@ fn main() {
         &widths,
     );
     rule(&widths);
-    row(&[&"controlling region", &controlling_region_slices()], &widths);
+    row(
+        &[&"controlling region", &controlling_region_slices()],
+        &widths,
+    );
     row(&[&"comm architecture", &comm_arch_slices(&params)], &widths);
-    row(&[&"static region total", &static_region_slices(&params)], &widths);
+    row(
+        &[&"static region total", &static_region_slices(&params)],
+        &widths,
+    );
 
     println!();
     compare(

@@ -18,7 +18,8 @@ fn main() {
     let mut lib = ModuleLibrary::new();
     register_standard_modules(&mut lib, 0);
     let mut sys = VapresSystem::new(SystemConfig::prototype(), lib).expect("valid prototype");
-    sys.install_bitstream(0, uids::FIR_A, "fir_a.bit").expect("install");
+    sys.install_bitstream(0, uids::FIR_A, "fir_a.bit")
+        .expect("install");
 
     // Slow path: bitstream file on CompactFlash.
     let t0 = sys.now();
@@ -70,7 +71,12 @@ fn main() {
         "%",
     );
     compare("array2icap total", 71.94, fast_total * 1e3, "ms");
-    compare("speedup cf->array", 1.043 / 0.07194, slow_total / fast_total, "x");
+    compare(
+        "speedup cf->array",
+        1.043 / 0.07194,
+        slow_total / fast_total,
+        "x",
+    );
 
     // Structural sanity: both calls moved the same bitstream.
     assert_eq!(slow.prr, 0);

@@ -34,9 +34,11 @@ fn run(seamless: bool, interval: u64, samples: usize) -> Outcome {
     let mut sys = VapresSystem::new(SystemConfig::prototype(), lib).expect("prototype");
     sys.iom_set_input_interval(0, interval);
 
-    sys.install_bitstream(0, uids::FIR_A, "a.bit").expect("install a");
+    sys.install_bitstream(0, uids::FIR_A, "a.bit")
+        .expect("install a");
     let b_prr = if seamless { 1 } else { 0 };
-    sys.install_bitstream(b_prr, uids::FIR_B, "b.bit").expect("install b");
+    sys.install_bitstream(b_prr, uids::FIR_B, "b.bit")
+        .expect("install b");
     sys.vapres_cf2array("b.bit", "b").expect("stage b");
     sys.vapres_cf2icap("a.bit").expect("load a");
 

@@ -7,8 +7,8 @@
 //! of streaming-channel requests can all be established.
 
 use vapres_bench::{banner, row, rule};
-use vapres_sim::rng::SplitMix64;
 use vapres_floorplan::resources::comm_arch_slices;
+use vapres_sim::rng::SplitMix64;
 use vapres_stream::fabric::{PortRef, StreamFabric};
 use vapres_stream::params::FabricParams;
 
@@ -51,7 +51,14 @@ fn main() {
     let widths = [6, 10, 10, 12, 16, 16];
     println!();
     row(
-        &[&"N", &"kr=kl", &"ki=ko", &"slices", &"succ@N/2 ch", &"succ@N ch"],
+        &[
+            &"N",
+            &"kr=kl",
+            &"ki=ko",
+            &"slices",
+            &"succ@N/2 ch",
+            &"succ@N ch",
+        ],
         &widths,
     );
     rule(&widths);

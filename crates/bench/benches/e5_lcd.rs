@@ -23,7 +23,8 @@ fn run(prr_clock: Freq, n: usize) -> (f64, usize, f64) {
     register_standard_modules(&mut lib, 0);
     let mut sys = VapresSystem::new(cfg, lib).expect("config valid");
 
-    sys.install_bitstream(0, uids::SCALER, "s.bit").expect("install");
+    sys.install_bitstream(0, uids::SCALER, "s.bit")
+        .expect("install");
     sys.vapres_cf2icap("s.bit").expect("load");
     sys.vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))
         .expect("in");

@@ -68,7 +68,9 @@ fn fabric_throughput(streams: usize) -> f64 {
 /// Per-stream throughput on the 50 MHz TDM bus with one slot per stream.
 fn tdm_throughput(streams: usize) -> f64 {
     let mut bus = TdmBus::new(streams, 512);
-    let ids: Vec<_> = (0..streams).map(|_| bus.add_stream().expect("slot")).collect();
+    let ids: Vec<_> = (0..streams)
+        .map(|_| bus.add_stream().expect("slot"))
+        .collect();
     let mut clocks = ClockScheduler::new();
     clocks.add_domain(Freq::mhz(50));
     let mut delivered = 0u64;
@@ -124,12 +126,18 @@ fn fabric_latency_ns(hops: usize) -> f64 {
         .expect("route");
     fabric.set_fifo_ren(PortRef::new(0, 0), true).unwrap();
     fabric.set_fifo_wen(PortRef::new(hops, 0), true).unwrap();
-    fabric.producer_push(PortRef::new(0, 0), Word::data(1)).unwrap();
+    fabric
+        .producer_push(PortRef::new(0, 0), Word::data(1))
+        .unwrap();
     let mut cycles = 0u64;
     loop {
         fabric.tick();
         cycles += 1;
-        if fabric.consumer_pop(PortRef::new(hops, 0)).unwrap().is_some() {
+        if fabric
+            .consumer_pop(PortRef::new(hops, 0))
+            .unwrap()
+            .is_some()
+        {
             return cycles as f64 * 10.0; // 10 ns per 100 MHz cycle
         }
         assert!(cycles < 1_000, "word never arrived");
@@ -137,12 +145,20 @@ fn fabric_latency_ns(hops: usize) -> f64 {
 }
 
 fn main() {
-    banner("E6", "switch-box fabric vs TDM bus vs processor-routed transport");
+    banner(
+        "E6",
+        "switch-box fabric vs TDM bus vs processor-routed transport",
+    );
 
     let widths = [10, 18, 18, 20];
     println!("\n  per-stream throughput (Mwords/s):");
     row(
-        &[&"streams", &"VAPRES@100MHz", &"TDM bus@50MHz", &"CPU-routed@100MHz"],
+        &[
+            &"streams",
+            &"VAPRES@100MHz",
+            &"TDM bus@50MHz",
+            &"CPU-routed@100MHz",
+        ],
         &widths,
     );
     rule(&widths);

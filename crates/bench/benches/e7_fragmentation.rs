@@ -18,7 +18,10 @@ use vapres_floorplan::fragmentation::{analyze, PrrSizePolicy};
 use vapres_modules::register_standard_modules;
 
 fn main() {
-    banner("E7", "PRR sizing: internal fragmentation vs reconfiguration time");
+    banner(
+        "E7",
+        "PRR sizing: internal fragmentation vs reconfiguration time",
+    );
 
     // The module mix: slice demand of every standard module (wrapper
     // included), as the fragmentation analysis input.
@@ -46,7 +49,14 @@ fn main() {
     let widths = [28, 8, 8, 12, 14, 16];
     println!();
     row(
-        &[&"PRR policy", &"fits", &"big", &"frag %", &"bitstream", &"array2icap"],
+        &[
+            &"PRR policy",
+            &"fits",
+            &"big",
+            &"frag %",
+            &"bitstream",
+            &"array2icap",
+        ],
         &widths,
     );
     rule(&widths);

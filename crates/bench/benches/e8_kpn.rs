@@ -58,7 +58,10 @@ fn run(stages: Vec<ModuleUid>, n: usize) -> (bool, usize, f64) {
 }
 
 fn main() {
-    banner("E8", "KPN pipelines on the RSB vs the software reference executor");
+    banner(
+        "E8",
+        "KPN pipelines on the RSB vs the software reference executor",
+    );
     let cases: Vec<(&str, Vec<ModuleUid>)> = vec![
         ("fir_a", vec![uids::FIR_A]),
         ("enc|dec", vec![uids::DELTA_ENCODER, uids::DELTA_DECODER]),
@@ -86,7 +89,10 @@ fn main() {
 
     let widths = [34, 8, 10, 12, 14];
     println!();
-    row(&[&"pipeline", &"stages", &"samples", &"match", &"MS/s"], &widths);
+    row(
+        &[&"pipeline", &"stages", &"samples", &"match", &"MS/s"],
+        &widths,
+    );
     rule(&widths);
     for (name, stages) in cases {
         let n = 10_000;

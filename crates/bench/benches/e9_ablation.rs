@@ -29,7 +29,9 @@ fn run(hops: usize, threshold: usize) -> (u64, u64) {
     let src = PortRef::new(0, 0);
     let dst = PortRef::new(hops, 0);
     let ch = fabric.establish_channel(src, dst).expect("route");
-    fabric.set_feedback_threshold(ch, threshold).expect("override");
+    fabric
+        .set_feedback_threshold(ch, threshold)
+        .expect("override");
     fabric.set_fifo_ren(src, true).unwrap();
     fabric.set_fifo_wen(dst, true).unwrap();
 
@@ -54,7 +56,10 @@ fn main() {
     );
     let widths = [8, 10, 14, 12, 12];
     println!();
-    row(&[&"hops", &"depth", &"threshold", &"drops", &"safe?"], &widths);
+    row(
+        &[&"hops", &"depth", &"threshold", &"drops", &"safe?"],
+        &widths,
+    );
     rule(&widths);
     for &hops in &[1usize, 3, 6] {
         let depth = hops + 1;

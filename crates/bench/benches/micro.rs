@@ -5,7 +5,7 @@
 //! FIFO operation, bitstream generation/parsing, channel establishment).
 //! Timed with the in-tree harness in [`vapres_bench::bench`].
 
-use vapres_bench::{banner, bench, black_box};
+use vapres_bench::{banner, bench, bench_ns, black_box};
 use vapres_bitstream::crc::Crc32;
 use vapres_bitstream::stream::{ModuleUid, PartialBitstream};
 use vapres_fabric::geometry::{ClbRect, Device};
@@ -98,6 +98,48 @@ fn bench_channel_establish() {
     });
 }
 
+fn bench_metrics_overhead() {
+    use vapres_sim::telemetry::Telemetry;
+
+    // Every instrumentation site guards its registry work behind one
+    // `Option` check, so a system that never calls `enable_telemetry`
+    // pays a single predictable branch per site. Compare the same hot
+    // loop bare, with a disabled (None) registry, and with a live one.
+    let mut acc = 0u64;
+    let mut work = move || {
+        acc = black_box(acc.wrapping_mul(2_654_435_761).wrapping_add(1));
+        acc
+    };
+
+    let bare = bench_ns("hot_loop_bare", || {
+        black_box(work());
+    });
+
+    let mut registry = Telemetry::new();
+    let id = registry.counter("bench_hot_total", &[]);
+    let mut disabled: Option<Telemetry> = None;
+    let off = bench_ns("hot_loop_metrics_disabled", || {
+        black_box(work());
+        if let Some(t) = disabled.as_mut() {
+            t.inc(id, 1);
+        }
+    });
+
+    let mut enabled = Some(registry);
+    let on = bench_ns("hot_loop_metrics_enabled", || {
+        black_box(work());
+        if let Some(t) = enabled.as_mut() {
+            t.inc(id, 1);
+        }
+    });
+
+    println!(
+        "  metrics overhead: disabled {:+.1}%, enabled {:+.1}% vs bare",
+        (off - bare) / bare * 100.0,
+        (on - bare) / bare * 100.0
+    );
+}
+
 fn main() {
     banner("micro", "simulator hot paths (best-of-3 batches)");
     println!();
@@ -106,4 +148,5 @@ fn main() {
     bench_bitstream();
     bench_crc();
     bench_channel_establish();
+    bench_metrics_overhead();
 }

@@ -16,7 +16,13 @@ pub use std::hint::black_box;
 /// batches is reported — best-of damps scheduler noise the same way
 /// min-based harnesses do. Wrap benchmark inputs and outputs in
 /// [`black_box`] so the compiler cannot elide the measured work.
-pub fn bench(name: &str, mut f: impl FnMut()) {
+pub fn bench(name: &str, f: impl FnMut()) {
+    bench_ns(name, f);
+}
+
+/// Like [`bench`], but also returns the measured best ns/iter so callers
+/// can compute derived figures (e.g. relative overhead between variants).
+pub fn bench_ns(name: &str, mut f: impl FnMut()) -> f64 {
     const WARMUP: Duration = Duration::from_millis(20);
     const TARGET: Duration = Duration::from_millis(50);
     let mut iters: u64 = 0;
@@ -36,6 +42,7 @@ pub fn bench(name: &str, mut f: impl FnMut()) {
         best = best.min(t.elapsed().as_nanos() as f64 / batch as f64);
     }
     println!("  {name:<44} {best:>12.1} ns/iter");
+    best
 }
 
 /// Prints an experiment banner.
@@ -88,5 +95,12 @@ mod tests {
         let mut n = 0u64;
         bench("noop", || n = black_box(n.wrapping_add(1)));
         assert!(n > 0, "benchmark closure must have run");
+    }
+
+    #[test]
+    fn bench_ns_returns_a_positive_measurement() {
+        let mut n = 0u64;
+        let ns = bench_ns("noop", || n = black_box(n.wrapping_add(1)));
+        assert!(ns.is_finite() && ns > 0.0, "got {ns}");
     }
 }

@@ -104,6 +104,7 @@ pub struct Icap {
     memory: ConfigMemory,
     writes: u64,
     failed_writes: u64,
+    words_written: u64,
 }
 
 impl Icap {
@@ -135,6 +136,7 @@ impl Icap {
                         device: stream::IDCODE_XC4VLX25,
                     });
                 }
+                self.words_written += words.len() as u64;
                 let mut written = Vec::with_capacity(parsed.frames.len());
                 for (far, data) in parsed.frames {
                     self.memory.write_frame(far, data);
@@ -213,6 +215,11 @@ impl Icap {
     pub fn failed_write_count(&self) -> u64 {
         self.failed_writes
     }
+
+    /// Total configuration words accepted across all successful writes.
+    pub fn words_written(&self) -> u64 {
+        self.words_written
+    }
 }
 
 /// Lenient scan for the frames a (possibly corrupt) stream addresses:
@@ -274,6 +281,7 @@ mod tests {
         assert_eq!(icap.memory().written_frames(), 220);
         assert_eq!(icap.write_count(), 1);
         assert_eq!(icap.failed_write_count(), 0);
+        assert_eq!(icap.words_written(), bs.words().len() as u64);
         // Duration matches the calibrated driver rate.
         assert_eq!(w.duration, timing::icap_write_time(bs.words().len() as u64));
     }
@@ -301,6 +309,7 @@ mod tests {
         let err = icap.write_stream(&words).unwrap_err();
         assert!(matches!(err, ParseError::CrcMismatch { .. }));
         assert_eq!(icap.failed_write_count(), 1);
+        assert_eq!(icap.words_written(), 0, "failed writes accept no words");
         // Every frame the stream addressed reads as zeros now.
         let some_far = touched_frames(&words)[0];
         assert_eq!(icap.memory().frame(some_far).unwrap(), &[0u32; 41]);

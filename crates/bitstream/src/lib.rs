@@ -56,4 +56,4 @@ pub mod timing;
 
 pub use icap::{ConfigMemory, Icap, IcapWrite};
 pub use storage::{CompactFlash, Sdram, StorageError};
-pub use stream::{ModuleUid, ParseError, PartialBitstream, ParsedBitstream};
+pub use stream::{ModuleUid, ParseError, ParsedBitstream, PartialBitstream};

@@ -8,9 +8,7 @@
 //! simulation analogue of a netlist.
 
 use crate::crc::Crc32;
-use crate::packet::{
-    self, Command, ConfigReg, Packet, DUMMY_WORD, SYNC_WORD,
-};
+use crate::packet::{self, Command, ConfigReg, Packet, DUMMY_WORD, SYNC_WORD};
 use std::fmt;
 use vapres_fabric::frame::{FrameAddress, FRAMES_PER_CLB_COLUMN, FRAME_WORDS};
 use vapres_fabric::geometry::{ClbRect, Device, GeometryError};
@@ -288,13 +286,12 @@ pub fn parse(words: &[u32]) -> Result<ParsedBitstream, ParseError> {
                 i = end;
                 match reg {
                     ConfigReg::Cmd => {
-                        let cmd = payload
-                            .first()
-                            .and_then(|&c| Command::decode(c))
-                            .ok_or(ParseError::BadPacket {
+                        let cmd = payload.first().and_then(|&c| Command::decode(c)).ok_or(
+                            ParseError::BadPacket {
                                 offset: i - 1,
                                 word: *payload.first().unwrap_or(&0),
-                            })?;
+                            },
+                        )?;
                         match cmd {
                             Command::Rcrc => crc.reset(),
                             Command::Desync => {
@@ -311,8 +308,9 @@ pub fn parse(words: &[u32]) -> Result<ParsedBitstream, ParseError> {
                     ConfigReg::Far => {
                         let raw = *payload.first().ok_or(ParseError::Truncated)?;
                         crc.update_word(raw);
-                        current_far =
-                            Some(FrameAddress::decode(raw).ok_or(ParseError::BadFrameAddress(raw))?);
+                        current_far = Some(
+                            FrameAddress::decode(raw).ok_or(ParseError::BadFrameAddress(raw))?,
+                        );
                     }
                     ConfigReg::Fdri => {
                         // Zero-length header announcing a type-2 payload;
@@ -463,10 +461,7 @@ mod tests {
         // Flip a bit in the middle of the frame data.
         let mid = words.len() / 2;
         words[mid] ^= 1;
-        assert!(matches!(
-            parse(&words),
-            Err(ParseError::CrcMismatch { .. })
-        ));
+        assert!(matches!(parse(&words), Err(ParseError::CrcMismatch { .. })));
     }
 
     #[test]
@@ -482,7 +477,10 @@ mod tests {
 
     #[test]
     fn missing_sync_detected() {
-        assert_eq!(parse(&[DUMMY_WORD, 0x1234_5678]), Err(ParseError::MissingSync));
+        assert_eq!(
+            parse(&[DUMMY_WORD, 0x1234_5678]),
+            Err(ParseError::MissingSync)
+        );
         assert_eq!(parse(&[]), Err(ParseError::MissingSync));
     }
 

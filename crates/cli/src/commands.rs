@@ -8,8 +8,8 @@ use vapres_bitstream::timing;
 use vapres_fabric::geometry::{ClbRect, Device};
 use vapres_fabric::resources::{ResourceBudget, ResourceKind};
 use vapres_floorplan::planner::{plan, PrrRequest};
-use vapres_floorplan::resources::{comm_arch_slices, static_region_slices};
 use vapres_floorplan::report::utilization_report;
+use vapres_floorplan::resources::{comm_arch_slices, static_region_slices};
 use vapres_floorplan::sysdef::{generate_mhs, generate_ucf, parse_ucf};
 use vapres_stream::params::FabricParams;
 
@@ -119,11 +119,7 @@ pub fn cmd_floorplan(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
             placement.name, placement.rect, req.min_slices, alloc
         )?;
     }
-    writeln!(
-        out,
-        "wasted slices: {}",
-        outcome.wasted_slices(&requests)
-    )?;
+    writeln!(out, "wasted slices: {}", outcome.wasted_slices(&requests))?;
     if args.get_or("art", "no") == "yes" {
         writeln!(out, "{}", outcome.floorplan.ascii_art())?;
     }
@@ -132,15 +128,24 @@ pub fn cmd_floorplan(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         writeln!(out, "wrote {path}")?;
     }
     if let Some(path) = args.get("mhs") {
-        std::fs::write(path, generate_mhs(&FabricParams::prototype(), &outcome.floorplan))?;
+        std::fs::write(
+            path,
+            generate_mhs(&FabricParams::prototype(), &outcome.floorplan),
+        )?;
         writeln!(out, "wrote {path}")?;
     }
     Ok(())
 }
 
 /// `vapres report --prrs 640,640 [--device lx25]` — the full
-/// utilization report for a planned base system.
+/// utilization report for a planned base system. With `--metrics
+/// <snapshot.jsonl>` it instead digests a telemetry snapshot written by
+/// `vapres sim --metrics`: swap latency breakdown per step, worst-case
+/// FIFO occupancy, stall ratio per channel, and the tick-redux factor.
 pub fn cmd_report(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    if let Some(path) = args.get("metrics") {
+        return cmd_report_metrics(path, out);
+    }
     let device = device_by_name(args.get_or("device", "lx25"))?;
     let params = fabric_params(args)?;
     let prrs: Vec<u32> = args
@@ -159,6 +164,137 @@ pub fn cmd_report(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         .collect();
     let outcome = plan(&device, &requests).map_err(|e| CmdError(e.to_string()))?;
     write!(out, "{}", utilization_report(&params, &outcome.floorplan))?;
+    Ok(())
+}
+
+fn fmt_labels(labels: &[(String, String)]) -> String {
+    labels
+        .iter()
+        .map(|(k, v)| format!("{k}={v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// `vapres report --metrics snapshot.jsonl` — digest a telemetry
+/// snapshot into the paper-facing observability summary.
+fn cmd_report_metrics(path: &str, out: &mut dyn Write) -> Result<(), CmdError> {
+    use vapres_core::Ps;
+    use vapres_sim::telemetry::{parse_jsonl, Record};
+
+    let text = std::fs::read_to_string(path)?;
+    let records = parse_jsonl(&text).map_err(|e| CmdError(e.to_string()))?;
+
+    // Swap latency breakdown: the nine Fig. 5 step spans tile the swap
+    // interval, so their durations sum to the measured swap latency.
+    let mut steps: Vec<(&str, u64)> = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Span {
+                name,
+                label,
+                start_ps,
+                end_ps,
+            } if name == "swap_step" => Some((label.as_str(), end_ps - start_ps)),
+            _ => None,
+        })
+        .collect();
+    steps.sort_by(|a, b| a.0.cmp(b.0));
+    if steps.is_empty() {
+        writeln!(out, "no swap recorded (no swap_step spans in snapshot)")?;
+    } else {
+        let total: u64 = steps.iter().map(|s| s.1).sum();
+        writeln!(out, "seamless swap latency breakdown:")?;
+        for (label, dur) in &steps {
+            writeln!(
+                out,
+                "  {label:<24} {:>14}  ({:5.1}%)",
+                format!("{}", Ps::new(*dur)),
+                100.0 * *dur as f64 / total as f64
+            )?;
+        }
+        writeln!(
+            out,
+            "  {:<24} {:>14}",
+            "total",
+            format!("{}", Ps::new(total))
+        )?;
+    }
+
+    let worst_fifo = records
+        .iter()
+        .filter_map(|r| match r {
+            Record::Gauge {
+                name,
+                labels,
+                value,
+            } if name == "fifo_high_water" => Some((labels, *value)),
+            _ => None,
+        })
+        .max_by(|a, b| a.1.total_cmp(&b.1));
+    if let Some((labels, words)) = worst_fifo {
+        writeln!(
+            out,
+            "worst-case FIFO occupancy: {words:.0} words ({})",
+            fmt_labels(labels)
+        )?;
+    }
+
+    let mut any_channel = false;
+    for r in &records {
+        if let Record::Gauge {
+            name,
+            labels,
+            value,
+        } = r
+        {
+            if name == "channel_stall_ratio" {
+                if !any_channel {
+                    writeln!(out, "stall ratio per channel:")?;
+                    any_channel = true;
+                }
+                writeln!(out, "  {}: {value:.4}", fmt_labels(labels))?;
+            }
+        }
+    }
+
+    // The paper's interruption metric: whole sample slots with no output
+    // word (0 for a seamless swap), with the raw delay alongside.
+    for r in &records {
+        if let Record::Counter {
+            name,
+            labels,
+            value,
+        } = r
+        {
+            if name == "iom_missed_slots_total" {
+                let excess = records
+                    .iter()
+                    .find_map(|r| match r {
+                        Record::Gauge {
+                            name,
+                            labels: l,
+                            value,
+                        } if name == "iom_excess_gap_ps" && l == labels => Some(*value),
+                        _ => None,
+                    })
+                    .unwrap_or(0.0);
+                writeln!(
+                    out,
+                    "stream interruption ({}): {value} missed sample slots \
+                     (delayed {} beyond nominal cadence)",
+                    fmt_labels(labels),
+                    Ps::new(excess as u64)
+                )?;
+            }
+        }
+    }
+
+    if let Some(redux) = records.iter().find_map(|r| match r {
+        Record::Gauge { name, value, .. } if name == "exec_tick_reduction" => Some(*value),
+        _ => None,
+    }) {
+        writeln!(out, "executor tick-redux factor: {redux:.1}x")?;
+    }
     Ok(())
 }
 
@@ -283,20 +419,29 @@ fn stage_by_name(name: &str) -> Result<vapres_core::ModuleUid, CmdError> {
 }
 
 /// `vapres sim [--stages scaler,avg] [--samples N] [--interval CYCLES]
-/// [--stats yes] [--vcd out.vcd]` — deploy a kernel pipeline on the
-/// prototype system, stream samples through it on the event-driven
-/// executor, and report throughput (plus executor work counters and a
-/// VCD waveform dump on request).
+/// [--stats yes] [--vcd out.vcd] [--swap yes] [--metrics out.jsonl]
+/// [--trace-json out.json] [--prom out.prom]` — deploy a kernel pipeline
+/// on the prototype system, stream samples through it on the
+/// event-driven executor, and report throughput (plus executor work
+/// counters and a VCD waveform dump on request).
+///
+/// `--swap yes` runs the paper's E3 scenario instead of a pipeline:
+/// FIR A streams live while FIR B is reconfigured into the spare PRR,
+/// then the nine-step seamless swap hands the stream over. The metrics
+/// flags enable the telemetry registry and export a snapshot (JSON
+/// lines), a chrome://tracing timeline, and Prometheus-style text.
 pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     use vapres_core::config::SystemConfig;
     use vapres_core::module::ModuleLibrary;
+    use vapres_core::switching::{seamless_swap, BitstreamSource, SwapSpec};
     use vapres_core::system::VapresSystem;
-    use vapres_core::Ps;
+    use vapres_core::{PortRef, Ps};
     use vapres_kpn::{deploy, map_pipeline, Pipeline};
-    use vapres_modules::register_standard_modules;
+    use vapres_modules::{register_standard_modules, uids};
 
-    let samples: u32 = args.get_num("samples", 1_000u32)?;
-    let interval: u64 = args.get_num("interval", 1u64)?;
+    let swap = args.get_or("swap", "no") == "yes";
+    let samples: u32 = args.get_num("samples", if swap { 20_000 } else { 1_000 })?;
+    let interval: u64 = args.get_num("interval", if swap { 500 } else { 1 })?;
     if interval == 0 {
         return Err(CmdError("--interval must be >= 1".into()));
     }
@@ -313,25 +458,83 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     if args.get("vcd").is_some() {
         sys.enable_tracing();
     }
+    let want_metrics = args.get("metrics").is_some()
+        || args.get("trace-json").is_some()
+        || args.get("prom").is_some();
+    if want_metrics {
+        sys.enable_telemetry();
+    }
     sys.iom_set_input_interval(0, interval);
 
-    let pipeline = Pipeline::new(stages);
-    let mapping = map_pipeline(sys.config(), &pipeline).map_err(|e| CmdError(e.to_string()))?;
-    deploy(&mut sys, &pipeline, &mapping).map_err(|e| CmdError(e.to_string()))?;
+    if swap {
+        // The E3 scenario (paper Fig. 5): IOM -> FIR A (node 1) -> IOM,
+        // FIR B staged in SDRAM for the spare PRR (node 2).
+        let core = |e: vapres_core::ApiError| CmdError(e.to_string());
+        sys.install_bitstream(0, uids::FIR_A, "fir_a_prr0.bit")
+            .map_err(core)?;
+        sys.install_bitstream(1, uids::FIR_B, "fir_b_prr1.bit")
+            .map_err(core)?;
+        sys.vapres_cf2array("fir_b_prr1.bit", "fir_b")
+            .map_err(core)?;
+        sys.vapres_cf2icap("fir_a_prr0.bit").map_err(core)?;
+        let upstream = sys
+            .vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))
+            .map_err(core)?;
+        let downstream = sys
+            .vapres_establish_channel(PortRef::new(1, 0), PortRef::new(0, 0))
+            .map_err(core)?;
+        sys.bring_up_node(0, false).map_err(core)?;
+        sys.bring_up_node(1, false).map_err(core)?;
 
-    sys.iom_feed(0, 0..samples);
-    let done = sys.run_until(Ps::from_ms(100), |s| {
-        s.iom_pending_input(0) == 0 && !s.iom_output(0).is_empty()
-    });
-    if !done {
-        return Err(CmdError("simulation stalled before consuming input".into()));
+        sys.iom_feed(0, 0..samples);
+        sys.run_for(Ps::from_ms(1));
+        let spec = SwapSpec {
+            active_node: 1,
+            spare_node: 2,
+            source: BitstreamSource::Sdram("fir_b".into()),
+            upstream,
+            downstream,
+            clk_sel: false,
+            timeout: Ps::from_ms(10),
+        };
+        let report = seamless_swap(&mut sys, &spec).map_err(|e| CmdError(e.to_string()))?;
+        let done = sys.run_until(Ps::from_ms(300), |s| s.iom_pending_input(0) == 0);
+        if !done {
+            return Err(CmdError(
+                "swap scenario stalled before consuming input".into(),
+            ));
+        }
+        sys.run_for(Ps::from_us(100));
+        writeln!(out, "pipeline   : fir-a -> fir-b (seamless swap)")?;
+        writeln!(
+            out,
+            "swap       : {} total ({} reconfig, {} state words)",
+            report.total(),
+            report.reconfig.total(),
+            report.state_words
+        )?;
+    } else {
+        let pipeline = Pipeline::new(stages);
+        let mapping = map_pipeline(sys.config(), &pipeline).map_err(|e| CmdError(e.to_string()))?;
+        deploy(&mut sys, &pipeline, &mapping).map_err(|e| CmdError(e.to_string()))?;
+
+        sys.iom_feed(0, 0..samples);
+        let done = sys.run_until(Ps::from_ms(100), |s| {
+            s.iom_pending_input(0) == 0 && !s.iom_output(0).is_empty()
+        });
+        if !done {
+            return Err(CmdError("simulation stalled before consuming input".into()));
+        }
+        // Let in-flight words drain: a variable-rate pipeline may emit fewer
+        // or more words than it consumed, so run a fixed settle window.
+        sys.run_for(Ps::from_us(100));
+        writeln!(out, "pipeline   : {}", args.get_or("stages", "scaler"))?;
     }
-    // Let in-flight words drain: a variable-rate pipeline may emit fewer
-    // or more words than it consumed, so run a fixed settle window.
-    sys.run_for(Ps::from_us(100));
 
-    writeln!(out, "pipeline   : {}", args.get_or("stages", "scaler"))?;
-    writeln!(out, "samples in : {samples} (1 per {interval} fabric cycles)")?;
+    writeln!(
+        out,
+        "samples in : {samples} (1 per {interval} fabric cycles)"
+    )?;
     writeln!(out, "samples out: {}", sys.iom_output(0).len())?;
     writeln!(out, "sim time   : {}", sys.now())?;
     if let Some(tput) = sys.iom_gap(0).throughput_per_s() {
@@ -368,6 +571,33 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         file.flush()?;
         writeln!(out, "wrote {path}: {} signal changes", tracer.len())?;
     }
+
+    if want_metrics {
+        let t = sys.snapshot_metrics().expect("telemetry was enabled above");
+        if let Some(path) = args.get("metrics") {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+            t.write_jsonl(&mut file)?;
+            file.flush()?;
+            writeln!(
+                out,
+                "wrote {path}: {} metrics + {} spans",
+                t.len(),
+                t.spans().len()
+            )?;
+        }
+        if let Some(path) = args.get("trace-json") {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+            t.write_chrome_trace(&mut file)?;
+            file.flush()?;
+            writeln!(out, "wrote {path}: chrome://tracing timeline")?;
+        }
+        if let Some(path) = args.get("prom") {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+            t.write_prometheus(&mut file)?;
+            file.flush()?;
+            writeln!(out, "wrote {path}: prometheus text")?;
+        }
+    }
     Ok(())
 }
 
@@ -379,12 +609,14 @@ pub fn usage() -> &'static str {
      \x20 resources      [--nodes N --kr K --kl K --ki I --ko O --width W] [--device D]\n\
      \x20 floorplan      --prrs 640,640 [--device D] [--ucf out.ucf] [--mhs out.mhs] [--art yes]\n\
      \x20 report         --prrs 640,640 [--device D] [fabric params]\n\
+     \x20                | --metrics snapshot.jsonl   (telemetry digest)\n\
      \x20 check-ucf      <file.ucf> [--device D]\n\
      \x20 bitgen         --rect C0:C1:R0:R1 --uid HEX --out file.bit [--device D]\n\
      \x20 bitinfo        <file.bit>\n\
      \x20 reconfig-time  --bytes N | --rect C0:C1:R0:R1 [--device D]\n\
      \x20 sim            [--stages scaler,avg] [--samples N] [--interval CYCLES]\n\
-     \x20                [--stats yes] [--vcd out.vcd]\n\
+     \x20                [--stats yes] [--vcd out.vcd] [--swap yes]\n\
+     \x20                [--metrics out.jsonl] [--trace-json out.json] [--prom out.prom]\n\
      \n\
      devices: lx25 (default) | lx60 | lx100\n\
      stages : passthrough | scaler | delta-enc | delta-dec | avg | fir-a | fir-b\n"
@@ -395,11 +627,7 @@ pub fn usage() -> &'static str {
 /// # Errors
 ///
 /// [`CmdError`] with a user-facing message.
-pub fn dispatch(
-    subcommand: &str,
-    args: &Args,
-    out: &mut dyn Write,
-) -> Result<(), CmdError> {
+pub fn dispatch(subcommand: &str, args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     match subcommand {
         "resources" => cmd_resources(args, out),
         "report" => cmd_report(args, out),
@@ -476,11 +704,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let ucf = dir.join("t.ucf");
         let ucf_s = ucf.to_str().unwrap();
-        run(
-            "floorplan",
-            &["--prrs", "640,640", "--ucf", ucf_s],
-        )
-        .unwrap();
+        run("floorplan", &["--prrs", "640,640", "--ucf", ucf_s]).unwrap();
         let text = run("check-ucf", &[ucf_s]).unwrap();
         assert!(text.contains("valid (2 PRRs"));
         std::fs::remove_file(&ucf).ok();
@@ -535,6 +759,69 @@ mod tests {
     }
 
     #[test]
+    fn sim_swap_exports_metrics_and_report_digests_them() {
+        let dir = std::env::temp_dir().join("vapres_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("swap.jsonl");
+        let jsonl_s = jsonl.to_str().unwrap();
+        let trace = dir.join("swap.trace.json");
+        let trace_s = trace.to_str().unwrap();
+
+        let text = run(
+            "sim",
+            &[
+                "--swap",
+                "yes",
+                "--metrics",
+                jsonl_s,
+                "--trace-json",
+                trace_s,
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("seamless swap"), "{text}");
+        assert!(text.contains("wrote"), "{text}");
+
+        // The snapshot parses and holds exactly the nine Fig. 5 steps.
+        let snapshot = std::fs::read_to_string(&jsonl).unwrap();
+        let records = vapres_sim::telemetry::parse_jsonl(&snapshot).unwrap();
+        let steps = records.iter().filter(|r| r.name() == "swap_step").count();
+        assert_eq!(steps, 9, "expected nine swap_step spans");
+
+        let timeline = std::fs::read_to_string(&trace).unwrap();
+        assert!(timeline.contains("\"traceEvents\""));
+
+        let report = run("report", &["--metrics", jsonl_s]).unwrap();
+        assert!(
+            report.contains("seamless swap latency breakdown:"),
+            "{report}"
+        );
+        assert!(report.contains("2_reconfigure_spare"), "{report}");
+        assert!(report.contains("worst-case FIFO occupancy:"), "{report}");
+        assert!(report.contains("stall ratio per channel:"), "{report}");
+        assert!(report.contains("tick-redux factor:"), "{report}");
+        // E3 is the zero-interruption scenario: the handoff delays the
+        // stream by less than one sample slot, so no slot is missed.
+        assert!(
+            report.contains("stream interruption (iom=0): 0 missed sample slots"),
+            "{report}"
+        );
+
+        std::fs::remove_file(&jsonl).ok();
+        std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn report_metrics_mode_rejects_garbage() {
+        let dir = std::env::temp_dir().join("vapres_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.jsonl");
+        std::fs::write(&bad, "not json\n").unwrap();
+        assert!(run("report", &["--metrics", bad.to_str().unwrap()]).is_err());
+        std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
     fn unknown_subcommand_shows_usage() {
         let err = run("frobnicate", &[]).unwrap_err();
         assert!(err.0.contains("subcommands:"));
@@ -542,7 +829,11 @@ mod tests {
 
     #[test]
     fn bad_rect_rejected() {
-        assert!(run("bitgen", &["--rect", "9:0:0:15", "--uid", "1", "--out", "/tmp/x"]).is_err());
+        assert!(run(
+            "bitgen",
+            &["--rect", "9:0:0:15", "--uid", "1", "--out", "/tmp/x"]
+        )
+        .is_err());
         assert!(run("reconfig-time", &["--rect", "1:2:3"]).is_err());
         assert!(run("reconfig-time", &[]).is_err());
     }

@@ -167,6 +167,10 @@ impl VapresSystem {
     /// [`ApiError::BadNode`] for an unknown node.
     pub fn write_dcr(&mut self, node: usize, dcr: Dcr) -> Result<(), ApiError> {
         self.check_node(node)?;
+        if let Some(t) = self.telemetry.as_mut() {
+            let c = t.counter("dcr_write_total", &[("node", node.to_string())]);
+            t.inc(c, 1);
+        }
         self.charge_cycles(costs::DCR_WRITE_CYCLES);
 
         if dcr.fifo_reset {
@@ -206,6 +210,10 @@ impl VapresSystem {
     /// [`ApiError::BadNode`] for an unknown node.
     pub fn read_dcr(&mut self, node: usize) -> Result<Dcr, ApiError> {
         self.check_node(node)?;
+        if let Some(t) = self.telemetry.as_mut() {
+            let c = t.counter("dcr_read_total", &[("node", node.to_string())]);
+            t.inc(c, 1);
+        }
         self.charge_cycles(costs::DCR_READ_CYCLES);
         Ok(self.sockets[node].dcr)
     }
@@ -350,7 +358,9 @@ impl VapresSystem {
             .map(|i| i.hops as u64)
             .unwrap_or(0);
         self.fabric.release_channel(channel)?;
-        self.charge_cycles(costs::ESTABLISH_BASE_CYCLES / 2 + hops * costs::ESTABLISH_PER_HOP_CYCLES);
+        self.charge_cycles(
+            costs::ESTABLISH_BASE_CYCLES / 2 + hops * costs::ESTABLISH_PER_HOP_CYCLES,
+        );
         self.refresh_mux_sel();
         Ok(())
     }
@@ -408,6 +418,15 @@ impl VapresSystem {
         if !bytes.len().is_multiple_of(4) {
             return Err(ApiError::Bitstream(ParseError::Truncated));
         }
+        // The storage transfer already ran (the caller advanced the clock
+        // by `transfer` before handing over): span it retroactively.
+        let entry = self.now();
+        if let Some(t) = self.telemetry.as_mut() {
+            if transfer > Ps::ZERO {
+                let start = entry.checked_sub(transfer).unwrap_or(Ps::ZERO);
+                t.record_span("icap", "transfer", start, entry);
+            }
+        }
         let words: Vec<u32> = bytes
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -419,7 +438,12 @@ impl VapresSystem {
                 // logic: the driver still pushes the whole stream (and
                 // pays for it), and the ICAP zeroes whatever frames the
                 // broken stream touched.
-                self.run_for(timing::icap_write_time(words.len() as u64));
+                let t0 = self.now();
+                let push_time = timing::icap_write_time(words.len() as u64);
+                self.run_for(push_time);
+                if let Some(t) = self.telemetry.as_mut() {
+                    t.record_span("icap", "write_failed", t0, t0 + push_time);
+                }
                 let err = self
                     .icap
                     .write_stream(&words)
@@ -445,7 +469,17 @@ impl VapresSystem {
         }
 
         let icap_time = timing::icap_write_time(words.len() as u64);
+        let t0 = self.now();
         self.run_for(icap_time);
+        if let Some(t) = self.telemetry.as_mut() {
+            t.record_span("icap", "write", t0, t0 + icap_time);
+            // Distribution of write lengths in ICAP-clock cycles: one
+            // cycle per word at 100 MHz, so 100k-cycle (1 ms) buckets
+            // resolve the paper's 640-slice PRR writes (~7.2 ms).
+            let h = t.histogram("icap_write_cycles", &[], 100_000, 16);
+            let cycles = icap_time.as_ps() / self.cfg.static_clock.period().as_ps().max(1);
+            t.observe(h, cycles);
+        }
         let write = self.icap.write_stream(&words)?;
 
         let module = self
@@ -645,7 +679,8 @@ mod tests {
     #[test]
     fn cf2icap_timing_matches_paper() {
         let mut sys = sys_with_wire();
-        sys.install_bitstream(0, ModuleUid(0x11), "wire.bit").unwrap();
+        sys.install_bitstream(0, ModuleUid(0x11), "wire.bit")
+            .unwrap();
         let t0 = sys.now();
         let report = sys.vapres_cf2icap("wire.bit").unwrap();
         let elapsed = (sys.now() - t0).as_secs_f64();
@@ -659,7 +694,8 @@ mod tests {
     #[test]
     fn array2icap_timing_matches_paper() {
         let mut sys = sys_with_wire();
-        sys.install_bitstream(1, ModuleUid(0x11), "wire.bit").unwrap();
+        sys.install_bitstream(1, ModuleUid(0x11), "wire.bit")
+            .unwrap();
         sys.vapres_cf2array("wire.bit", "wire").unwrap();
         let t0 = sys.now();
         sys.vapres_array2icap("wire").unwrap();
@@ -670,7 +706,8 @@ mod tests {
     #[test]
     fn reconfig_requires_isolation() {
         let mut sys = sys_with_wire();
-        sys.install_bitstream(0, ModuleUid(0x11), "wire.bit").unwrap();
+        sys.install_bitstream(0, ModuleUid(0x11), "wire.bit")
+            .unwrap();
         sys.bring_up_node(1, false).unwrap(); // node 1 = PRR 0
         let err = sys.vapres_cf2icap("wire.bit").unwrap_err();
         assert_eq!(err, ApiError::PrrNotIsolated(1));
@@ -681,7 +718,8 @@ mod tests {
     #[test]
     fn unknown_module_reported() {
         let mut sys = sys_with_wire();
-        sys.install_bitstream(0, ModuleUid(0x99), "mystery.bit").unwrap();
+        sys.install_bitstream(0, ModuleUid(0x99), "mystery.bit")
+            .unwrap();
         let err = sys.vapres_cf2icap("mystery.bit").unwrap_err();
         assert_eq!(err, ApiError::UnknownModule(ModuleUid(0x99)));
         // Frames are configured but no module runs.
@@ -712,7 +750,8 @@ mod tests {
     #[test]
     fn module_streams_data_end_to_end() {
         let mut sys = sys_with_wire();
-        sys.install_bitstream(0, ModuleUid(0x11), "wire.bit").unwrap();
+        sys.install_bitstream(0, ModuleUid(0x11), "wire.bit")
+            .unwrap();
         sys.vapres_cf2icap("wire.bit").unwrap();
         // Route IOM(0) -> PRR0(node1) -> IOM(0).
         let in_ch = sys
@@ -735,7 +774,8 @@ mod tests {
     #[test]
     fn module_clock_gating_stops_processing() {
         let mut sys = sys_with_wire();
-        sys.install_bitstream(0, ModuleUid(0x11), "wire.bit").unwrap();
+        sys.install_bitstream(0, ModuleUid(0x11), "wire.bit")
+            .unwrap();
         sys.vapres_cf2icap("wire.bit").unwrap();
         sys.vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))
             .unwrap();
@@ -756,7 +796,8 @@ mod tests {
     fn clock_sel_changes_throughput() {
         // At 25 MHz the wire moves one word per 40 ns instead of 10 ns.
         let mut sys = sys_with_wire();
-        sys.install_bitstream(0, ModuleUid(0x11), "wire.bit").unwrap();
+        sys.install_bitstream(0, ModuleUid(0x11), "wire.bit")
+            .unwrap();
         sys.vapres_cf2icap("wire.bit").unwrap();
         sys.vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))
             .unwrap();
@@ -794,10 +835,22 @@ mod tests {
     #[test]
     fn bad_node_errors() {
         let mut sys = sys_with_wire();
-        assert!(matches!(sys.write_dcr(9, Dcr::default()), Err(ApiError::BadNode(9))));
-        assert!(matches!(sys.vapres_module_clock(0, true), Err(ApiError::NotAPrr(0))));
-        assert!(matches!(sys.vapres_module_read(9), Err(ApiError::BadNode(9))));
-        assert!(matches!(sys.bitstream_for(7, ModuleUid(1)), Err(ApiError::BadNode(7))));
+        assert!(matches!(
+            sys.write_dcr(9, Dcr::default()),
+            Err(ApiError::BadNode(9))
+        ));
+        assert!(matches!(
+            sys.vapres_module_clock(0, true),
+            Err(ApiError::NotAPrr(0))
+        ));
+        assert!(matches!(
+            sys.vapres_module_read(9),
+            Err(ApiError::BadNode(9))
+        ));
+        assert!(matches!(
+            sys.bitstream_for(7, ModuleUid(1)),
+            Err(ApiError::BadNode(7))
+        ));
     }
 
     #[test]

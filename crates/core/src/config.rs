@@ -113,8 +113,7 @@ impl SystemConfig {
         let requests: Vec<PrrRequest> = (0..prr_count)
             .map(|i| PrrRequest::new(format!("prr{i}"), 640))
             .collect();
-        let outcome =
-            planner::plan(&device, &requests).map_err(|e| ConfigError(e.to_string()))?;
+        let outcome = planner::plan(&device, &requests).map_err(|e| ConfigError(e.to_string()))?;
         let mut params = FabricParams::prototype();
         params.nodes = prr_count + 1;
         let mut node_kinds = vec![NodeKind::Iom];

@@ -52,9 +52,9 @@ pub mod system;
 pub use adaptive::{AdaptiveController, HysteresisPolicy, SwapPolicy};
 pub use api::{ApiError, ReconfigReport};
 pub use config::{NodeKind, SystemConfig};
+pub use module::{HardwareModule, ModuleIo, ModuleLibrary};
 pub use multirsb::MultiRsbSystem;
 pub use placement::{PlacementManager, PlacementStats};
-pub use module::{HardwareModule, ModuleIo, ModuleLibrary};
 pub use socket::{Dcr, PrSocket};
 pub use switching::{halt_and_swap, seamless_swap, BitstreamSource, SwapReport, SwapSpec};
 pub use system::VapresSystem;

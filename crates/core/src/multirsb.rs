@@ -84,7 +84,11 @@ impl MultiRsbSystem {
 
     /// The common simulated time (all RSBs stay aligned).
     pub fn now(&self) -> Ps {
-        self.rsbs.iter().map(VapresSystem::now).max().unwrap_or(Ps::ZERO)
+        self.rsbs
+            .iter()
+            .map(VapresSystem::now)
+            .max()
+            .unwrap_or(Ps::ZERO)
     }
 
     /// Runs every RSB for `dur`.

@@ -161,12 +161,7 @@ impl PlacementManager {
             .iter()
             .copied()
             .find(|n| !self.resident.contains_key(n) && !self.pinned.contains(n))
-            .or_else(|| {
-                self.lru
-                    .iter()
-                    .copied()
-                    .find(|n| !self.pinned.contains(n))
-            })
+            .or_else(|| self.lru.iter().copied().find(|n| !self.pinned.contains(n)))
             .ok_or(PlacementError::AllPinned)?;
         let array = self
             .staged

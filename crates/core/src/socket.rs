@@ -154,14 +154,70 @@ mod tests {
     #[test]
     fn table1_bit_assignments() {
         // Spot-check each bit against Table 1.
-        assert_eq!(Dcr { sm_en: true, ..Dcr::default() }.encode(), 1 << 0);
-        assert_eq!(Dcr { prr_reset: true, ..Dcr::default() }.encode(), 1 << 1);
-        assert_eq!(Dcr { fifo_reset: true, ..Dcr::default() }.encode(), 1 << 2);
-        assert_eq!(Dcr { fsl_reset: true, ..Dcr::default() }.encode(), 1 << 3);
-        assert_eq!(Dcr { fifo_wen: true, ..Dcr::default() }.encode(), 1 << 4);
-        assert_eq!(Dcr { fifo_ren: true, ..Dcr::default() }.encode(), 1 << 5);
-        assert_eq!(Dcr { clk_en: true, ..Dcr::default() }.encode(), 1 << 6);
-        assert_eq!(Dcr { clk_sel: true, ..Dcr::default() }.encode(), 1 << 7);
+        assert_eq!(
+            Dcr {
+                sm_en: true,
+                ..Dcr::default()
+            }
+            .encode(),
+            1 << 0
+        );
+        assert_eq!(
+            Dcr {
+                prr_reset: true,
+                ..Dcr::default()
+            }
+            .encode(),
+            1 << 1
+        );
+        assert_eq!(
+            Dcr {
+                fifo_reset: true,
+                ..Dcr::default()
+            }
+            .encode(),
+            1 << 2
+        );
+        assert_eq!(
+            Dcr {
+                fsl_reset: true,
+                ..Dcr::default()
+            }
+            .encode(),
+            1 << 3
+        );
+        assert_eq!(
+            Dcr {
+                fifo_wen: true,
+                ..Dcr::default()
+            }
+            .encode(),
+            1 << 4
+        );
+        assert_eq!(
+            Dcr {
+                fifo_ren: true,
+                ..Dcr::default()
+            }
+            .encode(),
+            1 << 5
+        );
+        assert_eq!(
+            Dcr {
+                clk_en: true,
+                ..Dcr::default()
+            }
+            .encode(),
+            1 << 6
+        );
+        assert_eq!(
+            Dcr {
+                clk_sel: true,
+                ..Dcr::default()
+            }
+            .encode(),
+            1 << 7
+        );
     }
 
     #[test]

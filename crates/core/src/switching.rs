@@ -180,6 +180,16 @@ fn drain_and_release(
     Ok((producer, consumer))
 }
 
+/// Records one telemetry span per swap phase, if telemetry is enabled.
+/// Marks must be contiguous so the spans tile the swap interval exactly.
+fn record_swap_steps(sys: &mut VapresSystem, name: &'static str, steps: &[(&'static str, Ps, Ps)]) {
+    if let Some(t) = sys.telemetry.as_mut() {
+        for &(label, start, end) in steps {
+            t.record_span(name, label, start, end);
+        }
+    }
+}
+
 /// Runs the paper's nine-step seamless module swap.
 ///
 /// Preconditions: the active module is streaming via `spec.upstream` and
@@ -198,12 +208,16 @@ pub fn seamless_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
         .channel_info(spec.downstream)
         .ok_or(SwapError::UnknownChannel(spec.downstream))?;
     let sink = downstream_info.consumer;
+    // Step 1 is pure lookup — no simulated time passes, so its span is
+    // legitimately zero-width.
+    let m1 = sys.now();
 
     // Step 3: reconfigure the spare PRR while the active module streams.
     let reconfig = match &spec.source {
         BitstreamSource::CompactFlash(f) => sys.vapres_cf2icap(f)?,
         BitstreamSource::Sdram(a) => sys.vapres_array2icap(a)?,
     };
+    let m2 = sys.now();
 
     // Bring the spare's interfaces up but keep its clock gated: data can
     // buffer in its consumer FIFO while the old module finishes.
@@ -214,6 +228,7 @@ pub fn seamless_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
     dcr.clk_sel = spec.clk_sel;
     dcr.clk_en = false;
     sys.write_dcr(spec.spare_node, dcr)?;
+    let m3 = sys.now();
 
     // Step 4: re-route the upstream channel to the spare, losslessly.
     let (src_producer, _old_consumer) = drain_and_release(sys, spec.upstream)?;
@@ -223,7 +238,9 @@ pub fn seamless_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
     // Step 5–6: tell the old module to finish; it drains its FIFO, emits
     // the end-of-stream word downstream, and ships its state registers.
     sys.vapres_module_write(spec.active_node, control::CMD_FINISH)?;
+    let m5 = sys.now();
     let state = collect_state(sys, spec.active_node, spec.timeout)?;
+    let m6 = sys.now();
 
     // Step 7: initialize the new module with the old module's state, then
     // start its clock.
@@ -233,6 +250,7 @@ pub fn seamless_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
         sys.vapres_module_write(spec.spare_node, *w)?;
     }
     sys.vapres_module_clock(spec.spare_node, true)?;
+    let m7 = sys.now();
 
     // Step 8: the IOM reports the end-of-stream word.
     await_eos(sys, sink.node, spec.timeout)?;
@@ -243,7 +261,26 @@ pub fn seamless_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
     sys.vapres_establish_channel(PortRef::new(spec.spare_node, 0), sink)?;
     let completed_at = sys.now();
 
-    // Decommission the old module's node.
+    // The nine step spans tile [started_at, completed_at] exactly: their
+    // durations sum to SwapReport::total() by construction.
+    record_swap_steps(
+        sys,
+        "swap_step",
+        &[
+            ("1_resolve_endpoints", started_at, m1),
+            ("2_reconfigure_spare", m1, m2),
+            ("3_bring_up_spare", m2, m3),
+            ("4_reroute_upstream", m3, rerouted_at),
+            ("5_command_finish", rerouted_at, m5),
+            ("6_collect_state", m5, m6),
+            ("7_load_state", m6, m7),
+            ("8_await_eos", m7, eos_at),
+            ("9_reconnect_downstream", eos_at, completed_at),
+        ],
+    );
+
+    // Decommission the old module's node (after the swap proper — the
+    // stream is already live through the new module).
     sys.isolate_node(spec.active_node)?;
 
     Ok(SwapReport {
@@ -273,6 +310,7 @@ pub fn halt_and_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
         .channel_info(spec.downstream)
         .ok_or(SwapError::UnknownChannel(spec.downstream))?;
     let sink = downstream_info.consumer;
+    let m1 = sys.now();
 
     // Drain the old module: stop upstream flow, let it finish, capture
     // state, wait for EOS to clear the downstream path.
@@ -281,9 +319,11 @@ pub fn halt_and_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
     let mut dcr = sys.dcr(src_producer.node);
     dcr.fifo_ren = false;
     sys.write_dcr(src_producer.node, dcr)?;
+    let m2 = sys.now();
 
     sys.vapres_module_write(spec.active_node, control::CMD_FINISH)?;
     let state = collect_state(sys, spec.active_node, spec.timeout)?;
+    let m3 = sys.now();
     await_eos(sys, sink.node, spec.timeout)?;
     let eos_at = sys.now();
     sys.vapres_release_channel(spec.downstream)?;
@@ -294,6 +334,7 @@ pub fn halt_and_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
         BitstreamSource::CompactFlash(f) => sys.vapres_cf2icap(f)?,
         BitstreamSource::Sdram(a) => sys.vapres_array2icap(a)?,
     };
+    let m4 = sys.now();
 
     // Bring the new module up with restored state.
     let mut dcr = sys.dcr(spec.active_node);
@@ -318,6 +359,19 @@ pub fn halt_and_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
     dcr.fifo_ren = true;
     sys.write_dcr(src_producer.node, dcr)?;
     let completed_at = sys.now();
+
+    record_swap_steps(
+        sys,
+        "halt_step",
+        &[
+            ("1_resolve_endpoints", started_at, m1),
+            ("2_halt_upstream", m1, m2),
+            ("3_collect_state", m2, m3),
+            ("4_drain_and_reconfigure", m3, m4),
+            ("5_load_state", m4, rerouted_at),
+            ("6_reconnect", rerouted_at, completed_at),
+        ],
+    );
 
     Ok(SwapReport {
         started_at,

@@ -23,6 +23,7 @@ use vapres_fabric::frame::FrameAddress;
 use vapres_sim::clock::{ClockScheduler, DomainId, Edge};
 use vapres_sim::exec::{Activity, ComponentId, ExecStats, Executor};
 use vapres_sim::stats::GapTracker;
+use vapres_sim::telemetry::Telemetry;
 use vapres_sim::time::Ps;
 use vapres_sim::trace::{SignalId, Tracer};
 use vapres_stream::fabric::{PortRef, StreamFabric};
@@ -220,6 +221,9 @@ pub struct VapresSystem {
     /// pre-executor execution model, kept for equivalence testing).
     dense: bool,
     trace: Option<SysTrace>,
+    /// The unified metrics registry; `None` (the default) makes every
+    /// instrumentation site a single branch.
+    pub(crate) telemetry: Option<Telemetry>,
 }
 
 impl fmt::Debug for VapresSystem {
@@ -323,6 +327,7 @@ impl VapresSystem {
             comp_of_node,
             dense: false,
             trace: None,
+            telemetry: None,
             cfg,
         })
     }
@@ -482,9 +487,16 @@ impl VapresSystem {
                         }
                         act
                     }
-                    CompKind::Iom(i) => {
-                        tick_iom(ioms, fabric, fsl, i, edge, period_ps, &mut |c| waker.wake(c), *comp_fabric)
-                    }
+                    CompKind::Iom(i) => tick_iom(
+                        ioms,
+                        fabric,
+                        fsl,
+                        i,
+                        edge,
+                        period_ps,
+                        &mut |c| waker.wake(c),
+                        *comp_fabric,
+                    ),
                     CompKind::Prr(i) => tick_prr(
                         prrs,
                         sockets,
@@ -578,6 +590,133 @@ impl VapresSystem {
         self.trace.as_ref().map(|t| &t.tracer)
     }
 
+    /// Turns on the unified metrics registry. Until this is called, every
+    /// instrumentation site in the system costs one `Option` branch (the
+    /// `metrics_overhead` bench in `vapres-bench` measures it).
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(Telemetry::new());
+        }
+    }
+
+    /// The metrics registry, if [`enable_telemetry`](Self::enable_telemetry)
+    /// was called. Event-recording sites (swap spans, DCR counters, ICAP
+    /// transfers) write into it as they run; state-derived metrics
+    /// (channel stalls, FIFO high-water, executor efficiency) appear after
+    /// [`snapshot_metrics`](Self::snapshot_metrics).
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// Harvests state-derived metrics into the registry and returns it.
+    ///
+    /// Hot-path components (the fabric tick loop, the executor) keep their
+    /// own native counters; this copies them into the registry as
+    /// counters/gauges so exporters see one coherent snapshot:
+    ///
+    /// * `channel_delivered_total` / `channel_stall_cycles_total` /
+    ///   `channel_backpressure_cycles_total` per established channel,
+    ///   plus a `channel_stall_ratio` gauge (stalled / dispatched ticks);
+    /// * `fifo_high_water` gauges per node interface (worst-case
+    ///   occupancy);
+    /// * `fabric_ticks_total`, `exec_ticks_total`, `exec_skips_total`,
+    ///   and the `exec_tick_reduction` gauge;
+    /// * `icap_writes_total` / `icap_failed_writes_total` /
+    ///   `icap_words_total`;
+    /// * per-IOM `iom_words_total`, `iom_eos_total`, `iom_max_gap_ps`,
+    ///   `iom_excess_gap_ps` (stream delay beyond the nominal sample
+    ///   cadence), and `iom_missed_slots_total` (whole sample slots in
+    ///   which no word arrived — the stream-interruption count).
+    ///
+    /// Counters are set-to-current-value on each harvest (the registry is
+    /// the snapshot), so calling this repeatedly is safe.
+    ///
+    /// Returns `None` when telemetry was never enabled.
+    pub fn snapshot_metrics(&mut self) -> Option<&Telemetry> {
+        self.telemetry.as_ref()?;
+        let mut t = self.telemetry.take().expect("checked above");
+
+        for id in self.fabric.active_channels() {
+            let info = self.fabric.channel_info(id).expect("listed channel");
+            let labels = vec![
+                ("channel", id.0.to_string()),
+                ("producer", info.producer.to_string()),
+                ("consumer", info.consumer.to_string()),
+            ];
+            let c = t.counter("channel_delivered_total", &labels);
+            set_counter(&mut t, c, info.delivered);
+            let c = t.counter("channel_stall_cycles_total", &labels);
+            set_counter(&mut t, c, info.stall_cycles);
+            let c = t.counter("channel_backpressure_cycles_total", &labels);
+            set_counter(&mut t, c, info.backpressure_cycles);
+            let g = t.gauge("channel_stall_ratio", &labels);
+            let ticks = self.fabric.ticks();
+            let ratio = if ticks == 0 {
+                0.0
+            } else {
+                info.stall_cycles as f64 / ticks as f64
+            };
+            t.set_gauge(g, ratio);
+        }
+
+        for node in 0..self.cfg.params.nodes {
+            for port in 0..self.cfg.params.ko {
+                let p = PortRef::new(node, port);
+                if let Ok(hw) = self.fabric.producer_high_water(p) {
+                    let g = t.gauge(
+                        "fifo_high_water",
+                        &[("port", p.to_string()), ("side", "producer".into())],
+                    );
+                    t.set_gauge(g, hw as f64);
+                }
+            }
+            for port in 0..self.cfg.params.ki {
+                let p = PortRef::new(node, port);
+                if let Ok(hw) = self.fabric.consumer_high_water(p) {
+                    let g = t.gauge(
+                        "fifo_high_water",
+                        &[("port", p.to_string()), ("side", "consumer".into())],
+                    );
+                    t.set_gauge(g, hw as f64);
+                }
+            }
+        }
+
+        let c = t.counter("fabric_ticks_total", &[]);
+        set_counter(&mut t, c, self.fabric.ticks());
+        let stats = self.exec.stats();
+        let c = t.counter("exec_ticks_total", &[]);
+        set_counter(&mut t, c, stats.total_ticks());
+        let c = t.counter("exec_skips_total", &[]);
+        set_counter(&mut t, c, stats.total_skips());
+        let g = t.gauge("exec_tick_reduction", &[]);
+        t.set_gauge(g, stats.tick_reduction());
+
+        let c = t.counter("icap_writes_total", &[]);
+        set_counter(&mut t, c, self.icap.write_count());
+        let c = t.counter("icap_failed_writes_total", &[]);
+        set_counter(&mut t, c, self.icap.failed_write_count());
+        let c = t.counter("icap_words_total", &[]);
+        set_counter(&mut t, c, self.icap.words_written());
+
+        for (i, iom) in self.ioms.iter().enumerate() {
+            let labels = vec![("iom", i.to_string())];
+            let c = t.counter("iom_words_total", &labels);
+            set_counter(&mut t, c, iom.gap.count());
+            let c = t.counter("iom_eos_total", &labels);
+            set_counter(&mut t, c, iom.eos_seen);
+            let g = t.gauge("iom_max_gap_ps", &labels);
+            t.set_gauge(g, iom.gap.max_gap().unwrap_or(Ps::ZERO).as_ps() as f64);
+            let g = t.gauge("iom_excess_gap_ps", &labels);
+            t.set_gauge(g, iom.gap.excess_gap().as_ps() as f64);
+            let c = t.counter("iom_missed_slots_total", &labels);
+            set_counter(&mut t, c, iom.gap.missed_slots());
+        }
+
+        self.telemetry = Some(t);
+        self.telemetry.as_ref()
+    }
+
     // ------------------------------------------------------------------
     // IOM external-pin access (the testbench side of the system).
     // ------------------------------------------------------------------
@@ -606,12 +745,19 @@ impl VapresSystem {
     /// the fabric every `cycles` static-clock cycles (models an ADC slower
     /// than the fabric clock). Default 1.
     ///
+    /// Also sets the IOM gap tracker's *nominal* inter-arrival gap to the
+    /// matching duration, so [`GapTracker::excess_gap`] measures output
+    /// interruption beyond the input cadence — exactly zero for a
+    /// zero-interruption run.
+    ///
     /// # Panics
     ///
     /// Panics if `iom` is out of range or `cycles` is zero.
     pub fn iom_set_input_interval(&mut self, iom: usize, cycles: u64) {
         assert!(cycles > 0, "sample interval must be non-zero");
         self.ioms[iom].input_interval = cycles;
+        let nominal = Ps::new(cycles * self.cfg.static_clock.period().as_ps());
+        self.ioms[iom].gap.set_nominal(nominal);
     }
 
     /// Words not yet consumed from an IOM's external input queue.
@@ -693,7 +839,10 @@ impl VapresSystem {
     /// Returns the PRR indices (one for a normal bitstream, several for a
     /// multi-PRR *spanning* module, head first) whose floorplan
     /// rectangles together cover exactly the written frames.
-    pub(crate) fn prrs_for_frames(&self, frames: &[(FrameAddress, Vec<u32>)]) -> Option<Vec<usize>> {
+    pub(crate) fn prrs_for_frames(
+        &self,
+        frames: &[(FrameAddress, Vec<u32>)],
+    ) -> Option<Vec<usize>> {
         let placements = self.cfg.floorplan.prrs();
         let frames_in = |rect: &vapres_fabric::geometry::ClbRect| -> Option<usize> {
             let regions = self.cfg.device.regions_spanned(rect).ok()?;
@@ -704,9 +853,7 @@ impl VapresSystem {
                     * vapres_fabric::frame::FRAMES_PER_CLB_COLUMN as usize,
             )
         };
-        let covered_by = |rect: &vapres_fabric::geometry::ClbRect,
-                          far: &FrameAddress|
-         -> bool {
+        let covered_by = |rect: &vapres_fabric::geometry::ClbRect, far: &FrameAddress| -> bool {
             let Ok(regions) = self.cfg.device.regions_spanned(rect) else {
                 return false;
             };
@@ -725,9 +872,9 @@ impl VapresSystem {
                 if expected != frames.len() {
                     continue;
                 }
-                let all_covered = frames.iter().all(|(far, _)| {
-                    span.iter().any(|&i| covered_by(&placements[i].rect, far))
-                });
+                let all_covered = frames
+                    .iter()
+                    .all(|(far, _)| span.iter().any(|&i| covered_by(&placements[i].rect, far)));
                 if all_covered {
                     return Some(span);
                 }
@@ -764,6 +911,13 @@ impl VapresSystem {
             None => vec![prr],
         }
     }
+}
+
+/// Raises a registry counter to an externally-tracked running total
+/// (counters are monotone; harvest copies the native value in).
+fn set_counter(t: &mut Telemetry, id: vapres_sim::telemetry::CounterId, value: u64) {
+    let cur = t.counter_value(id);
+    t.inc(id, value.saturating_sub(cur));
 }
 
 /// One fabric tick plus wake propagation: words delivered into a node's

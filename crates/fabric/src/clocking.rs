@@ -266,11 +266,17 @@ mod tests {
         let d = Dcm::new(Freq::mhz(100));
         assert!(matches!(
             d.clkfx(1, 1),
-            Err(ClockingError::BadRatio { what: "DCM multiply", .. })
+            Err(ClockingError::BadRatio {
+                what: "DCM multiply",
+                ..
+            })
         ));
         assert!(matches!(
             d.clkfx(2, 0),
-            Err(ClockingError::BadRatio { what: "DCM divide", .. })
+            Err(ClockingError::BadRatio {
+                what: "DCM divide",
+                ..
+            })
         ));
         assert!(matches!(d.clkfx(32, 1), Err(ClockingError::TooFast(_))));
     }
@@ -280,12 +286,7 @@ mod tests {
         let p = Pmcd::new(Freq::mhz(200));
         assert_eq!(
             p.outputs(),
-            [
-                Freq::mhz(200),
-                Freq::mhz(100),
-                Freq::mhz(50),
-                Freq::mhz(25)
-            ]
+            [Freq::mhz(200), Freq::mhz(100), Freq::mhz(50), Freq::mhz(25)]
         );
     }
 

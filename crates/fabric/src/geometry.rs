@@ -195,7 +195,10 @@ impl Device {
             clb_rows.is_multiple_of(Self::CLOCK_REGION_ROWS),
             "device rows must be a whole number of clock regions"
         );
-        assert!(clb_cols.is_multiple_of(2), "device columns must split into halves");
+        assert!(
+            clb_cols.is_multiple_of(2),
+            "device columns must split into halves"
+        );
         Device {
             name: name.into(),
             clb_cols,
@@ -467,10 +470,7 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(ClbCoord::new(3, 4).to_string(), "X3Y4");
-        assert_eq!(
-            ClockRegionId { half: 1, band: 2 }.to_string(),
-            "CLKR_X1Y2"
-        );
+        assert_eq!(ClockRegionId { half: 1, band: 2 }.to_string(), "CLKR_X1Y2");
         let d = Device::xc4vlx25();
         assert!(d.to_string().contains("10752 slices"));
     }

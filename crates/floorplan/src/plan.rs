@@ -174,13 +174,12 @@ impl Floorplan {
 
         let mut used_regions: Vec<(String, BTreeSet<ClockRegionId>)> = Vec::new();
         for prr in &self.prrs {
-            let regions =
-                self.device
-                    .regions_spanned(&prr.rect)
-                    .map_err(|source| FloorplanError::Geometry {
-                        who: prr.name.clone(),
-                        source,
-                    })?;
+            let regions = self.device.regions_spanned(&prr.rect).map_err(|source| {
+                FloorplanError::Geometry {
+                    who: prr.name.clone(),
+                    source,
+                }
+            })?;
             if regions.len() > Device::MAX_PRR_BANDS as usize {
                 return Err(FloorplanError::TooTall {
                     who: prr.name.clone(),
@@ -255,9 +254,7 @@ impl Floorplan {
                         .iter()
                         .enumerate()
                         .find(|(_, p)| probe.intersects(&p.rect))
-                        .map(|(i, _)| {
-                            char::from_digit((i % 10) as u32, 10).expect("digit")
-                        })
+                        .map(|(i, _)| char::from_digit((i % 10) as u32, 10).expect("digit"))
                         .unwrap_or('.')
                 };
                 out.push(ch);
@@ -335,7 +332,10 @@ mod tests {
             ClbRect::new(8, 27, 0, 95),
             vec![PrrPlacement::new("a", ClbRect::new(0, 9, 0, 15))],
         );
-        assert!(matches!(plan.validate(), Err(FloorplanError::Overlap { .. })));
+        assert!(matches!(
+            plan.validate(),
+            Err(FloorplanError::Overlap { .. })
+        ));
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub enum PlanError {
 impl fmt::Display for PlanError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            PlanError::RequestTooLarge { who, requested, max } => {
+            PlanError::RequestTooLarge {
+                who,
+                requested,
+                max,
+            } => {
                 write!(f, "{who}: {requested} slices exceeds max PRR size {max}")
             }
             PlanError::OutOfRegions { who } => {
@@ -160,10 +164,7 @@ mod tests {
     #[test]
     fn plans_prototype_prrs() {
         let dev = Device::xc4vlx25();
-        let reqs = vec![
-            PrrRequest::new("prr0", 640),
-            PrrRequest::new("prr1", 640),
-        ];
+        let reqs = vec![PrrRequest::new("prr0", 640), PrrRequest::new("prr1", 640)];
         let out = plan(&dev, &reqs).unwrap();
         assert_eq!(out.floorplan.prrs().len(), 2);
         // 640 slices fit exactly in 10 columns of one region.
@@ -187,10 +188,7 @@ mod tests {
         let dev = Device::xc4vlx25();
         // Max PRR = 14 * 48 * 4 = 2688 slices.
         let err = plan(&dev, &[PrrRequest::new("huge", 3_000)]).unwrap_err();
-        assert!(matches!(
-            err,
-            PlanError::RequestTooLarge { max: 2_688, .. }
-        ));
+        assert!(matches!(err, PlanError::RequestTooLarge { max: 2_688, .. }));
     }
 
     #[test]

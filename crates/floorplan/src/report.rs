@@ -68,9 +68,23 @@ pub fn utilization_report(params: &FabricParams, plan: &Floorplan) -> String {
         format!("switch boxes ({}x)", params.nodes),
         params.nodes as u32 * switch_box_slices(params)
     );
-    let _ = writeln!(out, "  {:<24} {:>8}", "-- controlling region", controlling_region_slices());
-    let _ = writeln!(out, "  {:<24} {:>8}", "-- comm architecture", comm_arch_slices(params));
-    let _ = writeln!(out, "  {:<24} {:>8}", "-- static region total", static_slices);
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>8}",
+        "-- controlling region",
+        controlling_region_slices()
+    );
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>8}",
+        "-- comm architecture",
+        comm_arch_slices(params)
+    );
+    let _ = writeln!(
+        out,
+        "  {:<24} {:>8}",
+        "-- static region total", static_slices
+    );
     let _ = writeln!(out);
     let _ = writeln!(out, "PRR Fabric:");
     for p in plan.prrs() {

@@ -59,8 +59,8 @@ pub const CONSUMER_IF_SLICES: u32 = 2;
 /// RSB: `nodes` switch boxes plus every module interface.
 pub fn comm_arch_slices(p: &FabricParams) -> u32 {
     let boxes = p.nodes as u32 * switch_box_slices(p);
-    let ifaces = p.nodes as u32
-        * (p.ko as u32 * PRODUCER_IF_SLICES + p.ki as u32 * CONSUMER_IF_SLICES);
+    let ifaces =
+        p.nodes as u32 * (p.ko as u32 * PRODUCER_IF_SLICES + p.ki as u32 * CONSUMER_IF_SLICES);
     boxes + ifaces
 }
 
@@ -77,17 +77,50 @@ pub struct StaticComponent {
 /// static peripherals). Sizes are typical EDK-era values; `plb_glue`
 /// absorbs the remainder so the prototype total matches the paper.
 pub const STATIC_COMPONENTS: &[StaticComponent] = &[
-    StaticComponent { name: "microblaze", slices: 2_500 },
-    StaticComponent { name: "plb_dcr_bridge", slices: 450 },
-    StaticComponent { name: "icap_controller", slices: 600 },
-    StaticComponent { name: "sysace_cf", slices: 500 },
-    StaticComponent { name: "sdram_controller", slices: 2_000 },
-    StaticComponent { name: "uart", slices: 150 },
-    StaticComponent { name: "xps_timer", slices: 200 },
-    StaticComponent { name: "interrupt_controller", slices: 150 },
-    StaticComponent { name: "bram_controller", slices: 250 },
-    StaticComponent { name: "clock_infrastructure", slices: 200 },
-    StaticComponent { name: "plb_glue", slices: 741 },
+    StaticComponent {
+        name: "microblaze",
+        slices: 2_500,
+    },
+    StaticComponent {
+        name: "plb_dcr_bridge",
+        slices: 450,
+    },
+    StaticComponent {
+        name: "icap_controller",
+        slices: 600,
+    },
+    StaticComponent {
+        name: "sysace_cf",
+        slices: 500,
+    },
+    StaticComponent {
+        name: "sdram_controller",
+        slices: 2_000,
+    },
+    StaticComponent {
+        name: "uart",
+        slices: 150,
+    },
+    StaticComponent {
+        name: "xps_timer",
+        slices: 200,
+    },
+    StaticComponent {
+        name: "interrupt_controller",
+        slices: 150,
+    },
+    StaticComponent {
+        name: "bram_controller",
+        slices: 250,
+    },
+    StaticComponent {
+        name: "clock_infrastructure",
+        slices: 200,
+    },
+    StaticComponent {
+        name: "plb_glue",
+        slices: 741,
+    },
 ];
 
 /// Slices of one PRSocket (DCR register + interface logic).

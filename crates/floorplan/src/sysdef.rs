@@ -9,7 +9,7 @@
 //! and system definition file creation").
 
 use crate::plan::{Floorplan, PrrPlacement};
-use crate::resources::{STATIC_COMPONENTS};
+use crate::resources::STATIC_COMPONENTS;
 use std::fmt;
 use vapres_fabric::geometry::{ClbRect, Device};
 use vapres_stream::params::FabricParams;
@@ -19,7 +19,10 @@ use vapres_stream::params::FabricParams;
 pub fn generate_mhs(params: &FabricParams, plan: &Floorplan) -> String {
     let mut out = String::new();
     out.push_str("# VAPRES base system — generated MHS\n");
-    out.push_str(&format!("PARAMETER VERSION = 2.1.0\n# device {}\n\n", plan.device().name()));
+    out.push_str(&format!(
+        "PARAMETER VERSION = 2.1.0\n# device {}\n\n",
+        plan.device().name()
+    ));
     for c in STATIC_COMPONENTS {
         out.push_str(&format!(
             "BEGIN {}\n PARAMETER INSTANCE = {}_0\nEND\n\n",
@@ -58,7 +61,10 @@ pub fn generate_mss(params: &FabricParams) -> String {
 /// Generates the UCF-style constraints file carrying the floorplan.
 pub fn generate_ucf(plan: &Floorplan) -> String {
     let mut out = String::new();
-    out.push_str(&format!("# VAPRES floorplan — device {}\n", plan.device().name()));
+    out.push_str(&format!(
+        "# VAPRES floorplan — device {}\n",
+        plan.device().name()
+    ));
     let s = plan.static_region();
     out.push_str(&format!(
         "AREA_GROUP \"static\" RANGE = SLICE_X{}Y{}:SLICE_X{}Y{} ;\n",
@@ -210,11 +216,7 @@ mod tests {
         assert!(parse_ucf(&dev, "WHAT").is_err());
         assert!(parse_ucf(&dev, "AREA_GROUP \"x\" RANGE = BAD ;").is_err());
         // Missing static group.
-        let err = parse_ucf(
-            &dev,
-            "AREA_GROUP \"p\" RANGE = SLICE_X0Y0:SLICE_X1Y1 ;",
-        )
-        .unwrap_err();
+        let err = parse_ucf(&dev, "AREA_GROUP \"p\" RANGE = SLICE_X0Y0:SLICE_X1Y1 ;").unwrap_err();
         assert!(err.message.contains("static"));
     }
 

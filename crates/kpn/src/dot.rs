@@ -38,11 +38,7 @@ pub fn graph_to_dot(graph: &KpnGraph, name: &str) -> String {
                 let _ = writeln!(out, "  n{i} [shape=ellipse, label=\"IOM out\"];");
             }
             GraphNode::Module { uid, .. } => {
-                let _ = writeln!(
-                    out,
-                    "  n{i} [shape=box, label=\"module#{:08x}\"];",
-                    uid.0
-                );
+                let _ = writeln!(out, "  n{i} [shape=box, label=\"module#{:08x}\"];", uid.0);
             }
         }
     }

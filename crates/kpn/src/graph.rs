@@ -213,8 +213,7 @@ impl KpnGraph {
                 indegree[e.to.0] += 1;
             }
         }
-        let mut ready: VecDeque<usize> =
-            (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut ready: VecDeque<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
         let mut order = Vec::with_capacity(n);
         while let Some(i) = ready.pop_front() {
             order.push(i);
@@ -348,7 +347,10 @@ pub fn deploy_graph(
     for (i, n) in graph.nodes().iter().enumerate() {
         if let GraphNode::Module { uid, .. } = n {
             let node = mapping.fabric_node[i];
-            let prr = sys.config().prr_index(node).ok_or(ApiError::NotAPrr(node))?;
+            let prr = sys
+                .config()
+                .prr_index(node)
+                .ok_or(ApiError::NotAPrr(node))?;
             let file = format!("kpn_graph_n{i}_{:08x}.bit", uid.0);
             sys.install_bitstream(prr, *uid, &file)?;
             sys.vapres_cf2icap(&file)?;
@@ -538,7 +540,12 @@ mod tests {
         assert_eq!(m.fabric_node[0], 0);
         assert_eq!(m.fabric_node[5], 0);
         // Modules land on distinct PRR nodes.
-        let mut prr_nodes = vec![m.fabric_node[1], m.fabric_node[2], m.fabric_node[3], m.fabric_node[4]];
+        let mut prr_nodes = vec![
+            m.fabric_node[1],
+            m.fabric_node[2],
+            m.fabric_node[3],
+            m.fabric_node[4],
+        ];
         prr_nodes.sort_unstable();
         prr_nodes.dedup();
         assert_eq!(prr_nodes.len(), 4);

@@ -55,8 +55,8 @@ pub mod reference;
 
 pub use dot::{graph_to_dot, pipeline_to_dot};
 pub use graph::{
-    deploy_graph, execute_reference, map_graph, DeployedGraph, GraphError, GraphMapping,
-    GraphNode, KpnEdge, KpnGraph, RefBehavior,
+    deploy_graph, execute_reference, map_graph, DeployedGraph, GraphError, GraphMapping, GraphNode,
+    KpnEdge, KpnGraph, RefBehavior,
 };
 pub use pipeline::{deploy, map_pipeline, DeployedPipeline, MapError, Mapping, Pipeline};
 pub use reference::run_chain;

@@ -147,12 +147,7 @@ pub fn deploy(
     mapping: &Mapping,
 ) -> Result<DeployedPipeline, ApiError> {
     // Load every stage.
-    for (stage, (&uid, &node)) in pipeline
-        .stages
-        .iter()
-        .zip(&mapping.stage_nodes)
-        .enumerate()
-    {
+    for (stage, (&uid, &node)) in pipeline.stages.iter().zip(&mapping.stage_nodes).enumerate() {
         let prr = sys
             .config()
             .prr_index(node)

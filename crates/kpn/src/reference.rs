@@ -53,20 +53,16 @@ mod tests {
 
     #[test]
     fn inverse_stages_cancel() {
-        let mut stages: Vec<Box<dyn StreamKernel>> = vec![
-            Box::new(DeltaEncoder::new()),
-            Box::new(DeltaDecoder::new()),
-        ];
+        let mut stages: Vec<Box<dyn StreamKernel>> =
+            vec![Box::new(DeltaEncoder::new()), Box::new(DeltaDecoder::new())];
         let data: Vec<u32> = (0..50).map(|i| i * 7 % 13).collect();
         assert_eq!(run_chain(&mut stages, &data), data);
     }
 
     #[test]
     fn rate_changes_compose() {
-        let mut stages: Vec<Box<dyn StreamKernel>> = vec![
-            Box::new(Upsampler::new(3)),
-            Box::new(Passthrough::new()),
-        ];
+        let mut stages: Vec<Box<dyn StreamKernel>> =
+            vec![Box::new(Upsampler::new(3)), Box::new(Passthrough::new())];
         assert_eq!(run_chain(&mut stages, &[1, 2]), vec![1, 1, 1, 2, 2, 2]);
     }
 }

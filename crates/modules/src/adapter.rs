@@ -163,7 +163,8 @@ impl<K: StreamKernel> HardwareModule for StreamModuleAdapter<K> {
                     self.kernel.process(word.data, &mut self.scratch);
                     self.pending.extend(self.scratch.drain(..));
                     self.processed += 1;
-                    if self.monitor_period > 0 && self.processed.is_multiple_of(self.monitor_period) {
+                    if self.monitor_period > 0 && self.processed.is_multiple_of(self.monitor_period)
+                    {
                         if let Some(m) = self.kernel.monitor_word() {
                             // Best-effort: monitoring must never stall data.
                             let _ = io.fsl_send(m);
@@ -189,14 +190,16 @@ impl<K: StreamKernel> HardwareModule for StreamModuleAdapter<K> {
 
         // Finish handshake: everything drained — emit EOS and queue the
         // state transfer.
-        if self.finish_requested && io.input_len(0) == 0
-            && io.write_output(0, Word::end_of_stream()) {
-                let state = self.kernel.save_state();
-                self.state_tx.push_back(control::MSG_STATE_HEADER);
-                self.state_tx.push_back(state.len() as u32);
-                self.state_tx.extend(state);
-                self.finished = true;
-            }
+        if self.finish_requested
+            && io.input_len(0) == 0
+            && io.write_output(0, Word::end_of_stream())
+        {
+            let state = self.kernel.save_state();
+            self.state_tx.push_back(control::MSG_STATE_HEADER);
+            self.state_tx.push_back(state.len() as u32);
+            self.state_tx.extend(state);
+            self.finished = true;
+        }
     }
 
     fn is_quiescent(&self) -> bool {

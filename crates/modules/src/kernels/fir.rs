@@ -257,7 +257,12 @@ mod tests {
         let peak = |taps: usize| {
             let mut f = FirFilter::design_low_pass("lp", ModuleUid(0xD3), taps, 0.1);
             let out = run_kernel(&mut f, &sig);
-            out.iter().rev().take(8).map(|&w| (w as i32).abs()).max().unwrap()
+            out.iter()
+                .rev()
+                .take(8)
+                .map(|&w| (w as i32).abs())
+                .max()
+                .unwrap()
         };
         assert!(peak(41) <= peak(11), "more taps must not leak more");
     }

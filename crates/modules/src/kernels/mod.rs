@@ -9,12 +9,11 @@ mod nco;
 mod nonlinear;
 
 pub use basic::{
-    Decimator, DeltaDecoder, DeltaEncoder, MovingAverage, Passthrough, Scaler, Threshold,
-    Upsampler,
+    Decimator, DeltaDecoder, DeltaEncoder, MovingAverage, Passthrough, Scaler, Threshold, Upsampler,
 };
 pub use codec::{RleDecoder, RleEncoder, MAX_RUN};
 pub use dwt::HaarDwt;
-pub use nco::Nco;
-pub use nonlinear::{AbsVal, Clip, PeakHold};
 pub use fir::FirFilter;
 pub use iir::IirBiquad;
+pub use nco::Nco;
+pub use nonlinear::{AbsVal, Clip, PeakHold};

@@ -57,7 +57,10 @@ pub fn register_standard_modules(lib: &mut ModuleLibrary, monitor_period: u64) {
         Box::new(StreamModuleAdapter::new(Scaler::new(256), monitor_period))
     });
     lib.register(uids::THRESHOLD, move || {
-        Box::new(StreamModuleAdapter::new(Threshold::new(1_000), monitor_period))
+        Box::new(StreamModuleAdapter::new(
+            Threshold::new(1_000),
+            monitor_period,
+        ))
     });
     lib.register(uids::DECIMATOR, move || {
         Box::new(StreamModuleAdapter::new(Decimator::new(2), monitor_period))
@@ -66,22 +69,40 @@ pub fn register_standard_modules(lib: &mut ModuleLibrary, monitor_period: u64) {
         Box::new(StreamModuleAdapter::new(Upsampler::new(2), monitor_period))
     });
     lib.register(uids::DELTA_ENCODER, move || {
-        Box::new(StreamModuleAdapter::new(DeltaEncoder::new(), monitor_period))
+        Box::new(StreamModuleAdapter::new(
+            DeltaEncoder::new(),
+            monitor_period,
+        ))
     });
     lib.register(uids::DELTA_DECODER, move || {
-        Box::new(StreamModuleAdapter::new(DeltaDecoder::new(), monitor_period))
+        Box::new(StreamModuleAdapter::new(
+            DeltaDecoder::new(),
+            monitor_period,
+        ))
     });
     lib.register(uids::MOVING_AVERAGE, move || {
-        Box::new(StreamModuleAdapter::new(MovingAverage::new(8), monitor_period))
+        Box::new(StreamModuleAdapter::new(
+            MovingAverage::new(8),
+            monitor_period,
+        ))
     });
     lib.register(uids::FIR_A, move || {
-        Box::new(StreamModuleAdapter::new(FirFilter::filter_a(), monitor_period))
+        Box::new(StreamModuleAdapter::new(
+            FirFilter::filter_a(),
+            monitor_period,
+        ))
     });
     lib.register(uids::FIR_B, move || {
-        Box::new(StreamModuleAdapter::new(FirFilter::filter_b(), monitor_period))
+        Box::new(StreamModuleAdapter::new(
+            FirFilter::filter_b(),
+            monitor_period,
+        ))
     });
     lib.register(uids::IIR_BIQUAD, move || {
-        Box::new(StreamModuleAdapter::new(IirBiquad::low_pass(), monitor_period))
+        Box::new(StreamModuleAdapter::new(
+            IirBiquad::low_pass(),
+            monitor_period,
+        ))
     });
     lib.register(uids::HAAR_DWT, move || {
         Box::new(StreamModuleAdapter::new(HaarDwt::new(), monitor_period))
@@ -93,7 +114,10 @@ pub fn register_standard_modules(lib: &mut ModuleLibrary, monitor_period: u64) {
         Box::new(StreamModuleAdapter::new(RleDecoder::new(), monitor_period))
     });
     lib.register(uids::CLIP, move || {
-        Box::new(StreamModuleAdapter::new(Clip::new(-20_000, 20_000), monitor_period))
+        Box::new(StreamModuleAdapter::new(
+            Clip::new(-20_000, 20_000),
+            monitor_period,
+        ))
     });
     lib.register(uids::ABSVAL, move || {
         Box::new(StreamModuleAdapter::new(AbsVal::new(), monitor_period))
@@ -102,7 +126,10 @@ pub fn register_standard_modules(lib: &mut ModuleLibrary, monitor_period: u64) {
         Box::new(StreamModuleAdapter::new(PeakHold::new(4), monitor_period))
     });
     lib.register(uids::NCO_MIXER, move || {
-        Box::new(StreamModuleAdapter::new(Nco::at_fraction(0.1), monitor_period))
+        Box::new(StreamModuleAdapter::new(
+            Nco::at_fraction(0.1),
+            monitor_period,
+        ))
     });
 }
 

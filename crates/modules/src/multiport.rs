@@ -220,7 +220,12 @@ mod tests {
 
     #[test]
     fn combine_names_and_uids_distinct() {
-        let all = [CombineOp::Add, CombineOp::Sub, CombineOp::Max, CombineOp::Min];
+        let all = [
+            CombineOp::Add,
+            CombineOp::Sub,
+            CombineOp::Max,
+            CombineOp::Min,
+        ];
         for (i, a) in all.iter().enumerate() {
             for b in &all[i + 1..] {
                 assert_ne!(Combine::new(*a).uid(), Combine::new(*b).uid());

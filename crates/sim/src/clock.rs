@@ -419,7 +419,10 @@ mod tests {
         // Subsequent edges agree too.
         let e1 = by_edges.next_edge().unwrap();
         let e2 = by_ff.next_edge().unwrap();
-        assert_eq!((e1.domain.0, e1.at, e1.cycle), (e2.domain.0, e2.at, e2.cycle));
+        assert_eq!(
+            (e1.domain.0, e1.at, e1.cycle),
+            (e2.domain.0, e2.at, e2.cycle)
+        );
     }
 
     #[test]

@@ -110,7 +110,10 @@ impl<T> TimerQueue<T> {
         // Scheduling behind an already-released deadline restarts the
         // ordering contract (release order is still (due, seq) among what
         // remains); without this the debug assert would reject a legal pop.
-        if self.last_released.is_some_and(|(last_due, _)| due < last_due) {
+        if self
+            .last_released
+            .is_some_and(|(last_due, _)| due < last_due)
+        {
             self.last_released = None;
         }
         self.heap.push(Pending { due, seq, payload });

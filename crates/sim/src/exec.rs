@@ -442,7 +442,13 @@ impl Executor {
             }
             self.stats.domains[d].ticks += 1;
             let mut pending = std::mem::take(&mut self.wake_scratch);
-            let activity = host(&mut Waker { pending: &mut pending }, id, edge);
+            let activity = host(
+                &mut Waker {
+                    pending: &mut pending,
+                },
+                id,
+                edge,
+            );
             self.apply_activity(id, clocks.now(), activity);
             for c in pending.drain(..) {
                 self.wake(c);

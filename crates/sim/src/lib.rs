@@ -18,6 +18,9 @@
 //!   delivered edges / ticks / skips per domain.
 //! * [`stats`] — measurement helpers ([`stats::GapTracker`] measures the
 //!   paper's "stream processing interruption" directly).
+//! * [`telemetry`] — the unified metrics registry ([`telemetry::Telemetry`]):
+//!   counters/gauges/histograms plus simulated-time spans, with JSON-lines,
+//!   Prometheus-text, and chrome://tracing exporters.
 //! * [`rng`] — [`rng::SplitMix64`], the in-tree deterministic PRNG (no
 //!   external `rand` dependency, so tier-1 verify runs offline).
 //!
@@ -49,6 +52,7 @@ pub mod event;
 pub mod exec;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -56,5 +60,6 @@ pub use clock::{ClockScheduler, DomainId, Edge};
 pub use event::{TimerId, TimerQueue};
 pub use exec::{Activity, ComponentId, DomainStats, ExecStats, Executor, Waker};
 pub use rng::SplitMix64;
+pub use telemetry::{CounterId, GaugeId, HistogramId, Span, Telemetry};
 pub use time::{Freq, Ps};
 pub use trace::{SignalId, Tracer};

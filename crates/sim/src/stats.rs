@@ -29,12 +29,32 @@ pub struct GapTracker {
     max_gap_at: Option<Ps>,
     count: u64,
     first: Option<Ps>,
+    sum_gaps: Ps,
+    min_gap: Option<Ps>,
+    nominal: Option<Ps>,
+    excess: Ps,
+    missed_slots: u64,
 }
 
 impl GapTracker {
     /// Creates an empty tracker.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the nominal inter-arrival gap. Once set, each recorded gap
+    /// contributes `max(0, gap - nominal)` to [`GapTracker::excess_gap`],
+    /// the tracker's "stream interruption beyond steady-state" total (a
+    /// perfectly regular stream reports zero excess).
+    ///
+    /// Only gaps recorded *after* the call are measured against it.
+    pub fn set_nominal(&mut self, nominal: Ps) {
+        self.nominal = Some(nominal);
+    }
+
+    /// The nominal inter-arrival gap, if one was set.
+    pub fn nominal(&self) -> Option<Ps> {
+        self.nominal
     }
 
     /// Records one arrival at time `at`.
@@ -50,6 +70,22 @@ impl GapTracker {
             if self.max_gap.map(|g| gap > g).unwrap_or(true) {
                 self.max_gap = Some(gap);
                 self.max_gap_at = Some(at);
+            }
+            if self.min_gap.map(|g| gap < g).unwrap_or(true) {
+                self.min_gap = Some(gap);
+            }
+            self.sum_gaps += gap;
+            if let Some(nominal) = self.nominal {
+                if let Some(over) = gap.checked_sub(nominal) {
+                    self.excess += over;
+                }
+                if nominal.as_ps() > 0 {
+                    // A gap of k nominal periods means k-1 slots produced
+                    // no word (a gap within [nominal, 2*nominal) misses
+                    // none — the stream merely jittered).
+                    let slots = gap.as_ps() / nominal.as_ps();
+                    self.missed_slots += slots.saturating_sub(1);
+                }
             }
         } else {
             self.first = Some(at);
@@ -81,6 +117,32 @@ impl GapTracker {
     /// Time of the most recent arrival.
     pub fn last(&self) -> Option<Ps> {
         self.last
+    }
+
+    /// Sum of all inter-arrival gaps (equals `last - first`).
+    pub fn sum_gaps(&self) -> Ps {
+        self.sum_gaps
+    }
+
+    /// Smallest inter-arrival gap seen, or `None` with fewer than 2 arrivals.
+    pub fn min_gap(&self) -> Option<Ps> {
+        self.min_gap
+    }
+
+    /// Accumulated gap time beyond the nominal inter-arrival gap — zero
+    /// until [`GapTracker::set_nominal`] is called, and zero afterwards for
+    /// a stream that never stalls past its steady-state cadence.
+    pub fn excess_gap(&self) -> Ps {
+        self.excess
+    }
+
+    /// Whole sample slots in which no word arrived — the stream-level
+    /// "interruption" count. Zero until [`GapTracker::set_nominal`] is
+    /// called. A seamless handoff that delays the stream by less than one
+    /// nominal period misses no slot; a halted stream misses one per
+    /// nominal period of downtime.
+    pub fn missed_slots(&self) -> u64 {
+        self.missed_slots
     }
 
     /// Mean throughput in items/second over the observed span.
@@ -201,6 +263,11 @@ impl Histogram {
         &self.counts
     }
 
+    /// Width of each bucket.
+    pub fn bucket_width(&self) -> u64 {
+        self.bucket_width
+    }
+
     /// Total samples.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
@@ -296,11 +363,119 @@ mod tests {
     }
 
     #[test]
+    fn gap_tracker_throughput_degenerate_cases_return_none() {
+        // No arrivals at all.
+        assert_eq!(GapTracker::new().throughput_per_s(), None);
+        // Single sample: no span to divide by.
+        let mut g = GapTracker::new();
+        g.record(Ps::from_ns(10));
+        assert_eq!(g.throughput_per_s(), None);
+        // Multiple samples at the same instant: first == last, zero span.
+        let mut g = GapTracker::new();
+        g.record(Ps::from_ns(10));
+        g.record(Ps::from_ns(10));
+        g.record(Ps::from_ns(10));
+        assert_eq!(g.throughput_per_s(), None);
+    }
+
+    #[test]
+    fn gap_tracker_sum_and_min_gap() {
+        let mut g = GapTracker::new();
+        assert_eq!(g.sum_gaps(), Ps::ZERO);
+        assert_eq!(g.min_gap(), None);
+        for t in [0u64, 10, 15, 100] {
+            g.record(Ps::from_ns(t));
+        }
+        assert_eq!(g.sum_gaps(), Ps::from_ns(100));
+        assert_eq!(g.min_gap(), Some(Ps::from_ns(5)));
+        assert_eq!(g.max_gap(), Some(Ps::from_ns(85)));
+    }
+
+    #[test]
+    fn gap_tracker_excess_only_counts_beyond_nominal() {
+        let mut g = GapTracker::new();
+        g.set_nominal(Ps::from_ns(10));
+        // Gaps: 10, 10, 25, 10 -> only the 25 ns gap exceeds nominal, by 15.
+        for t in [0u64, 10, 20, 45, 55] {
+            g.record(Ps::from_ns(t));
+        }
+        assert_eq!(g.excess_gap(), Ps::from_ns(15));
+        assert_eq!(g.nominal(), Some(Ps::from_ns(10)));
+        // The 25 ns gap spans 2 whole nominal periods: one slot missed.
+        assert_eq!(g.missed_slots(), 1);
+    }
+
+    #[test]
+    fn gap_tracker_missed_slots_counts_whole_periods_only() {
+        let mut g = GapTracker::new();
+        g.set_nominal(Ps::from_ns(10));
+        // 19 ns gap: jitter, no slot missed. 40 ns gap: 3 slots missed.
+        for t in [0u64, 19, 59] {
+            g.record(Ps::from_ns(t));
+        }
+        assert_eq!(g.missed_slots(), 3);
+        assert!(g.excess_gap() > Ps::ZERO);
+
+        let mut regular = GapTracker::new();
+        regular.set_nominal(Ps::from_ns(10));
+        for t in [0u64, 10, 20, 30] {
+            regular.record(Ps::from_ns(t));
+        }
+        assert_eq!(regular.missed_slots(), 0);
+    }
+
+    #[test]
+    fn gap_tracker_excess_zero_without_nominal_or_stalls() {
+        let mut g = GapTracker::new();
+        for t in [0u64, 50, 100] {
+            g.record(Ps::from_ns(t));
+        }
+        // No nominal set: excess stays zero regardless of gaps.
+        assert_eq!(g.excess_gap(), Ps::ZERO);
+
+        let mut g = GapTracker::new();
+        g.set_nominal(Ps::from_ns(10));
+        for t in [0u64, 10, 20, 30] {
+            g.record(Ps::from_ns(t));
+        }
+        // Perfectly regular stream at the nominal cadence: zero excess.
+        assert_eq!(g.excess_gap(), Ps::ZERO);
+    }
+
+    #[test]
     fn summary_empty() {
         let s = Summary::new();
         assert_eq!(s.mean(), None);
         assert_eq!(s.min(), None);
         assert_eq!(s.max(), None);
         assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn summary_roundtrips_through_accessors() {
+        let mut s = Summary::new();
+        let samples = [3.5, -1.0, 7.25, 0.0, 2.25];
+        for v in samples {
+            s.add(v);
+        }
+        assert_eq!(s.count(), samples.len() as u64);
+        assert_eq!(s.min(), Some(-1.0));
+        assert_eq!(s.max(), Some(7.25));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((s.mean().unwrap() - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_single_sample_is_min_max_and_mean() {
+        let mut s = Summary::new();
+        s.add(42.0);
+        assert_eq!(s.min(), Some(42.0));
+        assert_eq!(s.max(), Some(42.0));
+        assert_eq!(s.mean(), Some(42.0));
+    }
+
+    #[test]
+    fn histogram_bucket_width_accessor() {
+        assert_eq!(Histogram::new(250, 3).bucket_width(), 250);
     }
 }

@@ -1,0 +1,1070 @@
+//! Unified telemetry: a zero-dependency metrics registry with exporters.
+//!
+//! Observability substrate for the whole reproduction. The registry holds
+//! four record kinds:
+//!
+//! * **counters** — monotone `u64` totals (DCR writes, ICAP words, fabric
+//!   stall cycles);
+//! * **gauges** — instantaneous `f64` readings (FIFO high-water marks,
+//!   executor tick-reduction factor);
+//! * **histograms** — cycle-bucketed distributions over `u64` samples
+//!   (reusing [`crate::stats::Histogram`]);
+//! * **spans** — named intervals of *simulated* time with explicit
+//!   [`Ps`] start/end stamps (the nine switching-methodology steps, ICAP
+//!   transfers). Simulation spans never touch the wall clock, so every
+//!   exported trace is bit-for-bit reproducible.
+//!
+//! Every metric is keyed by a `&'static str` name plus a small ordered
+//! label set. Registration (`counter`/`gauge`/`histogram`) is
+//! get-or-register and may scan; it returns a dense id whose update path
+//! (`inc`/`set_gauge`/`observe`) is a bounds-checked array index — no
+//! hashing, no allocation. Hosts keep the whole registry behind an
+//! `Option` so the disabled path costs one branch (the
+//! `metrics_overhead` micro-benchmark in `crates/bench` proves it).
+//!
+//! Three exporters, all hand-rolled (no serde):
+//!
+//! * [`Telemetry::write_jsonl`] — one self-describing JSON object per
+//!   line; parse it back with [`parse_jsonl`];
+//! * [`Telemetry::write_prometheus`] — Prometheus text exposition
+//!   (`vapres_`-prefixed, `# TYPE` comments, cumulative histogram
+//!   buckets);
+//! * [`Telemetry::write_chrome_trace`] — `chrome://tracing` / Perfetto
+//!   JSON (`traceEvents` with complete `"X"` events) for the spans.
+//!
+//! # Examples
+//!
+//! ```
+//! use vapres_sim::telemetry::Telemetry;
+//! use vapres_sim::time::Ps;
+//!
+//! let mut t = Telemetry::new();
+//! let c = t.counter("dcr_write_total", &[("node", "1".into())]);
+//! t.inc(c, 3);
+//! t.record_span("swap_step", "2_reconfigure_spare", Ps::ZERO, Ps::from_us(72));
+//!
+//! let mut out = Vec::new();
+//! t.write_jsonl(&mut out)?;
+//! let records = vapres_sim::telemetry::parse_jsonl(std::str::from_utf8(&out)?)?;
+//! assert_eq!(records.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::stats::Histogram;
+use crate::time::Ps;
+use std::fmt;
+use std::io::{self, Write};
+
+/// One metric label: static key, owned value.
+pub type Label = (&'static str, String);
+
+/// Dense handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(usize);
+
+/// Dense handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GaugeId(usize);
+
+/// Dense handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HistogramId(usize);
+
+#[derive(Debug, Clone)]
+struct Counter {
+    name: &'static str,
+    labels: Vec<Label>,
+    value: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Gauge {
+    name: &'static str,
+    labels: Vec<Label>,
+    value: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Hist {
+    name: &'static str,
+    labels: Vec<Label>,
+    hist: Histogram,
+}
+
+/// A named interval of simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Span family (e.g. `swap_step`).
+    pub name: &'static str,
+    /// Instance label (e.g. `2_reconfigure_spare`).
+    pub label: String,
+    /// Simulated start time.
+    pub start: Ps,
+    /// Simulated end time (`>= start`).
+    pub end: Ps,
+}
+
+impl Span {
+    /// The span's duration.
+    pub fn duration(&self) -> Ps {
+        self.end - self.start
+    }
+}
+
+/// The metrics registry.
+#[derive(Debug, Clone, Default)]
+pub struct Telemetry {
+    counters: Vec<Counter>,
+    gauges: Vec<Gauge>,
+    histograms: Vec<Hist>,
+    spans: Vec<Span>,
+}
+
+impl Telemetry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Gets or registers the counter keyed by `name` + `labels`.
+    pub fn counter(&mut self, name: &'static str, labels: &[Label]) -> CounterId {
+        if let Some(i) = self
+            .counters
+            .iter()
+            .position(|c| c.name == name && c.labels == labels)
+        {
+            return CounterId(i);
+        }
+        self.counters.push(Counter {
+            name,
+            labels: labels.to_vec(),
+            value: 0,
+        });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Gets or registers the gauge keyed by `name` + `labels`.
+    pub fn gauge(&mut self, name: &'static str, labels: &[Label]) -> GaugeId {
+        if let Some(i) = self
+            .gauges
+            .iter()
+            .position(|g| g.name == name && g.labels == labels)
+        {
+            return GaugeId(i);
+        }
+        self.gauges.push(Gauge {
+            name,
+            labels: labels.to_vec(),
+            value: 0.0,
+        });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Gets or registers the histogram keyed by `name` + `labels`, with
+    /// `buckets` buckets of `bucket_width` each (see
+    /// [`Histogram::new`] for the panics).
+    pub fn histogram(
+        &mut self,
+        name: &'static str,
+        labels: &[Label],
+        bucket_width: u64,
+        buckets: usize,
+    ) -> HistogramId {
+        if let Some(i) = self
+            .histograms
+            .iter()
+            .position(|h| h.name == name && h.labels == labels)
+        {
+            return HistogramId(i);
+        }
+        self.histograms.push(Hist {
+            name,
+            labels: labels.to_vec(),
+            hist: Histogram::new(bucket_width, buckets),
+        });
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Adds `by` to a counter. The hot path: one indexed add.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn inc(&mut self, id: CounterId, by: u64) {
+        self.counters[id.0].value += by;
+    }
+
+    /// Sets a gauge.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn set_gauge(&mut self, id: GaugeId, value: f64) {
+        self.gauges[id.0].value = value;
+    }
+
+    /// Raises a gauge to `value` if larger (high-water tracking).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn set_gauge_max(&mut self, id: GaugeId, value: f64) {
+        let g = &mut self.gauges[id.0];
+        if value > g.value {
+            g.value = value;
+        }
+    }
+
+    /// Adds one sample to a histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        self.histograms[id.0].hist.add(value);
+    }
+
+    /// Records a completed span of simulated time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` precedes `start` — spans are causal.
+    pub fn record_span(
+        &mut self,
+        name: &'static str,
+        label: impl Into<String>,
+        start: Ps,
+        end: Ps,
+    ) {
+        assert!(end >= start, "span must end at or after its start");
+        self.spans.push(Span {
+            name,
+            label: label.into(),
+            start,
+            end,
+        });
+    }
+
+    /// A counter's current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0].value
+    }
+
+    /// A gauge's current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a foreign id.
+    pub fn gauge_value(&self, id: GaugeId) -> f64 {
+        self.gauges[id.0].value
+    }
+
+    /// All recorded spans, in record order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Spans of one family, in record order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Span> + 'a {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+
+    /// Total registered metrics (counters + gauges + histograms).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Whether nothing has been registered or recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0 && self.spans.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Exporters.
+    // ------------------------------------------------------------------
+
+    /// Writes the JSON-lines snapshot: one object per metric and span.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let mut line = String::new();
+        for c in &self.counters {
+            line.clear();
+            line.push_str("{\"type\":\"counter\",\"name\":");
+            json_string(&mut line, c.name);
+            line.push_str(",\"labels\":");
+            json_labels(&mut line, &c.labels);
+            line.push_str(&format!(",\"value\":{}}}", c.value));
+            writeln!(w, "{line}")?;
+        }
+        for g in &self.gauges {
+            line.clear();
+            line.push_str("{\"type\":\"gauge\",\"name\":");
+            json_string(&mut line, g.name);
+            line.push_str(",\"labels\":");
+            json_labels(&mut line, &g.labels);
+            line.push_str(&format!(",\"value\":{}}}", json_f64(g.value)));
+            writeln!(w, "{line}")?;
+        }
+        for h in &self.histograms {
+            line.clear();
+            line.push_str("{\"type\":\"histogram\",\"name\":");
+            json_string(&mut line, h.name);
+            line.push_str(",\"labels\":");
+            json_labels(&mut line, &h.labels);
+            line.push_str(&format!(
+                ",\"bucket_width\":{},\"counts\":[",
+                h.hist.bucket_width()
+            ));
+            for (i, c) in h.hist.counts().iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                line.push_str(&c.to_string());
+            }
+            line.push_str("]}");
+            writeln!(w, "{line}")?;
+        }
+        for s in &self.spans {
+            line.clear();
+            line.push_str("{\"type\":\"span\",\"name\":");
+            json_string(&mut line, s.name);
+            line.push_str(",\"label\":");
+            json_string(&mut line, &s.label);
+            line.push_str(&format!(
+                ",\"start_ps\":{},\"end_ps\":{}}}",
+                s.start.as_ps(),
+                s.end.as_ps()
+            ));
+            writeln!(w, "{line}")?;
+        }
+        Ok(())
+    }
+
+    /// Writes the Prometheus text exposition format. Metric names get a
+    /// `vapres_` prefix; histograms emit cumulative `_bucket{le=..}`
+    /// series plus `_count`; spans emit a `vapres_span_duration_ps`
+    /// series labelled by family and instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_prometheus<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let mut last: Option<&str> = None;
+        for c in &self.counters {
+            if last != Some(c.name) {
+                writeln!(w, "# TYPE vapres_{} counter", c.name)?;
+                last = Some(c.name);
+            }
+            writeln!(w, "vapres_{}{} {}", c.name, prom_labels(&c.labels), c.value)?;
+        }
+        last = None;
+        for g in &self.gauges {
+            if last != Some(g.name) {
+                writeln!(w, "# TYPE vapres_{} gauge", g.name)?;
+                last = Some(g.name);
+            }
+            writeln!(
+                w,
+                "vapres_{}{} {}",
+                g.name,
+                prom_labels(&g.labels),
+                json_f64(g.value)
+            )?;
+        }
+        last = None;
+        for h in &self.histograms {
+            if last != Some(h.name) {
+                writeln!(w, "# TYPE vapres_{} histogram", h.name)?;
+                last = Some(h.name);
+            }
+            let mut cum = 0u64;
+            for (i, c) in h.hist.counts().iter().enumerate() {
+                cum += c;
+                let le = if i + 1 == h.hist.counts().len() {
+                    "+Inf".to_string()
+                } else {
+                    ((i as u64 + 1) * h.hist.bucket_width()).to_string()
+                };
+                let mut labels = h.labels.clone();
+                labels.push(("le", le));
+                writeln!(
+                    w,
+                    "vapres_{}_bucket{} {}",
+                    h.name,
+                    prom_labels(&labels),
+                    cum
+                )?;
+            }
+            writeln!(
+                w,
+                "vapres_{}_count{} {}",
+                h.name,
+                prom_labels(&h.labels),
+                cum
+            )?;
+        }
+        if !self.spans.is_empty() {
+            writeln!(w, "# TYPE vapres_span_duration_ps gauge")?;
+            for s in &self.spans {
+                let labels: Vec<Label> = vec![("name", s.name.into()), ("step", s.label.clone())];
+                writeln!(
+                    w,
+                    "vapres_span_duration_ps{} {}",
+                    prom_labels(&labels),
+                    s.duration().as_ps()
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes the spans as a `chrome://tracing` / Perfetto JSON document:
+    /// complete (`"ph":"X"`) events with microsecond timestamps on one
+    /// track per span family.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_chrome_trace<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+        // One tid per span family, in order of first appearance.
+        let mut families: Vec<&str> = Vec::new();
+        for s in &self.spans {
+            if !families.contains(&s.name) {
+                families.push(s.name);
+            }
+        }
+        let mut first = true;
+        for (tid, fam) in families.iter().enumerate() {
+            let mut meta = String::new();
+            meta.push_str("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":");
+            meta.push_str(&(tid + 1).to_string());
+            meta.push_str(",\"args\":{\"name\":");
+            json_string(&mut meta, fam);
+            meta.push_str("}}");
+            if !first {
+                writeln!(w, ",")?;
+            }
+            write!(w, "{meta}")?;
+            first = false;
+        }
+        for s in &self.spans {
+            let tid = families.iter().position(|f| *f == s.name).unwrap_or(0) + 1;
+            let mut ev = String::new();
+            ev.push_str("{\"name\":");
+            json_string(&mut ev, &s.label);
+            ev.push_str(",\"cat\":");
+            json_string(&mut ev, s.name);
+            ev.push_str(&format!(
+                ",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{}}}",
+                json_f64(s.start.as_ps() as f64 / 1_000.0),
+                json_f64(s.duration().as_ps() as f64 / 1_000.0),
+            ));
+            if !first {
+                writeln!(w, ",")?;
+            }
+            write!(w, "{ev}")?;
+            first = false;
+        }
+        writeln!(w)?;
+        writeln!(w, "]}}")?;
+        Ok(())
+    }
+}
+
+/// Formats an `f64` the way JSON expects (no `NaN`/`inf`; integral values
+/// keep a trailing `.0`-free form via `{}`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Appends a JSON string literal (quoted, escaped) to `out`.
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends a JSON object of labels to `out`.
+fn json_labels(out: &mut String, labels: &[Label]) {
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(out, k);
+        out.push(':');
+        json_string(out, v);
+    }
+    out.push('}');
+}
+
+/// Formats a Prometheus label set (`{k="v",..}`, empty string when none).
+fn prom_labels(labels: &[Label]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for ch in v.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+// ----------------------------------------------------------------------
+// Snapshot parsing (the consumer side of the JSONL exporter).
+// ----------------------------------------------------------------------
+
+/// A record parsed back from a JSON-lines snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A counter sample.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Label set.
+        labels: Vec<(String, String)>,
+        /// Counter value.
+        value: u64,
+    },
+    /// A gauge sample.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Label set.
+        labels: Vec<(String, String)>,
+        /// Gauge value.
+        value: f64,
+    },
+    /// A histogram snapshot.
+    Histogram {
+        /// Metric name.
+        name: String,
+        /// Label set.
+        labels: Vec<(String, String)>,
+        /// Bucket width.
+        bucket_width: u64,
+        /// Per-bucket counts.
+        counts: Vec<u64>,
+    },
+    /// A completed span.
+    Span {
+        /// Span family.
+        name: String,
+        /// Instance label.
+        label: String,
+        /// Start, picoseconds.
+        start_ps: u64,
+        /// End, picoseconds.
+        end_ps: u64,
+    },
+}
+
+impl Record {
+    /// The record's metric/span name.
+    pub fn name(&self) -> &str {
+        match self {
+            Record::Counter { name, .. }
+            | Record::Gauge { name, .. }
+            | Record::Histogram { name, .. }
+            | Record::Span { name, .. } => name,
+        }
+    }
+}
+
+/// A snapshot-parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "snapshot line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// A minimal JSON value — just enough for the snapshot format.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> Self {
+        JsonParser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected {:?}", c as char)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(&b) = self.bytes.get(self.pos) else {
+                return Err("unterminated string".into());
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(&esc) = self.bytes.get(self.pos) else {
+                        return Err("dangling escape".into());
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or("truncated \\u escape")?;
+                            self.pos += 4;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                _ => {
+                    // Re-decode multi-byte UTF-8 transparently: copy raw
+                    // bytes until the next ASCII structural character.
+                    let start = self.pos - 1;
+                    let mut end = self.pos;
+                    while end < self.bytes.len()
+                        && self.bytes[end] != b'"'
+                        && self.bytes[end] != b'\\'
+                    {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid utf-8 in string")?;
+                    out.push_str(chunk);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| "bad number")?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number {text:?}"))
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err("expected ',' or ']'".into()),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut out = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            out.push((key, val));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err("expected ',' or '}'".into()),
+            }
+        }
+    }
+}
+
+fn obj_get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn as_str(v: Option<&Json>) -> Result<String, String> {
+    match v {
+        Some(Json::Str(s)) => Ok(s.clone()),
+        _ => Err("expected string".into()),
+    }
+}
+
+fn as_u64(v: Option<&Json>) -> Result<u64, String> {
+    match v {
+        Some(Json::Num(n)) if *n >= 0.0 => Ok(*n as u64),
+        _ => Err("expected non-negative number".into()),
+    }
+}
+
+fn as_f64(v: Option<&Json>) -> Result<f64, String> {
+    match v {
+        Some(Json::Num(n)) => Ok(*n),
+        _ => Err("expected number".into()),
+    }
+}
+
+fn as_labels(v: Option<&Json>) -> Result<Vec<(String, String)>, String> {
+    match v {
+        None => Ok(Vec::new()),
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, v)| match v {
+                Json::Str(s) => Ok((k.clone(), s.clone())),
+                _ => Err("label values must be strings".into()),
+            })
+            .collect(),
+        _ => Err("labels must be an object".into()),
+    }
+}
+
+/// Parses a JSON-lines snapshot back into records. Blank lines are
+/// skipped; any malformed line is an error.
+///
+/// # Errors
+///
+/// [`SnapshotError`] naming the offending line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, SnapshotError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fail = |message: String| SnapshotError {
+            line: i + 1,
+            message,
+        };
+        let mut p = JsonParser::new(line);
+        let Json::Obj(obj) = p.value().map_err(&fail)? else {
+            return Err(fail("top-level value must be an object".into()));
+        };
+        let kind = as_str(obj_get(&obj, "type")).map_err(&fail)?;
+        let rec = match kind.as_str() {
+            "counter" => Record::Counter {
+                name: as_str(obj_get(&obj, "name")).map_err(&fail)?,
+                labels: as_labels(obj_get(&obj, "labels")).map_err(&fail)?,
+                value: as_u64(obj_get(&obj, "value")).map_err(&fail)?,
+            },
+            "gauge" => Record::Gauge {
+                name: as_str(obj_get(&obj, "name")).map_err(&fail)?,
+                labels: as_labels(obj_get(&obj, "labels")).map_err(&fail)?,
+                value: as_f64(obj_get(&obj, "value")).map_err(&fail)?,
+            },
+            "histogram" => {
+                let counts = match obj_get(&obj, "counts") {
+                    Some(Json::Arr(a)) => a
+                        .iter()
+                        .map(|v| as_u64(Some(v)))
+                        .collect::<Result<Vec<u64>, _>>()
+                        .map_err(&fail)?,
+                    _ => return Err(fail("histogram needs a counts array".into())),
+                };
+                Record::Histogram {
+                    name: as_str(obj_get(&obj, "name")).map_err(&fail)?,
+                    labels: as_labels(obj_get(&obj, "labels")).map_err(&fail)?,
+                    bucket_width: as_u64(obj_get(&obj, "bucket_width")).map_err(&fail)?,
+                    counts,
+                }
+            }
+            "span" => Record::Span {
+                name: as_str(obj_get(&obj, "name")).map_err(&fail)?,
+                label: as_str(obj_get(&obj, "label")).map_err(&fail)?,
+                start_ps: as_u64(obj_get(&obj, "start_ps")).map_err(&fail)?,
+                end_ps: as_u64(obj_get(&obj, "end_ps")).map_err(&fail)?,
+            },
+            other => return Err(fail(format!("unknown record type {other:?}"))),
+        };
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jsonl(t: &Telemetry) -> String {
+        let mut out = Vec::new();
+        t.write_jsonl(&mut out).expect("vec write");
+        String::from_utf8(out).expect("utf8")
+    }
+
+    #[test]
+    fn counter_get_or_register_is_stable() {
+        let mut t = Telemetry::new();
+        let a = t.counter("x_total", &[("node", "0".into())]);
+        let b = t.counter("x_total", &[("node", "1".into())]);
+        let a2 = t.counter("x_total", &[("node", "0".into())]);
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        t.inc(a, 2);
+        t.inc(b, 5);
+        t.inc(a2, 1);
+        assert_eq!(t.counter_value(a), 3);
+        assert_eq!(t.counter_value(b), 5);
+    }
+
+    #[test]
+    fn gauge_max_tracks_high_water() {
+        let mut t = Telemetry::new();
+        let g = t.gauge("hw", &[]);
+        t.set_gauge_max(g, 3.0);
+        t.set_gauge_max(g, 1.0);
+        assert_eq!(t.gauge_value(g), 3.0);
+        t.set_gauge(g, 0.5);
+        assert_eq!(t.gauge_value(g), 0.5);
+    }
+
+    #[test]
+    fn span_duration_and_family_filter() {
+        let mut t = Telemetry::new();
+        t.record_span("swap_step", "1_a", Ps::new(0), Ps::new(10));
+        t.record_span("other", "x", Ps::new(0), Ps::new(1));
+        t.record_span("swap_step", "2_b", Ps::new(10), Ps::new(25));
+        let steps: Vec<&Span> = t.spans_named("swap_step").collect();
+        assert_eq!(steps.len(), 2);
+        assert_eq!(steps[0].duration(), Ps::new(10));
+        assert_eq!(steps[1].duration(), Ps::new(15));
+    }
+
+    #[test]
+    #[should_panic(expected = "span must end")]
+    fn backwards_span_panics() {
+        let mut t = Telemetry::new();
+        t.record_span("s", "l", Ps::new(5), Ps::new(1));
+    }
+
+    #[test]
+    fn jsonl_roundtrip_preserves_everything() {
+        let mut t = Telemetry::new();
+        let c = t.counter("dcr_write_total", &[("node", "1".into())]);
+        t.inc(c, 42);
+        let g = t.gauge("redux", &[]);
+        t.set_gauge(g, 2.5);
+        let h = t.histogram("gap_ps", &[("iom", "0".into())], 1_000, 4);
+        t.observe(h, 500);
+        t.observe(h, 99_999);
+        t.record_span(
+            "swap_step",
+            "2_reconfigure \"spare\"",
+            Ps::new(7),
+            Ps::new(19),
+        );
+
+        let records = parse_jsonl(&jsonl(&t)).expect("parses");
+        assert_eq!(records.len(), 4);
+        assert_eq!(
+            records[0],
+            Record::Counter {
+                name: "dcr_write_total".into(),
+                labels: vec![("node".into(), "1".into())],
+                value: 42,
+            }
+        );
+        assert_eq!(
+            records[1],
+            Record::Gauge {
+                name: "redux".into(),
+                labels: vec![],
+                value: 2.5,
+            }
+        );
+        assert_eq!(
+            records[2],
+            Record::Histogram {
+                name: "gap_ps".into(),
+                labels: vec![("iom".into(), "0".into())],
+                bucket_width: 1_000,
+                counts: vec![1, 0, 0, 1],
+            }
+        );
+        assert_eq!(
+            records[3],
+            Record::Span {
+                name: "swap_step".into(),
+                label: "2_reconfigure \"spare\"".into(),
+                start_ps: 7,
+                end_ps: 19,
+            }
+        );
+    }
+
+    #[test]
+    fn parse_rejects_garbage_with_line_numbers() {
+        let err = parse_jsonl("{\"type\":\"counter\",\"name\":\"a\",\"value\":1}\nnot json\n")
+            .unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_jsonl("{\"type\":\"alien\"}").unwrap_err();
+        assert!(err.message.contains("alien"));
+    }
+
+    #[test]
+    fn prometheus_format_is_wellformed() {
+        let mut t = Telemetry::new();
+        let c = t.counter("icap_words_total", &[]);
+        t.inc(c, 9_075);
+        let h = t.histogram("lat", &[], 10, 2);
+        t.observe(h, 5);
+        t.observe(h, 500);
+        t.record_span("swap_step", "8_await_eos", Ps::new(0), Ps::new(100));
+        let mut out = Vec::new();
+        t.write_prometheus(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("# TYPE vapres_icap_words_total counter"));
+        assert!(text.contains("vapres_icap_words_total 9075"));
+        assert!(text.contains("vapres_lat_bucket{le=\"10\"} 1"));
+        assert!(text.contains("vapres_lat_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("vapres_lat_count 2"));
+        assert!(
+            text.contains("vapres_span_duration_ps{name=\"swap_step\",step=\"8_await_eos\"} 100")
+        );
+    }
+
+    #[test]
+    fn chrome_trace_is_parseable_json() {
+        let mut t = Telemetry::new();
+        t.record_span("swap_step", "1_resolve", Ps::new(1_000), Ps::new(3_000));
+        t.record_span("icap", "write", Ps::new(0), Ps::new(500));
+        let mut out = Vec::new();
+        t.write_chrome_trace(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Our own parser accepts it: structurally valid JSON.
+        let mut p = JsonParser::new(&text);
+        let Json::Obj(obj) = p.value().expect("valid JSON") else {
+            panic!("trace must be an object");
+        };
+        let Some(Json::Arr(events)) = obj_get(&obj, "traceEvents") else {
+            panic!("traceEvents missing");
+        };
+        // 2 thread-name metadata events + 2 span events.
+        assert_eq!(events.len(), 4);
+        assert!(text.contains("\"ph\":\"X\""));
+        assert!(text.contains("\"ts\":1"));
+    }
+
+    #[test]
+    fn empty_registry_reports_empty() {
+        let t = Telemetry::new();
+        assert!(t.is_empty());
+        assert_eq!(jsonl(&t), "");
+    }
+}

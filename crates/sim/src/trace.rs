@@ -49,16 +49,19 @@ pub struct Tracer {
 }
 
 impl Tracer {
-    /// Creates a tracer; `module` names the VCD scope.
+    /// Creates a tracer; `module` names the VCD scope. Whitespace in the
+    /// name is replaced with `_` — VCD keywords are whitespace-delimited,
+    /// so an embedded space would corrupt the `$scope` line.
     pub fn new(module: impl Into<String>) -> Self {
         Tracer {
-            module: module.into(),
+            module: sanitize_identifier(&module.into()),
             signals: Vec::new(),
             changes: Vec::new(),
         }
     }
 
-    /// Registers a signal of `width` bits (1..=64).
+    /// Registers a signal of `width` bits (1..=64). Whitespace in the
+    /// name is replaced with `_` (see [`Tracer::new`]).
     ///
     /// # Panics
     ///
@@ -66,7 +69,7 @@ impl Tracer {
     pub fn add_signal(&mut self, name: impl Into<String>, width: u32) -> SignalId {
         assert!((1..=64).contains(&width), "signal width out of range");
         self.signals.push(Signal {
-            name: name.into(),
+            name: sanitize_identifier(&name.into()),
             width,
             last: None,
         });
@@ -157,6 +160,17 @@ impl Tracer {
     }
 }
 
+/// Replaces whitespace (and the empty string) so the result is a single
+/// VCD token.
+fn sanitize_identifier(name: &str) -> String {
+    if name.is_empty() {
+        return "_".to_string();
+    }
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -220,5 +234,63 @@ mod tests {
     fn zero_width_panics() {
         let mut t = Tracer::new("top");
         t.add_signal("bad", 0);
+    }
+
+    #[test]
+    fn coalescing_shrinks_emitted_vcd() {
+        // Two tracers see the same stream; one with 100 redundant writes.
+        let mut lean = Tracer::new("top");
+        let s = lean.add_signal("x", 8);
+        for i in 0..10u64 {
+            lean.change(Ps::from_ns(i * 10), s, i % 3);
+        }
+        let mut noisy = Tracer::new("top");
+        let s = noisy.add_signal("x", 8);
+        for i in 0..10u64 {
+            for rep in 0..10u64 {
+                noisy.change(Ps::from_ns(i * 10 + rep), s, i % 3);
+            }
+        }
+        // Redundant writes are coalesced away: identical change counts
+        // and identical serialized size.
+        assert_eq!(lean.len(), noisy.len());
+        assert_eq!(vcd_text(&lean).len(), vcd_text(&noisy).len());
+    }
+
+    #[test]
+    fn names_with_whitespace_are_escaped() {
+        let mut t = Tracer::new("top module");
+        t.add_signal("fifo level", 8);
+        t.add_signal("", 1);
+        let text = vcd_text(&t);
+        assert!(text.contains("$scope module top_module $end"));
+        assert!(text.contains("$var wire 8 ! fifo_level $end"));
+        assert!(text.contains("$var wire 1 \" _ $end"));
+        // Every $var line still has exactly 6 whitespace-separated tokens.
+        for line in text.lines().filter(|l| l.starts_with("$var")) {
+            assert_eq!(line.split_whitespace().count(), 6, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn multi_signal_changes_interleave_by_timestamp() {
+        let mut t = Tracer::new("top");
+        let a = t.add_signal("a", 1);
+        let b = t.add_signal("b", 1);
+        // Record out of time order across two signals.
+        t.change(Ps::from_ns(30), a, 1);
+        t.change(Ps::from_ns(10), b, 1);
+        t.change(Ps::from_ns(20), a, 0);
+        t.change(Ps::from_ns(20), b, 0);
+        let text = vcd_text(&t);
+        let body = &text[text.find("$enddefinitions").unwrap()..];
+        let stamps: Vec<&str> = body.lines().filter(|l| l.starts_with('#')).collect();
+        assert_eq!(stamps, ["#10000", "#20000", "#30000"]);
+        // Same-timestamp changes keep record order (a before b at 20 ns
+        // because a was recorded first there).
+        let p20 = body.find("#20000").unwrap();
+        let p30 = body.find("#30000").unwrap();
+        let at20 = &body[p20..p30];
+        assert!(at20.find("0!").unwrap() < at20.find("0\"").unwrap());
     }
 }

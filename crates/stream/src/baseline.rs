@@ -122,7 +122,6 @@ impl ProcessorRoutedBus {
     ///
     /// Panics if `id` is unknown.
     pub fn pop(&mut self, id: StreamId) -> Option<Word> {
-        
         self.streams[id.0].output.pop()
     }
 

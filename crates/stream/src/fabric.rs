@@ -143,6 +143,8 @@ struct Interface {
     overflow_drops: u64,
     /// Words lost because the enable bit was off on arrival (consumer side).
     gated_drops: u64,
+    /// Highest FIFO occupancy ever observed (worst-case buffering).
+    high_water: usize,
 }
 
 impl Interface {
@@ -152,6 +154,14 @@ impl Interface {
             enabled: false,
             overflow_drops: 0,
             gated_drops: 0,
+            high_water: 0,
+        }
+    }
+
+    fn note_level(&mut self) {
+        let level = self.fifo.len();
+        if level > self.high_water {
+            self.high_water = level;
         }
     }
 }
@@ -172,6 +182,11 @@ struct Route {
     /// at most this (default: the round-trip window `2·depth + 1`).
     full_threshold: usize,
     delivered: u64,
+    /// Dispatched cycles where the producer had a word ready but the
+    /// (delayed) feedback-full signal blocked injection.
+    stall_cycles: u64,
+    /// Dispatched cycles where the consumer asserted feedback-full.
+    backpressure_cycles: u64,
 }
 
 impl Route {
@@ -193,6 +208,12 @@ pub struct ChannelInfo {
     pub slots: Vec<Slot>,
     /// Words delivered into the consumer FIFO so far.
     pub delivered: u64,
+    /// Dispatched cycles where a ready word was held back by the delayed
+    /// feedback-full signal. Skipped (provably no-op) cycles are not
+    /// counted — a skipped cycle can stall nothing.
+    pub stall_cycles: u64,
+    /// Dispatched cycles where the consumer asserted feedback-full.
+    pub backpressure_cycles: u64,
 }
 
 /// Minimum FIFO depth for a channel with register depth `depth` (hops + 1):
@@ -260,10 +281,18 @@ impl StreamFabric {
         let segs = params.segments();
         Ok(StreamFabric {
             producers: (0..params.nodes)
-                .map(|_| (0..params.ko).map(|_| Interface::new(params.fifo_depth)).collect())
+                .map(|_| {
+                    (0..params.ko)
+                        .map(|_| Interface::new(params.fifo_depth))
+                        .collect()
+                })
                 .collect(),
             consumers: (0..params.nodes)
-                .map(|_| (0..params.ki).map(|_| Interface::new(params.fifo_depth)).collect())
+                .map(|_| {
+                    (0..params.ki)
+                        .map(|_| Interface::new(params.fifo_depth))
+                        .collect()
+                })
                 .collect(),
             right_busy: vec![vec![false; params.kr]; segs],
             left_busy: vec![vec![false; params.kl]; segs],
@@ -334,18 +363,20 @@ impl StreamFabric {
     }
 
     fn wake_producer_route(&mut self, port: PortRef) {
-        let hit = self.routes.iter().position(
-            |r| matches!(r, Some(route) if route.producer == port),
-        );
+        let hit = self
+            .routes
+            .iter()
+            .position(|r| matches!(r, Some(route) if route.producer == port));
         if let Some(i) = hit {
             self.activate(i);
         }
     }
 
     fn wake_consumer_route(&mut self, port: PortRef) {
-        let hit = self.routes.iter().position(
-            |r| matches!(r, Some(route) if route.consumer == port),
-        );
+        let hit = self
+            .routes
+            .iter()
+            .position(|r| matches!(r, Some(route) if route.consumer == port));
         if let Some(i) = hit {
             self.activate(i);
         }
@@ -402,13 +433,12 @@ impl StreamFabric {
         let mut slots = Vec::new();
         if producer.node <= consumer.node {
             for seg in producer.node..consumer.node {
-                let chan = self.right_busy[seg]
-                    .iter()
-                    .position(|b| !b)
-                    .ok_or(RouteError::NoFreeChannel {
+                let chan = self.right_busy[seg].iter().position(|b| !b).ok_or(
+                    RouteError::NoFreeChannel {
                         segment: seg,
                         dir: Dir::Right,
-                    })?;
+                    },
+                )?;
                 slots.push(Slot {
                     dir: Dir::Right,
                     segment: seg,
@@ -417,13 +447,12 @@ impl StreamFabric {
             }
         } else {
             for seg in (consumer.node..producer.node).rev() {
-                let chan = self.left_busy[seg]
-                    .iter()
-                    .position(|b| !b)
-                    .ok_or(RouteError::NoFreeChannel {
+                let chan = self.left_busy[seg].iter().position(|b| !b).ok_or(
+                    RouteError::NoFreeChannel {
                         segment: seg,
                         dir: Dir::Left,
-                    })?;
+                    },
+                )?;
                 slots.push(Slot {
                     dir: Dir::Left,
                     segment: seg,
@@ -459,6 +488,8 @@ impl StreamFabric {
             full_threshold: 2 * depth + 1,
             slots,
             delivered: 0,
+            stall_cycles: 0,
+            backpressure_cycles: 0,
         };
         let id = ChannelId(self.routes.len());
         self.routes.push(Some(route));
@@ -533,6 +564,8 @@ impl StreamFabric {
             hops: r.slots.len(),
             slots: r.slots.clone(),
             delivered: r.delivered,
+            stall_cycles: r.stall_cycles,
+            backpressure_cycles: r.backpressure_cycles,
         })
     }
 
@@ -642,7 +675,9 @@ impl StreamFabric {
     /// full flag (the KPN blocking-write).
     pub fn producer_push(&mut self, port: PortRef, word: Word) -> Result<(), FullError> {
         self.check_producer(port).map_err(|_| FullError)?;
-        self.producers[port.node][port.port].fifo.push(word)?;
+        let iface = &mut self.producers[port.node][port.port];
+        iface.fifo.push(word)?;
+        iface.note_level();
         self.wake_producer_route(port);
         Ok(())
     }
@@ -713,6 +748,26 @@ impl StreamFabric {
         Ok(self.consumers[port.node][port.port].gated_drops)
     }
 
+    /// Worst-case occupancy ever observed in a producer-interface FIFO.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::BadPort`] for a nonexistent port.
+    pub fn producer_high_water(&self, port: PortRef) -> Result<usize, RouteError> {
+        self.check_producer(port)?;
+        Ok(self.producers[port.node][port.port].high_water)
+    }
+
+    /// Worst-case occupancy ever observed in a consumer-interface FIFO.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::BadPort`] for a nonexistent port.
+    pub fn consumer_high_water(&self, port: PortRef) -> Result<usize, RouteError> {
+        self.check_consumer(port)?;
+        Ok(self.consumers[port.node][port.port].high_water)
+    }
+
     /// Advances the fabric by one static-clock cycle: every *active*
     /// established channel's pipeline and feedback registers shift once.
     ///
@@ -747,6 +802,7 @@ impl StreamFabric {
                 } else if cons.fifo.push(word).is_err() {
                     cons.overflow_drops += 1;
                 } else {
+                    cons.note_level();
                     route.delivered += 1;
                     self.deliveries.push(route.consumer);
                 }
@@ -755,6 +811,9 @@ impl StreamFabric {
             // 2. Feedback-full decision, post-arrival occupancy.
             let cons = &self.consumers[route.consumer.node][route.consumer.port];
             let full_now = cons.fifo.remaining() <= route.full_threshold;
+            if full_now {
+                route.backpressure_cycles += 1;
+            }
 
             // 3. Shift the forward pipeline toward the consumer.
             for i in (1..depth).rev() {
@@ -772,6 +831,9 @@ impl StreamFabric {
                 }
                 w
             } else {
+                if prod.enabled && stalled && !prod.fifo.is_empty() {
+                    route.stall_cycles += 1;
+                }
                 None
             };
 
@@ -1062,6 +1124,50 @@ mod tests {
         assert_eq!(f.consumer_pop(c).unwrap(), Some(Word::data(1)));
         let eos = f.consumer_pop(c).unwrap().unwrap();
         assert!(eos.end_of_stream);
+    }
+
+    #[test]
+    fn stall_and_high_water_counters_track_saturation() {
+        let mut f = fabric();
+        let p = PortRef::new(0, 0);
+        let c = PortRef::new(2, 0);
+        let ch = open(&mut f, p, c);
+        // Saturate without ever popping: the consumer FIFO fills, feedback
+        // asserts, and the producer spends cycles stalled with words ready.
+        for i in 0..2_000u32 {
+            if f.producer_space(p).unwrap() > 0 {
+                f.producer_push(p, Word::data(i)).unwrap();
+            }
+            f.tick();
+        }
+        let info = f.channel_info(ch).unwrap();
+        assert!(info.backpressure_cycles > 0, "feedback never asserted");
+        assert!(info.stall_cycles > 0, "producer never observed the stall");
+        // Stall can only be observed after backpressure propagates back.
+        assert!(info.stall_cycles <= info.backpressure_cycles);
+        // Consumer FIFO peaked just below the full threshold window;
+        // producer FIFO hit its configured depth while stalled.
+        let depth = f.params().fifo_depth;
+        assert!(f.consumer_high_water(c).unwrap() >= depth - (2 * info.hops + 4));
+        assert_eq!(f.producer_high_water(p).unwrap(), depth);
+        assert_eq!(f.consumer_overflow_drops(c).unwrap(), 0);
+    }
+
+    #[test]
+    fn unstalled_stream_reports_zero_stall_cycles() {
+        let mut f = fabric();
+        let p = PortRef::new(0, 0);
+        let c = PortRef::new(2, 0);
+        let ch = open(&mut f, p, c);
+        for i in 0..50u32 {
+            f.producer_push(p, Word::data(i)).unwrap();
+            f.tick();
+            let _ = f.consumer_pop(c).unwrap();
+        }
+        let info = f.channel_info(ch).unwrap();
+        assert_eq!(info.stall_cycles, 0);
+        assert_eq!(info.backpressure_cycles, 0);
+        assert!(f.consumer_high_water(c).unwrap() >= 1);
     }
 
     #[test]

@@ -116,9 +116,7 @@ fn lossless_in_order_delivery() {
         let n_words = rng.gen_u32(1..300);
         let push = bool_pattern(&mut rng, 12);
         let pop = bool_pattern(&mut rng, 12);
-        eprintln!(
-            "case {case}: nodes={nodes} depth={fifo_depth} {src}->{dst} n={n_words}"
-        );
+        eprintln!("case {case}: nodes={nodes} depth={fifo_depth} {src}->{dst} n={n_words}");
         run_channel(nodes, fifo_depth, src, dst, n_words, &push, &pop);
     }
 }

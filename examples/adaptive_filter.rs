@@ -92,7 +92,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  max output gap           : {max_gap}  (reconfig was {})",
         report.reconfig.total()
     );
-    assert_eq!(data_words, input.len(), "seamless swap must not lose samples");
+    assert_eq!(
+        data_words,
+        input.len(),
+        "seamless swap must not lose samples"
+    );
     assert!(max_gap < Ps::from_us(100));
     println!("\nadaptive_filter OK — stream never stopped");
     Ok(())

@@ -38,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mss = generate_mss(&params);
     let ucf = generate_ucf(floorplan);
     println!("--- system.ucf ---\n{ucf}");
-    println!("mhs: {} lines, mss: {} lines", mhs.lines().count(), mss.lines().count());
+    println!(
+        "mhs: {} lines, mss: {} lines",
+        mhs.lines().count(),
+        mss.lines().count()
+    );
 
     // Round-trip the UCF through the parser (the scripting-tool path).
     let reparsed = parse_ucf(&device, &ucf)?;

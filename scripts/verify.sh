@@ -8,13 +8,29 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo build --release --offline"
-cargo build --release --offline
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo build --release --offline --workspace"
+cargo build --release --offline --workspace
 
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
 echo "==> cargo clippy --workspace --all-targets --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> telemetry smoke test (E3 swap scenario)"
+snap="$(mktemp -d)/swap.jsonl"
+./target/release/vapres-cli sim --swap yes --metrics "$snap" >/dev/null
+steps="$(grep -c '"name":"swap_step"' "$snap")"
+if [ "$steps" -ne 9 ]; then
+    echo "expected nine swap_step spans in $snap, got $steps" >&2
+    exit 1
+fi
+./target/release/vapres-cli report --metrics "$snap" \
+    | grep -q "0 missed sample slots" \
+    || { echo "report did not confirm zero stream interruption" >&2; exit 1; }
+rm -rf "$(dirname "$snap")"
 
 echo "==> verify OK"

@@ -25,10 +25,14 @@ fn policy_driven_swap_fires_on_signal_change() {
     sys.iom_set_input_interval(0, 500);
 
     // PEAK_HOLD in PRR0 (node 1) is the initial, monitoring module.
-    sys.install_bitstream(0, uids::PEAK_HOLD, "ph_prr0.bit").expect("install");
-    sys.install_bitstream(1, uids::CLIP, "clip_prr1.bit").expect("install");
-    sys.install_bitstream(0, uids::CLIP, "clip_prr0.bit").expect("install");
-    sys.install_bitstream(1, uids::PEAK_HOLD, "ph_prr1.bit").expect("install");
+    sys.install_bitstream(0, uids::PEAK_HOLD, "ph_prr0.bit")
+        .expect("install");
+    sys.install_bitstream(1, uids::CLIP, "clip_prr1.bit")
+        .expect("install");
+    sys.install_bitstream(0, uids::CLIP, "clip_prr0.bit")
+        .expect("install");
+    sys.install_bitstream(1, uids::PEAK_HOLD, "ph_prr1.bit")
+        .expect("install");
     for (file, array) in [
         ("clip_prr1.bit", "clip@2"),
         ("clip_prr0.bit", "clip@1"),
@@ -48,14 +52,8 @@ fn policy_driven_swap_fires_on_signal_change() {
     sys.bring_up_node(0, false).expect("iom");
     sys.bring_up_node(1, false).expect("prr0");
 
-    let mut controller = AdaptiveController::new(
-        1,
-        2,
-        upstream,
-        downstream,
-        uids::PEAK_HOLD,
-        Ps::from_ms(20),
-    );
+    let mut controller =
+        AdaptiveController::new(1, 2, upstream, downstream, uids::PEAK_HOLD, Ps::from_ms(20));
     // node 1 hosts PRR0 bitstreams, node 2 hosts PRR1 bitstreams.
     controller.register_source(uids::CLIP, 2, BitstreamSource::Sdram("clip@2".into()));
     controller.register_source(uids::CLIP, 1, BitstreamSource::Sdram("clip@1".into()));

@@ -27,8 +27,8 @@ fn both_design_flows_end_to_end() {
     // Step 1: specialize the architectural parameters.
     let mut params = FabricParams::prototype();
     params.nodes = 4; // 1 IOM + 3 PRRs
-    // N=4 with three PRRs exceeds the LX25 (the paper's N=3 static region
-    // already used ~88%); a realistic designer moves up to the LX60.
+                      // N=4 with three PRRs exceeds the LX25 (the paper's N=3 static region
+                      // already used ~88%); a realistic designer moves up to the LX60.
     let device = Device::xc4vlx60();
 
     // Step 2: floorplan (automatically — the paper's future work).
@@ -58,12 +58,7 @@ fn both_design_flows_end_to_end() {
     // Step 4 ("synthesis and implementation"): the running system.
     let cfg = SystemConfig {
         params,
-        node_kinds: vec![
-            NodeKind::Iom,
-            NodeKind::Prr,
-            NodeKind::Prr,
-            NodeKind::Prr,
-        ],
+        node_kinds: vec![NodeKind::Iom, NodeKind::Prr, NodeKind::Prr, NodeKind::Prr],
         device,
         floorplan: outcome.floorplan,
         static_clock: Freq::mhz(100),
@@ -81,7 +76,8 @@ fn both_design_flows_end_to_end() {
     let mut sys = VapresSystem::new(cfg, lib).expect("system builds");
 
     // Bitstream deployment (CF) and reconfiguration into PRR1 (node 2).
-    sys.install_bitstream(1, CUSTOM_LP, "custom_lp.bit").expect("install");
+    sys.install_bitstream(1, CUSTOM_LP, "custom_lp.bit")
+        .expect("install");
     let reconfig = sys.vapres_cf2icap("custom_lp.bit").expect("load");
     assert_eq!(reconfig.prr, 1);
     assert_eq!(sys.prr_module_name(1), Some("custom_lp"));

@@ -28,8 +28,10 @@ fn fig5_system(dense: bool) -> (VapresSystem, SwapSpec) {
     sys.set_dense(dense);
     sys.iom_set_input_interval(0, SAMPLE_INTERVAL);
 
-    sys.install_bitstream(0, uids::FIR_A, "fir_a_prr0.bit").unwrap();
-    sys.install_bitstream(1, uids::FIR_B, "fir_b_prr1.bit").unwrap();
+    sys.install_bitstream(0, uids::FIR_A, "fir_a_prr0.bit")
+        .unwrap();
+    sys.install_bitstream(1, uids::FIR_B, "fir_b_prr1.bit")
+        .unwrap();
     sys.vapres_cf2array("fir_b_prr1.bit", "fir_b").unwrap();
 
     sys.vapres_cf2icap("fir_a_prr0.bit").unwrap();

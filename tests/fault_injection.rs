@@ -33,7 +33,8 @@ fn corrupt_bitstream_leaves_prr_unconfigured() {
     assert_eq!(sys.icap().failed_write_count(), 1);
 
     // The system recovers: a good bitstream loads afterwards.
-    sys.install_bitstream(0, uids::FIR_A, "good.bit").expect("install");
+    sys.install_bitstream(0, uids::FIR_A, "good.bit")
+        .expect("install");
     sys.vapres_cf2icap("good.bit").expect("recovery load");
     assert_eq!(sys.prr_loaded_uid(0), Some(uids::FIR_A));
 }
@@ -70,7 +71,8 @@ fn bitstream_for_unfloorplanned_region_is_rejected() {
 #[test]
 fn reconfiguring_live_prr_is_refused() {
     let mut sys = system();
-    sys.install_bitstream(0, uids::FIR_A, "a.bit").expect("install");
+    sys.install_bitstream(0, uids::FIR_A, "a.bit")
+        .expect("install");
     sys.vapres_cf2icap("a.bit").expect("first load");
     sys.bring_up_node(1, false).expect("bring up");
     // PRR0 (node 1) is live: slice macros on, clock running.
@@ -84,7 +86,8 @@ fn reconfiguring_live_prr_is_refused() {
 fn swap_with_corrupt_spare_bitstream_keeps_old_module_streaming() {
     let mut sys = system();
     sys.iom_set_input_interval(0, 100);
-    sys.install_bitstream(0, uids::FIR_A, "a.bit").expect("install a");
+    sys.install_bitstream(0, uids::FIR_A, "a.bit")
+        .expect("install a");
 
     // Corrupt B's bitstream in SDRAM.
     let bs = sys.bitstream_for(1, uids::FIR_B).expect("generate b");

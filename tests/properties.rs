@@ -88,7 +88,10 @@ fn planner_output_always_valid() {
             .map(|i| PrrRequest::new(format!("p{i}"), rng.gen_u32(1..2_000)))
             .collect();
         if let Ok(outcome) = plan(&dev, &requests) {
-            outcome.floorplan.validate().expect("planner plans validate");
+            outcome
+                .floorplan
+                .validate()
+                .expect("planner plans validate");
             for (alloc, req) in outcome.allocated.iter().zip(&requests) {
                 assert!(*alloc >= req.min_slices);
             }

@@ -17,7 +17,8 @@ fn seu_detect_and_repair_while_streaming() {
     let mut sys = VapresSystem::new(SystemConfig::prototype(), lib).expect("prototype");
 
     // Load a module and keep its golden bitstream for scrubbing.
-    sys.install_bitstream(0, uids::SCALER, "s.bit").expect("install");
+    sys.install_bitstream(0, uids::SCALER, "s.bit")
+        .expect("install");
     let golden_bytes = sys.compact_flash_mut().read("s.bit").expect("stored").0;
     let golden_words: Vec<u32> = golden_bytes
         .chunks_exact(4)

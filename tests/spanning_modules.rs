@@ -47,7 +47,9 @@ fn system() -> VapresSystem {
 #[test]
 fn spanning_bitstream_loads_across_two_prrs() {
     let mut sys = system();
-    let bs = sys.bitstream_for_span(&[0, 1], BIG).expect("span generates");
+    let bs = sys
+        .bitstream_for_span(&[0, 1], BIG)
+        .expect("span generates");
     // Twice the frames of a single-PRR bitstream (plus per-column headers).
     let single = sys.bitstream_for(0, BIG).expect("single");
     assert!(bs.len_bytes() > 2 * single.len_bytes() - 1_000);
@@ -87,8 +89,11 @@ fn spanning_module_streams_through_head_prr() {
 #[test]
 fn oversized_module_in_single_prr_is_rejected() {
     let mut sys = system();
-    sys.install_bitstream(0, BIG, "big_single.bit").expect("install");
-    let err = sys.vapres_cf2icap("big_single.bit").expect_err("must refuse");
+    sys.install_bitstream(0, BIG, "big_single.bit")
+        .expect("install");
+    let err = sys
+        .vapres_cf2icap("big_single.bit")
+        .expect_err("must refuse");
     assert_eq!(
         err,
         ApiError::ModuleTooLarge {
@@ -108,7 +113,8 @@ fn reconfiguring_one_member_destroys_the_span() {
     assert_eq!(sys.prr_span(0), vec![0, 1]);
 
     // Load a small module into PRR1: the span dies, PRR0 is empty again.
-    sys.install_bitstream(1, uids::SCALER, "s.bit").expect("install");
+    sys.install_bitstream(1, uids::SCALER, "s.bit")
+        .expect("install");
     sys.vapres_cf2icap("s.bit").expect("load small");
     assert_eq!(sys.prr_loaded_uid(0), None);
     assert_eq!(sys.prr_loaded_uid(1), Some(uids::SCALER));

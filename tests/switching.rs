@@ -25,8 +25,10 @@ fn fig5_system() -> (VapresSystem, SwapSpec) {
     sys.iom_set_input_interval(0, SAMPLE_INTERVAL);
 
     // Application flow: install bitstreams for A (PRR0) and B (PRR1).
-    sys.install_bitstream(0, uids::FIR_A, "fir_a_prr0.bit").unwrap();
-    sys.install_bitstream(1, uids::FIR_B, "fir_b_prr1.bit").unwrap();
+    sys.install_bitstream(0, uids::FIR_A, "fir_a_prr0.bit")
+        .unwrap();
+    sys.install_bitstream(1, uids::FIR_B, "fir_b_prr1.bit")
+        .unwrap();
     // Stage B's bitstream in SDRAM at startup (the paper's fast path).
     sys.vapres_cf2array("fir_b_prr1.bit", "fir_b").unwrap();
 
@@ -107,7 +109,11 @@ fn seamless_swap_preserves_every_sample_and_state() {
         .filter(|(_, w)| !w.end_of_stream)
         .map(|(_, w)| w.data)
         .collect();
-    assert_eq!(data.len(), input.len(), "no sample may be lost or duplicated");
+    assert_eq!(
+        data.len(),
+        input.len(),
+        "no sample may be lost or duplicated"
+    );
     assert_eq!(data, golden_swap_output(&input, eos_pos));
 
     // The switch really moved the modules: A still sits in PRR0, B now
@@ -145,7 +151,8 @@ fn halt_and_swap_interrupts_for_the_full_reconfiguration() {
     let (mut sys, mut spec) = fig5_system();
     // Halt-and-swap reconfigures the active PRR in place; give it a
     // bitstream for PRR0 (node 1).
-    sys.install_bitstream(0, uids::FIR_B, "fir_b_prr0.bit").unwrap();
+    sys.install_bitstream(0, uids::FIR_B, "fir_b_prr0.bit")
+        .unwrap();
     sys.vapres_cf2array("fir_b_prr0.bit", "fir_b_prr0").unwrap();
     spec.source = BitstreamSource::Sdram("fir_b_prr0".into());
 

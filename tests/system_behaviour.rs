@@ -43,7 +43,8 @@ fn dual_iom_pipeline_streams_source_to_sink() {
 #[test]
 fn prr_reset_holds_module_in_reset_state() {
     let mut sys = proto_with_modules();
-    sys.install_bitstream(0, uids::DELTA_ENCODER, "e.bit").expect("install");
+    sys.install_bitstream(0, uids::DELTA_ENCODER, "e.bit")
+        .expect("install");
     sys.vapres_cf2icap("e.bit").expect("load");
     sys.vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))
         .expect("in");
