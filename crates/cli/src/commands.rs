@@ -295,6 +295,44 @@ fn cmd_report_metrics(path: &str, out: &mut dyn Write) -> Result<(), CmdError> {
     }) {
         writeln!(out, "executor tick-redux factor: {redux:.1}x")?;
     }
+
+    // Latency distributions: p50/p95/p99 bucket upper bounds for every
+    // histogram in the snapshot (ICAP write bursts, word end-to-end
+    // latency, per-stage cycle counts).
+    let mut any_hist = false;
+    for r in &records {
+        if let Record::Histogram {
+            name,
+            labels,
+            bucket_width,
+            counts,
+        } = r
+        {
+            let hist =
+                vapres_sim::stats::Histogram::from_parts(*bucket_width, counts.clone(), None, None);
+            let (Some(p50), Some(p95), Some(p99)) = (
+                hist.percentile(0.50),
+                hist.percentile(0.95),
+                hist.percentile(0.99),
+            ) else {
+                continue;
+            };
+            if !any_hist {
+                writeln!(out, "latency distributions (bucket upper bounds):")?;
+                any_hist = true;
+            }
+            let tag = if labels.is_empty() {
+                name.clone()
+            } else {
+                format!("{name} {}", fmt_labels(labels))
+            };
+            writeln!(
+                out,
+                "  {tag}: n={} p50<={p50} p95<={p95} p99<={p99}",
+                hist.total()
+            )?;
+        }
+    }
     Ok(())
 }
 
@@ -418,10 +456,69 @@ fn stage_by_name(name: &str) -> Result<vapres_core::ModuleUid, CmdError> {
     }
 }
 
+/// Builds the paper's E3 scenario on `sys` (Fig. 5): IOM (node 0) →
+/// FIR A (node 1) → IOM, with FIR B staged in SDRAM. For a seamless
+/// swap the FIR B bitstream targets the spare PRR (node 2); for the
+/// halt-and-swap baseline it targets the active PRR (node 1) so the
+/// module is replaced in place. Returns the ready-to-run swap spec.
+fn setup_e3_swap(
+    sys: &mut vapres_core::system::VapresSystem,
+    halt: bool,
+) -> Result<vapres_core::switching::SwapSpec, CmdError> {
+    use vapres_core::switching::{BitstreamSource, SwapSpec};
+    use vapres_core::{PortRef, Ps};
+    use vapres_modules::uids;
+
+    let core = |e: vapres_core::ApiError| CmdError(e.to_string());
+    sys.install_bitstream(0, uids::FIR_A, "fir_a_prr0.bit")
+        .map_err(core)?;
+    if halt {
+        sys.install_bitstream(0, uids::FIR_B, "fir_b_prr0.bit")
+            .map_err(core)?;
+        sys.vapres_cf2array("fir_b_prr0.bit", "fir_b")
+            .map_err(core)?;
+    } else {
+        sys.install_bitstream(1, uids::FIR_B, "fir_b_prr1.bit")
+            .map_err(core)?;
+        sys.vapres_cf2array("fir_b_prr1.bit", "fir_b")
+            .map_err(core)?;
+    }
+    sys.vapres_cf2icap("fir_a_prr0.bit").map_err(core)?;
+    let upstream = sys
+        .vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))
+        .map_err(core)?;
+    let downstream = sys
+        .vapres_establish_channel(PortRef::new(1, 0), PortRef::new(0, 0))
+        .map_err(core)?;
+    sys.bring_up_node(0, false).map_err(core)?;
+    sys.bring_up_node(1, false).map_err(core)?;
+    Ok(SwapSpec {
+        active_node: 1,
+        spare_node: 2,
+        source: BitstreamSource::Sdram("fir_b".into()),
+        upstream,
+        downstream,
+        clk_sel: false,
+        timeout: Ps::from_ms(10),
+    })
+}
+
+/// Writes the system's flight ring to `path` as JSON Lines.
+fn write_flight_dump(
+    sys: &mut vapres_core::system::VapresSystem,
+    path: &str,
+) -> Result<(), CmdError> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    sys.dump_flight_jsonl(&mut file)?;
+    file.flush()?;
+    Ok(())
+}
+
 /// `vapres sim [--stages scaler,avg] [--samples N] [--interval CYCLES]
 /// [--stats yes] [--vcd out.vcd] [--swap yes] [--metrics out.jsonl]
-/// [--trace-json out.json] [--prom out.prom]` — deploy a kernel pipeline
-/// on the prototype system, stream samples through it on the
+/// [--trace-json out.json] [--prom out.prom] [--trace-words N]
+/// [--flight-dump out.jsonl] [--fail-swap yes]` — deploy a kernel
+/// pipeline on the prototype system, stream samples through it on the
 /// event-driven executor, and report throughput (plus executor work
 /// counters and a VCD waveform dump on request).
 ///
@@ -430,14 +527,22 @@ fn stage_by_name(name: &str) -> Result<vapres_core::ModuleUid, CmdError> {
 /// then the nine-step seamless swap hands the stream over. The metrics
 /// flags enable the telemetry registry and export a snapshot (JSON
 /// lines), a chrome://tracing timeline, and Prometheus-style text.
+///
+/// `--trace-words N` tags every Nth streamed word with a provenance
+/// sequence ID and reports end-to-end latency percentiles;
+/// `--flight-dump` arms the always-on flight recorder and writes its
+/// ring to the given path — on a swap failure or panic the dump happens
+/// before the error propagates, so the tail of the ring is the causal
+/// trail into the failure. `--fail-swap yes` (with `--swap yes`) points
+/// the swap at a missing SDRAM array to demonstrate exactly that.
 pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     use vapres_core::config::SystemConfig;
     use vapres_core::module::ModuleLibrary;
-    use vapres_core::switching::{seamless_swap, BitstreamSource, SwapSpec};
+    use vapres_core::switching::{seamless_swap, BitstreamSource};
     use vapres_core::system::VapresSystem;
-    use vapres_core::{PortRef, Ps};
+    use vapres_core::Ps;
     use vapres_kpn::{deploy, map_pipeline, Pipeline};
-    use vapres_modules::{register_standard_modules, uids};
+    use vapres_modules::register_standard_modules;
 
     let swap = args.get_or("swap", "no") == "yes";
     let samples: u32 = args.get_num("samples", if swap { 20_000 } else { 1_000 })?;
@@ -445,6 +550,8 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     if interval == 0 {
         return Err(CmdError("--interval must be >= 1".into()));
     }
+    let trace_words: u32 = args.get_num("trace-words", 0u32)?;
+    let flight_path = args.get("flight-dump");
     let stages = args
         .get_or("stages", "scaler")
         .split(',')
@@ -464,40 +571,47 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     if want_metrics {
         sys.enable_telemetry();
     }
+    if trace_words > 0 {
+        sys.enable_word_trace(trace_words);
+    }
+    if flight_path.is_some() {
+        sys.enable_flight_recorder(vapres_sim::flight::DEFAULT_CAPACITY);
+    }
     sys.iom_set_input_interval(0, interval);
 
     if swap {
-        // The E3 scenario (paper Fig. 5): IOM -> FIR A (node 1) -> IOM,
-        // FIR B staged in SDRAM for the spare PRR (node 2).
-        let core = |e: vapres_core::ApiError| CmdError(e.to_string());
-        sys.install_bitstream(0, uids::FIR_A, "fir_a_prr0.bit")
-            .map_err(core)?;
-        sys.install_bitstream(1, uids::FIR_B, "fir_b_prr1.bit")
-            .map_err(core)?;
-        sys.vapres_cf2array("fir_b_prr1.bit", "fir_b")
-            .map_err(core)?;
-        sys.vapres_cf2icap("fir_a_prr0.bit").map_err(core)?;
-        let upstream = sys
-            .vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))
-            .map_err(core)?;
-        let downstream = sys
-            .vapres_establish_channel(PortRef::new(1, 0), PortRef::new(0, 0))
-            .map_err(core)?;
-        sys.bring_up_node(0, false).map_err(core)?;
-        sys.bring_up_node(1, false).map_err(core)?;
+        let mut spec = setup_e3_swap(&mut sys, false)?;
+        if args.get_or("fail-swap", "no") == "yes" {
+            // A deliberately broken source: the swap dies reconfiguring
+            // the spare, exercising the flight-dump-on-failure path.
+            spec.source = BitstreamSource::Sdram("nonexistent".into());
+        }
 
         sys.iom_feed(0, 0..samples);
         sys.run_for(Ps::from_ms(1));
-        let spec = SwapSpec {
-            active_node: 1,
-            spare_node: 2,
-            source: BitstreamSource::Sdram("fir_b".into()),
-            upstream,
-            downstream,
-            clk_sel: false,
-            timeout: Ps::from_ms(10),
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            seamless_swap(&mut sys, &spec)
+        }));
+        let swapped = match caught {
+            Ok(r) => r,
+            Err(panic) => {
+                // Flush the causal trail before the panic continues up.
+                if let Some(path) = flight_path {
+                    let _ = write_flight_dump(&mut sys, path);
+                }
+                std::panic::resume_unwind(panic);
+            }
         };
-        let report = seamless_swap(&mut sys, &spec).map_err(|e| CmdError(e.to_string()))?;
+        let report = match swapped {
+            Ok(r) => r,
+            Err(e) => {
+                if let Some(path) = flight_path {
+                    write_flight_dump(&mut sys, path)?;
+                    writeln!(out, "wrote {path}: flight ring at failure")?;
+                }
+                return Err(CmdError(format!("swap failed: {e}")));
+            }
+        };
         let done = sys.run_until(Ps::from_ms(300), |s| s.iom_pending_input(0) == 0);
         if !done {
             return Err(CmdError(
@@ -542,6 +656,43 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     }
     if let Some(gap) = sys.iom_gap(0).max_gap() {
         writeln!(out, "max gap    : {gap}")?;
+    }
+
+    if trace_words > 0 {
+        // Harvest latencies into the telemetry registry (if enabled) and
+        // print the end-to-end percentiles directly from the trace.
+        if want_metrics {
+            let _ = sys.snapshot_metrics();
+        }
+        let tr = sys.word_trace().expect("word trace was enabled above");
+        let tagged = tr.tagged();
+        let completed = tr.completed();
+        let mut hist = vapres_sim::stats::Histogram::new(250_000, 64);
+        for lat in tr.latencies_ps() {
+            hist.add(lat);
+        }
+        write!(out, "word trace : {tagged} tagged, {completed} completed")?;
+        if let (Some(p50), Some(p95), Some(p99)) = (
+            hist.percentile(0.50),
+            hist.percentile(0.95),
+            hist.percentile(0.99),
+        ) {
+            write!(
+                out,
+                "; e2e latency p50<={} p95<={} p99<={} max={}",
+                Ps::new(p50),
+                Ps::new(p95),
+                Ps::new(p99),
+                Ps::new(hist.max().unwrap_or(0)),
+            )?;
+        }
+        writeln!(out)?;
+    }
+
+    if let Some(path) = flight_path {
+        write_flight_dump(&mut sys, path)?;
+        let n = sys.flight().map_or(0, |f| f.events().count());
+        writeln!(out, "wrote {path}: flight ring ({n} events)")?;
     }
 
     if args.get_or("stats", "no") == "yes" {
@@ -601,6 +752,81 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     Ok(())
 }
 
+/// `vapres health [--halt yes] [--samples N] [--interval CYCLES]
+/// [--flight-dump out.jsonl]` — run the paper's E3 swap scenario under
+/// the watchdog and print a monitor-by-monitor health report.
+///
+/// The default (seamless swap) passes every monitor: zero missed sample
+/// slots, bounded FIFO occupancy, swap phases within budget. `--halt
+/// yes` runs the halt-and-swap baseline instead, which breaches the
+/// stream-interruption monitors — the command then exits non-zero, so
+/// it doubles as a regression gate for seamlessness.
+pub fn cmd_health(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    use vapres_core::config::SystemConfig;
+    use vapres_core::module::ModuleLibrary;
+    use vapres_core::switching::{halt_and_swap, seamless_swap};
+    use vapres_core::system::VapresSystem;
+    use vapres_core::{evaluate_health, HealthPolicy, Ps};
+    use vapres_modules::register_standard_modules;
+
+    let halt = args.get_or("halt", "no") == "yes";
+    let samples: u32 = args.get_num("samples", 20_000u32)?;
+    let interval: u64 = args.get_num("interval", 500u64)?;
+    if interval == 0 {
+        return Err(CmdError("--interval must be >= 1".into()));
+    }
+
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    let mut sys =
+        VapresSystem::new(SystemConfig::prototype(), lib).map_err(|e| CmdError(e.to_string()))?;
+    sys.enable_telemetry();
+    sys.enable_flight_recorder(vapres_sim::flight::DEFAULT_CAPACITY);
+    sys.iom_set_input_interval(0, interval);
+    let spec = setup_e3_swap(&mut sys, halt)?;
+
+    sys.iom_feed(0, 0..samples);
+    sys.run_for(Ps::from_ms(1));
+    let method = if halt {
+        "halt-and-swap"
+    } else {
+        "seamless swap"
+    };
+    let report = if halt {
+        halt_and_swap(&mut sys, &spec)
+    } else {
+        seamless_swap(&mut sys, &spec)
+    }
+    .map_err(|e| CmdError(e.to_string()))?;
+    let done = sys.run_until(Ps::from_ms(300), |s| s.iom_pending_input(0) == 0);
+    if !done {
+        return Err(CmdError(
+            "swap scenario stalled before consuming input".into(),
+        ));
+    }
+    sys.run_for(Ps::from_us(100));
+
+    writeln!(
+        out,
+        "scenario: E3 ({method}, {samples} samples, 1 per {interval} cycles)"
+    )?;
+    let health = evaluate_health(&mut sys, &HealthPolicy::e3_seamless(), Some(&report));
+    health.write_text(out)?;
+    if let Some(path) = args.get("flight-dump") {
+        write_flight_dump(&mut sys, path)?;
+        writeln!(out, "wrote {path}: flight ring")?;
+    }
+    if health.healthy() {
+        Ok(())
+    } else {
+        Err(CmdError(format!(
+            "health check failed: {} of {} monitors breached",
+            health.breaches().count(),
+            health.verdicts().len()
+        )))
+    }
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "vapres — VAPRES (DATE 2010) design tools\n\
@@ -615,8 +841,11 @@ pub fn usage() -> &'static str {
      \x20 bitinfo        <file.bit>\n\
      \x20 reconfig-time  --bytes N | --rect C0:C1:R0:R1 [--device D]\n\
      \x20 sim            [--stages scaler,avg] [--samples N] [--interval CYCLES]\n\
-     \x20                [--stats yes] [--vcd out.vcd] [--swap yes]\n\
+     \x20                [--stats yes] [--vcd out.vcd] [--swap yes] [--fail-swap yes]\n\
      \x20                [--metrics out.jsonl] [--trace-json out.json] [--prom out.prom]\n\
+     \x20                [--trace-words N] [--flight-dump out.jsonl]\n\
+     \x20 health         [--halt yes] [--samples N] [--interval CYCLES]\n\
+     \x20                [--flight-dump out.jsonl]   (exit 1 on breach)\n\
      \n\
      devices: lx25 (default) | lx60 | lx100\n\
      stages : passthrough | scaler | delta-enc | delta-dec | avg | fir-a | fir-b\n"
@@ -637,6 +866,7 @@ pub fn dispatch(subcommand: &str, args: &Args, out: &mut dyn Write) -> Result<()
         "bitinfo" => cmd_bitinfo(args, out),
         "reconfig-time" => cmd_reconfig_time(args, out),
         "sim" => cmd_sim(args, out),
+        "health" => cmd_health(args, out),
         other => Err(CmdError(format!(
             "unknown subcommand {other:?}\n\n{}",
             usage()
@@ -809,6 +1039,118 @@ mod tests {
 
         std::fs::remove_file(&jsonl).ok();
         std::fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn sim_trace_words_reports_latency_percentiles() {
+        let text = run(
+            "sim",
+            &["--swap", "yes", "--samples", "2000", "--trace-words", "10"],
+        )
+        .unwrap();
+        assert!(
+            text.contains("word trace : 200 tagged, 200 completed"),
+            "{text}"
+        );
+        assert!(text.contains("e2e latency p50<="), "{text}");
+        assert!(text.contains("p99<="), "{text}");
+    }
+
+    #[test]
+    fn sim_failed_swap_dumps_flight_ring_with_failing_step() {
+        let dir = std::env::temp_dir().join("vapres_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("flight_fail.jsonl");
+        let dump_s = dump.to_str().unwrap();
+        let err = run(
+            "sim",
+            &[
+                "--swap",
+                "yes",
+                "--samples",
+                "2000",
+                "--fail-swap",
+                "yes",
+                "--flight-dump",
+                dump_s,
+            ],
+        )
+        .unwrap_err();
+        assert!(err.0.contains("swap failed"), "{}", err.0);
+        let trail = std::fs::read_to_string(&dump).unwrap();
+        assert!(trail.contains("swap_failed"), "{trail}");
+        assert!(trail.contains("2_reconfigure_spare"), "{trail}");
+        std::fs::remove_file(&dump).ok();
+    }
+
+    #[test]
+    fn sim_successful_swap_dumps_flight_ring() {
+        let dir = std::env::temp_dir().join("vapres_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dump = dir.join("flight_ok.jsonl");
+        let dump_s = dump.to_str().unwrap();
+        let text = run(
+            "sim",
+            &[
+                "--swap",
+                "yes",
+                "--samples",
+                "2000",
+                "--flight-dump",
+                dump_s,
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("flight ring"), "{text}");
+        let trail = std::fs::read_to_string(&dump).unwrap();
+        // The successful swap's step transitions are in the ring.
+        assert!(trail.contains("swap_step"), "{trail}");
+        assert!(trail.contains("9_reconnect_downstream"), "{trail}");
+        assert!(!trail.contains("swap_failed"), "{trail}");
+        std::fs::remove_file(&dump).ok();
+    }
+
+    #[test]
+    fn health_seamless_passes_all_monitors() {
+        let text = run("health", &["--samples", "2000"]).unwrap();
+        assert!(text.contains("seamless swap"), "{text}");
+        assert!(text.contains("[PASS] swap_reconfig_ps"), "{text}");
+        assert!(text.contains("[PASS] iom0_missed_slots"), "{text}");
+        assert!(text.contains("overall: HEALTHY"), "{text}");
+    }
+
+    #[test]
+    fn health_halt_swap_breaches_and_exits_nonzero() {
+        let err = run("health", &["--halt", "yes", "--samples", "2000"]).unwrap_err();
+        assert!(err.0.contains("health check failed"), "{}", err.0);
+    }
+
+    #[test]
+    fn report_metrics_prints_histogram_percentiles() {
+        let dir = std::env::temp_dir().join("vapres_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("hist.jsonl");
+        let jsonl_s = jsonl.to_str().unwrap();
+        run(
+            "sim",
+            &[
+                "--swap",
+                "yes",
+                "--samples",
+                "2000",
+                "--trace-words",
+                "10",
+                "--metrics",
+                jsonl_s,
+            ],
+        )
+        .unwrap();
+        let report = run("report", &["--metrics", jsonl_s]).unwrap();
+        assert!(report.contains("latency distributions"), "{report}");
+        assert!(report.contains("icap_write_cycles"), "{report}");
+        assert!(report.contains("word_e2e_latency_ps"), "{report}");
+        assert!(report.contains("word_stage_cycles stage=hop"), "{report}");
+        std::fs::remove_file(&jsonl).ok();
     }
 
     #[test]

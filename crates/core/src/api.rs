@@ -15,6 +15,7 @@ use vapres_bitstream::storage::StorageError;
 use vapres_bitstream::stream::{self, ModuleUid, ParseError, PartialBitstream};
 use vapres_bitstream::timing;
 use vapres_fabric::geometry::GeometryError;
+use vapres_sim::flight::FlightEvent;
 use vapres_sim::time::Ps;
 use vapres_stream::fabric::{ChannelId, PortRef, RouteError};
 use vapres_stream::word::Word;
@@ -171,6 +172,7 @@ impl VapresSystem {
             let c = t.counter("dcr_write_total", &[("node", node.to_string())]);
             t.inc(c, 1);
         }
+        self.flight_note(FlightEvent::DcrWrite { node: node as u32 });
         self.charge_cycles(costs::DCR_WRITE_CYCLES);
 
         if dcr.fifo_reset {
@@ -214,6 +216,7 @@ impl VapresSystem {
             let c = t.counter("dcr_read_total", &[("node", node.to_string())]);
             t.inc(c, 1);
         }
+        self.flight_note(FlightEvent::DcrRead { node: node as u32 });
         self.charge_cycles(costs::DCR_READ_CYCLES);
         Ok(self.sockets[node].dcr)
     }
@@ -332,6 +335,11 @@ impl VapresSystem {
             .channel_info(ch)
             .map(|i| i.hops as u64)
             .unwrap_or(0);
+        self.flight_note(FlightEvent::RouteEstablished {
+            channel: ch.0 as u32,
+            producer_node: producer.node as u32,
+            consumer_node: consumer.node as u32,
+        });
         self.charge_cycles(costs::ESTABLISH_BASE_CYCLES + hops * costs::ESTABLISH_PER_HOP_CYCLES);
         self.refresh_mux_sel();
         Ok(ch)
@@ -358,6 +366,9 @@ impl VapresSystem {
             .map(|i| i.hops as u64)
             .unwrap_or(0);
         self.fabric.release_channel(channel)?;
+        self.flight_note(FlightEvent::RouteReleased {
+            channel: channel.0 as u32,
+        });
         self.charge_cycles(
             costs::ESTABLISH_BASE_CYCLES / 2 + hops * costs::ESTABLISH_PER_HOP_CYCLES,
         );
@@ -481,6 +492,9 @@ impl VapresSystem {
             t.observe(h, cycles);
         }
         let write = self.icap.write_stream(&words)?;
+        self.flight_note(FlightEvent::IcapWrite {
+            words: words.len() as u64,
+        });
 
         let module = self
             .library

@@ -1,0 +1,236 @@
+//! Watchdog health evaluation: system-aware monitor policy over the
+//! metrics the simulator already measures.
+//!
+//! The `vapres-sim` watchdog layer provides the mechanism — a
+//! [`Monitor`] is a dumb named limit, a [`HealthReport`] a set of
+//! verdicts. This module owns the *policy*: which quantities of a
+//! [`VapresSystem`] to monitor and with which budgets. A
+//! [`HealthPolicy`] declares the budgets; [`evaluate_health`] reads the
+//! system (swap report, fabric FIFO high-water and backpressure
+//! counters, per-IOM gap trackers) and folds one verdict per monitor
+//! into a report. Every breach also drops a `DeadlineBreach` event into
+//! the flight recorder, so a failing health check leaves a causal trail
+//! next to the events that caused it.
+
+use crate::switching::SwapReport;
+use crate::system::VapresSystem;
+use vapres_sim::flight::FlightEvent;
+use vapres_sim::time::Ps;
+use vapres_sim::watchdog::{HealthReport, Monitor};
+use vapres_stream::fabric::PortRef;
+
+/// Declarative budgets for one health evaluation.
+///
+/// All limits are inclusive (`observed <= limit` is healthy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthPolicy {
+    /// Budget for the swap's reconfiguration phase (bitstream transfer +
+    /// ICAP write).
+    pub reconfig_budget: Ps,
+    /// Budget for the handoff tail of a swap: everything after the
+    /// upstream reroute (state transfer, EOS, downstream reconnect).
+    pub handoff_budget: Ps,
+    /// Worst-case interface-FIFO occupancy allowed anywhere in the
+    /// fabric (a full FIFO means the stream backed up).
+    pub fifo_high_water_max: usize,
+    /// Allowed fraction of fabric ticks any live channel spent
+    /// backpressured (consumer FIFO full).
+    pub backpressure_ratio_max: f64,
+    /// Allowed whole sample slots in which an IOM emitted no word — the
+    /// paper's stream-interruption count (0 = seamless).
+    pub missed_slots_max: u64,
+    /// Allowed cumulative output delay beyond the nominal sample
+    /// cadence, per IOM.
+    pub excess_gap_max: Ps,
+}
+
+impl HealthPolicy {
+    /// Budgets for the paper's E3 experiment (seamless swap during a
+    /// 100 ms stream at a 5 µs sample cadence): the ~72 ms SDRAM
+    /// reconfiguration fits an 80 ms budget, the handoff must finish in
+    /// 1 ms, and the stream must never miss a slot.
+    pub fn e3_seamless() -> Self {
+        HealthPolicy {
+            reconfig_budget: Ps::from_ms(80),
+            handoff_budget: Ps::from_ms(1),
+            fifo_high_water_max: 256,
+            backpressure_ratio_max: 0.05,
+            missed_slots_max: 0,
+            excess_gap_max: Ps::from_us(50),
+        }
+    }
+}
+
+/// Notes a breach into the flight recorder under a static category name
+/// (the per-instance detail lives in the report's verdict).
+fn note_breach(sys: &mut VapresSystem, monitor: &'static str) {
+    sys.flight_note(FlightEvent::DeadlineBreach { monitor });
+}
+
+/// Evaluates `policy` against the system's current state, plus the
+/// deadline monitors for `swap` when a swap report is supplied.
+///
+/// Monitors evaluated:
+///
+/// * `swap_reconfig_ps` / `swap_handoff_ps` — swap phase deadlines
+///   (only with a [`SwapReport`]);
+/// * `fifo_high_water` — worst interface-FIFO occupancy across every
+///   node and side;
+/// * `backpressure_ratio` — worst per-channel fraction of fabric ticks
+///   spent backpressured;
+/// * `iom<N>_missed_slots` / `iom<N>_excess_gap_ps` — per-IOM
+///   stream-interruption SLO from the gap tracker.
+pub fn evaluate_health(
+    sys: &mut VapresSystem,
+    policy: &HealthPolicy,
+    swap: Option<&SwapReport>,
+) -> HealthReport {
+    let mut report = HealthReport::new();
+
+    if let Some(s) = swap {
+        let reconfig = s.reconfig.total().as_ps() as f64;
+        if !report.observe(
+            Monitor::at_most(
+                "swap_reconfig_ps",
+                policy.reconfig_budget.as_ps() as f64,
+                "ps",
+            ),
+            reconfig,
+        ) {
+            note_breach(sys, "swap_reconfig_ps");
+        }
+        let handoff = (s.completed_at - s.rerouted_at).as_ps() as f64;
+        if !report.observe(
+            Monitor::at_most(
+                "swap_handoff_ps",
+                policy.handoff_budget.as_ps() as f64,
+                "ps",
+            ),
+            handoff,
+        ) {
+            note_breach(sys, "swap_handoff_ps");
+        }
+    }
+
+    let params = sys.config().params;
+    let mut high_water = 0usize;
+    for node in 0..params.nodes {
+        for port in 0..params.ko {
+            if let Ok(hw) = sys.fabric().producer_high_water(PortRef::new(node, port)) {
+                high_water = high_water.max(hw);
+            }
+        }
+        for port in 0..params.ki {
+            if let Ok(hw) = sys.fabric().consumer_high_water(PortRef::new(node, port)) {
+                high_water = high_water.max(hw);
+            }
+        }
+    }
+    if !report.observe(
+        Monitor::at_most(
+            "fifo_high_water",
+            policy.fifo_high_water_max as f64,
+            "words",
+        ),
+        high_water as f64,
+    ) {
+        note_breach(sys, "fifo_high_water");
+    }
+
+    let ticks = sys.fabric().ticks();
+    let mut worst_ratio = 0.0f64;
+    for id in sys.fabric().active_channels() {
+        if let Some(info) = sys.fabric().channel_info(id) {
+            if ticks > 0 {
+                worst_ratio = worst_ratio.max(info.backpressure_cycles as f64 / ticks as f64);
+            }
+        }
+    }
+    if !report.observe(
+        Monitor::at_most(
+            "backpressure_ratio",
+            policy.backpressure_ratio_max,
+            "fraction",
+        ),
+        worst_ratio,
+    ) {
+        note_breach(sys, "backpressure_ratio");
+    }
+
+    for i in 0..sys.iom_count() {
+        let gap = sys.iom_gap(i);
+        let missed = gap.missed_slots() as f64;
+        let excess = gap.excess_gap().as_ps() as f64;
+        if !report.observe(
+            Monitor::at_most(
+                format!("iom{i}_missed_slots"),
+                policy.missed_slots_max as f64,
+                "slots",
+            ),
+            missed,
+        ) {
+            note_breach(sys, "missed_slots");
+        }
+        if !report.observe(
+            Monitor::at_most(
+                format!("iom{i}_excess_gap_ps"),
+                policy.excess_gap_max.as_ps() as f64,
+                "ps",
+            ),
+            excess,
+        ) {
+            note_breach(sys, "excess_gap");
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::module::ModuleLibrary;
+
+    #[test]
+    fn idle_system_is_healthy() {
+        let mut sys = VapresSystem::new(SystemConfig::prototype(), ModuleLibrary::new()).unwrap();
+        sys.run_for(Ps::from_us(1));
+        let report = evaluate_health(&mut sys, &HealthPolicy::e3_seamless(), None);
+        assert!(report.healthy(), "idle system breached: {report:?}");
+        // No swap report → no deadline monitors, but fabric + IOM
+        // monitors are always present.
+        assert!(report.verdicts().len() >= 2);
+    }
+
+    #[test]
+    fn breaches_are_recorded_in_the_flight_ring() {
+        let mut sys = VapresSystem::new(SystemConfig::prototype(), ModuleLibrary::new()).unwrap();
+        sys.enable_flight_recorder(64);
+        let strict = HealthPolicy {
+            // Impossible budget: any observed occupancy is a breach only
+            // if > limit, so force with a negative-like zero + feed.
+            fifo_high_water_max: 0,
+            ..HealthPolicy::e3_seamless()
+        };
+        // Put a word into a producer FIFO so high-water is 1 > 0.
+        sys.iom_feed(0, [1, 2, 3]);
+        sys.run_for(Ps::from_us(1));
+        let report = evaluate_health(&mut sys, &strict, None);
+        assert!(!report.healthy());
+        let dumped: Vec<_> = sys
+            .flight()
+            .expect("armed")
+            .events()
+            .filter(|e| {
+                matches!(
+                    e.event,
+                    FlightEvent::DeadlineBreach {
+                        monitor: "fifo_high_water"
+                    }
+                )
+            })
+            .collect();
+        assert_eq!(dumped.len(), 1);
+    }
+}

@@ -21,6 +21,9 @@
 //!   `vapres_establish_channel`, …) with software cycle costs;
 //! * [`switching`] — the nine-step seamless module swap (Fig. 5) and the
 //!   halt-and-swap baseline;
+//! * [`health`] — watchdog policy: declarative budgets over swap
+//!   deadlines, FIFO occupancy, and stream-interruption SLOs, folded
+//!   into a structured health report;
 //! * [`costs`] — MicroBlaze cycle costs of control operations.
 //!
 //! # Examples
@@ -42,6 +45,7 @@ pub mod adaptive;
 pub mod api;
 pub mod config;
 pub mod costs;
+pub mod health;
 pub mod module;
 pub mod multirsb;
 pub mod placement;
@@ -52,6 +56,7 @@ pub mod system;
 pub use adaptive::{AdaptiveController, HysteresisPolicy, SwapPolicy};
 pub use api::{ApiError, ReconfigReport};
 pub use config::{NodeKind, SystemConfig};
+pub use health::{evaluate_health, HealthPolicy};
 pub use module::{HardwareModule, ModuleIo, ModuleLibrary};
 pub use multirsb::MultiRsbSystem;
 pub use placement::{PlacementManager, PlacementStats};

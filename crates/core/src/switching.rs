@@ -18,6 +18,7 @@ use crate::api::{ApiError, ReconfigReport};
 use crate::module::control;
 use crate::system::VapresSystem;
 use std::fmt;
+use vapres_sim::flight::FlightEvent;
 use vapres_sim::time::Ps;
 use vapres_stream::fabric::{ChannelId, PortRef};
 
@@ -190,6 +191,22 @@ fn record_swap_steps(sys: &mut VapresSystem, name: &'static str, steps: &[(&'sta
     }
 }
 
+/// Marks entry into a swap step: updates the caller's current-step
+/// tracker (so a failure knows which step it died in) and drops a
+/// breadcrumb into the flight recorder.
+fn enter_step(
+    sys: &mut VapresSystem,
+    method: &'static str,
+    step: &mut &'static str,
+    label: &'static str,
+) {
+    *step = label;
+    sys.flight_note(FlightEvent::SwapStep {
+        method,
+        step: label,
+    });
+}
+
 /// Runs the paper's nine-step seamless module swap.
 ///
 /// Preconditions: the active module is streaming via `spec.upstream` and
@@ -202,7 +219,24 @@ fn record_swap_steps(sys: &mut VapresSystem, name: &'static str, steps: &[(&'sta
 /// Any [`SwapError`]; the system may be left mid-swap on error (as on the
 /// real system — recovery policy belongs to the application).
 pub fn seamless_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapReport, SwapError> {
+    let mut step = "1_resolve_endpoints";
+    let res = seamless_swap_inner(sys, spec, &mut step);
+    if res.is_err() {
+        sys.flight_note(FlightEvent::SwapFailed {
+            method: "seamless",
+            step,
+        });
+    }
+    res
+}
+
+fn seamless_swap_inner(
+    sys: &mut VapresSystem,
+    spec: &SwapSpec,
+    step: &mut &'static str,
+) -> Result<SwapReport, SwapError> {
     let started_at = sys.now();
+    enter_step(sys, "seamless", step, "1_resolve_endpoints");
     let downstream_info = sys
         .fabric()
         .channel_info(spec.downstream)
@@ -213,6 +247,7 @@ pub fn seamless_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
     let m1 = sys.now();
 
     // Step 3: reconfigure the spare PRR while the active module streams.
+    enter_step(sys, "seamless", step, "2_reconfigure_spare");
     let reconfig = match &spec.source {
         BitstreamSource::CompactFlash(f) => sys.vapres_cf2icap(f)?,
         BitstreamSource::Sdram(a) => sys.vapres_array2icap(a)?,
@@ -221,6 +256,7 @@ pub fn seamless_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
 
     // Bring the spare's interfaces up but keep its clock gated: data can
     // buffer in its consumer FIFO while the old module finishes.
+    enter_step(sys, "seamless", step, "3_bring_up_spare");
     let mut dcr = sys.dcr(spec.spare_node);
     dcr.sm_en = true;
     dcr.fifo_wen = true;
@@ -231,19 +267,23 @@ pub fn seamless_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
     let m3 = sys.now();
 
     // Step 4: re-route the upstream channel to the spare, losslessly.
+    enter_step(sys, "seamless", step, "4_reroute_upstream");
     let (src_producer, _old_consumer) = drain_and_release(sys, spec.upstream)?;
     sys.vapres_establish_channel(src_producer, PortRef::new(spec.spare_node, 0))?;
     let rerouted_at = sys.now();
 
     // Step 5–6: tell the old module to finish; it drains its FIFO, emits
     // the end-of-stream word downstream, and ships its state registers.
+    enter_step(sys, "seamless", step, "5_command_finish");
     sys.vapres_module_write(spec.active_node, control::CMD_FINISH)?;
     let m5 = sys.now();
+    enter_step(sys, "seamless", step, "6_collect_state");
     let state = collect_state(sys, spec.active_node, spec.timeout)?;
     let m6 = sys.now();
 
     // Step 7: initialize the new module with the old module's state, then
     // start its clock.
+    enter_step(sys, "seamless", step, "7_load_state");
     sys.vapres_module_write(spec.spare_node, control::CMD_LOAD_STATE)?;
     sys.vapres_module_write(spec.spare_node, state.len() as u32)?;
     for w in &state {
@@ -253,10 +293,12 @@ pub fn seamless_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
     let m7 = sys.now();
 
     // Step 8: the IOM reports the end-of-stream word.
+    enter_step(sys, "seamless", step, "8_await_eos");
     await_eos(sys, sink.node, spec.timeout)?;
     let eos_at = sys.now();
 
     // Step 9: connect the new module's producer to the sink.
+    enter_step(sys, "seamless", step, "9_reconnect_downstream");
     sys.vapres_release_channel(spec.downstream)?;
     sys.vapres_establish_channel(PortRef::new(spec.spare_node, 0), sink)?;
     let completed_at = sys.now();
@@ -304,7 +346,24 @@ pub fn seamless_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
 ///
 /// Any [`SwapError`].
 pub fn halt_and_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapReport, SwapError> {
+    let mut step = "1_resolve_endpoints";
+    let res = halt_and_swap_inner(sys, spec, &mut step);
+    if res.is_err() {
+        sys.flight_note(FlightEvent::SwapFailed {
+            method: "halt",
+            step,
+        });
+    }
+    res
+}
+
+fn halt_and_swap_inner(
+    sys: &mut VapresSystem,
+    spec: &SwapSpec,
+    step: &mut &'static str,
+) -> Result<SwapReport, SwapError> {
     let started_at = sys.now();
+    enter_step(sys, "halt", step, "1_resolve_endpoints");
     let downstream_info = sys
         .fabric()
         .channel_info(spec.downstream)
@@ -314,6 +373,7 @@ pub fn halt_and_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
 
     // Drain the old module: stop upstream flow, let it finish, capture
     // state, wait for EOS to clear the downstream path.
+    enter_step(sys, "halt", step, "2_halt_upstream");
     let (src_producer, _) = drain_and_release(sys, spec.upstream)?;
     // Pause the source completely while the PRR is down.
     let mut dcr = sys.dcr(src_producer.node);
@@ -321,6 +381,7 @@ pub fn halt_and_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
     sys.write_dcr(src_producer.node, dcr)?;
     let m2 = sys.now();
 
+    enter_step(sys, "halt", step, "3_collect_state");
     sys.vapres_module_write(spec.active_node, control::CMD_FINISH)?;
     let state = collect_state(sys, spec.active_node, spec.timeout)?;
     let m3 = sys.now();
@@ -329,6 +390,7 @@ pub fn halt_and_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
     sys.vapres_release_channel(spec.downstream)?;
 
     // Isolate and reconfigure the same PRR — the stream is fully halted.
+    enter_step(sys, "halt", step, "4_drain_and_reconfigure");
     sys.isolate_node(spec.active_node)?;
     let reconfig = match &spec.source {
         BitstreamSource::CompactFlash(f) => sys.vapres_cf2icap(f)?,
@@ -337,6 +399,7 @@ pub fn halt_and_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
     let m4 = sys.now();
 
     // Bring the new module up with restored state.
+    enter_step(sys, "halt", step, "5_load_state");
     let mut dcr = sys.dcr(spec.active_node);
     dcr.sm_en = true;
     dcr.fifo_wen = true;
@@ -353,6 +416,7 @@ pub fn halt_and_swap(sys: &mut VapresSystem, spec: &SwapSpec) -> Result<SwapRepo
     let rerouted_at = sys.now();
 
     // Re-establish both channels and resume the source.
+    enter_step(sys, "halt", step, "6_reconnect");
     sys.vapres_establish_channel(src_producer, PortRef::new(spec.active_node, 0))?;
     sys.vapres_establish_channel(PortRef::new(spec.active_node, 0), sink)?;
     let mut dcr = sys.dcr(src_producer.node);

@@ -22,11 +22,12 @@ use vapres_fabric::clocking::Bufgmux;
 use vapres_fabric::frame::FrameAddress;
 use vapres_sim::clock::{ClockScheduler, DomainId, Edge};
 use vapres_sim::exec::{Activity, ComponentId, ExecStats, Executor};
+use vapres_sim::flight::{FifoEdgeKind, FifoSide, FlightEvent, FlightRecorder};
 use vapres_sim::stats::GapTracker;
 use vapres_sim::telemetry::Telemetry;
 use vapres_sim::time::Ps;
 use vapres_sim::trace::{SignalId, Tracer};
-use vapres_stream::fabric::{PortRef, StreamFabric};
+use vapres_stream::fabric::{FifoEdge, PortRef, StreamFabric};
 use vapres_stream::fifo::AsyncFifo;
 use vapres_stream::word::Word;
 
@@ -99,6 +100,99 @@ impl IomState {
             input_interval: 1,
             next_inject_cycle: 0,
         }
+    }
+}
+
+/// Per-word provenance capture: a configurable sample of injected words
+/// is tagged with sequence IDs at the producer IOM, and the tag follows
+/// the word through every fabric stage (the stream layer's `WordTap`
+/// times the stages) until the consumer IOM emits it on external pins.
+/// This struct owns the end-to-end half: the accept timestamp (external
+/// input → producer FIFO) and the emit timestamp (consumer FIFO →
+/// external output) per tag.
+#[derive(Debug)]
+pub struct WordTrace {
+    /// Tag every Nth injected data word (1 = every word).
+    sample_every: u32,
+    /// Words injected since the last tag was issued.
+    since_last: u32,
+    /// When each tag's word was accepted into the producer FIFO.
+    accept: Vec<Ps>,
+    /// When each tag's word was emitted on the consumer IOM's pins
+    /// (`None` while still in flight).
+    emit: Vec<Option<Ps>>,
+    /// Tags already folded into telemetry histograms (harvest is
+    /// once-per-tag so repeated snapshots stay idempotent).
+    harvested: Vec<bool>,
+}
+
+impl WordTrace {
+    fn new(sample_every: u32) -> Self {
+        assert!(sample_every > 0, "sample interval must be non-zero");
+        WordTrace {
+            sample_every,
+            since_last: 0,
+            accept: Vec::new(),
+            emit: Vec::new(),
+            harvested: Vec::new(),
+        }
+    }
+
+    /// Called for every injected data word; returns the tag to attach
+    /// when this word is in the sample.
+    fn on_accept(&mut self, at: Ps) -> Option<u32> {
+        self.since_last += 1;
+        if self.since_last < self.sample_every {
+            return None;
+        }
+        self.since_last = 0;
+        let tag = self.accept.len() as u32;
+        self.accept.push(at);
+        self.emit.push(None);
+        self.harvested.push(false);
+        Some(tag)
+    }
+
+    /// Completed-but-not-yet-harvested tags with their end-to-end
+    /// latency (picoseconds), marking each as harvested.
+    fn take_completed(&mut self) -> Vec<(u32, u64)> {
+        let mut out = Vec::new();
+        for (i, done) in self.harvested.iter_mut().enumerate() {
+            if *done {
+                continue;
+            }
+            if let Some(e) = self.emit[i] {
+                *done = true;
+                out.push((i as u32, e.as_ps().saturating_sub(self.accept[i].as_ps())));
+            }
+        }
+        out
+    }
+
+    fn on_emit(&mut self, tag: u32, at: Ps) {
+        if let Some(slot) = self.emit.get_mut(tag as usize) {
+            *slot = Some(at);
+        }
+    }
+
+    /// Tags issued so far.
+    pub fn tagged(&self) -> usize {
+        self.accept.len()
+    }
+
+    /// Tags whose word reached the consumer IOM's external pins.
+    pub fn completed(&self) -> usize {
+        self.emit.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// End-to-end accept→emit latencies (picoseconds) of every completed
+    /// tag, in tag order. In-flight words are excluded.
+    pub fn latencies_ps(&self) -> Vec<u64> {
+        self.accept
+            .iter()
+            .zip(&self.emit)
+            .filter_map(|(&a, e)| e.map(|e| e.as_ps().saturating_sub(a.as_ps())))
+            .collect()
     }
 }
 
@@ -224,6 +318,12 @@ pub struct VapresSystem {
     /// The unified metrics registry; `None` (the default) makes every
     /// instrumentation site a single branch.
     pub(crate) telemetry: Option<Telemetry>,
+    /// The always-on flight recorder; `None` (the default) makes every
+    /// note site a single branch.
+    pub(crate) flight: Option<FlightRecorder>,
+    /// Per-word provenance capture; `None` (the default) leaves the
+    /// fabric's word tap disarmed too.
+    word_trace: Option<WordTrace>,
 }
 
 impl fmt::Debug for VapresSystem {
@@ -328,6 +428,8 @@ impl VapresSystem {
             dense: false,
             trace: None,
             telemetry: None,
+            flight: None,
+            word_trace: None,
             cfg,
         })
     }
@@ -470,6 +572,7 @@ impl VapresSystem {
                 comp_of_node,
                 isolated_writes,
                 trace,
+                word_trace,
                 cfg,
                 ..
             } = self;
@@ -491,6 +594,7 @@ impl VapresSystem {
                         ioms,
                         fabric,
                         fsl,
+                        word_trace,
                         i,
                         edge,
                         period_ps,
@@ -528,6 +632,7 @@ impl VapresSystem {
                     &mut self.ioms,
                     &mut self.fabric,
                     &mut self.fsl,
+                    &mut self.word_trace,
                     i,
                     edge,
                     period_ps,
@@ -606,6 +711,131 @@ impl VapresSystem {
     /// [`snapshot_metrics`](Self::snapshot_metrics).
     pub fn telemetry(&self) -> Option<&Telemetry> {
         self.telemetry.as_ref()
+    }
+
+    /// Arms the always-on flight recorder with a ring of `capacity`
+    /// events and turns on the fabric's FIFO threshold-crossing capture
+    /// that feeds it. Recording is allocation-free once the ring fills;
+    /// dump the tail with [`dump_flight_jsonl`](Self::dump_flight_jsonl)
+    /// when something fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_flight_recorder(&mut self, capacity: usize) {
+        if self.flight.is_none() {
+            self.flight = Some(FlightRecorder::new(capacity));
+            self.fabric.set_event_capture(true);
+        }
+    }
+
+    /// The flight recorder, if armed — with any fabric events the stream
+    /// layer buffered since the last sync folded in first, so the ring
+    /// is current.
+    pub fn flight(&mut self) -> Option<&FlightRecorder> {
+        self.sync_flight_from_fabric();
+        self.flight.as_ref()
+    }
+
+    /// Records one control-plane event into the flight recorder (a
+    /// single branch unless armed). Buffered fabric events are folded in
+    /// first so ring order matches simulated-time order.
+    pub(crate) fn flight_note(&mut self, event: FlightEvent) {
+        if self.flight.is_none() {
+            return;
+        }
+        self.sync_flight_from_fabric();
+        let now = self.clocks.now();
+        if let Some(fr) = self.flight.as_mut() {
+            fr.record(now, event);
+        }
+    }
+
+    /// Folds the fabric's buffered FIFO threshold crossings into the
+    /// flight ring. The fabric stamps them with its tick count; ticks
+    /// land one per static-clock cycle, so the conversion to simulated
+    /// time is exact.
+    fn sync_flight_from_fabric(&mut self) {
+        let Some(fr) = self.flight.as_mut() else {
+            return;
+        };
+        let period = self.cfg.static_clock.period().as_ps();
+        for ev in self.fabric.drain_fifo_events() {
+            let side = if ev.producer {
+                FifoSide::Producer
+            } else {
+                FifoSide::Consumer
+            };
+            let edge = match ev.edge {
+                FifoEdge::BecameFull => FifoEdgeKind::BecameFull,
+                FifoEdge::NoLongerFull => FifoEdgeKind::NoLongerFull,
+                FifoEdge::BecameEmpty => FifoEdgeKind::BecameEmpty,
+                FifoEdge::NoLongerEmpty => FifoEdgeKind::NoLongerEmpty,
+            };
+            fr.record(
+                Ps::new(ev.cycle * period),
+                FlightEvent::FifoEdge {
+                    node: ev.port.node as u32,
+                    port: ev.port.port as u32,
+                    side,
+                    edge,
+                },
+            );
+        }
+    }
+
+    /// Dumps the flight ring as JSON Lines, oldest first. A no-op when
+    /// the recorder was never armed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn dump_flight_jsonl<W: std::io::Write>(&mut self, w: &mut W) -> std::io::Result<()> {
+        self.sync_flight_from_fabric();
+        match &self.flight {
+            Some(fr) => fr.write_jsonl(w),
+            None => Ok(()),
+        }
+    }
+
+    /// Dumps the flight ring as a chrome://tracing instant-event array,
+    /// loadable next to the telemetry span trace. A no-op when the
+    /// recorder was never armed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn dump_flight_chrome_trace<W: std::io::Write>(
+        &mut self,
+        w: &mut W,
+    ) -> std::io::Result<()> {
+        self.sync_flight_from_fabric();
+        match &self.flight {
+            Some(fr) => fr.write_chrome_trace(w),
+            None => Ok(()),
+        }
+    }
+
+    /// Starts per-word provenance tracing: every `sample_every`-th data
+    /// word an IOM injects gets a sequence tag that follows it through
+    /// the fabric (the stream layer times each stage) to the consumer
+    /// IOM's external pins. [`snapshot_metrics`](Self::snapshot_metrics)
+    /// folds the completed traversals into `word_e2e_latency_ps` and
+    /// `word_stage_cycles` histograms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_every` is zero.
+    pub fn enable_word_trace(&mut self, sample_every: u32) {
+        if self.word_trace.is_none() {
+            self.word_trace = Some(WordTrace::new(sample_every));
+            self.fabric.enable_word_tap();
+        }
+    }
+
+    /// The per-word provenance capture, if armed.
+    pub fn word_trace(&self) -> Option<&WordTrace> {
+        self.word_trace.as_ref()
     }
 
     /// Harvests state-derived metrics into the registry and returns it.
@@ -713,6 +943,40 @@ impl VapresSystem {
             set_counter(&mut t, c, iom.gap.missed_slots());
         }
 
+        if let Some(tr) = self.word_trace.as_mut() {
+            // End-to-end accept→emit latency: 250 ns buckets resolve the
+            // normal few-hop path (tens of ns → bucket 0) from reroute
+            // stragglers (µs) while halt-and-swap's ms-scale waits land
+            // in the overflow bound. Each completed tag is folded in
+            // exactly once, so repeated snapshots stay idempotent.
+            let fresh = tr.take_completed();
+            let h = t.histogram("word_e2e_latency_ps", &[], 250_000, 64);
+            for &(_, lat) in &fresh {
+                t.observe(h, lat);
+            }
+            let c = t.counter("word_trace_tagged_total", &[]);
+            set_counter(&mut t, c, tr.tagged() as u64);
+            let c = t.counter("word_trace_completed_total", &[]);
+            set_counter(&mut t, c, tr.completed() as u64);
+            if let Some(tap) = self.fabric.word_tap() {
+                type StagePick = fn(&vapres_stream::fabric::TagStats) -> u64;
+                let per_stage: [(&'static str, StagePick); 3] = [
+                    ("producer_wait", |s| s.producer_wait_cycles),
+                    ("hop", |s| s.hop_cycles),
+                    ("consumer_wait", |s| s.consumer_wait_cycles),
+                ];
+                for (stage, pick) in per_stage {
+                    let h =
+                        t.histogram("word_stage_cycles", &[("stage", stage.to_string())], 4, 64);
+                    for &(tag, _) in &fresh {
+                        if let Some(s) = tap.stats(tag) {
+                            t.observe(h, pick(&s));
+                        }
+                    }
+                }
+            }
+        }
+
         self.telemetry = Some(t);
         self.telemetry.as_ref()
     }
@@ -805,6 +1069,11 @@ impl VapresSystem {
     /// Maps a node index to its IOM index, if the node is an IOM.
     pub fn iom_index(&self, node: usize) -> Option<usize> {
         self.node_iom.get(node).copied().flatten()
+    }
+
+    /// Number of IOMs in the system.
+    pub fn iom_count(&self) -> usize {
+        self.ioms.len()
     }
 
     /// The module UID loaded in PRR `prr`, if any.
@@ -956,6 +1225,7 @@ fn tick_iom(
     ioms: &mut [IomState],
     fabric: &mut StreamFabric,
     fsl: &mut [FslPair],
+    word_trace: &mut Option<WordTrace>,
     idx: usize,
     edge: Edge,
     static_period_ps: u64,
@@ -969,6 +1239,13 @@ fn tick_iom(
     if edge.cycle >= ioms[idx].next_inject_cycle {
         if let Some(&word) = ioms[idx].ext_in.front() {
             if fabric.producer_space(port).unwrap_or(0) > 0 {
+                // Provenance: the accept timestamp is the word's entry
+                // into the fabric's producer FIFO (EOS markers are
+                // control, not stream data — never tagged).
+                let word = match word_trace.as_mut() {
+                    Some(tr) if !word.end_of_stream => word.with_tag(tr.on_accept(edge.at)),
+                    _ => word,
+                };
                 fabric
                     .producer_push(port, word)
                     .expect("space just checked");
@@ -981,6 +1258,9 @@ fn tick_iom(
     }
     // Consumer interface (port 0) → pins, with EOS detection.
     if let Ok(Some(word)) = fabric.consumer_pop(port) {
+        if let (Some(tr), Some(tag)) = (word_trace.as_mut(), word.tag()) {
+            tr.on_emit(tag, edge.at);
+        }
         let iom = &mut ioms[idx];
         iom.ext_out.push((edge.at, word));
         if word.end_of_stream {

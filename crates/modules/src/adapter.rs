@@ -35,6 +35,10 @@ pub struct StreamModuleAdapter<K> {
     kernel: K,
     monitor_period: u64,
     pending: VecDeque<u32>,
+    /// Trace tag of the input that produced the words now in `pending`,
+    /// re-attached to the first output so provenance survives the kernel
+    /// boundary (the output word *is* the processed input word).
+    pending_tag: Option<u32>,
     scratch: Vec<u32>,
     load: LoadPhase,
     load_buf: Vec<u32>,
@@ -53,6 +57,7 @@ impl<K: StreamKernel> StreamModuleAdapter<K> {
             kernel,
             monitor_period,
             pending: VecDeque::new(),
+            pending_tag: None,
             scratch: Vec::new(),
             load: LoadPhase::Idle,
             load_buf: Vec::new(),
@@ -162,6 +167,7 @@ impl<K: StreamKernel> HardwareModule for StreamModuleAdapter<K> {
                     self.scratch.clear();
                     self.kernel.process(word.data, &mut self.scratch);
                     self.pending.extend(self.scratch.drain(..));
+                    self.pending_tag = word.tag();
                     self.processed += 1;
                     if self.monitor_period > 0 && self.processed.is_multiple_of(self.monitor_period)
                     {
@@ -176,8 +182,9 @@ impl<K: StreamKernel> HardwareModule for StreamModuleAdapter<K> {
 
         // Emit one output word per cycle (blocking-write).
         if let Some(&w) = self.pending.front() {
-            if io.write_output(0, Word::data(w)) {
+            if io.write_output(0, Word::data(w).with_tag(self.pending_tag)) {
                 self.pending.pop_front();
+                self.pending_tag = None;
             }
             return;
         }
@@ -227,6 +234,7 @@ impl<K: StreamKernel> HardwareModule for StreamModuleAdapter<K> {
     fn reset(&mut self) {
         self.kernel.reset();
         self.pending.clear();
+        self.pending_tag = None;
         self.load = LoadPhase::Idle;
         self.load_buf.clear();
         self.state_tx.clear();

@@ -1,0 +1,418 @@
+//! Always-on flight recorder: a fixed-capacity ring buffer of recent
+//! control-plane and fabric events.
+//!
+//! The recorder is designed to be armed for the whole run at near-zero
+//! cost: recording one event is a bounds-checked store into a
+//! pre-allocated ring (no allocation, no formatting), and when nothing
+//! happens nothing is paid. Its value shows up on failure — a
+//! [`crate::telemetry::Telemetry`] snapshot says *how much* happened,
+//! the flight recorder says *what happened last*, in order, with
+//! timestamps. Dump it on a swap error, a deadline breach, or a panic
+//! and the tail of the ring is the causal trail into the failure.
+//!
+//! # Examples
+//!
+//! ```
+//! use vapres_sim::flight::{FlightEvent, FlightRecorder};
+//! use vapres_sim::time::Ps;
+//!
+//! let mut fr = FlightRecorder::new(2);
+//! fr.record(Ps::from_ns(1), FlightEvent::DcrWrite { node: 0 });
+//! fr.record(Ps::from_ns(2), FlightEvent::DcrWrite { node: 1 });
+//! fr.record(Ps::from_ns(3), FlightEvent::DcrRead { node: 1 });
+//! // Capacity 2: the oldest event was overwritten.
+//! let last: Vec<_> = fr.events().map(|e| e.seq).collect();
+//! assert_eq!(last, [1, 2]);
+//! assert_eq!(fr.overwritten(), 1);
+//! ```
+
+use crate::time::Ps;
+use std::io::{self, Write};
+
+/// Default ring capacity used by systems that arm the recorder without
+/// an explicit size.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+/// Which side of a streaming interface a FIFO edge occurred on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoSide {
+    /// The module-output (producer) interface FIFO.
+    Producer,
+    /// The module-input (consumer) interface FIFO.
+    Consumer,
+}
+
+/// A FIFO occupancy threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoEdgeKind {
+    /// The FIFO filled to capacity (backpressure starts here).
+    BecameFull,
+    /// A full FIFO accepted a pop (backpressure released).
+    NoLongerFull,
+    /// The FIFO drained to empty.
+    BecameEmpty,
+    /// An empty FIFO accepted a push.
+    NoLongerEmpty,
+}
+
+/// One recorded moment. Every variant is `Copy` and built from statics
+/// and integers so recording never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEvent {
+    /// A PRSocket DCR register was written.
+    DcrWrite {
+        /// Target node.
+        node: u32,
+    },
+    /// A PRSocket DCR register was read.
+    DcrRead {
+        /// Target node.
+        node: u32,
+    },
+    /// A swap methodology entered a step.
+    SwapStep {
+        /// `"seamless"` or `"halt"`.
+        method: &'static str,
+        /// The step label (matches the telemetry span label).
+        step: &'static str,
+    },
+    /// A swap methodology failed; `step` is the step it died in.
+    SwapFailed {
+        /// `"seamless"` or `"halt"`.
+        method: &'static str,
+        /// The step that was executing when the error surfaced.
+        step: &'static str,
+    },
+    /// An interface FIFO crossed a full/empty threshold.
+    FifoEdge {
+        /// Node owning the interface.
+        node: u32,
+        /// Interface port on the node.
+        port: u32,
+        /// Producer or consumer side.
+        side: FifoSide,
+        /// Which threshold was crossed, in which direction.
+        edge: FifoEdgeKind,
+    },
+    /// A streaming channel was routed.
+    RouteEstablished {
+        /// Channel id.
+        channel: u32,
+        /// Producer node.
+        producer_node: u32,
+        /// Consumer node.
+        consumer_node: u32,
+    },
+    /// A streaming channel was torn down.
+    RouteReleased {
+        /// Channel id.
+        channel: u32,
+    },
+    /// A bitstream finished streaming through the ICAP.
+    IcapWrite {
+        /// Configuration words written.
+        words: u64,
+    },
+    /// A watchdog monitor observed a value past its limit.
+    DeadlineBreach {
+        /// Monitor name (static — the watchdog derives it from a policy).
+        monitor: &'static str,
+    },
+}
+
+impl FlightEvent {
+    /// Short machine-readable event kind (the JSONL `"event"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlightEvent::DcrWrite { .. } => "dcr_write",
+            FlightEvent::DcrRead { .. } => "dcr_read",
+            FlightEvent::SwapStep { .. } => "swap_step",
+            FlightEvent::SwapFailed { .. } => "swap_failed",
+            FlightEvent::FifoEdge { .. } => "fifo_edge",
+            FlightEvent::RouteEstablished { .. } => "route_established",
+            FlightEvent::RouteReleased { .. } => "route_released",
+            FlightEvent::IcapWrite { .. } => "icap_write",
+            FlightEvent::DeadlineBreach { .. } => "deadline_breach",
+        }
+    }
+}
+
+/// A timestamped, sequence-numbered ring entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Simulation time the event was recorded.
+    pub at: Ps,
+    /// Monotone sequence number over the recorder's whole lifetime
+    /// (gaps never occur; wraparound discards low numbers first).
+    pub seq: u64,
+    /// What happened.
+    pub event: FlightEvent,
+}
+
+/// The ring buffer itself. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    capacity: usize,
+    buf: Vec<FlightEntry>,
+    /// Once the ring is full: index of the oldest entry (= the slot the
+    /// next record overwrites).
+    next: usize,
+    seq: u64,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "flight recorder needs capacity");
+        FlightRecorder {
+            capacity,
+            buf: Vec::with_capacity(capacity),
+            next: 0,
+            seq: 0,
+        }
+    }
+
+    /// Records one event at simulation time `at`. Never allocates once
+    /// the ring has filled.
+    pub fn record(&mut self, at: Ps, event: FlightEvent) {
+        let entry = FlightEntry {
+            at,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(entry);
+        } else {
+            self.buf[self.next] = entry;
+            self.next = (self.next + 1) % self.capacity;
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total events ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.seq
+    }
+
+    /// Events lost to wraparound.
+    pub fn overwritten(&self) -> u64 {
+        self.seq - self.buf.len() as u64
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEntry> {
+        let (older, newer) = if self.buf.len() < self.capacity {
+            (&self.buf[..], &[][..])
+        } else {
+            (&self.buf[self.next..], &self.buf[..self.next])
+        };
+        older.iter().chain(newer.iter())
+    }
+
+    /// Dumps the retained events as JSON Lines, oldest first. Each line
+    /// carries `at_ps`, `seq`, `event` (the kind tag) and the event's
+    /// own fields.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        for e in self.events() {
+            write!(
+                w,
+                "{{\"at_ps\":{},\"seq\":{},\"event\":\"{}\"",
+                e.at.as_ps(),
+                e.seq,
+                e.event.kind()
+            )?;
+            write_event_fields(w, &e.event)?;
+            writeln!(w, "}}")?;
+        }
+        Ok(())
+    }
+
+    /// Dumps the retained events as a chrome://tracing JSON array of
+    /// instant events (`ph:"i"`, microsecond timestamps), oldest first —
+    /// loadable next to the telemetry span trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(w, "[")?;
+        let mut first = true;
+        for e in self.events() {
+            if !first {
+                writeln!(w, ",")?;
+            }
+            first = false;
+            let us = e.at.as_ps() as f64 / 1_000_000.0;
+            write!(
+                w,
+                "  {{\"name\":\"{}\",\"ph\":\"i\",\"ts\":{us},\"pid\":1,\"tid\":1,\"s\":\"g\",\"args\":{{\"seq\":{}",
+                e.event.kind(),
+                e.seq
+            )?;
+            write_event_fields(w, &e.event)?;
+            write!(w, "}}}}")?;
+        }
+        writeln!(w, "\n]")?;
+        Ok(())
+    }
+}
+
+/// Writes the variant-specific `,"key":value` fields of one event.
+fn write_event_fields<W: Write>(w: &mut W, event: &FlightEvent) -> io::Result<()> {
+    match *event {
+        FlightEvent::DcrWrite { node } | FlightEvent::DcrRead { node } => {
+            write!(w, ",\"node\":{node}")
+        }
+        FlightEvent::SwapStep { method, step } => {
+            write!(w, ",\"method\":\"{method}\",\"step\":\"{step}\"")
+        }
+        FlightEvent::SwapFailed { method, step } => {
+            write!(w, ",\"method\":\"{method}\",\"step\":\"{step}\"")
+        }
+        FlightEvent::FifoEdge {
+            node,
+            port,
+            side,
+            edge,
+        } => {
+            let side = match side {
+                FifoSide::Producer => "producer",
+                FifoSide::Consumer => "consumer",
+            };
+            let edge = match edge {
+                FifoEdgeKind::BecameFull => "became_full",
+                FifoEdgeKind::NoLongerFull => "no_longer_full",
+                FifoEdgeKind::BecameEmpty => "became_empty",
+                FifoEdgeKind::NoLongerEmpty => "no_longer_empty",
+            };
+            write!(
+                w,
+                ",\"node\":{node},\"port\":{port},\"side\":\"{side}\",\"edge\":\"{edge}\""
+            )
+        }
+        FlightEvent::RouteEstablished {
+            channel,
+            producer_node,
+            consumer_node,
+        } => write!(
+            w,
+            ",\"channel\":{channel},\"producer_node\":{producer_node},\"consumer_node\":{consumer_node}"
+        ),
+        FlightEvent::RouteReleased { channel } => write!(w, ",\"channel\":{channel}"),
+        FlightEvent::IcapWrite { words } => write!(w, ",\"words\":{words}"),
+        FlightEvent::DeadlineBreach { monitor } => write!(w, ",\"monitor\":\"{monitor}\""),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u32) -> FlightEvent {
+        FlightEvent::DcrWrite { node: n }
+    }
+
+    #[test]
+    fn fills_then_wraps_keeping_the_newest() {
+        let mut fr = FlightRecorder::new(3);
+        for n in 0..5u32 {
+            fr.record(Ps::from_ns(n as u64), ev(n));
+        }
+        assert_eq!(fr.len(), 3);
+        assert_eq!(fr.total_recorded(), 5);
+        assert_eq!(fr.overwritten(), 2);
+        let seqs: Vec<_> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, [2, 3, 4]);
+        let nodes: Vec<_> = fr
+            .events()
+            .map(|e| match e.event {
+                FlightEvent::DcrWrite { node } => node,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(nodes, [2, 3, 4]);
+    }
+
+    #[test]
+    fn partially_filled_ring_iterates_in_order() {
+        let mut fr = FlightRecorder::new(8);
+        fr.record(Ps::from_ns(1), ev(1));
+        fr.record(Ps::from_ns(2), ev(2));
+        let seqs: Vec<_> = fr.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1]);
+        assert_eq!(fr.overwritten(), 0);
+        assert!(!fr.is_empty());
+    }
+
+    #[test]
+    fn jsonl_dump_is_one_object_per_line() {
+        let mut fr = FlightRecorder::new(4);
+        fr.record(
+            Ps::from_ns(7),
+            FlightEvent::SwapStep {
+                method: "seamless",
+                step: "2_reconfigure_spare",
+            },
+        );
+        fr.record(
+            Ps::from_ns(9),
+            FlightEvent::FifoEdge {
+                node: 1,
+                port: 0,
+                side: FifoSide::Consumer,
+                edge: FifoEdgeKind::BecameFull,
+            },
+        );
+        let mut buf = Vec::new();
+        fr.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"event\":\"swap_step\""));
+        assert!(lines[0].contains("\"step\":\"2_reconfigure_spare\""));
+        assert!(lines[1].contains("\"side\":\"consumer\""));
+        assert!(lines[1].contains("\"edge\":\"became_full\""));
+    }
+
+    #[test]
+    fn chrome_trace_is_a_json_array() {
+        let mut fr = FlightRecorder::new(2);
+        fr.record(Ps::from_us(3), FlightEvent::IcapWrite { words: 42 });
+        let mut buf = Vec::new();
+        fr.write_chrome_trace(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert!(text.contains("\"ph\":\"i\""));
+        assert!(text.contains("\"ts\":3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _ = FlightRecorder::new(0);
+    }
+}

@@ -21,6 +21,11 @@
 //! * [`telemetry`] — the unified metrics registry ([`telemetry::Telemetry`]):
 //!   counters/gauges/histograms plus simulated-time spans, with JSON-lines,
 //!   Prometheus-text, and chrome://tracing exporters.
+//! * [`flight`] — the always-on [`flight::FlightRecorder`]: a fixed-capacity,
+//!   allocation-free ring of recent control-plane/fabric events, dumped as
+//!   JSONL or chrome-trace when something fails.
+//! * [`watchdog`] — declarative [`watchdog::Monitor`] limits folded into a
+//!   structured [`watchdog::HealthReport`] (policy lives in higher layers).
 //! * [`rng`] — [`rng::SplitMix64`], the in-tree deterministic PRNG (no
 //!   external `rand` dependency, so tier-1 verify runs offline).
 //!
@@ -50,16 +55,20 @@
 pub mod clock;
 pub mod event;
 pub mod exec;
+pub mod flight;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
 pub mod trace;
+pub mod watchdog;
 
 pub use clock::{ClockScheduler, DomainId, Edge};
 pub use event::{TimerId, TimerQueue};
 pub use exec::{Activity, ComponentId, DomainStats, ExecStats, Executor, Waker};
+pub use flight::{FlightEntry, FlightEvent, FlightRecorder};
 pub use rng::SplitMix64;
 pub use telemetry::{CounterId, GaugeId, HistogramId, Span, Telemetry};
 pub use time::{Freq, Ps};
 pub use trace::{SignalId, Tracer};
+pub use watchdog::{HealthReport, Monitor, Verdict};

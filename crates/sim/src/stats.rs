@@ -234,6 +234,8 @@ impl Summary {
 pub struct Histogram {
     bucket_width: u64,
     counts: Vec<u64>,
+    min: Option<u64>,
+    max: Option<u64>,
 }
 
 impl Histogram {
@@ -248,6 +250,31 @@ impl Histogram {
         Histogram {
             bucket_width,
             counts: vec![0; buckets],
+            min: None,
+            max: None,
+        }
+    }
+
+    /// Reconstructs a histogram from exported parts (e.g. a parsed JSONL
+    /// snapshot). `min`/`max` are the exact extremes if the exporter
+    /// recorded them, `None` otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket_width` is zero or `counts` is empty.
+    pub fn from_parts(
+        bucket_width: u64,
+        counts: Vec<u64>,
+        min: Option<u64>,
+        max: Option<u64>,
+    ) -> Self {
+        assert!(bucket_width > 0, "bucket width must be non-zero");
+        assert!(!counts.is_empty(), "need at least one bucket");
+        Histogram {
+            bucket_width,
+            counts,
+            min,
+            max,
         }
     }
 
@@ -256,6 +283,8 @@ impl Histogram {
         let idx = (value / self.bucket_width) as usize;
         let idx = idx.min(self.counts.len() - 1);
         self.counts[idx] += 1;
+        self.min = Some(self.min.map_or(value, |m| m.min(value)));
+        self.max = Some(self.max.map_or(value, |m| m.max(value)));
     }
 
     /// Per-bucket counts (last bucket includes overflow).
@@ -271,6 +300,27 @@ impl Histogram {
     /// Total samples.
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
+    }
+
+    /// Smallest sample seen, or `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        self.min
+    }
+
+    /// Largest sample seen, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        self.max
+    }
+
+    /// Bucket-resolution percentile: the upper bound of the bucket
+    /// containing the `q`-quantile sample, or `None` when the histogram
+    /// is empty. Two runs whose `q`-quantile samples land in the same
+    /// bucket report identical percentiles — use [`Histogram::max`] for
+    /// the exact extreme. A quantile landing in the overflow bucket is
+    /// reported as that bucket's lower bound times one more width (an
+    /// understatement; widen the histogram if the tail matters).
+    pub fn percentile(&self, q: f64) -> Option<u64> {
+        (self.total() > 0).then(|| self.quantile_upper_bound(q))
     }
 
     /// The smallest value `v` such that at least `q` (0..=1) of samples
@@ -477,5 +527,36 @@ mod tests {
     #[test]
     fn histogram_bucket_width_accessor() {
         assert_eq!(Histogram::new(250, 3).bucket_width(), 250);
+    }
+
+    #[test]
+    fn histogram_min_max_track_exact_samples() {
+        let mut h = Histogram::new(10, 3);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        for v in [42, 7, 7, 1_000] {
+            h.add(v);
+        }
+        // min/max are exact even though 1000 landed in the overflow bucket.
+        assert_eq!(h.min(), Some(7));
+        assert_eq!(h.max(), Some(1_000));
+    }
+
+    #[test]
+    fn histogram_percentile_is_bucket_bound() {
+        let mut h = Histogram::new(10, 10);
+        for v in 0..100u64 {
+            h.add(v);
+        }
+        assert_eq!(h.percentile(0.5), Some(50));
+        assert_eq!(h.percentile(1.0), Some(100));
+        // Empty histograms have no percentile (unlike quantile_upper_bound,
+        // which degenerates to 0).
+        assert_eq!(Histogram::new(10, 2).percentile(0.5), None);
+        // Samples in the overflow bucket report its upper bound.
+        let mut h = Histogram::new(10, 2);
+        h.add(2_000);
+        assert_eq!(h.percentile(0.99), Some(20));
+        assert_eq!(h.max(), Some(2_000));
     }
 }

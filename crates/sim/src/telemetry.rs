@@ -1040,6 +1040,45 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        // The exposition format requires `\`, `"`, and newline escaped in
+        // label values; anything else would corrupt the scrape stream
+        // (a raw newline splits the sample, a raw quote ends the value).
+        let mut t = Telemetry::new();
+        let c = t.counter(
+            "hostile_total",
+            &[("path", "a\"b\\c\nd".into()), ("ok", "plain".into())],
+        );
+        t.inc(c, 1);
+        t.record_span(
+            "swap_step",
+            "quote\"back\\slash\nline",
+            Ps::new(0),
+            Ps::new(1),
+        );
+        let mut out = Vec::new();
+        t.write_prometheus(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains(r#"vapres_hostile_total{path="a\"b\\c\nd",ok="plain"} 1"#),
+            "{text}"
+        );
+        assert!(
+            text.contains(r#"step="quote\"back\\slash\nline""#),
+            "{text}"
+        );
+        // No sample line was broken by a raw newline: every non-comment
+        // line still ends in a numeric value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let value = line.rsplit(' ').next().unwrap();
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "malformed sample line {line:?}"
+            );
+        }
+    }
+
+    #[test]
     fn chrome_trace_is_parseable_json() {
         let mut t = Telemetry::new();
         t.record_span("swap_step", "1_resolve", Ps::new(1_000), Ps::new(3_000));

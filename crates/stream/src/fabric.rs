@@ -145,6 +145,10 @@ struct Interface {
     gated_drops: u64,
     /// Highest FIFO occupancy ever observed (worst-case buffering).
     high_water: usize,
+    /// Threshold state as of the last event capture (meaningful only
+    /// while event capture is on; resynced when it is enabled).
+    was_full: bool,
+    was_empty: bool,
 }
 
 impl Interface {
@@ -155,6 +159,8 @@ impl Interface {
             overflow_drops: 0,
             gated_drops: 0,
             high_water: 0,
+            was_full: false,
+            was_empty: true,
         }
     }
 
@@ -162,6 +168,51 @@ impl Interface {
         let level = self.fifo.len();
         if level > self.high_water {
             self.high_water = level;
+        }
+    }
+}
+
+/// Compares an interface's full/empty state against its last captured
+/// state and emits the crossing events. Call after any FIFO mutation
+/// while event capture is on; both directions of both thresholds are
+/// reported so a dump shows backpressure starting *and* clearing.
+fn note_fifo_edges(
+    events: &mut Vec<FifoEvent>,
+    iface: &mut Interface,
+    port: PortRef,
+    producer: bool,
+    cycle: u64,
+) {
+    let full = iface.fifo.is_full();
+    let empty = iface.fifo.is_empty();
+    if full != iface.was_full {
+        iface.was_full = full;
+        if events.len() < MAX_BUFFERED_FIFO_EVENTS {
+            events.push(FifoEvent {
+                cycle,
+                port,
+                producer,
+                edge: if full {
+                    FifoEdge::BecameFull
+                } else {
+                    FifoEdge::NoLongerFull
+                },
+            });
+        }
+    }
+    if empty != iface.was_empty {
+        iface.was_empty = empty;
+        if events.len() < MAX_BUFFERED_FIFO_EVENTS {
+            events.push(FifoEvent {
+                cycle,
+                port,
+                producer,
+                edge: if empty {
+                    FifoEdge::BecameEmpty
+                } else {
+                    FifoEdge::NoLongerEmpty
+                },
+            });
         }
     }
 }
@@ -222,6 +273,136 @@ pub fn min_fifo_depth(depth: usize) -> usize {
     2 * depth + 2
 }
 
+/// Which occupancy threshold an interface FIFO crossed, in which
+/// direction (observability event capture; see
+/// [`StreamFabric::set_event_capture`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FifoEdge {
+    /// The FIFO filled to capacity.
+    BecameFull,
+    /// A full FIFO made space.
+    NoLongerFull,
+    /// The FIFO drained to empty.
+    BecameEmpty,
+    /// An empty FIFO accepted a word.
+    NoLongerEmpty,
+}
+
+/// One captured FIFO threshold crossing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FifoEvent {
+    /// Fabric tick count when the edge occurred.
+    pub cycle: u64,
+    /// The interface port.
+    pub port: PortRef,
+    /// True for the producer (module-output) side, false for consumer.
+    pub producer: bool,
+    /// Which threshold was crossed.
+    pub edge: FifoEdge,
+}
+
+/// Upper bound on buffered [`FifoEvent`]s: the host drains every tick,
+/// so hitting this means the capture is running unhosted — drop rather
+/// than grow without bound.
+const MAX_BUFFERED_FIFO_EVENTS: usize = 65_536;
+
+/// Accumulated per-stage residency of one tagged word, summed over every
+/// fabric traversal (*leg*) the tag completed. All figures are in fabric
+/// ticks; a word that crosses two channels (producer IOM → module →
+/// consumer IOM) reports `legs == 2` with both crossings summed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TagStats {
+    /// Ticks spent waiting in producer-interface FIFOs
+    /// (enqueue → injection into the switch-box pipeline).
+    pub producer_wait_cycles: u64,
+    /// Ticks spent traversing switch-box pipeline registers
+    /// (injection → delivery into the consumer FIFO).
+    pub hop_cycles: u64,
+    /// Ticks spent waiting in consumer-interface FIFOs
+    /// (delivery → dequeue by the consuming module/IOM).
+    pub consumer_wait_cycles: u64,
+    /// Pipeline registers traversed (per the paper, one per cycle — so
+    /// `hop_cycles == hops` unless a leg is still in flight).
+    pub hops: u32,
+    /// Completed fabric traversals.
+    pub legs: u32,
+}
+
+/// In-flight timestamps of a tag's current leg.
+#[derive(Debug, Clone, Copy, Default)]
+struct TagLeg {
+    enqueued: Option<u64>,
+    injected: Option<u64>,
+    delivered: Option<u64>,
+}
+
+/// Per-tag provenance capture: timestamps every tagged word at FIFO
+/// enqueue/dequeue and pipeline injection/delivery, folding each
+/// completed leg into [`TagStats`]. Enabled via
+/// [`StreamFabric::enable_word_tap`]; words without a tag cost one
+/// branch.
+#[derive(Debug, Clone, Default)]
+pub struct WordTap {
+    legs: Vec<TagLeg>,
+    stats: Vec<TagStats>,
+}
+
+impl WordTap {
+    fn slot(&mut self, tag: u32) -> usize {
+        let idx = tag as usize;
+        if idx >= self.stats.len() {
+            self.legs.resize(idx + 1, TagLeg::default());
+            self.stats.resize(idx + 1, TagStats::default());
+        }
+        idx
+    }
+
+    fn note_enqueue(&mut self, tag: u32, cycle: u64) {
+        let i = self.slot(tag);
+        self.legs[i].enqueued = Some(cycle);
+    }
+
+    fn note_inject(&mut self, tag: u32, cycle: u64, hops: u32) {
+        let i = self.slot(tag);
+        if let Some(enq) = self.legs[i].enqueued.take() {
+            self.stats[i].producer_wait_cycles += cycle.saturating_sub(enq);
+        }
+        self.legs[i].injected = Some(cycle);
+        self.stats[i].hops += hops;
+    }
+
+    fn note_deliver(&mut self, tag: u32, cycle: u64) {
+        let i = self.slot(tag);
+        if let Some(inj) = self.legs[i].injected.take() {
+            self.stats[i].hop_cycles += cycle.saturating_sub(inj);
+        }
+        self.legs[i].delivered = Some(cycle);
+    }
+
+    fn note_dequeue(&mut self, tag: u32, cycle: u64) {
+        let i = self.slot(tag);
+        if let Some(dlv) = self.legs[i].delivered.take() {
+            self.stats[i].consumer_wait_cycles += cycle.saturating_sub(dlv);
+            self.stats[i].legs += 1;
+        }
+    }
+
+    /// Number of tag slots observed so far.
+    pub fn tag_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// Accumulated stats for one tag, if it was ever seen.
+    pub fn stats(&self, tag: u32) -> Option<TagStats> {
+        self.stats.get(tag as usize).copied()
+    }
+
+    /// Accumulated stats for every observed tag, tag order.
+    pub fn all_stats(&self) -> &[TagStats] {
+        &self.stats
+    }
+}
+
 /// The streaming fabric of one reconfigurable streaming block.
 ///
 /// # Examples
@@ -268,6 +449,11 @@ pub struct StreamFabric {
     /// `tick` (a blocked writer may proceed).
     drains: Vec<PortRef>,
     ticks: u64,
+    /// Per-tag provenance capture (None = tracing off, zero cost).
+    tap: Option<WordTap>,
+    /// FIFO threshold-crossing capture for the flight recorder.
+    capture_events: bool,
+    events: Vec<FifoEvent>,
 }
 
 impl StreamFabric {
@@ -304,8 +490,49 @@ impl StreamFabric {
             deliveries: Vec::new(),
             drains: Vec::new(),
             ticks: 0,
+            tap: None,
+            capture_events: false,
+            events: Vec::new(),
             params,
         })
+    }
+
+    /// Arms per-tag provenance capture: every tagged [`Word`] passing a
+    /// FIFO or pipeline boundary from now on is timestamped into the
+    /// [`WordTap`]. Untagged words cost one branch per boundary.
+    pub fn enable_word_tap(&mut self) {
+        if self.tap.is_none() {
+            self.tap = Some(WordTap::default());
+        }
+    }
+
+    /// The provenance capture, if armed.
+    pub fn word_tap(&self) -> Option<&WordTap> {
+        self.tap.as_ref()
+    }
+
+    /// Turns FIFO threshold-crossing capture on or off. Enabling resyncs
+    /// every interface's captured state to its current occupancy, so
+    /// only *future* crossings are reported.
+    pub fn set_event_capture(&mut self, on: bool) {
+        self.capture_events = on;
+        if on {
+            for side in [&mut self.producers, &mut self.consumers] {
+                for node in side.iter_mut() {
+                    for iface in node.iter_mut() {
+                        iface.was_full = iface.fifo.is_full();
+                        iface.was_empty = iface.fifo.is_empty();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drains the captured FIFO threshold crossings, oldest first. The
+    /// host calls this each tick and forwards them (timestamped) to its
+    /// flight recorder.
+    pub fn drain_fifo_events(&mut self) -> std::vec::Drain<'_, FifoEvent> {
+        self.events.drain(..)
     }
 
     /// The fabric's parameters.
@@ -656,11 +883,29 @@ impl StreamFabric {
     ///
     /// Panics if `node` is out of range.
     pub fn reset_node_fifos(&mut self, node: usize) {
-        for p in &mut self.producers[node] {
+        for (port, p) in self.producers[node].iter_mut().enumerate() {
             p.fifo.reset();
+            if self.capture_events {
+                note_fifo_edges(
+                    &mut self.events,
+                    p,
+                    PortRef::new(node, port),
+                    true,
+                    self.ticks,
+                );
+            }
         }
-        for c in &mut self.consumers[node] {
+        for (port, c) in self.consumers[node].iter_mut().enumerate() {
             c.fifo.reset();
+            if self.capture_events {
+                note_fifo_edges(
+                    &mut self.events,
+                    c,
+                    PortRef::new(node, port),
+                    false,
+                    self.ticks,
+                );
+            }
         }
         // Occupancies changed: feedback decisions on routes touching this
         // node must be re-evaluated.
@@ -678,6 +923,12 @@ impl StreamFabric {
         let iface = &mut self.producers[port.node][port.port];
         iface.fifo.push(word)?;
         iface.note_level();
+        if let (Some(tap), Some(tag)) = (self.tap.as_mut(), word.tag()) {
+            tap.note_enqueue(tag, self.ticks);
+        }
+        if self.capture_events {
+            note_fifo_edges(&mut self.events, iface, port, true, self.ticks);
+        }
         self.wake_producer_route(port);
         Ok(())
     }
@@ -710,8 +961,15 @@ impl StreamFabric {
     /// [`RouteError::BadPort`] for a nonexistent port.
     pub fn consumer_pop(&mut self, port: PortRef) -> Result<Option<Word>, RouteError> {
         self.check_consumer(port)?;
-        let word = self.consumers[port.node][port.port].fifo.pop();
-        if word.is_some() {
+        let iface = &mut self.consumers[port.node][port.port];
+        let word = iface.fifo.pop();
+        if let Some(w) = word {
+            if let (Some(tap), Some(tag)) = (self.tap.as_mut(), w.tag()) {
+                tap.note_dequeue(tag, self.ticks);
+            }
+            if self.capture_events {
+                note_fifo_edges(&mut self.events, iface, port, false, self.ticks);
+            }
             // Freed space may deassert feedback-full on the next tick.
             self.wake_consumer_route(port);
         }
@@ -804,6 +1062,12 @@ impl StreamFabric {
                 } else {
                     cons.note_level();
                     route.delivered += 1;
+                    if let (Some(tap), Some(tag)) = (self.tap.as_mut(), word.tag()) {
+                        tap.note_deliver(tag, self.ticks);
+                    }
+                    if self.capture_events {
+                        note_fifo_edges(&mut self.events, cons, route.consumer, false, self.ticks);
+                    }
                     self.deliveries.push(route.consumer);
                 }
             }
@@ -826,7 +1090,13 @@ impl StreamFabric {
             let prod = &mut self.producers[route.producer.node][route.producer.port];
             route.pipe[0] = if prod.enabled && !stalled {
                 let w = prod.fifo.pop();
-                if w.is_some() {
+                if let Some(w) = w {
+                    if let (Some(tap), Some(tag)) = (self.tap.as_mut(), w.tag()) {
+                        tap.note_inject(tag, self.ticks, route.slots.len() as u32);
+                    }
+                    if self.capture_events {
+                        note_fifo_edges(&mut self.events, prod, route.producer, true, self.ticks);
+                    }
                     self.drains.push(route.producer);
                 }
                 w
@@ -887,6 +1157,82 @@ mod tests {
         f.set_fifo_ren(p, true).unwrap();
         f.set_fifo_wen(c, true).unwrap();
         ch
+    }
+
+    #[test]
+    fn word_tap_times_every_stage_of_a_traversal() {
+        let mut f = fabric();
+        let p = PortRef::new(0, 0);
+        let c = PortRef::new(2, 0);
+        open(&mut f, p, c);
+        f.enable_word_tap();
+
+        // Tagged word pushed at tick 0, injected on tick 1, delivered
+        // after the 3-register pipeline, popped immediately.
+        f.producer_push(p, Word::data(7).with_tag(Some(0))).unwrap();
+        let mut popped_at = None;
+        for _ in 0..10 {
+            f.tick();
+            if f.consumer_pop(c).unwrap().is_some() {
+                popped_at = Some(f.ticks());
+                break;
+            }
+        }
+        let tap = f.word_tap().unwrap();
+        let s = tap.stats(0).unwrap();
+        assert_eq!(s.legs, 1);
+        assert_eq!(s.hops, 2, "two segments between node 0 and node 2");
+        // One injection wait cycle, depth cycles in the pipeline, popped
+        // the tick it landed.
+        assert_eq!(s.producer_wait_cycles, 1);
+        assert_eq!(s.hop_cycles, 3);
+        assert_eq!(s.consumer_wait_cycles, 0);
+        assert_eq!(
+            s.producer_wait_cycles + s.hop_cycles + s.consumer_wait_cycles,
+            popped_at.unwrap()
+        );
+        // Untagged words are invisible to the tap.
+        f.producer_push(p, Word::data(8)).unwrap();
+        for _ in 0..10 {
+            f.tick();
+        }
+        assert_eq!(f.word_tap().unwrap().tag_count(), 1);
+    }
+
+    #[test]
+    fn event_capture_reports_empty_and_full_edges() {
+        let mut f = fabric();
+        let p = PortRef::new(0, 0);
+        let c = PortRef::new(2, 0);
+        open(&mut f, p, c);
+        f.set_event_capture(true);
+
+        f.producer_push(p, Word::data(1)).unwrap();
+        f.tick(); // injection drains the producer FIFO again
+        let evs: Vec<_> = f.drain_fifo_events().collect();
+        assert_eq!(evs.len(), 2);
+        assert_eq!(evs[0].edge, FifoEdge::NoLongerEmpty);
+        assert!(evs[0].producer);
+        assert_eq!(evs[0].port, p);
+        assert_eq!(evs[1].edge, FifoEdge::BecameEmpty);
+        assert_eq!(evs[1].cycle, 1);
+
+        // Run the word to the consumer: one NoLongerEmpty on arrival,
+        // one BecameEmpty on pop.
+        for _ in 0..10 {
+            f.tick();
+        }
+        assert!(f.consumer_pop(c).unwrap().is_some());
+        let evs: Vec<_> = f.drain_fifo_events().collect();
+        let kinds: Vec<_> = evs.iter().map(|e| e.edge).collect();
+        assert_eq!(kinds, [FifoEdge::NoLongerEmpty, FifoEdge::BecameEmpty]);
+        assert!(evs.iter().all(|e| !e.producer && e.port == c));
+
+        // Capture off: silence.
+        f.set_event_capture(false);
+        f.producer_push(p, Word::data(2)).unwrap();
+        f.tick();
+        assert_eq!(f.drain_fifo_events().count(), 0);
     }
 
     #[test]

@@ -33,4 +33,39 @@ fi
     || { echo "report did not confirm zero stream interruption" >&2; exit 1; }
 rm -rf "$(dirname "$snap")"
 
+echo "==> watchdog smoke test (vapres health on the seamless E3 swap)"
+./target/release/vapres-cli health | grep -q "overall: HEALTHY" \
+    || { echo "vapres health did not report HEALTHY on the seamless swap" >&2; exit 1; }
+# The halt-and-swap baseline must breach the stream monitors and exit
+# non-zero — the health command is a seamlessness regression gate.
+if ./target/release/vapres-cli health --halt yes >/dev/null 2>&1; then
+    echo "vapres health --halt yes unexpectedly passed" >&2
+    exit 1
+fi
+
+echo "==> flight recorder smoke test (dump-on-SwapError)"
+flight="$(mktemp -d)/flight.jsonl"
+if ./target/release/vapres-cli sim --swap yes --samples 2000 \
+    --fail-swap yes --flight-dump "$flight" >/dev/null 2>&1; then
+    echo "sim --fail-swap yes unexpectedly succeeded" >&2
+    exit 1
+fi
+grep -q '"event":"swap_failed".*"step":"2_reconfigure_spare"' "$flight" \
+    || { echo "flight dump missing the failing swap step" >&2; exit 1; }
+rm -rf "$(dirname "$flight")"
+
+echo "==> metrics overhead guard (disabled instrumentation within 2% of bare)"
+# The disabled-telemetry path must stay one predictable branch per site.
+# Timing benches are noisy; allow one retry before failing.
+check_overhead() {
+    local line pct
+    line="$(cargo bench -q --offline -p vapres-bench --bench micro 2>/dev/null \
+        | grep 'metrics overhead')"
+    pct="$(echo "$line" | sed -n 's/.*disabled \([+-][0-9.]*\)%.*/\1/p')"
+    echo "    $line"
+    [ -n "$pct" ] && awk -v p="$pct" 'BEGIN { exit !(p <= 2.0) }'
+}
+check_overhead || check_overhead \
+    || { echo "disabled-instrumentation overhead exceeds 2% of bare loop" >&2; exit 1; }
+
 echo "==> verify OK"
