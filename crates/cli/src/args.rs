@@ -87,6 +87,13 @@ impl Args {
     pub fn positionals(&self) -> &[String] {
         &self.positionals
     }
+
+    /// Every `--key` the user passed, sorted — the subcommand dispatcher
+    /// checks these against its known-option table so a typo'd flag is an
+    /// error instead of a silent no-op.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.options.keys().map(String::as_str)
+    }
 }
 
 #[cfg(test)]
@@ -105,6 +112,13 @@ mod tests {
     #[test]
     fn missing_value_errors() {
         assert!(Args::parse(["--device"]).is_err());
+    }
+
+    #[test]
+    fn keys_lists_every_option_sorted() {
+        let a = Args::parse(["--zeta", "1", "--alpha", "2", "pos"]).unwrap();
+        assert_eq!(a.keys().collect::<Vec<_>>(), ["alpha", "zeta"]);
+        assert_eq!(Args::default().keys().count(), 0);
     }
 
     #[test]

@@ -308,8 +308,13 @@ fn cmd_report_metrics(path: &str, out: &mut dyn Write) -> Result<(), CmdError> {
             counts,
         } = r
         {
-            let hist =
-                vapres_sim::stats::Histogram::from_parts(*bucket_width, counts.clone(), None, None);
+            let hist = vapres_sim::stats::Histogram::try_from_parts(
+                *bucket_width,
+                counts.clone(),
+                None,
+                None,
+            )
+            .map_err(|e| CmdError(format!("{path}: histogram {name:?}: {e}")))?;
             let (Some(p50), Some(p95), Some(p99)) = (
                 hist.percentile(0.50),
                 hist.percentile(0.95),
@@ -827,6 +832,302 @@ pub fn cmd_health(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     }
 }
 
+/// `vapres sweep [--jobs N] [--kr 2,3] [--kl 2,3] [--fifo-depth 64,512]
+/// [--clock-mhz 100] [--swap seamless,halt,none] [--fault-rate 0.0,0.5]
+/// [--samples N,...] [--interval CYCLES] [--seed S] [--jsonl out.jsonl]
+/// [--bench out.json]` — expand a scenario grid into independent
+/// `VapresSystem` runs, shard them across `--jobs` worker threads, and
+/// merge the results into one report.
+///
+/// Every comma-separated flag is one axis of the grid (defaults:
+/// `SweepGrid::e3_default`, the 16-scenario seamless-vs-halt comparison).
+/// The report is byte-identical for any `--jobs` value: scenarios carry
+/// deterministic per-index seeds and results merge in scenario-index
+/// order, never completion order — so the job count is a pure wall-clock
+/// knob and deliberately never appears in the output. `--jsonl` exports
+/// the merged telemetry registry; `--bench` writes the per-scenario
+/// trajectory as JSON (the `BENCH_sweep.json` artifact).
+pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    use vapres_core::scenario::{
+        merge_telemetry, run_sweep_with, SwapMethod, SwapOutcome, SweepGrid,
+    };
+    use vapres_core::Ps;
+
+    fn axis<T: std::str::FromStr>(
+        args: &Args,
+        key: &str,
+        default: Vec<T>,
+    ) -> Result<Vec<T>, CmdError> {
+        match args.get(key) {
+            None => Ok(default),
+            Some(spec) => spec
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .map_err(|_| CmdError(format!("--{key}: cannot parse {s:?}")))
+                })
+                .collect(),
+        }
+    }
+
+    let base = SweepGrid::e3_default();
+    let jobs: usize = args.get_num("jobs", 1usize)?;
+    let grid = SweepGrid {
+        kr: axis(args, "kr", base.kr)?,
+        kl: axis(args, "kl", base.kl)?,
+        fifo_depth: axis(args, "fifo-depth", base.fifo_depth)?,
+        prr_clock_mhz: axis(args, "clock-mhz", base.prr_clock_mhz)?,
+        swap: match args.get("swap") {
+            None => base.swap,
+            Some(spec) => spec
+                .split(',')
+                .map(|s| SwapMethod::parse(s).map_err(CmdError))
+                .collect::<Result<_, _>>()?,
+        },
+        fault_rate: axis(args, "fault-rate", base.fault_rate)?,
+        samples: axis(args, "samples", base.samples)?,
+        interval: args.get_num("interval", base.interval)?,
+        seed: args.get_num("seed", base.seed)?,
+    };
+    if grid.is_empty() {
+        return Err(CmdError(
+            "sweep grid is empty (an axis has no values)".into(),
+        ));
+    }
+    let scenarios = grid.expand();
+    for sc in &scenarios {
+        sc.validate().map_err(CmdError)?;
+    }
+    writeln!(
+        out,
+        "sweep: {} scenarios (seed {:#x})",
+        scenarios.len(),
+        grid.seed
+    )?;
+
+    let results = run_sweep_with(&scenarios, jobs, vapres_kpn::run_scenario);
+
+    let pct = |p: Option<u64>| p.map_or_else(|| "-".to_string(), |v| Ps::new(v).to_string());
+    writeln!(
+        out,
+        "{:<3} {:<38} {:>11} {:>11} {:>11} {:>11} {:>7} {:>7} {:>6}",
+        "#", "scenario", "swap", "p50", "p95", "p99", "missed", "stall", "out"
+    )?;
+    for r in &results {
+        let s = &r.summary;
+        let swap_cell = match &s.swap {
+            SwapOutcome::NotRequested => "-".to_string(),
+            SwapOutcome::Completed { total_ps, .. } => Ps::new(*total_ps).to_string(),
+            SwapOutcome::Failed { .. } => "FAILED".to_string(),
+        };
+        writeln!(
+            out,
+            "{:<3} {:<38} {:>11} {:>11} {:>11} {:>11} {:>7} {:>7.4} {:>6}",
+            r.scenario.index,
+            r.scenario.label(),
+            swap_cell,
+            pct(s.p50_e2e_ps),
+            pct(s.p95_e2e_ps),
+            pct(s.p99_e2e_ps),
+            s.missed_slots,
+            s.max_stall_ratio,
+            s.samples_out,
+        )?;
+        if let SwapOutcome::Failed { error } = &s.swap {
+            writeln!(out, "    failure: {error}")?;
+        }
+        if !s.drained {
+            writeln!(out, "    WARNING: input did not fully drain")?;
+        }
+    }
+
+    let failed = results
+        .iter()
+        .filter(|r| matches!(r.summary.swap, SwapOutcome::Failed { .. }))
+        .count();
+    let missed: u64 = results.iter().map(|r| r.summary.missed_slots).sum();
+    writeln!(
+        out,
+        "aggregate: {} ok, {failed} failed; {missed} missed slots total",
+        results.len() - failed
+    )?;
+    let merged = merge_telemetry(&results);
+    if let Some(h) = merged.histogram_named("word_e2e_latency_ps", &[]) {
+        if let (Some(p50), Some(p95), Some(p99)) =
+            (h.percentile(0.50), h.percentile(0.95), h.percentile(0.99))
+        {
+            writeln!(
+                out,
+                "merged e2e latency: n={} p50<={} p95<={} p99<={}",
+                h.total(),
+                Ps::new(p50),
+                Ps::new(p95),
+                Ps::new(p99)
+            )?;
+        }
+    }
+
+    if let Some(path) = args.get("jsonl") {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        merged.write_jsonl(&mut file)?;
+        file.flush()?;
+        writeln!(
+            out,
+            "wrote {path}: merged telemetry ({} metrics + {} spans)",
+            merged.len(),
+            merged.spans().len()
+        )?;
+    }
+    if let Some(path) = args.get("bench") {
+        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+        write_sweep_trajectory(&results, grid.seed, &mut file)?;
+        file.flush()?;
+        writeln!(out, "wrote {path}: sweep trajectory")?;
+    }
+    Ok(())
+}
+
+/// Writes the per-scenario sweep trajectory as JSON (hand-rolled, like
+/// the telemetry exporters — the tree has no serde). Deterministic: the
+/// rows are in scenario-index order and contain no wall-clock values.
+fn write_sweep_trajectory(
+    results: &[vapres_core::scenario::ScenarioResult],
+    seed: u64,
+    out: &mut dyn Write,
+) -> Result<(), CmdError> {
+    use vapres_core::scenario::SwapOutcome;
+
+    let opt = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"bench\": \"sweep\",")?;
+    writeln!(out, "  \"seed\": {seed},")?;
+    writeln!(out, "  \"scenarios\": [")?;
+    for (i, r) in results.iter().enumerate() {
+        let s = &r.summary;
+        let (outcome, swap_total_ps) = match &s.swap {
+            SwapOutcome::NotRequested => ("not_requested", 0),
+            SwapOutcome::Completed { total_ps, .. } => ("completed", *total_ps),
+            SwapOutcome::Failed { .. } => ("failed", 0),
+        };
+        write!(
+            out,
+            "    {{\"index\":{},\"label\":\"{}\",\"outcome\":\"{outcome}\",\
+             \"swap_total_ps\":{swap_total_ps},\"p50_e2e_ps\":{},\"p95_e2e_ps\":{},\
+             \"p99_e2e_ps\":{},\"missed_slots\":{},\"excess_gap_ps\":{},\
+             \"max_stall_ratio\":{:.6},\"samples_out\":{},\"sim_time_ps\":{}}}",
+            r.scenario.index,
+            r.scenario.label(),
+            opt(s.p50_e2e_ps),
+            opt(s.p95_e2e_ps),
+            opt(s.p99_e2e_ps),
+            s.missed_slots,
+            s.excess_gap_ps,
+            s.max_stall_ratio,
+            s.samples_out,
+            s.sim_time_ps,
+        )?;
+        writeln!(out, "{}", if i + 1 < results.len() { "," } else { "" })?;
+    }
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
+    Ok(())
+}
+
+/// The `--flags` each subcommand understands. The parser accepts any
+/// `--key value` pair, so without this table a typo'd flag (say
+/// `--trace-word` for `--trace-words`) would be a silent no-op; the
+/// dispatcher checks every parsed key against the subcommand's set and
+/// rejects strangers by name.
+fn known_flags(subcommand: &str) -> Option<&'static [&'static str]> {
+    Some(match subcommand {
+        "resources" => &[
+            "nodes",
+            "kr",
+            "kl",
+            "ki",
+            "ko",
+            "width",
+            "fifo-depth",
+            "device",
+        ],
+        "floorplan" => &["prrs", "device", "ucf", "mhs", "art"],
+        "report" => &[
+            "metrics",
+            "prrs",
+            "device",
+            "nodes",
+            "kr",
+            "kl",
+            "ki",
+            "ko",
+            "width",
+            "fifo-depth",
+        ],
+        "check-ucf" => &["device"],
+        "bitgen" => &["rect", "uid", "out", "device"],
+        "bitinfo" => &[],
+        "reconfig-time" => &["bytes", "rect", "device"],
+        "sim" => &[
+            "stages",
+            "samples",
+            "interval",
+            "stats",
+            "vcd",
+            "swap",
+            "fail-swap",
+            "metrics",
+            "trace-json",
+            "prom",
+            "trace-words",
+            "flight-dump",
+        ],
+        "health" => &["halt", "samples", "interval", "flight-dump"],
+        "sweep" => &[
+            "jobs",
+            "seed",
+            "kr",
+            "kl",
+            "fifo-depth",
+            "clock-mhz",
+            "swap",
+            "fault-rate",
+            "samples",
+            "interval",
+            "jsonl",
+            "bench",
+        ],
+        _ => return None,
+    })
+}
+
+/// Rejects any `--flag` the subcommand does not understand.
+fn check_known_flags(subcommand: &str, args: &Args) -> Result<(), CmdError> {
+    let Some(known) = known_flags(subcommand) else {
+        return Ok(());
+    };
+    for key in args.keys() {
+        if !known.contains(&key) {
+            let accepted = if known.is_empty() {
+                "takes no options".to_string()
+            } else {
+                format!(
+                    "known options: {}",
+                    known
+                        .iter()
+                        .map(|k| format!("--{k}"))
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                )
+            };
+            return Err(CmdError(format!(
+                "{subcommand}: unknown option --{key} ({accepted})"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "vapres — VAPRES (DATE 2010) design tools\n\
@@ -846,6 +1147,10 @@ pub fn usage() -> &'static str {
      \x20                [--trace-words N] [--flight-dump out.jsonl]\n\
      \x20 health         [--halt yes] [--samples N] [--interval CYCLES]\n\
      \x20                [--flight-dump out.jsonl]   (exit 1 on breach)\n\
+     \x20 sweep          [--jobs N] [--kr 2,3] [--kl 2,3] [--fifo-depth 64,512]\n\
+     \x20                [--clock-mhz 100] [--swap seamless,halt,none]\n\
+     \x20                [--fault-rate 0.0,0.5] [--samples N,...] [--interval CYCLES]\n\
+     \x20                [--seed S] [--jsonl out.jsonl] [--bench out.json]\n\
      \n\
      devices: lx25 (default) | lx60 | lx100\n\
      stages : passthrough | scaler | delta-enc | delta-dec | avg | fir-a | fir-b\n"
@@ -857,6 +1162,7 @@ pub fn usage() -> &'static str {
 ///
 /// [`CmdError`] with a user-facing message.
 pub fn dispatch(subcommand: &str, args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    check_known_flags(subcommand, args)?;
     match subcommand {
         "resources" => cmd_resources(args, out),
         "report" => cmd_report(args, out),
@@ -867,6 +1173,7 @@ pub fn dispatch(subcommand: &str, args: &Args, out: &mut dyn Write) -> Result<()
         "reconfig-time" => cmd_reconfig_time(args, out),
         "sim" => cmd_sim(args, out),
         "health" => cmd_health(args, out),
+        "sweep" => cmd_sweep(args, out),
         other => Err(CmdError(format!(
             "unknown subcommand {other:?}\n\n{}",
             usage()
@@ -1167,6 +1474,173 @@ mod tests {
     fn unknown_subcommand_shows_usage() {
         let err = run("frobnicate", &[]).unwrap_err();
         assert!(err.0.contains("subcommands:"));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_per_subcommand() {
+        // One misspelled flag per subcommand: each must fail by naming
+        // the flag, not silently ignore it.
+        let cases: &[(&str, &[&str])] = &[
+            ("resources", &["--node", "5"]),
+            ("floorplan", &["--prr", "640"]),
+            ("report", &["--metric", "x.jsonl"]),
+            ("check-ucf", &["--devices", "lx25"]),
+            ("bitgen", &["--rects", "0:9:0:15"]),
+            ("bitinfo", &["--verbose", "yes"]),
+            ("reconfig-time", &["--byte", "100"]),
+            ("sim", &["--trace-word", "100"]),
+            ("health", &["--halts", "yes"]),
+            ("sweep", &["--job", "4"]),
+        ];
+        for (sub, tokens) in cases {
+            let err = run(sub, tokens).unwrap_err();
+            assert!(
+                err.0.contains("unknown option --"),
+                "{sub}: wrong error: {}",
+                err.0
+            );
+            assert!(
+                err.0.contains(tokens[0]),
+                "{sub}: error must name the flag: {}",
+                err.0
+            );
+        }
+    }
+
+    #[test]
+    fn known_flags_cover_every_dispatched_subcommand() {
+        for sub in [
+            "resources",
+            "report",
+            "floorplan",
+            "check-ucf",
+            "bitgen",
+            "bitinfo",
+            "reconfig-time",
+            "sim",
+            "health",
+            "sweep",
+        ] {
+            assert!(
+                known_flags(sub).is_some(),
+                "{sub} is dispatched but has no known-flag table"
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_runs_a_small_grid_and_reports() {
+        let text = run(
+            "sweep",
+            &[
+                "--kr",
+                "2",
+                "--kl",
+                "2",
+                "--fifo-depth",
+                "512",
+                "--swap",
+                "none,seamless",
+                "--samples",
+                "300",
+                "--interval",
+                "50",
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("sweep: 2 scenarios"), "{text}");
+        assert!(text.contains("kr2kl2_f512_c100_none_fr0.00_n300"), "{text}");
+        assert!(
+            text.contains("kr2kl2_f512_c100_seamless_fr0.00_n300"),
+            "{text}"
+        );
+        assert!(text.contains("aggregate: 2 ok, 0 failed"), "{text}");
+        assert!(text.contains("merged e2e latency: n="), "{text}");
+    }
+
+    #[test]
+    fn sweep_is_byte_identical_across_job_counts() {
+        let dir = std::env::temp_dir().join("vapres_cli_sweep_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_jobs = |jobs: &str, tag: &str| {
+            let jsonl = dir.join(format!("{tag}.jsonl"));
+            let bench = dir.join(format!("{tag}.json"));
+            let text = run(
+                "sweep",
+                &[
+                    "--kr",
+                    "2",
+                    "--kl",
+                    "2",
+                    "--fifo-depth",
+                    "512",
+                    "--swap",
+                    "none,seamless",
+                    "--samples",
+                    "300",
+                    "--interval",
+                    "50",
+                    "--seed",
+                    "7",
+                    "--jobs",
+                    jobs,
+                    "--jsonl",
+                    jsonl.to_str().unwrap(),
+                    "--bench",
+                    bench.to_str().unwrap(),
+                ],
+            )
+            .unwrap();
+            // The report body (everything except the path-bearing "wrote"
+            // lines) plus both artifacts must be jobs-invariant.
+            let body: String = text.lines().filter(|l| !l.starts_with("wrote ")).fold(
+                String::new(),
+                |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                },
+            );
+            let merged = std::fs::read_to_string(&jsonl).unwrap();
+            let traj = std::fs::read_to_string(&bench).unwrap();
+            std::fs::remove_file(&jsonl).ok();
+            std::fs::remove_file(&bench).ok();
+            (body, merged, traj)
+        };
+        let a = run_jobs("1", "a");
+        let b = run_jobs("4", "b");
+        assert_eq!(a.0, b.0, "report differs between --jobs 1 and --jobs 4");
+        assert_eq!(a.1, b.1, "merged JSONL differs");
+        assert_eq!(a.2, b.2, "trajectory JSON differs");
+        assert!(a.2.contains("\"bench\": \"sweep\""), "{}", a.2);
+        assert!(a.2.contains("\"outcome\":\"completed\""), "{}", a.2);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_grids() {
+        let err = run("sweep", &["--swap", "sideways"]).unwrap_err();
+        assert!(err.0.contains("unknown swap method"), "{}", err.0);
+        let err = run("sweep", &["--fault-rate", "2.0"]).unwrap_err();
+        assert!(err.0.contains("fault rate"), "{}", err.0);
+        let err = run("sweep", &["--kr", ""]).unwrap_err();
+        assert!(err.0.contains("cannot parse"), "{}", err.0);
+    }
+
+    #[test]
+    fn report_metrics_rejects_inconsistent_histogram_parts() {
+        let dir = std::env::temp_dir().join("vapres_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad_hist.jsonl");
+        // Valid JSONL shape, inconsistent content: a zero bucket width.
+        std::fs::write(
+            &bad,
+            "{\"type\":\"histogram\",\"name\":\"h\",\"labels\":{},\
+             \"bucket_width\":0,\"counts\":[1]}\n",
+        )
+        .unwrap();
+        let err = run("report", &["--metrics", bad.to_str().unwrap()]).unwrap_err();
+        assert!(err.0.contains("bucket width"), "{}", err.0);
+        std::fs::remove_file(&bad).ok();
     }
 
     #[test]

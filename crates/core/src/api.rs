@@ -615,6 +615,15 @@ impl VapresSystem {
         Ok(())
     }
 
+    /// Stores raw bytes as a CompactFlash file, bypassing bitstream
+    /// generation — the fault-injection hook: sweep scenarios corrupt a
+    /// generated bitstream and plant it here, so a later reconfiguration
+    /// exercises the ICAP's validation path exactly as flash corruption
+    /// on the real card would.
+    pub fn cf_store_raw(&mut self, filename: &str, bytes: Vec<u8>) {
+        self.cf.store(filename, bytes);
+    }
+
     /// Brings a node's interfaces up for streaming: slice macros on,
     /// FIFO read/write enables on, resets clear. For PRRs also enables the
     /// clock (menu entry `clk_sel`).

@@ -21,6 +21,8 @@
 //!   `vapres_establish_channel`, …) with software cycle costs;
 //! * [`switching`] — the nine-step seamless module swap (Fig. 5) and the
 //!   halt-and-swap baseline;
+//! * [`scenario`] — design-space sweep: scenario grids, deterministic
+//!   per-scenario seeding, and the multi-threaded batch engine;
 //! * [`health`] — watchdog policy: declarative budgets over swap
 //!   deadlines, FIFO occupancy, and stream-interruption SLOs, folded
 //!   into a structured health report;
@@ -49,6 +51,7 @@ pub mod health;
 pub mod module;
 pub mod multirsb;
 pub mod placement;
+pub mod scenario;
 pub mod socket;
 pub mod switching;
 pub mod system;
@@ -60,12 +63,17 @@ pub use health::{evaluate_health, HealthPolicy};
 pub use module::{HardwareModule, ModuleIo, ModuleLibrary};
 pub use multirsb::MultiRsbSystem;
 pub use placement::{PlacementManager, PlacementStats};
+pub use scenario::{
+    merge_telemetry, run_sweep_with, Scenario, ScenarioResult, ScenarioSummary, SwapMethod,
+    SwapOutcome, SweepGrid,
+};
 pub use socket::{Dcr, PrSocket};
 pub use switching::{halt_and_swap, seamless_swap, BitstreamSource, SwapReport, SwapSpec};
 pub use system::VapresSystem;
 
 // Re-export the identifiers applications constantly need.
 pub use vapres_bitstream::stream::ModuleUid;
+pub use vapres_sim::rng::SplitMix64;
 pub use vapres_sim::time::{Freq, Ps};
 pub use vapres_stream::fabric::{ChannelId, PortRef};
 pub use vapres_stream::word::Word;

@@ -10,7 +10,9 @@
 //!   nodes, deployment (bitstream load + channel chain + bring-up), and
 //!   teardown;
 //! * [`mod@reference`] — the software golden-model executor that E8 checks
-//!   hardware output against.
+//!   hardware output against;
+//! * [`sweep`] — the concrete E3 scenario runner behind `vapres sweep`
+//!   (the batch engine itself lives in `vapres_core::scenario`).
 //!
 //! # Examples
 //!
@@ -52,6 +54,7 @@ pub mod dot;
 pub mod graph;
 pub mod pipeline;
 pub mod reference;
+pub mod sweep;
 
 pub use dot::{graph_to_dot, pipeline_to_dot};
 pub use graph::{
@@ -60,3 +63,4 @@ pub use graph::{
 };
 pub use pipeline::{deploy, map_pipeline, DeployedPipeline, MapError, Mapping, Pipeline};
 pub use reference::run_chain;
+pub use sweep::run_scenario;

@@ -1,0 +1,252 @@
+//! The concrete E3 sweep runner: one [`Scenario`] → one full
+//! `VapresSystem` run → one [`ScenarioResult`].
+//!
+//! This is the runner `vapres_core::scenario::run_sweep_with` shards
+//! across worker threads. Each invocation builds a fresh system from the
+//! scenario's reparameterized prototype config, deploys the paper's E3
+//! arrangement (IOM → FIR A → IOM, FIR B staged in SDRAM), streams the
+//! scenario's samples, performs the requested swap mid-stream, and
+//! harvests the telemetry registry into a summary row.
+//!
+//! The runner is a pure function of the scenario: every random choice
+//! (fault injection) draws from a `SplitMix64` seeded with
+//! [`Scenario::seed`], and nothing reads the wall clock — so the same
+//! scenario produces bit-identical telemetry on any worker, which is what
+//! lets the engine promise `--jobs 1` ≡ `--jobs 8`.
+
+use vapres_core::module::ModuleLibrary;
+use vapres_core::scenario::{Scenario, ScenarioResult, ScenarioSummary, SwapMethod, SwapOutcome};
+use vapres_core::switching::{halt_and_swap, seamless_swap, BitstreamSource, SwapSpec};
+use vapres_core::system::VapresSystem;
+use vapres_core::{ApiError, PortRef, Ps, SplitMix64};
+use vapres_modules::{register_standard_modules, uids};
+
+/// Every Nth streamed word carries a provenance tag (enough tags for
+/// stable p50/p95/p99 without tracing every word).
+const TRACE_EVERY: u32 = 7;
+
+/// Corrupted-bitstream faults flip one bit within this prefix — the
+/// sync/header region — so an injected fault deterministically trips the
+/// ICAP's validation instead of landing silently in frame payload.
+const FAULT_WINDOW_BYTES: usize = 32;
+
+/// Simulated time budget for draining the input after the swap.
+const DRAIN_BUDGET: Ps = Ps::from_ms(300);
+
+/// Runs one scenario to completion.
+///
+/// Never fails: a setup error (e.g. a grid point whose channel slots
+/// cannot route the swap) is reported in the summary's
+/// [`SwapOutcome::Failed`] with a `"setup: "` prefix, so a sweep always
+/// produces a full table. The scenario should have passed
+/// [`Scenario::validate`] first — an invalid *system config* panics here.
+pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    let mut sys = VapresSystem::new(sc.system_config(), lib)
+        .expect("scenario config was validated before dispatch");
+    sys.enable_telemetry();
+    sys.enable_word_trace(TRACE_EVERY);
+    sys.iom_set_input_interval(0, sc.interval);
+
+    let mut rng = SplitMix64::new(sc.seed);
+    let setup = setup_e3(&mut sys, sc, &mut rng);
+
+    let (outcome, swap_failed) = match setup {
+        Err(e) => (
+            SwapOutcome::Failed {
+                error: format!("setup: {e}"),
+            },
+            true,
+        ),
+        Ok(spec) => {
+            sys.iom_feed(0, 0..sc.samples);
+            sys.run_for(Ps::from_ms(1));
+            match sc.swap {
+                SwapMethod::None => (SwapOutcome::NotRequested, false),
+                SwapMethod::Seamless | SwapMethod::Halt => {
+                    let swapped = if sc.swap == SwapMethod::Halt {
+                        halt_and_swap(&mut sys, &spec)
+                    } else {
+                        seamless_swap(&mut sys, &spec)
+                    };
+                    match swapped {
+                        Ok(report) => (
+                            SwapOutcome::Completed {
+                                total_ps: report.total().as_ps(),
+                                reconfig_ps: report.reconfig.total().as_ps(),
+                                state_words: report.state_words as u64,
+                            },
+                            false,
+                        ),
+                        Err(e) => (
+                            SwapOutcome::Failed {
+                                error: e.to_string(),
+                            },
+                            true,
+                        ),
+                    }
+                }
+            }
+        }
+    };
+
+    // A failed halt-and-swap leaves the stream halted, so insisting on a
+    // drain would burn the whole budget; settle briefly instead.
+    let drained = if swap_failed {
+        sys.run_for(Ps::from_ms(1));
+        sys.iom_pending_input(0) == 0
+    } else {
+        let done = sys.run_until(DRAIN_BUDGET, |s| s.iom_pending_input(0) == 0);
+        sys.run_for(Ps::from_us(100));
+        done
+    };
+
+    let samples_out = sys.iom_output(0).len() as u64;
+    let sim_time_ps = sys.now().as_ps();
+    let telemetry = sys
+        .snapshot_metrics()
+        .expect("telemetry was enabled above")
+        .clone();
+    let summary = ScenarioSummary::harvest(&telemetry, outcome, drained, samples_out, sim_time_ps);
+    ScenarioResult {
+        scenario: sc.clone(),
+        summary,
+        telemetry,
+    }
+}
+
+/// Deploys the E3 arrangement and stages FIR B (corrupted with
+/// probability [`Scenario::fault_rate`]), returning the ready swap spec.
+fn setup_e3(
+    sys: &mut VapresSystem,
+    sc: &Scenario,
+    rng: &mut SplitMix64,
+) -> Result<SwapSpec, ApiError> {
+    // FIR A runs on PRR 0 (node 1). FIR B targets the spare PRR 1
+    // (node 2) for a seamless swap, or PRR 0 in place for the halt
+    // baseline; for a no-swap scenario it is staged for the spare anyway
+    // so storage traffic matches the swap scenarios.
+    let fir_b_prr = if sc.swap == SwapMethod::Halt { 0 } else { 1 };
+    sys.install_bitstream(0, uids::FIR_A, "fir_a.bit")?;
+
+    let mut fir_b = sys.bitstream_for(fir_b_prr, uids::FIR_B)?.to_bytes();
+    if sc.fault_rate > 0.0 && rng.gen_bool(sc.fault_rate) {
+        let window = FAULT_WINDOW_BYTES.min(fir_b.len());
+        let bit = rng.gen_usize(0..window * 8);
+        fir_b[bit / 8] ^= 1 << (bit % 8);
+    }
+    sys.cf_store_raw("fir_b.bit", fir_b);
+    sys.vapres_cf2array("fir_b.bit", "fir_b")?;
+
+    sys.vapres_cf2icap("fir_a.bit")?;
+    let upstream = sys.vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))?;
+    let downstream = sys.vapres_establish_channel(PortRef::new(1, 0), PortRef::new(0, 0))?;
+    sys.bring_up_node(0, false)?;
+    sys.bring_up_node(1, false)?;
+    Ok(SwapSpec {
+        active_node: 1,
+        spare_node: 2,
+        source: BitstreamSource::Sdram("fir_b".into()),
+        upstream,
+        downstream,
+        clk_sel: false,
+        timeout: Ps::from_ms(10),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vapres_core::scenario::{merge_telemetry, run_sweep_with, SweepGrid};
+
+    fn tiny(swap: SwapMethod, fault_rate: f64, seed: u64) -> Scenario {
+        let sc = Scenario {
+            index: 0,
+            seed,
+            kr: 2,
+            kl: 2,
+            fifo_depth: 512,
+            prr_clock_mhz: 100,
+            swap,
+            fault_rate,
+            samples: 400,
+            interval: 50,
+        };
+        sc.validate().unwrap();
+        sc
+    }
+
+    #[test]
+    fn no_swap_scenario_streams_and_drains() {
+        let r = run_scenario(&tiny(SwapMethod::None, 0.0, 1));
+        assert_eq!(r.summary.swap, SwapOutcome::NotRequested);
+        assert!(r.summary.drained);
+        assert_eq!(r.summary.samples_out, 400);
+        assert_eq!(r.summary.missed_slots, 0);
+        assert!(
+            r.summary.p99_e2e_ps.is_some(),
+            "word trace produced latencies"
+        );
+    }
+
+    #[test]
+    fn seamless_swap_scenario_completes_without_interruption() {
+        let r = run_scenario(&tiny(SwapMethod::Seamless, 0.0, 2));
+        assert!(
+            matches!(r.summary.swap, SwapOutcome::Completed { .. }),
+            "got {:?}",
+            r.summary.swap
+        );
+        assert!(r.summary.drained);
+        assert_eq!(
+            r.summary.missed_slots, 0,
+            "seamless means zero missed slots"
+        );
+    }
+
+    #[test]
+    fn certain_fault_fails_the_swap_but_not_the_sweep() {
+        let r = run_scenario(&tiny(SwapMethod::Seamless, 1.0, 3));
+        match &r.summary.swap {
+            SwapOutcome::Failed { error } => {
+                assert!(
+                    !error.starts_with("setup:"),
+                    "fault hits at swap time: {error}"
+                );
+            }
+            other => panic!("expected a failed swap, got {other:?}"),
+        }
+        // The stream itself survives a failed seamless swap: FIR A was
+        // never halted.
+        assert!(r.summary.drained);
+        assert_eq!(r.summary.samples_out, 400);
+    }
+
+    #[test]
+    fn runner_is_deterministic_across_job_counts() {
+        let grid = SweepGrid {
+            kr: vec![2],
+            kl: vec![2],
+            fifo_depth: vec![512],
+            prr_clock_mhz: vec![100],
+            swap: vec![SwapMethod::None, SwapMethod::Seamless],
+            fault_rate: vec![0.0, 1.0],
+            samples: vec![300],
+            interval: 50,
+            seed: 99,
+        };
+        let scenarios = grid.expand();
+        let a = run_sweep_with(&scenarios, 1, run_scenario);
+        let b = run_sweep_with(&scenarios, 4, run_scenario);
+        let jsonl = |rs: &[ScenarioResult]| {
+            let mut out = Vec::new();
+            merge_telemetry(rs).write_jsonl(&mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        assert_eq!(jsonl(&a), jsonl(&b), "merged registries are byte-identical");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.summary, y.summary, "scenario {}", x.scenario.index);
+        }
+    }
+}

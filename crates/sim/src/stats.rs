@@ -261,21 +261,97 @@ impl Histogram {
     ///
     /// # Panics
     ///
-    /// Panics if `bucket_width` is zero or `counts` is empty.
+    /// Panics on any inconsistency [`Histogram::try_from_parts`] rejects.
     pub fn from_parts(
         bucket_width: u64,
         counts: Vec<u64>,
         min: Option<u64>,
         max: Option<u64>,
     ) -> Self {
-        assert!(bucket_width > 0, "bucket width must be non-zero");
-        assert!(!counts.is_empty(), "need at least one bucket");
-        Histogram {
+        match Self::try_from_parts(bucket_width, counts, min, max) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible [`Histogram::from_parts`]: validates the parts and reports
+    /// *why* they are inconsistent, so a corrupted snapshot fails loudly at
+    /// the parse boundary instead of producing nonsense quantiles later.
+    ///
+    /// Rejected: zero `bucket_width`, empty `counts`, `min > max`, one of
+    /// `min`/`max` present without the other, and recorded extremes on a
+    /// histogram whose bucket counts are all zero.
+    pub fn try_from_parts(
+        bucket_width: u64,
+        counts: Vec<u64>,
+        min: Option<u64>,
+        max: Option<u64>,
+    ) -> Result<Self, String> {
+        if bucket_width == 0 {
+            return Err("bucket width must be non-zero".into());
+        }
+        if counts.is_empty() {
+            return Err("need at least one bucket".into());
+        }
+        if min.is_some() != max.is_some() {
+            return Err(format!(
+                "histogram parts record min={min:?} but max={max:?}; \
+                 extremes must be present together"
+            ));
+        }
+        if let (Some(mn), Some(mx)) = (min, max) {
+            if mn > mx {
+                return Err(format!("histogram parts have min {mn} > max {mx}"));
+            }
+            if counts.iter().all(|&c| c == 0) {
+                return Err(format!(
+                    "histogram parts record extremes (min {mn}, max {mx}) \
+                     but every bucket count is zero"
+                ));
+            }
+        }
+        Ok(Histogram {
             bucket_width,
             counts,
             min,
             max,
+        })
+    }
+
+    /// Folds `other` into `self`: per-bucket counts add and the exact
+    /// extremes combine. An empty histogram of the same shape is the merge
+    /// identity, and merging is associative and commutative — the sweep
+    /// engine relies on all three so that worker count and completion order
+    /// cannot change the merged report.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `other` has the same bucket width and bucket count;
+    /// merging differently-shaped histograms would silently misfile counts.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bucket_width, other.bucket_width,
+            "histogram merge: bucket widths differ ({} vs {})",
+            self.bucket_width, other.bucket_width
+        );
+        assert_eq!(
+            self.counts.len(),
+            other.counts.len(),
+            "histogram merge: bucket counts differ ({} vs {})",
+            self.counts.len(),
+            other.counts.len()
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
         }
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
     }
 
     /// Adds one sample.
@@ -330,7 +406,10 @@ impl Histogram {
         if total == 0 {
             return 0;
         }
-        let need = (q.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        // At least one sample must be covered: with q = 0.0 a raw
+        // ceil(q * total) of zero would let an empty first bucket satisfy
+        // `acc >= need`, reporting a bound below the smallest sample.
+        let need = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
         let mut acc = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             acc += c;
@@ -368,9 +447,133 @@ mod tests {
     }
 
     #[test]
+    fn histogram_p0_reports_bucket_of_minimum_sample() {
+        // Samples live in bucket [20,30): p0 must report 30, not bucket 1's
+        // upper bound (10) via the empty-prefix shortcut.
+        let mut h = Histogram::new(10, 4);
+        h.add(25);
+        h.add(27);
+        assert_eq!(h.quantile_upper_bound(0.0), 30);
+        assert_eq!(h.percentile(0.0), Some(30));
+        // p100 of the same data is the same bucket.
+        assert_eq!(h.percentile(1.0), Some(30));
+        // p0 == p50 == p100 for a single sample.
+        let mut one = Histogram::new(100, 8);
+        one.add(650);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(one.percentile(q), Some(700), "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_p0_and_p100_in_overflow_bucket() {
+        let mut h = Histogram::new(10, 2);
+        h.add(2_000);
+        assert_eq!(h.percentile(0.0), Some(20));
+        assert_eq!(h.percentile(1.0), Some(20));
+    }
+
+    #[test]
     #[should_panic(expected = "bucket width")]
     fn histogram_zero_width_panics() {
         let _ = Histogram::new(0, 1);
+    }
+
+    #[test]
+    fn histogram_try_from_parts_accepts_consistent_parts() {
+        let h = Histogram::try_from_parts(10, vec![0, 2, 1], Some(12), Some(25)).unwrap();
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.min(), Some(12));
+        assert_eq!(h.max(), Some(25));
+        // All-zero counts with no extremes is a legitimate empty snapshot.
+        let empty = Histogram::try_from_parts(10, vec![0, 0], None, None).unwrap();
+        assert_eq!(empty.total(), 0);
+    }
+
+    #[test]
+    fn histogram_try_from_parts_rejects_inconsistent_parts() {
+        let err = |r: Result<Histogram, String>| r.unwrap_err();
+        assert!(err(Histogram::try_from_parts(0, vec![1], None, None)).contains("bucket width"));
+        assert!(err(Histogram::try_from_parts(10, vec![], None, None)).contains("bucket"));
+        assert!(
+            err(Histogram::try_from_parts(10, vec![1], Some(9), Some(3))).contains("min 9 > max 3")
+        );
+        assert!(
+            err(Histogram::try_from_parts(10, vec![0, 0], Some(5), Some(5)))
+                .contains("every bucket count is zero")
+        );
+        assert!(err(Histogram::try_from_parts(10, vec![1], Some(5), None)).contains("together"));
+        assert!(err(Histogram::try_from_parts(10, vec![1], None, Some(5))).contains("together"));
+    }
+
+    #[test]
+    #[should_panic(expected = "min 9 > max 3")]
+    fn histogram_from_parts_panics_on_inconsistent_extremes() {
+        let _ = Histogram::from_parts(10, vec![1], Some(9), Some(3));
+    }
+
+    #[test]
+    fn histogram_merge_adds_counts_and_combines_extremes() {
+        let mut a = Histogram::new(10, 4);
+        a.add(5);
+        a.add(35);
+        let mut b = Histogram::new(10, 4);
+        b.add(12);
+        b.add(999);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1, 0, 2]);
+        assert_eq!(a.min(), Some(5));
+        assert_eq!(a.max(), Some(999));
+    }
+
+    #[test]
+    fn histogram_merge_identity_and_associativity() {
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new(10, 4);
+            for &v in vals {
+                h.add(v);
+            }
+            h
+        };
+        let (a, b, c) = (mk(&[1, 15]), mk(&[22, 39, 5]), mk(&[100]));
+
+        // Identity: merging an empty same-shape histogram changes nothing,
+        // in either direction.
+        let mut left = Histogram::new(10, 4);
+        left.merge(&a);
+        let mut right = a.clone();
+        right.merge(&Histogram::new(10, 4));
+        for h in [&left, &right] {
+            assert_eq!(h.counts(), a.counts());
+            assert_eq!(h.min(), a.min());
+            assert_eq!(h.max(), a.max());
+        }
+
+        // Associativity: (a+b)+c == a+(b+c).
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut a_bc = a.clone();
+        a_bc.merge(&bc);
+        assert_eq!(ab_c.counts(), a_bc.counts());
+        assert_eq!(ab_c.min(), a_bc.min());
+        assert_eq!(ab_c.max(), a_bc.max());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket widths differ")]
+    fn histogram_merge_rejects_width_mismatch() {
+        let mut a = Histogram::new(10, 4);
+        a.merge(&Histogram::new(20, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket counts differ")]
+    fn histogram_merge_rejects_shape_mismatch() {
+        let mut a = Histogram::new(10, 4);
+        a.merge(&Histogram::new(10, 8));
     }
 
     #[test]

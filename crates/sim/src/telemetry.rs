@@ -283,6 +283,86 @@ impl Telemetry {
         self.len() == 0 && self.spans.is_empty()
     }
 
+    /// All counters as `(name, labels, value)`, in registration order.
+    pub fn counters_iter(&self) -> impl Iterator<Item = (&'static str, &[Label], u64)> + '_ {
+        self.counters
+            .iter()
+            .map(|c| (c.name, c.labels.as_slice(), c.value))
+    }
+
+    /// All gauges as `(name, labels, value)`, in registration order.
+    pub fn gauges_iter(&self) -> impl Iterator<Item = (&'static str, &[Label], f64)> + '_ {
+        self.gauges
+            .iter()
+            .map(|g| (g.name, g.labels.as_slice(), g.value))
+    }
+
+    /// All histograms as `(name, labels, histogram)`, in registration
+    /// order.
+    pub fn histograms_iter(
+        &self,
+    ) -> impl Iterator<Item = (&'static str, &[Label], &Histogram)> + '_ {
+        self.histograms
+            .iter()
+            .map(|h| (h.name, h.labels.as_slice(), &h.hist))
+    }
+
+    /// A registered histogram by exact `name` + `labels` key, without
+    /// registering one on a miss.
+    pub fn histogram_named(&self, name: &str, labels: &[Label]) -> Option<&Histogram> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && h.labels == labels)
+            .map(|h| &h.hist)
+    }
+
+    /// Folds `other` into `self`, keyed by metric name + label set:
+    ///
+    /// * counters add (both are monotone totals);
+    /// * gauges keep the maximum — every gauge in this codebase is a
+    ///   high-water mark or worst-case ratio, so "max" is the merge that
+    ///   preserves its meaning across runs;
+    /// * histograms merge bucket-wise (see [`Histogram::merge`], which
+    ///   panics on a shape mismatch);
+    /// * spans append in `other`'s record order.
+    ///
+    /// Metrics new to `self` register in `other`'s registration order, so
+    /// folding a sequence of registries in a fixed order always yields the
+    /// same registry — the sweep engine's determinism guarantee.
+    pub fn merge(&mut self, other: &Telemetry) {
+        for c in &other.counters {
+            let id = self.counter(c.name, &c.labels);
+            self.inc(id, c.value);
+        }
+        for g in &other.gauges {
+            if let Some(i) = self
+                .gauges
+                .iter()
+                .position(|m| m.name == g.name && m.labels == g.labels)
+            {
+                // Direct max, not set_gauge_max over a fresh 0.0 default:
+                // a negative reading must survive the merge unclamped.
+                if g.value > self.gauges[i].value {
+                    self.gauges[i].value = g.value;
+                }
+            } else {
+                self.gauges.push(g.clone());
+            }
+        }
+        for h in &other.histograms {
+            if let Some(i) = self
+                .histograms
+                .iter()
+                .position(|m| m.name == h.name && m.labels == h.labels)
+            {
+                self.histograms[i].hist.merge(&h.hist);
+            } else {
+                self.histograms.push(h.clone());
+            }
+        }
+        self.spans.extend(other.spans.iter().cloned());
+    }
+
     // ------------------------------------------------------------------
     // Exporters.
     // ------------------------------------------------------------------
@@ -932,6 +1012,99 @@ mod tests {
         assert_eq!(t.gauge_value(g), 3.0);
         t.set_gauge(g, 0.5);
         assert_eq!(t.gauge_value(g), 0.5);
+    }
+
+    #[test]
+    fn merge_disjoint_label_sets_concatenates() {
+        let mut a = Telemetry::new();
+        let ca = a.counter("stall_total", &[("ch", "0".into())]);
+        a.inc(ca, 7);
+        let ga = a.gauge("fifo_high_water", &[("ch", "0".into())]);
+        a.set_gauge(ga, 12.0);
+
+        let mut b = Telemetry::new();
+        let cb = b.counter("stall_total", &[("ch", "1".into())]);
+        b.inc(cb, 5);
+        let gb = b.gauge("fifo_high_water", &[("ch", "1".into())]);
+        b.set_gauge(gb, 3.0);
+        let hb = b.histogram("lat", &[], 10, 4);
+        b.observe(hb, 25);
+
+        a.merge(&b);
+        let counters: Vec<_> = a.counters_iter().collect();
+        assert_eq!(counters.len(), 2, "disjoint keys stay separate");
+        assert_eq!(counters[0].2, 7);
+        assert_eq!(counters[1].2, 5);
+        let gauges: Vec<_> = a.gauges_iter().collect();
+        assert_eq!(gauges.len(), 2);
+        assert_eq!(a.histogram_named("lat", &[]).unwrap().total(), 1);
+    }
+
+    #[test]
+    fn merge_overlapping_keys_add_max_and_bucketwise() {
+        let mk = |stalls: u64, hw: f64, sample: u64| {
+            let mut t = Telemetry::new();
+            let c = t.counter("stall_total", &[("ch", "0".into())]);
+            t.inc(c, stalls);
+            let g = t.gauge("fifo_high_water", &[("ch", "0".into())]);
+            t.set_gauge(g, hw);
+            let h = t.histogram("lat", &[("stage", "hop".into())], 10, 4);
+            t.observe(h, sample);
+            t.record_span("step", "s", Ps::new(0), Ps::new(5));
+            t
+        };
+        let mut a = mk(7, 12.0, 5);
+        let b = mk(5, 3.0, 35);
+        a.merge(&b);
+
+        let counters: Vec<_> = a.counters_iter().collect();
+        assert_eq!(counters.len(), 1, "same key folds into one counter");
+        assert_eq!(counters[0].2, 12, "counters add");
+        let gauges: Vec<_> = a.gauges_iter().collect();
+        assert_eq!(gauges.len(), 1);
+        assert_eq!(gauges[0].2, 12.0, "gauges keep the max");
+        let h = a
+            .histogram_named("lat", &[("stage", "hop".into())])
+            .unwrap();
+        assert_eq!(h.counts(), &[1, 0, 0, 1], "histograms merge bucket-wise");
+        assert_eq!(a.spans().len(), 2, "spans append");
+    }
+
+    #[test]
+    fn merge_is_deterministic_and_identity_on_empty() {
+        let mk = |v: u64| {
+            let mut t = Telemetry::new();
+            let c = t.counter("c_total", &[("i", v.to_string())]);
+            t.inc(c, v);
+            t
+        };
+        // Folding [t1, t2, t3] in index order into an empty registry is
+        // byte-for-byte reproducible.
+        let fold = || {
+            let mut acc = Telemetry::new();
+            for v in [1u64, 2, 3] {
+                acc.merge(&mk(v));
+            }
+            jsonl(&acc)
+        };
+        assert_eq!(fold(), fold());
+
+        // Merging an empty registry changes nothing.
+        let mut t = mk(9);
+        let before = jsonl(&t);
+        t.merge(&Telemetry::new());
+        assert_eq!(jsonl(&t), before);
+    }
+
+    #[test]
+    fn merge_negative_gauge_survives_unclamped() {
+        let mut a = Telemetry::new();
+        let mut b = Telemetry::new();
+        let g = b.gauge("drift", &[]);
+        b.set_gauge(g, -4.5);
+        a.merge(&b);
+        let gauges: Vec<_> = a.gauges_iter().collect();
+        assert_eq!(gauges[0].2, -4.5);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 use crate::fifo::{AsyncFifo, FullError};
 use crate::params::FabricParams;
 use crate::word::Word;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Identifies one module-interface port: node index plus port index within
@@ -336,6 +337,13 @@ struct TagLeg {
     delivered: Option<u64>,
 }
 
+/// Tags below this index live in flat vectors indexed by tag — the hot
+/// path for the sequentially-issued tags the tracer produces. Anything at
+/// or above it (which only a corrupted or hostile word can carry, up to
+/// `u32::MAX`) spills into an ordered map instead of forcing a
+/// tag-sized — potentially multi-gigabyte — vector resize.
+const MAX_DENSE_TAGS: usize = 1 << 16;
+
 /// Per-tag provenance capture: timestamps every tagged word at FIFO
 /// enqueue/dequeue and pipeline injection/delivery, folding each
 /// completed leg into [`TagStats`]. Enabled via
@@ -345,61 +353,79 @@ struct TagLeg {
 pub struct WordTap {
     legs: Vec<TagLeg>,
     stats: Vec<TagStats>,
+    /// Out-of-range tags (see [`MAX_DENSE_TAGS`]), keyed by tag.
+    spill: BTreeMap<u32, (TagLeg, TagStats)>,
 }
 
 impl WordTap {
-    fn slot(&mut self, tag: u32) -> usize {
+    fn entry(&mut self, tag: u32) -> (&mut TagLeg, &mut TagStats) {
         let idx = tag as usize;
-        if idx >= self.stats.len() {
-            self.legs.resize(idx + 1, TagLeg::default());
-            self.stats.resize(idx + 1, TagStats::default());
+        if idx < MAX_DENSE_TAGS {
+            if idx >= self.stats.len() {
+                self.legs.resize(idx + 1, TagLeg::default());
+                self.stats.resize(idx + 1, TagStats::default());
+            }
+            (&mut self.legs[idx], &mut self.stats[idx])
+        } else {
+            let e = self.spill.entry(tag).or_default();
+            (&mut e.0, &mut e.1)
         }
-        idx
     }
 
     fn note_enqueue(&mut self, tag: u32, cycle: u64) {
-        let i = self.slot(tag);
-        self.legs[i].enqueued = Some(cycle);
+        let (leg, _) = self.entry(tag);
+        leg.enqueued = Some(cycle);
     }
 
     fn note_inject(&mut self, tag: u32, cycle: u64, hops: u32) {
-        let i = self.slot(tag);
-        if let Some(enq) = self.legs[i].enqueued.take() {
-            self.stats[i].producer_wait_cycles += cycle.saturating_sub(enq);
+        let (leg, stats) = self.entry(tag);
+        if let Some(enq) = leg.enqueued.take() {
+            stats.producer_wait_cycles += cycle.saturating_sub(enq);
         }
-        self.legs[i].injected = Some(cycle);
-        self.stats[i].hops += hops;
+        leg.injected = Some(cycle);
+        stats.hops += hops;
     }
 
     fn note_deliver(&mut self, tag: u32, cycle: u64) {
-        let i = self.slot(tag);
-        if let Some(inj) = self.legs[i].injected.take() {
-            self.stats[i].hop_cycles += cycle.saturating_sub(inj);
+        let (leg, stats) = self.entry(tag);
+        if let Some(inj) = leg.injected.take() {
+            stats.hop_cycles += cycle.saturating_sub(inj);
         }
-        self.legs[i].delivered = Some(cycle);
+        leg.delivered = Some(cycle);
     }
 
     fn note_dequeue(&mut self, tag: u32, cycle: u64) {
-        let i = self.slot(tag);
-        if let Some(dlv) = self.legs[i].delivered.take() {
-            self.stats[i].consumer_wait_cycles += cycle.saturating_sub(dlv);
-            self.stats[i].legs += 1;
+        let (leg, stats) = self.entry(tag);
+        if let Some(dlv) = leg.delivered.take() {
+            stats.consumer_wait_cycles += cycle.saturating_sub(dlv);
+            stats.legs += 1;
         }
     }
 
-    /// Number of tag slots observed so far.
+    /// Number of tag slots observed so far (dense slots plus spilled
+    /// out-of-range tags).
     pub fn tag_count(&self) -> usize {
-        self.stats.len()
+        self.stats.len() + self.spill.len()
     }
 
     /// Accumulated stats for one tag, if it was ever seen.
     pub fn stats(&self, tag: u32) -> Option<TagStats> {
-        self.stats.get(tag as usize).copied()
+        let idx = tag as usize;
+        if idx < MAX_DENSE_TAGS {
+            self.stats.get(idx).copied()
+        } else {
+            self.spill.get(&tag).map(|e| e.1)
+        }
     }
 
-    /// Accumulated stats for every observed tag, tag order.
-    pub fn all_stats(&self) -> &[TagStats] {
-        &self.stats
+    /// Accumulated stats for every observed tag as `(tag, stats)`, in tag
+    /// order (dense slots first, then spilled tags — both ascending).
+    pub fn all_stats(&self) -> impl Iterator<Item = (u32, TagStats)> + '_ {
+        self.stats
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i as u32, *s))
+            .chain(self.spill.iter().map(|(&t, e)| (t, e.1)))
     }
 }
 
@@ -1197,6 +1223,44 @@ mod tests {
             f.tick();
         }
         assert_eq!(f.word_tap().unwrap().tag_count(), 1);
+    }
+
+    #[test]
+    fn word_tap_huge_tag_spills_instead_of_allocating() {
+        // Regression: a corrupted tag used to drive a `tag + 1`-element
+        // vector resize — u32::MAX meant a multi-gigabyte allocation. Now
+        // out-of-range tags land in the spill map and still get full
+        // per-stage accounting.
+        let mut f = fabric();
+        let p = PortRef::new(0, 0);
+        let c = PortRef::new(2, 0);
+        open(&mut f, p, c);
+        f.enable_word_tap();
+
+        for tag in [u32::MAX, MAX_DENSE_TAGS as u32, 3] {
+            f.producer_push(p, Word::data(1).with_tag(Some(tag)))
+                .unwrap();
+            for _ in 0..10 {
+                f.tick();
+                if f.consumer_pop(c).unwrap().is_some() {
+                    break;
+                }
+            }
+        }
+
+        let tap = f.word_tap().unwrap();
+        // Dense region sized by the largest in-range tag, not the huge one.
+        assert_eq!(tap.tag_count(), 4 + 2, "tags 0..=3 dense, two spilled");
+        for tag in [u32::MAX, MAX_DENSE_TAGS as u32, 3] {
+            let s = tap.stats(tag).unwrap();
+            assert_eq!(s.legs, 1, "tag {tag} completed its traversal");
+            assert_eq!(s.hop_cycles, 3, "tag {tag}");
+        }
+        assert_eq!(tap.stats(4), None);
+        assert_eq!(tap.stats(u32::MAX - 1), None);
+        // all_stats walks dense then spilled, tag-ascending.
+        let tags: Vec<u32> = tap.all_stats().map(|(t, _)| t).collect();
+        assert_eq!(tags, [0, 1, 2, 3, MAX_DENSE_TAGS as u32, u32::MAX]);
     }
 
     #[test]

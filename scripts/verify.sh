@@ -54,6 +54,26 @@ grep -q '"event":"swap_failed".*"step":"2_reconfigure_spare"' "$flight" \
     || { echo "flight dump missing the failing swap step" >&2; exit 1; }
 rm -rf "$(dirname "$flight")"
 
+echo "==> sweep smoke test (small grid, parallel, deterministic merge)"
+sweepdir="$(mktemp -d)"
+vapres_bin="$PWD/target/release/vapres-cli"
+sweep_grid() { # $1 = job count, $2 = output subdir
+    mkdir -p "$sweepdir/$2"
+    (cd "$sweepdir/$2" && "$vapres_bin" sweep \
+        --kr 2 --kl 2,3 --fifo-depth 512 --swap none,seamless \
+        --samples 300 --interval 50 --jobs "$1" \
+        --jsonl merged.jsonl --bench BENCH_sweep.json > report.txt)
+}
+sweep_grid 1 seq
+sweep_grid 4 par
+for f in report.txt merged.jsonl BENCH_sweep.json; do
+    cmp -s "$sweepdir/seq/$f" "$sweepdir/par/$f" \
+        || { echo "sweep $f differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+done
+grep -q "aggregate: 4 ok, 0 failed" "$sweepdir/seq/report.txt" \
+    || { echo "sweep report missing healthy aggregate line" >&2; exit 1; }
+rm -rf "$sweepdir"
+
 echo "==> metrics overhead guard (disabled instrumentation within 2% of bare)"
 # The disabled-telemetry path must stay one predictable branch per site.
 # Timing benches are noisy; allow one retry before failing.

@@ -1,0 +1,84 @@
+//! End-to-end sweep-engine test: the full stack (grid expansion →
+//! threaded scheduling → real E3 scenario runs → index-ordered telemetry
+//! merge) must be a pure function of the grid, independent of the job
+//! count.
+
+use vapres::core::scenario::{
+    merge_telemetry, run_sweep_with, scenario_seed, SwapMethod, SwapOutcome, SweepGrid,
+};
+use vapres::kpn::run_scenario;
+
+fn small_grid() -> SweepGrid {
+    SweepGrid {
+        kr: vec![2],
+        kl: vec![2],
+        fifo_depth: vec![512],
+        prr_clock_mhz: vec![100],
+        swap: vec![SwapMethod::Seamless, SwapMethod::Halt],
+        fault_rate: vec![0.0],
+        // The E3 cadence: a 10 ms stream, long enough that the swap at
+        // t = 1 ms lands mid-stream and a halt visibly interrupts it.
+        samples: vec![2_000],
+        interval: 500,
+        seed: 0xDEED,
+    }
+}
+
+#[test]
+fn e3_default_grid_is_the_sixteen_scenario_headline_comparison() {
+    let grid = SweepGrid::e3_default();
+    let scenarios = grid.expand();
+    assert_eq!(scenarios.len(), 16);
+    for sc in &scenarios {
+        sc.validate().unwrap();
+        assert_eq!(sc.seed, scenario_seed(grid.seed, sc.index));
+    }
+    // Both swap methodologies present, so the sweep answers the paper's
+    // seamless-vs-halt question in one run.
+    assert!(scenarios.iter().any(|s| s.swap == SwapMethod::Seamless));
+    assert!(scenarios.iter().any(|s| s.swap == SwapMethod::Halt));
+}
+
+#[test]
+fn real_sweep_is_jobs_invariant_end_to_end() {
+    let scenarios = small_grid().expand();
+    let sequential = run_sweep_with(&scenarios, 1, run_scenario);
+    let threaded = run_sweep_with(&scenarios, 2, run_scenario);
+
+    for (a, b) in sequential.iter().zip(&threaded) {
+        assert_eq!(a.scenario, b.scenario);
+        assert_eq!(a.summary, b.summary, "scenario {}", a.scenario.index);
+    }
+    let jsonl = |rs: &[_]| {
+        let mut out = Vec::new();
+        merge_telemetry(rs).write_jsonl(&mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    };
+    assert_eq!(jsonl(&sequential), jsonl(&threaded));
+}
+
+#[test]
+fn sweep_reproduces_the_seamless_vs_halt_interruption_gap() {
+    let results = run_sweep_with(&small_grid().expand(), 2, run_scenario);
+    let by_swap = |m: SwapMethod| {
+        results
+            .iter()
+            .find(|r| r.scenario.swap == m)
+            .expect("grid covers both methods")
+    };
+    let seamless = by_swap(SwapMethod::Seamless);
+    let halt = by_swap(SwapMethod::Halt);
+    assert!(matches!(
+        seamless.summary.swap,
+        SwapOutcome::Completed { .. }
+    ));
+    assert!(matches!(halt.summary.swap, SwapOutcome::Completed { .. }));
+    // The paper's headline: the seamless swap never interrupts the
+    // stream, while halt-and-swap misses sample slots for the whole
+    // reconfiguration interval.
+    assert_eq!(seamless.summary.missed_slots, 0);
+    assert!(
+        halt.summary.missed_slots > 0,
+        "halt-and-swap must interrupt the stream"
+    );
+}
