@@ -844,9 +844,12 @@ pub fn cmd_health(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
 /// The report is byte-identical for any `--jobs` value: scenarios carry
 /// deterministic per-index seeds and results merge in scenario-index
 /// order, never completion order — so the job count is a pure wall-clock
-/// knob and deliberately never appears in the output. `--jsonl` exports
-/// the merged telemetry registry; `--bench` writes the per-scenario
-/// trajectory as JSON (the `BENCH_sweep.json` artifact).
+/// knob that never appears in the report. `--jsonl` exports the merged
+/// telemetry registry; `--bench` writes the per-scenario trajectory as
+/// JSON (the `BENCH_sweep.json` artifact), whose single `"host"` line
+/// records the machine context (CPU count, `--jobs`) so wall-clock
+/// comparisons across machines aren't misread — comparisons across job
+/// counts filter that one self-describing line.
 pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     use vapres_core::scenario::{
         merge_telemetry, run_sweep_with, SwapMethod, SwapOutcome, SweepGrid,
@@ -981,7 +984,7 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     }
     if let Some(path) = args.get("bench") {
         let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-        write_sweep_trajectory(&results, grid.seed, &mut file)?;
+        write_sweep_trajectory(&results, grid.seed, jobs, &mut file)?;
         file.flush()?;
         writeln!(out, "wrote {path}: sweep trajectory")?;
     }
@@ -991,17 +994,24 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
 /// Writes the per-scenario sweep trajectory as JSON (hand-rolled, like
 /// the telemetry exporters — the tree has no serde). Deterministic: the
 /// rows are in scenario-index order and contain no wall-clock values.
+/// The one machine-dependent line is `"host"` — CPU count and the
+/// `--jobs` value — so the artifact says whether a parallel speedup was
+/// even possible on the recording machine (a 1-CPU container bounds it
+/// at 1.0x); jobs-invariance checks filter that line before comparing.
 fn write_sweep_trajectory(
     results: &[vapres_core::scenario::ScenarioResult],
     seed: u64,
+    jobs: usize,
     out: &mut dyn Write,
 ) -> Result<(), CmdError> {
     use vapres_core::scenario::SwapOutcome;
 
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let opt = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
     writeln!(out, "{{")?;
     writeln!(out, "  \"bench\": \"sweep\",")?;
     writeln!(out, "  \"seed\": {seed},")?;
+    writeln!(out, "  \"host\": {{\"cpus\": {cpus}, \"jobs\": {jobs}}},")?;
     writeln!(out, "  \"scenarios\": [")?;
     for (i, r) in results.iter().enumerate() {
         let s = &r.summary;
@@ -1611,7 +1621,25 @@ mod tests {
         let b = run_jobs("4", "b");
         assert_eq!(a.0, b.0, "report differs between --jobs 1 and --jobs 4");
         assert_eq!(a.1, b.1, "merged JSONL differs");
-        assert_eq!(a.2, b.2, "trajectory JSON differs");
+        // The trajectory is jobs-invariant except the one "host" context
+        // line, which must reflect each run's actual --jobs value.
+        let sans_host = |traj: &str| {
+            let mut lines: Vec<&str> = traj.lines().collect();
+            let host = lines
+                .iter()
+                .position(|l| l.contains("\"host\""))
+                .expect("trajectory has a host line");
+            (lines.remove(host).to_string(), lines.join("\n"))
+        };
+        let (host_a, body_a) = sans_host(&a.2);
+        let (host_b, body_b) = sans_host(&b.2);
+        assert_eq!(
+            body_a, body_b,
+            "trajectory JSON differs beyond the host line"
+        );
+        assert!(host_a.contains("\"jobs\": 1"), "{host_a}");
+        assert!(host_b.contains("\"jobs\": 4"), "{host_b}");
+        assert!(host_a.contains("\"cpus\": "), "{host_a}");
         assert!(a.2.contains("\"bench\": \"sweep\""), "{}", a.2);
         assert!(a.2.contains("\"outcome\":\"completed\""), "{}", a.2);
     }

@@ -175,6 +175,9 @@ impl VapresSystem {
         self.flight_note(FlightEvent::DcrWrite { node: node as u32 });
         self.charge_cycles(costs::DCR_WRITE_CYCLES);
 
+        // Control bits below mutate fabric state: apply them at the
+        // present static cycle, not the fabric's last event horizon.
+        self.sync_fabric();
         if dcr.fifo_reset {
             self.fabric.reset_node_fifos(node);
         }
@@ -329,6 +332,8 @@ impl VapresSystem {
         producer: PortRef,
         consumer: PortRef,
     ) -> Result<ChannelId, ApiError> {
+        // The new route's registers start moving at the present cycle.
+        self.sync_fabric();
         let ch = self.fabric.establish_channel(producer, consumer)?;
         let hops = self
             .fabric
@@ -360,6 +365,9 @@ impl VapresSystem {
     ///
     /// [`ApiError::Route`] for an unknown channel.
     pub fn vapres_release_channel(&mut self, channel: ChannelId) -> Result<(), ApiError> {
+        // Words still in flight on the route exist up to the present
+        // cycle and vanish with it — fold them before tearing it down.
+        self.sync_fabric();
         let hops = self
             .fabric
             .channel_info(channel)

@@ -86,6 +86,9 @@ pub fn evaluate_health(
     swap: Option<&SwapReport>,
 ) -> HealthReport {
     let mut report = HealthReport::new();
+    // Monitors below read fabric counters: materialize any stretch the
+    // event-driven scheduler elided.
+    sys.sync_fabric();
 
     if let Some(s) = swap {
         let reconfig = s.reconfig.total().as_ps() as f64;

@@ -490,6 +490,7 @@ impl VapresSystem {
         let deadline = self.clocks.now() + dur;
         self.revalidate_activity();
         while self.step_to(deadline) {}
+        self.sync_fabric();
     }
 
     /// Runs until the predicate returns true or `timeout` elapses;
@@ -504,13 +505,28 @@ impl VapresSystem {
         let deadline = self.clocks.now() + timeout;
         self.revalidate_activity();
         loop {
+            // Predicates read fabric state: materialize any stretch the
+            // scheduler elided before evaluating.
+            self.sync_fabric();
             if pred(self) {
                 return true;
             }
             if !self.step_to(deadline) {
+                self.sync_fabric();
                 return pred(self);
             }
         }
+    }
+
+    /// Materializes the fabric's lazily-advanced state to the current
+    /// static cycle. Cheap when nothing was elided; exact always. The
+    /// scheduler may have fast-forwarded time past the fabric's last
+    /// dispatch (its event horizon proved the stretch free of component
+    /// interaction), so any accessor or mutator of fabric state must
+    /// sync first to observe — or apply changes at — the present cycle.
+    pub(crate) fn sync_fabric(&mut self) {
+        let cycle = self.clocks.cycles(self.static_domain);
+        self.fabric.advance_to(cycle);
     }
 
     /// Re-derives every component's wake state from current system state.
@@ -578,13 +594,23 @@ impl VapresSystem {
             } = self;
             let period_ps = cfg.static_clock.period().as_ps();
             let ki = cfg.params.ki;
+            // Horizon scheduling would starve the per-edge VCD sampling
+            // cadence; with tracing on, the fabric stays per-cycle.
+            let tracing = trace.is_some();
             let mut host = |waker: &mut vapres_sim::exec::Waker<'_>,
                             id: ComponentId,
                             edge: Edge|
              -> Activity {
                 match comp_kind[id.0] {
                     CompKind::Fabric => {
-                        let act = tick_fabric(fabric, comp_of_node, &mut |c| waker.wake(c));
+                        let act = tick_fabric(
+                            fabric,
+                            comp_of_node,
+                            &mut |c| waker.wake(c),
+                            edge,
+                            period_ps,
+                            tracing,
+                        );
                         if let Some(t) = trace {
                             t.sample(edge.at, fabric, prrs, sockets);
                         }
@@ -598,8 +624,12 @@ impl VapresSystem {
                         i,
                         edge,
                         period_ps,
-                        &mut |c| waker.wake(c),
+                        &mut |req| match req {
+                            WakeReq::Now(c) => waker.wake(c),
+                            WakeReq::At(c, at) => waker.schedule_at(c, at),
+                        },
                         *comp_fabric,
+                        !tracing,
                     ),
                     CompKind::Prr(i) => tick_prr(
                         prrs,
@@ -609,8 +639,14 @@ impl VapresSystem {
                         isolated_writes,
                         ki,
                         i,
-                        &mut |c| waker.wake(c),
+                        edge,
+                        period_ps,
+                        &mut |req| match req {
+                            WakeReq::Now(c) => waker.wake(c),
+                            WakeReq::At(c, at) => waker.schedule_at(c, at),
+                        },
                         *comp_fabric,
+                        !tracing,
                     ),
                 }
             };
@@ -623,10 +659,10 @@ impl VapresSystem {
     /// regardless of activity. Kept for golden-trace equivalence testing
     /// against the event-driven path.
     fn dispatch_dense(&mut self, edge: Edge) {
-        let mut no_wake = |_c: ComponentId| {};
+        let mut no_wake = |_req: WakeReq| {};
+        let period_ps = self.cfg.static_clock.period().as_ps();
         if edge.domain == self.static_domain {
             self.fabric.tick_dense();
-            let period_ps = self.cfg.static_clock.period().as_ps();
             for i in 0..self.ioms.len() {
                 let _ = tick_iom(
                     &mut self.ioms,
@@ -638,6 +674,7 @@ impl VapresSystem {
                     period_ps,
                     &mut no_wake,
                     self.comp_fabric,
+                    false,
                 );
             }
             if let Some(t) = &mut self.trace {
@@ -652,8 +689,11 @@ impl VapresSystem {
                 &mut self.isolated_writes,
                 self.cfg.params.ki,
                 idx,
+                edge,
+                period_ps,
                 &mut no_wake,
                 self.comp_fabric,
+                false,
             );
         }
     }
@@ -849,6 +889,9 @@ impl VapresSystem {
     ///   plus a `channel_stall_ratio` gauge (stalled / dispatched ticks);
     /// * `fifo_high_water` gauges per node interface (worst-case
     ///   occupancy);
+    /// * `fabric_dropped_words{kind}` counters — words lost at consumer
+    ///   interfaces, split into `gated` (`FIFO_wen` off) and `overflow`
+    ///   (consumer FIFO full);
     /// * `fabric_ticks_total`, `exec_ticks_total`, `exec_skips_total`,
     ///   and the `exec_tick_reduction` gauge;
     /// * `icap_writes_total` / `icap_failed_writes_total` /
@@ -864,6 +907,8 @@ impl VapresSystem {
     /// Returns `None` when telemetry was never enabled.
     pub fn snapshot_metrics(&mut self) -> Option<&Telemetry> {
         self.telemetry.as_ref()?;
+        // Counters below read fabric state: materialize it first.
+        self.sync_fabric();
         let mut t = self.telemetry.take().expect("checked above");
 
         for id in self.fabric.active_channels() {
@@ -911,6 +956,23 @@ impl VapresSystem {
                 }
             }
         }
+
+        // Words lost at consumer interfaces, by cause: `gated` (FIFO_wen
+        // off — expected during halt-style swaps) vs `overflow` (FIFO
+        // full past the feedback threshold — a sizing bug).
+        let mut gated = 0u64;
+        let mut overflow = 0u64;
+        for node in 0..self.cfg.params.nodes {
+            for port in 0..self.cfg.params.ki {
+                let p = PortRef::new(node, port);
+                gated += self.fabric.consumer_gated_drops(p).unwrap_or(0);
+                overflow += self.fabric.consumer_overflow_drops(p).unwrap_or(0);
+            }
+        }
+        let c = t.counter("fabric_dropped_words", &[("kind", "gated".into())]);
+        set_counter(&mut t, c, gated);
+        let c = t.counter("fabric_dropped_words", &[("kind", "overflow".into())]);
+        set_counter(&mut t, c, overflow);
 
         let c = t.counter("fabric_ticks_total", &[]);
         set_counter(&mut t, c, self.fabric.ticks());
@@ -1189,17 +1251,37 @@ fn set_counter(t: &mut Telemetry, id: vapres_sim::telemetry::CounterId, value: u
     t.inc(id, value.saturating_sub(cur));
 }
 
-/// One fabric tick plus wake propagation: words delivered into a node's
-/// consumer FIFO (or drained from its producer FIFO) wake that node's
-/// component, so it sees the data on this very edge — IOMs tick after the
-/// fabric in the static domain's dispatch order, exactly like the dense
-/// loop.
+/// Wake request a component tick issues for another component.
+enum WakeReq {
+    /// Tick it on this very edge (dense-loop ordering).
+    Now(ComponentId),
+    /// It can provably sleep until the given absolute time.
+    At(ComponentId, Ps),
+}
+
+/// One fabric dispatch plus wake propagation: the fabric advances to the
+/// edge's static cycle (folding any elided stretch in closed form), and
+/// words delivered into a node's consumer FIFO (or drained from its full
+/// producer FIFO) wake that node's component, so it sees the data on
+/// this very edge — IOMs tick after the fabric in the static domain's
+/// dispatch order, exactly like the dense loop.
+///
+/// Without waveform tracing the fabric then reports its own event
+/// horizon: the next static cycle at which it can interact with a
+/// component ([`StreamFabric::next_wake_cycle`]). The executor turns
+/// that into an `IdleUntil` timer, so steady streaming stretches cost
+/// one dispatch per delivery instead of one per cycle. With tracing the
+/// fabric stays `Active` while anything is in flight, preserving the
+/// per-edge VCD sampling cadence.
 fn tick_fabric(
     fabric: &mut StreamFabric,
     comp_of_node: &[Option<ComponentId>],
     wake: &mut dyn FnMut(ComponentId),
+    edge: Edge,
+    static_period_ps: u64,
+    tracing: bool,
 ) -> Activity {
-    fabric.tick();
+    fabric.advance_to(edge.cycle);
     for &p in fabric.last_deliveries() {
         if let Some(c) = comp_of_node[p.node] {
             wake(c);
@@ -1210,10 +1292,35 @@ fn tick_fabric(
             wake(c);
         }
     }
-    if fabric.is_quiescent() {
-        Activity::Quiescent
-    } else {
-        Activity::Active
+    if tracing {
+        return if fabric.is_quiescent() {
+            Activity::Quiescent
+        } else {
+            Activity::Active
+        };
+    }
+    match fabric.next_wake_cycle() {
+        None => Activity::Quiescent,
+        Some(w) if w <= edge.cycle + 1 => Activity::Active,
+        Some(w) => Activity::IdleUntil(Ps::new(w * static_period_ps)),
+    }
+}
+
+/// Re-arms the fabric component after a tick mutated fabric-visible
+/// state (generation changed): an immediate wake if its horizon is the
+/// next cycle, a timer otherwise. `scycle` is the static cycle the
+/// fabric is materialized to.
+fn rearm_fabric(
+    fabric: &StreamFabric,
+    scycle: u64,
+    static_period_ps: u64,
+    wake: &mut dyn FnMut(WakeReq),
+    comp_fabric: ComponentId,
+) {
+    match fabric.next_wake_cycle() {
+        None => {}
+        Some(w) if w <= scycle + 1 => wake(WakeReq::Now(comp_fabric)),
+        Some(w) => wake(WakeReq::At(comp_fabric, Ps::new(w * static_period_ps))),
     }
 }
 
@@ -1229,9 +1336,15 @@ fn tick_iom(
     idx: usize,
     edge: Edge,
     static_period_ps: u64,
-    wake: &mut dyn FnMut(ComponentId),
+    wake: &mut dyn FnMut(WakeReq),
     comp_fabric: ComponentId,
+    event_sched: bool,
 ) -> Activity {
+    // Materialize the fabric to this edge before reading its FIFOs (a
+    // no-op when the fabric component already ran this edge — it
+    // dispatches first in the static domain).
+    fabric.advance_to(edge.cycle);
+    let fabric_gen = fabric.generation();
     let node = ioms[idx].node;
     let port = PortRef::new(node, 0);
     // Pins → producer interface (port 0), one word per sample interval.
@@ -1271,9 +1384,15 @@ fn tick_iom(
             iom.gap.record(edge.at);
         }
     }
-    // Pushing or popping changed fabric-visible state: keep it ticking.
-    if fabric.active_route_count() > 0 {
-        wake(comp_fabric);
+    // Pushing or popping changed fabric-visible state: re-arm the fabric
+    // at its new event horizon (or, without horizon scheduling, just
+    // keep it ticking while any route is active).
+    if event_sched {
+        if fabric.generation() != fabric_gen {
+            rearm_fabric(fabric, edge.cycle, static_period_ps, wake, comp_fabric);
+        }
+    } else if fabric.active_route_count() > 0 {
+        wake(WakeReq::Now(comp_fabric));
     }
 
     let iom = &ioms[idx];
@@ -1311,9 +1430,20 @@ fn tick_prr(
     isolated_writes: &mut u64,
     ki: usize,
     idx: usize,
-    wake: &mut dyn FnMut(ComponentId),
+    edge: Edge,
+    static_period_ps: u64,
+    wake: &mut dyn FnMut(WakeReq),
     comp_fabric: ComponentId,
+    event_sched: bool,
 ) -> Activity {
+    // PRRs run in their own clock domain: map the edge time onto the
+    // static grid (static cycle k lands at exactly k·period) and
+    // materialize the fabric before the module reads or writes port
+    // FIFOs. Static edges at the same instant dispatch first, so this
+    // floor is never ahead of the fabric's own dispatch.
+    let scycle = edge.at.as_ps() / static_period_ps;
+    fabric.advance_to(scycle);
+    let fabric_gen = fabric.generation();
     let node = prrs[idx].node;
     let socket = sockets[node];
     let Some(mut module) = prrs[idx].module.take() else {
@@ -1345,8 +1475,12 @@ fn tick_prr(
         }
     }
     prrs[idx].module = Some(module);
-    if fabric.active_route_count() > 0 {
-        wake(comp_fabric);
+    if event_sched {
+        if fabric.generation() != fabric_gen {
+            rearm_fabric(fabric, scycle, static_period_ps, wake, comp_fabric);
+        }
+    } else if fabric.active_route_count() > 0 {
+        wake(WakeReq::Now(comp_fabric));
     }
     if quiescent {
         Activity::Quiescent

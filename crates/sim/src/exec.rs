@@ -168,12 +168,23 @@ struct Comp {
 #[derive(Debug)]
 pub struct Waker<'a> {
     pending: &'a mut Vec<ComponentId>,
+    scheduled: &'a mut Vec<(ComponentId, Ps)>,
 }
 
 impl Waker<'_> {
     /// Marks a component to be woken when the current tick returns.
     pub fn wake(&mut self, id: ComponentId) {
         self.pending.push(id);
+    }
+
+    /// Marks a component to be woken at absolute time `at` — the ticked
+    /// component computed another component's event horizon (e.g. the
+    /// fabric knows the next cycle it can deliver a word). Applied when
+    /// the current tick returns; a same-edge [`wake`](Self::wake) for the
+    /// same component wins (the timer is only placed on sleeping
+    /// components).
+    pub fn schedule_at(&mut self, id: ComponentId, at: Ps) {
+        self.scheduled.push((id, at));
     }
 }
 
@@ -198,6 +209,7 @@ pub struct Executor {
     timers: TimerQueue<ComponentId>,
     stats: ExecStats,
     wake_scratch: Vec<ComponentId>,
+    sched_scratch: Vec<(ComponentId, Ps)>,
     ff_scratch: Vec<u64>,
     trace: Option<ExecTrace>,
 }
@@ -279,6 +291,22 @@ impl Executor {
             self.timers.cancel(t);
         }
         self.sleep(id, None);
+    }
+
+    /// (Re)schedules a sleeping component to wake at absolute time `at`,
+    /// replacing any pending `IdleUntil` timer. A no-op on an awake
+    /// component — it will tick on its next edge anyway and report fresh
+    /// activity then.
+    pub fn schedule_wake_at(&mut self, id: ComponentId, at: Ps) {
+        let comp = &mut self.comps[id.0];
+        if comp.awake {
+            return;
+        }
+        if let Some(t) = comp.timer.take() {
+            self.timers.cancel(t);
+        }
+        let timer = self.timers.schedule_at(at, id);
+        self.comps[id.0].timer = Some(timer);
     }
 
     fn sleep(&mut self, id: ComponentId, timer: Option<TimerId>) {
@@ -442,18 +470,26 @@ impl Executor {
             }
             self.stats.domains[d].ticks += 1;
             let mut pending = std::mem::take(&mut self.wake_scratch);
+            let mut scheduled = std::mem::take(&mut self.sched_scratch);
             let activity = host(
                 &mut Waker {
                     pending: &mut pending,
+                    scheduled: &mut scheduled,
                 },
                 id,
                 edge,
             );
             self.apply_activity(id, clocks.now(), activity);
+            // Immediate wakes first: schedule_wake_at is a no-op on the
+            // components they leave awake.
             for c in pending.drain(..) {
                 self.wake(c);
             }
+            for (c, at) in scheduled.drain(..) {
+                self.schedule_wake_at(c, at);
+            }
             self.wake_scratch = pending;
+            self.sched_scratch = scheduled;
         }
         self.trace_sample(edge.at);
     }
@@ -585,6 +621,73 @@ mod tests {
             vec![(a, 10), (b, 10), (a, 20), (b, 20)],
             "b skipped nothing at 20 ns: the wake applied mid-edge"
         );
+    }
+
+    #[test]
+    fn host_schedule_at_wakes_sleeping_peer_and_defers_to_wake() {
+        // a stays active and steers b: sleeping b is woken by a timer a
+        // placed via schedule_at, and a same-edge wake() overrides a
+        // later schedule_at for the same component.
+        let mut clocks = ClockScheduler::new();
+        let clk = clocks.add_domain(Freq::mhz(100)); // 10 ns period
+        let mut exec = Executor::new();
+        let _a = exec.register(clk);
+        let b = exec.register(clk);
+
+        let b_ticks = Rc::new(RefCell::new(Vec::new()));
+        let log = b_ticks.clone();
+        exec.run_for(&mut clocks, Ps::from_ns(100), move |waker, id, edge| {
+            if id == b {
+                log.borrow_mut().push(edge.at.as_ns());
+                return Activity::Quiescent;
+            }
+            match edge.at.as_ns() {
+                // b slept after its 10 ns tick; aim a timer at 40 ns.
+                20 => waker.schedule_at(b, Ps::from_ns(40)),
+                // Replace a far-future timer with an immediate wake on
+                // the same edge: wake wins, b ticks at 60 ns, and no
+                // stale 90 ns timer survives to re-wake it.
+                60 => {
+                    waker.schedule_at(b, Ps::from_ns(90));
+                    waker.wake(b);
+                }
+                _ => {}
+            }
+            Activity::Active
+        });
+        assert_eq!(*b_ticks.borrow(), vec![10, 40, 60]);
+    }
+
+    #[test]
+    fn schedule_wake_at_replaces_pending_timer() {
+        let mut clocks = ClockScheduler::new();
+        let clk = clocks.add_domain(Freq::mhz(100));
+        let mut exec = Executor::new();
+        let c = exec.register(clk);
+
+        exec.run_for(&mut clocks, Ps::from_ns(10), |_, _, _| {
+            Activity::IdleUntil(Ps::from_ns(80))
+        });
+        assert!(!exec.is_awake(c));
+        // Pull the horizon in: the 80 ns timer must not fire a second
+        // tick after the replacement 30 ns one.
+        exec.schedule_wake_at(c, Ps::from_ns(30));
+        let mut ticks = Vec::new();
+        exec.run_for(&mut clocks, Ps::from_ns(90), |_, _, edge| {
+            ticks.push(edge.at.as_ns());
+            Activity::Quiescent
+        });
+        assert_eq!(ticks, vec![30]);
+
+        // On an awake component it is a no-op (no timer placed).
+        exec.wake(c);
+        exec.schedule_wake_at(c, Ps::from_us(5));
+        let mut ticks = 0;
+        exec.run_for(&mut clocks, Ps::from_ns(20), |_, _, _| {
+            ticks += 1;
+            Activity::Quiescent
+        });
+        assert_eq!(ticks, 1);
     }
 
     #[test]

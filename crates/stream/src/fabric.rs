@@ -29,7 +29,7 @@
 use crate::fifo::{AsyncFifo, FullError};
 use crate::params::FabricParams;
 use crate::word::Word;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// Identifies one module-interface port: node index plus port index within
@@ -219,31 +219,81 @@ fn note_fifo_edges(
 }
 
 /// An established channel's live state.
+///
+/// The forward pipeline and feedback wire are ring buffers, not shift
+/// arrays: a word carries its injection cycle (it reaches the consumer
+/// exactly `depth` cycles later), and the feedback history is a
+/// run-length-encoded queue of the last `depth` feedback-full samples.
+/// Both let the event-horizon fold (see [`StreamFabric::advance_to`])
+/// advance a route across a multi-cycle span in O(words moved) instead of
+/// O(cycles × depth).
 #[derive(Debug, Clone)]
 struct Route {
     producer: PortRef,
     consumer: PortRef,
     slots: Vec<Slot>,
-    /// Forward pipeline registers, index 0 nearest the producer. Length =
-    /// hops + 1 (the final box's internal register).
-    pipe: Vec<Option<Word>>,
-    /// Feedback pipeline, index 0 nearest the consumer; the producer reads
-    /// the last element.
-    feedback: Vec<bool>,
+    /// Register depth: hops + 1 (the final box's internal register).
+    depth: usize,
+    /// In-flight words as `(inject_cycle, word)`, oldest first. A word
+    /// injected at cycle `c` arrives at the consumer at cycle
+    /// `c + depth`; injection cycles are strictly increasing.
+    pipe: VecDeque<(u64, Word)>,
+    /// Feedback pipeline as run-length-encoded `(value, run)` entries,
+    /// oldest (producer-visible) first; run lengths always sum to
+    /// `depth`. The producer's stalled signal for the *next* cycle is the
+    /// front run's value.
+    feedback: VecDeque<(bool, u32)>,
     /// Feedback-full asserts when the consumer FIFO's remaining space is
     /// at most this (default: the round-trip window `2·depth + 1`).
     full_threshold: usize,
     delivered: u64,
-    /// Dispatched cycles where the producer had a word ready but the
-    /// (delayed) feedback-full signal blocked injection.
+    /// Cycles where the producer had a word ready but the (delayed)
+    /// feedback-full signal blocked injection. Accrued for every static
+    /// cycle the route exists, in both engines.
     stall_cycles: u64,
-    /// Dispatched cycles where the consumer asserted feedback-full.
+    /// Cycles where the consumer asserted feedback-full. Accrued for
+    /// every static cycle the route exists, in both engines.
     backpressure_cycles: u64,
 }
 
 impl Route {
-    fn depth(&self) -> usize {
-        self.pipe.len()
+    /// The producer-visible stalled value for the next cycle.
+    fn fb_front(&self) -> (bool, u32) {
+        *self.feedback.front().expect("feedback history never empty")
+    }
+
+    /// Shifts the feedback pipeline by `n` cycles, each latching `value`:
+    /// consume `n` samples from the read end, append `n` at the write
+    /// end (merging equal runs). Valid only when every one of the `n`
+    /// cycles latches the same value — the fold picks spans so they do.
+    fn fb_shift_span(&mut self, value: bool, n: u64) {
+        let depth = self.depth as u64;
+        if n >= depth {
+            // The appended run overwrites the whole history.
+            self.feedback.clear();
+            self.feedback.push_back((value, self.depth as u32));
+            return;
+        }
+        let mut left = n as u32;
+        while left > 0 {
+            let front = self.feedback.front_mut().expect("history never empty");
+            if front.1 > left {
+                front.1 -= left;
+                break;
+            }
+            left -= front.1;
+            self.feedback.pop_front();
+        }
+        match self.feedback.back_mut() {
+            Some(back) if back.0 == value => back.1 += n as u32,
+            _ => self.feedback.push_back((value, n as u32)),
+        }
+    }
+
+    /// Whether the feedback history is a single run of `value` — it will
+    /// re-latch `value` indefinitely while the consumer occupancy holds.
+    fn fb_settled_at(&self, value: bool) -> bool {
+        self.feedback.len() == 1 && self.feedback[0].0 == value
     }
 }
 
@@ -260,11 +310,14 @@ pub struct ChannelInfo {
     pub slots: Vec<Slot>,
     /// Words delivered into the consumer FIFO so far.
     pub delivered: u64,
-    /// Dispatched cycles where a ready word was held back by the delayed
-    /// feedback-full signal. Skipped (provably no-op) cycles are not
-    /// counted — a skipped cycle can stall nothing.
+    /// Cycles where a ready word was held back by the delayed
+    /// feedback-full signal. Counted for every static cycle the channel
+    /// exists — the event-horizon fold accrues stalls across skipped
+    /// stretches in closed form, so this matches the dense engine
+    /// bit-for-bit.
     pub stall_cycles: u64,
-    /// Dispatched cycles where the consumer asserted feedback-full.
+    /// Cycles where the consumer asserted feedback-full. Accrued the
+    /// same way as `stall_cycles` (identical in both engines).
     pub backpressure_cycles: u64,
 }
 
@@ -474,7 +527,28 @@ pub struct StreamFabric {
     /// Producer ports whose FIFO was drained by injection during the last
     /// `tick` (a blocked writer may proceed).
     drains: Vec<PortRef>,
+    /// Static-clock cycle the fabric state is materialized to. Both
+    /// engines re-anchor this to the true static cycle count: `tick` /
+    /// `tick_dense` advance it by one, [`advance_to`](Self::advance_to)
+    /// jumps it to the target.
     ticks: u64,
+    /// Route-cycles executed by the per-cycle engine (one increment per
+    /// active route visited per dense tick). The work metric the
+    /// batching benchmarks compare; the fold engine leaves it at zero.
+    dispatched_route_ticks: u64,
+    /// Calls to [`advance_to`](Self::advance_to) that moved the clock —
+    /// the number of times an event-driven host actually dispatched the
+    /// fabric.
+    advances: u64,
+    /// Fold operations (closed-form spans applied plus exact cycles
+    /// stepped at event horizons) executed by the batching engine. The
+    /// honest work metric to report next to `dispatched_route_ticks`.
+    folded_ops: u64,
+    /// Bumped by every externally-visible mutation (pushes, pops, enable
+    /// toggles, resets, channel changes). Hosts compare generations
+    /// around their port operations to decide whether the fabric's event
+    /// horizon must be recomputed.
+    generation: u64,
     /// Per-tag provenance capture (None = tracing off, zero cost).
     tap: Option<WordTap>,
     /// FIFO threshold-crossing capture for the flight recorder.
@@ -516,6 +590,10 @@ impl StreamFabric {
             deliveries: Vec::new(),
             drains: Vec::new(),
             ticks: 0,
+            dispatched_route_ticks: 0,
+            advances: 0,
+            folded_ops: 0,
+            generation: 0,
             tap: None,
             capture_events: false,
             events: Vec::new(),
@@ -566,9 +644,38 @@ impl StreamFabric {
         &self.params
     }
 
-    /// Number of static-clock ticks executed.
+    /// The static-clock cycle the fabric state is materialized to. In
+    /// both engines this is the true static cycle count — the fold
+    /// engine advances it across skipped stretches in closed form.
     pub fn ticks(&self) -> u64 {
         self.ticks
+    }
+
+    /// Route-cycles executed by the per-cycle engine: one per active
+    /// route visited per dense tick. Dense driving yields
+    /// `cycles × routes`; the event-horizon fold leaves this at zero.
+    pub fn dispatched_route_ticks(&self) -> u64 {
+        self.dispatched_route_ticks
+    }
+
+    /// Number of [`advance_to`](Self::advance_to) calls that moved the
+    /// clock — how many times an event-driven host dispatched the fabric.
+    pub fn advances(&self) -> u64 {
+        self.advances
+    }
+
+    /// Fold operations (closed-form spans plus exact event-horizon
+    /// cycles) the batching engine executed. The batched-path work
+    /// metric to weigh against [`dispatched_route_ticks`](Self::dispatched_route_ticks).
+    pub fn folded_ops(&self) -> u64 {
+        self.folded_ops
+    }
+
+    /// Mutation counter: bumped by every externally-visible port or
+    /// channel operation. A host that snapshots this around its fabric
+    /// calls knows whether the event horizon needs recomputing.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Number of routes that may do work on the next tick. Zero means a
@@ -593,8 +700,10 @@ impl StreamFabric {
         &self.deliveries
     }
 
-    /// Producer ports whose FIFO was drained by channel injection during
-    /// the last [`tick`] — a writer blocked on FIFO-full may proceed.
+    /// Producer ports whose *full* FIFO was drained by channel injection
+    /// during the last [`tick`]/[`advance_to`](Self::advance_to) — a
+    /// writer blocked on FIFO-full may proceed. Pops from a non-full
+    /// FIFO are not reported: nothing can be blocked on them.
     ///
     /// [`tick`]: Self::tick
     pub fn last_drains(&self) -> &[PortRef] {
@@ -736,8 +845,9 @@ impl StreamFabric {
         let route = Route {
             producer,
             consumer,
-            pipe: vec![None; depth],
-            feedback: vec![false; depth],
+            depth,
+            pipe: VecDeque::new(),
+            feedback: VecDeque::from([(false, depth as u32)]),
             full_threshold: 2 * depth + 1,
             slots,
             delivered: 0,
@@ -750,6 +860,7 @@ impl StreamFabric {
         // consumer FIFO may already sit past the full threshold).
         self.active.push(true);
         self.active_count += 1;
+        self.generation += 1;
         Ok(id)
     }
 
@@ -777,6 +888,7 @@ impl StreamFabric {
         }
         self.prod_busy[route.producer.node][route.producer.port] = false;
         self.cons_busy[route.consumer.node][route.consumer.port] = false;
+        self.generation += 1;
         Ok(())
     }
 
@@ -805,6 +917,7 @@ impl StreamFabric {
         route.full_threshold = remaining_words;
         // The feedback decision may change on the next tick.
         self.activate(id.0);
+        self.generation += 1;
         Ok(())
     }
 
@@ -887,6 +1000,7 @@ impl StreamFabric {
         self.check_producer(port)?;
         self.producers[port.node][port.port].enabled = enabled;
         self.wake_producer_route(port);
+        self.generation += 1;
         Ok(())
     }
 
@@ -900,6 +1014,7 @@ impl StreamFabric {
         self.check_consumer(port)?;
         self.consumers[port.node][port.port].enabled = enabled;
         self.wake_consumer_route(port);
+        self.generation += 1;
         Ok(())
     }
 
@@ -936,6 +1051,7 @@ impl StreamFabric {
         // Occupancies changed: feedback decisions on routes touching this
         // node must be re-evaluated.
         self.wake_node_routes(node);
+        self.generation += 1;
     }
 
     /// The module writes one word into its producer-interface FIFO.
@@ -956,6 +1072,7 @@ impl StreamFabric {
             note_fifo_edges(&mut self.events, iface, port, true, self.ticks);
         }
         self.wake_producer_route(port);
+        self.generation += 1;
         Ok(())
     }
 
@@ -998,6 +1115,7 @@ impl StreamFabric {
             }
             // Freed space may deassert feedback-full on the next tick.
             self.wake_consumer_route(port);
+            self.generation += 1;
         }
         Ok(word)
     }
@@ -1052,113 +1170,220 @@ impl StreamFabric {
         Ok(self.consumers[port.node][port.port].high_water)
     }
 
-    /// Advances the fabric by one static-clock cycle: every *active*
-    /// established channel's pipeline and feedback registers shift once.
-    ///
-    /// Routes that are provably quiescent — empty pipeline, feedback
-    /// settled, and nothing injectable — are skipped; a tick of such a
-    /// route is a no-op, so skipping is exact (the E9-style equivalence
-    /// test asserts this against a forced full scan). Every port
-    /// operation that could change the answer re-activates the route, so
-    /// callers that tick unconditionally see identical behavior to the
-    /// old scan-everything loop.
+    /// Advances the fabric by one static-clock cycle. Equivalent to
+    /// [`advance_to`](Self::advance_to)`(self.ticks() + 1)` — one fold
+    /// step of the event-horizon engine, bit-for-bit identical to the
+    /// dense per-cycle oracle ([`tick_dense`](Self::tick_dense)).
     pub fn tick(&mut self) {
-        self.ticks += 1;
-        self.deliveries.clear();
-        self.drains.clear();
-        if self.active_count == 0 {
+        self.advance_to(self.ticks + 1);
+    }
+
+    /// Advances the fabric to static cycle `target` in closed form.
+    ///
+    /// Each established route is folded independently across the
+    /// stretch: cycles on which something *discrete* happens — a word
+    /// reaching the consumer end of the pipeline (delivery or drop) —
+    /// run through the exact per-cycle step, while the regular spans in
+    /// between (steady drain, steady stall, steady backpressure, pure
+    /// quiescence) are applied arithmetically. The result is bit-for-bit
+    /// identical to calling [`tick_dense`](Self::tick_dense) once per
+    /// cycle: every FIFO occupancy and high-water mark, every
+    /// `delivered`/`stall_cycles`/`backpressure_cycles`/drop counter,
+    /// every captured FIFO edge, and every word-tap stage timing.
+    ///
+    /// A no-op when `target <= self.ticks()`.
+    pub fn advance_to(&mut self, target: u64) {
+        if target <= self.ticks {
             return;
         }
+        self.advances += 1;
+        self.deliveries.clear();
+        self.drains.clear();
+        let from = self.ticks;
+        let events_start = self.events.len();
         for idx in 0..self.routes.len() {
-            if !self.active[idx] {
-                continue;
+            if self.routes[idx].is_some() {
+                self.fold_route(idx, from, target);
             }
-            let Some(route) = self.routes[idx].as_mut() else {
-                continue;
-            };
-            let depth = route.depth();
-
-            // 1. Word arriving at the consumer this cycle.
-            if let Some(word) = route.pipe[depth - 1] {
-                let cons = &mut self.consumers[route.consumer.node][route.consumer.port];
-                if !cons.enabled {
-                    cons.gated_drops += 1;
-                } else if cons.fifo.push(word).is_err() {
-                    cons.overflow_drops += 1;
-                } else {
-                    cons.note_level();
-                    route.delivered += 1;
-                    if let (Some(tap), Some(tag)) = (self.tap.as_mut(), word.tag()) {
-                        tap.note_deliver(tag, self.ticks);
-                    }
-                    if self.capture_events {
-                        note_fifo_edges(&mut self.events, cons, route.consumer, false, self.ticks);
-                    }
-                    self.deliveries.push(route.consumer);
-                }
-            }
-
-            // 2. Feedback-full decision, post-arrival occupancy.
-            let cons = &self.consumers[route.consumer.node][route.consumer.port];
-            let full_now = cons.fifo.remaining() <= route.full_threshold;
-            if full_now {
-                route.backpressure_cycles += 1;
-            }
-
-            // 3. Shift the forward pipeline toward the consumer.
-            for i in (1..depth).rev() {
-                route.pipe[i] = route.pipe[i - 1];
-            }
-
-            // 4. Producer injection, gated by FIFO_ren and the (delayed)
-            //    feedback-full signal.
-            let stalled = route.feedback[depth - 1];
-            let prod = &mut self.producers[route.producer.node][route.producer.port];
-            route.pipe[0] = if prod.enabled && !stalled {
-                let w = prod.fifo.pop();
-                if let Some(w) = w {
-                    if let (Some(tap), Some(tag)) = (self.tap.as_mut(), w.tag()) {
-                        tap.note_inject(tag, self.ticks, route.slots.len() as u32);
-                    }
-                    if self.capture_events {
-                        note_fifo_edges(&mut self.events, prod, route.producer, true, self.ticks);
-                    }
-                    self.drains.push(route.producer);
-                }
-                w
-            } else {
-                if prod.enabled && stalled && !prod.fifo.is_empty() {
-                    route.stall_cycles += 1;
-                }
-                None
-            };
-
-            // 5. Shift the feedback pipeline toward the producer.
-            for i in (1..depth).rev() {
-                route.feedback[i] = route.feedback[i - 1];
-            }
-            route.feedback[0] = full_now;
-
-            // Quiescence: the next tick is a no-op iff nothing is in
-            // flight, the feedback pipe already carries the value it
-            // would keep re-latching, and no new word can be injected
-            // (feedback-full stalls injection, or the producer side has
-            // nothing to give). Any port operation that could invalidate
-            // this re-activates the route.
-            let prod = &self.producers[route.producer.node][route.producer.port];
-            let quiet = route.pipe.iter().all(Option::is_none)
-                && route.feedback.iter().all(|&b| b == full_now)
-                && (full_now || !prod.enabled || prod.fifo.is_empty());
-            if quiet {
-                self.deactivate(idx);
-            }
+        }
+        self.ticks = target;
+        // Routes fold independently; restore the dense engine's global
+        // event order (cycle-major, route order within a cycle — the
+        // fold visits routes in index order and the sort is stable).
+        if self.capture_events && self.events.len() > events_start + 1 {
+            self.events[events_start..].sort_by_key(|e| e.cycle);
         }
     }
 
-    /// Forces every established route active and ticks: the old dense
-    /// scan-everything cycle. Exists so equivalence tests (and the golden
-    /// E3 trace) can drive the fabric both ways and assert identical
-    /// results; not for production use.
+    /// Folds one route from cycle `from` (its current state) up to and
+    /// including cycle `target`.
+    fn fold_route(&mut self, idx: usize, from: u64, target: u64) {
+        let Some(route) = self.routes[idx].as_mut() else {
+            return;
+        };
+        let depth = route.depth as u64;
+        let capture = self.capture_events;
+        let mut t = from;
+        while t < target {
+            // Exact path: a word reaches the consumer end next cycle
+            // (delivery or drop) — run the full per-cycle step.
+            let next_del = route.pipe.front().map(|&(ic, _)| ic + depth);
+            if next_del == Some(t + 1) {
+                self.folded_ops += 1;
+                step_route_cycle(
+                    route,
+                    &mut self.producers,
+                    &mut self.consumers,
+                    self.tap.as_mut(),
+                    &mut self.events,
+                    capture,
+                    &mut self.deliveries,
+                    &mut self.drains,
+                    t + 1,
+                );
+                t += 1;
+                continue;
+            }
+
+            // Closed-form span. No word reaches the consumer before
+            // `next_del`, so the consumer occupancy — and with it the
+            // feedback-full decision `f` latched each cycle — is
+            // constant across the span.
+            let cons = &self.consumers[route.consumer.node][route.consumer.port];
+            let f = cons.fifo.remaining() <= route.full_threshold;
+            let (v, front_len) = route.fb_front();
+            // A single-run history at the latched value regenerates
+            // itself forever; otherwise the producer-visible stall
+            // signal holds `v` for exactly `front_len` more cycles.
+            let self_sustain = route.feedback.len() == 1 && v == f;
+            let prod = &self.producers[route.producer.node][route.producer.port];
+            let prod_enabled = prod.enabled;
+            let avail = prod.fifo.len() as u64;
+            let injecting = prod_enabled && !v && avail > 0;
+            let mut end = target;
+            if !self_sustain {
+                end = end.min(t + front_len as u64);
+            }
+            if let Some(d) = next_del {
+                end = end.min(d - 1);
+            }
+            if injecting {
+                // Bounded by the producer running dry and by the first
+                // injected word's own arrival at the consumer end.
+                end = end.min(t + avail).min(t + depth);
+            }
+            let n = end - t;
+            self.folded_ops += 1;
+            if f {
+                route.backpressure_cycles += n;
+            }
+            if injecting {
+                let prod = &mut self.producers[route.producer.node][route.producer.port];
+                for k in 1..=n {
+                    let was_full = prod.fifo.is_full();
+                    let w = prod.fifo.pop().expect("span bounded by occupancy");
+                    if let (Some(tap), Some(tag)) = (self.tap.as_mut(), w.tag()) {
+                        tap.note_inject(tag, t + k, route.slots.len() as u32);
+                    }
+                    if capture {
+                        note_fifo_edges(&mut self.events, prod, route.producer, true, t + k);
+                    }
+                    if was_full {
+                        self.drains.push(route.producer);
+                    }
+                    route.pipe.push_back((t + k, w));
+                }
+            } else if prod_enabled && v && avail > 0 {
+                route.stall_cycles += n;
+            }
+            route.fb_shift_span(f, n);
+            t = end;
+        }
+
+        // Activity bookkeeping for the per-cycle engine and host
+        // scheduling: settled routes (nothing in flight, feedback
+        // self-sustaining, nothing injectable) are exactly the ones the
+        // dense quiescence check would deactivate.
+        let cons = &self.consumers[route.consumer.node][route.consumer.port];
+        let f = cons.fifo.remaining() <= route.full_threshold;
+        let prod = &self.producers[route.producer.node][route.producer.port];
+        let settled = route.pipe.is_empty()
+            && route.fb_settled_at(f)
+            && (f || !prod.enabled || prod.fifo.is_empty());
+        if settled {
+            self.deactivate(idx);
+        } else {
+            self.activate(idx);
+        }
+    }
+
+    /// The earliest future static cycle at which the fabric can interact
+    /// with an attached component: deliver a word into an accepting
+    /// consumer FIFO, or drain a full producer FIFO (unblocking a
+    /// writer). `None` means no such interaction is possible without a
+    /// prior port operation — an event-driven host need not dispatch the
+    /// fabric at all.
+    ///
+    /// The bound is conservative-early: the fabric may have nothing
+    /// component-visible to do at the returned cycle (the host just
+    /// re-arms), but it never has something to do *before* it. Port
+    /// operations can only move the true horizon earlier; they bump
+    /// [`generation`](Self::generation) so the host knows to recompute.
+    pub fn next_wake_cycle(&self) -> Option<u64> {
+        let mut wake: Option<u64> = None;
+        let consider = |wake: &mut Option<u64>, w: u64| {
+            *wake = Some(wake.map_or(w, |cur| cur.min(w)));
+        };
+        for route in self.routes.iter().flatten() {
+            let depth = route.depth as u64;
+            let cons = &self.consumers[route.consumer.node][route.consumer.port];
+            let deliverable = cons.enabled && !cons.fifo.is_full();
+            if deliverable {
+                if let Some(&(ic, _)) = route.pipe.front() {
+                    consider(&mut wake, ic + depth);
+                }
+            }
+            let prod = &self.producers[route.producer.node][route.producer.port];
+            if prod.enabled && !prod.fifo.is_empty() {
+                // First cycle strictly after `ticks` whose delayed
+                // feedback signal admits a word.
+                let mut t_inj = None;
+                let mut off = 0u64;
+                for &(v, run) in &route.feedback {
+                    if !v {
+                        t_inj = Some(self.ticks + off + 1);
+                        break;
+                    }
+                    off += run as u64;
+                }
+                if t_inj.is_none() {
+                    // All-stalled history: the value latched now decides
+                    // once it crosses the pipeline.
+                    let f = cons.fifo.remaining() <= route.full_threshold;
+                    if !f {
+                        t_inj = Some(self.ticks + depth + 1);
+                    }
+                }
+                if let Some(ti) = t_inj {
+                    if prod.fifo.is_full() {
+                        // Injection pops a full producer FIFO: a blocked
+                        // writer may proceed.
+                        consider(&mut wake, ti);
+                    }
+                    if deliverable {
+                        consider(&mut wake, ti + depth);
+                    }
+                }
+            }
+        }
+        wake
+    }
+
+    /// The dense per-cycle oracle: forces every established route active
+    /// and executes exactly one cycle of every route's pipeline with the
+    /// exact step. Exists so equivalence tests (and the golden E3 trace)
+    /// can drive the fabric both ways and assert identical results; not
+    /// for production use.
     #[doc(hidden)]
     pub fn tick_dense(&mut self) {
         for idx in 0..self.routes.len() {
@@ -1166,8 +1391,130 @@ impl StreamFabric {
                 self.activate(idx);
             }
         }
-        self.tick();
+        self.dense_tick();
     }
+
+    /// One cycle of the per-cycle engine over the active routes.
+    fn dense_tick(&mut self) {
+        self.ticks += 1;
+        self.deliveries.clear();
+        self.drains.clear();
+        if self.active_count == 0 {
+            return;
+        }
+        let cycle = self.ticks;
+        for idx in 0..self.routes.len() {
+            if !self.active[idx] {
+                continue;
+            }
+            let Some(route) = self.routes[idx].as_mut() else {
+                continue;
+            };
+            self.dispatched_route_ticks += 1;
+            step_route_cycle(
+                route,
+                &mut self.producers,
+                &mut self.consumers,
+                self.tap.as_mut(),
+                &mut self.events,
+                self.capture_events,
+                &mut self.deliveries,
+                &mut self.drains,
+                cycle,
+            );
+
+            // Quiescence: the next cycle is a no-op iff nothing is in
+            // flight, the feedback pipe already carries the value it
+            // would keep re-latching, and no new word can be injected.
+            // Any port operation that could invalidate this re-activates
+            // the route.
+            let cons = &self.consumers[route.consumer.node][route.consumer.port];
+            let full_now = cons.fifo.remaining() <= route.full_threshold;
+            let prod = &self.producers[route.producer.node][route.producer.port];
+            let quiet = route.pipe.is_empty()
+                && route.fb_settled_at(full_now)
+                && (full_now || !prod.enabled || prod.fifo.is_empty());
+            if quiet {
+                self.deactivate(idx);
+            }
+        }
+    }
+}
+
+/// The exact one-cycle step of a single route, shared by the dense
+/// per-cycle engine and the fold's event-horizon cycles. On entry the
+/// route's state is materialized to `cycle - 1`; on return, to `cycle`.
+#[allow(clippy::too_many_arguments)]
+fn step_route_cycle(
+    route: &mut Route,
+    producers: &mut [Vec<Interface>],
+    consumers: &mut [Vec<Interface>],
+    mut tap: Option<&mut WordTap>,
+    events: &mut Vec<FifoEvent>,
+    capture_events: bool,
+    deliveries: &mut Vec<PortRef>,
+    drains: &mut Vec<PortRef>,
+    cycle: u64,
+) {
+    let depth = route.depth as u64;
+
+    // 1. Word arriving at the consumer this cycle.
+    if route
+        .pipe
+        .front()
+        .is_some_and(|&(ic, _)| ic + depth == cycle)
+    {
+        let (_, word) = route.pipe.pop_front().expect("front checked above");
+        let cons = &mut consumers[route.consumer.node][route.consumer.port];
+        if !cons.enabled {
+            cons.gated_drops += 1;
+        } else if cons.fifo.push(word).is_err() {
+            cons.overflow_drops += 1;
+        } else {
+            cons.note_level();
+            route.delivered += 1;
+            if let (Some(tap), Some(tag)) = (tap.as_deref_mut(), word.tag()) {
+                tap.note_deliver(tag, cycle);
+            }
+            if capture_events {
+                note_fifo_edges(events, cons, route.consumer, false, cycle);
+            }
+            deliveries.push(route.consumer);
+        }
+    }
+
+    // 2. Feedback-full decision, post-arrival occupancy.
+    let cons = &consumers[route.consumer.node][route.consumer.port];
+    let full_now = cons.fifo.remaining() <= route.full_threshold;
+    if full_now {
+        route.backpressure_cycles += 1;
+    }
+
+    // 3. Producer injection, gated by FIFO_ren and the (delayed)
+    //    feedback-full signal at the producer end of the history.
+    let stalled = route.fb_front().0;
+    let prod = &mut producers[route.producer.node][route.producer.port];
+    if prod.enabled && !stalled {
+        let was_full = prod.fifo.is_full();
+        if let Some(w) = prod.fifo.pop() {
+            if let (Some(tap), Some(tag)) = (tap, w.tag()) {
+                tap.note_inject(tag, cycle, route.slots.len() as u32);
+            }
+            if capture_events {
+                note_fifo_edges(events, prod, route.producer, true, cycle);
+            }
+            if was_full {
+                drains.push(route.producer);
+            }
+            route.pipe.push_back((cycle, w));
+        }
+    } else if prod.enabled && stalled && !prod.fifo.is_empty() {
+        route.stall_cycles += 1;
+    }
+
+    // 4. Shift the feedback pipeline toward the producer, latching the
+    //    decision made this cycle at the consumer end.
+    route.fb_shift_span(full_now, 1);
 }
 
 #[cfg(test)]
@@ -1626,5 +1973,165 @@ mod tests {
         f.producer_push(p, Word::data(1)).unwrap();
         f.reset_node_fifos(0);
         assert_eq!(f.producer_len(p).unwrap(), 0);
+    }
+
+    #[test]
+    fn feedback_rle_shift_preserves_depth_and_order() {
+        let mut f = fabric();
+        let ch = f
+            .establish_channel(PortRef::new(0, 0), PortRef::new(2, 0))
+            .unwrap();
+        let route = f.routes[ch.0].as_mut().unwrap();
+        let depth = route.depth as u32;
+        assert_eq!(route.feedback, VecDeque::from([(false, depth)]));
+
+        // Latch `true` once: oldest entry shrinks, new run appended.
+        route.fb_shift_span(true, 1);
+        assert_eq!(
+            route.feedback,
+            VecDeque::from([(false, depth - 1), (true, 1)])
+        );
+        assert_eq!(route.fb_front(), (false, depth - 1));
+
+        // Equal-valued latches merge into the trailing run.
+        route.fb_shift_span(true, 1);
+        assert_eq!(
+            route.feedback,
+            VecDeque::from([(false, depth - 2), (true, 2)])
+        );
+
+        // A span >= depth collapses the whole history.
+        route.fb_shift_span(false, depth as u64 + 5);
+        assert_eq!(route.feedback, VecDeque::from([(false, depth)]));
+        assert!(route.fb_settled_at(false));
+        assert!(!route.fb_settled_at(true));
+
+        // Spans that exactly exhaust the front run expose the next one.
+        route.fb_shift_span(true, 2);
+        route.fb_shift_span(true, (depth - 2) as u64);
+        assert_eq!(route.fb_front(), (true, depth));
+    }
+
+    #[test]
+    fn advance_to_matches_dense_stride_for_stride() {
+        // Drive two identical fabrics through the same schedule of pushes
+        // and pops — one per-cycle via tick_dense, one in strides via
+        // advance_to — and require identical observable state throughout.
+        let mut lazy = fabric();
+        let mut dense = fabric();
+        let p = PortRef::new(0, 0);
+        let c = PortRef::new(2, 0);
+        open(&mut lazy, p, c);
+        open(&mut dense, p, c);
+
+        let mut cycle = 0u64;
+        for (stride, pushes) in [(1u64, 3u32), (7, 0), (16, 5), (3, 1), (40, 0), (9, 2)] {
+            for i in 0..pushes {
+                lazy.producer_push(p, Word::data(i)).unwrap();
+                dense.producer_push(p, Word::data(i)).unwrap();
+            }
+            cycle += stride;
+            lazy.advance_to(cycle);
+            while dense.ticks() < cycle {
+                dense.tick_dense();
+            }
+            assert_eq!(lazy.ticks(), dense.ticks());
+            assert_eq!(
+                lazy.producer_len(p).unwrap(),
+                dense.producer_len(p).unwrap()
+            );
+            assert_eq!(
+                lazy.consumer_len(c).unwrap(),
+                dense.consumer_len(c).unwrap()
+            );
+            assert_eq!(
+                lazy.consumer_high_water(c).unwrap(),
+                dense.consumer_high_water(c).unwrap()
+            );
+            let (li, di) = (
+                lazy.channel_info(ChannelId(0)).unwrap(),
+                dense.channel_info(ChannelId(0)).unwrap(),
+            );
+            assert_eq!(li.delivered, di.delivered);
+            assert_eq!(li.stall_cycles, di.stall_cycles);
+            assert_eq!(li.backpressure_cycles, di.backpressure_cycles);
+            loop {
+                let (lw, dw) = (
+                    lazy.consumer_pop(c).unwrap(),
+                    dense.consumer_pop(c).unwrap(),
+                );
+                assert_eq!(lw, dw);
+                if lw.is_none() {
+                    break;
+                }
+            }
+        }
+        // The batched side never dispatched the per-cycle engine outside
+        // event-horizon cycles.
+        assert_eq!(lazy.dispatched_route_ticks(), 0);
+        assert!(lazy.folded_ops() < dense.dispatched_route_ticks());
+    }
+
+    #[test]
+    fn next_wake_cycle_predicts_delivery_and_drain() {
+        let mut f = fabric();
+        let p = PortRef::new(0, 0);
+        let c = PortRef::new(2, 0);
+        open(&mut f, p, c);
+
+        // Nothing in flight, nothing to inject: no wake needed.
+        assert_eq!(f.next_wake_cycle(), None);
+
+        // One pushed word: injected next cycle, delivered depth cycles
+        // later (depth = 3) — the earliest component-visible event.
+        f.producer_push(p, Word::data(1)).unwrap();
+        assert_eq!(f.next_wake_cycle(), Some(4));
+        f.advance_to(4);
+        assert_eq!(f.consumer_len(c).unwrap(), 1);
+
+        // In-flight word: wake at its arrival cycle.
+        f.producer_push(p, Word::data(2)).unwrap();
+        f.advance_to(6); // injected at cycle 5, arrives at 8
+        assert_eq!(f.next_wake_cycle(), Some(8));
+
+        // Disabled consumer cannot be delivered into: the in-flight word
+        // will be dropped silently, no wake required.
+        f.set_fifo_wen(c, false).unwrap();
+        assert_eq!(f.next_wake_cycle(), None);
+        f.set_fifo_wen(c, true).unwrap();
+
+        // A full producer FIFO whose route is injectable wakes at the
+        // injection cycle (a blocked writer can resume).
+        f.advance_to(20);
+        let mut i = 0;
+        while f.producer_space(p).unwrap() > 0 {
+            f.producer_push(p, Word::data(i)).unwrap();
+            i += 1;
+        }
+        assert_eq!(f.next_wake_cycle(), Some(21));
+    }
+
+    #[test]
+    fn generation_counts_port_and_channel_operations() {
+        let mut f = fabric();
+        let p = PortRef::new(0, 0);
+        let c = PortRef::new(2, 0);
+        let g0 = f.generation();
+        let ch = f.establish_channel(p, c).unwrap();
+        f.set_fifo_ren(p, true).unwrap();
+        f.set_fifo_wen(c, true).unwrap();
+        f.producer_push(p, Word::data(1)).unwrap();
+        let g1 = f.generation();
+        assert_eq!(g1, g0 + 4);
+        // Advancing time is not a port operation.
+        f.advance_to(10);
+        assert_eq!(f.generation(), g1);
+        assert_eq!(f.consumer_pop(c).unwrap(), Some(Word::data(1)));
+        assert_eq!(f.generation(), g1 + 1);
+        // An empty pop mutates nothing.
+        assert_eq!(f.consumer_pop(c).unwrap(), None);
+        assert_eq!(f.generation(), g1 + 1);
+        f.release_channel(ch).unwrap();
+        assert_eq!(f.generation(), g1 + 2);
     }
 }

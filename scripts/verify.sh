@@ -28,13 +28,15 @@ if [ "$steps" -ne 9 ]; then
     echo "expected nine swap_step spans in $snap, got $steps" >&2
     exit 1
 fi
+# grep without -q drains the whole stream: with pipefail, -q's early
+# exit would EPIPE the writer and flakily fail the gate.
 ./target/release/vapres-cli report --metrics "$snap" \
-    | grep -q "0 missed sample slots" \
+    | grep "0 missed sample slots" >/dev/null \
     || { echo "report did not confirm zero stream interruption" >&2; exit 1; }
 rm -rf "$(dirname "$snap")"
 
 echo "==> watchdog smoke test (vapres health on the seamless E3 swap)"
-./target/release/vapres-cli health | grep -q "overall: HEALTHY" \
+./target/release/vapres-cli health | grep "overall: HEALTHY" >/dev/null \
     || { echo "vapres health did not report HEALTHY on the seamless swap" >&2; exit 1; }
 # The halt-and-swap baseline must breach the stream monitors and exit
 # non-zero — the health command is a seamlessness regression gate.
@@ -66,13 +68,53 @@ sweep_grid() { # $1 = job count, $2 = output subdir
 }
 sweep_grid 1 seq
 sweep_grid 4 par
-for f in report.txt merged.jsonl BENCH_sweep.json; do
+for f in report.txt merged.jsonl; do
     cmp -s "$sweepdir/seq/$f" "$sweepdir/par/$f" \
         || { echo "sweep $f differs between --jobs 1 and --jobs 4" >&2; exit 1; }
 done
+# The trajectory is jobs-invariant except its one "host" context line
+# (CPU count + --jobs), which necessarily differs between the two runs.
+cmp -s <(grep -v '"host"' "$sweepdir/seq/BENCH_sweep.json") \
+       <(grep -v '"host"' "$sweepdir/par/BENCH_sweep.json") \
+    || { echo "sweep BENCH_sweep.json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+grep -q '"host": {"cpus": [0-9]*, "jobs": 4}' "$sweepdir/par/BENCH_sweep.json" \
+    || { echo "BENCH_sweep.json missing the host context line" >&2; exit 1; }
 grep -q "aggregate: 4 ok, 0 failed" "$sweepdir/seq/report.txt" \
     || { echo "sweep report missing healthy aggregate line" >&2; exit 1; }
 rm -rf "$sweepdir"
+
+echo "==> fabric batching smoke (batched route work <=20% of dense on E3)"
+cargo bench -q --offline -p vapres-bench --bench fabric >/dev/null
+awk -F'[,:{}"]+' '
+    /"scenario"/ {
+        scen=""; mode=""; work=-1; words=-1
+        for (i = 1; i < NF; i++) {
+            if ($i == "scenario")   scen  = $(i + 1)
+            if ($i == "mode")       mode  = $(i + 1)
+            if ($i == "route_work") work  = $(i + 1)
+            if ($i == "words")      words = $(i + 1)
+        }
+        if (mode == "dense") { dw[scen] = work; dn[scen] = words }
+        if (mode == "batched") { bw[scen] = work; bn[scen] = words }
+    }
+    END {
+        bad = 0
+        if (length(dw) == 0) { print "no scenarios parsed from BENCH_fabric.json"; bad = 1 }
+        for (s in dw) {
+            printf "    %s: batched route work %.2f%% of dense, %d words\n", \
+                s, 100 * bw[s] / dw[s], bn[s]
+            if (bn[s] != dn[s]) {
+                printf "    words differ on %s: dense %d batched %d\n", s, dn[s], bn[s]
+                bad = 1
+            }
+            if (bw[s] > 0.20 * dw[s]) {
+                printf "    batched route work on %s exceeds 20%% of dense\n", s
+                bad = 1
+            }
+        }
+        exit bad
+    }' crates/bench/BENCH_fabric.json \
+    || { echo "fabric batching smoke failed" >&2; exit 1; }
 
 echo "==> metrics overhead guard (disabled instrumentation within 2% of bare)"
 # The disabled-telemetry path must stay one predictable branch per site.
