@@ -16,6 +16,7 @@ use crate::stream::{self, ModuleUid, ParseError, ParsedBitstream};
 use crate::timing;
 use std::collections::BTreeMap;
 use vapres_fabric::frame::FrameAddress;
+use vapres_sim::persist::{Persist, PersistError, Reader, Writer};
 use vapres_sim::time::Ps;
 
 /// The device's configuration memory: frame address → frame words.
@@ -65,6 +66,36 @@ impl ConfigMemory {
 
     fn zero_frame(&mut self, far: FrameAddress) {
         self.frames.insert(far.encode(), vec![0; 41]);
+    }
+}
+
+impl Persist for ConfigMemory {
+    fn persist(&self, w: &mut Writer) {
+        self.frames.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ConfigMemory {
+            frames: std::collections::BTreeMap::restore(r)?,
+        })
+    }
+}
+
+impl Persist for Icap {
+    fn persist(&self, w: &mut Writer) {
+        self.memory.persist(w);
+        w.put_u64(self.writes);
+        w.put_u64(self.failed_writes);
+        w.put_u64(self.words_written);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(Icap {
+            memory: ConfigMemory::restore(r)?,
+            writes: r.take_u64()?,
+            failed_writes: r.take_u64()?,
+            words_written: r.take_u64()?,
+        })
     }
 }
 

@@ -9,6 +9,7 @@
 use crate::timing;
 use std::collections::BTreeMap;
 use std::fmt;
+use vapres_sim::persist::{Persist, PersistError, Reader, Writer};
 use vapres_sim::time::Ps;
 
 /// An error from a storage operation.
@@ -95,6 +96,18 @@ impl CompactFlash {
     }
 }
 
+impl Persist for CompactFlash {
+    fn persist(&self, w: &mut Writer) {
+        self.files.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(CompactFlash {
+            files: BTreeMap::restore(r)?,
+        })
+    }
+}
+
 /// External SDRAM holding named bitstream arrays.
 ///
 /// Reads are charged at the calibrated
@@ -148,6 +161,20 @@ impl Sdram {
     /// Total staged bytes.
     pub fn used_bytes(&self) -> u64 {
         self.arrays.values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl Persist for Sdram {
+    fn persist(&self, w: &mut Writer) {
+        self.arrays.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        // Bypasses `stage`'s AlreadyExists check and its timing charge:
+        // a restore recreates state, it does not perform transfers.
+        Ok(Sdram {
+            arrays: BTreeMap::restore(r)?,
+        })
     }
 }
 

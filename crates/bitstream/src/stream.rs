@@ -24,6 +24,18 @@ impl fmt::Display for ModuleUid {
     }
 }
 
+impl vapres_sim::persist::Persist for ModuleUid {
+    fn persist(&self, w: &mut vapres_sim::persist::Writer) {
+        w.put_u32(self.0);
+    }
+
+    fn restore(
+        r: &mut vapres_sim::persist::Reader<'_>,
+    ) -> Result<Self, vapres_sim::persist::PersistError> {
+        Ok(ModuleUid(r.take_u32()?))
+    }
+}
+
 /// The modelled IDCODE of the Virtex-4 LX25.
 pub const IDCODE_XC4VLX25: u32 = 0x0167_C093;
 

@@ -37,6 +37,32 @@ impl From<std::io::Error> for CmdError {
     }
 }
 
+impl From<vapres_sim::persist::PersistError> for CmdError {
+    fn from(e: vapres_sim::persist::PersistError) -> Self {
+        CmdError(e.to_string())
+    }
+}
+
+/// An output-path failure, naming the path: every file the CLI writes
+/// (UCF/MHS, bitstreams, VCD, JSONL/Prometheus/trace exports, flight
+/// dumps, bench artifacts, checkpoints) fails with a clear message and a
+/// non-zero exit instead of a bare OS error or a panic.
+fn write_err(path: &str, e: std::io::Error) -> CmdError {
+    CmdError(format!("cannot write {path}: {e}"))
+}
+
+/// An input-path failure, naming the path.
+fn read_err(path: &str, e: std::io::Error) -> CmdError {
+    CmdError(format!("cannot read {path}: {e}"))
+}
+
+/// Opens `path` for buffered writing with a path-naming error.
+fn create_output(path: &str) -> Result<std::io::BufWriter<std::fs::File>, CmdError> {
+    std::fs::File::create(path)
+        .map(std::io::BufWriter::new)
+        .map_err(|e| write_err(path, e))
+}
+
 fn device_by_name(name: &str) -> Result<Device, CmdError> {
     match name {
         "lx25" | "xc4vlx25" => Ok(Device::xc4vlx25()),
@@ -124,14 +150,15 @@ pub fn cmd_floorplan(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         writeln!(out, "{}", outcome.floorplan.ascii_art())?;
     }
     if let Some(path) = args.get("ucf") {
-        std::fs::write(path, generate_ucf(&outcome.floorplan))?;
+        std::fs::write(path, generate_ucf(&outcome.floorplan)).map_err(|e| write_err(path, e))?;
         writeln!(out, "wrote {path}")?;
     }
     if let Some(path) = args.get("mhs") {
         std::fs::write(
             path,
             generate_mhs(&FabricParams::prototype(), &outcome.floorplan),
-        )?;
+        )
+        .map_err(|e| write_err(path, e))?;
         writeln!(out, "wrote {path}")?;
     }
     Ok(())
@@ -181,7 +208,7 @@ fn cmd_report_metrics(path: &str, out: &mut dyn Write) -> Result<(), CmdError> {
     use vapres_core::Ps;
     use vapres_sim::telemetry::{parse_jsonl, Record};
 
-    let text = std::fs::read_to_string(path)?;
+    let text = std::fs::read_to_string(path).map_err(|e| read_err(path, e))?;
     let records = parse_jsonl(&text).map_err(|e| CmdError(e.to_string()))?;
 
     // Swap latency breakdown: the nine Fig. 5 step spans tile the swap
@@ -348,7 +375,7 @@ pub fn cmd_check_ucf(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         .positionals()
         .first()
         .ok_or_else(|| CmdError("usage: vapres check-ucf <file.ucf>".into()))?;
-    let text = std::fs::read_to_string(path)?;
+    let text = std::fs::read_to_string(path).map_err(|e| read_err(path, e))?;
     let floorplan = parse_ucf(&device, &text).map_err(|e| CmdError(e.to_string()))?;
     floorplan.validate().map_err(|e| CmdError(e.to_string()))?;
     writeln!(
@@ -385,7 +412,7 @@ pub fn cmd_bitgen(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     let path = args.require("out")?;
     let bs = PartialBitstream::generate(&device, &rect, ModuleUid(uid))
         .map_err(|e| CmdError(e.to_string()))?;
-    std::fs::write(path, bs.to_bytes())?;
+    std::fs::write(path, bs.to_bytes()).map_err(|e| write_err(path, e))?;
     writeln!(
         out,
         "wrote {path}: {} bytes, {} slices, module#{uid:08x}",
@@ -401,7 +428,7 @@ pub fn cmd_bitinfo(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         .positionals()
         .first()
         .ok_or_else(|| CmdError("usage: vapres bitinfo <file.bit>".into()))?;
-    let bytes = std::fs::read(path)?;
+    let bytes = std::fs::read(path).map_err(|e| read_err(path, e))?;
     let parsed = PartialBitstream::from_bytes(&bytes).map_err(|e| CmdError(e.to_string()))?;
     writeln!(out, "file     : {path} ({} bytes)", bytes.len())?;
     writeln!(out, "idcode   : {:#010x}", parsed.idcode)?;
@@ -513,10 +540,252 @@ fn write_flight_dump(
     sys: &mut vapres_core::system::VapresSystem,
     path: &str,
 ) -> Result<(), CmdError> {
-    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-    sys.dump_flight_jsonl(&mut file)?;
-    file.flush()?;
+    let mut file = create_output(path)?;
+    sys.dump_flight_jsonl(&mut file)
+        .and_then(|()| file.flush())
+        .map_err(|e| write_err(path, e))?;
     Ok(())
+}
+
+/// Magic bytes opening a CLI checkpoint file: a driver-meta envelope
+/// (what remains of the scenario) followed by the raw system snapshot.
+const CKPT_MAGIC: [u8; 8] = *b"VAPRESRP";
+/// Version of the envelope, independent of the snapshot format version.
+const CKPT_META_VERSION: u32 = 1;
+
+/// Where the run stood when the checkpoint was taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CkptPhase {
+    /// A plain pipeline run: nothing left but draining the input.
+    NoSwap,
+    /// The E3 swap has not happened yet; replay performs it.
+    PendingSeamless,
+    /// Like [`CkptPhase::PendingSeamless`] but via halt-and-swap.
+    PendingHalt,
+    /// The swap already completed before the checkpoint.
+    SwapDone,
+}
+
+/// The driver metadata a replay needs to finish the scenario.
+#[derive(Debug, Clone, Copy)]
+struct CkptMeta {
+    phase: CkptPhase,
+    /// The run deliberately pointed the swap at a missing SDRAM array.
+    fail_swap: bool,
+    /// Channel ids of the E3 stream (only meaningful for pending swaps).
+    upstream: u64,
+    downstream: u64,
+}
+
+impl CkptMeta {
+    fn encode(&self, w: &mut vapres_sim::persist::Writer) {
+        w.put_raw(&CKPT_MAGIC);
+        w.put_u32(CKPT_META_VERSION);
+        w.put_u8(match self.phase {
+            CkptPhase::NoSwap => 0,
+            CkptPhase::PendingSeamless => 1,
+            CkptPhase::PendingHalt => 2,
+            CkptPhase::SwapDone => 3,
+        });
+        w.put_bool(self.fail_swap);
+        w.put_u64(self.upstream);
+        w.put_u64(self.downstream);
+    }
+}
+
+/// Splits a checkpoint file into its driver metadata and the raw system
+/// snapshot bytes.
+fn parse_checkpoint_file(bytes: &[u8]) -> Result<(CkptMeta, &[u8]), CmdError> {
+    use vapres_sim::persist::Reader;
+    let mut r = Reader::new(bytes);
+    let magic = r
+        .take_raw(CKPT_MAGIC.len())
+        .map_err(|_| CmdError("not a vapres checkpoint (file too short)".into()))?;
+    if magic != CKPT_MAGIC {
+        return Err(CmdError(
+            "not a vapres checkpoint (expected a file written by --checkpoint-every)".into(),
+        ));
+    }
+    let version = r.take_u32()?;
+    if version != CKPT_META_VERSION {
+        return Err(CmdError(format!(
+            "checkpoint meta version {version} unsupported (this build reads {CKPT_META_VERSION})"
+        )));
+    }
+    let phase = match r.take_u8()? {
+        0 => CkptPhase::NoSwap,
+        1 => CkptPhase::PendingSeamless,
+        2 => CkptPhase::PendingHalt,
+        3 => CkptPhase::SwapDone,
+        other => return Err(CmdError(format!("corrupt checkpoint: phase byte {other}"))),
+    };
+    let fail_swap = r.take_bool()?;
+    let upstream = r.take_u64()?;
+    let downstream = r.take_u64()?;
+    let n = r.remaining();
+    let image = r.take_raw(n)?;
+    Ok((
+        CkptMeta {
+            phase,
+            fail_swap,
+            upstream,
+            downstream,
+        },
+        image,
+    ))
+}
+
+/// Periodic checkpoint emission for `vapres sim`.
+struct CkptSink<'a> {
+    dir: &'a str,
+    every: vapres_core::Ps,
+    seq: u32,
+}
+
+impl CkptSink<'_> {
+    /// Writes one numbered checkpoint file and reports it.
+    fn emit(
+        &mut self,
+        sys: &mut vapres_core::system::VapresSystem,
+        meta: &CkptMeta,
+        out: &mut dyn Write,
+    ) -> Result<(), CmdError> {
+        let mut w = vapres_sim::persist::Writer::new();
+        meta.encode(&mut w);
+        w.put_raw(&sys.checkpoint());
+        let path = format!("{}/ckpt_{:04}.vapresck", self.dir, self.seq);
+        std::fs::write(&path, w.into_bytes()).map_err(|e| write_err(&path, e))?;
+        writeln!(out, "checkpoint {path} (t={})", sys.now())?;
+        self.seq += 1;
+        Ok(())
+    }
+}
+
+/// Runs the system for up to `budget`, pausing every `sink.every` of
+/// simulated time to emit a checkpoint; stops early once `done` holds at
+/// a slice boundary. Returns whether `done` held on exit.
+fn run_checkpointed(
+    sys: &mut vapres_core::system::VapresSystem,
+    budget: vapres_core::Ps,
+    sink: &mut CkptSink<'_>,
+    meta: &CkptMeta,
+    done: impl Fn(&vapres_core::system::VapresSystem) -> bool,
+    out: &mut dyn Write,
+) -> Result<bool, CmdError> {
+    use vapres_core::Ps;
+    let mut elapsed: u64 = 0;
+    while elapsed < budget.as_ps() {
+        if done(sys) {
+            return Ok(true);
+        }
+        let slice = sink.every.as_ps().min(budget.as_ps() - elapsed);
+        sys.run_for(Ps::new(slice));
+        elapsed += slice;
+        sink.emit(sys, meta, out)?;
+    }
+    Ok(done(sys))
+}
+
+/// The shared tail of `vapres replay` and `vapres sim --restore`:
+/// restore the snapshot, finish whatever the metadata says remains of
+/// the scenario, and (optionally) re-judge the watchdog monitors.
+fn replay_from(path: &str, until_breach: bool, out: &mut dyn Write) -> Result<(), CmdError> {
+    use vapres_core::config::SystemConfig;
+    use vapres_core::module::ModuleLibrary;
+    use vapres_core::switching::{halt_and_swap, seamless_swap, BitstreamSource, SwapSpec};
+    use vapres_core::system::VapresSystem;
+    use vapres_core::{evaluate_health, ChannelId, HealthPolicy, Ps};
+    use vapres_modules::register_standard_modules;
+
+    let bytes = std::fs::read(path).map_err(|e| read_err(path, e))?;
+    let (meta, image) = parse_checkpoint_file(&bytes)?;
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    let mut sys = VapresSystem::restore(SystemConfig::prototype(), lib, image)
+        .map_err(|e| CmdError(format!("{path}: {e}")))?;
+    writeln!(
+        out,
+        "restored {path}: t={}, {} input words pending",
+        sys.now(),
+        sys.iom_pending_input(0)
+    )?;
+
+    let report = match meta.phase {
+        CkptPhase::PendingSeamless | CkptPhase::PendingHalt => {
+            let spec = SwapSpec {
+                active_node: 1,
+                spare_node: 2,
+                source: BitstreamSource::Sdram(if meta.fail_swap {
+                    "nonexistent".into()
+                } else {
+                    "fir_b".into()
+                }),
+                upstream: ChannelId(meta.upstream as usize),
+                downstream: ChannelId(meta.downstream as usize),
+                clk_sel: false,
+                timeout: Ps::from_ms(10),
+            };
+            let swapped = if meta.phase == CkptPhase::PendingHalt {
+                halt_and_swap(&mut sys, &spec)
+            } else {
+                seamless_swap(&mut sys, &spec)
+            };
+            let report = swapped.map_err(|e| CmdError(format!("swap failed: {e}")))?;
+            writeln!(
+                out,
+                "swap       : {} total ({} reconfig, {} state words)",
+                report.total(),
+                report.reconfig.total(),
+                report.state_words
+            )?;
+            Some(report)
+        }
+        CkptPhase::NoSwap | CkptPhase::SwapDone => None,
+    };
+
+    let done = sys.run_until(Ps::from_ms(300), |s| s.iom_pending_input(0) == 0);
+    if !done {
+        return Err(CmdError("replay stalled before consuming input".into()));
+    }
+    sys.run_for(Ps::from_us(100));
+    writeln!(out, "samples out: {}", sys.iom_output(0).len())?;
+    writeln!(out, "sim time   : {}", sys.now())?;
+    if let Some(tput) = sys.iom_gap(0).throughput_per_s() {
+        writeln!(out, "throughput : {:.3} MS/s", tput / 1e6)?;
+    }
+
+    if until_breach {
+        let health = evaluate_health(&mut sys, &HealthPolicy::e3_seamless(), report.as_ref());
+        health.write_text(out)?;
+        if health.healthy() {
+            writeln!(out, "no breach reproduced")?;
+        } else {
+            let first = health
+                .breaches()
+                .next()
+                .map_or_else(|| "?".to_string(), |b| b.monitor.name.clone());
+            return Err(CmdError(format!(
+                "breach reproduced: {first} ({} of {} monitors)",
+                health.breaches().count(),
+                health.verdicts().len()
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// `vapres replay <checkpoint> [--until-breach yes]` — resume a
+/// checkpoint written by `vapres sim --checkpoint-every` and drive the
+/// rest of the scenario: the swap (if it had not happened yet), the
+/// drain, the settle. With `--until-breach yes` the watchdog monitors
+/// are re-judged at the end and the command exits non-zero naming the
+/// first breached monitor — divergence-point replay: bisect a long run
+/// by its checkpoints, then replay the one right before the breach.
+pub fn cmd_replay(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    let path = args.positionals().first().ok_or_else(|| {
+        CmdError("usage: vapres replay <checkpoint.vapresck> [--until-breach yes]".into())
+    })?;
+    replay_from(path, args.get_or("until-breach", "no") == "yes", out)
 }
 
 /// `vapres sim [--stages scaler,avg] [--samples N] [--interval CYCLES]
@@ -540,6 +809,14 @@ fn write_flight_dump(
 /// before the error propagates, so the tail of the ring is the causal
 /// trail into the failure. `--fail-swap yes` (with `--swap yes`) points
 /// the swap at a missing SDRAM array to demonstrate exactly that.
+///
+/// `--checkpoint-every N --checkpoint-dir D` pauses the run every N
+/// microseconds of simulated time and writes a numbered, bit-exact
+/// system snapshot (`D/ckpt_NNNN.vapresck`) that `vapres replay` — or
+/// `vapres sim --restore <file>` — resumes from. Checkpoint boundaries
+/// change where the drain loop samples its stop condition, so a
+/// checkpointed run may report a slightly later sim time than an
+/// uncheckpointed one; each run is itself fully deterministic.
 pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     use vapres_core::config::SystemConfig;
     use vapres_core::module::ModuleLibrary;
@@ -548,6 +825,36 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     use vapres_core::Ps;
     use vapres_kpn::{deploy, map_pipeline, Pipeline};
     use vapres_modules::register_standard_modules;
+
+    if let Some(path) = args.get("restore") {
+        // Resuming an existing checkpoint: the snapshot already carries
+        // the whole scenario state, so every setup flag is moot.
+        return replay_from(path, false, out);
+    }
+
+    let ckpt_every: u64 = args.get_num("checkpoint-every", 0u64)?;
+    let mut ckpt = match (ckpt_every, args.get("checkpoint-dir")) {
+        (0, None) => None,
+        (0, Some(_)) => {
+            return Err(CmdError(
+                "--checkpoint-dir needs --checkpoint-every N (microseconds of simulated time)"
+                    .into(),
+            ))
+        }
+        (_, None) => {
+            return Err(CmdError(
+                "--checkpoint-every needs --checkpoint-dir DIR".into(),
+            ))
+        }
+        (us, Some(dir)) => {
+            std::fs::create_dir_all(dir).map_err(|e| write_err(dir, e))?;
+            Some(CkptSink {
+                dir,
+                every: Ps::from_us(us),
+                seq: 0,
+            })
+        }
+    };
 
     let swap = args.get_or("swap", "no") == "yes";
     let samples: u32 = args.get_num("samples", if swap { 20_000 } else { 1_000 })?;
@@ -586,14 +893,26 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
 
     if swap {
         let mut spec = setup_e3_swap(&mut sys, false)?;
-        if args.get_or("fail-swap", "no") == "yes" {
+        let fail_swap = args.get_or("fail-swap", "no") == "yes";
+        if fail_swap {
             // A deliberately broken source: the swap dies reconfiguring
             // the spare, exercising the flight-dump-on-failure path.
             spec.source = BitstreamSource::Sdram("nonexistent".into());
         }
+        let meta = CkptMeta {
+            phase: CkptPhase::PendingSeamless,
+            fail_swap,
+            upstream: spec.upstream.0 as u64,
+            downstream: spec.downstream.0 as u64,
+        };
 
         sys.iom_feed(0, 0..samples);
-        sys.run_for(Ps::from_ms(1));
+        match &mut ckpt {
+            None => sys.run_for(Ps::from_ms(1)),
+            Some(sink) => {
+                run_checkpointed(&mut sys, Ps::from_ms(1), sink, &meta, |_| false, out)?;
+            }
+        }
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             seamless_swap(&mut sys, &spec)
         }));
@@ -617,7 +936,28 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
                 return Err(CmdError(format!("swap failed: {e}")));
             }
         };
-        let done = sys.run_until(Ps::from_ms(300), |s| s.iom_pending_input(0) == 0);
+        let drained = CkptMeta {
+            phase: CkptPhase::SwapDone,
+            ..meta
+        };
+        // The moment right after the handoff is the most useful replay
+        // point, and the drain below may already be satisfied (the input
+        // finishes feeding during the ~72 ms reconfiguration) — emit it
+        // unconditionally rather than only at slice boundaries.
+        if let Some(sink) = &mut ckpt {
+            sink.emit(&mut sys, &drained, out)?;
+        }
+        let done = match &mut ckpt {
+            None => sys.run_until(Ps::from_ms(300), |s| s.iom_pending_input(0) == 0),
+            Some(sink) => run_checkpointed(
+                &mut sys,
+                Ps::from_ms(300),
+                sink,
+                &drained,
+                |s| s.iom_pending_input(0) == 0,
+                out,
+            )?,
+        };
         if !done {
             return Err(CmdError(
                 "swap scenario stalled before consuming input".into(),
@@ -638,9 +978,20 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         deploy(&mut sys, &pipeline, &mapping).map_err(|e| CmdError(e.to_string()))?;
 
         sys.iom_feed(0, 0..samples);
-        let done = sys.run_until(Ps::from_ms(100), |s| {
-            s.iom_pending_input(0) == 0 && !s.iom_output(0).is_empty()
-        });
+        let stream_done =
+            |s: &VapresSystem| s.iom_pending_input(0) == 0 && !s.iom_output(0).is_empty();
+        let done = match &mut ckpt {
+            None => sys.run_until(Ps::from_ms(100), stream_done),
+            Some(sink) => {
+                let meta = CkptMeta {
+                    phase: CkptPhase::NoSwap,
+                    fail_swap: false,
+                    upstream: 0,
+                    downstream: 0,
+                };
+                run_checkpointed(&mut sys, Ps::from_ms(100), sink, &meta, stream_done, out)?
+            }
+        };
         if !done {
             return Err(CmdError("simulation stalled before consuming input".into()));
         }
@@ -722,18 +1073,21 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
 
     if let Some(path) = args.get("vcd") {
         let tracer = sys.tracer().expect("tracing was enabled above");
-        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-        tracer.write_vcd(&mut file).map_err(CmdError::from)?;
-        file.flush()?;
+        let mut file = create_output(path)?;
+        tracer
+            .write_vcd(&mut file)
+            .and_then(|()| file.flush())
+            .map_err(|e| write_err(path, e))?;
         writeln!(out, "wrote {path}: {} signal changes", tracer.len())?;
     }
 
     if want_metrics {
         let t = sys.snapshot_metrics().expect("telemetry was enabled above");
         if let Some(path) = args.get("metrics") {
-            let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-            t.write_jsonl(&mut file)?;
-            file.flush()?;
+            let mut file = create_output(path)?;
+            t.write_jsonl(&mut file)
+                .and_then(|()| file.flush())
+                .map_err(|e| write_err(path, e))?;
             writeln!(
                 out,
                 "wrote {path}: {} metrics + {} spans",
@@ -742,15 +1096,17 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
             )?;
         }
         if let Some(path) = args.get("trace-json") {
-            let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-            t.write_chrome_trace(&mut file)?;
-            file.flush()?;
+            let mut file = create_output(path)?;
+            t.write_chrome_trace(&mut file)
+                .and_then(|()| file.flush())
+                .map_err(|e| write_err(path, e))?;
             writeln!(out, "wrote {path}: chrome://tracing timeline")?;
         }
         if let Some(path) = args.get("prom") {
-            let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-            t.write_prometheus(&mut file)?;
-            file.flush()?;
+            let mut file = create_output(path)?;
+            t.write_prometheus(&mut file)
+                .and_then(|()| file.flush())
+                .map_err(|e| write_err(path, e))?;
             writeln!(out, "wrote {path}: prometheus text")?;
         }
     }
@@ -909,7 +1265,21 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         grid.seed
     )?;
 
-    let results = run_sweep_with(&scenarios, jobs, vapres_kpn::run_scenario);
+    // `--cold yes` bypasses the warm-start prefix cache (each scenario
+    // rebuilds its own pre-swap prefix) — the reference the warm path is
+    // byte-compared against, and the baseline for its wall-clock win.
+    let cold = args.get_or("cold", "no") == "yes";
+    let started = std::time::Instant::now();
+    let results = run_sweep_with(
+        &scenarios,
+        jobs,
+        if cold {
+            vapres_kpn::run_scenario_cold
+        } else {
+            vapres_kpn::run_scenario
+        },
+    );
+    let wall_ms = started.elapsed().as_millis();
 
     let pct = |p: Option<u64>| p.map_or_else(|| "-".to_string(), |v| Ps::new(v).to_string());
     writeln!(
@@ -972,9 +1342,11 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     }
 
     if let Some(path) = args.get("jsonl") {
-        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-        merged.write_jsonl(&mut file)?;
-        file.flush()?;
+        let mut file = create_output(path)?;
+        merged
+            .write_jsonl(&mut file)
+            .and_then(|()| file.flush())
+            .map_err(|e| write_err(path, e))?;
         writeln!(
             out,
             "wrote {path}: merged telemetry ({} metrics + {} spans)",
@@ -983,9 +1355,10 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         )?;
     }
     if let Some(path) = args.get("bench") {
-        let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
-        write_sweep_trajectory(&results, grid.seed, jobs, &mut file)?;
-        file.flush()?;
+        let mut file = create_output(path)?;
+        let mode = if cold { "cold" } else { "warm" };
+        write_sweep_trajectory(&results, grid.seed, jobs, mode, wall_ms, &mut file)?;
+        file.flush().map_err(|e| write_err(path, e))?;
         writeln!(out, "wrote {path}: sweep trajectory")?;
     }
     Ok(())
@@ -994,14 +1367,17 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
 /// Writes the per-scenario sweep trajectory as JSON (hand-rolled, like
 /// the telemetry exporters — the tree has no serde). Deterministic: the
 /// rows are in scenario-index order and contain no wall-clock values.
-/// The one machine-dependent line is `"host"` — CPU count and the
-/// `--jobs` value — so the artifact says whether a parallel speedup was
-/// even possible on the recording machine (a 1-CPU container bounds it
-/// at 1.0x); jobs-invariance checks filter that line before comparing.
+/// The one machine-dependent line is `"host"` — CPU count, the `--jobs`
+/// value, whether the prefix cache was warm or cold, and the measured
+/// wall-clock — so the artifact says whether a parallel speedup was even
+/// possible on the recording machine and what the warm start bought;
+/// invariance checks filter that line before comparing.
 fn write_sweep_trajectory(
     results: &[vapres_core::scenario::ScenarioResult],
     seed: u64,
     jobs: usize,
+    mode: &str,
+    wall_ms: u128,
     out: &mut dyn Write,
 ) -> Result<(), CmdError> {
     use vapres_core::scenario::SwapOutcome;
@@ -1011,7 +1387,11 @@ fn write_sweep_trajectory(
     writeln!(out, "{{")?;
     writeln!(out, "  \"bench\": \"sweep\",")?;
     writeln!(out, "  \"seed\": {seed},")?;
-    writeln!(out, "  \"host\": {{\"cpus\": {cpus}, \"jobs\": {jobs}}},")?;
+    writeln!(
+        out,
+        "  \"host\": {{\"cpus\": {cpus}, \"jobs\": {jobs}, \
+         \"mode\": \"{mode}\", \"wall_ms\": {wall_ms}}},"
+    )?;
     writeln!(out, "  \"scenarios\": [")?;
     for (i, r) in results.iter().enumerate() {
         let s = &r.summary;
@@ -1091,7 +1471,11 @@ fn known_flags(subcommand: &str) -> Option<&'static [&'static str]> {
             "prom",
             "trace-words",
             "flight-dump",
+            "checkpoint-every",
+            "checkpoint-dir",
+            "restore",
         ],
+        "replay" => &["until-breach"],
         "health" => &["halt", "samples", "interval", "flight-dump"],
         "sweep" => &[
             "jobs",
@@ -1106,6 +1490,7 @@ fn known_flags(subcommand: &str) -> Option<&'static [&'static str]> {
             "interval",
             "jsonl",
             "bench",
+            "cold",
         ],
         _ => return None,
     })
@@ -1155,12 +1540,14 @@ pub fn usage() -> &'static str {
      \x20                [--stats yes] [--vcd out.vcd] [--swap yes] [--fail-swap yes]\n\
      \x20                [--metrics out.jsonl] [--trace-json out.json] [--prom out.prom]\n\
      \x20                [--trace-words N] [--flight-dump out.jsonl]\n\
+     \x20                [--checkpoint-every US --checkpoint-dir D] [--restore ckpt]\n\
+     \x20 replay         <checkpoint.vapresck> [--until-breach yes]   (exit 1 on breach)\n\
      \x20 health         [--halt yes] [--samples N] [--interval CYCLES]\n\
      \x20                [--flight-dump out.jsonl]   (exit 1 on breach)\n\
      \x20 sweep          [--jobs N] [--kr 2,3] [--kl 2,3] [--fifo-depth 64,512]\n\
      \x20                [--clock-mhz 100] [--swap seamless,halt,none]\n\
      \x20                [--fault-rate 0.0,0.5] [--samples N,...] [--interval CYCLES]\n\
-     \x20                [--seed S] [--jsonl out.jsonl] [--bench out.json]\n\
+     \x20                [--seed S] [--jsonl out.jsonl] [--bench out.json] [--cold yes]\n\
      \n\
      devices: lx25 (default) | lx60 | lx100\n\
      stages : passthrough | scaler | delta-enc | delta-dec | avg | fir-a | fir-b\n"
@@ -1182,6 +1569,7 @@ pub fn dispatch(subcommand: &str, args: &Args, out: &mut dyn Write) -> Result<()
         "bitinfo" => cmd_bitinfo(args, out),
         "reconfig-time" => cmd_reconfig_time(args, out),
         "sim" => cmd_sim(args, out),
+        "replay" => cmd_replay(args, out),
         "health" => cmd_health(args, out),
         "sweep" => cmd_sweep(args, out),
         other => Err(CmdError(format!(
@@ -1499,8 +1887,13 @@ mod tests {
             ("bitinfo", &["--verbose", "yes"]),
             ("reconfig-time", &["--byte", "100"]),
             ("sim", &["--trace-word", "100"]),
+            ("sim", &["--checkpoint-ever", "200"]),
+            ("sim", &["--checkpoint-dirs", "/tmp/x"]),
+            ("sim", &["--restor", "x.vapresck"]),
+            ("replay", &["--until-break", "yes"]),
             ("health", &["--halts", "yes"]),
             ("sweep", &["--job", "4"]),
+            ("sweep", &["--warm", "yes"]),
         ];
         for (sub, tokens) in cases {
             let err = run(sub, tokens).unwrap_err();
@@ -1528,6 +1921,7 @@ mod tests {
             "bitinfo",
             "reconfig-time",
             "sim",
+            "replay",
             "health",
             "sweep",
         ] {
@@ -1669,6 +2063,209 @@ mod tests {
         let err = run("report", &["--metrics", bad.to_str().unwrap()]).unwrap_err();
         assert!(err.0.contains("bucket width"), "{}", err.0);
         std::fs::remove_file(&bad).ok();
+    }
+
+    #[test]
+    fn sim_checkpoints_and_replay_finishes_the_scenario() {
+        let dir = std::env::temp_dir().join("vapres_cli_ckpt_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_str().unwrap().to_string();
+        let text = run(
+            "sim",
+            &[
+                "--swap",
+                "yes",
+                "--samples",
+                "2000",
+                "--checkpoint-every",
+                "300",
+                "--checkpoint-dir",
+                &dir_s,
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("checkpoint "), "{text}");
+        assert!(text.contains("samples out: 2001"), "{text}");
+
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        assert!(files.len() >= 2, "expected several checkpoints: {files:?}");
+
+        // The first checkpoint predates the swap: replay performs it and
+        // still drains the full stream.
+        let first = files.first().unwrap().to_str().unwrap();
+        let text = run("replay", &[first]).unwrap();
+        assert!(text.contains("restored "), "{text}");
+        assert!(text.contains("swap       : "), "{text}");
+        assert!(text.contains("samples out: 2001"), "{text}");
+
+        // The last checkpoint postdates the swap: replay only drains.
+        let last = files.last().unwrap().to_str().unwrap();
+        let text = run("replay", &[last]).unwrap();
+        assert!(!text.contains("swap       : "), "{text}");
+        assert!(text.contains("samples out: 2001"), "{text}");
+
+        // --until-breach on the healthy seamless scenario re-judges the
+        // monitors and reports no divergence.
+        let text = run("replay", &[first, "--until-breach", "yes"]).unwrap();
+        assert!(text.contains("[PASS] swap_reconfig_ps"), "{text}");
+        assert!(text.contains("no breach reproduced"), "{text}");
+
+        // `sim --restore` is the same resume path.
+        let text = run("sim", &["--restore", first]).unwrap();
+        assert!(text.contains("restored "), "{text}");
+        assert!(text.contains("samples out: 2001"), "{text}");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_reproduces_a_swap_failure_from_a_checkpoint() {
+        let dir = std::env::temp_dir().join("vapres_cli_ckpt_fail_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_s = dir.to_str().unwrap().to_string();
+        // The sim itself fails at the swap, but its pre-swap checkpoints
+        // were already written — exactly the divergence-point workflow.
+        let err = run(
+            "sim",
+            &[
+                "--swap",
+                "yes",
+                "--samples",
+                "2000",
+                "--fail-swap",
+                "yes",
+                "--checkpoint-every",
+                "300",
+                "--checkpoint-dir",
+                &dir_s,
+            ],
+        )
+        .unwrap_err();
+        assert!(err.0.contains("swap failed"), "{}", err.0);
+
+        let mut files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        let first = files.first().expect("pre-swap checkpoints exist");
+        let err = run("replay", &[first.to_str().unwrap()]).unwrap_err();
+        assert!(err.0.contains("swap failed"), "{}", err.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn replay_rejects_non_checkpoint_files() {
+        let dir = std::env::temp_dir().join("vapres_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let junk = dir.join("junk.vapresck");
+        std::fs::write(&junk, b"definitely not a checkpoint").unwrap();
+        let err = run("replay", &[junk.to_str().unwrap()]).unwrap_err();
+        assert!(err.0.contains("not a vapres checkpoint"), "{}", err.0);
+        std::fs::remove_file(&junk).ok();
+
+        let err = run("replay", &["/nonexistent_vapres/x.vapresck"]).unwrap_err();
+        assert!(err.0.contains("cannot read"), "{}", err.0);
+        let err = run("replay", &[]).unwrap_err();
+        assert!(err.0.contains("usage"), "{}", err.0);
+    }
+
+    #[test]
+    fn checkpoint_flags_must_be_paired() {
+        let err = run("sim", &["--checkpoint-every", "100"]).unwrap_err();
+        assert!(err.0.contains("--checkpoint-dir"), "{}", err.0);
+        let err = run("sim", &["--checkpoint-dir", "/tmp/x"]).unwrap_err();
+        assert!(err.0.contains("--checkpoint-every"), "{}", err.0);
+    }
+
+    #[test]
+    fn unwritable_output_paths_fail_with_the_path_in_the_message() {
+        // A parent directory that cannot exist: every writer must fail
+        // with a "cannot write <path>" message (and a non-zero exit from
+        // main), never a panic or a bare OS error.
+        let bad = "/nonexistent_vapres_dir/out.file";
+        let cases: &[(&str, Vec<&str>)] = &[
+            ("floorplan", vec!["--prrs", "640", "--ucf", bad]),
+            ("floorplan", vec!["--prrs", "640", "--mhs", bad]),
+            (
+                "bitgen",
+                vec!["--rect", "0:9:0:15", "--uid", "1", "--out", bad],
+            ),
+            ("sim", vec!["--samples", "50", "--vcd", bad]),
+            ("sim", vec!["--samples", "50", "--metrics", bad]),
+            ("sim", vec!["--samples", "50", "--flight-dump", bad]),
+            (
+                "sweep",
+                vec![
+                    "--kr",
+                    "2",
+                    "--kl",
+                    "2",
+                    "--fifo-depth",
+                    "512",
+                    "--swap",
+                    "none",
+                    "--samples",
+                    "300",
+                    "--jsonl",
+                    bad,
+                ],
+            ),
+            (
+                "sweep",
+                vec![
+                    "--kr",
+                    "2",
+                    "--kl",
+                    "2",
+                    "--fifo-depth",
+                    "512",
+                    "--swap",
+                    "none",
+                    "--samples",
+                    "300",
+                    "--bench",
+                    bad,
+                ],
+            ),
+        ];
+        for (sub, tokens) in cases {
+            let err = run(sub, tokens).unwrap_err();
+            assert!(
+                err.0.contains("cannot write") && err.0.contains(bad),
+                "{sub} {tokens:?}: wrong error: {}",
+                err.0
+            );
+        }
+
+        // An unwritable checkpoint dir (a path component is a file).
+        let blocker = std::env::temp_dir().join("vapres_cli_blocker");
+        std::fs::write(&blocker, b"").unwrap();
+        let nested = blocker.join("sub");
+        let err = run(
+            "sim",
+            &[
+                "--swap",
+                "yes",
+                "--checkpoint-every",
+                "300",
+                "--checkpoint-dir",
+                nested.to_str().unwrap(),
+            ],
+        )
+        .unwrap_err();
+        assert!(err.0.contains("cannot write"), "{}", err.0);
+        std::fs::remove_file(&blocker).ok();
+
+        // Unreadable inputs name the path too.
+        let err = run("bitinfo", &["/nonexistent_vapres/x.bit"]).unwrap_err();
+        assert!(err.0.contains("cannot read"), "{}", err.0);
+        let err = run("report", &["--metrics", "/nonexistent_vapres/x.jsonl"]).unwrap_err();
+        assert!(err.0.contains("cannot read"), "{}", err.0);
     }
 
     #[test]

@@ -179,6 +179,40 @@ impl SystemConfig {
             .map(|(n, _)| n)
     }
 
+    /// An FNV-1a fingerprint over every configuration field that shapes
+    /// simulation state. A snapshot taken under one configuration refuses
+    /// to restore into a system built from a different one (see
+    /// [`vapres_sim::persist::Header`]); two structurally equal configs
+    /// always fingerprint identically.
+    pub fn fingerprint(&self) -> u64 {
+        use vapres_sim::persist::{fnv1a, Persist, Writer};
+        let mut w = Writer::new();
+        self.params.persist(&mut w);
+        w.put_usize(self.node_kinds.len());
+        for kind in &self.node_kinds {
+            w.put_u8(match kind {
+                NodeKind::Prr => 0,
+                NodeKind::Iom => 1,
+            });
+        }
+        w.put_str(self.device.name());
+        w.put_u32(self.device.clb_cols());
+        w.put_u32(self.device.clb_rows());
+        w.put_usize(self.floorplan.prrs().len());
+        for p in self.floorplan.prrs() {
+            w.put_str(&p.name);
+            w.put_u32(p.rect.col_lo);
+            w.put_u32(p.rect.col_hi);
+            w.put_u32(p.rect.row_lo);
+            w.put_u32(p.rect.row_hi);
+        }
+        self.static_clock.persist(&mut w);
+        self.prr_clock_menu[0].persist(&mut w);
+        self.prr_clock_menu[1].persist(&mut w);
+        w.put_usize(self.fsl_depth);
+        fnv1a(&w.into_bytes())
+    }
+
     /// Checks internal consistency: fabric parameters, node/floorplan
     /// correspondence, floorplan validity, FSL depth.
     ///

@@ -149,6 +149,25 @@ pub trait HardwareModule {
 
     /// Synchronous reset (the `PRR_reset` DCR bit).
     fn reset(&mut self);
+
+    /// Captures the module's **complete** dynamic state for a simulation
+    /// checkpoint. Unlike [`save_state`](Self::save_state) — which carries
+    /// only the registers the switching methodology transfers between
+    /// module generations — this must cover every variable that affects
+    /// future observable behaviour (wrapper FSMs, lifetime counters,
+    /// pending protocol words). The default delegates to `save_state`,
+    /// which is correct only when the transferable registers *are* the
+    /// whole dynamic state.
+    fn persist_words(&self) -> Vec<u32> {
+        self.save_state()
+    }
+
+    /// Restores state captured by [`persist_words`](Self::persist_words).
+    /// Must tolerate malformed input without panicking (snapshot bytes
+    /// come from disk); unparseable tails fall back to defaults.
+    fn restore_persisted(&mut self, words: &[u32]) {
+        self.restore_state(words);
+    }
 }
 
 impl fmt::Debug for dyn HardwareModule {

@@ -1244,6 +1244,284 @@ impl VapresSystem {
     }
 }
 
+// ----------------------------------------------------------------------
+// Checkpoint / restore: the whole-system snapshot seam.
+// ----------------------------------------------------------------------
+
+use vapres_sim::persist::{Header, Persist, PersistError, Reader, Writer, FORMAT_VERSION};
+
+impl WordTrace {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u32(self.sample_every);
+        w.put_u32(self.since_last);
+        self.accept.persist(w);
+        self.emit.persist(w);
+        self.harvested.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let sample_every = r.take_u32()?;
+        if sample_every == 0 {
+            return Err(PersistError::Corrupt("word-trace sample interval 0".into()));
+        }
+        let since_last = r.take_u32()?;
+        let accept = Vec::<Ps>::restore(r)?;
+        let emit = Vec::<Option<Ps>>::restore(r)?;
+        let harvested = Vec::<bool>::restore(r)?;
+        if emit.len() != accept.len() || harvested.len() != accept.len() {
+            return Err(PersistError::Corrupt(
+                "word-trace tag tables disagree".into(),
+            ));
+        }
+        Ok(WordTrace {
+            sample_every,
+            since_last,
+            accept,
+            emit,
+            harvested,
+        })
+    }
+}
+
+impl SysTrace {
+    /// Rebuilds the signal-id map around a restored tracer. Signal ids
+    /// follow [`SysTrace::new`]'s registration order, so the restored
+    /// tracer must carry exactly the same signal count.
+    fn from_tracer(tracer: Tracer, nodes: usize, n_prrs: usize) -> Result<Self, PersistError> {
+        let expected = 2 + 2 * nodes + n_prrs;
+        if tracer.signal_count() != expected {
+            return Err(PersistError::Corrupt(format!(
+                "system trace carries {} signals, config needs {expected}",
+                tracer.signal_count()
+            )));
+        }
+        let mut next = 0usize;
+        let mut take = || {
+            let id = SignalId::from_index(next);
+            next += 1;
+            id
+        };
+        Ok(SysTrace {
+            channels: take(),
+            routes_active: take(),
+            node_cons: (0..nodes).map(|_| take()).collect(),
+            node_prod: (0..nodes).map(|_| take()).collect(),
+            prr_state: (0..n_prrs).map(|_| take()).collect(),
+            tracer,
+        })
+    }
+}
+
+impl VapresSystem {
+    /// Serializes the complete dynamic state of the system — clocks,
+    /// executor, fabric (in-flight words, feedback history, counters),
+    /// sockets, FSLs, PRR modules, IOMs, ICAP configuration memory,
+    /// storage, and every armed observer (telemetry, flight ring, word
+    /// trace, waveform tracer) — into a versioned, configuration-
+    /// fingerprinted byte image.
+    ///
+    /// [`restore`](Self::restore)-ing the image into a system built from
+    /// a structurally equal configuration and module library continues
+    /// the run **bit-exactly**: every future observable (output words and
+    /// timestamps, counters, flight events, VCD changes) matches a run
+    /// that never stopped.
+    pub fn checkpoint(&mut self) -> Vec<u8> {
+        // Materialize any stretch the scheduler elided so the encoded
+        // fabric is at the present cycle (exact either way; this just
+        // pins the canonical encode point).
+        self.sync_fabric();
+        let mut w = Writer::new();
+        Header {
+            version: FORMAT_VERSION,
+            fingerprint: self.cfg.fingerprint(),
+        }
+        .write(&mut w);
+        self.clocks.persist(&mut w);
+        self.exec.persist(&mut w);
+        self.fabric.persist(&mut w);
+        w.put_usize(self.sockets.len());
+        for s in &self.sockets {
+            w.put_u32(s.dcr.encode());
+        }
+        w.put_usize(self.fsl.len());
+        for pair in &self.fsl {
+            pair.to_mb.persist(&mut w);
+            pair.from_mb.persist(&mut w);
+        }
+        w.put_usize(self.prrs.len());
+        for prr in &self.prrs {
+            prr.bufgmux.inputs()[0].persist(&mut w);
+            prr.bufgmux.inputs()[1].persist(&mut w);
+            w.put_bool(prr.bufgmux.selected());
+            prr.loaded_uid.map(|u| u.0).persist(&mut w);
+            prr.spanned_by.persist(&mut w);
+            match &prr.module {
+                Some(m) => {
+                    w.put_bool(true);
+                    w.put_u32(m.uid().0);
+                    m.persist_words().persist(&mut w);
+                }
+                None => w.put_bool(false),
+            }
+        }
+        w.put_usize(self.ioms.len());
+        for iom in &self.ioms {
+            iom.ext_in.persist(&mut w);
+            iom.ext_out.persist(&mut w);
+            iom.gap.persist(&mut w);
+            w.put_u64(iom.eos_seen);
+            w.put_u64(iom.input_interval);
+            w.put_u64(iom.next_inject_cycle);
+        }
+        self.icap.persist(&mut w);
+        self.cf.persist(&mut w);
+        self.sdram.persist(&mut w);
+        w.put_u64(self.isolated_writes);
+        w.put_bool(self.dense);
+        self.trace
+            .as_ref()
+            .map(|t| t.tracer.clone())
+            .persist(&mut w);
+        self.telemetry.persist(&mut w);
+        self.flight.persist(&mut w);
+        match &self.word_trace {
+            Some(tr) => {
+                w.put_bool(true);
+                tr.persist(&mut w);
+            }
+            None => w.put_bool(false),
+        }
+        w.into_bytes()
+    }
+
+    /// Reconstructs a system from a [`checkpoint`](Self::checkpoint)
+    /// image, a configuration structurally equal to the one the image was
+    /// taken under, and a module library registering every UID the image
+    /// holds a loaded module for.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BadMagic`] / [`PersistError::VersionMismatch`] /
+    /// [`PersistError::FingerprintMismatch`] when the image does not
+    /// belong to this build + configuration, and
+    /// [`PersistError::Corrupt`] on any internal inconsistency (including
+    /// a module UID the library cannot instantiate).
+    pub fn restore(
+        cfg: SystemConfig,
+        library: ModuleLibrary,
+        bytes: &[u8],
+    ) -> Result<Self, PersistError> {
+        let fingerprint = cfg.fingerprint();
+        let mut sys =
+            VapresSystem::new(cfg, library).map_err(|e| PersistError::Corrupt(e.to_string()))?;
+        let r = &mut Reader::new(bytes);
+        Header::read_expecting(r, fingerprint)?;
+        let clocks = ClockScheduler::restore(r)?;
+        if clocks.len() != 1 + sys.prrs.len() {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot has {} clock domains, config needs {}",
+                clocks.len(),
+                1 + sys.prrs.len()
+            )));
+        }
+        sys.clocks = clocks;
+        let exec = Executor::restore(r)?;
+        if exec.component_count() != sys.comp_kind.len() {
+            return Err(PersistError::Corrupt(format!(
+                "snapshot has {} executor components, config needs {}",
+                exec.component_count(),
+                sys.comp_kind.len()
+            )));
+        }
+        sys.exec = exec;
+        let fabric = StreamFabric::restore(r)?;
+        if *fabric.params() != sys.cfg.params {
+            return Err(PersistError::Corrupt(
+                "snapshot fabric parameters disagree with the configuration".into(),
+            ));
+        }
+        sys.fabric = fabric;
+        let n = r.take_usize()?;
+        if n != sys.sockets.len() {
+            return Err(PersistError::Corrupt("socket count mismatch".into()));
+        }
+        for s in &mut sys.sockets {
+            s.dcr = Dcr::decode(r.take_u32()?);
+        }
+        let n = r.take_usize()?;
+        if n != sys.fsl.len() {
+            return Err(PersistError::Corrupt("FSL pair count mismatch".into()));
+        }
+        for pair in &mut sys.fsl {
+            pair.to_mb = AsyncFifo::restore(r)?;
+            pair.from_mb = AsyncFifo::restore(r)?;
+        }
+        let n = r.take_usize()?;
+        if n != sys.prrs.len() {
+            return Err(PersistError::Corrupt("PRR count mismatch".into()));
+        }
+        for i in 0..sys.prrs.len() {
+            let i0 = vapres_sim::time::Freq::restore(r)?;
+            let i1 = vapres_sim::time::Freq::restore(r)?;
+            let sel = r.take_bool()?;
+            let mut mux = Bufgmux::new(i0, i1);
+            mux.select(sel);
+            sys.prrs[i].bufgmux = mux;
+            sys.prrs[i].loaded_uid = Option::<u32>::restore(r)?.map(ModuleUid);
+            sys.prrs[i].spanned_by = Option::<usize>::restore(r)?;
+            sys.prrs[i].module = if r.take_bool()? {
+                let uid = ModuleUid(r.take_u32()?);
+                let words = Vec::<u32>::restore(r)?;
+                let mut module = sys.library.instantiate(uid).ok_or_else(|| {
+                    PersistError::Corrupt(format!(
+                        "snapshot holds module {uid} but the library cannot instantiate it"
+                    ))
+                })?;
+                module.restore_persisted(&words);
+                Some(module)
+            } else {
+                None
+            };
+        }
+        let n = r.take_usize()?;
+        if n != sys.ioms.len() {
+            return Err(PersistError::Corrupt("IOM count mismatch".into()));
+        }
+        for iom in &mut sys.ioms {
+            iom.ext_in = VecDeque::restore(r)?;
+            iom.ext_out = Vec::restore(r)?;
+            iom.gap = GapTracker::restore(r)?;
+            iom.eos_seen = r.take_u64()?;
+            iom.input_interval = r.take_u64()?;
+            iom.next_inject_cycle = r.take_u64()?;
+        }
+        sys.icap = Icap::restore(r)?;
+        sys.cf = CompactFlash::restore(r)?;
+        sys.sdram = Sdram::restore(r)?;
+        sys.isolated_writes = r.take_u64()?;
+        sys.dense = r.take_bool()?;
+        let nodes = sys.cfg.params.nodes;
+        let n_prrs = sys.prrs.len();
+        sys.trace = Option::<Tracer>::restore(r)?
+            .map(|t| SysTrace::from_tracer(t, nodes, n_prrs))
+            .transpose()?;
+        sys.telemetry = Option::<Telemetry>::restore(r)?;
+        sys.flight = Option::<FlightRecorder>::restore(r)?;
+        sys.word_trace = if r.take_bool()? {
+            Some(WordTrace::restore(r)?)
+        } else {
+            None
+        };
+        r.expect_end()?;
+        if sys.word_trace.is_some() && sys.fabric.word_tap().is_none() {
+            return Err(PersistError::Corrupt(
+                "word trace armed but the fabric carries no word tap".into(),
+            ));
+        }
+        Ok(sys)
+    }
+}
+
 /// Raises a registry counter to an externally-tracked running total
 /// (counters are monotone; harvest copies the native value in).
 fn set_counter(t: &mut Telemetry, id: vapres_sim::telemetry::CounterId, value: u64) {

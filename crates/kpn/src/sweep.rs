@@ -4,21 +4,36 @@
 //! This is the runner `vapres_core::scenario::run_sweep_with` shards
 //! across worker threads. Each invocation builds a fresh system from the
 //! scenario's reparameterized prototype config, deploys the paper's E3
-//! arrangement (IOM → FIR A → IOM, FIR B staged in SDRAM), streams the
-//! scenario's samples, performs the requested swap mid-stream, and
-//! harvests the telemetry registry into a summary row.
+//! arrangement (IOM → FIR A → IOM, FIR B staged in SDRAM for both swap
+//! targets), streams the scenario's samples, performs the requested swap
+//! mid-stream, and harvests the telemetry registry into a summary row.
 //!
 //! The runner is a pure function of the scenario: every random choice
 //! (fault injection) draws from a `SplitMix64` seeded with
 //! [`Scenario::seed`], and nothing reads the wall clock — so the same
 //! scenario produces bit-identical telemetry on any worker, which is what
 //! lets the engine promise `--jobs 1` ≡ `--jobs 8`.
+//!
+//! # Warm-start
+//!
+//! Everything before the swap — system bring-up, bitstream staging, the
+//! first millisecond of streaming — is identical for every scenario that
+//! shares a [`PrefixKey`] (the grid axes minus the swap method; the
+//! default E3 grid shares each prefix across its Seamless/Halt pair).
+//! [`run_scenario`] builds that prefix once per unique key, checkpoints
+//! it (`VapresSystem::checkpoint`), and forks every scenario from the
+//! restored image. Because restore ≡ never-stopped bit-exactly, the
+//! sweep report is byte-identical to the cold path
+//! ([`run_scenario_cold`]) while skipping the repeated prefix work.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use vapres_core::module::ModuleLibrary;
 use vapres_core::scenario::{Scenario, ScenarioResult, ScenarioSummary, SwapMethod, SwapOutcome};
 use vapres_core::switching::{halt_and_swap, seamless_swap, BitstreamSource, SwapSpec};
 use vapres_core::system::VapresSystem;
-use vapres_core::{ApiError, PortRef, Ps, SplitMix64};
+use vapres_core::{ApiError, ChannelId, PortRef, Ps, SplitMix64};
 use vapres_modules::{register_standard_modules, uids};
 
 /// Every Nth streamed word carries a provenance tag (enough tags for
@@ -33,7 +48,89 @@ const FAULT_WINDOW_BYTES: usize = 32;
 /// Simulated time budget for draining the input after the swap.
 const DRAIN_BUDGET: Ps = Ps::from_ms(300);
 
-/// Runs one scenario to completion.
+/// What the suffix needs from a completed prefix: the two channel ids
+/// the swap spec references, or the setup failure message.
+type PrefixSetup = Result<(ChannelId, ChannelId), String>;
+
+/// The scenario fields that shape the pre-swap prefix. Scenarios whose
+/// keys are equal produce bit-identical systems at the checkpoint
+/// boundary, so one snapshot serves them all.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct PrefixKey {
+    kr: usize,
+    kl: usize,
+    fifo_depth: usize,
+    prr_clock_mhz: u64,
+    samples: u32,
+    interval: u64,
+    /// `None` when the prefix consults no randomness (`fault_rate` 0, so
+    /// any seed yields the same prefix); `Some((seed, rate_bits))` when
+    /// fault injection is live and the prefix is unique per seed.
+    fault: Option<(u64, u64)>,
+}
+
+impl PrefixKey {
+    fn of(sc: &Scenario) -> Self {
+        PrefixKey {
+            kr: sc.kr,
+            kl: sc.kl,
+            fifo_depth: sc.fifo_depth,
+            prr_clock_mhz: sc.prr_clock_mhz,
+            samples: sc.samples,
+            interval: sc.interval,
+            fault: (sc.fault_rate > 0.0).then(|| (sc.seed, sc.fault_rate.to_bits())),
+        }
+    }
+}
+
+/// A cached prefix: the snapshot plus the setup outcome the suffix needs.
+struct PrefixEntry {
+    bytes: Arc<Vec<u8>>,
+    setup: PrefixSetup,
+}
+
+type PrefixCache = Mutex<BTreeMap<PrefixKey, Arc<OnceLock<PrefixEntry>>>>;
+
+fn prefix_cache() -> &'static PrefixCache {
+    static CACHE: OnceLock<PrefixCache> = OnceLock::new();
+    CACHE.get_or_init(Default::default)
+}
+
+/// Drops every cached prefix snapshot (e.g. between benchmark phases, so
+/// a timed warm sweep pays its own prefix builds).
+pub fn clear_prefix_cache() {
+    prefix_cache().lock().expect("prefix cache lock").clear();
+}
+
+/// The standard module library every scenario system uses.
+fn scenario_library() -> ModuleLibrary {
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    lib
+}
+
+/// Builds the shared pre-swap prefix: fresh system, E3 deployment, the
+/// stream's first millisecond. Pure in the scenario (modulo the prefix
+/// key: scenarios with equal keys get bit-identical results).
+fn build_prefix(sc: &Scenario) -> (VapresSystem, PrefixSetup) {
+    let mut sys = VapresSystem::new(sc.system_config(), scenario_library())
+        .expect("scenario config was validated before dispatch");
+    sys.enable_telemetry();
+    sys.enable_word_trace(TRACE_EVERY);
+    sys.iom_set_input_interval(0, sc.interval);
+
+    let mut rng = SplitMix64::new(sc.seed);
+    let setup = setup_e3(&mut sys, sc, &mut rng).map_err(|e| e.to_string());
+    if setup.is_ok() {
+        sys.iom_feed(0, 0..sc.samples);
+        sys.run_for(Ps::from_ms(1));
+    }
+    (sys, setup)
+}
+
+/// Runs one scenario to completion, warm-starting from a cached prefix
+/// snapshot when another scenario with the same [`PrefixKey`] already
+/// built one (and caching its own prefix otherwise).
 ///
 /// Never fails: a setup error (e.g. a grid point whose channel slots
 /// cannot route the swap) is reported in the summary's
@@ -41,17 +138,31 @@ const DRAIN_BUDGET: Ps = Ps::from_ms(300);
 /// produces a full table. The scenario should have passed
 /// [`Scenario::validate`] first — an invalid *system config* panics here.
 pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
-    let mut lib = ModuleLibrary::new();
-    register_standard_modules(&mut lib, 0);
-    let mut sys = VapresSystem::new(sc.system_config(), lib)
-        .expect("scenario config was validated before dispatch");
-    sys.enable_telemetry();
-    sys.enable_word_trace(TRACE_EVERY);
-    sys.iom_set_input_interval(0, sc.interval);
+    let slot = {
+        let mut map = prefix_cache().lock().expect("prefix cache lock");
+        map.entry(PrefixKey::of(sc)).or_default().clone()
+    };
+    let entry = slot.get_or_init(|| {
+        let (mut sys, setup) = build_prefix(sc);
+        PrefixEntry {
+            bytes: Arc::new(sys.checkpoint()),
+            setup,
+        }
+    });
+    let sys = VapresSystem::restore(sc.system_config(), scenario_library(), &entry.bytes)
+        .expect("a prefix snapshot restores into its own configuration");
+    finish_scenario(sys, sc, entry.setup.clone())
+}
 
-    let mut rng = SplitMix64::new(sc.seed);
-    let setup = setup_e3(&mut sys, sc, &mut rng);
+/// Runs one scenario end to end without touching the prefix cache — the
+/// reference path warm-started sweeps must match byte for byte.
+pub fn run_scenario_cold(sc: &Scenario) -> ScenarioResult {
+    let (sys, setup) = build_prefix(sc);
+    finish_scenario(sys, sc, setup)
+}
 
+/// Everything after the prefix: the swap itself, the drain, the harvest.
+fn finish_scenario(mut sys: VapresSystem, sc: &Scenario, setup: PrefixSetup) -> ScenarioResult {
     let (outcome, swap_failed) = match setup {
         Err(e) => (
             SwapOutcome::Failed {
@@ -59,36 +170,49 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
             },
             true,
         ),
-        Ok(spec) => {
-            sys.iom_feed(0, 0..sc.samples);
-            sys.run_for(Ps::from_ms(1));
-            match sc.swap {
-                SwapMethod::None => (SwapOutcome::NotRequested, false),
-                SwapMethod::Seamless | SwapMethod::Halt => {
-                    let swapped = if sc.swap == SwapMethod::Halt {
-                        halt_and_swap(&mut sys, &spec)
-                    } else {
-                        seamless_swap(&mut sys, &spec)
-                    };
-                    match swapped {
-                        Ok(report) => (
-                            SwapOutcome::Completed {
-                                total_ps: report.total().as_ps(),
-                                reconfig_ps: report.reconfig.total().as_ps(),
-                                state_words: report.state_words as u64,
-                            },
-                            false,
-                        ),
-                        Err(e) => (
-                            SwapOutcome::Failed {
-                                error: e.to_string(),
-                            },
-                            true,
-                        ),
-                    }
+        Ok((upstream, downstream)) => match sc.swap {
+            SwapMethod::None => (SwapOutcome::NotRequested, false),
+            method => {
+                // Halt reconfigures PRR 0 in place; seamless lands FIR B
+                // in the spare PRR 1. Both images were staged during the
+                // prefix, so the suffix just picks the right array.
+                let array = if method == SwapMethod::Halt {
+                    "fir_b_p0"
+                } else {
+                    "fir_b_p1"
+                };
+                let spec = SwapSpec {
+                    active_node: 1,
+                    spare_node: 2,
+                    source: BitstreamSource::Sdram(array.into()),
+                    upstream,
+                    downstream,
+                    clk_sel: false,
+                    timeout: Ps::from_ms(10),
+                };
+                let swapped = if method == SwapMethod::Halt {
+                    halt_and_swap(&mut sys, &spec)
+                } else {
+                    seamless_swap(&mut sys, &spec)
+                };
+                match swapped {
+                    Ok(report) => (
+                        SwapOutcome::Completed {
+                            total_ps: report.total().as_ps(),
+                            reconfig_ps: report.reconfig.total().as_ps(),
+                            state_words: report.state_words as u64,
+                        },
+                        false,
+                    ),
+                    Err(e) => (
+                        SwapOutcome::Failed {
+                            error: e.to_string(),
+                        },
+                        true,
+                    ),
                 }
             }
-        }
+        },
     };
 
     // A failed halt-and-swap leaves the stream halted, so insisting on a
@@ -116,43 +240,39 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
     }
 }
 
-/// Deploys the E3 arrangement and stages FIR B (corrupted with
-/// probability [`Scenario::fault_rate`]), returning the ready swap spec.
+/// Deploys the E3 arrangement and stages FIR B for **both** swap targets
+/// (corrupted with probability [`Scenario::fault_rate`] — the same bit in
+/// both images, off one RNG draw sequence, so the prefix is agnostic to
+/// which swap method the suffix will pick). Returns the channel ids the
+/// swap spec references.
 fn setup_e3(
     sys: &mut VapresSystem,
     sc: &Scenario,
     rng: &mut SplitMix64,
-) -> Result<SwapSpec, ApiError> {
-    // FIR A runs on PRR 0 (node 1). FIR B targets the spare PRR 1
-    // (node 2) for a seamless swap, or PRR 0 in place for the halt
-    // baseline; for a no-swap scenario it is staged for the spare anyway
-    // so storage traffic matches the swap scenarios.
-    let fir_b_prr = if sc.swap == SwapMethod::Halt { 0 } else { 1 };
+) -> Result<(ChannelId, ChannelId), ApiError> {
+    // FIR A runs on PRR 0 (node 1). FIR B is staged for PRR 0 (the
+    // halt-and-swap in-place target) and PRR 1 (the seamless spare).
     sys.install_bitstream(0, uids::FIR_A, "fir_a.bit")?;
 
-    let mut fir_b = sys.bitstream_for(fir_b_prr, uids::FIR_B)?.to_bytes();
+    let mut fir_b_p0 = sys.bitstream_for(0, uids::FIR_B)?.to_bytes();
+    let mut fir_b_p1 = sys.bitstream_for(1, uids::FIR_B)?.to_bytes();
     if sc.fault_rate > 0.0 && rng.gen_bool(sc.fault_rate) {
-        let window = FAULT_WINDOW_BYTES.min(fir_b.len());
+        let window = FAULT_WINDOW_BYTES.min(fir_b_p0.len()).min(fir_b_p1.len());
         let bit = rng.gen_usize(0..window * 8);
-        fir_b[bit / 8] ^= 1 << (bit % 8);
+        fir_b_p0[bit / 8] ^= 1 << (bit % 8);
+        fir_b_p1[bit / 8] ^= 1 << (bit % 8);
     }
-    sys.cf_store_raw("fir_b.bit", fir_b);
-    sys.vapres_cf2array("fir_b.bit", "fir_b")?;
+    sys.cf_store_raw("fir_b_p0.bit", fir_b_p0);
+    sys.vapres_cf2array("fir_b_p0.bit", "fir_b_p0")?;
+    sys.cf_store_raw("fir_b_p1.bit", fir_b_p1);
+    sys.vapres_cf2array("fir_b_p1.bit", "fir_b_p1")?;
 
     sys.vapres_cf2icap("fir_a.bit")?;
     let upstream = sys.vapres_establish_channel(PortRef::new(0, 0), PortRef::new(1, 0))?;
     let downstream = sys.vapres_establish_channel(PortRef::new(1, 0), PortRef::new(0, 0))?;
     sys.bring_up_node(0, false)?;
     sys.bring_up_node(1, false)?;
-    Ok(SwapSpec {
-        active_node: 1,
-        spare_node: 2,
-        source: BitstreamSource::Sdram("fir_b".into()),
-        upstream,
-        downstream,
-        clk_sel: false,
-        timeout: Ps::from_ms(10),
-    })
+    Ok((upstream, downstream))
 }
 
 #[cfg(test)]
@@ -248,5 +368,52 @@ mod tests {
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.summary, y.summary, "scenario {}", x.scenario.index);
         }
+    }
+
+    #[test]
+    fn warm_start_matches_the_cold_path_byte_for_byte() {
+        clear_prefix_cache();
+        let grid = SweepGrid {
+            kr: vec![2],
+            kl: vec![2, 3],
+            fifo_depth: vec![512],
+            prr_clock_mhz: vec![100],
+            swap: vec![SwapMethod::None, SwapMethod::Seamless, SwapMethod::Halt],
+            fault_rate: vec![0.0],
+            samples: vec![300],
+            interval: 50,
+            seed: 0xE3,
+        };
+        let scenarios = grid.expand();
+        let cold = run_sweep_with(&scenarios, 1, run_scenario_cold);
+        let warm = run_sweep_with(&scenarios, 2, run_scenario);
+        let jsonl = |rs: &[ScenarioResult]| {
+            let mut out = Vec::new();
+            merge_telemetry(rs).write_jsonl(&mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        assert_eq!(jsonl(&cold), jsonl(&warm), "warm-start changed telemetry");
+        for (c, w) in cold.iter().zip(&warm) {
+            assert_eq!(c.summary, w.summary, "scenario {}", c.scenario.index);
+        }
+        // Six scenarios, two kl values × three methods: the three methods
+        // share one prefix per kl, so only two distinct keys exist.
+        let mut keys: Vec<PrefixKey> = scenarios.iter().map(PrefixKey::of).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 2, "swap method must not split the prefix key");
+        clear_prefix_cache();
+    }
+
+    #[test]
+    fn faulty_prefixes_are_keyed_per_seed() {
+        // Fault injection draws from the seed, so faulty prefixes must not
+        // be shared across seeds — but fault-free ones must ignore it.
+        let a = PrefixKey::of(&tiny(SwapMethod::Seamless, 1.0, 41));
+        let b = PrefixKey::of(&tiny(SwapMethod::Seamless, 1.0, 42));
+        assert_ne!(a, b, "distinct seeds under fault share a prefix");
+        let c = PrefixKey::of(&tiny(SwapMethod::Seamless, 0.0, 41));
+        let d = PrefixKey::of(&tiny(SwapMethod::Halt, 0.0, 42));
+        assert_eq!(c, d, "fault-free prefixes are seed- and method-agnostic");
     }
 }

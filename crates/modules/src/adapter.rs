@@ -243,6 +243,85 @@ impl<K: StreamKernel> HardwareModule for StreamModuleAdapter<K> {
         self.eos_to_forward = false;
         self.processed = 0;
     }
+
+    fn persist_words(&self) -> Vec<u32> {
+        // The wrapper FSM on top of the kernel's own complete state:
+        // save_state covers only what the switching handshake transfers.
+        let mut w = Vec::new();
+        w.push(self.pending.len() as u32);
+        w.extend(self.pending.iter().copied());
+        w.push(u32::from(self.pending_tag.is_some()));
+        w.push(self.pending_tag.unwrap_or(0));
+        w.push(match self.load {
+            LoadPhase::Idle => 0,
+            LoadPhase::AwaitCount => 1,
+            LoadPhase::Loading { .. } => 2,
+        });
+        w.push(match self.load {
+            LoadPhase::Loading { remaining } => remaining as u32,
+            _ => 0,
+        });
+        w.push(self.load_buf.len() as u32);
+        w.extend(self.load_buf.iter().copied());
+        w.push(self.state_tx.len() as u32);
+        w.extend(self.state_tx.iter().copied());
+        w.push(
+            u32::from(self.finish_requested)
+                | u32::from(self.finished) << 1
+                | u32::from(self.eos_to_forward) << 2,
+        );
+        w.push((self.processed >> 32) as u32);
+        w.push(self.processed as u32);
+        let kernel = self.kernel.persist_words();
+        w.push(kernel.len() as u32);
+        w.extend(kernel);
+        w
+    }
+
+    fn restore_persisted(&mut self, words: &[u32]) {
+        // Defensive cursor: a truncated tail reads as zeros/empty rather
+        // than panicking (snapshot bytes come from disk).
+        let mut i = 0usize;
+        let next = |words: &[u32], i: &mut usize| -> u32 {
+            let v = words.get(*i).copied().unwrap_or(0);
+            *i += 1;
+            v
+        };
+        let take_vec = |words: &[u32], i: &mut usize, n: u32| -> Vec<u32> {
+            let start = (*i).min(words.len());
+            let n = (n as usize).min(words.len() - start);
+            let v = words[start..start + n].to_vec();
+            *i = start + n;
+            v
+        };
+        let n = next(words, &mut i);
+        self.pending = take_vec(words, &mut i, n).into();
+        let has_tag = next(words, &mut i) != 0;
+        let tag = next(words, &mut i);
+        self.pending_tag = has_tag.then_some(tag);
+        let phase = next(words, &mut i);
+        let remaining = next(words, &mut i) as usize;
+        self.load = match phase {
+            1 => LoadPhase::AwaitCount,
+            2 if remaining > 0 => LoadPhase::Loading { remaining },
+            _ => LoadPhase::Idle,
+        };
+        let n = next(words, &mut i);
+        self.load_buf = take_vec(words, &mut i, n);
+        let n = next(words, &mut i);
+        self.state_tx = take_vec(words, &mut i, n).into();
+        let flags = next(words, &mut i);
+        self.finish_requested = flags & 1 != 0;
+        self.finished = flags & 2 != 0;
+        self.eos_to_forward = flags & 4 != 0;
+        let hi = next(words, &mut i);
+        let lo = next(words, &mut i);
+        self.processed = u64::from(hi) << 32 | u64::from(lo);
+        let n = next(words, &mut i);
+        let kernel = take_vec(words, &mut i, n);
+        self.kernel.restore_persisted(&kernel);
+        self.scratch.clear();
+    }
 }
 
 #[cfg(test)]
@@ -348,6 +427,49 @@ mod tests {
         assert!(!a.finish_requested);
         assert_eq!(a.processed(), 0);
         assert!(a.pending.is_empty());
+    }
+
+    #[test]
+    fn persist_words_roundtrip_covers_wrapper_fsm() {
+        use crate::kernels::FirFilter;
+        let mut a = StreamModuleAdapter::new(FirFilter::filter_a(), 4);
+        // Drive some state into both the kernel and the wrapper FSM.
+        let mut out = Vec::new();
+        a.kernel.process(100, &mut out);
+        a.kernel.process(200, &mut out);
+        a.pending.push_back(7);
+        a.pending.push_back(8);
+        a.pending_tag = Some(42);
+        a.load = LoadPhase::Loading { remaining: 3 };
+        a.load_buf = vec![9, 10];
+        a.state_tx.push_back(control::MSG_STATE_HEADER);
+        a.state_tx.push_back(0);
+        a.finish_requested = true;
+        a.eos_to_forward = true;
+        a.processed = u64::from(u32::MAX) + 5;
+
+        let words = a.persist_words();
+        let mut b = StreamModuleAdapter::new(FirFilter::filter_a(), 4);
+        b.restore_persisted(&words);
+        assert_eq!(b.pending, a.pending);
+        assert_eq!(b.pending_tag, Some(42));
+        assert_eq!(b.load, LoadPhase::Loading { remaining: 3 });
+        assert_eq!(b.load_buf, vec![9, 10]);
+        assert_eq!(b.state_tx, a.state_tx);
+        assert!(b.finish_requested && !b.finished && b.eos_to_forward);
+        assert_eq!(b.processed, a.processed);
+        assert_eq!(b.kernel.persist_words(), a.kernel.persist_words());
+        // Re-encoding the restored wrapper is bit-identical.
+        assert_eq!(b.persist_words(), words);
+    }
+
+    #[test]
+    fn restore_persisted_tolerates_garbage() {
+        let mut a = StreamModuleAdapter::new(Scaler::new(256), 0);
+        // Lengths far beyond the slice must not panic.
+        a.restore_persisted(&[u32::MAX, 1, 2]);
+        a.restore_persisted(&[]);
+        a.restore_persisted(&[3, 1]);
     }
 
     #[test]

@@ -42,6 +42,20 @@ pub trait StreamKernel {
     fn monitor_word(&self) -> Option<u32> {
         None
     }
+
+    /// Complete dynamic state for a simulation checkpoint (mirrors
+    /// `HardwareModule::persist_words`). The default delegates to
+    /// [`save_state`](Self::save_state); kernels with dynamic state the
+    /// switching methodology does not transfer (e.g. monitor counters)
+    /// must override both hooks.
+    fn persist_words(&self) -> Vec<u32> {
+        self.save_state()
+    }
+
+    /// Restores state captured by [`persist_words`](Self::persist_words).
+    fn restore_persisted(&mut self, words: &[u32]) {
+        self.restore_state(words);
+    }
 }
 
 /// Applies a kernel to a whole sample vector — the golden model.

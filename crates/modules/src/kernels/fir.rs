@@ -141,6 +141,17 @@ impl StreamKernel for FirFilter {
     fn monitor_word(&self) -> Option<u32> {
         Some(self.processed)
     }
+    fn persist_words(&self) -> Vec<u32> {
+        // save_state carries the delay line only; the monitor counter is
+        // also observable (FSL monitor words), so a checkpoint needs it.
+        let mut words = vec![self.processed];
+        words.extend(self.save_state());
+        words
+    }
+    fn restore_persisted(&mut self, words: &[u32]) {
+        self.processed = words.first().copied().unwrap_or(0);
+        self.restore_state(words.get(1..).unwrap_or(&[]));
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,14 @@ impl HardwareModule for Broadcast {
         self.finish_requested = false;
         self.finished = false;
     }
+    fn persist_words(&self) -> Vec<u32> {
+        vec![u32::from(self.finish_requested) | u32::from(self.finished) << 1]
+    }
+    fn restore_persisted(&mut self, words: &[u32]) {
+        let flags = words.first().copied().unwrap_or(0);
+        self.finish_requested = flags & 1 != 0;
+        self.finished = flags & 2 != 0;
+    }
 }
 
 /// The binary operator of a [`Combine`] node.
@@ -201,6 +209,17 @@ impl HardwareModule for Combine {
     fn reset(&mut self) {
         self.eos = [false; 2];
         self.pairs = 0;
+    }
+    fn persist_words(&self) -> Vec<u32> {
+        vec![
+            self.pairs,
+            u32::from(self.eos[0]) | u32::from(self.eos[1]) << 1,
+        ]
+    }
+    fn restore_persisted(&mut self, words: &[u32]) {
+        self.pairs = words.first().copied().unwrap_or(0);
+        let flags = words.get(1).copied().unwrap_or(0);
+        self.eos = [flags & 1 != 0, flags & 2 != 0];
     }
 }
 

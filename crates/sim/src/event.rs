@@ -7,6 +7,7 @@
 //! activity-tracked executor ([`crate::exec`]) also uses it for component
 //! wake-ups (`Activity::IdleUntil`).
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::time::Ps;
 use std::cmp;
 use std::collections::{BinaryHeap, HashSet};
@@ -44,6 +45,18 @@ impl<T> PartialOrd for Pending<T> {
 /// [`TimerQueue::schedule_at`] and accepted by [`TimerQueue::cancel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(u64);
+
+impl TimerId {
+    /// The underlying schedule sequence number (snapshot codec use).
+    pub(crate) fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds a handle from a persisted sequence number.
+    pub(crate) fn from_raw(seq: u64) -> Self {
+        TimerId(seq)
+    }
+}
 
 /// A deterministic one-shot timer queue.
 ///
@@ -184,6 +197,54 @@ impl<T> TimerQueue<T> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.live.is_empty()
+    }
+}
+
+impl<T: Persist> Persist for TimerQueue<T> {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u64(self.next_seq);
+        // Canonical form: live entries only, sorted by (due, seq). The
+        // heap's physical layout and lazily-deleted cancelled entries are
+        // representation details two equal queues may disagree on.
+        let mut entries: Vec<&Pending<T>> = self
+            .heap
+            .iter()
+            .filter(|p| !self.cancelled.contains(&p.seq))
+            .collect();
+        entries.sort_by_key(|p| (p.due, p.seq));
+        w.put_usize(entries.len());
+        for p in entries {
+            p.due.persist(w);
+            w.put_u64(p.seq);
+            p.payload.persist(w);
+        }
+        // `last_released` is deliberately not encoded: restoring it as
+        // `None` restarts the ordering contract, which `schedule_at`
+        // already allows, and keeps the encoding canonical.
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let next_seq = r.take_u64()?;
+        let n = r.take_usize()?;
+        let mut q = TimerQueue {
+            next_seq,
+            ..TimerQueue::default()
+        };
+        for _ in 0..n {
+            let due = Ps::restore(r)?;
+            let seq = r.take_u64()?;
+            if seq >= next_seq {
+                return Err(PersistError::Corrupt(format!(
+                    "timer seq {seq} >= next_seq {next_seq}"
+                )));
+            }
+            let payload = T::restore(r)?;
+            if !q.live.insert(seq) {
+                return Err(PersistError::Corrupt(format!("duplicate timer seq {seq}")));
+            }
+            q.heap.push(Pending { due, seq, payload });
+        }
+        Ok(q)
     }
 }
 

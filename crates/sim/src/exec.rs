@@ -61,6 +61,7 @@
 
 use crate::clock::{ClockScheduler, DomainId, Edge};
 use crate::event::{TimerId, TimerQueue};
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::time::Ps;
 use crate::trace::{SignalId, Tracer};
 
@@ -518,6 +519,127 @@ impl Executor {
                 self.awake_total += 1;
             }
         }
+    }
+}
+
+impl Persist for ComponentId {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(self.0);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ComponentId(r.take_usize()?))
+    }
+}
+
+impl Persist for DomainStats {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u64(self.edges);
+        w.put_u64(self.ff_edges);
+        w.put_u64(self.ticks);
+        w.put_u64(self.skips);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(DomainStats {
+            edges: r.take_u64()?,
+            ff_edges: r.take_u64()?,
+            ticks: r.take_u64()?,
+            skips: r.take_u64()?,
+        })
+    }
+}
+
+impl Persist for ExecStats {
+    fn persist(&self, w: &mut Writer) {
+        self.domains.persist(w);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(ExecStats {
+            domains: Vec::restore(r)?,
+        })
+    }
+}
+
+impl Persist for Executor {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(self.comps.len());
+        for c in &self.comps {
+            w.put_usize(c.domain.0);
+            c.awake.persist(w);
+            c.timer.map(TimerId::raw).persist(w);
+        }
+        // `domain_comps` sizing is observable through skip accounting, so
+        // the number of domain slots is encoded even though their contents
+        // (registration order per domain) are derived from `comps`.
+        w.put_usize(self.domain_comps.len());
+        self.timers.persist(w);
+        self.stats.persist(w);
+        self.trace.as_ref().map(|t| &t.tracer).cloned().persist(w);
+        // Scratch vectors are empty between steps and never encoded.
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let n = r.take_usize()?;
+        if n > r.remaining() {
+            return Err(PersistError::UnexpectedEof);
+        }
+        let mut comps = Vec::with_capacity(n);
+        for _ in 0..n {
+            let domain = DomainId(r.take_usize()?);
+            let awake = bool::restore(r)?;
+            let timer = Option::<u64>::restore(r)?.map(TimerId::from_raw);
+            if awake && timer.is_some() {
+                return Err(PersistError::Corrupt("awake component with timer".into()));
+            }
+            comps.push(Comp {
+                domain,
+                awake,
+                timer,
+            });
+        }
+        let n_domains = r.take_usize()?;
+        let timers = TimerQueue::restore(r)?;
+        let stats = ExecStats::restore(r)?;
+        let trace = Option::<Tracer>::restore(r)?
+            .map(|tracer| {
+                if tracer.signal_count() == 0 {
+                    return Err(PersistError::Corrupt("exec trace without signals".into()));
+                }
+                Ok(ExecTrace {
+                    total: SignalId::from_index(0),
+                    domains: (1..tracer.signal_count())
+                        .map(SignalId::from_index)
+                        .collect(),
+                    tracer,
+                })
+            })
+            .transpose()?;
+
+        let max_domain = comps.iter().map(|c| c.domain.0 + 1).max().unwrap_or(0);
+        if n_domains < max_domain {
+            return Err(PersistError::Corrupt(format!(
+                "component domain {} beyond {} domain slots",
+                max_domain - 1,
+                n_domains
+            )));
+        }
+        let mut exec = Executor {
+            comps,
+            domain_comps: vec![Vec::new(); n_domains],
+            awake_per_domain: vec![0; n_domains],
+            awake_total: 0,
+            timers,
+            stats,
+            trace,
+            ..Executor::default()
+        };
+        for (idx, c) in exec.comps.iter().enumerate() {
+            exec.domain_comps[c.domain.0].push(ComponentId(idx));
+            if c.awake {
+                exec.awake_per_domain[c.domain.0] += 1;
+                exec.awake_total += 1;
+            }
+        }
+        Ok(exec)
     }
 }
 

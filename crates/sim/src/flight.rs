@@ -26,6 +26,7 @@
 //! assert_eq!(fr.overwritten(), 1);
 //! ```
 
+use crate::persist::{intern_static, Persist, PersistError, Reader, Writer};
 use crate::time::Ps;
 use std::io::{self, Write};
 
@@ -277,6 +278,177 @@ impl FlightRecorder {
         }
         writeln!(w, "\n]")?;
         Ok(())
+    }
+}
+
+impl Persist for FlightEvent {
+    fn persist(&self, w: &mut Writer) {
+        match *self {
+            FlightEvent::DcrWrite { node } => {
+                w.put_u8(0);
+                w.put_u32(node);
+            }
+            FlightEvent::DcrRead { node } => {
+                w.put_u8(1);
+                w.put_u32(node);
+            }
+            FlightEvent::SwapStep { method, step } => {
+                w.put_u8(2);
+                w.put_str(method);
+                w.put_str(step);
+            }
+            FlightEvent::SwapFailed { method, step } => {
+                w.put_u8(3);
+                w.put_str(method);
+                w.put_str(step);
+            }
+            FlightEvent::FifoEdge {
+                node,
+                port,
+                side,
+                edge,
+            } => {
+                w.put_u8(4);
+                w.put_u32(node);
+                w.put_u32(port);
+                w.put_u8(match side {
+                    FifoSide::Producer => 0,
+                    FifoSide::Consumer => 1,
+                });
+                w.put_u8(match edge {
+                    FifoEdgeKind::BecameFull => 0,
+                    FifoEdgeKind::NoLongerFull => 1,
+                    FifoEdgeKind::BecameEmpty => 2,
+                    FifoEdgeKind::NoLongerEmpty => 3,
+                });
+            }
+            FlightEvent::RouteEstablished {
+                channel,
+                producer_node,
+                consumer_node,
+            } => {
+                w.put_u8(5);
+                w.put_u32(channel);
+                w.put_u32(producer_node);
+                w.put_u32(consumer_node);
+            }
+            FlightEvent::RouteReleased { channel } => {
+                w.put_u8(6);
+                w.put_u32(channel);
+            }
+            FlightEvent::IcapWrite { words } => {
+                w.put_u8(7);
+                w.put_u64(words);
+            }
+            FlightEvent::DeadlineBreach { monitor } => {
+                w.put_u8(8);
+                w.put_str(monitor);
+            }
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        // The `&'static str` fields are interned on decode; for any name
+        // the running binary also produces, the intern pool hands back one
+        // stable pointer, so restored events re-encode byte-identically.
+        Ok(match r.take_u8()? {
+            0 => FlightEvent::DcrWrite {
+                node: r.take_u32()?,
+            },
+            1 => FlightEvent::DcrRead {
+                node: r.take_u32()?,
+            },
+            2 => FlightEvent::SwapStep {
+                method: intern_static(&r.take_string()?),
+                step: intern_static(&r.take_string()?),
+            },
+            3 => FlightEvent::SwapFailed {
+                method: intern_static(&r.take_string()?),
+                step: intern_static(&r.take_string()?),
+            },
+            4 => FlightEvent::FifoEdge {
+                node: r.take_u32()?,
+                port: r.take_u32()?,
+                side: match r.take_u8()? {
+                    0 => FifoSide::Producer,
+                    1 => FifoSide::Consumer,
+                    t => return Err(PersistError::Corrupt(format!("fifo side tag {t}"))),
+                },
+                edge: match r.take_u8()? {
+                    0 => FifoEdgeKind::BecameFull,
+                    1 => FifoEdgeKind::NoLongerFull,
+                    2 => FifoEdgeKind::BecameEmpty,
+                    3 => FifoEdgeKind::NoLongerEmpty,
+                    t => return Err(PersistError::Corrupt(format!("fifo edge tag {t}"))),
+                },
+            },
+            5 => FlightEvent::RouteEstablished {
+                channel: r.take_u32()?,
+                producer_node: r.take_u32()?,
+                consumer_node: r.take_u32()?,
+            },
+            6 => FlightEvent::RouteReleased {
+                channel: r.take_u32()?,
+            },
+            7 => FlightEvent::IcapWrite {
+                words: r.take_u64()?,
+            },
+            8 => FlightEvent::DeadlineBreach {
+                monitor: intern_static(&r.take_string()?),
+            },
+            t => return Err(PersistError::Corrupt(format!("flight event tag {t}"))),
+        })
+    }
+}
+
+impl Persist for FlightRecorder {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(self.capacity);
+        w.put_u64(self.seq);
+        // Canonical form: retained entries oldest-first. The rotation of
+        // the physical ring (`next`) is a representation detail.
+        w.put_usize(self.buf.len());
+        for e in self.events() {
+            e.at.persist(w);
+            w.put_u64(e.seq);
+            e.event.persist(w);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let capacity = r.take_usize()?;
+        if capacity == 0 {
+            return Err(PersistError::Corrupt("flight ring capacity zero".into()));
+        }
+        let seq = r.take_u64()?;
+        let len = r.take_usize()?;
+        if len > capacity {
+            return Err(PersistError::Corrupt(format!(
+                "flight ring holds {len} > capacity {capacity}"
+            )));
+        }
+        if len > r.remaining() {
+            return Err(PersistError::UnexpectedEof);
+        }
+        let mut buf = Vec::with_capacity(capacity);
+        for _ in 0..len {
+            let at = Ps::restore(r)?;
+            let entry_seq = r.take_u64()?;
+            let event = FlightEvent::restore(r)?;
+            buf.push(FlightEntry {
+                at,
+                seq: entry_seq,
+                event,
+            });
+        }
+        // Entries are stored oldest-first, so `next` = 0 (the oldest
+        // slot) reproduces both iteration order and overwrite order.
+        Ok(FlightRecorder {
+            capacity,
+            buf,
+            next: 0,
+            seq,
+        })
     }
 }
 

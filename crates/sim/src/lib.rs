@@ -28,6 +28,9 @@
 //!   structured [`watchdog::HealthReport`] (policy lives in higher layers).
 //! * [`rng`] — [`rng::SplitMix64`], the in-tree deterministic PRNG (no
 //!   external `rand` dependency, so tier-1 verify runs offline).
+//! * [`persist`] — the deterministic snapshot codec ([`persist::Persist`],
+//!   [`persist::Writer`]/[`persist::Reader`]) behind bit-exact
+//!   checkpoint/restore of every stateful layer.
 //!
 //! Higher layers (`vapres-stream`, `vapres-core`) pull edges from the
 //! scheduler — directly, or through the executor's activity tracking — and
@@ -56,6 +59,7 @@ pub mod clock;
 pub mod event;
 pub mod exec;
 pub mod flight;
+pub mod persist;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -67,6 +71,7 @@ pub use clock::{ClockScheduler, DomainId, Edge};
 pub use event::{TimerId, TimerQueue};
 pub use exec::{Activity, ComponentId, DomainStats, ExecStats, Executor, Waker};
 pub use flight::{FlightEntry, FlightEvent, FlightRecorder};
+pub use persist::{Persist, PersistError, Reader, Writer};
 pub use rng::SplitMix64;
 pub use telemetry::{CounterId, GaugeId, HistogramId, Span, Telemetry};
 pub use time::{Freq, Ps};

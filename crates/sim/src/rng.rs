@@ -8,6 +8,7 @@
 //! the deterministic suites and workload sweeps need. It is explicitly
 //! **not** cryptographic.
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use std::ops::Range;
 
 /// A SplitMix64 pseudorandom number generator.
@@ -91,6 +92,18 @@ impl SplitMix64 {
         // 53 bits of entropy matches the f64 mantissa exactly.
         let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         v < p
+    }
+}
+
+impl Persist for SplitMix64 {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u64(self.state);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(SplitMix64 {
+            state: r.take_u64()?,
+        })
     }
 }
 

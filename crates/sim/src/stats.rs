@@ -4,6 +4,7 @@
 //! arrive* (stream interruption, Fig. 5), *how many arrive per unit time*
 //! (throughput, LCD regulation), and coarse distributions.
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::time::Ps;
 
 /// Records the arrival time of each item in a stream and reports the largest
@@ -154,6 +155,36 @@ impl GapTracker {
             return None;
         }
         Some((self.count - 1) as f64 / (last - first).as_secs_f64())
+    }
+}
+
+impl Persist for GapTracker {
+    fn persist(&self, w: &mut Writer) {
+        self.last.persist(w);
+        self.max_gap.persist(w);
+        self.max_gap_at.persist(w);
+        w.put_u64(self.count);
+        self.first.persist(w);
+        self.sum_gaps.persist(w);
+        self.min_gap.persist(w);
+        self.nominal.persist(w);
+        self.excess.persist(w);
+        w.put_u64(self.missed_slots);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(GapTracker {
+            last: Option::restore(r)?,
+            max_gap: Option::restore(r)?,
+            max_gap_at: Option::restore(r)?,
+            count: r.take_u64()?,
+            first: Option::restore(r)?,
+            sum_gaps: Ps::restore(r)?,
+            min_gap: Option::restore(r)?,
+            nominal: Option::restore(r)?,
+            excess: Ps::restore(r)?,
+            missed_slots: r.take_u64()?,
+        })
     }
 }
 
@@ -418,6 +449,25 @@ impl Histogram {
             }
         }
         self.counts.len() as u64 * self.bucket_width
+    }
+}
+
+impl Persist for Histogram {
+    fn persist(&self, w: &mut Writer) {
+        w.put_u64(self.bucket_width);
+        self.counts.persist(w);
+        self.min.persist(w);
+        self.max.persist(w);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let bucket_width = r.take_u64()?;
+        let counts = Vec::restore(r)?;
+        let min = Option::restore(r)?;
+        let max = Option::restore(r)?;
+        // Route through the same validator a parsed JSONL snapshot uses so
+        // corrupted bytes fail with the reason, not nonsense quantiles.
+        Histogram::try_from_parts(bucket_width, counts, min, max).map_err(PersistError::Corrupt)
     }
 }
 

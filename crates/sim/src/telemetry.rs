@@ -50,6 +50,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+use crate::persist::{intern_static, Persist, PersistError, Reader, Writer};
 use crate::stats::Histogram;
 use crate::time::Ps;
 use std::fmt;
@@ -556,6 +557,125 @@ impl Telemetry {
         writeln!(w)?;
         writeln!(w, "]}}")?;
         Ok(())
+    }
+}
+
+fn persist_labels(labels: &[Label], w: &mut Writer) {
+    w.put_usize(labels.len());
+    for (k, v) in labels {
+        w.put_str(k);
+        w.put_str(v);
+    }
+}
+
+fn restore_labels(r: &mut Reader<'_>) -> Result<Vec<Label>, PersistError> {
+    let n = r.take_usize()?;
+    if n > r.remaining() {
+        return Err(PersistError::UnexpectedEof);
+    }
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = intern_static(&r.take_string()?);
+        let v = r.take_string()?;
+        labels.push((k, v));
+    }
+    Ok(labels)
+}
+
+impl Persist for Telemetry {
+    fn persist(&self, w: &mut Writer) {
+        // Registration order is the canonical order — ids are dense
+        // indices, so hosts that persisted a CounterId must find the same
+        // metric at the same slot after restore.
+        w.put_usize(self.counters.len());
+        for c in &self.counters {
+            w.put_str(c.name);
+            persist_labels(&c.labels, w);
+            w.put_u64(c.value);
+        }
+        w.put_usize(self.gauges.len());
+        for g in &self.gauges {
+            w.put_str(g.name);
+            persist_labels(&g.labels, w);
+            w.put_f64(g.value);
+        }
+        w.put_usize(self.histograms.len());
+        for h in &self.histograms {
+            w.put_str(h.name);
+            persist_labels(&h.labels, w);
+            h.hist.persist(w);
+        }
+        w.put_usize(self.spans.len());
+        for s in &self.spans {
+            w.put_str(s.name);
+            w.put_str(&s.label);
+            s.start.persist(w);
+            s.end.persist(w);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let mut t = Telemetry::new();
+        let n = r.take_usize()?;
+        if n > r.remaining() {
+            return Err(PersistError::UnexpectedEof);
+        }
+        for _ in 0..n {
+            let name = intern_static(&r.take_string()?);
+            let labels = restore_labels(r)?;
+            let value = r.take_u64()?;
+            t.counters.push(Counter {
+                name,
+                labels,
+                value,
+            });
+        }
+        let n = r.take_usize()?;
+        if n > r.remaining() {
+            return Err(PersistError::UnexpectedEof);
+        }
+        for _ in 0..n {
+            let name = intern_static(&r.take_string()?);
+            let labels = restore_labels(r)?;
+            let value = r.take_f64()?;
+            t.gauges.push(Gauge {
+                name,
+                labels,
+                value,
+            });
+        }
+        let n = r.take_usize()?;
+        if n > r.remaining() {
+            return Err(PersistError::UnexpectedEof);
+        }
+        for _ in 0..n {
+            let name = intern_static(&r.take_string()?);
+            let labels = restore_labels(r)?;
+            let hist = Histogram::restore(r)?;
+            t.histograms.push(Hist { name, labels, hist });
+        }
+        let n = r.take_usize()?;
+        if n > r.remaining() {
+            return Err(PersistError::UnexpectedEof);
+        }
+        for _ in 0..n {
+            let name = intern_static(&r.take_string()?);
+            let label = r.take_string()?;
+            let start = Ps::restore(r)?;
+            let end = Ps::restore(r)?;
+            if end < start {
+                return Err(PersistError::Corrupt(format!(
+                    "span {name} ends before it starts"
+                )));
+            }
+            t.spans.push(Span {
+                name,
+                label,
+                start,
+                end,
+            });
+        }
+        Ok(t)
     }
 }
 

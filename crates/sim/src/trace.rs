@@ -5,6 +5,7 @@
 //! clock and writes an IEEE-1364 value change dump (VCD) readable by
 //! GTKWave and friends.
 
+use crate::persist::{Persist, PersistError, Reader, Writer};
 use crate::time::Ps;
 use std::fmt::Write as _;
 use std::io::{self, Write};
@@ -12,6 +13,19 @@ use std::io::{self, Write};
 /// Handle to a registered signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SignalId(usize);
+
+impl SignalId {
+    /// The dense signal index (registration order). Snapshot codecs store
+    /// this and rebuild the handle with [`SignalId::from_index`].
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds a handle from a persisted index.
+    pub fn from_index(index: usize) -> Self {
+        SignalId(index)
+    }
+}
 
 #[derive(Debug, Clone)]
 struct Signal {
@@ -96,6 +110,11 @@ impl Tracer {
         self.changes.len()
     }
 
+    /// Number of registered signals.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
     /// Whether nothing has been recorded.
     pub fn is_empty(&self) -> bool {
         self.changes.is_empty()
@@ -157,6 +176,63 @@ impl Tracer {
             writeln!(w, "{line}")?;
         }
         Ok(())
+    }
+}
+
+impl Persist for Tracer {
+    fn persist(&self, w: &mut Writer) {
+        w.put_str(&self.module);
+        w.put_usize(self.signals.len());
+        for s in &self.signals {
+            w.put_str(&s.name);
+            w.put_u32(s.width);
+            s.last.persist(w);
+        }
+        w.put_usize(self.changes.len());
+        for (at, sig, val) in &self.changes {
+            at.persist(w);
+            w.put_usize(*sig);
+            w.put_u64(*val);
+        }
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let module = r.take_string()?;
+        let n_sig = r.take_usize()?;
+        let mut signals = Vec::new();
+        for _ in 0..n_sig {
+            let name = r.take_string()?;
+            let width = r.take_u32()?;
+            if !(1..=64).contains(&width) {
+                return Err(PersistError::Corrupt(format!(
+                    "signal width {width} out of range"
+                )));
+            }
+            let last = Option::<u64>::restore(r)?;
+            signals.push(Signal { name, width, last });
+        }
+        let n_ch = r.take_usize()?;
+        if n_ch > r.remaining() {
+            return Err(PersistError::UnexpectedEof);
+        }
+        let mut changes = Vec::with_capacity(n_ch);
+        for _ in 0..n_ch {
+            let at = Ps::restore(r)?;
+            let sig = r.take_usize()?;
+            if sig >= signals.len() {
+                return Err(PersistError::Corrupt(format!(
+                    "change references signal {sig} of {}",
+                    signals.len()
+                )));
+            }
+            let val = r.take_u64()?;
+            changes.push((at, sig, val));
+        }
+        Ok(Tracer {
+            module,
+            signals,
+            changes,
+        })
     }
 }
 

@@ -10,6 +10,7 @@
 use crate::word::Word;
 use std::collections::VecDeque;
 use std::fmt;
+use vapres_sim::persist::{Persist, PersistError, Reader, Writer};
 
 /// Error returned when pushing into a full FIFO.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,6 +132,35 @@ impl AsyncFifo {
     /// Total words ever popped.
     pub fn total_popped(&self) -> u64 {
         self.popped
+    }
+}
+
+impl Persist for AsyncFifo {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(self.capacity);
+        self.queue.persist(w);
+        w.put_u64(self.pushed);
+        w.put_u64(self.popped);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let capacity = r.take_usize()?;
+        if capacity == 0 {
+            return Err(PersistError::Corrupt("fifo capacity zero".into()));
+        }
+        let queue = VecDeque::restore(r)?;
+        if queue.len() > capacity {
+            return Err(PersistError::Corrupt(format!(
+                "fifo holds {} > capacity {capacity}",
+                queue.len()
+            )));
+        }
+        Ok(AsyncFifo {
+            queue,
+            capacity,
+            pushed: r.take_u64()?,
+            popped: r.take_u64()?,
+        })
     }
 }
 

@@ -6,6 +6,7 @@
 //! depth is the `N` of the feedback-threshold formula (Sec. III.B).
 
 use std::fmt;
+use vapres_sim::persist::{Persist, PersistError, Reader, Writer};
 
 /// Parameters describing one reconfigurable streaming block's fabric.
 ///
@@ -97,6 +98,33 @@ impl FabricParams {
     /// Number of switch-box-to-switch-box segments (`nodes - 1`).
     pub fn segments(&self) -> usize {
         self.nodes.saturating_sub(1)
+    }
+}
+
+impl Persist for FabricParams {
+    fn persist(&self, w: &mut Writer) {
+        w.put_usize(self.nodes);
+        w.put_usize(self.kr);
+        w.put_usize(self.kl);
+        w.put_usize(self.ki);
+        w.put_usize(self.ko);
+        w.put_u32(self.width_bits);
+        w.put_usize(self.fifo_depth);
+    }
+
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        let p = FabricParams {
+            nodes: r.take_usize()?,
+            kr: r.take_usize()?,
+            kl: r.take_usize()?,
+            ki: r.take_usize()?,
+            ko: r.take_usize()?,
+            width_bits: r.take_u32()?,
+            fifo_depth: r.take_usize()?,
+        };
+        p.validate()
+            .map_err(|e| PersistError::Corrupt(e.to_string()))?;
+        Ok(p)
     }
 }
 

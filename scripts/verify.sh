@@ -56,29 +56,56 @@ grep -q '"event":"swap_failed".*"step":"2_reconfigure_spare"' "$flight" \
     || { echo "flight dump missing the failing swap step" >&2; exit 1; }
 rm -rf "$(dirname "$flight")"
 
-echo "==> sweep smoke test (small grid, parallel, deterministic merge)"
+echo "==> checkpoint round-trip smoke (sim --checkpoint-*, replay, --until-breach)"
+ckptdir="$(mktemp -d)"
+./target/release/vapres-cli sim --swap yes --samples 2000 \
+    --checkpoint-every 300 --checkpoint-dir "$ckptdir" >/dev/null
+first_ckpt="$(ls "$ckptdir"/ckpt_*.vapresck | head -n 1)"
+[ -n "$first_ckpt" ] \
+    || { echo "sim --checkpoint-every produced no checkpoint files" >&2; exit 1; }
+./target/release/vapres-cli replay "$first_ckpt" \
+    | grep "samples out: 2001" >/dev/null \
+    || { echo "replay from $first_ckpt did not finish the scenario" >&2; exit 1; }
+# The seamless swap is healthy, so --until-breach must reproduce none.
+./target/release/vapres-cli replay "$first_ckpt" --until-breach yes \
+    | grep "no breach reproduced" >/dev/null \
+    || { echo "replay --until-breach breached on the seamless swap" >&2; exit 1; }
+rm -rf "$ckptdir"
+
+echo "==> sweep smoke test (small grid, parallel, warm == cold, deterministic merge)"
 sweepdir="$(mktemp -d)"
 vapres_bin="$PWD/target/release/vapres-cli"
-sweep_grid() { # $1 = job count, $2 = output subdir
+sweep_grid() { # $1 = job count, $2 = output subdir, $3 = extra flags
     mkdir -p "$sweepdir/$2"
     (cd "$sweepdir/$2" && "$vapres_bin" sweep \
         --kr 2 --kl 2,3 --fifo-depth 512 --swap none,seamless \
-        --samples 300 --interval 50 --jobs "$1" \
+        --samples 300 --interval 50 --jobs "$1" $3 \
         --jsonl merged.jsonl --bench BENCH_sweep.json > report.txt)
 }
-sweep_grid 1 seq
-sweep_grid 4 par
-for f in report.txt merged.jsonl; do
-    cmp -s "$sweepdir/seq/$f" "$sweepdir/par/$f" \
-        || { echo "sweep $f differs between --jobs 1 and --jobs 4" >&2; exit 1; }
+sweep_grid 1 seq ""
+sweep_grid 4 par ""
+sweep_grid 1 cold-seq "--cold yes"
+sweep_grid 4 cold-par "--cold yes"
+# Warm-start forks every scenario from a restored prefix checkpoint;
+# its outputs must be byte-identical to unshared cold runs at every
+# job count.
+for d in par cold-seq cold-par; do
+    for f in report.txt merged.jsonl; do
+        cmp -s "$sweepdir/seq/$f" "$sweepdir/$d/$f" \
+            || { echo "sweep $f differs between seq and $d" >&2; exit 1; }
+    done
+    # The trajectory is invariant except its one "host" context line
+    # (CPU count, --jobs, runner mode, wall-clock), which necessarily
+    # differs between the runs.
+    cmp -s <(grep -v '"host"' "$sweepdir/seq/BENCH_sweep.json") \
+           <(grep -v '"host"' "$sweepdir/$d/BENCH_sweep.json") \
+        || { echo "sweep BENCH_sweep.json differs between seq and $d" >&2; exit 1; }
 done
-# The trajectory is jobs-invariant except its one "host" context line
-# (CPU count + --jobs), which necessarily differs between the two runs.
-cmp -s <(grep -v '"host"' "$sweepdir/seq/BENCH_sweep.json") \
-       <(grep -v '"host"' "$sweepdir/par/BENCH_sweep.json") \
-    || { echo "sweep BENCH_sweep.json differs between --jobs 1 and --jobs 4" >&2; exit 1; }
-grep -q '"host": {"cpus": [0-9]*, "jobs": 4}' "$sweepdir/par/BENCH_sweep.json" \
+grep -q '"host": {"cpus": [0-9]*, "jobs": 4, "mode": "warm", "wall_ms": [0-9]*}' \
+    "$sweepdir/par/BENCH_sweep.json" \
     || { echo "BENCH_sweep.json missing the host context line" >&2; exit 1; }
+grep -q '"mode": "cold"' "$sweepdir/cold-par/BENCH_sweep.json" \
+    || { echo "cold BENCH_sweep.json did not record cold mode" >&2; exit 1; }
 grep -q "aggregate: 4 ok, 0 failed" "$sweepdir/seq/report.txt" \
     || { echo "sweep report missing healthy aggregate line" >&2; exit 1; }
 rm -rf "$sweepdir"
