@@ -140,6 +140,56 @@ fn bench_metrics_overhead() {
     );
 }
 
+fn bench_sampling_overhead() {
+    use vapres_core::Ps;
+    use vapres_sim::telemetry::Telemetry;
+    use vapres_sim::timeseries::TimeSeries;
+
+    // The run loop consults `Option<TimeSeries>` once per bounded slice
+    // to find the next sample boundary; a system that never calls
+    // `enable_timeseries` pays only that check. Compare the same hot
+    // loop bare, with a disabled (None) sampler, and with a live one
+    // capturing a frame every 1024 iterations.
+    let mut registry = Telemetry::new();
+    let id = registry.counter("bench_sampled_total", &[]);
+    let mut acc = 0u64;
+    let mut work = move || {
+        acc = black_box(acc.wrapping_mul(2_654_435_761).wrapping_add(1));
+        acc
+    };
+
+    let bare = bench_ns("hot_loop_bare", || {
+        black_box(work());
+    });
+
+    let disabled: Option<TimeSeries> = None;
+    let off = bench_ns("hot_loop_sampling_disabled", || {
+        black_box(work());
+        if let Some(ts) = disabled.as_ref() {
+            black_box(ts.next_sample_at());
+        }
+    });
+
+    let mut enabled = Some(TimeSeries::new(Ps::new(1024), 64, Ps::ZERO));
+    let mut t_on: u64 = 0;
+    let on = bench_ns("hot_loop_sampling_enabled", || {
+        black_box(work());
+        registry.inc(id, 1);
+        t_on += 1;
+        if let Some(ts) = enabled.as_mut() {
+            if ts.next_sample_at() <= Ps::new(t_on) {
+                ts.capture(Ps::new(t_on), &registry);
+            }
+        }
+    });
+
+    println!(
+        "  sampling overhead: disabled {:+.1}%, enabled {:+.1}% vs bare",
+        (off - bare) / bare * 100.0,
+        (on - bare) / bare * 100.0
+    );
+}
+
 fn main() {
     banner("micro", "simulator hot paths (best-of-3 batches)");
     println!();
@@ -149,4 +199,5 @@ fn main() {
     bench_crc();
     bench_channel_establish();
     bench_metrics_overhead();
+    bench_sampling_overhead();
 }

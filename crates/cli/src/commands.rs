@@ -551,7 +551,9 @@ fn write_flight_dump(
 /// (what remains of the scenario) followed by the raw system snapshot.
 const CKPT_MAGIC: [u8; 8] = *b"VAPRESRP";
 /// Version of the envelope, independent of the snapshot format version.
-const CKPT_META_VERSION: u32 = 1;
+/// v2 appends the checkpoint ordinal, so a replay can stamp a `restore`
+/// flight event naming the image it resumed from.
+const CKPT_META_VERSION: u32 = 2;
 
 /// Where the run stood when the checkpoint was taken.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -575,6 +577,9 @@ struct CkptMeta {
     /// Channel ids of the E3 stream (only meaningful for pending swaps).
     upstream: u64,
     downstream: u64,
+    /// Sequence number of the checkpoint within its run (`ckpt_NNNN`);
+    /// replay stamps it into the `restore` flight event.
+    ordinal: u64,
 }
 
 impl CkptMeta {
@@ -590,6 +595,7 @@ impl CkptMeta {
         w.put_bool(self.fail_swap);
         w.put_u64(self.upstream);
         w.put_u64(self.downstream);
+        w.put_u64(self.ordinal);
     }
 }
 
@@ -622,6 +628,7 @@ fn parse_checkpoint_file(bytes: &[u8]) -> Result<(CkptMeta, &[u8]), CmdError> {
     let fail_swap = r.take_bool()?;
     let upstream = r.take_u64()?;
     let downstream = r.take_u64()?;
+    let ordinal = r.take_u64()?;
     let n = r.remaining();
     let image = r.take_raw(n)?;
     Ok((
@@ -630,6 +637,7 @@ fn parse_checkpoint_file(bytes: &[u8]) -> Result<(CkptMeta, &[u8]), CmdError> {
             fail_swap,
             upstream,
             downstream,
+            ordinal,
         },
         image,
     ))
@@ -650,6 +658,11 @@ impl CkptSink<'_> {
         meta: &CkptMeta,
         out: &mut dyn Write,
     ) -> Result<(), CmdError> {
+        let ordinal = u64::from(self.seq);
+        // Note the event first so it rides inside the image: a restored
+        // flight ring shows the checkpoint it was cut at.
+        sys.note_flight(vapres_sim::flight::FlightEvent::Checkpoint { ordinal });
+        let meta = CkptMeta { ordinal, ..*meta };
         let mut w = vapres_sim::persist::Writer::new();
         meta.encode(&mut w);
         w.put_raw(&sys.checkpoint());
@@ -703,6 +716,10 @@ fn replay_from(path: &str, until_breach: bool, out: &mut dyn Write) -> Result<()
     register_standard_modules(&mut lib, 0);
     let mut sys = VapresSystem::restore(SystemConfig::prototype(), lib, image)
         .map_err(|e| CmdError(format!("{path}: {e}")))?;
+    sys.note_flight(vapres_sim::flight::FlightEvent::Restore {
+        ordinal: meta.ordinal,
+    });
+    sys.note_flight(vapres_sim::flight::FlightEvent::Replay { until_breach });
     writeln!(
         out,
         "restored {path}: t={}, {} input words pending",
@@ -864,6 +881,17 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     }
     let trace_words: u32 = args.get_num("trace-words", 0u32)?;
     let flight_path = args.get("flight-dump");
+    let sample_every_us: u64 = args.get_num("sample-every", 0u64)?;
+    let wants_timeseries = args.get("timeseries").is_some()
+        || args.get("timeseries-trace").is_some()
+        || args.get("timeseries-csv").is_some();
+    if (wants_timeseries || args.get("live-port").is_some()) && sample_every_us == 0 {
+        return Err(CmdError(
+            "--timeseries/--timeseries-trace/--timeseries-csv/--live-port need \
+             --sample-every N (microseconds of simulated time)"
+                .into(),
+        ));
+    }
     let stages = args
         .get_or("stages", "scaler")
         .split(',')
@@ -889,6 +917,40 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     if flight_path.is_some() {
         sys.enable_flight_recorder(vapres_sim::flight::DEFAULT_CAPACITY);
     }
+    if sample_every_us > 0 {
+        sys.enable_timeseries(
+            Ps::from_us(sample_every_us),
+            vapres_core::TimeSeries::DEFAULT_CAPACITY,
+        );
+    }
+    // Held until the run finishes: dropping the server stops the
+    // responder thread.
+    let _live = match args.get("live-port") {
+        None => None,
+        Some(spec) => {
+            let port: u16 = spec
+                .parse()
+                .map_err(|_| CmdError(format!("--live-port: cannot parse {spec:?}")))?;
+            let server = crate::live::LiveServer::start(port)
+                .map_err(|e| CmdError(format!("--live-port {port}: {e}")))?;
+            let payloads = server.payloads();
+            sys.set_live_sink(
+                vapres_core::HealthPolicy::e3_seamless(),
+                Box::new(move |snap| {
+                    let mut p = payloads.lock().expect("live payload lock");
+                    p.metrics = snap.prometheus.clone();
+                    p.health = snap.health.clone();
+                    p.flight = snap.flight.clone();
+                }),
+            );
+            writeln!(
+                out,
+                "live endpoint: http://127.0.0.1:{}/metrics /health /flight",
+                server.port()
+            )?;
+            Some(server)
+        }
+    };
     sys.iom_set_input_interval(0, interval);
 
     if swap {
@@ -904,6 +966,7 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
             fail_swap,
             upstream: spec.upstream.0 as u64,
             downstream: spec.downstream.0 as u64,
+            ordinal: 0,
         };
 
         sys.iom_feed(0, 0..samples);
@@ -988,6 +1051,7 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
                     fail_swap: false,
                     upstream: 0,
                     downstream: 0,
+                    ordinal: 0,
                 };
                 run_checkpointed(&mut sys, Ps::from_ms(100), sink, &meta, stream_done, out)?
             }
@@ -1110,6 +1174,38 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
             writeln!(out, "wrote {path}: prometheus text")?;
         }
     }
+
+    if let Some(ts) = sys.timeseries() {
+        writeln!(
+            out,
+            "timeseries : {} frames captured ({} retained, {} metrics, every {})",
+            ts.frames_captured(),
+            ts.frames_retained(),
+            ts.column_count(),
+            ts.interval()
+        )?;
+        if let Some(path) = args.get("timeseries") {
+            let mut file = create_output(path)?;
+            ts.write_jsonl(&mut file)
+                .and_then(|()| file.flush())
+                .map_err(|e| write_err(path, e))?;
+            writeln!(out, "wrote {path}: time-series JSONL")?;
+        }
+        if let Some(path) = args.get("timeseries-trace") {
+            let mut file = create_output(path)?;
+            ts.write_chrome_trace(&mut file)
+                .and_then(|()| file.flush())
+                .map_err(|e| write_err(path, e))?;
+            writeln!(out, "wrote {path}: chrome://tracing counter track")?;
+        }
+        if let Some(path) = args.get("timeseries-csv") {
+            let mut file = create_output(path)?;
+            ts.write_csv(&mut file)
+                .and_then(|()| file.flush())
+                .map_err(|e| write_err(path, e))?;
+            writeln!(out, "wrote {path}: per-metric CSV")?;
+        }
+    }
     Ok(())
 }
 
@@ -1167,15 +1263,25 @@ pub fn cmd_health(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     }
     sys.run_for(Ps::from_us(100));
 
-    writeln!(
-        out,
-        "scenario: E3 ({method}, {samples} samples, 1 per {interval} cycles)"
-    )?;
+    let jsonl = args.get_or("jsonl", "no") == "yes";
     let health = evaluate_health(&mut sys, &HealthPolicy::e3_seamless(), Some(&report));
-    health.write_text(out)?;
+    if jsonl {
+        // Machine-readable form: exactly the serialization the live
+        // `/health` endpoint publishes — one `verdict` line per monitor,
+        // one `health` summary line, nothing else on stdout.
+        health.write_jsonl(out)?;
+    } else {
+        writeln!(
+            out,
+            "scenario: E3 ({method}, {samples} samples, 1 per {interval} cycles)"
+        )?;
+        health.write_text(out)?;
+    }
     if let Some(path) = args.get("flight-dump") {
         write_flight_dump(&mut sys, path)?;
-        writeln!(out, "wrote {path}: flight ring")?;
+        if !jsonl {
+            writeln!(out, "wrote {path}: flight ring")?;
+        }
     }
     if health.healthy() {
         Ok(())
@@ -1269,16 +1375,68 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     // rebuilds its own pre-swap prefix) — the reference the warm path is
     // byte-compared against, and the baseline for its wall-clock win.
     let cold = args.get_or("cold", "no") == "yes";
+    let sample_every_us: u64 = args.get_num("sample-every", 0u64)?;
+    if (args.get("timeseries").is_some() || args.get("live-port").is_some()) && sample_every_us == 0
+    {
+        return Err(CmdError(
+            "--timeseries/--live-port need --sample-every N (microseconds of simulated time)"
+                .into(),
+        ));
+    }
+    // Held until the sweep finishes: dropping the server stops the
+    // responder thread. Payloads update as each scenario completes.
+    let live = match args.get("live-port") {
+        None => None,
+        Some(spec) => {
+            let port: u16 = spec
+                .parse()
+                .map_err(|_| CmdError(format!("--live-port: cannot parse {spec:?}")))?;
+            let server = crate::live::LiveServer::start(port)
+                .map_err(|e| CmdError(format!("--live-port {port}: {e}")))?;
+            writeln!(
+                out,
+                "live endpoint: http://127.0.0.1:{}/metrics /health /flight",
+                server.port()
+            )?;
+            Some(server)
+        }
+    };
     let started = std::time::Instant::now();
-    let results = run_sweep_with(
-        &scenarios,
-        jobs,
-        if cold {
-            vapres_kpn::run_scenario_cold
-        } else {
-            vapres_kpn::run_scenario
-        },
-    );
+    let mut series_chunks: Vec<std::sync::Mutex<Option<String>>> = Vec::new();
+    let results = if sample_every_us == 0 {
+        run_sweep_with(
+            &scenarios,
+            jobs,
+            if cold {
+                vapres_kpn::run_scenario_cold
+            } else {
+                vapres_kpn::run_scenario
+            },
+        )
+    } else {
+        // Sampled sweep: each worker captures its scenario's series and
+        // parks the tagged JSONL in a per-index slot, so the export is
+        // in scenario order no matter which worker finished first —
+        // byte-identical for any `--jobs` value.
+        let every = Ps::from_us(sample_every_us);
+        series_chunks = scenarios
+            .iter()
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        let chunks = &series_chunks;
+        let live_ref = live.as_ref();
+        run_sweep_with(&scenarios, jobs, move |sc| {
+            let (r, ts) = vapres_kpn::run_scenario_sampled(sc, every, cold);
+            let mut buf = Vec::new();
+            let _ = ts.write_jsonl_tagged(&mut buf, Some(&sc.label()));
+            *chunks[sc.index].lock().expect("series chunk lock") =
+                Some(String::from_utf8_lossy(&buf).into_owned());
+            if let Some(server) = live_ref {
+                publish_scenario_live(server, &r);
+            }
+            r
+        })
+    };
     let wall_ms = started.elapsed().as_millis();
 
     let pct = |p: Option<u64>| p.map_or_else(|| "-".to_string(), |v| Ps::new(v).to_string());
@@ -1361,7 +1519,60 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         file.flush().map_err(|e| write_err(path, e))?;
         writeln!(out, "wrote {path}: sweep trajectory")?;
     }
+    if let Some(path) = args.get("timeseries") {
+        let mut file = create_output(path)?;
+        for chunk in &series_chunks {
+            let s = chunk.lock().expect("series chunk lock");
+            file.write_all(s.as_ref().expect("every scenario sampled").as_bytes())
+                .map_err(|e| write_err(path, e))?;
+        }
+        file.flush().map_err(|e| write_err(path, e))?;
+        writeln!(
+            out,
+            "wrote {path}: per-scenario time-series JSONL ({} scenarios)",
+            series_chunks.len()
+        )?;
+    }
+    drop(live);
     Ok(())
+}
+
+/// Publishes one completed scenario's observability payloads to the
+/// sweep's live endpoint: Prometheus text from its telemetry registry
+/// and the E3 stream-SLO verdicts over its summary, in the same
+/// serialization as `vapres health --jsonl yes`. Sweeps carry no flight
+/// recorder, so `/flight` serves an empty body.
+fn publish_scenario_live(
+    server: &crate::live::LiveServer,
+    r: &vapres_core::scenario::ScenarioResult,
+) {
+    use vapres_core::HealthPolicy;
+    use vapres_sim::watchdog::{HealthReport, Monitor};
+
+    let mut metrics = Vec::new();
+    let _ = r.telemetry.write_prometheus(&mut metrics);
+    let policy = HealthPolicy::e3_seamless();
+    let s = &r.summary;
+    let mut report = HealthReport::new();
+    report.observe(
+        Monitor::at_most("missed_slots", policy.missed_slots_max as f64, "slots"),
+        s.missed_slots as f64,
+    );
+    report.observe(
+        Monitor::at_most("excess_gap_ps", policy.excess_gap_max.as_ps() as f64, "ps"),
+        s.excess_gap_ps as f64,
+    );
+    report.observe(
+        Monitor::at_most("max_stall_ratio", policy.backpressure_ratio_max, "ratio"),
+        s.max_stall_ratio,
+    );
+    let mut health = Vec::new();
+    let _ = report.write_jsonl(&mut health);
+    server.publish(
+        String::from_utf8_lossy(&metrics).into_owned(),
+        String::from_utf8_lossy(&health).into_owned(),
+        String::new(),
+    );
 }
 
 /// Writes the per-scenario sweep trajectory as JSON (hand-rolled, like
@@ -1474,9 +1685,14 @@ fn known_flags(subcommand: &str) -> Option<&'static [&'static str]> {
             "checkpoint-every",
             "checkpoint-dir",
             "restore",
+            "sample-every",
+            "timeseries",
+            "timeseries-trace",
+            "timeseries-csv",
+            "live-port",
         ],
         "replay" => &["until-breach"],
-        "health" => &["halt", "samples", "interval", "flight-dump"],
+        "health" => &["halt", "samples", "interval", "flight-dump", "jsonl"],
         "sweep" => &[
             "jobs",
             "seed",
@@ -1491,7 +1707,11 @@ fn known_flags(subcommand: &str) -> Option<&'static [&'static str]> {
             "jsonl",
             "bench",
             "cold",
+            "sample-every",
+            "timeseries",
+            "live-port",
         ],
+        "diff" => &["tolerance"],
         _ => return None,
     })
 }
@@ -1541,13 +1761,18 @@ pub fn usage() -> &'static str {
      \x20                [--metrics out.jsonl] [--trace-json out.json] [--prom out.prom]\n\
      \x20                [--trace-words N] [--flight-dump out.jsonl]\n\
      \x20                [--checkpoint-every US --checkpoint-dir D] [--restore ckpt]\n\
+     \x20                [--sample-every US] [--timeseries out.jsonl]\n\
+     \x20                [--timeseries-trace out.json] [--timeseries-csv out.csv]\n\
+     \x20                [--live-port N]   (serves /metrics /health /flight)\n\
      \x20 replay         <checkpoint.vapresck> [--until-breach yes]   (exit 1 on breach)\n\
      \x20 health         [--halt yes] [--samples N] [--interval CYCLES]\n\
-     \x20                [--flight-dump out.jsonl]   (exit 1 on breach)\n\
+     \x20                [--flight-dump out.jsonl] [--jsonl yes]   (exit 1 on breach)\n\
      \x20 sweep          [--jobs N] [--kr 2,3] [--kl 2,3] [--fifo-depth 64,512]\n\
      \x20                [--clock-mhz 100] [--swap seamless,halt,none]\n\
      \x20                [--fault-rate 0.0,0.5] [--samples N,...] [--interval CYCLES]\n\
      \x20                [--seed S] [--jsonl out.jsonl] [--bench out.json] [--cold yes]\n\
+     \x20                [--sample-every US] [--timeseries out.jsonl] [--live-port N]\n\
+     \x20 diff           <baseline> <candidate> [--tolerance 0.05]   (exit 1 on regression)\n\
      \n\
      devices: lx25 (default) | lx60 | lx100\n\
      stages : passthrough | scaler | delta-enc | delta-dec | avg | fir-a | fir-b\n"
@@ -1572,6 +1797,7 @@ pub fn dispatch(subcommand: &str, args: &Args, out: &mut dyn Write) -> Result<()
         "replay" => cmd_replay(args, out),
         "health" => cmd_health(args, out),
         "sweep" => cmd_sweep(args, out),
+        "diff" => crate::diff::cmd_diff(args, out),
         other => Err(CmdError(format!(
             "unknown subcommand {other:?}\n\n{}",
             usage()
@@ -1892,8 +2118,15 @@ mod tests {
             ("sim", &["--restor", "x.vapresck"]),
             ("replay", &["--until-break", "yes"]),
             ("health", &["--halts", "yes"]),
+            ("health", &["--json", "yes"]),
             ("sweep", &["--job", "4"]),
             ("sweep", &["--warm", "yes"]),
+            ("sim", &["--sample-ever", "100"]),
+            ("sim", &["--timeserie", "ts.jsonl"]),
+            ("sim", &["--live-prt", "9100"]),
+            ("sweep", &["--sample-every-us", "100"]),
+            ("sweep", &["--live-prt", "9100"]),
+            ("diff", &["--tolerence", "0.05"]),
         ];
         for (sub, tokens) in cases {
             let err = run(sub, tokens).unwrap_err();
@@ -1924,6 +2157,7 @@ mod tests {
             "replay",
             "health",
             "sweep",
+            "diff",
         ] {
             assert!(
                 known_flags(sub).is_some(),
@@ -2277,5 +2511,317 @@ mod tests {
         .is_err());
         assert!(run("reconfig-time", &["--rect", "1:2:3"]).is_err());
         assert!(run("reconfig-time", &[]).is_err());
+    }
+
+    #[test]
+    fn sim_timeseries_samples_and_exports_every_format() {
+        let dir = std::env::temp_dir().join("vapres_cli_ts_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let jsonl = dir.join("ts.jsonl");
+        let trace = dir.join("ts_trace.json");
+        let csv = dir.join("ts.csv");
+        let text = run(
+            "sim",
+            &[
+                "--swap",
+                "yes",
+                "--samples",
+                "2000",
+                "--sample-every",
+                "100",
+                "--timeseries",
+                jsonl.to_str().unwrap(),
+                "--timeseries-trace",
+                trace.to_str().unwrap(),
+                "--timeseries-csv",
+                csv.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("timeseries : "), "{text}");
+
+        let ts = std::fs::read_to_string(&jsonl).unwrap();
+        assert!(ts.contains("\"type\":\"series\""), "{ts}");
+        assert!(ts.contains("\"type\":\"frame\""), "{ts}");
+        let tr = std::fs::read_to_string(&trace).unwrap();
+        assert!(tr.starts_with("{\"traceEvents\":["), "{tr}");
+        assert!(tr.contains("\"ph\":\"C\""), "{tr}");
+        let head = std::fs::read_to_string(&csv).unwrap();
+        assert!(head.starts_with("metric,labels,at_ps,value"), "{head}");
+        for f in [&jsonl, &trace, &csv] {
+            std::fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn timeseries_and_live_flags_need_sample_every() {
+        for tokens in [
+            &["--timeseries", "/tmp/x.jsonl"][..],
+            &["--timeseries-trace", "/tmp/x.json"][..],
+            &["--live-port", "0"][..],
+        ] {
+            let err = run("sim", tokens).unwrap_err();
+            assert!(err.0.contains("--sample-every"), "{}", err.0);
+        }
+        let err = run(
+            "sweep",
+            &[
+                "--kr",
+                "2",
+                "--kl",
+                "2",
+                "--fifo-depth",
+                "512",
+                "--swap",
+                "none",
+                "--samples",
+                "300",
+                "--timeseries",
+                "/tmp/x.jsonl",
+            ],
+        )
+        .unwrap_err();
+        assert!(err.0.contains("--sample-every"), "{}", err.0);
+    }
+
+    #[test]
+    fn sweep_timeseries_is_byte_identical_across_jobs() {
+        let dir = std::env::temp_dir().join("vapres_cli_sweep_ts_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let j1 = dir.join("ts_j1.jsonl");
+        let j4 = dir.join("ts_j4.jsonl");
+        for (jobs, path) in [("1", &j1), ("4", &j4)] {
+            run(
+                "sweep",
+                &[
+                    "--kr",
+                    "2",
+                    "--kl",
+                    "2,3",
+                    "--fifo-depth",
+                    "512",
+                    "--swap",
+                    "none,seamless",
+                    "--samples",
+                    "300",
+                    "--interval",
+                    "50",
+                    "--jobs",
+                    jobs,
+                    "--sample-every",
+                    "100",
+                    "--timeseries",
+                    path.to_str().unwrap(),
+                ],
+            )
+            .unwrap();
+        }
+        let a = std::fs::read(&j1).unwrap();
+        let b = std::fs::read(&j4).unwrap();
+        assert!(!a.is_empty(), "sampled sweep wrote no series");
+        assert_eq!(a, b, "time-series JSONL must be jobs-invariant");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn diff_catches_an_injected_p99_latency_regression() {
+        let dir = std::env::temp_dir().join("vapres_cli_diff_inject_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let baseline = dir.join("baseline.jsonl");
+        let baseline_s = baseline.to_str().unwrap().to_string();
+        run(
+            "sim",
+            &[
+                "--swap",
+                "yes",
+                "--samples",
+                "2000",
+                "--trace-words",
+                "10",
+                "--metrics",
+                &baseline_s,
+            ],
+        )
+        .unwrap();
+
+        // A byte-identical candidate passes the gate.
+        let text = run("diff", &[&baseline_s, &baseline_s]).unwrap();
+        assert!(text.contains("no regressions"), "{text}");
+
+        // Stretch the end-to-end latency histogram's bucket width by 20%:
+        // every percentile (p99 included) shifts up 20%, the exact shape
+        // of a "this change made words slower" regression.
+        let mut perturbed = String::new();
+        for line in std::fs::read_to_string(&baseline).unwrap().lines() {
+            if line.contains("\"name\":\"word_e2e_latency_ps\"") {
+                let (pre, rest) = line.split_once("\"bucket_width\":").unwrap();
+                let (width, post) = rest.split_once(',').unwrap();
+                let wider = width.parse::<u64>().unwrap() * 6 / 5;
+                perturbed.push_str(&format!("{pre}\"bucket_width\":{wider},{post}\n"));
+            } else {
+                perturbed.push_str(line);
+                perturbed.push('\n');
+            }
+        }
+        let candidate = dir.join("candidate.jsonl");
+        std::fs::write(&candidate, perturbed).unwrap();
+        let err = run("diff", &[&baseline_s, candidate.to_str().unwrap()]).unwrap_err();
+        assert!(err.0.contains("regression"), "{}", err.0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoints_stamp_flight_events_and_meta_ordinals() {
+        let dir = std::env::temp_dir().join("vapres_cli_ckpt_flight_test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let flight = dir.join("flight.jsonl");
+        let ckpts = dir.join("ckpts");
+        run(
+            "sim",
+            &[
+                "--swap",
+                "yes",
+                "--samples",
+                "2000",
+                "--checkpoint-every",
+                "300",
+                "--checkpoint-dir",
+                ckpts.to_str().unwrap(),
+                "--flight-dump",
+                flight.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+
+        // The run's final ring may have churned the early checkpoint
+        // cuts out (FIFO edges dominate); the dump itself must exist.
+        assert!(!std::fs::read_to_string(&flight).unwrap().is_empty());
+
+        // Each file's meta carries its sequence number, and the image
+        // itself holds the ring up to (and including) its own cut — the
+        // cut is the newest entry, so eviction can't have dropped it.
+        // Restore + replay then stamp their events on top of it.
+        let mut files: Vec<_> = std::fs::read_dir(&ckpts)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        assert!(files.len() >= 2, "expected several checkpoints: {files:?}");
+        for (i, path) in files.iter().enumerate() {
+            let bytes = std::fs::read(path).unwrap();
+            let (meta, image) = parse_checkpoint_file(&bytes).unwrap();
+            assert_eq!(meta.ordinal, i as u64, "{path:?}");
+            let mut lib = vapres_core::module::ModuleLibrary::new();
+            vapres_modules::register_standard_modules(&mut lib, 0);
+            let mut sys = vapres_core::system::VapresSystem::restore(
+                vapres_core::config::SystemConfig::prototype(),
+                lib,
+                image,
+            )
+            .unwrap();
+            sys.note_flight(vapres_sim::flight::FlightEvent::Restore {
+                ordinal: meta.ordinal,
+            });
+            let mut buf = Vec::new();
+            sys.dump_flight_jsonl(&mut buf).unwrap();
+            let ring = String::from_utf8(buf).unwrap();
+            assert!(
+                ring.contains(&format!("\"event\":\"checkpoint\",\"ordinal\":{i}")),
+                "{ring}"
+            );
+            assert!(
+                ring.contains(&format!("\"event\":\"restore\",\"ordinal\":{i}")),
+                "{ring}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn health_jsonl_is_machine_readable() {
+        let text = run("health", &["--jsonl", "yes"]).unwrap();
+        for line in text.lines() {
+            assert!(
+                line.starts_with("{\"type\":\"verdict\"")
+                    || line.starts_with("{\"type\":\"health\""),
+                "non-JSONL line in --jsonl output: {line}"
+            );
+        }
+        assert!(text.contains("\"type\":\"health\""), "{text}");
+        assert!(text.contains("\"healthy\":true"), "{text}");
+
+        // The breaching variant still renders JSONL, then exits non-zero.
+        let err = run(
+            "health",
+            &["--halt", "yes", "--samples", "2000", "--jsonl", "yes"],
+        )
+        .unwrap_err();
+        assert!(err.0.contains("health check failed"), "{}", err.0);
+    }
+
+    #[test]
+    fn sim_live_port_serves_metrics_health_and_flight_mid_run() {
+        use std::io::{Read as _, Write as _};
+
+        // Port 0 binds an ephemeral port announced on the first output
+        // line; probe it from a thread while the simulation runs.
+        let args = Args::parse([
+            "--swap",
+            "yes",
+            "--samples",
+            "2000",
+            "--sample-every",
+            "100",
+            "--live-port",
+            "0",
+        ])
+        .unwrap();
+        let mut out = AnnouncedProbe::default();
+        dispatch("sim", &args, &mut out).unwrap();
+        let (metrics, health) = out.probed.expect("live endpoint was announced and probed");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("vapres_"), "{metrics}");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.contains("\"type\":\"health\""), "{health}");
+
+        /// Captures sim output. The banner prints before the run (no
+        /// sample published yet), so the probe waits for the first
+        /// post-run line — the command (and its server) is still live —
+        /// then issues raw `TcpStream` GETs against the announced port.
+        #[derive(Default)]
+        struct AnnouncedProbe {
+            buf: Vec<u8>,
+            probed: Option<(String, String)>,
+        }
+        impl Write for AnnouncedProbe {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.buf.extend_from_slice(data);
+                if self.probed.is_none() {
+                    let text = String::from_utf8_lossy(&self.buf).into_owned();
+                    if text.contains("samples out:") {
+                        let port: u16 = text
+                            .lines()
+                            .find(|l| l.starts_with("live endpoint: "))
+                            .and_then(|l| l.split("127.0.0.1:").nth(1))
+                            .and_then(|r| r.split('/').next())
+                            .and_then(|p| p.parse().ok())
+                            .expect("port in banner");
+                        self.probed = Some((probe(port, "/metrics"), probe(port, "/health")));
+                    }
+                }
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        fn probe(port: u16, path: &str) -> String {
+            let mut s = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+            write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut resp = String::new();
+            s.read_to_string(&mut resp).unwrap();
+            resp
+        }
     }
 }

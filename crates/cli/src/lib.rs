@@ -15,3 +15,5 @@
 
 pub mod args;
 pub mod commands;
+pub mod diff;
+pub mod live;

@@ -69,11 +69,12 @@ pub use scenario::{
 };
 pub use socket::{Dcr, PrSocket};
 pub use switching::{halt_and_swap, seamless_swap, BitstreamSource, SwapReport, SwapSpec};
-pub use system::VapresSystem;
+pub use system::{LiveSnapshot, VapresSystem};
 
 // Re-export the identifiers applications constantly need.
 pub use vapres_bitstream::stream::ModuleUid;
 pub use vapres_sim::rng::SplitMix64;
 pub use vapres_sim::time::{Freq, Ps};
+pub use vapres_sim::timeseries::TimeSeries;
 pub use vapres_stream::fabric::{ChannelId, PortRef};
 pub use vapres_stream::word::Word;

@@ -26,6 +26,7 @@ use vapres_sim::flight::{FifoEdgeKind, FifoSide, FlightEvent, FlightRecorder};
 use vapres_sim::stats::GapTracker;
 use vapres_sim::telemetry::Telemetry;
 use vapres_sim::time::Ps;
+use vapres_sim::timeseries::TimeSeries;
 use vapres_sim::trace::{SignalId, Tracer};
 use vapres_stream::fabric::{FifoEdge, PortRef, StreamFabric};
 use vapres_stream::fifo::AsyncFifo;
@@ -324,6 +325,33 @@ pub struct VapresSystem {
     /// Per-word provenance capture; `None` (the default) leaves the
     /// fabric's word tap disarmed too.
     word_trace: Option<WordTrace>,
+    /// The sim-time-driven metrics sampler; `None` (the default) keeps
+    /// the run loop's boundary check a single branch.
+    timeseries: Option<TimeSeries>,
+    /// Live observability sink: a health policy plus a callback handed
+    /// freshly rendered payloads at every sample boundary. Host
+    /// plumbing, not simulation state — never persisted.
+    live: Option<LiveSink>,
+}
+
+/// The live sink pair: health budgets to evaluate plus the callback.
+type LiveSink = (
+    crate::health::HealthPolicy,
+    Box<dyn FnMut(&LiveSnapshot) + Send>,
+);
+
+/// Freshly rendered observability payloads, handed to the live sink at
+/// every time-series sample boundary.
+#[derive(Debug, Clone)]
+pub struct LiveSnapshot {
+    /// The sample boundary the payloads were rendered at.
+    pub at: Ps,
+    /// Prometheus text exposition of the metrics registry.
+    pub prometheus: String,
+    /// Health verdicts in the `vapres health --jsonl yes` serialization.
+    pub health: String,
+    /// The flight ring as JSON Lines (empty when the recorder is off).
+    pub flight: String,
 }
 
 impl fmt::Debug for VapresSystem {
@@ -430,6 +458,8 @@ impl VapresSystem {
             telemetry: None,
             flight: None,
             word_trace: None,
+            timeseries: None,
+            live: None,
             cfg,
         })
     }
@@ -489,7 +519,20 @@ impl VapresSystem {
     pub fn run_for(&mut self, dur: Ps) {
         let deadline = self.clocks.now() + dur;
         self.revalidate_activity();
-        while self.step_to(deadline) {}
+        loop {
+            let next = self.timeseries.as_ref().map(TimeSeries::next_sample_at);
+            let bound = match next {
+                Some(at) if at <= deadline => at,
+                _ => deadline,
+            };
+            while self.step_to(bound) {}
+            if next == Some(bound) {
+                self.capture_sample(bound);
+            }
+            if bound == deadline {
+                break;
+            }
+        }
         self.sync_fabric();
     }
 
@@ -511,9 +554,22 @@ impl VapresSystem {
             if pred(self) {
                 return true;
             }
-            if !self.step_to(deadline) {
-                self.sync_fabric();
-                return pred(self);
+            // Stop at the next time-series sample boundary, if one lands
+            // before the deadline, so sampling cadence is a property of
+            // simulated time alone.
+            let next = self.timeseries.as_ref().map(TimeSeries::next_sample_at);
+            let bound = match next {
+                Some(at) if at <= deadline => at,
+                _ => deadline,
+            };
+            if !self.step_to(bound) {
+                if next == Some(bound) {
+                    self.capture_sample(bound);
+                }
+                if bound == deadline {
+                    self.sync_fabric();
+                    return pred(self);
+                }
             }
         }
     }
@@ -777,6 +833,14 @@ impl VapresSystem {
         self.flight.as_ref()
     }
 
+    /// Records one host-level lifecycle event (checkpoint capture,
+    /// restore, replay start) into the flight recorder, so a dumped ring
+    /// shows where a run was cut and resumed. A single branch when the
+    /// recorder is unarmed.
+    pub fn note_flight(&mut self, event: FlightEvent) {
+        self.flight_note(event);
+    }
+
     /// Records one control-plane event into the flight recorder (a
     /// single branch unless armed). Buffered fabric events are folded in
     /// first so ring order matches simulated-time order.
@@ -876,6 +940,87 @@ impl VapresSystem {
     /// The per-word provenance capture, if armed.
     pub fn word_trace(&self) -> Option<&WordTrace> {
         self.word_trace.as_ref()
+    }
+
+    /// Arms the deterministic time-series sampler: every `every` of
+    /// simulated time, the run loop stops at the exact boundary,
+    /// harvests the registry ([`snapshot_metrics`](Self::snapshot_metrics))
+    /// and folds one delta frame into a ring of `capacity` frames.
+    /// The cadence is a function of simulated time alone, so sampled
+    /// runs stay bit-exact across `--jobs` counts and warm/cold starts.
+    /// Telemetry is enabled implicitly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` or `capacity` is zero.
+    pub fn enable_timeseries(&mut self, every: Ps, capacity: usize) {
+        if self.timeseries.is_none() {
+            self.enable_telemetry();
+            self.timeseries = Some(TimeSeries::new(every, capacity, self.clocks.now()));
+        }
+    }
+
+    /// The time-series sampler, if armed.
+    pub fn timeseries(&self) -> Option<&TimeSeries> {
+        self.timeseries.as_ref()
+    }
+
+    /// Installs a live observability sink: at every time-series sample
+    /// boundary the system renders its Prometheus metrics, a health
+    /// report under `policy`, and the flight ring, and hands the three
+    /// payloads to `sink`. Boundaries only exist once
+    /// [`enable_timeseries`](Self::enable_timeseries) armed the sampler.
+    ///
+    /// The sink is host plumbing, not simulation state: it is never
+    /// persisted, and the mid-run health evaluation may append
+    /// `deadline_breach` flight events — so bit-exactness contracts are
+    /// stated for runs without a sink installed.
+    pub fn set_live_sink(
+        &mut self,
+        policy: crate::health::HealthPolicy,
+        sink: Box<dyn FnMut(&LiveSnapshot) + Send>,
+    ) {
+        self.live = Some((policy, sink));
+    }
+
+    /// Harvests the registry and folds one delta frame into the
+    /// sampler, then feeds any live sink. `at` is the nominal sample
+    /// boundary — the scheduler may sit short of it when the tail of
+    /// the stretch held no edges.
+    fn capture_sample(&mut self, at: Ps) {
+        let Some(mut ts) = self.timeseries.take() else {
+            return;
+        };
+        self.snapshot_metrics();
+        if let Some(t) = self.telemetry.as_ref() {
+            ts.capture(at, t);
+        }
+        self.timeseries = Some(ts);
+        self.emit_live(at);
+    }
+
+    /// Renders the live payloads and hands them to the installed sink
+    /// (no-op without one).
+    fn emit_live(&mut self, at: Ps) {
+        let Some((policy, mut sink)) = self.live.take() else {
+            return;
+        };
+        let mut prometheus = Vec::new();
+        if let Some(t) = self.telemetry.as_ref() {
+            let _ = t.write_prometheus(&mut prometheus);
+        }
+        let report = crate::health::evaluate_health(self, &policy, None);
+        let mut health = Vec::new();
+        let _ = report.write_jsonl(&mut health);
+        let mut flight = Vec::new();
+        let _ = self.dump_flight_jsonl(&mut flight);
+        sink(&LiveSnapshot {
+            at,
+            prometheus: String::from_utf8_lossy(&prometheus).into_owned(),
+            health: String::from_utf8_lossy(&health).into_owned(),
+            flight: String::from_utf8_lossy(&flight).into_owned(),
+        });
+        self.live = Some((policy, sink));
     }
 
     /// Harvests state-derived metrics into the registry and returns it.
@@ -1391,6 +1536,7 @@ impl VapresSystem {
             }
             None => w.put_bool(false),
         }
+        self.timeseries.persist(&mut w);
         w.into_bytes()
     }
 
@@ -1512,6 +1658,7 @@ impl VapresSystem {
         } else {
             None
         };
+        sys.timeseries = Option::<TimeSeries>::restore(r)?;
         r.expect_end()?;
         if sys.word_trace.is_some() && sys.fabric.word_tap().is_none() {
             return Err(PersistError::Corrupt(

@@ -33,7 +33,7 @@ use vapres_core::module::ModuleLibrary;
 use vapres_core::scenario::{Scenario, ScenarioResult, ScenarioSummary, SwapMethod, SwapOutcome};
 use vapres_core::switching::{halt_and_swap, seamless_swap, BitstreamSource, SwapSpec};
 use vapres_core::system::VapresSystem;
-use vapres_core::{ApiError, ChannelId, PortRef, Ps, SplitMix64};
+use vapres_core::{ApiError, ChannelId, PortRef, Ps, SplitMix64, TimeSeries};
 use vapres_modules::{register_standard_modules, uids};
 
 /// Every Nth streamed word carries a provenance tag (enough tags for
@@ -63,6 +63,10 @@ struct PrefixKey {
     prr_clock_mhz: u64,
     samples: u32,
     interval: u64,
+    /// The time-series sample cadence in picoseconds (0 = sampling off).
+    /// The sampler's frames ride in the checkpoint image, so a sampled
+    /// prefix cannot serve an unsampled scenario or vice versa.
+    sample_every_ps: u64,
     /// `None` when the prefix consults no randomness (`fault_rate` 0, so
     /// any seed yields the same prefix); `Some((seed, rate_bits))` when
     /// fault injection is live and the prefix is unique per seed.
@@ -70,7 +74,7 @@ struct PrefixKey {
 }
 
 impl PrefixKey {
-    fn of(sc: &Scenario) -> Self {
+    fn of(sc: &Scenario, sample_every: Option<Ps>) -> Self {
         PrefixKey {
             kr: sc.kr,
             kl: sc.kl,
@@ -78,6 +82,7 @@ impl PrefixKey {
             prr_clock_mhz: sc.prr_clock_mhz,
             samples: sc.samples,
             interval: sc.interval,
+            sample_every_ps: sample_every.map_or(0, |p| p.as_ps()),
             fault: (sc.fault_rate > 0.0).then(|| (sc.seed, sc.fault_rate.to_bits())),
         }
     }
@@ -112,10 +117,13 @@ fn scenario_library() -> ModuleLibrary {
 /// Builds the shared pre-swap prefix: fresh system, E3 deployment, the
 /// stream's first millisecond. Pure in the scenario (modulo the prefix
 /// key: scenarios with equal keys get bit-identical results).
-fn build_prefix(sc: &Scenario) -> (VapresSystem, PrefixSetup) {
+fn build_prefix(sc: &Scenario, sample_every: Option<Ps>) -> (VapresSystem, PrefixSetup) {
     let mut sys = VapresSystem::new(sc.system_config(), scenario_library())
         .expect("scenario config was validated before dispatch");
     sys.enable_telemetry();
+    if let Some(every) = sample_every {
+        sys.enable_timeseries(every, vapres_core::TimeSeries::DEFAULT_CAPACITY);
+    }
     sys.enable_word_trace(TRACE_EVERY);
     sys.iom_set_input_interval(0, sc.interval);
 
@@ -138,12 +146,41 @@ fn build_prefix(sc: &Scenario) -> (VapresSystem, PrefixSetup) {
 /// produces a full table. The scenario should have passed
 /// [`Scenario::validate`] first — an invalid *system config* panics here.
 pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
+    run_warm(sc, None).0
+}
+
+/// Runs one scenario end to end without touching the prefix cache — the
+/// reference path warm-started sweeps must match byte for byte.
+pub fn run_scenario_cold(sc: &Scenario) -> ScenarioResult {
+    run_cold(sc, None).0
+}
+
+/// Runs one scenario with the time-series sampler armed at an `every`
+/// cadence, returning the captured series next to the result. The
+/// cadence is part of the prefix key (the sampler state rides in the
+/// checkpoint image), and the series is as deterministic as the
+/// telemetry: bit-identical across `--jobs` counts and, because restore
+/// ≡ never-stopped, across the warm (`cold = false`) and cold paths.
+pub fn run_scenario_sampled(sc: &Scenario, every: Ps, cold: bool) -> (ScenarioResult, TimeSeries) {
+    let (result, ts) = if cold {
+        run_cold(sc, Some(every))
+    } else {
+        run_warm(sc, Some(every))
+    };
+    (result, ts.expect("sampler was armed for this run"))
+}
+
+/// The warm path behind the public runners: prefix-cache lookup keyed on
+/// the scenario axes plus the sample cadence, then the suffix.
+fn run_warm(sc: &Scenario, sample_every: Option<Ps>) -> (ScenarioResult, Option<TimeSeries>) {
     let slot = {
         let mut map = prefix_cache().lock().expect("prefix cache lock");
-        map.entry(PrefixKey::of(sc)).or_default().clone()
+        map.entry(PrefixKey::of(sc, sample_every))
+            .or_default()
+            .clone()
     };
     let entry = slot.get_or_init(|| {
-        let (mut sys, setup) = build_prefix(sc);
+        let (mut sys, setup) = build_prefix(sc, sample_every);
         PrefixEntry {
             bytes: Arc::new(sys.checkpoint()),
             setup,
@@ -154,15 +191,18 @@ pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
     finish_scenario(sys, sc, entry.setup.clone())
 }
 
-/// Runs one scenario end to end without touching the prefix cache — the
-/// reference path warm-started sweeps must match byte for byte.
-pub fn run_scenario_cold(sc: &Scenario) -> ScenarioResult {
-    let (sys, setup) = build_prefix(sc);
+/// The cold path behind the public runners.
+fn run_cold(sc: &Scenario, sample_every: Option<Ps>) -> (ScenarioResult, Option<TimeSeries>) {
+    let (sys, setup) = build_prefix(sc, sample_every);
     finish_scenario(sys, sc, setup)
 }
 
 /// Everything after the prefix: the swap itself, the drain, the harvest.
-fn finish_scenario(mut sys: VapresSystem, sc: &Scenario, setup: PrefixSetup) -> ScenarioResult {
+fn finish_scenario(
+    mut sys: VapresSystem,
+    sc: &Scenario,
+    setup: PrefixSetup,
+) -> (ScenarioResult, Option<TimeSeries>) {
     let (outcome, swap_failed) = match setup {
         Err(e) => (
             SwapOutcome::Failed {
@@ -232,12 +272,16 @@ fn finish_scenario(mut sys: VapresSystem, sc: &Scenario, setup: PrefixSetup) -> 
         .snapshot_metrics()
         .expect("telemetry was enabled above")
         .clone();
+    let timeseries = sys.timeseries().cloned();
     let summary = ScenarioSummary::harvest(&telemetry, outcome, drained, samples_out, sim_time_ps);
-    ScenarioResult {
-        scenario: sc.clone(),
-        summary,
-        telemetry,
-    }
+    (
+        ScenarioResult {
+            scenario: sc.clone(),
+            summary,
+            telemetry,
+        },
+        timeseries,
+    )
 }
 
 /// Deploys the E3 arrangement and stages FIR B for **both** swap targets
@@ -398,7 +442,7 @@ mod tests {
         }
         // Six scenarios, two kl values × three methods: the three methods
         // share one prefix per kl, so only two distinct keys exist.
-        let mut keys: Vec<PrefixKey> = scenarios.iter().map(PrefixKey::of).collect();
+        let mut keys: Vec<PrefixKey> = scenarios.iter().map(|sc| PrefixKey::of(sc, None)).collect();
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), 2, "swap method must not split the prefix key");
@@ -409,11 +453,63 @@ mod tests {
     fn faulty_prefixes_are_keyed_per_seed() {
         // Fault injection draws from the seed, so faulty prefixes must not
         // be shared across seeds — but fault-free ones must ignore it.
-        let a = PrefixKey::of(&tiny(SwapMethod::Seamless, 1.0, 41));
-        let b = PrefixKey::of(&tiny(SwapMethod::Seamless, 1.0, 42));
+        let a = PrefixKey::of(&tiny(SwapMethod::Seamless, 1.0, 41), None);
+        let b = PrefixKey::of(&tiny(SwapMethod::Seamless, 1.0, 42), None);
         assert_ne!(a, b, "distinct seeds under fault share a prefix");
-        let c = PrefixKey::of(&tiny(SwapMethod::Seamless, 0.0, 41));
-        let d = PrefixKey::of(&tiny(SwapMethod::Halt, 0.0, 42));
+        let c = PrefixKey::of(&tiny(SwapMethod::Seamless, 0.0, 41), None);
+        let d = PrefixKey::of(&tiny(SwapMethod::Halt, 0.0, 42), None);
         assert_eq!(c, d, "fault-free prefixes are seed- and method-agnostic");
+        // The sample cadence splits the key: a sampled prefix image holds
+        // sampler frames an unsampled scenario must not inherit.
+        let e = PrefixKey::of(&tiny(SwapMethod::Seamless, 0.0, 41), Some(Ps::from_us(100)));
+        assert_ne!(c, e, "sample cadence must split the prefix key");
+    }
+
+    /// Renders per-scenario sampled series the way `vapres sweep
+    /// --timeseries` does: tagged JSONL concatenated in scenario order.
+    fn sampled_jsonl(scenarios: &[Scenario], jobs: usize, cold: bool) -> String {
+        let every = Ps::from_us(100);
+        let chunks: Vec<Mutex<Option<String>>> =
+            scenarios.iter().map(|_| Mutex::new(None)).collect();
+        let results = run_sweep_with(scenarios, jobs, |sc| {
+            let (r, ts) = run_scenario_sampled(sc, every, cold);
+            let mut buf = Vec::new();
+            ts.write_jsonl_tagged(&mut buf, Some(&sc.label())).unwrap();
+            *chunks[sc.index].lock().unwrap() = Some(String::from_utf8(buf).unwrap());
+            r
+        });
+        assert_eq!(results.len(), scenarios.len());
+        chunks
+            .iter()
+            .map(|c| c.lock().unwrap().take().expect("every scenario sampled"))
+            .collect()
+    }
+
+    #[test]
+    fn sampled_series_is_jobs_invariant_and_warm_cold_identical() {
+        clear_prefix_cache();
+        let grid = SweepGrid {
+            kr: vec![2],
+            kl: vec![2],
+            fifo_depth: vec![512],
+            prr_clock_mhz: vec![100],
+            swap: vec![SwapMethod::None, SwapMethod::Seamless],
+            fault_rate: vec![0.0],
+            samples: vec![300],
+            interval: 50,
+            seed: 11,
+        };
+        let scenarios = grid.expand();
+        let seq = sampled_jsonl(&scenarios, 1, false);
+        let par = sampled_jsonl(&scenarios, 4, false);
+        assert_eq!(seq, par, "sampled series must be jobs-invariant");
+        let cold = sampled_jsonl(&scenarios, 1, true);
+        assert_eq!(seq, cold, "warm-start changed the sampled series");
+        assert!(
+            seq.contains("\"type\":\"series\""),
+            "series headers present"
+        );
+        assert!(seq.contains("\"type\":\"frame\""), "frames captured");
+        clear_prefix_cache();
     }
 }

@@ -119,6 +119,21 @@ pub enum FlightEvent {
         /// Monitor name (static — the watchdog derives it from a policy).
         monitor: &'static str,
     },
+    /// A checkpoint image was captured at this point in the run.
+    Checkpoint {
+        /// Zero-based ordinal of the checkpoint within the run.
+        ordinal: u64,
+    },
+    /// Execution resumed from a restored checkpoint image.
+    Restore {
+        /// Ordinal of the checkpoint the image was captured at.
+        ordinal: u64,
+    },
+    /// A recorded run is being replayed from a checkpoint image.
+    Replay {
+        /// True when the replay stops at the first watchdog breach.
+        until_breach: bool,
+    },
 }
 
 impl FlightEvent {
@@ -134,6 +149,9 @@ impl FlightEvent {
             FlightEvent::RouteReleased { .. } => "route_released",
             FlightEvent::IcapWrite { .. } => "icap_write",
             FlightEvent::DeadlineBreach { .. } => "deadline_breach",
+            FlightEvent::Checkpoint { .. } => "checkpoint",
+            FlightEvent::Restore { .. } => "restore",
+            FlightEvent::Replay { .. } => "replay",
         }
     }
 }
@@ -344,6 +362,18 @@ impl Persist for FlightEvent {
                 w.put_u8(8);
                 w.put_str(monitor);
             }
+            FlightEvent::Checkpoint { ordinal } => {
+                w.put_u8(9);
+                w.put_u64(ordinal);
+            }
+            FlightEvent::Restore { ordinal } => {
+                w.put_u8(10);
+                w.put_u64(ordinal);
+            }
+            FlightEvent::Replay { until_breach } => {
+                w.put_u8(11);
+                w.put_bool(until_breach);
+            }
         }
     }
 
@@ -395,6 +425,15 @@ impl Persist for FlightEvent {
             },
             8 => FlightEvent::DeadlineBreach {
                 monitor: intern_static(&r.take_string()?),
+            },
+            9 => FlightEvent::Checkpoint {
+                ordinal: r.take_u64()?,
+            },
+            10 => FlightEvent::Restore {
+                ordinal: r.take_u64()?,
+            },
+            11 => FlightEvent::Replay {
+                until_breach: r.take_bool()?,
             },
             t => return Err(PersistError::Corrupt(format!("flight event tag {t}"))),
         })
@@ -496,6 +535,10 @@ fn write_event_fields<W: Write>(w: &mut W, event: &FlightEvent) -> io::Result<()
         FlightEvent::RouteReleased { channel } => write!(w, ",\"channel\":{channel}"),
         FlightEvent::IcapWrite { words } => write!(w, ",\"words\":{words}"),
         FlightEvent::DeadlineBreach { monitor } => write!(w, ",\"monitor\":\"{monitor}\""),
+        FlightEvent::Checkpoint { ordinal } | FlightEvent::Restore { ordinal } => {
+            write!(w, ",\"ordinal\":{ordinal}")
+        }
+        FlightEvent::Replay { until_breach } => write!(w, ",\"until_breach\":{until_breach}"),
     }
 }
 
@@ -586,5 +629,34 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _ = FlightRecorder::new(0);
+    }
+
+    #[test]
+    fn lifecycle_events_render_and_round_trip() {
+        let mut fr = FlightRecorder::new(4);
+        fr.record(Ps::from_us(1), FlightEvent::Checkpoint { ordinal: 0 });
+        fr.record(Ps::from_us(2), FlightEvent::Restore { ordinal: 0 });
+        fr.record(Ps::from_us(3), FlightEvent::Replay { until_breach: true });
+
+        let mut buf = Vec::new();
+        fr.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"event\":\"checkpoint\""));
+        assert!(lines[0].contains("\"ordinal\":0"));
+        assert!(lines[1].contains("\"event\":\"restore\""));
+        assert!(lines[2].contains("\"event\":\"replay\""));
+        assert!(lines[2].contains("\"until_breach\":true"));
+
+        let mut w = Writer::new();
+        fr.persist(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let back = FlightRecorder::restore(&mut r).unwrap();
+        r.expect_end().unwrap();
+        let mut buf2 = Vec::new();
+        back.write_jsonl(&mut buf2).unwrap();
+        assert_eq!(buf2, text.as_bytes());
     }
 }

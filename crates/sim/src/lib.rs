@@ -64,6 +64,7 @@ pub mod rng;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
+pub mod timeseries;
 pub mod trace;
 pub mod watchdog;
 
@@ -75,5 +76,6 @@ pub use persist::{Persist, PersistError, Reader, Writer};
 pub use rng::SplitMix64;
 pub use telemetry::{CounterId, GaugeId, HistogramId, Span, Telemetry};
 pub use time::{Freq, Ps};
+pub use timeseries::TimeSeries;
 pub use trace::{SignalId, Tracer};
 pub use watchdog::{HealthReport, Monitor, Verdict};

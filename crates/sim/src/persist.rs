@@ -32,7 +32,8 @@ use crate::time::{Freq, Ps};
 pub const MAGIC: [u8; 8] = *b"VAPRESCK";
 
 /// Current snapshot format version. Bump on any encoding change.
-pub const FORMAT_VERSION: u32 = 1;
+/// v2: a time-series sampler slot follows the word trace.
+pub const FORMAT_VERSION: u32 = 2;
 
 /// An error from decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -681,7 +681,7 @@ impl Persist for Telemetry {
 
 /// Formats an `f64` the way JSON expects (no `NaN`/`inf`; integral values
 /// keep a trailing `.0`-free form via `{}`).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -690,7 +690,7 @@ fn json_f64(v: f64) -> String {
 }
 
 /// Appends a JSON string literal (quoted, escaped) to `out`.
-fn json_string(out: &mut String, s: &str) {
+pub(crate) fn json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -709,7 +709,7 @@ fn json_string(out: &mut String, s: &str) {
 }
 
 /// Appends a JSON object of labels to `out`.
-fn json_labels(out: &mut String, labels: &[Label]) {
+pub(crate) fn json_labels(out: &mut String, labels: &[Label]) {
     out.push('{');
     for (i, (k, v)) in labels.iter().enumerate() {
         if i > 0 {

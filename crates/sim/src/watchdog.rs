@@ -196,6 +196,41 @@ impl HealthReport {
             )
         }
     }
+
+    /// Renders the machine-readable JSONL form: one `verdict` line per
+    /// monitor, then one `health` summary line. The `vapres health
+    /// --jsonl yes` output and the live `/health` endpoint both emit
+    /// exactly this serialization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_jsonl<W: Write + ?Sized>(&self, w: &mut W) -> io::Result<()> {
+        use crate::telemetry::{json_f64, json_string};
+        let mut line = String::new();
+        for v in &self.verdicts {
+            line.clear();
+            line.push_str("{\"type\":\"verdict\",\"monitor\":");
+            json_string(&mut line, &v.monitor.name);
+            line.push_str(&format!(
+                ",\"pass\":{},\"observed\":{},\"comparison\":\"{}\",\"limit\":{},\"unit\":",
+                v.pass(),
+                json_f64(v.observed),
+                v.monitor.comparison.symbol(),
+                json_f64(v.monitor.limit),
+            ));
+            json_string(&mut line, v.monitor.unit);
+            line.push('}');
+            writeln!(w, "{line}")?;
+        }
+        writeln!(
+            w,
+            "{{\"type\":\"health\",\"healthy\":{},\"breached\":{},\"monitors\":{}}}",
+            self.healthy(),
+            self.breaches().count(),
+            self.verdicts.len()
+        )
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +268,32 @@ mod tests {
         assert!(text.contains("[PASS] ok: 3 <= 5 words"));
         assert!(text.contains("[FAIL] bad: 7.500 <= 5 words"));
         assert!(text.contains("overall: UNHEALTHY (1 of 2 monitors breached)"));
+    }
+
+    #[test]
+    fn jsonl_renders_verdicts_and_summary() {
+        let mut r = HealthReport::new();
+        r.observe(Monitor::at_most("ok", 5.0, "words"), 3.0);
+        r.observe(Monitor::at_least("bad", 2.5, "slots"), 1.0);
+        let mut buf = Vec::new();
+        r.write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"verdict\",\"monitor\":\"ok\",\"pass\":true,\"observed\":3,\
+             \"comparison\":\"<=\",\"limit\":5,\"unit\":\"words\"}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"verdict\",\"monitor\":\"bad\",\"pass\":false,\"observed\":1,\
+             \"comparison\":\">=\",\"limit\":2.5,\"unit\":\"slots\"}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"type\":\"health\",\"healthy\":false,\"breached\":1,\"monitors\":2}"
+        );
     }
 
     #[test]
