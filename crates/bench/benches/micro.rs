@@ -190,6 +190,52 @@ fn bench_sampling_overhead() {
     );
 }
 
+fn bench_profile_overhead() {
+    use vapres_sim::profile::{Profiler, DEFAULT_RING_CAPACITY};
+
+    // The dispatch loop guards all profiler work behind one
+    // `Option<Box<..>>` check, so a system that never calls
+    // `enable_profiling` pays a single predictable branch per dispatch.
+    // Compare the same hot loop bare, with a disabled (None) profiler,
+    // and with a live one charging a work unit and timing a scope.
+    let mut acc = 0u64;
+    let mut work = move || {
+        acc = black_box(acc.wrapping_mul(2_654_435_761).wrapping_add(1));
+        acc
+    };
+
+    let bare = bench_ns("hot_loop_bare", || {
+        black_box(work());
+    });
+
+    let mut disabled: Option<Profiler> = None;
+    let off = bench_ns("hot_loop_profile_disabled", || {
+        black_box(work());
+        if let Some(p) = disabled.as_mut() {
+            p.begin("bench");
+            p.end();
+        }
+    });
+
+    let mut prof = Profiler::new(DEFAULT_RING_CAPACITY);
+    let unit = prof.work_mut().unit("bench/iters");
+    let mut enabled = Some(prof);
+    let on = bench_ns("hot_loop_profile_enabled", || {
+        black_box(work());
+        if let Some(p) = enabled.as_mut() {
+            p.work_mut().add(unit, 1);
+            p.begin("bench");
+            p.end();
+        }
+    });
+
+    println!(
+        "  profile overhead: disabled {:+.1}%, enabled {:+.1}% vs bare",
+        (off - bare) / bare * 100.0,
+        (on - bare) / bare * 100.0
+    );
+}
+
 fn main() {
     banner("micro", "simulator hot paths (best-of-3 batches)");
     println!();
@@ -200,4 +246,5 @@ fn main() {
     bench_channel_establish();
     bench_metrics_overhead();
     bench_sampling_overhead();
+    bench_profile_overhead();
 }

@@ -892,6 +892,10 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
                 .into(),
         ));
     }
+    let profile = args.get_or("profile", "no") == "yes";
+    if (args.get("flame").is_some() || args.get("cost-model").is_some()) && !profile {
+        return Err(CmdError("--flame/--cost-model need --profile yes".into()));
+    }
     let stages = args
         .get_or("stages", "scaler")
         .split(',')
@@ -913,6 +917,9 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     }
     if trace_words > 0 {
         sys.enable_word_trace(trace_words);
+    }
+    if profile {
+        sys.enable_profiling();
     }
     if flight_path.is_some() {
         sys.enable_flight_recorder(vapres_sim::flight::DEFAULT_CAPACITY);
@@ -1109,6 +1116,11 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         writeln!(out)?;
     }
 
+    if profile {
+        // Mark the export point before the flight ring is written, so a
+        // dumped ring shows where the profiler's numbers were taken.
+        sys.note_profile_dump();
+    }
     if let Some(path) = flight_path {
         write_flight_dump(&mut sys, path)?;
         let n = sys.flight().map_or(0, |f| f.events().count());
@@ -1193,10 +1205,20 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         }
         if let Some(path) = args.get("timeseries-trace") {
             let mut file = create_output(path)?;
-            ts.write_chrome_trace(&mut file)
-                .and_then(|()| file.flush())
-                .map_err(|e| write_err(path, e))?;
-            writeln!(out, "wrote {path}: chrome://tracing counter track")?;
+            // With the profiler armed, its completed-scope ring rides in
+            // the same file as an "X" duration track (tid 1) next to the
+            // counter track (tid 0).
+            match sys.profiler() {
+                Some(p) => ts.write_chrome_trace_with_events(&mut file, p.chrome_events()),
+                None => ts.write_chrome_trace(&mut file),
+            }
+            .and_then(|()| file.flush())
+            .map_err(|e| write_err(path, e))?;
+            if sys.profiler().is_some() {
+                writeln!(out, "wrote {path}: chrome://tracing counter + scope tracks")?;
+            } else {
+                writeln!(out, "wrote {path}: chrome://tracing counter track")?;
+            }
         }
         if let Some(path) = args.get("timeseries-csv") {
             let mut file = create_output(path)?;
@@ -1204,6 +1226,34 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
                 .and_then(|()| file.flush())
                 .map_err(|e| write_err(path, e))?;
             writeln!(out, "wrote {path}: per-metric CSV")?;
+        }
+    }
+
+    if profile {
+        let model = sys
+            .profile_cost_model()
+            .expect("profiler was enabled above");
+        let prof = sys.profiler().expect("profiler was enabled above");
+        writeln!(out, "\nprofile: top scopes by host self time")?;
+        prof.write_top_table(&mut *out, 10)?;
+        if let Some(path) = args.get("flame") {
+            let mut file = create_output(path)?;
+            prof.write_collapsed(&mut file)
+                .and_then(|()| file.flush())
+                .map_err(|e| write_err(path, e))?;
+            writeln!(out, "wrote {path}: collapsed stacks (flamegraph input)")?;
+        }
+        if let Some(path) = args.get("cost-model") {
+            let mut file = create_output(path)?;
+            model
+                .write_json(&mut file)
+                .and_then(|()| file.flush())
+                .map_err(|e| write_err(path, e))?;
+            writeln!(
+                out,
+                "wrote {path}: cost model ({} components)",
+                model.rows.len()
+            )?;
         }
     }
     Ok(())
@@ -1292,6 +1342,116 @@ pub fn cmd_health(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
             health.verdicts().len()
         )))
     }
+}
+
+/// `vapres profile [--halt yes] [--samples N] [--interval CYCLES]
+/// [--top N] [--flame out.folded] [--cost-model out.json]
+/// [--flight-dump out.jsonl]` — run the paper's E3 swap scenario with
+/// the self-profiler armed and print the top-N scopes by host self
+/// time.
+///
+/// The profiler keeps two planes: deterministic *work units* (component
+/// ticks dispatched, route spans, swap steps, ICAP words, storage
+/// bytes — byte-identical across runs) and *host wall time* per nested
+/// scope (machine-dependent, outside every determinism contract).
+/// `--flame` exports the host tree as collapsed stacks (flamegraph
+/// input); `--cost-model` joins the planes into per-component
+/// `{work_units, host_ns, ns_per_unit}` rows a partitioner can consume.
+pub fn cmd_profile(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    use vapres_core::config::SystemConfig;
+    use vapres_core::module::ModuleLibrary;
+    use vapres_core::switching::{halt_and_swap, seamless_swap};
+    use vapres_core::system::VapresSystem;
+    use vapres_core::Ps;
+    use vapres_modules::register_standard_modules;
+
+    let halt = args.get_or("halt", "no") == "yes";
+    let samples: u32 = args.get_num("samples", 20_000u32)?;
+    let interval: u64 = args.get_num("interval", 500u64)?;
+    if interval == 0 {
+        return Err(CmdError("--interval must be >= 1".into()));
+    }
+    let top: usize = args.get_num("top", 10usize)?;
+
+    let mut lib = ModuleLibrary::new();
+    register_standard_modules(&mut lib, 0);
+    let mut sys =
+        VapresSystem::new(SystemConfig::prototype(), lib).map_err(|e| CmdError(e.to_string()))?;
+    sys.enable_telemetry();
+    sys.enable_profiling();
+    sys.enable_flight_recorder(vapres_sim::flight::DEFAULT_CAPACITY);
+    sys.iom_set_input_interval(0, interval);
+    let spec = setup_e3_swap(&mut sys, halt)?;
+
+    sys.iom_feed(0, 0..samples);
+    sys.run_for(Ps::from_ms(1));
+    let report = if halt {
+        halt_and_swap(&mut sys, &spec)
+    } else {
+        seamless_swap(&mut sys, &spec)
+    }
+    .map_err(|e| CmdError(e.to_string()))?;
+    let done = sys.run_until(Ps::from_ms(300), |s| s.iom_pending_input(0) == 0);
+    if !done {
+        return Err(CmdError(
+            "swap scenario stalled before consuming input".into(),
+        ));
+    }
+    sys.run_for(Ps::from_us(100));
+
+    let method = if halt {
+        "halt-and-swap"
+    } else {
+        "seamless swap"
+    };
+    writeln!(
+        out,
+        "scenario: E3 ({method}, {samples} samples, 1 per {interval} cycles), \
+         swap {} ",
+        report.total()
+    )?;
+    let model = sys
+        .profile_cost_model()
+        .expect("profiler was enabled above");
+    sys.note_profile_dump();
+    {
+        let prof = sys.profiler().expect("profiler was enabled above");
+        writeln!(out, "top {top} scopes by host self time:")?;
+        prof.write_top_table(&mut *out, top)?;
+        writeln!(
+            out,
+            "work plane: {} components; host plane: {} scopes, {} completed",
+            prof.work().len(),
+            prof.scope_count(),
+            prof.completed()
+        )?;
+    }
+    if let Some(path) = args.get("flame") {
+        let mut file = create_output(path)?;
+        sys.profiler()
+            .expect("profiler was enabled above")
+            .write_collapsed(&mut file)
+            .and_then(|()| file.flush())
+            .map_err(|e| write_err(path, e))?;
+        writeln!(out, "wrote {path}: collapsed stacks (flamegraph input)")?;
+    }
+    if let Some(path) = args.get("cost-model") {
+        let mut file = create_output(path)?;
+        model
+            .write_json(&mut file)
+            .and_then(|()| file.flush())
+            .map_err(|e| write_err(path, e))?;
+        writeln!(
+            out,
+            "wrote {path}: cost model ({} components)",
+            model.rows.len()
+        )?;
+    }
+    if let Some(path) = args.get("flight-dump") {
+        write_flight_dump(&mut sys, path)?;
+        writeln!(out, "wrote {path}: flight ring")?;
+    }
+    Ok(())
 }
 
 /// `vapres sweep [--jobs N] [--kr 2,3] [--kl 2,3] [--fifo-depth 64,512]
@@ -1383,6 +1543,17 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
                 .into(),
         ));
     }
+    let profile = args.get_or("profile", "no") == "yes";
+    if args.get("cost-model").is_some() && !profile {
+        return Err(CmdError("--cost-model needs --profile yes".into()));
+    }
+    if profile && sample_every_us > 0 {
+        return Err(CmdError(
+            "--profile yes cannot combine with --sample-every (the profiled and \
+             sampled runners use different prefix images; run two sweeps)"
+                .into(),
+        ));
+    }
     // Held until the sweep finishes: dropping the server stops the
     // responder thread. Payloads update as each scenario completes.
     let live = match args.get("live-port") {
@@ -1403,7 +1574,23 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     };
     let started = std::time::Instant::now();
     let mut series_chunks: Vec<std::sync::Mutex<Option<String>>> = Vec::new();
-    let results = if sample_every_us == 0 {
+    let mut model_chunks: Vec<std::sync::Mutex<Option<vapres_core::CostModel>>> = Vec::new();
+    let results = if profile {
+        // Profiled sweep: each worker parks its scenario's cost model in
+        // a per-index slot; the merge below walks the slots in scenario
+        // order, so the merged work-unit plane is byte-identical for any
+        // `--jobs` value (host-time fields carry no such contract).
+        model_chunks = scenarios
+            .iter()
+            .map(|_| std::sync::Mutex::new(None))
+            .collect();
+        let chunks = &model_chunks;
+        run_sweep_with(&scenarios, jobs, move |sc| {
+            let (r, model) = vapres_kpn::run_scenario_profiled(sc, cold);
+            *chunks[sc.index].lock().expect("cost model lock") = Some(model);
+            r
+        })
+    } else if sample_every_us == 0 {
         run_sweep_with(
             &scenarios,
             jobs,
@@ -1532,6 +1719,28 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
             "wrote {path}: per-scenario time-series JSONL ({} scenarios)",
             series_chunks.len()
         )?;
+    }
+    if profile {
+        let mut merged = vapres_core::CostModel::default();
+        for chunk in &model_chunks {
+            let m = chunk.lock().expect("cost model lock");
+            merged.merge(m.as_ref().expect("every scenario profiled"));
+        }
+        let total_work: u64 = merged.rows.iter().map(|r| r.work_units).sum();
+        writeln!(
+            out,
+            "profile: {} components, {total_work} work units across {} scenarios",
+            merged.rows.len(),
+            results.len()
+        )?;
+        if let Some(path) = args.get("cost-model") {
+            let mut file = create_output(path)?;
+            merged
+                .write_json(&mut file)
+                .and_then(|()| file.flush())
+                .map_err(|e| write_err(path, e))?;
+            writeln!(out, "wrote {path}: merged cost model")?;
+        }
     }
     drop(live);
     Ok(())
@@ -1690,9 +1899,21 @@ fn known_flags(subcommand: &str) -> Option<&'static [&'static str]> {
             "timeseries-trace",
             "timeseries-csv",
             "live-port",
+            "profile",
+            "flame",
+            "cost-model",
         ],
         "replay" => &["until-breach"],
         "health" => &["halt", "samples", "interval", "flight-dump", "jsonl"],
+        "profile" => &[
+            "halt",
+            "samples",
+            "interval",
+            "top",
+            "flame",
+            "cost-model",
+            "flight-dump",
+        ],
         "sweep" => &[
             "jobs",
             "seed",
@@ -1710,6 +1931,8 @@ fn known_flags(subcommand: &str) -> Option<&'static [&'static str]> {
             "sample-every",
             "timeseries",
             "live-port",
+            "profile",
+            "cost-model",
         ],
         "diff" => &["tolerance"],
         _ => return None,
@@ -1764,14 +1987,19 @@ pub fn usage() -> &'static str {
      \x20                [--sample-every US] [--timeseries out.jsonl]\n\
      \x20                [--timeseries-trace out.json] [--timeseries-csv out.csv]\n\
      \x20                [--live-port N]   (serves /metrics /health /flight)\n\
+     \x20                [--profile yes] [--flame out.folded] [--cost-model out.json]\n\
      \x20 replay         <checkpoint.vapresck> [--until-breach yes]   (exit 1 on breach)\n\
      \x20 health         [--halt yes] [--samples N] [--interval CYCLES]\n\
      \x20                [--flight-dump out.jsonl] [--jsonl yes]   (exit 1 on breach)\n\
+     \x20 profile        [--halt yes] [--samples N] [--interval CYCLES] [--top N]\n\
+     \x20                [--flame out.folded] [--cost-model out.json]\n\
+     \x20                [--flight-dump out.jsonl]   (self-profile the E3 scenario)\n\
      \x20 sweep          [--jobs N] [--kr 2,3] [--kl 2,3] [--fifo-depth 64,512]\n\
      \x20                [--clock-mhz 100] [--swap seamless,halt,none]\n\
      \x20                [--fault-rate 0.0,0.5] [--samples N,...] [--interval CYCLES]\n\
      \x20                [--seed S] [--jsonl out.jsonl] [--bench out.json] [--cold yes]\n\
      \x20                [--sample-every US] [--timeseries out.jsonl] [--live-port N]\n\
+     \x20                [--profile yes] [--cost-model out.json]\n\
      \x20 diff           <baseline> <candidate> [--tolerance 0.05]   (exit 1 on regression)\n\
      \n\
      devices: lx25 (default) | lx60 | lx100\n\
@@ -1796,6 +2024,7 @@ pub fn dispatch(subcommand: &str, args: &Args, out: &mut dyn Write) -> Result<()
         "sim" => cmd_sim(args, out),
         "replay" => cmd_replay(args, out),
         "health" => cmd_health(args, out),
+        "profile" => cmd_profile(args, out),
         "sweep" => cmd_sweep(args, out),
         "diff" => crate::diff::cmd_diff(args, out),
         other => Err(CmdError(format!(
@@ -2127,6 +2356,13 @@ mod tests {
             ("sweep", &["--sample-every-us", "100"]),
             ("sweep", &["--live-prt", "9100"]),
             ("diff", &["--tolerence", "0.05"]),
+            ("sim", &["--profil", "yes"]),
+            ("sim", &["--flamme", "out.folded"]),
+            ("sim", &["--cost-mode", "out.json"]),
+            ("profile", &["--tops", "5"]),
+            ("profile", &["--cost-models", "out.json"]),
+            ("sweep", &["--profiles", "yes"]),
+            ("sweep", &["--cost-modle", "out.json"]),
         ];
         for (sub, tokens) in cases {
             let err = run(sub, tokens).unwrap_err();
@@ -2156,6 +2392,7 @@ mod tests {
             "sim",
             "replay",
             "health",
+            "profile",
             "sweep",
             "diff",
         ] {
@@ -2270,6 +2507,140 @@ mod tests {
         assert!(host_a.contains("\"cpus\": "), "{host_a}");
         assert!(a.2.contains("\"bench\": \"sweep\""), "{}", a.2);
         assert!(a.2.contains("\"outcome\":\"completed\""), "{}", a.2);
+    }
+
+    #[test]
+    fn profile_runs_e3_and_exports_both_planes() {
+        let dir = std::env::temp_dir().join("vapres_cli_profile_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let flame = dir.join("flame.folded");
+        let model = dir.join("cost.json");
+        let text = run(
+            "profile",
+            &[
+                "--samples",
+                "2000",
+                "--top",
+                "5",
+                "--flame",
+                flame.to_str().unwrap(),
+                "--cost-model",
+                model.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        assert!(text.contains("top 5 scopes by host self time"), "{text}");
+        assert!(text.contains("scope"), "{text}");
+        assert!(text.contains("self%"), "{text}");
+        assert!(
+            text.contains("run"),
+            "top table names the run scope: {text}"
+        );
+        assert!(text.contains("work plane: "), "{text}");
+
+        let flame_text = std::fs::read_to_string(&flame).unwrap();
+        assert!(
+            flame_text
+                .lines()
+                .any(|l| l.starts_with("run;exec/fabric ")),
+            "collapsed stacks carry nested paths: {flame_text}"
+        );
+        let model_text = std::fs::read_to_string(&model).unwrap();
+        assert!(model_text.contains("\"cost_model\": 1"), "{model_text}");
+        assert!(
+            model_text.contains("\"component\":\"exec/fabric\""),
+            "{model_text}"
+        );
+        assert!(
+            model_text.contains("\"component\":\"swap/steps\""),
+            "{model_text}"
+        );
+        assert!(
+            model_text.contains("\"component\":\"icap/words\""),
+            "{model_text}"
+        );
+        assert!(model_text.contains("\"ns_per_unit\":"), "{model_text}");
+        std::fs::remove_file(&flame).ok();
+        std::fs::remove_file(&model).ok();
+    }
+
+    #[test]
+    fn sim_profile_flags_require_each_other() {
+        let err = run("sim", &["--flame", "out.folded"]).unwrap_err();
+        assert!(err.0.contains("--profile yes"), "{}", err.0);
+        let err = run("sim", &["--cost-model", "out.json"]).unwrap_err();
+        assert!(err.0.contains("--profile yes"), "{}", err.0);
+        let err = run("sweep", &["--cost-model", "out.json"]).unwrap_err();
+        assert!(err.0.contains("--profile yes"), "{}", err.0);
+        let err = run("sweep", &["--profile", "yes", "--sample-every", "100"]).unwrap_err();
+        assert!(err.0.contains("cannot combine"), "{}", err.0);
+    }
+
+    /// Strips the machine-dependent host fields from a cost-model JSON,
+    /// leaving the deterministic component/work-unit plane.
+    fn work_plane_of(json: &str) -> String {
+        json.lines()
+            .map(|l| match l.find("\"host_ns\"") {
+                Some(cut) => format!("{}...", &l[..cut]),
+                None => l.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn sweep_cost_model_work_plane_is_jobs_and_warmth_invariant() {
+        let dir = std::env::temp_dir().join("vapres_cli_costmodel_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_one = |jobs: &str, cold: &str, tag: &str| {
+            let model = dir.join(format!("{tag}.json"));
+            let text = run(
+                "sweep",
+                &[
+                    "--kr",
+                    "2",
+                    "--kl",
+                    "2",
+                    "--fifo-depth",
+                    "512",
+                    "--swap",
+                    "none,seamless",
+                    "--samples",
+                    "300",
+                    "--interval",
+                    "50",
+                    "--seed",
+                    "7",
+                    "--jobs",
+                    jobs,
+                    "--cold",
+                    cold,
+                    "--profile",
+                    "yes",
+                    "--cost-model",
+                    model.to_str().unwrap(),
+                ],
+            )
+            .unwrap();
+            assert!(text.contains("profile: "), "{text}");
+            let json = std::fs::read_to_string(&model).unwrap();
+            std::fs::remove_file(&model).ok();
+            json
+        };
+        let a = run_one("1", "no", "a");
+        let b = run_one("4", "no", "b");
+        let c = run_one("1", "yes", "c");
+        assert_eq!(
+            work_plane_of(&a),
+            work_plane_of(&b),
+            "work-unit plane differs between --jobs 1 and --jobs 4"
+        );
+        assert_eq!(
+            work_plane_of(&a),
+            work_plane_of(&c),
+            "work-unit plane differs between warm and cold sweeps"
+        );
+        assert!(a.contains("\"component\":\"fabric/route"), "{a}");
     }
 
     #[test]

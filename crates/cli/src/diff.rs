@@ -11,7 +11,13 @@
 //! * **sweep trajectories** (`vapres sweep --bench` artifacts) —
 //!   per-scenario rows matched by label, outcomes exactly, numeric
 //!   fields within tolerance. The one machine-dependent `"host"` line is
-//!   skipped, so a trajectory recorded on any machine gates any other.
+//!   skipped, so a trajectory recorded on any machine gates any other;
+//! * **cost models** (`vapres profile --cost-model` / `vapres sim
+//!   --cost-model` / `vapres sweep --cost-model` exports) — rows matched
+//!   by component. The deterministic work-unit plane is compared
+//!   **exactly** (any drift is a regression regardless of tolerance);
+//!   the calibration ratio `ns_per_unit` within `--tolerance`; the raw
+//!   `host_ns` wall-time field is machine noise and skipped entirely.
 //!
 //! A metric present in only one file is a structural regression; a
 //! value drifting past the per-metric relative tolerance
@@ -32,8 +38,8 @@ use vapres_sim::telemetry::{parse_jsonl, Record};
 const DEFAULT_TOLERANCE: f64 = 0.05;
 
 /// `vapres diff <baseline> <candidate> [--tolerance 0.05]` — compare
-/// two telemetry JSONL dumps or two sweep trajectories; exit non-zero
-/// listing every regressed metric.
+/// two telemetry JSONL dumps, sweep trajectories, or cost models; exit
+/// non-zero listing every regressed metric.
 pub fn cmd_diff(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     let pos = args.positionals();
     let [baseline_path, candidate_path] = pos else {
@@ -53,12 +59,12 @@ pub fn cmd_diff(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
 
     let base_kind = detect_kind(&baseline).ok_or_else(|| {
         CmdError(format!(
-            "{baseline_path}: neither telemetry JSONL nor a sweep trajectory"
+            "{baseline_path}: not telemetry JSONL, a sweep trajectory, or a cost model"
         ))
     })?;
     let cand_kind = detect_kind(&candidate).ok_or_else(|| {
         CmdError(format!(
-            "{candidate_path}: neither telemetry JSONL nor a sweep trajectory"
+            "{candidate_path}: not telemetry JSONL, a sweep trajectory, or a cost model"
         ))
     })?;
     if base_kind != cand_kind {
@@ -73,6 +79,8 @@ pub fn cmd_diff(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         FileKind::Telemetry => diff_telemetry(&baseline, &candidate, tolerance)
             .map_err(|e| CmdError(format!("{baseline_path} / {candidate_path}: {e}")))?,
         FileKind::Trajectory => diff_trajectory(&baseline, &candidate, tolerance)
+            .map_err(|e| CmdError(format!("{baseline_path} / {candidate_path}: {e}")))?,
+        FileKind::CostModel => diff_cost_model(&baseline, &candidate, tolerance)
             .map_err(|e| CmdError(format!("{baseline_path} / {candidate_path}: {e}")))?,
     };
 
@@ -97,11 +105,12 @@ pub fn cmd_diff(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     }
 }
 
-/// The two artifact kinds `vapres diff` understands.
+/// The artifact kinds `vapres diff` understands.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum FileKind {
     Telemetry,
     Trajectory,
+    CostModel,
 }
 
 impl FileKind {
@@ -109,15 +118,20 @@ impl FileKind {
         match self {
             FileKind::Telemetry => "telemetry JSONL",
             FileKind::Trajectory => "sweep trajectory",
+            FileKind::CostModel => "cost model",
         }
     }
 }
 
 /// Sniffs the artifact kind: trajectories carry the `"bench": "sweep"`
-/// stamp, telemetry dumps open every line with a `"type"` tag.
+/// stamp, cost models the `"cost_model"` version stamp, telemetry dumps
+/// open every line with a `"type"` tag.
 fn detect_kind(text: &str) -> Option<FileKind> {
     if text.contains("\"bench\": \"sweep\"") {
         return Some(FileKind::Trajectory);
+    }
+    if text.contains("\"cost_model\"") {
+        return Some(FileKind::CostModel);
     }
     let first = text.lines().find(|l| !l.trim().is_empty())?;
     first
@@ -377,6 +391,116 @@ fn diff_trajectory(baseline: &str, candidate: &str, tol: f64) -> Result<Vec<Stri
     Ok(regressions)
 }
 
+/// One parsed cost-model row: the deterministic work units and the
+/// host-calibrated unit cost.
+#[derive(Debug)]
+struct CostRow {
+    work_units: u64,
+    ns_per_unit: f64,
+}
+
+/// Parses the flat one-line component rows of a cost-model export,
+/// keyed by component name. The writer emits them machine-formatted
+/// (no nesting, no escapes in component names), so the same
+/// field-splitting scan the trajectory parser uses is exact.
+fn parse_cost_model(text: &str) -> Result<BTreeMap<String, CostRow>, String> {
+    let mut rows = BTreeMap::new();
+    for line in text.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if !t.starts_with("{\"component\":") {
+            continue;
+        }
+        let body = t
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| format!("malformed component row: {t}"))?;
+        let mut component = None;
+        let mut work_units = None;
+        let mut ns_per_unit = None;
+        for field in split_top_level_fields(body) {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| format!("malformed field {field:?}"))?;
+            let key = key.trim().trim_matches('"');
+            let value = value.trim();
+            match key {
+                "component" => {
+                    component = value
+                        .strip_prefix('"')
+                        .and_then(|v| v.strip_suffix('"'))
+                        .map(str::to_string);
+                }
+                "work_units" => {
+                    work_units = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("work_units: cannot parse {value:?}"))?,
+                    );
+                }
+                "ns_per_unit" => {
+                    ns_per_unit = Some(
+                        value
+                            .parse::<f64>()
+                            .map_err(|_| format!("ns_per_unit: cannot parse {value:?}"))?,
+                    );
+                }
+                // `host_ns` is raw wall time of whatever machine ran the
+                // profile — never comparable, deliberately ignored.
+                _ => {}
+            }
+        }
+        let component = component.ok_or("component row without a name")?;
+        rows.insert(
+            component.clone(),
+            CostRow {
+                work_units: work_units
+                    .ok_or_else(|| format!("{component}: row without work_units"))?,
+                ns_per_unit: ns_per_unit
+                    .ok_or_else(|| format!("{component}: row without ns_per_unit"))?,
+            },
+        );
+    }
+    if rows.is_empty() {
+        return Err("cost model holds no component rows".into());
+    }
+    Ok(rows)
+}
+
+/// Compares two cost models: work units exactly (the deterministic
+/// plane must not drift at all), `ns_per_unit` within tolerance,
+/// `host_ns` skipped.
+fn diff_cost_model(baseline: &str, candidate: &str, tol: f64) -> Result<Vec<String>, String> {
+    let b = parse_cost_model(baseline)?;
+    let c = parse_cost_model(candidate)?;
+    let mut regressions = Vec::new();
+    for (component, bv) in &b {
+        let Some(cv) = c.get(component) else {
+            regressions.push(format!("{component}: missing from candidate"));
+            continue;
+        };
+        if bv.work_units != cv.work_units {
+            // Work units are simulation state: exact, tolerance-free.
+            regressions.push(format!(
+                "{component} work_units: {} -> {} (work plane must match exactly)",
+                bv.work_units, cv.work_units
+            ));
+        }
+        check_value(
+            &mut regressions,
+            &format!("{component} ns_per_unit"),
+            bv.ns_per_unit,
+            cv.ns_per_unit,
+            tol,
+        );
+    }
+    for component in c.keys() {
+        if !b.contains_key(component) {
+            regressions.push(format!("{component}: absent from baseline"));
+        }
+    }
+    Ok(regressions)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -497,5 +621,72 @@ mod tests {
         let (result, _) = run_diff(TELEMETRY, TRAJECTORY, &[]);
         let err = result.expect_err("kinds differ").0;
         assert!(err.contains("cannot compare"), "got {err}");
+        let (result, _) = run_diff(COST_MODEL, TRAJECTORY, &[]);
+        let err = result.expect_err("kinds differ").0;
+        assert!(err.contains("cannot compare"), "got {err}");
+    }
+
+    const COST_MODEL: &str = "{\n  \"cost_model\": 1,\n  \"components\": [\n    \
+{\"component\":\"exec/fabric\",\"work_units\":1000,\"host_ns\":50000,\"ns_per_unit\":50.000000},\n    \
+{\"component\":\"icap/words\",\"work_units\":352,\"host_ns\":7040,\"ns_per_unit\":20.000000}\n  ]\n}\n";
+
+    #[test]
+    fn identical_cost_models_pass_even_with_different_host_time() {
+        // Same work plane, wildly different wall time but identical
+        // ratios would come from a uniformly faster machine — still a
+        // different host_ns, which must be skipped.
+        let other_host = COST_MODEL
+            .replace("\"host_ns\":50000", "\"host_ns\":99999")
+            .replace("\"host_ns\":7040", "\"host_ns\":11111");
+        let (result, out) = run_diff(COST_MODEL, &other_host, &[]);
+        assert!(result.is_ok(), "host_ns must be skipped: {result:?}");
+        assert!(out.contains("no regressions"));
+        assert!(out.contains("cost model"), "kind named in header: {out}");
+    }
+
+    #[test]
+    fn cost_model_work_unit_drift_fails_regardless_of_tolerance() {
+        // One extra ICAP word: far below any relative tolerance, but the
+        // work plane is deterministic simulation state — exact or bust.
+        let candidate = COST_MODEL.replace("\"work_units\":352", "\"work_units\":353");
+        let (result, out) = run_diff(COST_MODEL, &candidate, &["--tolerance", "0.5"]);
+        assert!(result.is_err(), "work-unit drift must fail");
+        assert!(
+            out.contains("icap/words work_units: 352 -> 353"),
+            "got {out}"
+        );
+    }
+
+    #[test]
+    fn cost_model_ns_per_unit_respects_tolerance() {
+        let candidate =
+            COST_MODEL.replace("\"ns_per_unit\":50.000000", "\"ns_per_unit\":51.000000");
+        let (result, _) = run_diff(COST_MODEL, &candidate, &[]);
+        assert!(result.is_ok(), "2% < 5% default tolerance: {result:?}");
+        let candidate =
+            COST_MODEL.replace("\"ns_per_unit\":50.000000", "\"ns_per_unit\":80.000000");
+        let (result, out) = run_diff(COST_MODEL, &candidate, &[]);
+        assert!(result.is_err(), "60% calibration drift");
+        assert!(out.contains("exec/fabric ns_per_unit"), "got {out}");
+    }
+
+    #[test]
+    fn cost_model_missing_component_is_structural() {
+        let shorter = COST_MODEL.replace(
+            ",\n    {\"component\":\"icap/words\",\"work_units\":352,\"host_ns\":7040,\"ns_per_unit\":20.000000}",
+            "",
+        );
+        let (result, out) = run_diff(COST_MODEL, &shorter, &[]);
+        assert!(result.is_err());
+        assert!(
+            out.contains("icap/words: missing from candidate"),
+            "got {out}"
+        );
+        let (result, out) = run_diff(&shorter, COST_MODEL, &[]);
+        assert!(result.is_err());
+        assert!(
+            out.contains("icap/words: absent from baseline"),
+            "got {out}"
+        );
     }
 }

@@ -397,6 +397,8 @@ impl VapresSystem {
     /// [`ApiError::Storage`] on missing file or duplicate array name.
     pub fn vapres_cf2array(&mut self, filename: &str, array: &str) -> Result<(), ApiError> {
         let (bytes, t_read) = self.cf.read(filename)?;
+        self.profile_charge_cf_bytes(bytes.len() as u64);
+        self.profile_charge_sdram_bytes(bytes.len() as u64);
         self.run_for(t_read);
         let t_stage = self.sdram.stage(array, bytes)?;
         self.run_for(t_stage);
@@ -413,6 +415,7 @@ impl VapresSystem {
     /// unconfigured.
     pub fn vapres_cf2icap(&mut self, filename: &str) -> Result<ReconfigReport, ApiError> {
         let (bytes, t_read) = self.cf.read(filename)?;
+        self.profile_charge_cf_bytes(bytes.len() as u64);
         self.run_for(t_read);
         self.write_icap_bytes(&bytes, t_read)
     }
@@ -425,6 +428,7 @@ impl VapresSystem {
     /// See [`ApiError`].
     pub fn vapres_array2icap(&mut self, array: &str) -> Result<ReconfigReport, ApiError> {
         let (bytes, t_read) = self.sdram.read(array)?;
+        self.profile_charge_sdram_bytes(bytes.len() as u64);
         self.run_for(t_read);
         self.write_icap_bytes(&bytes, t_read)
     }

@@ -73,6 +73,7 @@ pub use system::{LiveSnapshot, VapresSystem};
 
 // Re-export the identifiers applications constantly need.
 pub use vapres_bitstream::stream::ModuleUid;
+pub use vapres_sim::profile::{CostModel, Profiler};
 pub use vapres_sim::rng::SplitMix64;
 pub use vapres_sim::time::{Freq, Ps};
 pub use vapres_sim::timeseries::TimeSeries;

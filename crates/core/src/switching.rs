@@ -201,6 +201,7 @@ fn enter_step(
     label: &'static str,
 ) {
     *step = label;
+    sys.profile_charge_swap_step();
     sys.flight_note(FlightEvent::SwapStep {
         method,
         step: label,

@@ -23,6 +23,8 @@ use vapres_fabric::frame::FrameAddress;
 use vapres_sim::clock::{ClockScheduler, DomainId, Edge};
 use vapres_sim::exec::{Activity, ComponentId, ExecStats, Executor};
 use vapres_sim::flight::{FifoEdgeKind, FifoSide, FlightEvent, FlightRecorder};
+use vapres_sim::persist::intern_static;
+use vapres_sim::profile::{CostModel, Profiler, WorkId, WorkUnits, DEFAULT_RING_CAPACITY};
 use vapres_sim::stats::GapTracker;
 use vapres_sim::telemetry::Telemetry;
 use vapres_sim::time::Ps;
@@ -332,6 +334,87 @@ pub struct VapresSystem {
     /// freshly rendered payloads at every sample boundary. Host
     /// plumbing, not simulation state — never persisted.
     live: Option<LiveSink>,
+    /// The two-plane self-profiler; `None` (the default) keeps every
+    /// hook a single branch. The work plane is persisted in
+    /// checkpoints; the host plane (wall time) never is.
+    profile: Option<Box<SelfProfile>>,
+}
+
+/// The self-profiler plus its pre-resolved work ids, so hot-loop
+/// charging is an array index, not a name lookup.
+struct SelfProfile {
+    prof: Profiler,
+    /// Executor component id → (host scope name, work id), in executor
+    /// registration order.
+    comps: Vec<(&'static str, WorkId)>,
+    /// One unit per time-series sample captured.
+    sampling: WorkId,
+    /// One unit per swap methodology step entered.
+    swap_steps: WorkId,
+    /// Raised to `Icap::words_written` at harvest.
+    icap_words: WorkId,
+    /// Bytes read from CompactFlash by Table-2 API calls.
+    cf_bytes: WorkId,
+    /// Bytes staged into / read from SDRAM by Table-2 API calls.
+    sdram_bytes: WorkId,
+}
+
+impl SelfProfile {
+    /// Registers the fixed component set in deterministic order (the
+    /// executor's registration order, then the shared engines), so the
+    /// work plane's layout is a pure function of the configuration.
+    fn new(comp_kind: &[CompKind]) -> Self {
+        let mut prof = Profiler::new(DEFAULT_RING_CAPACITY);
+        let mut comps = Vec::with_capacity(comp_kind.len());
+        for kind in comp_kind {
+            let name = match kind {
+                CompKind::Fabric => intern_static("exec/fabric"),
+                CompKind::Iom(i) => intern_static(&format!("exec/iom{i}")),
+                CompKind::Prr(i) => intern_static(&format!("exec/prr{i}")),
+            };
+            let id = prof.work_mut().unit(name);
+            comps.push((name, id));
+        }
+        let sampling = prof.work_mut().unit("sample");
+        let swap_steps = prof.work_mut().unit("swap/steps");
+        let icap_words = prof.work_mut().unit("icap/words");
+        let cf_bytes = prof.work_mut().unit("cf/bytes");
+        let sdram_bytes = prof.work_mut().unit("sdram/bytes");
+        SelfProfile {
+            prof,
+            comps,
+            sampling,
+            swap_steps,
+            icap_words,
+            cf_bytes,
+            sdram_bytes,
+        }
+    }
+
+    /// Adopts a restored work plane and re-resolves every cached id
+    /// against it (the restored registry was laid out by this same
+    /// registration sequence, so ids land on the same components).
+    fn adopt_work(&mut self, work: WorkUnits) {
+        self.prof.set_work(work);
+        let SelfProfile {
+            prof,
+            comps,
+            sampling,
+            swap_steps,
+            icap_words,
+            cf_bytes,
+            sdram_bytes,
+        } = self;
+        let w = prof.work_mut();
+        for (name, id) in comps.iter_mut() {
+            *id = w.unit(name);
+        }
+        *sampling = w.unit("sample");
+        *swap_steps = w.unit("swap/steps");
+        *icap_words = w.unit("icap/words");
+        *cf_bytes = w.unit("cf/bytes");
+        *sdram_bytes = w.unit("sdram/bytes");
+    }
 }
 
 /// The live sink pair: health budgets to evaluate plus the callback.
@@ -460,6 +543,7 @@ impl VapresSystem {
             word_trace: None,
             timeseries: None,
             live: None,
+            profile: None,
             cfg,
         })
     }
@@ -517,6 +601,7 @@ impl VapresSystem {
     /// every component on every edge. See [`exec_stats`](Self::exec_stats)
     /// for how much work a run actually dispatched.
     pub fn run_for(&mut self, dur: Ps) {
+        self.profile_begin("run");
         let deadline = self.clocks.now() + dur;
         self.revalidate_activity();
         loop {
@@ -534,6 +619,7 @@ impl VapresSystem {
             }
         }
         self.sync_fabric();
+        self.profile_end();
     }
 
     /// Runs until the predicate returns true or `timeout` elapses;
@@ -544,7 +630,18 @@ impl VapresSystem {
     /// and state only changes at those points. A predicate on bare
     /// `now()` may observe time advancing in multi-cycle jumps across
     /// quiescent stretches.
-    pub fn run_until(&mut self, timeout: Ps, mut pred: impl FnMut(&VapresSystem) -> bool) -> bool {
+    pub fn run_until(&mut self, timeout: Ps, pred: impl FnMut(&VapresSystem) -> bool) -> bool {
+        self.profile_begin("run");
+        let fired = self.run_until_inner(timeout, pred);
+        self.profile_end();
+        fired
+    }
+
+    fn run_until_inner(
+        &mut self,
+        timeout: Ps,
+        mut pred: impl FnMut(&VapresSystem) -> bool,
+    ) -> bool {
         let deadline = self.clocks.now() + timeout;
         self.revalidate_activity();
         loop {
@@ -645,6 +742,7 @@ impl VapresSystem {
                 isolated_writes,
                 trace,
                 word_trace,
+                profile,
                 cfg,
                 ..
             } = self;
@@ -657,7 +755,12 @@ impl VapresSystem {
                             id: ComponentId,
                             edge: Edge|
              -> Activity {
-                match comp_kind[id.0] {
+                if let Some(p) = profile.as_deref_mut() {
+                    let (scope, unit) = p.comps[id.0];
+                    p.prof.work_mut().add(unit, 1);
+                    p.prof.begin(scope);
+                }
+                let act = match comp_kind[id.0] {
                     CompKind::Fabric => {
                         let act = tick_fabric(
                             fabric,
@@ -704,7 +807,11 @@ impl VapresSystem {
                         *comp_fabric,
                         !tracing,
                     ),
+                };
+                if let Some(p) = profile.as_deref_mut() {
+                    p.prof.end();
                 }
+                act
             };
             exec.step(clocks, deadline, &mut host)
         }
@@ -983,6 +1090,125 @@ impl VapresSystem {
         self.live = Some((policy, sink));
     }
 
+    /// Turns on the two-plane self-profiler.
+    ///
+    /// The *work plane* counts deterministic simulation effort — one
+    /// unit per component tick dispatched (`exec/fabric`, `exec/iom*`,
+    /// `exec/prr*`), per route span the fabric dispatched or folded
+    /// (`fabric/route*`), per swap step, per time-series sample, plus
+    /// ICAP words and CF/SDRAM bytes moved. It is persisted in
+    /// checkpoints and byte-identical across `--jobs` counts and
+    /// warm/cold starts, like every other observable.
+    ///
+    /// The *host plane* measures wall-clock nanoseconds per nested run
+    /// scope. Like the live sink it is host plumbing, not simulation
+    /// state: never persisted, and outside every determinism contract.
+    ///
+    /// The dense reference loop ([`set_dense`](Self::set_dense)) is not
+    /// instrumented — it exists for equivalence testing, and profiling
+    /// hooks there would only measure the mode nobody ships.
+    pub fn enable_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::new(SelfProfile::new(&self.comp_kind)));
+        }
+    }
+
+    /// The self-profiler, if [`enable_profiling`](Self::enable_profiling)
+    /// was called. Event-charged work units (dispatches, swap steps,
+    /// storage bytes) are current; state-derived ones (per-route spans,
+    /// ICAP words) appear after
+    /// [`profile_snapshot`](Self::profile_snapshot).
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profile.as_deref().map(|p| &p.prof)
+    }
+
+    /// The self-profiler, mutably — callers can open their own host
+    /// scopes around phases they drive (e.g. the CLI wraps setup).
+    pub fn profiler_mut(&mut self) -> Option<&mut Profiler> {
+        self.profile.as_deref_mut().map(|p| &mut p.prof)
+    }
+
+    /// Harvests state-derived work units into the profiler's work
+    /// plane: per-route span counts from the fabric (in channel-id
+    /// order, so registration order is deterministic) and the ICAP
+    /// word count. Idempotent, like
+    /// [`snapshot_metrics`](Self::snapshot_metrics). A no-op when
+    /// profiling is off.
+    pub fn profile_snapshot(&mut self) {
+        if self.profile.is_none() {
+            return;
+        }
+        self.sync_fabric();
+        let mut p = self.profile.take().expect("checked above");
+        let words = self.icap.words_written();
+        let w = p.prof.work_mut();
+        w.set(p.icap_words, words);
+        for id in self.fabric.active_channels() {
+            let info = self.fabric.channel_info(id).expect("listed channel");
+            let unit = w.unit(&format!("fabric/route{}", id.0));
+            w.set(unit, info.work_ops);
+        }
+        self.profile = Some(p);
+    }
+
+    /// Harvests ([`profile_snapshot`](Self::profile_snapshot)) and joins
+    /// the planes into the partition-ready cost model. `None` when
+    /// profiling was never enabled.
+    pub fn profile_cost_model(&mut self) -> Option<CostModel> {
+        self.profile_snapshot();
+        self.profile.as_deref().map(|p| p.prof.cost_model())
+    }
+
+    /// Records a `profile_dump` flight event carrying the number of
+    /// distinct host scopes, so a dumped ring shows where the
+    /// profiler's exports were taken. A single branch when either the
+    /// recorder or the profiler is off.
+    pub fn note_profile_dump(&mut self) {
+        let Some(scopes) = self.profile.as_deref().map(|p| p.prof.scope_count()) else {
+            return;
+        };
+        self.flight_note(FlightEvent::ProfileDump { scopes });
+    }
+
+    /// Opens a host scope when profiling is on (a single branch when
+    /// off).
+    pub(crate) fn profile_begin(&mut self, name: &'static str) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.prof.begin(name);
+        }
+    }
+
+    /// Closes the innermost host scope when profiling is on.
+    pub(crate) fn profile_end(&mut self) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.prof.end();
+        }
+    }
+
+    /// Charges one swap methodology step to the work plane.
+    pub(crate) fn profile_charge_swap_step(&mut self) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            let unit = p.swap_steps;
+            p.prof.work_mut().add(unit, 1);
+        }
+    }
+
+    /// Charges CompactFlash bytes read to the work plane.
+    pub(crate) fn profile_charge_cf_bytes(&mut self, n: u64) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            let unit = p.cf_bytes;
+            p.prof.work_mut().add(unit, n);
+        }
+    }
+
+    /// Charges SDRAM bytes staged or read to the work plane.
+    pub(crate) fn profile_charge_sdram_bytes(&mut self, n: u64) {
+        if let Some(p) = self.profile.as_deref_mut() {
+            let unit = p.sdram_bytes;
+            p.prof.work_mut().add(unit, n);
+        }
+    }
+
     /// Harvests the registry and folds one delta frame into the
     /// sampler, then feeds any live sink. `at` is the nominal sample
     /// boundary — the scheduler may sit short of it when the tail of
@@ -991,11 +1217,17 @@ impl VapresSystem {
         let Some(mut ts) = self.timeseries.take() else {
             return;
         };
+        if let Some(p) = self.profile.as_deref_mut() {
+            let unit = p.sampling;
+            p.prof.work_mut().add(unit, 1);
+            p.prof.begin("sample");
+        }
         self.snapshot_metrics();
         if let Some(t) = self.telemetry.as_ref() {
             ts.capture(at, t);
         }
         self.timeseries = Some(ts);
+        self.profile_end();
         self.emit_live(at);
     }
 
@@ -1537,6 +1769,18 @@ impl VapresSystem {
             None => w.put_bool(false),
         }
         self.timeseries.persist(&mut w);
+        // v3: the profiler's deterministic work plane. The host plane
+        // (wall-time scopes) is host plumbing and never persisted.
+        // State-derived units (routes, ICAP words) are not harvested
+        // here — the native counters they mirror are persisted above,
+        // and the next harvest recomputes identical values.
+        match &self.profile {
+            Some(p) => {
+                w.put_bool(true);
+                p.prof.work().persist(&mut w);
+            }
+            None => w.put_bool(false),
+        }
         w.into_bytes()
     }
 
@@ -1659,6 +1903,13 @@ impl VapresSystem {
             None
         };
         sys.timeseries = Option::<TimeSeries>::restore(r)?;
+        if r.take_bool()? {
+            sys.enable_profiling();
+            let work = WorkUnits::restore(r)?;
+            if let Some(p) = sys.profile.as_deref_mut() {
+                p.adopt_work(work);
+            }
+        }
         r.expect_end()?;
         if sys.word_trace.is_some() && sys.fabric.word_tap().is_none() {
             return Err(PersistError::Corrupt(

@@ -33,7 +33,7 @@ use vapres_core::module::ModuleLibrary;
 use vapres_core::scenario::{Scenario, ScenarioResult, ScenarioSummary, SwapMethod, SwapOutcome};
 use vapres_core::switching::{halt_and_swap, seamless_swap, BitstreamSource, SwapSpec};
 use vapres_core::system::VapresSystem;
-use vapres_core::{ApiError, ChannelId, PortRef, Ps, SplitMix64, TimeSeries};
+use vapres_core::{ApiError, ChannelId, CostModel, PortRef, Ps, SplitMix64, TimeSeries};
 use vapres_modules::{register_standard_modules, uids};
 
 /// Every Nth streamed word carries a provenance tag (enough tags for
@@ -71,10 +71,14 @@ struct PrefixKey {
     /// any seed yields the same prefix); `Some((seed, rate_bits))` when
     /// fault injection is live and the prefix is unique per seed.
     fault: Option<(u64, u64)>,
+    /// Whether the self-profiler was armed during the prefix. Its work
+    /// plane rides in the checkpoint image, so a profiled prefix cannot
+    /// serve an unprofiled scenario or vice versa.
+    profile: bool,
 }
 
 impl PrefixKey {
-    fn of(sc: &Scenario, sample_every: Option<Ps>) -> Self {
+    fn of(sc: &Scenario, sample_every: Option<Ps>, profile: bool) -> Self {
         PrefixKey {
             kr: sc.kr,
             kl: sc.kl,
@@ -84,6 +88,7 @@ impl PrefixKey {
             interval: sc.interval,
             sample_every_ps: sample_every.map_or(0, |p| p.as_ps()),
             fault: (sc.fault_rate > 0.0).then(|| (sc.seed, sc.fault_rate.to_bits())),
+            profile,
         }
     }
 }
@@ -117,10 +122,17 @@ fn scenario_library() -> ModuleLibrary {
 /// Builds the shared pre-swap prefix: fresh system, E3 deployment, the
 /// stream's first millisecond. Pure in the scenario (modulo the prefix
 /// key: scenarios with equal keys get bit-identical results).
-fn build_prefix(sc: &Scenario, sample_every: Option<Ps>) -> (VapresSystem, PrefixSetup) {
+fn build_prefix(
+    sc: &Scenario,
+    sample_every: Option<Ps>,
+    profile: bool,
+) -> (VapresSystem, PrefixSetup) {
     let mut sys = VapresSystem::new(sc.system_config(), scenario_library())
         .expect("scenario config was validated before dispatch");
     sys.enable_telemetry();
+    if profile {
+        sys.enable_profiling();
+    }
     if let Some(every) = sample_every {
         sys.enable_timeseries(every, vapres_core::TimeSeries::DEFAULT_CAPACITY);
     }
@@ -146,13 +158,28 @@ fn build_prefix(sc: &Scenario, sample_every: Option<Ps>) -> (VapresSystem, Prefi
 /// produces a full table. The scenario should have passed
 /// [`Scenario::validate`] first — an invalid *system config* panics here.
 pub fn run_scenario(sc: &Scenario) -> ScenarioResult {
-    run_warm(sc, None).0
+    run_warm(sc, None, false).0
 }
 
 /// Runs one scenario end to end without touching the prefix cache — the
 /// reference path warm-started sweeps must match byte for byte.
 pub fn run_scenario_cold(sc: &Scenario) -> ScenarioResult {
-    run_cold(sc, None).0
+    run_cold(sc, None, false).0
+}
+
+/// Runs one scenario with the self-profiler armed, returning its cost
+/// model next to the result. The cost model's work-unit plane is as
+/// deterministic as the telemetry — bit-identical across `--jobs`
+/// counts and, because restore ≡ never-stopped, across the warm
+/// (`cold = false`) and cold paths; the host-time fields are wall-clock
+/// measurements and carry no such contract.
+pub fn run_scenario_profiled(sc: &Scenario, cold: bool) -> (ScenarioResult, CostModel) {
+    let (result, _, model) = if cold {
+        run_cold(sc, None, true)
+    } else {
+        run_warm(sc, None, true)
+    };
+    (result, model.expect("profiler was armed for this run"))
 }
 
 /// Runs one scenario with the time-series sampler armed at an `every`
@@ -162,25 +189,30 @@ pub fn run_scenario_cold(sc: &Scenario) -> ScenarioResult {
 /// telemetry: bit-identical across `--jobs` counts and, because restore
 /// ≡ never-stopped, across the warm (`cold = false`) and cold paths.
 pub fn run_scenario_sampled(sc: &Scenario, every: Ps, cold: bool) -> (ScenarioResult, TimeSeries) {
-    let (result, ts) = if cold {
-        run_cold(sc, Some(every))
+    let (result, ts, _) = if cold {
+        run_cold(sc, Some(every), false)
     } else {
-        run_warm(sc, Some(every))
+        run_warm(sc, Some(every), false)
     };
     (result, ts.expect("sampler was armed for this run"))
 }
 
 /// The warm path behind the public runners: prefix-cache lookup keyed on
-/// the scenario axes plus the sample cadence, then the suffix.
-fn run_warm(sc: &Scenario, sample_every: Option<Ps>) -> (ScenarioResult, Option<TimeSeries>) {
+/// the scenario axes plus the sample cadence and profiling switch, then
+/// the suffix.
+fn run_warm(
+    sc: &Scenario,
+    sample_every: Option<Ps>,
+    profile: bool,
+) -> (ScenarioResult, Option<TimeSeries>, Option<CostModel>) {
     let slot = {
         let mut map = prefix_cache().lock().expect("prefix cache lock");
-        map.entry(PrefixKey::of(sc, sample_every))
+        map.entry(PrefixKey::of(sc, sample_every, profile))
             .or_default()
             .clone()
     };
     let entry = slot.get_or_init(|| {
-        let (mut sys, setup) = build_prefix(sc, sample_every);
+        let (mut sys, setup) = build_prefix(sc, sample_every, profile);
         PrefixEntry {
             bytes: Arc::new(sys.checkpoint()),
             setup,
@@ -192,8 +224,12 @@ fn run_warm(sc: &Scenario, sample_every: Option<Ps>) -> (ScenarioResult, Option<
 }
 
 /// The cold path behind the public runners.
-fn run_cold(sc: &Scenario, sample_every: Option<Ps>) -> (ScenarioResult, Option<TimeSeries>) {
-    let (sys, setup) = build_prefix(sc, sample_every);
+fn run_cold(
+    sc: &Scenario,
+    sample_every: Option<Ps>,
+    profile: bool,
+) -> (ScenarioResult, Option<TimeSeries>, Option<CostModel>) {
+    let (sys, setup) = build_prefix(sc, sample_every, profile);
     finish_scenario(sys, sc, setup)
 }
 
@@ -202,7 +238,7 @@ fn finish_scenario(
     mut sys: VapresSystem,
     sc: &Scenario,
     setup: PrefixSetup,
-) -> (ScenarioResult, Option<TimeSeries>) {
+) -> (ScenarioResult, Option<TimeSeries>, Option<CostModel>) {
     let (outcome, swap_failed) = match setup {
         Err(e) => (
             SwapOutcome::Failed {
@@ -273,6 +309,7 @@ fn finish_scenario(
         .expect("telemetry was enabled above")
         .clone();
     let timeseries = sys.timeseries().cloned();
+    let cost_model = sys.profile_cost_model();
     let summary = ScenarioSummary::harvest(&telemetry, outcome, drained, samples_out, sim_time_ps);
     (
         ScenarioResult {
@@ -281,6 +318,7 @@ fn finish_scenario(
             telemetry,
         },
         timeseries,
+        cost_model,
     )
 }
 
@@ -442,7 +480,10 @@ mod tests {
         }
         // Six scenarios, two kl values × three methods: the three methods
         // share one prefix per kl, so only two distinct keys exist.
-        let mut keys: Vec<PrefixKey> = scenarios.iter().map(|sc| PrefixKey::of(sc, None)).collect();
+        let mut keys: Vec<PrefixKey> = scenarios
+            .iter()
+            .map(|sc| PrefixKey::of(sc, None, false))
+            .collect();
         keys.sort();
         keys.dedup();
         assert_eq!(keys.len(), 2, "swap method must not split the prefix key");
@@ -453,16 +494,24 @@ mod tests {
     fn faulty_prefixes_are_keyed_per_seed() {
         // Fault injection draws from the seed, so faulty prefixes must not
         // be shared across seeds — but fault-free ones must ignore it.
-        let a = PrefixKey::of(&tiny(SwapMethod::Seamless, 1.0, 41), None);
-        let b = PrefixKey::of(&tiny(SwapMethod::Seamless, 1.0, 42), None);
+        let a = PrefixKey::of(&tiny(SwapMethod::Seamless, 1.0, 41), None, false);
+        let b = PrefixKey::of(&tiny(SwapMethod::Seamless, 1.0, 42), None, false);
         assert_ne!(a, b, "distinct seeds under fault share a prefix");
-        let c = PrefixKey::of(&tiny(SwapMethod::Seamless, 0.0, 41), None);
-        let d = PrefixKey::of(&tiny(SwapMethod::Halt, 0.0, 42), None);
+        let c = PrefixKey::of(&tiny(SwapMethod::Seamless, 0.0, 41), None, false);
+        let d = PrefixKey::of(&tiny(SwapMethod::Halt, 0.0, 42), None, false);
         assert_eq!(c, d, "fault-free prefixes are seed- and method-agnostic");
         // The sample cadence splits the key: a sampled prefix image holds
         // sampler frames an unsampled scenario must not inherit.
-        let e = PrefixKey::of(&tiny(SwapMethod::Seamless, 0.0, 41), Some(Ps::from_us(100)));
+        let e = PrefixKey::of(
+            &tiny(SwapMethod::Seamless, 0.0, 41),
+            Some(Ps::from_us(100)),
+            false,
+        );
         assert_ne!(c, e, "sample cadence must split the prefix key");
+        // Likewise the profiling switch: a profiled prefix image carries
+        // a work-unit slot an unprofiled scenario must not inherit.
+        let f = PrefixKey::of(&tiny(SwapMethod::Seamless, 0.0, 41), None, true);
+        assert_ne!(c, f, "profiling must split the prefix key");
     }
 
     /// Renders per-scenario sampled series the way `vapres sweep
@@ -483,6 +532,63 @@ mod tests {
             .iter()
             .map(|c| c.lock().unwrap().take().expect("every scenario sampled"))
             .collect()
+    }
+
+    /// Renders per-scenario cost models with the host fields stripped —
+    /// the deterministic work-unit plane a regression gate compares.
+    fn work_plane_jsonl(scenarios: &[Scenario], jobs: usize, cold: bool) -> String {
+        let chunks: Vec<Mutex<Option<String>>> =
+            scenarios.iter().map(|_| Mutex::new(None)).collect();
+        let results = run_sweep_with(scenarios, jobs, |sc| {
+            let (r, model) = run_scenario_profiled(sc, cold);
+            let work: String = model
+                .rows
+                .iter()
+                .map(|row| format!("{} {}\n", row.component, row.work_units))
+                .collect();
+            *chunks[sc.index].lock().unwrap() = Some(work);
+            r
+        });
+        assert_eq!(results.len(), scenarios.len());
+        chunks
+            .iter()
+            .map(|c| c.lock().unwrap().take().expect("every scenario profiled"))
+            .collect()
+    }
+
+    #[test]
+    fn profiled_work_plane_is_jobs_invariant_and_warm_cold_identical() {
+        clear_prefix_cache();
+        let grid = SweepGrid {
+            kr: vec![2],
+            kl: vec![2],
+            fifo_depth: vec![512],
+            prr_clock_mhz: vec![100],
+            swap: vec![SwapMethod::None, SwapMethod::Seamless, SwapMethod::Halt],
+            fault_rate: vec![0.0],
+            samples: vec![300],
+            interval: 50,
+            seed: 0xE3,
+        };
+        let scenarios = grid.expand();
+        let seq = work_plane_jsonl(&scenarios, 1, false);
+        let par = work_plane_jsonl(&scenarios, 4, false);
+        assert_eq!(seq, par, "work-unit plane must be jobs-invariant");
+        let cold = work_plane_jsonl(&scenarios, 1, true);
+        assert_eq!(seq, cold, "warm-start changed the work-unit plane");
+        assert!(seq.contains("exec/fabric "), "fabric dispatches counted");
+        assert!(seq.contains("fabric/route"), "route spans harvested");
+        assert!(seq.contains("swap/steps "), "swap steps charged");
+        assert!(seq.contains("icap/words "), "ICAP words harvested");
+        // The swapped scenarios did real work: their fabric dispatch
+        // count is nonzero.
+        let fabric_units: u64 = seq
+            .lines()
+            .filter(|l| l.starts_with("exec/fabric "))
+            .map(|l| l.split(' ').next_back().unwrap().parse::<u64>().unwrap())
+            .sum();
+        assert!(fabric_units > 0, "no fabric work counted:\n{seq}");
+        clear_prefix_cache();
     }
 
     #[test]

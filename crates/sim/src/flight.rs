@@ -134,6 +134,11 @@ pub enum FlightEvent {
         /// True when the replay stops at the first watchdog breach.
         until_breach: bool,
     },
+    /// The self-profiler's exports were dumped at this point in the run.
+    ProfileDump {
+        /// Distinct host-time scopes in the aggregation tree at dump time.
+        scopes: u64,
+    },
 }
 
 impl FlightEvent {
@@ -152,6 +157,7 @@ impl FlightEvent {
             FlightEvent::Checkpoint { .. } => "checkpoint",
             FlightEvent::Restore { .. } => "restore",
             FlightEvent::Replay { .. } => "replay",
+            FlightEvent::ProfileDump { .. } => "profile_dump",
         }
     }
 }
@@ -374,6 +380,10 @@ impl Persist for FlightEvent {
                 w.put_u8(11);
                 w.put_bool(until_breach);
             }
+            FlightEvent::ProfileDump { scopes } => {
+                w.put_u8(12);
+                w.put_u64(scopes);
+            }
         }
     }
 
@@ -434,6 +444,9 @@ impl Persist for FlightEvent {
             },
             11 => FlightEvent::Replay {
                 until_breach: r.take_bool()?,
+            },
+            12 => FlightEvent::ProfileDump {
+                scopes: r.take_u64()?,
             },
             t => return Err(PersistError::Corrupt(format!("flight event tag {t}"))),
         })
@@ -539,6 +552,7 @@ fn write_event_fields<W: Write>(w: &mut W, event: &FlightEvent) -> io::Result<()
             write!(w, ",\"ordinal\":{ordinal}")
         }
         FlightEvent::Replay { until_breach } => write!(w, ",\"until_breach\":{until_breach}"),
+        FlightEvent::ProfileDump { scopes } => write!(w, ",\"scopes\":{scopes}"),
     }
 }
 
@@ -637,17 +651,20 @@ mod tests {
         fr.record(Ps::from_us(1), FlightEvent::Checkpoint { ordinal: 0 });
         fr.record(Ps::from_us(2), FlightEvent::Restore { ordinal: 0 });
         fr.record(Ps::from_us(3), FlightEvent::Replay { until_breach: true });
+        fr.record(Ps::from_us(4), FlightEvent::ProfileDump { scopes: 12 });
 
         let mut buf = Vec::new();
         fr.write_jsonl(&mut buf).unwrap();
         let text = String::from_utf8(buf).unwrap();
         let lines: Vec<_> = text.lines().collect();
-        assert_eq!(lines.len(), 3);
+        assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("\"event\":\"checkpoint\""));
         assert!(lines[0].contains("\"ordinal\":0"));
         assert!(lines[1].contains("\"event\":\"restore\""));
         assert!(lines[2].contains("\"event\":\"replay\""));
         assert!(lines[2].contains("\"until_breach\":true"));
+        assert!(lines[3].contains("\"event\":\"profile_dump\""));
+        assert!(lines[3].contains("\"scopes\":12"));
 
         let mut w = Writer::new();
         fr.persist(&mut w);

@@ -31,6 +31,10 @@
 //! * [`persist`] — the deterministic snapshot codec ([`persist::Persist`],
 //!   [`persist::Writer`]/[`persist::Reader`]) behind bit-exact
 //!   checkpoint/restore of every stateful layer.
+//! * [`profile`] — the two-plane self-profiler ([`profile::Profiler`]):
+//!   deterministic per-component work units (persisted like every other
+//!   observable) plus host wall-time scopes (never persisted), joined
+//!   into a partition-ready [`profile::CostModel`].
 //!
 //! Higher layers (`vapres-stream`, `vapres-core`) pull edges from the
 //! scheduler — directly, or through the executor's activity tracking — and
@@ -60,6 +64,7 @@ pub mod event;
 pub mod exec;
 pub mod flight;
 pub mod persist;
+pub mod profile;
 pub mod rng;
 pub mod stats;
 pub mod telemetry;
@@ -73,6 +78,7 @@ pub use event::{TimerId, TimerQueue};
 pub use exec::{Activity, ComponentId, DomainStats, ExecStats, Executor, Waker};
 pub use flight::{FlightEntry, FlightEvent, FlightRecorder};
 pub use persist::{Persist, PersistError, Reader, Writer};
+pub use profile::{CostModel, CostRow, Profiler, ScopeEvent, ScopeStat, WorkId, WorkUnits};
 pub use rng::SplitMix64;
 pub use telemetry::{CounterId, GaugeId, HistogramId, Span, Telemetry};
 pub use time::{Freq, Ps};

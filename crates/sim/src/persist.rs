@@ -33,7 +33,9 @@ pub const MAGIC: [u8; 8] = *b"VAPRESCK";
 
 /// Current snapshot format version. Bump on any encoding change.
 /// v2: a time-series sampler slot follows the word trace.
-pub const FORMAT_VERSION: u32 = 2;
+/// v3: per-route work counters in the fabric encoding, and a
+/// self-profiler work-unit slot after the time-series sampler.
+pub const FORMAT_VERSION: u32 = 3;
 
 /// An error from decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -402,7 +402,24 @@ impl TimeSeries {
     /// # Errors
     ///
     /// Propagates I/O errors from `w`.
-    pub fn write_chrome_trace<W: Write>(&self, mut w: W) -> io::Result<()> {
+    pub fn write_chrome_trace<W: Write>(&self, w: W) -> io::Result<()> {
+        self.write_chrome_trace_with_events(w, std::iter::empty::<String>())
+    }
+
+    /// Like [`write_chrome_trace`](Self::write_chrome_trace), but splices
+    /// `extra` pre-serialized event objects (e.g. the self-profiler's
+    /// `"X"` duration track) into the same `"traceEvents"` array, after
+    /// the counter events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn write_chrome_trace_with_events<W, I, S>(&self, mut w: W, extra: I) -> io::Result<()>
+    where
+        W: Write,
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
         writeln!(w, "{{\"traceEvents\":[")?;
         let mut first = true;
         for (col, at, value) in self.absolute_rows() {
@@ -419,6 +436,13 @@ impl TimeSeries {
                 at.as_ps() as f64 / 1000.0,
                 json_f64(value)
             )?;
+            first = false;
+        }
+        for e in extra {
+            if !first {
+                writeln!(w, ",")?;
+            }
+            write!(w, "{}", e.as_ref())?;
             first = false;
         }
         writeln!(w)?;

@@ -255,6 +255,11 @@ struct Route {
     /// Cycles where the consumer asserted feedback-full. Accrued for
     /// every static cycle the route exists, in both engines.
     backpressure_cycles: u64,
+    /// Engine operations spent on this route: one per dispatched dense
+    /// tick, one per closed-form fold span. A deterministic measure of
+    /// per-route simulation effort (the self-profiler's work plane), not
+    /// of simulated traffic.
+    work_ops: u64,
 }
 
 impl Route {
@@ -320,6 +325,10 @@ pub struct ChannelInfo {
     /// Cycles where the consumer asserted feedback-full. Accrued the
     /// same way as `stall_cycles` (identical in both engines).
     pub backpressure_cycles: u64,
+    /// Engine operations spent advancing this route (dense ticks plus
+    /// fold spans) — deterministic per-route simulation effort, the
+    /// self-profiler's work-plane measure.
+    pub work_ops: u64,
 }
 
 /// Minimum FIFO depth for a channel with register depth `depth` (hops + 1):
@@ -854,6 +863,7 @@ impl StreamFabric {
             delivered: 0,
             stall_cycles: 0,
             backpressure_cycles: 0,
+            work_ops: 0,
         };
         let id = ChannelId(self.routes.len());
         self.routes.push(Some(route));
@@ -933,6 +943,7 @@ impl StreamFabric {
             delivered: r.delivered,
             stall_cycles: r.stall_cycles,
             backpressure_cycles: r.backpressure_cycles,
+            work_ops: r.work_ops,
         })
     }
 
@@ -1231,6 +1242,7 @@ impl StreamFabric {
             let next_del = route.pipe.front().map(|&(ic, _)| ic + depth);
             if next_del == Some(t + 1) {
                 self.folded_ops += 1;
+                route.work_ops += 1;
                 step_route_cycle(
                     route,
                     &mut self.producers,
@@ -1275,6 +1287,7 @@ impl StreamFabric {
             }
             let n = end - t;
             self.folded_ops += 1;
+            route.work_ops += 1;
             if f {
                 route.backpressure_cycles += n;
             }
@@ -1412,6 +1425,7 @@ impl StreamFabric {
                 continue;
             };
             self.dispatched_route_ticks += 1;
+            route.work_ops += 1;
             step_route_cycle(
                 route,
                 &mut self.producers,
@@ -1708,6 +1722,7 @@ impl Persist for Route {
         w.put_u64(self.delivered);
         w.put_u64(self.stall_cycles);
         w.put_u64(self.backpressure_cycles);
+        w.put_u64(self.work_ops);
     }
 
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
@@ -1736,6 +1751,7 @@ impl Persist for Route {
             delivered: r.take_u64()?,
             stall_cycles: r.take_u64()?,
             backpressure_cycles: r.take_u64()?,
+            work_ops: r.take_u64()?,
         })
     }
 }

@@ -238,7 +238,54 @@ awk -F'[,:{}"]+' '
     }' crates/bench/BENCH_fabric.json \
     || { echo "fabric batching smoke failed" >&2; exit 1; }
 
-echo "==> overhead guards (disabled instrumentation and sampling within 2% of bare)"
+echo "==> profiler smoke (vapres profile E3, cost-model work plane jobs/warmth-invariant)"
+profdir="$(mktemp -d)"
+./target/release/vapres-cli profile --samples 2000 --top 5 \
+    --flame "$profdir/flame.folded" --cost-model "$profdir/cost.json" \
+    > "$profdir/profile.txt"
+grep -q "top 5 scopes by host self time" "$profdir/profile.txt" \
+    || { echo "vapres profile missing its top-N table" >&2; exit 1; }
+grep -q "self%" "$profdir/profile.txt" \
+    || { echo "vapres profile top-N table missing its header" >&2; exit 1; }
+grep -q "run;" "$profdir/flame.folded" \
+    || { echo "collapsed flamegraph missing nested run; stacks" >&2; exit 1; }
+grep -q '"cost_model"' "$profdir/cost.json" \
+    || { echo "cost model missing its version stamp" >&2; exit 1; }
+grep -q '"component":"icap/words"' "$profdir/cost.json" \
+    || { echo "cost model missing the icap/words component" >&2; exit 1; }
+# The diff subcommand understands cost models: self-diff passes even
+# though host_ns would never reproduce, and a work-unit drift trips it.
+./target/release/vapres-cli diff "$profdir/cost.json" "$profdir/cost.json" >/dev/null \
+    || { echo "cost-model self-diff reported a regression" >&2; exit 1; }
+sed 's/"component":"icap\/words","work_units":\([0-9]*\)/"component":"icap\/words","work_units":1\1/' \
+    "$profdir/cost.json" > "$profdir/cost_drift.json"
+if ./target/release/vapres-cli diff \
+    "$profdir/cost.json" "$profdir/cost_drift.json" >/dev/null 2>&1; then
+    echo "diff missed an injected work-unit drift in the cost model" >&2
+    exit 1
+fi
+# The work-unit plane of a profiled sweep is simulation state: identical
+# across job counts and warm/cold once the machine-dependent host fields
+# (host_ns and the derived ns_per_unit) are stripped.
+profile_sweep() { # $1 = jobs, $2 = extra flags, $3 = output tag
+    ./target/release/vapres-cli sweep \
+        --kr 2 --kl 2,3 --fifo-depth 512 --swap none,seamless \
+        --samples 300 --interval 50 --seed 7 --jobs "$1" $2 \
+        --profile yes --cost-model "$profdir/model_$3.json" >/dev/null
+    sed 's/"host_ns":.*//' "$profdir/model_$3.json" > "$profdir/work_$3.txt"
+}
+profile_sweep 1 "" j1
+profile_sweep 4 "" j4
+profile_sweep 1 "--cold yes" cold
+cmp -s "$profdir/work_j1.txt" "$profdir/work_j4.txt" \
+    || { echo "sweep cost-model work plane differs between --jobs 1 and 4" >&2; exit 1; }
+cmp -s "$profdir/work_j1.txt" "$profdir/work_cold.txt" \
+    || { echo "sweep cost-model work plane differs between warm and cold" >&2; exit 1; }
+grep -q '"component":"fabric/route' "$profdir/model_j1.json" \
+    || { echo "merged sweep cost model missing per-route components" >&2; exit 1; }
+rm -rf "$profdir"
+
+echo "==> overhead guards (disabled instrumentation, sampling, profiling within 2% of bare)"
 # The disabled-telemetry and disabled-sampler paths must each stay one
 # predictable branch per site. At ~1 ns/iter the measurement is dominated
 # by code-alignment noise that swings both ways around the true value, so
@@ -246,20 +293,26 @@ echo "==> overhead guards (disabled instrumentation and sampling within 2% of ba
 # under the threshold quickly, a genuine regression shifts every run.
 min_m=""
 min_s=""
+min_p=""
 for _ in 1 2 3 4; do
     lines="$(cargo bench -q --offline -p vapres-bench --bench micro 2>/dev/null \
         | grep 'overhead:')"
     echo "$lines" | sed 's/^ */    /'
     m="$(echo "$lines" | sed -n 's/.*metrics overhead: disabled \([+-][0-9.]*\)%.*/\1/p')"
     s="$(echo "$lines" | sed -n 's/.*sampling overhead: disabled \([+-][0-9.]*\)%.*/\1/p')"
-    [ -n "$m" ] && [ -n "$s" ] || { echo "overhead lines missing from micro bench" >&2; exit 1; }
+    p="$(echo "$lines" | sed -n 's/.*profile overhead: disabled \([+-][0-9.]*\)%.*/\1/p')"
+    [ -n "$m" ] && [ -n "$s" ] && [ -n "$p" ] \
+        || { echo "overhead lines missing from micro bench" >&2; exit 1; }
     min_m="$(awk -v a="${min_m:-$m}" -v b="$m" 'BEGIN { print (a < b) ? a : b }')"
     min_s="$(awk -v a="${min_s:-$s}" -v b="$s" 'BEGIN { print (a < b) ? a : b }')"
-    if awk -v m="$min_m" -v s="$min_s" 'BEGIN { exit !(m <= 2.0 && s <= 2.0) }'; then
+    min_p="$(awk -v a="${min_p:-$p}" -v b="$p" 'BEGIN { print (a < b) ? a : b }')"
+    if awk -v m="$min_m" -v s="$min_s" -v p="$min_p" \
+        'BEGIN { exit !(m <= 2.0 && s <= 2.0 && p <= 2.0) }'; then
         break
     fi
 done
-awk -v m="$min_m" -v s="$min_s" 'BEGIN { exit !(m <= 2.0 && s <= 2.0) }' \
-    || { echo "disabled instrumentation/sampling overhead exceeds 2% of bare loop" >&2; exit 1; }
+awk -v m="$min_m" -v s="$min_s" -v p="$min_p" \
+    'BEGIN { exit !(m <= 2.0 && s <= 2.0 && p <= 2.0) }' \
+    || { echo "disabled instrumentation/sampling/profiling overhead exceeds 2% of bare loop" >&2; exit 1; }
 
 echo "==> verify OK"
