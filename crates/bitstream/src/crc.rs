@@ -6,6 +6,31 @@
 //! reflected CRC-32 (polynomial `0xEDB88320`) over the configuration data
 //! words.
 
+/// 256-entry lookup table for the reflected polynomial, built at compile
+/// time. One table step replaces the eight-iteration bit loop, which
+/// matters once whole frames are checksummed in a batch.
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
 /// Running CRC-32 over 32-bit configuration words.
 ///
 /// # Examples
@@ -44,15 +69,8 @@ impl Crc32 {
 
     /// Feeds one byte.
     pub fn update_byte(&mut self, byte: u8) {
-        let mut c = (self.state ^ u32::from(byte)) & 0xFF;
-        for _ in 0..8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-        }
-        self.state = (self.state >> 8) ^ c;
+        let idx = ((self.state ^ u32::from(byte)) & 0xFF) as usize;
+        self.state = (self.state >> 8) ^ CRC_TABLE[idx];
     }
 
     /// Feeds one 32-bit word, little-endian byte order.
@@ -62,11 +80,16 @@ impl Crc32 {
         }
     }
 
-    /// Feeds a slice of words.
+    /// Feeds a slice of words — the batch path used for whole frames.
     pub fn update_words(&mut self, words: &[u32]) {
+        let mut s = self.state;
         for &w in words {
-            self.update_word(w);
+            for b in w.to_le_bytes() {
+                let idx = ((s ^ u32::from(b)) & 0xFF) as usize;
+                s = (s >> 8) ^ CRC_TABLE[idx];
+            }
         }
+        self.state = s;
     }
 
     /// The current CRC value (final XOR applied).
@@ -111,6 +134,36 @@ mod tests {
     fn different_data_different_crc() {
         assert_ne!(crc_of_words(&[1, 2, 3]), crc_of_words(&[1, 2, 4]));
         assert_ne!(crc_of_words(&[1, 2, 3]), crc_of_words(&[3, 2, 1]));
+    }
+
+    #[test]
+    fn table_matches_bitwise_reference() {
+        // The compile-time table must reproduce the textbook bit loop for
+        // every byte value, so the batch frame path is value-identical to
+        // the original per-bit accumulator.
+        for i in 0..256u32 {
+            let mut c = i;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            assert_eq!(CRC_TABLE[i as usize], c, "table entry {i}");
+        }
+    }
+
+    #[test]
+    fn batch_words_match_per_word_updates() {
+        let words: Vec<u32> = (0u32..123).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
+        let mut batch = Crc32::new();
+        batch.update_words(&words);
+        let mut single = Crc32::new();
+        for &w in &words {
+            single.update_word(w);
+        }
+        assert_eq!(batch.value(), single.value());
     }
 
     #[test]

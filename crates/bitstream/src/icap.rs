@@ -12,7 +12,7 @@
 //!   the PRR contents are undefined, never half-old/half-new;
 //! * writes are timed at the calibrated polled-driver rate.
 
-use crate::stream::{self, ModuleUid, ParseError, ParsedBitstream};
+use crate::stream::{self, LeWords, ModuleUid, ParseError, ParsedBitstream, WordSource};
 use crate::timing;
 use std::collections::BTreeMap;
 use vapres_fabric::frame::FrameAddress;
@@ -42,6 +42,14 @@ impl ConfigMemory {
     /// Number of distinct frames written.
     pub fn written_frames(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Iterates every written frame as `(encoded FAR, words)`, in frame-
+    /// address order.
+    pub fn frames(&self) -> impl Iterator<Item = (u32, &[u32])> {
+        self.frames
+            .iter()
+            .map(|(far, words)| (*far, words.as_slice()))
     }
 
     fn write_frame(&mut self, far: FrameAddress, words: Vec<u32>) {
@@ -87,6 +95,7 @@ impl Persist for Icap {
         w.put_u64(self.writes);
         w.put_u64(self.failed_writes);
         w.put_u64(self.words_written);
+        w.put_u64(self.words_pushed);
     }
 
     fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
@@ -95,6 +104,7 @@ impl Persist for Icap {
             writes: r.take_u64()?,
             failed_writes: r.take_u64()?,
             words_written: r.take_u64()?,
+            words_pushed: r.take_u64()?,
         })
     }
 }
@@ -136,6 +146,7 @@ pub struct Icap {
     writes: u64,
     failed_writes: u64,
     words_written: u64,
+    words_pushed: u64,
 }
 
 impl Icap {
@@ -157,8 +168,34 @@ impl Icap {
     /// Any [`ParseError`]: missing sync, truncation, malformed packets,
     /// CRC mismatch, wrong IDCODE, missing desync.
     pub fn write_stream(&mut self, words: &[u32]) -> Result<IcapWrite, ParseError> {
+        self.write_source(words)
+    }
+
+    /// [`Icap::write_stream`] over a raw little-endian byte buffer —
+    /// the zero-copy entry point: words are decoded on the fly, never
+    /// collected into an intermediate vector.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::Truncated`] if the length is not a multiple of 4,
+    /// plus everything [`Icap::write_stream`] can return.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> Result<IcapWrite, ParseError> {
+        self.write_source(LeWords::new(bytes)?)
+    }
+
+    /// [`Icap::write_stream`], generic over any [`WordSource`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Icap::write_stream`].
+    pub fn write_source<S: WordSource>(&mut self, src: S) -> Result<IcapWrite, ParseError> {
         self.writes += 1;
-        match stream::parse(words) {
+        let n = src.word_len() as u64;
+        // The polled driver clocks every word into the port before the
+        // configuration logic can reject the stream, so pushed words
+        // count whether or not the write validates.
+        self.words_pushed += n;
+        match stream::parse_source(&src) {
             Ok(parsed) => {
                 if parsed.idcode != stream::IDCODE_XC4VLX25 {
                     self.failed_writes += 1;
@@ -167,7 +204,7 @@ impl Icap {
                         device: stream::IDCODE_XC4VLX25,
                     });
                 }
-                self.words_written += words.len() as u64;
+                self.words_written += n;
                 let mut written = Vec::with_capacity(parsed.frames.len());
                 for (far, data) in parsed.frames {
                     self.memory.write_frame(far, data);
@@ -176,7 +213,7 @@ impl Icap {
                 Ok(IcapWrite {
                     uid: parsed.uid,
                     frames_written: written,
-                    duration: timing::icap_write_time(words.len() as u64),
+                    duration: timing::icap_write_time(n),
                 })
             }
             Err(e) => {
@@ -185,7 +222,7 @@ impl Icap {
                 // the failure: parse leniently for FAR/Type2 structure and
                 // zero whatever we can attribute. A truncated/corrupt
                 // stream may still have clocked frames in.
-                for far in touched_frames(words) {
+                for far in touched_frames(&src) {
                     self.memory.zero_frame(far);
                 }
                 Err(e)
@@ -227,11 +264,18 @@ impl Icap {
     /// total time (readback + rewriting only the bad frames).
     pub fn scrub(&mut self, golden: &ParsedBitstream) -> (Vec<FrameAddress>, Ps) {
         let (bad, read_time) = self.verify(golden);
+        // Index the golden image once: O(bad + frames) instead of a linear
+        // scan of the whole image per bad frame.
+        let golden_by_far: BTreeMap<u32, &Vec<u32>> = golden
+            .frames
+            .iter()
+            .map(|(far, data)| (far.encode(), data))
+            .collect();
         let mut rewrite_words = 0u64;
         for far in &bad {
-            if let Some((_, data)) = golden.frames.iter().find(|(f, _)| f == far) {
+            if let Some(data) = golden_by_far.get(&far.encode()) {
                 rewrite_words += data.len() as u64;
-                self.memory.write_frame(*far, data.clone());
+                self.memory.write_frame(*far, (*data).clone());
             }
         }
         (bad, read_time + timing::icap_write_time(rewrite_words))
@@ -251,29 +295,35 @@ impl Icap {
     pub fn words_written(&self) -> u64 {
         self.words_written
     }
+
+    /// Total configuration words clocked into the port across *all*
+    /// write attempts, failed ones included — the quantity the polled
+    /// driver actually spent cycles on.
+    pub fn words_pushed(&self) -> u64 {
+        self.words_pushed
+    }
 }
 
 /// Lenient scan for the frames a (possibly corrupt) stream addresses:
 /// every decodable FAR write starts a run whose length is bounded by the
 /// following FDRI payload.
-fn touched_frames(words: &[u32]) -> Vec<FrameAddress> {
+fn touched_frames<S: WordSource + ?Sized>(src: &S) -> Vec<FrameAddress> {
     use crate::packet::{self, ConfigReg, Packet};
+    let n = src.word_len();
     let mut out = Vec::new();
     let mut i = 0;
     let mut current: Option<FrameAddress> = None;
-    while i < words.len() {
-        match packet::decode(words[i]) {
+    while i < n {
+        match packet::decode(src.word_at(i)) {
             Some(Packet::Type1Write { reg, word_count }) => {
-                let end = (i + 1 + word_count as usize).min(words.len());
-                if reg == ConfigReg::Far {
-                    if let Some(&raw) = words.get(i + 1) {
-                        current = FrameAddress::decode(raw);
-                    }
+                let end = (i + 1 + word_count as usize).min(n);
+                if reg == ConfigReg::Far && i + 1 < n {
+                    current = FrameAddress::decode(src.word_at(i + 1));
                 }
                 i = end;
             }
             Some(Packet::Type2Write { word_count }) => {
-                let avail = words.len().saturating_sub(i + 1);
+                let avail = n.saturating_sub(i + 1);
                 let payload = (word_count as usize).min(avail);
                 if let Some(mut far) = current {
                     for _ in 0..payload / 41 {
@@ -342,7 +392,7 @@ mod tests {
         assert_eq!(icap.failed_write_count(), 1);
         assert_eq!(icap.words_written(), 0, "failed writes accept no words");
         // Every frame the stream addressed reads as zeros now.
-        let some_far = touched_frames(&words)[0];
+        let some_far = touched_frames(words.as_slice())[0];
         assert_eq!(icap.memory().frame(some_far).unwrap(), &[0u32; 41]);
     }
 
@@ -382,6 +432,63 @@ mod tests {
         assert!(t > Ps::new(0));
         let (bad, _) = icap.verify(&golden);
         assert!(bad.is_empty(), "scrub must restore the configuration");
+    }
+
+    #[test]
+    fn write_bytes_matches_write_stream() {
+        let bs = proto_bitstream(0x44);
+        let mut by_words = Icap::new();
+        let a = by_words.write_stream(bs.words()).unwrap();
+        let mut by_bytes = Icap::new();
+        let b = by_bytes.write_bytes(&bs.to_bytes()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            by_words.memory().written_frames(),
+            by_bytes.memory().written_frames()
+        );
+        for far in &a.frames_written {
+            assert_eq!(by_words.memory().frame(*far), by_bytes.memory().frame(*far));
+        }
+    }
+
+    #[test]
+    fn words_pushed_counts_failed_attempts_too() {
+        let mut icap = Icap::new();
+        let bs = proto_bitstream(3);
+        let total = bs.words().len() as u64;
+        icap.write_stream(bs.words()).unwrap();
+        assert_eq!(icap.words_pushed(), total);
+        // A corrupt stream is fully clocked in before the CRC rejects it.
+        let mut words = bs.words().to_vec();
+        let mid = words.len() / 2;
+        words[mid] ^= 1;
+        icap.write_stream(&words).unwrap_err();
+        assert_eq!(icap.words_pushed(), 2 * total);
+        assert_eq!(icap.words_written(), total, "accepted words unchanged");
+    }
+
+    #[test]
+    fn scrub_many_frames_charges_only_bad_words() {
+        let mut icap = Icap::new();
+        let bs = proto_bitstream(6);
+        let write = icap.write_stream(bs.words()).unwrap();
+        let golden = crate::stream::parse(bs.words()).unwrap();
+        // Upset a large, scattered set of frames — the O(bad x frames)
+        // scan this replaced would walk the image 73 times here.
+        let upset: Vec<FrameAddress> = write.frames_written.iter().step_by(3).copied().collect();
+        for (k, far) in upset.iter().enumerate() {
+            assert!(icap
+                .memory_mut()
+                .inject_upset(*far, k % 41, (k % 32) as u32));
+        }
+        let (_, read_time) = icap.verify(&golden);
+        let (repaired, t) = icap.scrub(&golden);
+        assert_eq!(repaired.len(), upset.len());
+        // Repair time = full readback + rewriting ONLY the bad frames.
+        let bad_words = repaired.len() as u64 * 41;
+        assert_eq!(t, read_time + timing::icap_write_time(bad_words));
+        let (bad, _) = icap.verify(&golden);
+        assert!(bad.is_empty());
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //!   writes, destructive failure semantics, calibrated write timing;
 //! * [`storage`] — CompactFlash (slow file reads) and SDRAM (fast staged
 //!   arrays), the two bitstream sources the paper compares;
+//! * [`cache`] — the LRU staged-bitstream cache (frame dedup + RLE) that
+//!   turns a repeat swap into an ICAP-write-only operation;
 //! * [`timing`] — the three calibrated constants that reproduce the
 //!   paper's 1.043 s / 71.94 ms / 95.3 %-4.7 % measurements, with their
 //!   derivations.
@@ -47,6 +49,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod cache;
 pub mod crc;
 pub mod icap;
 pub mod packet;
@@ -54,6 +57,7 @@ pub mod storage;
 pub mod stream;
 pub mod timing;
 
+pub use cache::{BitstreamCache, CacheHit, CacheStats, CompressedStream};
 pub use icap::{ConfigMemory, Icap, IcapWrite};
 pub use storage::{CompactFlash, Sdram, StorageError};
-pub use stream::{ModuleUid, ParseError, ParsedBitstream, PartialBitstream};
+pub use stream::{LeWords, ModuleUid, ParseError, ParsedBitstream, PartialBitstream, WordSource};

@@ -9,6 +9,7 @@
 use crate::timing;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 use vapres_sim::persist::{Persist, PersistError, Reader, Writer};
 use vapres_sim::time::Ps;
 
@@ -34,7 +35,9 @@ impl std::error::Error for StorageError {}
 
 /// A CompactFlash card holding named bitstream files.
 ///
-/// Reads are charged at the calibrated
+/// Files are `Arc<[u8]>`-backed: a read hands back a reference-counted
+/// view of the stored bytes, so the `CompactFlash → Sdram → Icap` path
+/// never re-materializes the buffer. Reads are charged at the calibrated
 /// [`timing::CF_READ_BYTES_PER_SEC`] rate.
 ///
 /// # Examples
@@ -51,7 +54,7 @@ impl std::error::Error for StorageError {}
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct CompactFlash {
-    files: BTreeMap<String, Vec<u8>>,
+    files: BTreeMap<String, Arc<[u8]>>,
 }
 
 impl CompactFlash {
@@ -61,21 +64,22 @@ impl CompactFlash {
     }
 
     /// Writes (or replaces) a file. Host-side provisioning: free.
-    pub fn store(&mut self, name: impl Into<String>, data: Vec<u8>) {
-        self.files.insert(name.into(), data);
+    pub fn store(&mut self, name: impl Into<String>, data: impl Into<Arc<[u8]>>) {
+        self.files.insert(name.into(), data.into());
     }
 
-    /// Reads a whole file, returning its contents and the transfer time.
+    /// Reads a whole file, returning a shared view of its contents and
+    /// the transfer time. The clone is a refcount bump, not a copy.
     ///
     /// # Errors
     ///
     /// [`StorageError::NotFound`] if the file does not exist.
-    pub fn read(&self, name: &str) -> Result<(Vec<u8>, Ps), StorageError> {
+    pub fn read(&self, name: &str) -> Result<(Arc<[u8]>, Ps), StorageError> {
         let data = self
             .files
             .get(name)
             .ok_or_else(|| StorageError::NotFound(name.to_string()))?;
-        Ok((data.clone(), timing::cf_read_time(data.len() as u64)))
+        Ok((Arc::clone(data), timing::cf_read_time(data.len() as u64)))
     }
 
     /// Size of a file without reading it (directory metadata access).
@@ -110,12 +114,13 @@ impl Persist for CompactFlash {
 
 /// External SDRAM holding named bitstream arrays.
 ///
-/// Reads are charged at the calibrated
-/// [`timing::SDRAM_COPY_BYTES_PER_SEC`] rate; writes (staging at startup)
-/// are charged the same way.
+/// Arrays share storage with whatever staged them (`Arc<[u8]>`): staging
+/// a buffer read off CompactFlash aliases the same allocation. Reads are
+/// charged at the calibrated [`timing::SDRAM_COPY_BYTES_PER_SEC`] rate;
+/// writes (staging at startup) are charged the same way.
 #[derive(Debug, Clone, Default)]
 pub struct Sdram {
-    arrays: BTreeMap<String, Vec<u8>>,
+    arrays: BTreeMap<String, Arc<[u8]>>,
 }
 
 impl Sdram {
@@ -130,27 +135,33 @@ impl Sdram {
     ///
     /// [`StorageError::AlreadyExists`] if the name is taken — re-staging is
     /// almost always an application bug.
-    pub fn stage(&mut self, name: impl Into<String>, data: Vec<u8>) -> Result<Ps, StorageError> {
+    pub fn stage(
+        &mut self,
+        name: impl Into<String>,
+        data: impl Into<Arc<[u8]>>,
+    ) -> Result<Ps, StorageError> {
         let name = name.into();
         if self.arrays.contains_key(&name) {
             return Err(StorageError::AlreadyExists(name));
         }
+        let data = data.into();
         let t = timing::sdram_copy_time(data.len() as u64);
         self.arrays.insert(name, data);
         Ok(t)
     }
 
-    /// Reads a staged array, returning contents and transfer time.
+    /// Reads a staged array, returning a shared view of the contents and
+    /// the transfer time. The clone is a refcount bump, not a copy.
     ///
     /// # Errors
     ///
     /// [`StorageError::NotFound`] if the array does not exist.
-    pub fn read(&self, name: &str) -> Result<(Vec<u8>, Ps), StorageError> {
+    pub fn read(&self, name: &str) -> Result<(Arc<[u8]>, Ps), StorageError> {
         let data = self
             .arrays
             .get(name)
             .ok_or_else(|| StorageError::NotFound(name.to_string()))?;
-        Ok((data.clone(), timing::sdram_copy_time(data.len() as u64)))
+        Ok((Arc::clone(data), timing::sdram_copy_time(data.len() as u64)))
     }
 
     /// Whether an array is staged.
@@ -197,7 +208,7 @@ mod tests {
         let mut cf = CompactFlash::new();
         cf.store("a.bit", vec![1, 2, 3]);
         let (data, t) = cf.read("a.bit").unwrap();
-        assert_eq!(data, vec![1, 2, 3]);
+        assert_eq!(&data[..], &[1, 2, 3]);
         assert!(t > Ps::ZERO);
         assert_eq!(cf.file_size("a.bit").unwrap(), 3);
         assert_eq!(cf.file_names().collect::<Vec<_>>(), vec!["a.bit"]);
@@ -225,6 +236,21 @@ mod tests {
         ));
         assert!(sd.contains("a"));
         assert_eq!(sd.used_bytes(), 1);
+    }
+
+    #[test]
+    fn reads_alias_stored_bytes_without_copying() {
+        let mut cf = CompactFlash::new();
+        cf.store("x.bit", vec![7u8; 64]);
+        let (a, _) = cf.read("x.bit").unwrap();
+        let (b, _) = cf.read("x.bit").unwrap();
+        // Both reads hand back the same allocation.
+        assert!(std::ptr::eq(a.as_ptr(), b.as_ptr()));
+        // Staging the read buffer into SDRAM aliases it too.
+        let mut sd = Sdram::new();
+        sd.stage("x", Arc::clone(&a)).unwrap();
+        let (c, _) = sd.read("x").unwrap();
+        assert!(std::ptr::eq(a.as_ptr(), c.as_ptr()));
     }
 
     #[test]

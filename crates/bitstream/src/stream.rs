@@ -39,6 +39,67 @@ impl vapres_sim::persist::Persist for ModuleUid {
 /// The modelled IDCODE of the Virtex-4 LX25.
 pub const IDCODE_XC4VLX25: u32 = 0x0167_C093;
 
+/// Random-access view over a stream of configuration words.
+///
+/// The parser and the ICAP are generic over this, so byte buffers coming
+/// off storage are parsed in place — no second full `Vec<u32>` is ever
+/// materialized on the reconfiguration path.
+pub trait WordSource {
+    /// Number of words in the stream.
+    fn word_len(&self) -> usize;
+    /// The word at index `i`. Panics if `i >= word_len()`.
+    fn word_at(&self, i: usize) -> u32;
+}
+
+impl WordSource for [u32] {
+    fn word_len(&self) -> usize {
+        self.len()
+    }
+    fn word_at(&self, i: usize) -> u32 {
+        self[i]
+    }
+}
+
+impl<S: WordSource + ?Sized> WordSource for &S {
+    fn word_len(&self) -> usize {
+        (**self).word_len()
+    }
+    fn word_at(&self, i: usize) -> u32 {
+        (**self).word_at(i)
+    }
+}
+
+/// A byte buffer viewed as little-endian configuration words, decoded one
+/// word at a time via `chunks_exact`-style slicing.
+#[derive(Debug, Clone, Copy)]
+pub struct LeWords<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> LeWords<'a> {
+    /// Wraps `bytes` as a word stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseError::Truncated`] if the length is not a multiple of 4.
+    pub fn new(bytes: &'a [u8]) -> Result<Self, ParseError> {
+        if !bytes.len().is_multiple_of(4) {
+            return Err(ParseError::Truncated);
+        }
+        Ok(LeWords { bytes })
+    }
+}
+
+impl WordSource for LeWords<'_> {
+    fn word_len(&self) -> usize {
+        self.bytes.len() / 4
+    }
+    fn word_at(&self, i: usize) -> u32 {
+        let b = &self.bytes[i * 4..i * 4 + 4];
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+}
+
 /// Deterministic frame-word generator: mixes the module UID, frame index
 /// and word index (splitmix64 finalizer truncated to 32 bits).
 pub fn frame_word(uid: ModuleUid, frame_idx: u32, word_idx: u32) -> u32 {
@@ -231,14 +292,7 @@ impl PartialBitstream {
     /// multiple of 4, then parses fully (structure + CRC), recovering the
     /// module UID and target columns from the stream.
     pub fn from_bytes(bytes: &[u8]) -> Result<ParsedBitstream, ParseError> {
-        if !bytes.len().is_multiple_of(4) {
-            return Err(ParseError::Truncated);
-        }
-        let words: Vec<u32> = bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
-        parse(&words)
+        parse_source(LeWords::new(bytes)?)
     }
 }
 
@@ -262,12 +316,23 @@ pub struct ParsedBitstream {
 /// Any structural violation, CRC failure, or missing desync yields a
 /// [`ParseError`]; a stream that errors must not be applied.
 pub fn parse(words: &[u32]) -> Result<ParsedBitstream, ParseError> {
+    parse_source(words)
+}
+
+/// [`parse`], generic over any [`WordSource`] — byte buffers off storage
+/// parse in place without an intermediate word vector.
+///
+/// # Errors
+///
+/// Same contract as [`parse`].
+pub fn parse_source<S: WordSource>(src: S) -> Result<ParsedBitstream, ParseError> {
+    let n = src.word_len();
     let mut i = 0usize;
     // Skip dummy words, require sync.
-    while i < words.len() && words[i] == DUMMY_WORD {
+    while i < n && src.word_at(i) == DUMMY_WORD {
         i += 1;
     }
-    if i >= words.len() || words[i] != SYNC_WORD {
+    if i >= n || src.word_at(i) != SYNC_WORD {
         return Err(ParseError::MissingSync);
     }
     i += 1;
@@ -279,8 +344,8 @@ pub fn parse(words: &[u32]) -> Result<ParsedBitstream, ParseError> {
     let mut desynced = false;
     let mut crc_checked = false;
 
-    while i < words.len() {
-        let w = words[i];
+    while i < n {
+        let w = src.word_at(i);
         if w == DUMMY_WORD {
             i += 1;
             continue;
@@ -290,20 +355,21 @@ pub fn parse(words: &[u32]) -> Result<ParsedBitstream, ParseError> {
         match pkt {
             Packet::Noop => {}
             Packet::Type1Write { reg, word_count } => {
+                let start = i;
                 let end = i + word_count as usize;
-                if end > words.len() {
+                if end > n {
                     return Err(ParseError::Truncated);
                 }
-                let payload = &words[i..end];
                 i = end;
+                let first = (word_count > 0).then(|| src.word_at(start));
                 match reg {
                     ConfigReg::Cmd => {
-                        let cmd = payload.first().and_then(|&c| Command::decode(c)).ok_or(
-                            ParseError::BadPacket {
+                        let cmd = first
+                            .and_then(Command::decode)
+                            .ok_or(ParseError::BadPacket {
                                 offset: i - 1,
-                                word: *payload.first().unwrap_or(&0),
-                            },
-                        )?;
+                                word: first.unwrap_or(0),
+                            })?;
                         match cmd {
                             Command::Rcrc => crc.reset(),
                             Command::Desync => {
@@ -313,12 +379,12 @@ pub fn parse(words: &[u32]) -> Result<ParsedBitstream, ParseError> {
                         }
                     }
                     ConfigReg::Idcode => {
-                        let id = *payload.first().ok_or(ParseError::Truncated)?;
+                        let id = first.ok_or(ParseError::Truncated)?;
                         crc.update_word(id);
                         idcode = Some(id);
                     }
                     ConfigReg::Far => {
-                        let raw = *payload.first().ok_or(ParseError::Truncated)?;
+                        let raw = first.ok_or(ParseError::Truncated)?;
                         crc.update_word(raw);
                         current_far = Some(
                             FrameAddress::decode(raw).ok_or(ParseError::BadFrameAddress(raw))?,
@@ -327,12 +393,19 @@ pub fn parse(words: &[u32]) -> Result<ParsedBitstream, ParseError> {
                     ConfigReg::Fdri => {
                         // Zero-length header announcing a type-2 payload;
                         // inline type-1 FDRI payloads are also accepted.
-                        if !payload.is_empty() {
-                            consume_frames(payload, &mut current_far, &mut frames, &mut crc)?;
+                        if word_count > 0 {
+                            consume_frames(
+                                &src,
+                                start,
+                                end,
+                                &mut current_far,
+                                &mut frames,
+                                &mut crc,
+                            )?;
                         }
                     }
                     ConfigReg::Crc => {
-                        let expected = *payload.first().ok_or(ParseError::Truncated)?;
+                        let expected = first.ok_or(ParseError::Truncated)?;
                         let computed = crc.value();
                         if expected != computed {
                             return Err(ParseError::CrcMismatch { expected, computed });
@@ -343,10 +416,10 @@ pub fn parse(words: &[u32]) -> Result<ParsedBitstream, ParseError> {
             }
             Packet::Type2Write { word_count } => {
                 let end = i + word_count as usize;
-                if end > words.len() {
+                if end > n {
                     return Err(ParseError::Truncated);
                 }
-                consume_frames(&words[i..end], &mut current_far, &mut frames, &mut crc)?;
+                consume_frames(&src, i, end, &mut current_far, &mut frames, &mut crc)?;
                 i = end;
             }
         }
@@ -376,22 +449,31 @@ pub fn parse(words: &[u32]) -> Result<ParsedBitstream, ParseError> {
     })
 }
 
-/// Splits an FDRI payload into frames, auto-incrementing the minor address
-/// the way the configuration logic does.
-fn consume_frames(
-    payload: &[u32],
+/// Splits an FDRI payload (the word range `start..end` of `src`) into
+/// frames, auto-incrementing the minor address the way the configuration
+/// logic does. The CRC is fed whole frames at a time — the batch path.
+fn consume_frames<S: WordSource + ?Sized>(
+    src: &S,
+    start: usize,
+    end: usize,
     current_far: &mut Option<FrameAddress>,
     frames: &mut Vec<(FrameAddress, Vec<u32>)>,
     crc: &mut Crc32,
 ) -> Result<(), ParseError> {
-    if !payload.len().is_multiple_of(FRAME_WORDS as usize) {
+    if !(end - start).is_multiple_of(FRAME_WORDS as usize) {
         return Err(ParseError::Truncated);
     }
     let mut far = current_far.ok_or(ParseError::BadFrameAddress(0))?;
-    for chunk in payload.chunks_exact(FRAME_WORDS as usize) {
-        crc.update_words(chunk);
-        frames.push((far, chunk.to_vec()));
+    let mut pos = start;
+    while pos < end {
+        let mut frame = Vec::with_capacity(FRAME_WORDS as usize);
+        for k in 0..FRAME_WORDS as usize {
+            frame.push(src.word_at(pos + k));
+        }
+        crc.update_words(&frame);
+        frames.push((far, frame));
         far.minor += 1;
+        pos += FRAME_WORDS as usize;
     }
     *current_far = Some(far);
     Ok(())

@@ -323,6 +323,41 @@ fn cmd_report_metrics(path: &str, out: &mut dyn Write) -> Result<(), CmdError> {
         writeln!(out, "executor tick-redux factor: {redux:.1}x")?;
     }
 
+    // Staged-bitstream cache digest (present only when the run armed the
+    // cache): the hit rate and the measured frame-dedup + RLE compression
+    // ratio of the resident streams.
+    let counter = |want: &str| {
+        records.iter().find_map(|r| match r {
+            Record::Counter { name, value, .. } if name == want => Some(*value),
+            _ => None,
+        })
+    };
+    let gauge = |want: &str| {
+        records.iter().find_map(|r| match r {
+            Record::Gauge { name, value, .. } if name == want => Some(*value),
+            _ => None,
+        })
+    };
+    if let (Some(hits), Some(misses)) = (
+        counter("bitstream_cache_hits_total"),
+        counter("bitstream_cache_misses_total"),
+    ) {
+        let saved = counter("bitstream_cache_bytes_saved_total").unwrap_or(0);
+        let rate = hits as f64 / (hits + misses).max(1) as f64;
+        writeln!(
+            out,
+            "bitstream cache: {hits} hits / {misses} misses ({:.0}% hit rate), \
+             {saved} storage-transfer bytes skipped",
+            100.0 * rate
+        )?;
+        if let Some(ratio) = gauge("bitstream_cache_compression_ratio") {
+            writeln!(
+                out,
+                "bitstream compression (frame dedup + RLE): {ratio:.2}x over resident streams"
+            )?;
+        }
+    }
+
     // Latency distributions: p50/p95/p99 bucket upper bounds for every
     // histogram in the snapshot (ICAP write bursts, word end-to-end
     // latency, per-stage cycle counts).
@@ -896,6 +931,7 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     if (args.get("flame").is_some() || args.get("cost-model").is_some()) && !profile {
         return Err(CmdError("--flame/--cost-model need --profile yes".into()));
     }
+    let bitstream_cache: usize = args.get_num("bitstream-cache", 0usize)?;
     let stages = args
         .get_or("stages", "scaler")
         .split(',')
@@ -920,6 +956,9 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     }
     if profile {
         sys.enable_profiling();
+    }
+    if bitstream_cache > 0 {
+        sys.enable_bitstream_cache(bitstream_cache);
     }
     if flight_path.is_some() {
         sys.enable_flight_recorder(vapres_sim::flight::DEFAULT_CAPACITY);
@@ -1083,6 +1122,19 @@ pub fn cmd_sim(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
     }
     if let Some(gap) = sys.iom_gap(0).max_gap() {
         writeln!(out, "max gap    : {gap}")?;
+    }
+    if let Some(cache) = sys.bitstream_cache() {
+        let s = cache.stats();
+        writeln!(
+            out,
+            "bs cache   : {} hits, {} misses, {} evictions; {} transfer bytes skipped; \
+             frame dedup + RLE {:.2}x",
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.bytes_saved,
+            s.compression_ratio()
+        )?;
     }
 
     if trace_words > 0 {
@@ -1512,6 +1564,7 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         },
         fault_rate: axis(args, "fault-rate", base.fault_rate)?,
         samples: axis(args, "samples", base.samples)?,
+        bitstream_cache: axis(args, "bitstream-cache", base.bitstream_cache)?,
         interval: args.get_num("interval", base.interval)?,
         seed: args.get_num("seed", base.seed)?,
     };
@@ -1657,6 +1710,17 @@ pub fn cmd_sweep(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         }
         if !s.drained {
             writeln!(out, "    WARNING: input did not fully drain")?;
+        }
+        if let (Some(c), Some(w)) = (s.repeat_swap_cold_ps, s.repeat_swap_warm_ps) {
+            writeln!(
+                out,
+                "    repeat swap: cold {} -> cached {} ({:.1}x, {} hits, {} bytes skipped)",
+                Ps::new(c),
+                Ps::new(w),
+                c as f64 / w.max(1) as f64,
+                s.cache_hits,
+                s.cache_bytes_saved
+            )?;
         }
     }
 
@@ -1825,7 +1889,9 @@ fn write_sweep_trajectory(
             "    {{\"index\":{},\"label\":\"{}\",\"outcome\":\"{outcome}\",\
              \"swap_total_ps\":{swap_total_ps},\"p50_e2e_ps\":{},\"p95_e2e_ps\":{},\
              \"p99_e2e_ps\":{},\"missed_slots\":{},\"excess_gap_ps\":{},\
-             \"max_stall_ratio\":{:.6},\"samples_out\":{},\"sim_time_ps\":{}}}",
+             \"max_stall_ratio\":{:.6},\"samples_out\":{},\"sim_time_ps\":{},\
+             \"cache_hits\":{},\"cache_bytes_saved\":{},\
+             \"repeat_swap_cold_ps\":{},\"repeat_swap_warm_ps\":{}}}",
             r.scenario.index,
             r.scenario.label(),
             opt(s.p50_e2e_ps),
@@ -1836,6 +1902,10 @@ fn write_sweep_trajectory(
             s.max_stall_ratio,
             s.samples_out,
             s.sim_time_ps,
+            s.cache_hits,
+            s.cache_bytes_saved,
+            opt(s.repeat_swap_cold_ps),
+            opt(s.repeat_swap_warm_ps),
         )?;
         writeln!(out, "{}", if i + 1 < results.len() { "," } else { "" })?;
     }
@@ -1902,6 +1972,7 @@ fn known_flags(subcommand: &str) -> Option<&'static [&'static str]> {
             "profile",
             "flame",
             "cost-model",
+            "bitstream-cache",
         ],
         "replay" => &["until-breach"],
         "health" => &["halt", "samples", "interval", "flight-dump", "jsonl"],
@@ -1933,6 +2004,7 @@ fn known_flags(subcommand: &str) -> Option<&'static [&'static str]> {
             "live-port",
             "profile",
             "cost-model",
+            "bitstream-cache",
         ],
         "diff" => &["tolerance"],
         _ => return None,
@@ -1988,6 +2060,7 @@ pub fn usage() -> &'static str {
      \x20                [--timeseries-trace out.json] [--timeseries-csv out.csv]\n\
      \x20                [--live-port N]   (serves /metrics /health /flight)\n\
      \x20                [--profile yes] [--flame out.folded] [--cost-model out.json]\n\
+     \x20                [--bitstream-cache N]   (staged-bitstream cache, N entries)\n\
      \x20 replay         <checkpoint.vapresck> [--until-breach yes]   (exit 1 on breach)\n\
      \x20 health         [--halt yes] [--samples N] [--interval CYCLES]\n\
      \x20                [--flight-dump out.jsonl] [--jsonl yes]   (exit 1 on breach)\n\
@@ -2000,6 +2073,7 @@ pub fn usage() -> &'static str {
      \x20                [--seed S] [--jsonl out.jsonl] [--bench out.json] [--cold yes]\n\
      \x20                [--sample-every US] [--timeseries out.jsonl] [--live-port N]\n\
      \x20                [--profile yes] [--cost-model out.json]\n\
+     \x20                [--bitstream-cache 0,4]   (staged-cache capacity axis)\n\
      \x20 diff           <baseline> <candidate> [--tolerance 0.05]   (exit 1 on regression)\n\
      \n\
      devices: lx25 (default) | lx60 | lx100\n\
@@ -2431,6 +2505,80 @@ mod tests {
         );
         assert!(text.contains("aggregate: 2 ok, 0 failed"), "{text}");
         assert!(text.contains("merged e2e latency: n="), "{text}");
+    }
+
+    #[test]
+    fn sweep_cache_axis_reports_the_repeat_swap_win() {
+        let dir = std::env::temp_dir().join("vapres_cli_sweep_cache_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bench = dir.join("bench.json");
+        let text = run(
+            "sweep",
+            &[
+                "--kr",
+                "2",
+                "--kl",
+                "2",
+                "--fifo-depth",
+                "512",
+                "--swap",
+                "seamless",
+                "--samples",
+                "300",
+                "--interval",
+                "50",
+                "--bitstream-cache",
+                "0,4",
+                "--bench",
+                bench.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        let traj = std::fs::read_to_string(&bench).unwrap();
+        std::fs::remove_file(&bench).ok();
+        // Capacity 0 keeps the pre-cache label and reports no probe;
+        // capacity 4 gets the `_bc4` label and the repeat-swap line.
+        assert!(text.contains("sweep: 2 scenarios"), "{text}");
+        assert!(
+            text.contains("kr2kl2_f512_c100_seamless_fr0.00_n300 "),
+            "{text}"
+        );
+        assert!(
+            text.contains("kr2kl2_f512_c100_seamless_fr0.00_n300_bc4"),
+            "{text}"
+        );
+        assert!(text.contains("repeat swap: cold "), "{text}");
+        // The trajectory records the probe: the cached replay must beat
+        // the cold configuration by >= 10x.
+        let row = traj
+            .lines()
+            .find(|l| l.contains("_bc4"))
+            .expect("cached scenario row in trajectory");
+        let field = |key: &str| -> u64 {
+            let tail = row.split(&format!("\"{key}\":")).nth(1).unwrap_or_else(|| {
+                panic!("field {key} missing in {row}");
+            });
+            tail.chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .unwrap_or_else(|_| panic!("field {key} not numeric in {row}"))
+        };
+        let cold = field("repeat_swap_cold_ps");
+        let warm = field("repeat_swap_warm_ps");
+        assert!(
+            cold >= 10 * warm,
+            "repeat swap not >=10x faster: cold {cold} ps, warm {warm} ps"
+        );
+        assert!(field("cache_hits") >= 1, "{row}");
+        assert!(field("cache_bytes_saved") > 0, "{row}");
+        // The uncached row carries the fields too, as nulls/zeros.
+        let base = traj
+            .lines()
+            .find(|l| l.contains("_n300\"") && !l.contains("_bc"))
+            .expect("uncached scenario row in trajectory");
+        assert!(base.contains("\"repeat_swap_cold_ps\":null"), "{base}");
+        assert!(base.contains("\"cache_hits\":0"), "{base}");
     }
 
     #[test]

@@ -586,7 +586,7 @@ mod tests {
 
     const TRAJECTORY: &str = "{\n  \"bench\": \"sweep\",\n  \"seed\": 7,\n  \
 \"host\": {\"cpus\": 8, \"jobs\": 2, \"mode\": \"warm\", \"wall_ms\": 123},\n  \"scenarios\": [\n    \
-{\"index\":0,\"label\":\"kr2kl2_f512_c100_none_fr0.00_n300\",\"outcome\":\"not_requested\",\"swap_total_ps\":0,\"p50_e2e_ps\":500000,\"p95_e2e_ps\":750000,\"p99_e2e_ps\":1000000,\"missed_slots\":0,\"excess_gap_ps\":0,\"max_stall_ratio\":0.010000,\"samples_out\":300,\"sim_time_ps\":2000000}\n  ]\n}\n";
+{\"index\":0,\"label\":\"kr2kl2_f512_c100_none_fr0.00_n300\",\"outcome\":\"not_requested\",\"swap_total_ps\":0,\"p50_e2e_ps\":500000,\"p95_e2e_ps\":750000,\"p99_e2e_ps\":1000000,\"missed_slots\":0,\"excess_gap_ps\":0,\"max_stall_ratio\":0.010000,\"samples_out\":300,\"sim_time_ps\":2000000,\"cache_hits\":2,\"cache_bytes_saved\":72600,\"repeat_swap_cold_ps\":1043000000000,\"repeat_swap_warm_ps\":49000000000}\n  ]\n}\n";
 
     #[test]
     fn identical_trajectories_pass_even_with_different_hosts() {
@@ -602,6 +602,35 @@ mod tests {
         let (result, out) = run_diff(TRAJECTORY, &candidate, &[]);
         assert!(result.is_err(), "20% p99 regression");
         assert!(out.contains("p99_e2e_ps"), "got {out}");
+    }
+
+    #[test]
+    fn trajectory_repeat_swap_fields_are_gated() {
+        // A slower cached replay is a regression like any other numeric
+        // field: the staged cache's win must not quietly erode.
+        let candidate = TRAJECTORY.replace(
+            "\"repeat_swap_warm_ps\":49000000000",
+            "\"repeat_swap_warm_ps\":90000000000",
+        );
+        let (result, out) = run_diff(TRAJECTORY, &candidate, &[]);
+        assert!(result.is_err(), "repeat-swap slowdown must fail");
+        assert!(out.contains("repeat_swap_warm_ps"), "got {out}");
+        // Losing the probe entirely (field nulled out) is structural.
+        let candidate = TRAJECTORY.replace(
+            "\"repeat_swap_warm_ps\":49000000000",
+            "\"repeat_swap_warm_ps\":null",
+        );
+        let (result, out) = run_diff(TRAJECTORY, &candidate, &[]);
+        assert!(result.is_err(), "nulled probe must fail");
+        assert!(
+            out.contains("repeat_swap_warm_ps: missing from candidate"),
+            "got {out}"
+        );
+        // Cache counters drift past tolerance: gated too.
+        let candidate = TRAJECTORY.replace("\"cache_hits\":2", "\"cache_hits\":0");
+        let (result, out) = run_diff(TRAJECTORY, &candidate, &[]);
+        assert!(result.is_err(), "lost cache hits must fail");
+        assert!(out.contains("cache_hits"), "got {out}");
     }
 
     #[test]

@@ -101,13 +101,16 @@ pub struct Scenario {
     pub samples: u32,
     /// Fabric cycles between input samples.
     pub interval: u64,
+    /// Staged-bitstream cache capacity in entries (0 = cache off, the
+    /// byte-identical-to-uncached default).
+    pub bitstream_cache: usize,
 }
 
 impl Scenario {
     /// Compact human-readable identity, stable across runs (used as the
     /// row key in reports).
     pub fn label(&self) -> String {
-        format!(
+        let mut label = format!(
             "kr{}kl{}_f{}_c{}_{}_fr{:.2}_n{}",
             self.kr,
             self.kl,
@@ -116,7 +119,13 @@ impl Scenario {
             self.swap,
             self.fault_rate,
             self.samples
-        )
+        );
+        // Appended only when armed, so every pre-cache label (and the
+        // golden artifacts keyed on them) is unchanged.
+        if self.bitstream_cache > 0 {
+            label.push_str(&format!("_bc{}", self.bitstream_cache));
+        }
+        label
     }
 
     /// The prototype system reparameterized for this scenario: kr/kl,
@@ -188,6 +197,8 @@ pub struct SweepGrid {
     pub fault_rate: Vec<f64>,
     /// Sample counts to try.
     pub samples: Vec<u32>,
+    /// Staged-bitstream cache capacities to try (0 = cache off).
+    pub bitstream_cache: Vec<usize>,
     /// Fabric cycles between input samples (common to all scenarios).
     pub interval: u64,
     /// Base seed; per-scenario seeds derive from it via [`scenario_seed`].
@@ -208,6 +219,7 @@ impl SweepGrid {
             swap: vec![SwapMethod::Seamless, SwapMethod::Halt],
             fault_rate: vec![0.0],
             samples: vec![2_000],
+            bitstream_cache: vec![0],
             interval: 500,
             seed: 0xE3,
         }
@@ -222,6 +234,7 @@ impl SweepGrid {
             * self.swap.len()
             * self.fault_rate.len()
             * self.samples.len()
+            * self.bitstream_cache.len()
     }
 
     /// Whether any axis is empty (the grid expands to nothing).
@@ -230,9 +243,10 @@ impl SweepGrid {
     }
 
     /// Expands the cartesian product in fixed axis order (kr outermost,
-    /// then kl, FIFO depth, clock, swap, fault rate, samples innermost),
-    /// assigning indices and per-scenario seeds. The order is part of the
-    /// determinism contract: the same grid always yields the same list.
+    /// then kl, FIFO depth, clock, swap, fault rate, samples, cache
+    /// capacity innermost), assigning indices and per-scenario seeds. The
+    /// order is part of the determinism contract: the same grid always
+    /// yields the same list.
     pub fn expand(&self) -> Vec<Scenario> {
         let mut out = Vec::with_capacity(self.len());
         for &kr in &self.kr {
@@ -242,19 +256,22 @@ impl SweepGrid {
                         for &swap in &self.swap {
                             for &fault_rate in &self.fault_rate {
                                 for &samples in &self.samples {
-                                    let index = out.len();
-                                    out.push(Scenario {
-                                        index,
-                                        seed: scenario_seed(self.seed, index),
-                                        kr,
-                                        kl,
-                                        fifo_depth,
-                                        prr_clock_mhz,
-                                        swap,
-                                        fault_rate,
-                                        samples,
-                                        interval: self.interval,
-                                    });
+                                    for &bitstream_cache in &self.bitstream_cache {
+                                        let index = out.len();
+                                        out.push(Scenario {
+                                            index,
+                                            seed: scenario_seed(self.seed, index),
+                                            kr,
+                                            kl,
+                                            fifo_depth,
+                                            prr_clock_mhz,
+                                            swap,
+                                            fault_rate,
+                                            samples,
+                                            interval: self.interval,
+                                            bitstream_cache,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -314,6 +331,18 @@ pub struct ScenarioSummary {
     pub swap: SwapOutcome,
     /// Simulated time at harvest, in ps.
     pub sim_time_ps: u64,
+    /// Staged-bitstream cache hits (0 when the cache is off).
+    pub cache_hits: u64,
+    /// Storage-transfer bytes the cache short-circuited.
+    pub cache_bytes_saved: u64,
+    /// The repeat-swap probe's cold pass: simulated cost of configuring a
+    /// not-yet-cached CompactFlash bitstream. `None` when the scenario's
+    /// cache is off (no probe runs).
+    pub repeat_swap_cold_ps: Option<u64>,
+    /// The repeat-swap probe's warm pass: the same configuration replayed
+    /// from the staged cache. The cold/warm ratio is the artifact's
+    /// measured repeat-swap win.
+    pub repeat_swap_warm_ps: Option<u64>,
 }
 
 impl ScenarioSummary {
@@ -353,6 +382,12 @@ impl ScenarioSummary {
             drained,
             swap,
             sim_time_ps,
+            cache_hits: sum_counters("bitstream_cache_hits_total"),
+            cache_bytes_saved: sum_counters("bitstream_cache_bytes_saved_total"),
+            // The runner fills these after its repeat-swap probe; a
+            // harvest alone has no probe to report.
+            repeat_swap_cold_ps: None,
+            repeat_swap_warm_ps: None,
         }
     }
 }
@@ -437,6 +472,7 @@ mod tests {
             swap: vec![SwapMethod::None, SwapMethod::Seamless],
             fault_rate: vec![0.0],
             samples: vec![100],
+            bitstream_cache: vec![0],
             interval: 10,
             seed: 42,
         }
@@ -467,6 +503,27 @@ mod tests {
         assert_eq!(a[2].fifo_depth, 512, "fifo axis flips before kr");
         assert_eq!(a[4].kr, 3, "kr is the outermost axis");
         assert_eq!(a[7].kr, 3);
+    }
+
+    #[test]
+    fn cache_axis_is_innermost_and_labels_only_when_armed() {
+        let mut g = grid();
+        g.swap = vec![SwapMethod::Seamless];
+        g.bitstream_cache = vec![0, 4];
+        let a = g.expand();
+        assert_eq!(a.len(), g.len());
+        assert_eq!(a.len(), 8);
+        // Innermost axis: adjacent scenarios differ only in capacity.
+        assert_eq!(a[0].bitstream_cache, 0);
+        assert_eq!(a[1].bitstream_cache, 4);
+        assert_eq!((a[0].kr, a[0].fifo_depth), (a[1].kr, a[1].fifo_depth));
+        // Uncached labels keep the pre-cache format; armed ones get a
+        // `_bc` suffix, so the two never collide in a report.
+        assert!(!a[0].label().contains("_bc"), "{}", a[0].label());
+        assert!(a[1].label().ends_with("_bc4"), "{}", a[1].label());
+        for sc in &a {
+            sc.validate().unwrap();
+        }
     }
 
     #[test]

@@ -15,6 +15,7 @@ use crate::module::{control, HardwareModule, ModuleIo, ModuleLibrary};
 use crate::socket::{Dcr, PrSocket};
 use std::collections::VecDeque;
 use std::fmt;
+use vapres_bitstream::cache::BitstreamCache;
 use vapres_bitstream::icap::Icap;
 use vapres_bitstream::storage::{CompactFlash, Sdram};
 use vapres_bitstream::stream::ModuleUid;
@@ -338,6 +339,10 @@ pub struct VapresSystem {
     /// hook a single branch. The work plane is persisted in
     /// checkpoints; the host plane (wall time) never is.
     profile: Option<Box<SelfProfile>>,
+    /// The staged-bitstream cache; `None` (the default) keeps the
+    /// reconfiguration path byte-identical to the uncached model. Cache
+    /// state is persisted in checkpoints like every other observable.
+    pub(crate) bs_cache: Option<BitstreamCache>,
 }
 
 /// The self-profiler plus its pre-resolved work ids, so hot-loop
@@ -351,12 +356,17 @@ struct SelfProfile {
     sampling: WorkId,
     /// One unit per swap methodology step entered.
     swap_steps: WorkId,
-    /// Raised to `Icap::words_written` at harvest.
+    /// Raised to `Icap::words_pushed` at harvest — pushed counts the
+    /// driver's effort, including streams the ICAP later rejected.
     icap_words: WorkId,
     /// Bytes read from CompactFlash by Table-2 API calls.
     cf_bytes: WorkId,
     /// Bytes staged into / read from SDRAM by Table-2 API calls.
     sdram_bytes: WorkId,
+    /// Raised to the staged-bitstream cache's hit count at harvest.
+    cache_hits: WorkId,
+    /// Raised to the cache's storage bytes avoided at harvest.
+    cache_bytes_saved: WorkId,
 }
 
 impl SelfProfile {
@@ -380,6 +390,8 @@ impl SelfProfile {
         let icap_words = prof.work_mut().unit("icap/words");
         let cf_bytes = prof.work_mut().unit("cf/bytes");
         let sdram_bytes = prof.work_mut().unit("sdram/bytes");
+        let cache_hits = prof.work_mut().unit("cache/hits");
+        let cache_bytes_saved = prof.work_mut().unit("cache/bytes_saved");
         SelfProfile {
             prof,
             comps,
@@ -388,6 +400,8 @@ impl SelfProfile {
             icap_words,
             cf_bytes,
             sdram_bytes,
+            cache_hits,
+            cache_bytes_saved,
         }
     }
 
@@ -404,6 +418,8 @@ impl SelfProfile {
             icap_words,
             cf_bytes,
             sdram_bytes,
+            cache_hits,
+            cache_bytes_saved,
         } = self;
         let w = prof.work_mut();
         for (name, id) in comps.iter_mut() {
@@ -414,6 +430,8 @@ impl SelfProfile {
         *icap_words = w.unit("icap/words");
         *cf_bytes = w.unit("cf/bytes");
         *sdram_bytes = w.unit("sdram/bytes");
+        *cache_hits = w.unit("cache/hits");
+        *cache_bytes_saved = w.unit("cache/bytes_saved");
     }
 }
 
@@ -544,6 +562,7 @@ impl VapresSystem {
             timeseries: None,
             live: None,
             profile: None,
+            bs_cache: None,
             cfg,
         })
     }
@@ -564,7 +583,14 @@ impl VapresSystem {
     }
 
     /// The CompactFlash card (mutable: the host provisions files onto it).
+    ///
+    /// Hands out raw storage access, so any staged-bitstream cache is
+    /// cleared conservatively — the caller may overwrite any file, and a
+    /// stale hit must never configure an old module.
     pub fn compact_flash_mut(&mut self) -> &mut CompactFlash {
+        if let Some(cache) = self.bs_cache.as_mut() {
+            cache.clear();
+        }
         &mut self.cf
     }
 
@@ -1090,6 +1116,33 @@ impl VapresSystem {
         self.live = Some((policy, sink));
     }
 
+    /// Turns on the staged-bitstream cache: the last `capacity` distinct
+    /// (source, target-FAR) streams a reconfiguration validated are kept
+    /// frame-deduplicated and run-length compressed, so a repeat swap of
+    /// the same source skips the storage transfer entirely and pays only
+    /// RLE expansion plus the ICAP write.
+    ///
+    /// Cache state (entries, LRU stamps, statistics) is part of the
+    /// simulation: it is persisted in checkpoints and its behaviour is a
+    /// pure function of the call sequence, so cached runs stay bit-exact
+    /// across `--jobs` counts and warm/cold starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_bitstream_cache(&mut self, capacity: usize) {
+        if self.bs_cache.is_none() {
+            self.bs_cache = Some(BitstreamCache::new(capacity));
+        }
+    }
+
+    /// The staged-bitstream cache, if
+    /// [`enable_bitstream_cache`](Self::enable_bitstream_cache) was
+    /// called.
+    pub fn bitstream_cache(&self) -> Option<&BitstreamCache> {
+        self.bs_cache.as_ref()
+    }
+
     /// Turns on the two-plane self-profiler.
     ///
     /// The *work plane* counts deterministic simulation effort — one
@@ -1140,9 +1193,17 @@ impl VapresSystem {
         }
         self.sync_fabric();
         let mut p = self.profile.take().expect("checked above");
-        let words = self.icap.words_written();
+        // Pushed, not written: the polled driver clocks every word of a
+        // stream through the port before the ICAP can reject it, so the
+        // work plane attributes failed writes too.
+        let words = self.icap.words_pushed();
         let w = p.prof.work_mut();
         w.set(p.icap_words, words);
+        if let Some(cache) = self.bs_cache.as_ref() {
+            let s = cache.stats();
+            w.set(p.cache_hits, s.hits);
+            w.set(p.cache_bytes_saved, s.bytes_saved);
+        }
         for id in self.fabric.active_channels() {
             let info = self.fabric.channel_info(id).expect("listed channel");
             let unit = w.unit(&format!("fabric/route{}", id.0));
@@ -1367,6 +1428,24 @@ impl VapresSystem {
         set_counter(&mut t, c, self.icap.failed_write_count());
         let c = t.counter("icap_words_total", &[]);
         set_counter(&mut t, c, self.icap.words_written());
+
+        if let Some(cache) = self.bs_cache.as_ref() {
+            let s = cache.stats();
+            let c = t.counter("bitstream_cache_hits_total", &[]);
+            set_counter(&mut t, c, s.hits);
+            let c = t.counter("bitstream_cache_misses_total", &[]);
+            set_counter(&mut t, c, s.misses);
+            let c = t.counter("bitstream_cache_evictions_total", &[]);
+            set_counter(&mut t, c, s.evictions);
+            let c = t.counter("bitstream_cache_invalidations_total", &[]);
+            set_counter(&mut t, c, s.invalidations);
+            let c = t.counter("bitstream_cache_bytes_saved_total", &[]);
+            set_counter(&mut t, c, s.bytes_saved);
+            let g = t.gauge("bitstream_cache_entries", &[]);
+            t.set_gauge(g, cache.len() as f64);
+            let g = t.gauge("bitstream_cache_compression_ratio", &[]);
+            t.set_gauge(g, s.compression_ratio());
+        }
 
         for (i, iom) in self.ioms.iter().enumerate() {
             let labels = vec![("iom", i.to_string())];
@@ -1781,6 +1860,10 @@ impl VapresSystem {
             }
             None => w.put_bool(false),
         }
+        // v4: the staged-bitstream cache — entries, LRU stamps and
+        // statistics ride along so restored runs hit and evict exactly
+        // as a run that never stopped.
+        self.bs_cache.persist(&mut w);
         w.into_bytes()
     }
 
@@ -1910,6 +1993,7 @@ impl VapresSystem {
                 p.adopt_work(work);
             }
         }
+        sys.bs_cache = Option::<BitstreamCache>::restore(r)?;
         r.expect_end()?;
         if sys.word_trace.is_some() && sys.fabric.word_tap().is_none() {
             return Err(PersistError::Corrupt(

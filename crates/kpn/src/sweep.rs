@@ -75,6 +75,11 @@ struct PrefixKey {
     /// plane rides in the checkpoint image, so a profiled prefix cannot
     /// serve an unprofiled scenario or vice versa.
     profile: bool,
+    /// Staged-bitstream cache capacity (0 = off). The cache contents and
+    /// its hit/miss counters ride in the checkpoint image, so a cached
+    /// prefix cannot serve an uncached scenario (or one with a different
+    /// capacity) or vice versa.
+    bitstream_cache: usize,
 }
 
 impl PrefixKey {
@@ -89,6 +94,7 @@ impl PrefixKey {
             sample_every_ps: sample_every.map_or(0, |p| p.as_ps()),
             fault: (sc.fault_rate > 0.0).then(|| (sc.seed, sc.fault_rate.to_bits())),
             profile,
+            bitstream_cache: sc.bitstream_cache,
         }
     }
 }
@@ -132,6 +138,9 @@ fn build_prefix(
     sys.enable_telemetry();
     if profile {
         sys.enable_profiling();
+    }
+    if sc.bitstream_cache > 0 {
+        sys.enable_bitstream_cache(sc.bitstream_cache);
     }
     if let Some(every) = sample_every {
         sys.enable_timeseries(every, vapres_core::TimeSeries::DEFAULT_CAPACITY);
@@ -303,6 +312,28 @@ fn finish_scenario(
     };
 
     let samples_out = sys.iom_output(0).len() as u64;
+
+    // Repeat-swap probe: with the staged cache armed, configure the spare
+    // PRR from a CompactFlash file the cache has never seen (cold pass),
+    // then replay the identical configuration (warm pass, served from the
+    // cache). Both costs are pure simulated time, so the pair is as
+    // deterministic as the rest of the row; their ratio is the artifact's
+    // measured repeat-swap win. Runs after the drain so the probe never
+    // perturbs the streaming figures, and only on healthy scenarios (a
+    // failed swap may mean the staged images are corrupt).
+    let repeat_swap = if sc.bitstream_cache > 0 && !swap_failed {
+        sys.isolate_node(2)
+            .ok()
+            .and_then(|()| sys.vapres_cf2icap("fir_b_p1.bit").ok())
+            .and_then(|cold| {
+                sys.isolate_node(2).ok()?;
+                let warm = sys.vapres_cf2icap("fir_b_p1.bit").ok()?;
+                Some((cold.total().as_ps(), warm.total().as_ps()))
+            })
+    } else {
+        None
+    };
+
     let sim_time_ps = sys.now().as_ps();
     let telemetry = sys
         .snapshot_metrics()
@@ -310,7 +341,12 @@ fn finish_scenario(
         .clone();
     let timeseries = sys.timeseries().cloned();
     let cost_model = sys.profile_cost_model();
-    let summary = ScenarioSummary::harvest(&telemetry, outcome, drained, samples_out, sim_time_ps);
+    let mut summary =
+        ScenarioSummary::harvest(&telemetry, outcome, drained, samples_out, sim_time_ps);
+    if let Some((cold_ps, warm_ps)) = repeat_swap {
+        summary.repeat_swap_cold_ps = Some(cold_ps);
+        summary.repeat_swap_warm_ps = Some(warm_ps);
+    }
     (
         ScenarioResult {
             scenario: sc.clone(),
@@ -374,6 +410,7 @@ mod tests {
             fault_rate,
             samples: 400,
             interval: 50,
+            bitstream_cache: 0,
         };
         sc.validate().unwrap();
         sc
@@ -435,6 +472,7 @@ mod tests {
             swap: vec![SwapMethod::None, SwapMethod::Seamless],
             fault_rate: vec![0.0, 1.0],
             samples: vec![300],
+            bitstream_cache: vec![0],
             interval: 50,
             seed: 99,
         };
@@ -463,6 +501,7 @@ mod tests {
             swap: vec![SwapMethod::None, SwapMethod::Seamless, SwapMethod::Halt],
             fault_rate: vec![0.0],
             samples: vec![300],
+            bitstream_cache: vec![0],
             interval: 50,
             seed: 0xE3,
         };
@@ -512,6 +551,76 @@ mod tests {
         // a work-unit slot an unprofiled scenario must not inherit.
         let f = PrefixKey::of(&tiny(SwapMethod::Seamless, 0.0, 41), None, true);
         assert_ne!(c, f, "profiling must split the prefix key");
+        // And the staged-bitstream cache: its contents and counters ride
+        // in the checkpoint image, so capacity (including "off") must
+        // split the key.
+        let mut cached = tiny(SwapMethod::Seamless, 0.0, 41);
+        cached.bitstream_cache = 4;
+        let g = PrefixKey::of(&cached, None, false);
+        assert_ne!(c, g, "cache capacity must split the prefix key");
+        cached.bitstream_cache = 8;
+        let h = PrefixKey::of(&cached, None, false);
+        assert_ne!(g, h, "distinct capacities must not share a prefix");
+    }
+
+    #[test]
+    fn cached_sweep_is_jobs_invariant_warm_cold_identical_and_10x() {
+        clear_prefix_cache();
+        let grid = SweepGrid {
+            kr: vec![2],
+            kl: vec![2],
+            fifo_depth: vec![512],
+            prr_clock_mhz: vec![100],
+            swap: vec![SwapMethod::Seamless, SwapMethod::Halt],
+            fault_rate: vec![0.0],
+            samples: vec![300],
+            bitstream_cache: vec![0, 4],
+            interval: 50,
+            seed: 0xCA,
+        };
+        let scenarios = grid.expand();
+        let jsonl = |rs: &[ScenarioResult]| {
+            let mut out = Vec::new();
+            merge_telemetry(rs).write_jsonl(&mut out).unwrap();
+            String::from_utf8(out).unwrap()
+        };
+        let seq = run_sweep_with(&scenarios, 1, run_scenario);
+        let par = run_sweep_with(&scenarios, 4, run_scenario);
+        assert_eq!(
+            jsonl(&seq),
+            jsonl(&par),
+            "cached sweep must be jobs-invariant"
+        );
+        let cold = run_sweep_with(&scenarios, 1, run_scenario_cold);
+        assert_eq!(
+            jsonl(&seq),
+            jsonl(&cold),
+            "warm-start changed a cached sweep"
+        );
+        for ((a, b), c) in seq.iter().zip(&par).zip(&cold) {
+            assert_eq!(a.summary, b.summary, "scenario {}", a.scenario.index);
+            assert_eq!(a.summary, c.summary, "scenario {}", a.scenario.index);
+        }
+        for r in &seq {
+            if r.scenario.bitstream_cache == 0 {
+                assert_eq!(r.summary.cache_hits, 0);
+                assert_eq!(r.summary.repeat_swap_cold_ps, None);
+                continue;
+            }
+            // The probe replayed a CompactFlash configuration from the
+            // cache: the warm pass must beat the cold one by >= 10x (the
+            // staged cache skips the ~1 s CF read entirely).
+            let cold_ps = r.summary.repeat_swap_cold_ps.expect("probe ran");
+            let warm_ps = r.summary.repeat_swap_warm_ps.expect("probe ran");
+            assert!(
+                cold_ps >= 10 * warm_ps,
+                "repeat swap not >=10x faster: cold {cold_ps} ps, warm {warm_ps} ps ({})",
+                r.scenario.label()
+            );
+            assert!(r.summary.cache_hits >= 1, "probe hit counted");
+            assert!(r.summary.cache_bytes_saved > 0, "skipped transfer counted");
+        }
+        clear_prefix_cache();
     }
 
     /// Renders per-scenario sampled series the way `vapres sweep
@@ -567,6 +676,7 @@ mod tests {
             swap: vec![SwapMethod::None, SwapMethod::Seamless, SwapMethod::Halt],
             fault_rate: vec![0.0],
             samples: vec![300],
+            bitstream_cache: vec![0],
             interval: 50,
             seed: 0xE3,
         };
@@ -602,6 +712,7 @@ mod tests {
             swap: vec![SwapMethod::None, SwapMethod::Seamless],
             fault_rate: vec![0.0],
             samples: vec![300],
+            bitstream_cache: vec![0],
             interval: 50,
             seed: 11,
         };

@@ -139,6 +139,18 @@ pub enum FlightEvent {
         /// Distinct host-time scopes in the aggregation tree at dump time.
         scopes: u64,
     },
+    /// A bitstream was rejected by the ICAP (parse or CRC failure) after
+    /// its words had already been clocked through the write port.
+    IcapWriteFailed {
+        /// Configuration words pushed before the stream was rejected.
+        words: u64,
+    },
+    /// A reconfiguration was served from the staged-bitstream cache —
+    /// no storage transfer occurred.
+    BitstreamCacheHit {
+        /// Raw configuration words the hit replayed into the ICAP.
+        words: u64,
+    },
 }
 
 impl FlightEvent {
@@ -158,6 +170,8 @@ impl FlightEvent {
             FlightEvent::Restore { .. } => "restore",
             FlightEvent::Replay { .. } => "replay",
             FlightEvent::ProfileDump { .. } => "profile_dump",
+            FlightEvent::IcapWriteFailed { .. } => "icap_write_failed",
+            FlightEvent::BitstreamCacheHit { .. } => "bitstream_cache_hit",
         }
     }
 }
@@ -384,6 +398,14 @@ impl Persist for FlightEvent {
                 w.put_u8(12);
                 w.put_u64(scopes);
             }
+            FlightEvent::IcapWriteFailed { words } => {
+                w.put_u8(13);
+                w.put_u64(words);
+            }
+            FlightEvent::BitstreamCacheHit { words } => {
+                w.put_u8(14);
+                w.put_u64(words);
+            }
         }
     }
 
@@ -447,6 +469,12 @@ impl Persist for FlightEvent {
             },
             12 => FlightEvent::ProfileDump {
                 scopes: r.take_u64()?,
+            },
+            13 => FlightEvent::IcapWriteFailed {
+                words: r.take_u64()?,
+            },
+            14 => FlightEvent::BitstreamCacheHit {
+                words: r.take_u64()?,
             },
             t => return Err(PersistError::Corrupt(format!("flight event tag {t}"))),
         })
@@ -546,7 +574,9 @@ fn write_event_fields<W: Write>(w: &mut W, event: &FlightEvent) -> io::Result<()
             ",\"channel\":{channel},\"producer_node\":{producer_node},\"consumer_node\":{consumer_node}"
         ),
         FlightEvent::RouteReleased { channel } => write!(w, ",\"channel\":{channel}"),
-        FlightEvent::IcapWrite { words } => write!(w, ",\"words\":{words}"),
+        FlightEvent::IcapWrite { words }
+        | FlightEvent::IcapWriteFailed { words }
+        | FlightEvent::BitstreamCacheHit { words } => write!(w, ",\"words\":{words}"),
         FlightEvent::DeadlineBreach { monitor } => write!(w, ",\"monitor\":\"{monitor}\""),
         FlightEvent::Checkpoint { ordinal } | FlightEvent::Restore { ordinal } => {
             write!(w, ",\"ordinal\":{ordinal}")

@@ -35,7 +35,9 @@ pub const MAGIC: [u8; 8] = *b"VAPRESCK";
 /// v2: a time-series sampler slot follows the word trace.
 /// v3: per-route work counters in the fabric encoding, and a
 /// self-profiler work-unit slot after the time-series sampler.
-pub const FORMAT_VERSION: u32 = 3;
+/// v4: the ICAP encodes a pushed-word counter, and a staged-bitstream
+/// cache slot follows the self-profiler work units.
+pub const FORMAT_VERSION: u32 = 4;
 
 /// An error from decoding a snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -387,6 +389,17 @@ impl Persist for Freq {
             return Err(PersistError::Corrupt("zero frequency".into()));
         }
         Ok(Freq::hz(hz))
+    }
+}
+
+impl Persist for std::sync::Arc<[u8]> {
+    fn persist(&self, w: &mut Writer) {
+        // Same wire format as a `Vec<u8>`: shared storage buffers encode
+        // identically to the owned buffers they replaced.
+        w.put_bytes(self);
+    }
+    fn restore(r: &mut Reader<'_>) -> Result<Self, PersistError> {
+        Ok(r.take_bytes()?.into())
     }
 }
 

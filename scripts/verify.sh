@@ -132,6 +132,53 @@ if ./target/release/vapres-cli diff \
 fi
 rm -rf "$diffdir"
 
+echo "==> bitstream cache smoke (repeat swap >=10x, jobs/warmth-invariant, diff-gated)"
+cachedir="$(mktemp -d)"
+cache_sweep() { # $1 = jobs, $2 = output tag, $3 = extra flags
+    ./target/release/vapres-cli sweep \
+        --kr 2 --kl 2 --fifo-depth 512 --swap seamless \
+        --samples 300 --interval 50 --seed 7 --jobs "$1" $3 \
+        --bitstream-cache 0,4 --bench "$cachedir/BENCH_$2.json" \
+        > "$cachedir/report_$2.txt"
+}
+cache_sweep 1 j1 ""
+cache_sweep 4 j4 ""
+cache_sweep 1 cold "--cold yes"
+# The cached sweep obeys the same determinism contract as the uncached
+# one: byte-identical across job counts and warm/cold starts (reports
+# modulo the path-bearing "wrote" line, trajectories modulo "host").
+for t in j4 cold; do
+    cmp -s <(grep -v '^wrote ' "$cachedir/report_j1.txt") \
+           <(grep -v '^wrote ' "$cachedir/report_$t.txt") \
+        || { echo "cached sweep report differs between j1 and $t" >&2; exit 1; }
+    cmp -s <(grep -v '"host"' "$cachedir/BENCH_j1.json") \
+           <(grep -v '"host"' "$cachedir/BENCH_$t.json") \
+        || { echo "cached BENCH_sweep.json differs between j1 and $t" >&2; exit 1; }
+done
+grep -q "repeat swap: cold " "$cachedir/report_j1.txt" \
+    || { echo "cached sweep report missing the repeat-swap line" >&2; exit 1; }
+# The headline number: the cached replay of a staged bitstream must beat
+# the cold CompactFlash configuration by at least 10x.
+cold_ps="$(sed -n 's/.*"repeat_swap_cold_ps":\([0-9][0-9]*\).*/\1/p' "$cachedir/BENCH_j1.json")"
+warm_ps="$(sed -n 's/.*"repeat_swap_warm_ps":\([0-9][0-9]*\).*/\1/p' "$cachedir/BENCH_j1.json")"
+[ -n "$cold_ps" ] && [ -n "$warm_ps" ] \
+    || { echo "cached BENCH row missing repeat-swap fields" >&2; exit 1; }
+awk -v c="$cold_ps" -v w="$warm_ps" 'BEGIN { exit !(c >= 10 * w) }' \
+    || { echo "cached repeat swap not >=10x faster (cold $cold_ps ps, warm $warm_ps ps)" >&2; exit 1; }
+# vapres diff gates the new trajectory fields: an eroded cache win
+# (slower warm replay) must trip the gate.
+./target/release/vapres-cli diff \
+    "$cachedir/BENCH_j1.json" "$cachedir/BENCH_j4.json" >/dev/null \
+    || { echo "cached trajectory self-diff reported a regression" >&2; exit 1; }
+sed "s/\"repeat_swap_warm_ps\":$warm_ps/\"repeat_swap_warm_ps\":9$warm_ps/" \
+    "$cachedir/BENCH_j1.json" > "$cachedir/BENCH_eroded.json"
+if ./target/release/vapres-cli diff \
+    "$cachedir/BENCH_j1.json" "$cachedir/BENCH_eroded.json" >/dev/null 2>&1; then
+    echo "diff missed an injected repeat-swap erosion" >&2
+    exit 1
+fi
+rm -rf "$cachedir"
+
 echo "==> live endpoint probe (/metrics /health /flight over raw TCP, no curl)"
 livedir="$(mktemp -d)"
 ./target/release/vapres-cli sim --samples 8000000 --sample-every 100 \

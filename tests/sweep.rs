@@ -19,6 +19,7 @@ fn small_grid() -> SweepGrid {
         // The E3 cadence: a 10 ms stream, long enough that the swap at
         // t = 1 ms lands mid-stream and a halt visibly interrupts it.
         samples: vec![2_000],
+        bitstream_cache: vec![0],
         interval: 500,
         seed: 0xDEED,
     }
