@@ -1914,6 +1914,261 @@ fn write_sweep_trajectory(
     Ok(())
 }
 
+/// `vapres fleet`: a fleet of RSBs streaming concurrently with a
+/// rotating seamless-swap schedule, executed by the sharded engine under
+/// `--jobs N` worker threads. Every observable is byte-identical across
+/// job counts; `--cost-model` (a model written by `profile`/`sweep
+/// --profile yes`) switches the partition from round-robin to
+/// cost-balanced LPT.
+pub fn cmd_fleet(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
+    use vapres_core::Ps;
+    use vapres_kpn::FleetSpec;
+
+    let rsbs: usize = args.get_num("rsbs", 8usize)?;
+    let jobs: usize = args.get_num("jobs", 1usize)?;
+    let spec = FleetSpec {
+        rsbs,
+        samples: args.get_num("samples", 400u32)?,
+        interval: args.get_num("interval", 50u64)?,
+        swaps: args.get_num("swaps", rsbs)?,
+        seed: args.get_num("seed", 0xE3u64)?,
+        sample_every: match args.get_num("sample-every", 0u64)? {
+            0 => None,
+            us => Some(Ps::from_us(us)),
+        },
+    };
+    spec.validate().map_err(CmdError)?;
+    if args.get("timeseries").is_some() && spec.sample_every.is_none() {
+        return Err(CmdError(
+            "--timeseries needs --sample-every N (microseconds of simulated time)".into(),
+        ));
+    }
+    let model = match args.get("cost-model") {
+        None => None,
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CmdError(format!("--cost-model {path}: {e}")))?;
+            Some(
+                vapres_core::CostModel::parse_json(&text)
+                    .map_err(|e| CmdError(format!("--cost-model {path}: {e}")))?,
+            )
+        }
+    };
+
+    writeln!(
+        out,
+        "fleet: {} RSBs, {} swaps (seed {:#x})",
+        spec.rsbs, spec.swaps, spec.seed
+    )?;
+    let started = std::time::Instant::now();
+    let result = vapres_kpn::run_fleet(&spec, jobs, model.as_ref()).map_err(CmdError)?;
+    let wall_ms = started.elapsed().as_millis();
+
+    // Everything jobs-dependent lives on `partition:`/`host:` lines so
+    // invariance checks can filter them before byte-comparing reports.
+    let plan = &result.plan;
+    writeln!(
+        out,
+        "partition: mode={} jobs={} shards={}",
+        plan.mode(),
+        plan.jobs(),
+        plan.jobs()
+    )?;
+    for shard in 0..plan.jobs() {
+        let members = plan.members(shard);
+        let work: u64 = members.iter().map(|&r| result.rows[r].work_units).sum();
+        writeln!(
+            out,
+            "partition: shard {shard} <- rsbs {members:?} est_cost={} work_units={work}",
+            plan.est_cost(shard),
+        )?;
+    }
+    writeln!(
+        out,
+        "host: cpus={} wall_ms={wall_ms}",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    )?;
+
+    let pct = |p: Option<u64>| p.map_or_else(|| "-".to_string(), |v| Ps::new(v).to_string());
+    writeln!(
+        out,
+        "{:<4} {:>6} {:>8} {:>5} {:<10} {:>7} {:>6} {:>11} {:>10} {:>6}",
+        "#", "in", "interval", "swaps", "outcome", "out", "missed", "p99", "work", "health"
+    )?;
+    for r in &result.rows {
+        writeln!(
+            out,
+            "{:<4} {:>6} {:>8} {:>5} {:<10} {:>7} {:>6} {:>11} {:>10} {:>6}",
+            r.index,
+            r.samples_in,
+            r.interval,
+            r.swaps,
+            r.outcome,
+            r.samples_out,
+            r.missed_slots,
+            pct(r.p99_e2e_ps),
+            r.work_units,
+            if r.healthy { "ok" } else { "BREACH" },
+        )?;
+    }
+    let unhealthy = result.rows.iter().filter(|r| !r.healthy).count();
+    let undrained = result.rows.iter().filter(|r| !r.drained).count();
+    let total_work: u64 = result.rows.iter().map(|r| r.work_units).sum();
+    writeln!(
+        out,
+        "aggregate: {} healthy, {unhealthy} breached, {undrained} undrained; \
+         {total_work} work units; sim time {}",
+        result.rows.len() - unhealthy,
+        result.sim_time,
+    )?;
+    for row in &result.merged_work.rows {
+        writeln!(
+            out,
+            "work: {:<24} {:>12} units",
+            row.component, row.work_units
+        )?;
+    }
+
+    if let Some(path) = args.get("jsonl") {
+        let mut file = create_output(path)?;
+        result
+            .merged_telemetry
+            .write_jsonl(&mut file)
+            .and_then(|()| file.flush())
+            .map_err(|e| write_err(path, e))?;
+        writeln!(
+            out,
+            "wrote {path}: merged telemetry ({} metrics + {} spans)",
+            result.merged_telemetry.len(),
+            result.merged_telemetry.spans().len()
+        )?;
+    }
+    if let Some(path) = args.get("flight") {
+        let mut file = create_output(path)?;
+        file.write_all(result.merged_flight.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| write_err(path, e))?;
+        writeln!(
+            out,
+            "wrote {path}: merged flight JSONL ({} events)",
+            result.merged_flight.lines().count()
+        )?;
+    }
+    if let Some(path) = args.get("timeseries") {
+        let mut file = create_output(path)?;
+        file.write_all(result.timeseries.as_bytes())
+            .and_then(|()| file.flush())
+            .map_err(|e| write_err(path, e))?;
+        writeln!(out, "wrote {path}: per-RSB time-series JSONL")?;
+    }
+    if let Some(path) = args.get("bench") {
+        let mut file = create_output(path)?;
+        write_fleet_trajectory(&spec, &result, wall_ms, &mut file)?;
+        file.flush().map_err(|e| write_err(path, e))?;
+        writeln!(out, "wrote {path}: fleet trajectory")?;
+    }
+    if unhealthy > 0 {
+        return Err(CmdError(format!(
+            "{unhealthy} RSB(s) breached the health policy"
+        )));
+    }
+    Ok(())
+}
+
+/// Writes the fleet trajectory as JSON (hand-rolled, like the sweep
+/// trajectory). Deterministic everywhere except two labelled planes:
+/// the `"host"` line (CPU count, wall clock) and the `"partition"`
+/// lines (shard geometry — a pure function of `(spec, jobs, model)`
+/// but obviously jobs-dependent). Both carry their marker in the line
+/// itself so invariance checks can filter them before comparing; the
+/// per-RSB `"rsbs"` rows and merged `"work"` rows carry the byte-for-
+/// byte jobs-invariance contract.
+fn write_fleet_trajectory(
+    spec: &vapres_kpn::FleetSpec,
+    result: &vapres_kpn::FleetResult,
+    wall_ms: u128,
+    out: &mut dyn Write,
+) -> Result<(), CmdError> {
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let opt = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |v| v.to_string());
+    let plan = &result.plan;
+    writeln!(out, "{{")?;
+    writeln!(out, "  \"bench\": \"fleet\",")?;
+    writeln!(
+        out,
+        "  \"seed\": {}, \"rsb_count\": {}, \"swap_count\": {},",
+        spec.seed, spec.rsbs, spec.swaps
+    )?;
+    writeln!(
+        out,
+        "  \"host\": {{\"cpus\": {cpus}, \"jobs\": {}, \"wall_ms\": {wall_ms}}},",
+        plan.jobs()
+    )?;
+    writeln!(
+        out,
+        "  \"partition\": {{\"mode\": \"{}\", \"shards\": {}}},",
+        plan.mode(),
+        plan.jobs()
+    )?;
+    for shard in 0..plan.jobs() {
+        let members = plan.members(shard);
+        let work: u64 = members.iter().map(|&r| result.rows[r].work_units).sum();
+        writeln!(
+            out,
+            "  \"partition_shard\": {{\"shard\": {shard}, \"rsbs\": {members:?}, \
+             \"est_cost\": {}, \"work_units\": {work}}},",
+            plan.est_cost(shard)
+        )?;
+    }
+    writeln!(out, "  \"rsbs\": [")?;
+    for (i, r) in result.rows.iter().enumerate() {
+        write!(
+            out,
+            "    {{\"index\":{},\"samples_in\":{},\"interval\":{},\"swaps\":{},\
+             \"outcome\":\"{}\",\"drained\":{},\"samples_out\":{},\"missed_slots\":{},\
+             \"p99_e2e_ps\":{},\"sim_time_ps\":{},\"work_units\":{},\"est_cost\":{},\
+             \"healthy\":{}}}",
+            r.index,
+            r.samples_in,
+            r.interval,
+            r.swaps,
+            r.outcome,
+            r.drained,
+            r.samples_out,
+            r.missed_slots,
+            opt(r.p99_e2e_ps),
+            r.sim_time_ps,
+            r.work_units,
+            r.est_cost,
+            r.healthy,
+        )?;
+        writeln!(out, "{}", if i + 1 < result.rows.len() { "," } else { "" })?;
+    }
+    writeln!(out, "  ],")?;
+    writeln!(out, "  \"work\": [")?;
+    for (i, row) in result.merged_work.rows.iter().enumerate() {
+        // Work units only: the host-ns column has no determinism
+        // contract and would poison the jobs-invariance byte-compare.
+        write!(
+            out,
+            "    {{\"component\": \"{}\", \"work_units\": {}}}",
+            row.component, row.work_units
+        )?;
+        writeln!(
+            out,
+            "{}",
+            if i + 1 < result.merged_work.rows.len() {
+                ","
+            } else {
+                ""
+            }
+        )?;
+    }
+    writeln!(out, "  ]")?;
+    writeln!(out, "}}")?;
+    Ok(())
+}
+
 /// The `--flags` each subcommand understands. The parser accepts any
 /// `--key value` pair, so without this table a typo'd flag (say
 /// `--trace-word` for `--trace-words`) would be a silent no-op; the
@@ -2006,6 +2261,20 @@ fn known_flags(subcommand: &str) -> Option<&'static [&'static str]> {
             "cost-model",
             "bitstream-cache",
         ],
+        "fleet" => &[
+            "rsbs",
+            "jobs",
+            "samples",
+            "interval",
+            "swaps",
+            "seed",
+            "cost-model",
+            "jsonl",
+            "flight",
+            "bench",
+            "sample-every",
+            "timeseries",
+        ],
         "diff" => &["tolerance"],
         _ => return None,
     })
@@ -2074,6 +2343,11 @@ pub fn usage() -> &'static str {
      \x20                [--sample-every US] [--timeseries out.jsonl] [--live-port N]\n\
      \x20                [--profile yes] [--cost-model out.json]\n\
      \x20                [--bitstream-cache 0,4]   (staged-cache capacity axis)\n\
+     \x20 fleet          [--rsbs N] [--jobs N] [--samples N] [--interval CYCLES]\n\
+     \x20                [--swaps N] [--seed S] [--cost-model model.json]\n\
+     \x20                [--jsonl out.jsonl] [--flight out.jsonl] [--bench out.json]\n\
+     \x20                [--sample-every US --timeseries out.jsonl]\n\
+     \x20                (sharded multi-RSB run; observables identical for any --jobs)\n\
      \x20 diff           <baseline> <candidate> [--tolerance 0.05]   (exit 1 on regression)\n\
      \n\
      devices: lx25 (default) | lx60 | lx100\n\
@@ -2100,6 +2374,7 @@ pub fn dispatch(subcommand: &str, args: &Args, out: &mut dyn Write) -> Result<()
         "health" => cmd_health(args, out),
         "profile" => cmd_profile(args, out),
         "sweep" => cmd_sweep(args, out),
+        "fleet" => cmd_fleet(args, out),
         "diff" => crate::diff::cmd_diff(args, out),
         other => Err(CmdError(format!(
             "unknown subcommand {other:?}\n\n{}",
@@ -2437,6 +2712,11 @@ mod tests {
             ("profile", &["--cost-models", "out.json"]),
             ("sweep", &["--profiles", "yes"]),
             ("sweep", &["--cost-modle", "out.json"]),
+            ("fleet", &["--rsb", "8"]),
+            ("fleet", &["--job", "4"]),
+            ("fleet", &["--swap", "3"]),
+            ("fleet", &["--cost-mode", "model.json"]),
+            ("fleet", &["--flights", "f.jsonl"]),
         ];
         for (sub, tokens) in cases {
             let err = run(sub, tokens).unwrap_err();
@@ -2468,6 +2748,7 @@ mod tests {
             "health",
             "profile",
             "sweep",
+            "fleet",
             "diff",
         ] {
             assert!(
@@ -3342,5 +3623,144 @@ mod tests {
             s.read_to_string(&mut resp).unwrap();
             resp
         }
+    }
+
+    #[test]
+    fn fleet_runs_and_is_byte_identical_across_job_counts() {
+        let dir = std::env::temp_dir().join("vapres_cli_fleet_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let run_jobs = |jobs: &str, tag: &str| {
+            let jsonl = dir.join(format!("{tag}.jsonl"));
+            let flight = dir.join(format!("{tag}_flight.jsonl"));
+            let bench = dir.join(format!("{tag}.json"));
+            let text = run(
+                "fleet",
+                &[
+                    "--rsbs",
+                    "4",
+                    "--samples",
+                    "200",
+                    "--interval",
+                    "50",
+                    "--swaps",
+                    "5",
+                    "--seed",
+                    "9",
+                    "--jobs",
+                    jobs,
+                    "--jsonl",
+                    jsonl.to_str().unwrap(),
+                    "--flight",
+                    flight.to_str().unwrap(),
+                    "--bench",
+                    bench.to_str().unwrap(),
+                ],
+            )
+            .unwrap();
+            // Everything jobs-dependent is confined to `partition:` and
+            // `host:` report lines and `"host"`/`"partition*"` JSON
+            // lines; the rest must be byte-identical.
+            let body: String = text
+                .lines()
+                .filter(|l| {
+                    !l.starts_with("wrote ")
+                        && !l.starts_with("partition:")
+                        && !l.starts_with("host:")
+                })
+                .fold(String::new(), |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                });
+            let merged = std::fs::read_to_string(&jsonl).unwrap();
+            let fl = std::fs::read_to_string(&flight).unwrap();
+            let traj = std::fs::read_to_string(&bench).unwrap();
+            std::fs::remove_file(&jsonl).ok();
+            std::fs::remove_file(&flight).ok();
+            std::fs::remove_file(&bench).ok();
+            (body, merged, fl, traj)
+        };
+        let a = run_jobs("1", "a");
+        let b = run_jobs("4", "b");
+        assert_eq!(a.0, b.0, "report differs between --jobs 1 and --jobs 4");
+        assert_eq!(a.1, b.1, "merged telemetry JSONL differs");
+        assert_eq!(a.2, b.2, "merged flight JSONL differs");
+        let sans_host = |traj: &str| {
+            traj.lines()
+                .filter(|l| !l.contains("\"host\"") && !l.contains("\"partition"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            sans_host(&a.3),
+            sans_host(&b.3),
+            "trajectory differs beyond host/partition lines"
+        );
+        assert!(a.3.contains("\"bench\": \"fleet\""), "{}", a.3);
+        assert!(a.3.contains("\"outcome\":\"ok\""), "{}", a.3);
+        assert!(
+            b.3.contains("\"partition\": {\"mode\": \"round-robin\", \"shards\": 4}"),
+            "{}",
+            b.3
+        );
+        assert!(b.3.contains("\"partition_shard\""), "{}", b.3);
+        assert!(
+            a.0.contains("work: "),
+            "report lists the merged work plane:\n{}",
+            a.0
+        );
+        // The flight merge is rsb-stamped and sim-time-major.
+        assert!(
+            a.2.lines().next().unwrap_or("").starts_with("{\"rsb\":"),
+            "{}",
+            a.2
+        );
+    }
+
+    #[test]
+    fn fleet_cost_model_guides_the_partition() {
+        let dir = std::env::temp_dir().join("vapres_cli_fleet_model_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let model = dir.join("model.json");
+        // A measured model first: profile the E3 scenario to get real
+        // ns-per-unit rows, then feed it back as the partition guide.
+        run(
+            "profile",
+            &["--samples", "200", "--cost-model", model.to_str().unwrap()],
+        )
+        .unwrap();
+        let text = run(
+            "fleet",
+            &[
+                "--rsbs",
+                "5",
+                "--samples",
+                "150",
+                "--swaps",
+                "2",
+                "--jobs",
+                "2",
+                "--cost-model",
+                model.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        std::fs::remove_file(&model).ok();
+        assert!(
+            text.contains("partition: mode=cost-model jobs=2"),
+            "cost model must switch the partition mode:\n{text}"
+        );
+        // LPT under a real model: both shards take work.
+        assert!(text.contains("partition: shard 0 <- rsbs ["), "{text}");
+        assert!(text.contains("partition: shard 1 <- rsbs ["), "{text}");
+    }
+
+    #[test]
+    fn fleet_rejects_bad_specs() {
+        assert!(run("fleet", &["--rsbs", "0"]).is_err());
+        assert!(run("fleet", &["--samples", "0"]).is_err());
+        assert!(run("fleet", &["--timeseries", "ts.jsonl"]).is_err());
+        let err = run("fleet", &["--cost-model", "/nonexistent/model.json"]).unwrap_err();
+        assert!(err.0.contains("--cost-model"), "{}", err.0);
     }
 }

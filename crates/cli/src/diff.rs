@@ -12,6 +12,13 @@
 //!   per-scenario rows matched by label, outcomes exactly, numeric
 //!   fields within tolerance. The one machine-dependent `"host"` line is
 //!   skipped, so a trajectory recorded on any machine gates any other;
+//! * **fleet trajectories** (`vapres fleet --bench` artifacts) — per-RSB
+//!   rows matched by index: outcomes and health verdicts exactly, the
+//!   deterministic plane (sample counts, work units, estimated costs,
+//!   sim time) exactly, latency fields within tolerance. The `"host"`
+//!   and `"partition"` lines are context, not measurements, and are
+//!   skipped — a fleet recorded under any `--jobs` value gates any
+//!   other;
 //! * **cost models** (`vapres profile --cost-model` / `vapres sim
 //!   --cost-model` / `vapres sweep --cost-model` exports) — rows matched
 //!   by component. The deterministic work-unit plane is compared
@@ -59,12 +66,12 @@ pub fn cmd_diff(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
 
     let base_kind = detect_kind(&baseline).ok_or_else(|| {
         CmdError(format!(
-            "{baseline_path}: not telemetry JSONL, a sweep trajectory, or a cost model"
+            "{baseline_path}: not telemetry JSONL, a sweep/fleet trajectory, or a cost model"
         ))
     })?;
     let cand_kind = detect_kind(&candidate).ok_or_else(|| {
         CmdError(format!(
-            "{candidate_path}: not telemetry JSONL, a sweep trajectory, or a cost model"
+            "{candidate_path}: not telemetry JSONL, a sweep/fleet trajectory, or a cost model"
         ))
     })?;
     if base_kind != cand_kind {
@@ -79,6 +86,8 @@ pub fn cmd_diff(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
         FileKind::Telemetry => diff_telemetry(&baseline, &candidate, tolerance)
             .map_err(|e| CmdError(format!("{baseline_path} / {candidate_path}: {e}")))?,
         FileKind::Trajectory => diff_trajectory(&baseline, &candidate, tolerance)
+            .map_err(|e| CmdError(format!("{baseline_path} / {candidate_path}: {e}")))?,
+        FileKind::Fleet => diff_fleet(&baseline, &candidate, tolerance)
             .map_err(|e| CmdError(format!("{baseline_path} / {candidate_path}: {e}")))?,
         FileKind::CostModel => diff_cost_model(&baseline, &candidate, tolerance)
             .map_err(|e| CmdError(format!("{baseline_path} / {candidate_path}: {e}")))?,
@@ -110,6 +119,7 @@ pub fn cmd_diff(args: &Args, out: &mut dyn Write) -> Result<(), CmdError> {
 enum FileKind {
     Telemetry,
     Trajectory,
+    Fleet,
     CostModel,
 }
 
@@ -118,17 +128,22 @@ impl FileKind {
         match self {
             FileKind::Telemetry => "telemetry JSONL",
             FileKind::Trajectory => "sweep trajectory",
+            FileKind::Fleet => "fleet trajectory",
             FileKind::CostModel => "cost model",
         }
     }
 }
 
 /// Sniffs the artifact kind: trajectories carry the `"bench": "sweep"`
-/// stamp, cost models the `"cost_model"` version stamp, telemetry dumps
-/// open every line with a `"type"` tag.
+/// stamp, fleet trajectories `"bench": "fleet"`, cost models the
+/// `"cost_model"` version stamp, telemetry dumps open every line with a
+/// `"type"` tag.
 fn detect_kind(text: &str) -> Option<FileKind> {
     if text.contains("\"bench\": \"sweep\"") {
         return Some(FileKind::Trajectory);
+    }
+    if text.contains("\"bench\": \"fleet\"") {
+        return Some(FileKind::Fleet);
     }
     if text.contains("\"cost_model\"") {
         return Some(FileKind::CostModel);
@@ -386,6 +401,185 @@ fn diff_trajectory(baseline: &str, candidate: &str, tol: f64) -> Result<Vec<Stri
     for c in &c_rows {
         if !b_labels.contains_key(c.label.as_str()) {
             regressions.push(format!("{}: absent from baseline", c.label));
+        }
+    }
+    Ok(regressions)
+}
+
+/// One parsed fleet-trajectory RSB row: the outcome plus every field,
+/// split into the exact plane (deterministic simulation state) and the
+/// tolerance plane (latency measures).
+#[derive(Debug)]
+struct FleetRow {
+    index: u64,
+    strings: BTreeMap<String, String>,
+    numbers: BTreeMap<String, f64>,
+}
+
+/// Fields of a fleet RSB row that are deterministic simulation state:
+/// compared exactly, no tolerance. (`p99_e2e_ps` stays on the tolerance
+/// plane like the sweep trajectory's latency fields.)
+const FLEET_EXACT_FIELDS: &[&str] = &[
+    "samples_in",
+    "interval",
+    "swaps",
+    "samples_out",
+    "missed_slots",
+    "sim_time_ps",
+    "work_units",
+    "est_cost",
+];
+
+/// Parses a fleet trajectory: the `"rsbs"` rows keyed by index and the
+/// merged `"work"` rows keyed by component. The `"host"` and
+/// `"partition"`/`"partition_shard"` lines are machine/jobs context and
+/// are never parsed — a fleet recorded under any `--jobs` value gates
+/// any other.
+fn parse_fleet(text: &str) -> Result<(Vec<FleetRow>, BTreeMap<String, u64>), String> {
+    let mut rows = Vec::new();
+    let mut work = BTreeMap::new();
+    for line in text.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if t.starts_with("{\"component\":") {
+            let body = t
+                .strip_prefix('{')
+                .and_then(|s| s.strip_suffix('}'))
+                .ok_or_else(|| format!("malformed work row: {t}"))?;
+            let mut component = None;
+            let mut units = None;
+            for field in split_top_level_fields(body) {
+                let (key, value) = field
+                    .split_once(':')
+                    .ok_or_else(|| format!("malformed field {field:?}"))?;
+                match key.trim().trim_matches('"') {
+                    "component" => {
+                        component = value
+                            .trim()
+                            .strip_prefix('"')
+                            .and_then(|v| v.strip_suffix('"'))
+                            .map(str::to_string);
+                    }
+                    "work_units" => {
+                        units = Some(
+                            value
+                                .trim()
+                                .parse::<u64>()
+                                .map_err(|_| format!("work_units: cannot parse {value:?}"))?,
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            let component = component.ok_or("work row without a component")?;
+            let units = units.ok_or_else(|| format!("{component}: work row without units"))?;
+            work.insert(component, units);
+            continue;
+        }
+        if !t.starts_with("{\"index\":") {
+            continue;
+        }
+        let body = t
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or_else(|| format!("malformed RSB row: {t}"))?;
+        let mut index = None;
+        let mut strings = BTreeMap::new();
+        let mut numbers = BTreeMap::new();
+        for field in split_top_level_fields(body) {
+            let (key, value) = field
+                .split_once(':')
+                .ok_or_else(|| format!("malformed field {field:?}"))?;
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim();
+            if let Some(s) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) {
+                strings.insert(key, s.to_string());
+            } else if value == "true" || value == "false" {
+                // Booleans (drained, healthy) are verdicts, not
+                // measurements: exact like strings.
+                strings.insert(key, value.to_string());
+            } else if key == "index" {
+                index = Some(
+                    value
+                        .parse::<u64>()
+                        .map_err(|_| format!("index: cannot parse {value:?}"))?,
+                );
+            } else if value != "null" {
+                let n: f64 = value
+                    .parse()
+                    .map_err(|_| format!("field {key}: cannot parse {value:?}"))?;
+                numbers.insert(key, n);
+            }
+        }
+        rows.push(FleetRow {
+            index: index.ok_or("RSB row without an index")?,
+            strings,
+            numbers,
+        });
+    }
+    if rows.is_empty() {
+        return Err("fleet trajectory holds no RSB rows".into());
+    }
+    Ok((rows, work))
+}
+
+/// Compares two fleet trajectories: RSB rows matched by index —
+/// outcomes/verdicts exactly, the deterministic plane
+/// ([`FLEET_EXACT_FIELDS`], plus the merged work rows) exactly, latency
+/// fields within tolerance. The `"host"` and partition lines are
+/// skipped entirely, so artifacts recorded under different `--jobs`
+/// values (or machines) gate each other.
+fn diff_fleet(baseline: &str, candidate: &str, tol: f64) -> Result<Vec<String>, String> {
+    let (b_rows, b_work) = parse_fleet(baseline)?;
+    let (c_rows, c_work) = parse_fleet(candidate)?;
+    let mut regressions = Vec::new();
+    if b_rows.len() != c_rows.len() {
+        regressions.push(format!("RSB count: {} -> {}", b_rows.len(), c_rows.len()));
+    }
+    let by_index: BTreeMap<u64, &FleetRow> = c_rows.iter().map(|r| (r.index, r)).collect();
+    for b in &b_rows {
+        let name = format!("rsb{}", b.index);
+        let Some(c) = by_index.get(&b.index) else {
+            regressions.push(format!("{name}: missing from candidate"));
+            continue;
+        };
+        for (key, bv) in &b.strings {
+            match c.strings.get(key) {
+                None => regressions.push(format!("{name} {key}: missing from candidate")),
+                Some(cv) if bv != cv => {
+                    regressions.push(format!("{name} {key}: {bv} -> {cv}"));
+                }
+                Some(_) => {}
+            }
+        }
+        for (key, bv) in &b.numbers {
+            match c.numbers.get(key) {
+                None => regressions.push(format!("{name} {key}: missing from candidate")),
+                Some(cv) if FLEET_EXACT_FIELDS.contains(&key.as_str()) => {
+                    #[allow(clippy::float_cmp)] // integer-valued, parsed losslessly
+                    if bv != cv {
+                        regressions.push(format!(
+                            "{name} {key}: {bv} -> {cv} (deterministic plane must match exactly)"
+                        ));
+                    }
+                }
+                Some(cv) => {
+                    check_value(&mut regressions, &format!("{name} {key}"), *bv, *cv, tol);
+                }
+            }
+        }
+    }
+    for (component, bu) in &b_work {
+        match c_work.get(component) {
+            None => regressions.push(format!("work {component}: missing from candidate")),
+            Some(cu) if bu != cu => regressions.push(format!(
+                "work {component}: {bu} -> {cu} (work plane must match exactly)"
+            )),
+            Some(_) => {}
+        }
+    }
+    for component in c_work.keys() {
+        if !b_work.contains_key(component) {
+            regressions.push(format!("work {component}: absent from baseline"));
         }
     }
     Ok(regressions)
@@ -653,6 +847,111 @@ mod tests {
         let (result, _) = run_diff(COST_MODEL, TRAJECTORY, &[]);
         let err = result.expect_err("kinds differ").0;
         assert!(err.contains("cannot compare"), "got {err}");
+    }
+
+    const FLEET: &str = "{\n  \"bench\": \"fleet\",\n  \"seed\": 227, \"rsb_count\": 2, \"swap_count\": 2,\n  \
+\"host\": {\"cpus\": 8, \"jobs\": 4, \"wall_ms\": 321},\n  \
+\"partition\": {\"mode\": \"round-robin\", \"shards\": 4},\n  \
+\"partition_shard\": {\"shard\": 0, \"rsbs\": [0], \"est_cost\": 11000, \"work_units\": 11500},\n  \
+\"partition_shard\": {\"shard\": 1, \"rsbs\": [1], \"est_cost\": 9000, \"work_units\": 9500},\n  \"rsbs\": [\n    \
+{\"index\":0,\"samples_in\":220,\"interval\":100,\"swaps\":1,\"outcome\":\"ok\",\"drained\":true,\"samples_out\":220,\"missed_slots\":0,\"p99_e2e_ps\":1000000,\"sim_time_ps\":3000000000,\"work_units\":11500,\"est_cost\":11000,\"healthy\":true},\n    \
+{\"index\":1,\"samples_in\":180,\"interval\":150,\"swaps\":1,\"outcome\":\"ok\",\"drained\":true,\"samples_out\":180,\"missed_slots\":0,\"p99_e2e_ps\":1250000,\"sim_time_ps\":3000000000,\"work_units\":9500,\"est_cost\":9000,\"healthy\":true}\n  ],\n  \"work\": [\n    \
+{\"component\": \"exec/fabric\", \"work_units\": 17000},\n    \
+{\"component\": \"icap/words\", \"work_units\": 4000}\n  ]\n}\n";
+
+    #[test]
+    fn identical_fleets_pass_even_with_different_jobs_and_hosts() {
+        // Same deterministic planes, different machine AND different
+        // partition geometry — exactly what two runs under different
+        // --jobs values produce. Host and partition lines are context,
+        // not measurements.
+        let other = FLEET
+            .replace("\"wall_ms\": 321", "\"wall_ms\": 7")
+            .replace("\"jobs\": 4", "\"jobs\": 1")
+            .replace(
+                "\"partition\": {\"mode\": \"round-robin\", \"shards\": 4}",
+                "\"partition\": {\"mode\": \"round-robin\", \"shards\": 1}",
+            )
+            .replace(
+                "\"partition_shard\": {\"shard\": 1, \"rsbs\": [1], \"est_cost\": 9000, \"work_units\": 9500},\n",
+                "",
+            )
+            .replace(
+                "\"partition_shard\": {\"shard\": 0, \"rsbs\": [0], \"est_cost\": 11000, \"work_units\": 11500}",
+                "\"partition_shard\": {\"shard\": 0, \"rsbs\": [0, 1], \"est_cost\": 20000, \"work_units\": 21000}",
+            );
+        let (result, out) = run_diff(FLEET, &other, &[]);
+        assert!(
+            result.is_ok(),
+            "host/partition must be skipped: {result:?}\n{out}"
+        );
+        assert!(out.contains("no regressions"));
+        assert!(
+            out.contains("fleet trajectory"),
+            "kind named in header: {out}"
+        );
+    }
+
+    #[test]
+    fn fleet_work_unit_drift_fails_regardless_of_tolerance() {
+        // One stray work unit in an RSB row: deterministic plane, exact
+        // or bust — no tolerance excuses it.
+        let candidate = FLEET.replace("\"work_units\":9500", "\"work_units\":9501");
+        let (result, out) = run_diff(FLEET, &candidate, &["--tolerance", "0.5"]);
+        assert!(result.is_err(), "RSB work-unit drift must fail");
+        assert!(out.contains("rsb1 work_units: 9500 -> 9501"), "got {out}");
+        // Same for the merged work plane.
+        let candidate = FLEET.replace(
+            "{\"component\": \"icap/words\", \"work_units\": 4000}",
+            "{\"component\": \"icap/words\", \"work_units\": 4002}",
+        );
+        let (result, out) = run_diff(FLEET, &candidate, &["--tolerance", "0.5"]);
+        assert!(result.is_err(), "merged work drift must fail");
+        assert!(out.contains("work icap/words: 4000 -> 4002"), "got {out}");
+    }
+
+    #[test]
+    fn fleet_outcome_and_verdict_flips_fail() {
+        let candidate = FLEET.replace(
+            "\"index\":1,\"samples_in\":180,\"interval\":150,\"swaps\":1,\"outcome\":\"ok\"",
+            "\"index\":1,\"samples_in\":180,\"interval\":150,\"swaps\":1,\"outcome\":\"swap 1: timeout\"",
+        );
+        let (result, out) = run_diff(FLEET, &candidate, &[]);
+        assert!(result.is_err());
+        assert!(
+            out.contains("rsb1 outcome: ok -> swap 1: timeout"),
+            "got {out}"
+        );
+        let candidate = FLEET.replace(
+            "\"est_cost\":9000,\"healthy\":true",
+            "\"est_cost\":9000,\"healthy\":false",
+        );
+        let (result, out) = run_diff(FLEET, &candidate, &[]);
+        assert!(result.is_err());
+        assert!(out.contains("rsb1 healthy: true -> false"), "got {out}");
+    }
+
+    #[test]
+    fn fleet_latency_fields_respect_tolerance() {
+        let candidate = FLEET.replace("\"p99_e2e_ps\":1250000", "\"p99_e2e_ps\":1280000");
+        let (result, _) = run_diff(FLEET, &candidate, &[]);
+        assert!(result.is_ok(), "2.4% < 5% default tolerance: {result:?}");
+        let candidate = FLEET.replace("\"p99_e2e_ps\":1250000", "\"p99_e2e_ps\":1600000");
+        let (result, out) = run_diff(FLEET, &candidate, &[]);
+        assert!(result.is_err(), "28% p99 regression");
+        assert!(out.contains("rsb1 p99_e2e_ps"), "got {out}");
+    }
+
+    #[test]
+    fn fleet_missing_rsb_is_structural() {
+        let shorter = FLEET.replace(
+            ",\n    {\"index\":1,\"samples_in\":180,\"interval\":150,\"swaps\":1,\"outcome\":\"ok\",\"drained\":true,\"samples_out\":180,\"missed_slots\":0,\"p99_e2e_ps\":1250000,\"sim_time_ps\":3000000000,\"work_units\":9500,\"est_cost\":9000,\"healthy\":true}",
+            "",
+        );
+        let (result, out) = run_diff(FLEET, &shorter, &[]);
+        assert!(result.is_err());
+        assert!(out.contains("rsb1: missing from candidate"), "got {out}");
+        assert!(out.contains("RSB count: 2 -> 1"), "got {out}");
     }
 
     const COST_MODEL: &str = "{\n  \"cost_model\": 1,\n  \"components\": [\n    \

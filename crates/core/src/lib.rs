@@ -47,6 +47,7 @@ pub mod adaptive;
 pub mod api;
 pub mod config;
 pub mod costs;
+pub mod fleet;
 pub mod health;
 pub mod module;
 pub mod multirsb;
@@ -59,9 +60,10 @@ pub mod system;
 pub use adaptive::{AdaptiveController, HysteresisPolicy, SwapPolicy};
 pub use api::{ApiError, ReconfigReport};
 pub use config::{NodeKind, SystemConfig};
+pub use fleet::{FleetEngine, FleetSystem, ShardPlan, ShardedMultiRsb, SharedRegister};
 pub use health::{evaluate_health, HealthPolicy};
 pub use module::{HardwareModule, ModuleIo, ModuleLibrary};
-pub use multirsb::MultiRsbSystem;
+pub use multirsb::{MultiRsbConfigError, MultiRsbSystem};
 pub use placement::{PlacementManager, PlacementStats};
 pub use scenario::{
     merge_telemetry, run_sweep_with, Scenario, ScenarioResult, ScenarioSummary, SwapMethod,
@@ -73,8 +75,9 @@ pub use system::{LiveSnapshot, VapresSystem};
 
 // Re-export the identifiers applications constantly need.
 pub use vapres_bitstream::stream::ModuleUid;
-pub use vapres_sim::profile::{CostModel, Profiler};
+pub use vapres_sim::profile::{CostModel, CostRow, Profiler};
 pub use vapres_sim::rng::SplitMix64;
+pub use vapres_sim::telemetry::Telemetry;
 pub use vapres_sim::time::{Freq, Ps};
 pub use vapres_sim::timeseries::TimeSeries;
 pub use vapres_stream::fabric::{ChannelId, PortRef};

@@ -9,11 +9,43 @@
 //! lockstep simulated time to reproduce exactly that: any API call made
 //! on one RSB advances every RSB by the same duration.
 
-use crate::config::SystemConfig;
+use crate::config::{ConfigError, SystemConfig};
 use crate::module::ModuleLibrary;
 use crate::system::VapresSystem;
 use std::fmt;
+use vapres_sim::persist::{PersistError, Reader, Writer};
 use vapres_sim::time::Ps;
+
+/// Magic prefix of a fleet (multi-RSB) checkpoint envelope. The per-RSB
+/// images inside carry the usual [`vapres_sim::persist::MAGIC`] headers.
+pub const FLEET_MAGIC: [u8; 8] = *b"VAPRESFL";
+
+/// Version of the fleet envelope (bumped independently of the per-RSB
+/// [`vapres_sim::persist::FORMAT_VERSION`], which the inner images check
+/// themselves).
+pub const FLEET_FORMAT_VERSION: u32 = 1;
+
+/// A configuration error from building a fleet, carrying which RSB's
+/// configuration was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiRsbConfigError {
+    /// Index of the RSB whose configuration failed.
+    pub rsb: usize,
+    /// The underlying configuration error.
+    pub source: ConfigError,
+}
+
+impl fmt::Display for MultiRsbConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RSB {}: {}", self.rsb, self.source)
+    }
+}
+
+impl std::error::Error for MultiRsbConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
 
 /// A data processing region with several RSBs sharing one controlling
 /// region.
@@ -32,7 +64,7 @@ use vapres_sim::time::Ps;
 /// assert_eq!(multi.rsb_count(), 2);
 /// multi.run_for(Ps::from_us(5));
 /// assert_eq!(multi.now(), Ps::from_us(5));
-/// # Ok::<(), vapres_core::config::ConfigError>(())
+/// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct MultiRsbSystem {
     rsbs: Vec<VapresSystem>,
@@ -54,16 +86,20 @@ impl MultiRsbSystem {
     ///
     /// # Errors
     ///
-    /// Propagates [`crate::config::ConfigError`] from any configuration.
+    /// [`MultiRsbConfigError`] naming the first RSB whose configuration
+    /// was rejected, with the underlying [`ConfigError`] as the source.
     pub fn new(
         configs: Vec<SystemConfig>,
         register: impl Fn(&mut ModuleLibrary),
-    ) -> Result<Self, crate::config::ConfigError> {
+    ) -> Result<Self, MultiRsbConfigError> {
         let mut rsbs = Vec::with_capacity(configs.len());
-        for cfg in configs {
+        for (rsb, cfg) in configs.into_iter().enumerate() {
             let mut lib = ModuleLibrary::new();
             register(&mut lib);
-            rsbs.push(VapresSystem::new(cfg, lib)?);
+            rsbs.push(
+                VapresSystem::new(cfg, lib)
+                    .map_err(|source| MultiRsbConfigError { rsb, source })?,
+            );
         }
         Ok(MultiRsbSystem { rsbs })
     }
@@ -127,6 +163,70 @@ impl MultiRsbSystem {
             }
         }
         result
+    }
+
+    /// Serializes the whole fleet: an envelope header (magic, version,
+    /// RSB count) followed by one length-prefixed
+    /// [`VapresSystem::checkpoint`] image per RSB, in index order. The
+    /// §4h contract lifts to the fleet: restoring the image into
+    /// structurally equal configurations continues every RSB bit-exactly.
+    pub fn checkpoint(&mut self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_raw(&FLEET_MAGIC);
+        w.put_u32(FLEET_FORMAT_VERSION);
+        w.put_usize(self.rsbs.len());
+        for s in &mut self.rsbs {
+            let image = s.checkpoint();
+            w.put_bytes(&image);
+        }
+        w.into_bytes()
+    }
+
+    /// Reconstructs a fleet from a [`checkpoint`](Self::checkpoint)
+    /// image. `configs` must be structurally equal (same count, same
+    /// fingerprints) to the ones the image was taken under; `register`
+    /// populates each RSB's module library exactly as in
+    /// [`new`](Self::new).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::BadMagic`] when the bytes are not a fleet
+    /// envelope, [`PersistError::VersionMismatch`] on an envelope version
+    /// skew, [`PersistError::Corrupt`] when the RSB count disagrees with
+    /// `configs`, plus anything [`VapresSystem::restore`] reports for an
+    /// inner image.
+    pub fn restore(
+        configs: Vec<SystemConfig>,
+        register: impl Fn(&mut ModuleLibrary),
+        bytes: &[u8],
+    ) -> Result<Self, PersistError> {
+        let r = &mut Reader::new(bytes);
+        if r.take_raw(8)? != FLEET_MAGIC {
+            return Err(PersistError::BadMagic);
+        }
+        let version = r.take_u32()?;
+        if version != FLEET_FORMAT_VERSION {
+            return Err(PersistError::VersionMismatch {
+                found: version,
+                expected: FLEET_FORMAT_VERSION,
+            });
+        }
+        let count = r.take_usize()?;
+        if count != configs.len() {
+            return Err(PersistError::Corrupt(format!(
+                "fleet snapshot has {count} RSBs, {} configurations supplied",
+                configs.len()
+            )));
+        }
+        let mut rsbs = Vec::with_capacity(count);
+        for cfg in configs {
+            let image = r.take_bytes()?;
+            let mut lib = ModuleLibrary::new();
+            register(&mut lib);
+            rsbs.push(VapresSystem::restore(cfg, lib, &image)?);
+        }
+        r.expect_end()?;
+        Ok(MultiRsbSystem { rsbs })
     }
 }
 
@@ -194,6 +294,76 @@ mod tests {
         let mut m = multi();
         m.with_rsb(0, |s| s.run_for(Ps::from_us(7)));
         assert_eq!(m.rsb(1).now(), Ps::from_us(7));
+    }
+
+    #[test]
+    fn new_reports_failing_rsb_index() {
+        let mut bad = SystemConfig::prototype();
+        bad.fsl_depth = 1;
+        let err = MultiRsbSystem::new(vec![SystemConfig::prototype(), bad], register)
+            .expect_err("fsl_depth 1 must be rejected");
+        assert_eq!(err.rsb, 1);
+        let msg = err.to_string();
+        assert!(msg.starts_with("RSB 1: "), "unexpected message: {msg}");
+        use std::error::Error;
+        assert!(err.source().is_some(), "source ConfigError must survive");
+    }
+
+    #[test]
+    fn with_rsb_aligns_mismatched_clocks() {
+        use vapres_sim::time::Freq;
+        let mut slow = SystemConfig::prototype();
+        slow.static_clock = Freq::mhz(33);
+        slow.prr_clock_menu = [Freq::mhz(33), Freq::mhz(11)];
+        let mut m = MultiRsbSystem::new(vec![SystemConfig::prototype(), slow], register)
+            .expect("valid configs");
+        // An odd, non-cycle-multiple duration on the fast RSB: the slow
+        // RSB must still land on exactly the same picosecond.
+        m.with_rsb(0, |s| s.run_for(Ps(1_234_567)));
+        assert_eq!(m.rsb(0).now(), m.rsb(1).now());
+        m.with_rsb(1, |s| s.run_for(Ps(777_777)));
+        assert_eq!(m.rsb(0).now(), m.rsb(1).now());
+        assert_eq!(m.now(), Ps(1_234_567 + 777_777));
+    }
+
+    #[test]
+    fn fleet_checkpoint_roundtrips() {
+        let mut m = multi();
+        m.with_rsb(1, |s| {
+            let p = crate::PortRef::new(0, 0);
+            s.vapres_establish_channel(p, p).expect("loopback");
+            s.bring_up_node(0, false).expect("iom up");
+            s.iom_set_input_interval(0, 50);
+            s.iom_feed(0, 0..64);
+        });
+        m.run_for(Ps::from_us(40));
+        let image = m.checkpoint();
+        let mut r = MultiRsbSystem::restore(
+            vec![SystemConfig::prototype(), SystemConfig::prototype()],
+            register,
+            &image,
+        )
+        .expect("restore");
+        assert_eq!(r.now(), m.now());
+        m.run_for(Ps::from_us(10));
+        r.run_for(Ps::from_us(10));
+        assert_eq!(r.rsb(1).iom_output(0), m.rsb(1).iom_output(0));
+    }
+
+    #[test]
+    fn fleet_restore_rejects_count_mismatch() {
+        let mut m = multi();
+        let image = m.checkpoint();
+        let err = MultiRsbSystem::restore(vec![SystemConfig::prototype()], register, &image)
+            .expect_err("2-RSB image into 1 config must fail");
+        assert!(matches!(err, PersistError::Corrupt(_)), "{err:?}");
+        let err = MultiRsbSystem::restore(
+            vec![SystemConfig::prototype(), SystemConfig::prototype()],
+            register,
+            b"not a fleet snapshot",
+        )
+        .expect_err("garbage must fail");
+        assert!(matches!(err, PersistError::BadMagic), "{err:?}");
     }
 
     #[test]

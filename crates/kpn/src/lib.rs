@@ -51,12 +51,16 @@
 //! ```
 
 pub mod dot;
+pub mod fleet;
 pub mod graph;
 pub mod pipeline;
 pub mod reference;
 pub mod sweep;
 
 pub use dot::{graph_to_dot, pipeline_to_dot};
+pub use fleet::{
+    checkpoint_after_setup, run_fleet, run_fleet_from, FleetResult, FleetRsbRow, FleetSpec,
+};
 pub use graph::{
     deploy_graph, execute_reference, map_graph, DeployedGraph, GraphError, GraphMapping, GraphNode,
     KpnEdge, KpnGraph, RefBehavior,

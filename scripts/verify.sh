@@ -332,6 +332,60 @@ grep -q '"component":"fabric/route' "$profdir/model_j1.json" \
     || { echo "merged sweep cost model missing per-route components" >&2; exit 1; }
 rm -rf "$profdir"
 
+echo "==> fleet smoke (sharded multi-RSB run byte-identical across --jobs, diff-gated)"
+fleetdir="$(mktemp -d)"
+fleet_run() { # $1 = jobs, $2 = output tag, $3 = extra flags
+    ./target/release/vapres-cli fleet \
+        --rsbs 6 --swaps 6 --samples 200 --interval 50 --jobs "$1" $3 \
+        --jsonl "$fleetdir/merged_$2.jsonl" --flight "$fleetdir/flight_$2.jsonl" \
+        --bench "$fleetdir/BENCH_$2.json" > "$fleetdir/report_$2.txt"
+}
+./target/release/vapres-cli profile --samples 200 \
+    --cost-model "$fleetdir/model.json" >/dev/null
+fleet_run 1 j1 ""
+fleet_run 4 j4 ""
+fleet_run 1 lpt1 "--cost-model $fleetdir/model.json"
+fleet_run 4 lpt4 "--cost-model $fleetdir/model.json"
+# The determinism contract: everything jobs-dependent lives on marked
+# lines (`partition:`/`host:` in the report, `"partition"`/`"host"` in
+# the trajectory). Filter those and the sharded run must byte-match the
+# sequential oracle — under both partition modes (the est_cost column
+# is a function of the model, so each mode compares against its own
+# --jobs 1 oracle); the merged JSONL and flight are unmarked and must
+# match exactly.
+for pair in "j1 j4" "lpt1 lpt4"; do
+    set -- $pair
+    base="$1"; t="$2"
+    cmp -s <(grep -v -e '^wrote ' -e '^partition:' -e '^host:' "$fleetdir/report_$base.txt") \
+           <(grep -v -e '^wrote ' -e '^partition:' -e '^host:' "$fleetdir/report_$t.txt") \
+        || { echo "fleet report differs between $base and $t" >&2; exit 1; }
+    for f in merged flight; do
+        cmp -s "$fleetdir/${f}_$base.jsonl" "$fleetdir/${f}_$t.jsonl" \
+            || { echo "fleet $f JSONL differs between $base and $t" >&2; exit 1; }
+    done
+    cmp -s <(grep -v -e '"host"' -e '"partition' "$fleetdir/BENCH_$base.json") \
+           <(grep -v -e '"host"' -e '"partition' "$fleetdir/BENCH_$t.json") \
+        || { echo "fleet BENCH_fleet.json differs between $base and $t" >&2; exit 1; }
+done
+grep -q 'partition: mode=cost-model jobs=4' "$fleetdir/report_lpt4.txt" \
+    || { echo "fleet --cost-model did not switch to LPT partitioning" >&2; exit 1; }
+grep -q 'aggregate: 6 healthy, 0 breached, 0 undrained' "$fleetdir/report_j1.txt" \
+    || { echo "fleet report missing healthy aggregate line" >&2; exit 1; }
+# vapres diff understands fleet trajectories: artifacts from different
+# job counts gate each other (host/partition context is skipped), and
+# an injected work-unit drift on the deterministic plane must trip it.
+./target/release/vapres-cli diff \
+    "$fleetdir/BENCH_j1.json" "$fleetdir/BENCH_j4.json" >/dev/null \
+    || { echo "fleet trajectory cross-jobs diff reported a regression" >&2; exit 1; }
+sed 's/"work_units":\([0-9][0-9]*\)/"work_units":1\1/' \
+    "$fleetdir/BENCH_j1.json" > "$fleetdir/BENCH_drift.json"
+if ./target/release/vapres-cli diff \
+    "$fleetdir/BENCH_j1.json" "$fleetdir/BENCH_drift.json" >/dev/null 2>&1; then
+    echo "diff missed an injected fleet work-unit drift" >&2
+    exit 1
+fi
+rm -rf "$fleetdir"
+
 echo "==> overhead guards (disabled instrumentation, sampling, profiling within 2% of bare)"
 # The disabled-telemetry and disabled-sampler paths must each stay one
 # predictable branch per site. At ~1 ns/iter the measurement is dominated
